@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through
+its experiment driver and prints the rendered text, so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the entire
+evaluation section.  Benchmarks execute one round (the drivers are
+deterministic; timing variance comes from the work itself, not the data).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment driver once under the benchmark clock and render it."""
+
+    def _run(module, fast=True):
+        result = benchmark.pedantic(
+            module.run, kwargs={"fast": fast}, rounds=1, iterations=1
+        )
+        text = module.render(result)
+        print()
+        print(text)
+        return result
+
+    return _run

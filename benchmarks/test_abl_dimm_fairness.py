@@ -1,0 +1,16 @@
+"""Benchmark: the DIMM-count fairness control (§3.2).
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the control's outcome.
+"""
+
+import pytest
+
+from repro.experiments import abl_dimm_fairness
+
+
+def test_abl_dimm_fairness(regenerate):
+    """Regenerate the 2-DIMM fairness control."""
+    result = regenerate(abl_dimm_fairness)
+    assert result.local_stable()
+    assert result.cxl_tails_remain()

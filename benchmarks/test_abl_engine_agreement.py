@@ -1,0 +1,19 @@
+"""Benchmark: analytic vs trace-driven engine agreement.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the cross-engine validation claims.
+"""
+
+import pytest
+
+from repro.experiments import abl_engine_agreement
+
+
+def test_abl_engine_agreement(regenerate):
+    """Regenerate the two-engine comparison."""
+    result = regenerate(abl_engine_agreement)
+    assert result.ordering_agrees()
+    # Latency-dominated patterns agree within a few points across two
+    # engines that share no code between description and cycles.
+    assert result.max_latency_bound_gap() < 20.0
+    assert result.stream_bandwidth_bound_in_both()

@@ -1,0 +1,16 @@
+"""Benchmark: the prefetcher ablation (Finding #4).
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the headline claim.
+"""
+
+import pytest
+
+from repro.experiments import abl_prefetcher
+
+
+def test_abl_prefetcher(regenerate):
+    """Regenerate the prefetcher ablation (Finding #4)."""
+    result = regenerate(abl_prefetcher)
+    assert result.max_cache_slowdown_off < 8.0
+    assert result.row("603.bwaves_s").perf_loss_from_disabling_pct > 25.0

@@ -1,0 +1,15 @@
+"""Benchmark: the tail-model ablation.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the headline claim.
+"""
+
+import pytest
+
+from repro.experiments import abl_tail_model
+
+
+def test_abl_tail_model(regenerate):
+    """Regenerate the tail-model ablation."""
+    result = regenerate(abl_tail_model)
+    assert result.anomaly_removed("520.omnetpp_r") > 100.0

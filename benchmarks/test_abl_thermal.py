@@ -1,0 +1,16 @@
+"""Benchmark: the thermal stress ablation.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the headline claim.
+"""
+
+import pytest
+
+from repro.experiments import abl_thermal
+
+
+def test_abl_thermal(regenerate):
+    """Regenerate the thermal stress ablation."""
+    result = regenerate(abl_thermal)
+    assert result.paper_stress_test_clean
+    assert result.point(105.0).idle_latency_ns > result.point(45.0).idle_latency_ns

@@ -1,0 +1,20 @@
+"""Benchmark: the trace-simulation validation ablation.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the model's structural assumptions.
+"""
+
+import pytest
+
+from repro.experiments import abl_trace_validation
+
+
+def test_abl_trace_validation(regenerate):
+    """Regenerate the trace-simulation validation."""
+    result = regenerate(abl_trace_validation)
+    derived = result.derived
+    assert derived["sequential"].prefetch_friendliness > 0.9
+    assert derived["pointer-chase"].prefetch_friendliness < 0.05
+    assert derived["pointer-chase"].mlp == pytest.approx(1.0)
+    assert derived["zipf"].l3_mpki < derived["random"].l3_mpki
+    assert result.coverage_drop_over_cxl_range > 0.1

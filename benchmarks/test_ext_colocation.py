@@ -1,0 +1,20 @@
+"""Benchmark: phase-aware co-location (Finding #5's recommendation).
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the scheduling win.
+"""
+
+import pytest
+
+from repro.experiments import ext_colocation
+
+
+def test_ext_colocation(regenerate):
+    """Regenerate the co-location scheduling comparison."""
+    result = regenerate(ext_colocation)
+    s = result.schedule
+    # Gating hot phases recovers a substantial share of the LC slowdown...
+    assert s.lc_recovered_pct > 10.0
+    assert s.lc_slowdown_phase_aware_pct < s.lc_slowdown_naive_pct
+    # ...for a bounded batch makespan stretch.
+    assert s.batch_cost_ratio < 3.0

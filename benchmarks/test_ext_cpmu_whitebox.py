@@ -1,0 +1,15 @@
+"""Benchmark: the CPMU white-box extension.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the headline claim.
+"""
+
+import pytest
+
+from repro.experiments import ext_cpmu_whitebox
+
+
+def test_ext_cpmu_whitebox(regenerate):
+    """Regenerate the CPMU white-box extension."""
+    result = regenerate(ext_cpmu_whitebox)
+    assert result.dominant("CXL-C") == "controller"

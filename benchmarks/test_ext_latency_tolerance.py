@@ -1,0 +1,21 @@
+"""Benchmark: the latency-tolerance sweep (Finding #2's super-linearity).
+
+Regenerates the experiment under the benchmark clock, prints the curves,
+and asserts the finding.
+"""
+
+import pytest
+
+from repro.experiments import ext_latency_tolerance
+
+
+def test_ext_latency_tolerance(regenerate):
+    """Regenerate the continuous latency sweep."""
+    result = regenerate(ext_latency_tolerance)
+    for name in result.curves:
+        assert result.monotone(name)
+    # Memory-sensitive workloads lose performance faster than latency grows.
+    for name in ("redis-ycsb-c", "605.mcf_s", "gpt2-large"):
+        assert result.superlinearity(name) > 1.0
+    # The compute-bound control barely moves.
+    assert result.curves["compress-zstd"][410.0] < 10.0

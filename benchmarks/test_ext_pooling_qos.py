@@ -1,0 +1,21 @@
+"""Benchmark: the pooling QoS extension.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the QoS isolation claim.
+"""
+
+import pytest
+
+from repro.experiments import ext_pooling_qos
+
+
+def test_ext_pooling_qos(regenerate):
+    """Regenerate the noisy-neighbour QoS sweep."""
+    result = regenerate(ext_pooling_qos)
+    # The tail-fragile device breaks QoS before the stable one.
+    assert (
+        result.qos_collapse_fraction("CXL-B")
+        < result.qos_collapse_fraction("CXL-D")
+    )
+    # CXL-D holds the SLO across the sweep (Figure 3c's high onset).
+    assert result.qos_collapse_fraction("CXL-D") == 1.0

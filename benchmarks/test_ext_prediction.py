@@ -1,0 +1,16 @@
+"""Benchmark: the cross-device prediction extension.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the headline claim.
+"""
+
+import pytest
+
+from repro.experiments import ext_prediction
+
+
+def test_ext_prediction(regenerate):
+    """Regenerate the cross-device prediction extension."""
+    result = regenerate(ext_prediction)
+    for name, v in result.validations.items():
+        assert v.median_error <= v.naive_median_error

@@ -1,0 +1,16 @@
+"""Benchmark: the Spa tiering extension.
+
+Regenerates the experiment under the benchmark clock, prints the result,
+and asserts the headline claim.
+"""
+
+import pytest
+
+from repro.experiments import ext_tiering_policies
+
+
+def test_ext_tiering_policies(regenerate):
+    """Regenerate the Spa tiering extension."""
+    result = regenerate(ext_tiering_policies)
+    assert result.mean("spa-stalls") < result.mean("llc-miss")
+    assert result.mean("spa-stalls") < result.mean("uniform")

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 1 of the paper.
+
+Runs the fig01_spectrum experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig01_spectrum
+
+
+def test_fig01_spectrum(regenerate):
+    """Regenerate Figure 1."""
+    result = regenerate(fig01_spectrum)
+    points = {p.label: p for p in result}
+    assert points["CXL+Switch"].latency_ns > points["CXL"].latency_ns

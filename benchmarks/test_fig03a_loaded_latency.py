@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3a of the paper.
+
+Runs the fig03a_loaded_latency experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig03a_loaded_latency
+
+
+def test_fig03a_loaded_latency(regenerate):
+    """Regenerate Figure 3a."""
+    result = regenerate(fig03a_loaded_latency)
+    assert result.knee_utilization("CXL-B") < result.knee_utilization("EMR2S-Local")

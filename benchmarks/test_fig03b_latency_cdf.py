@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3b of the paper.
+
+Runs the fig03b_latency_cdf experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig03b_latency_cdf
+
+
+def test_fig03b_latency_cdf(regenerate):
+    """Regenerate Figure 3b."""
+    result = regenerate(fig03b_latency_cdf)
+    assert result.tail_gap("CXL-B") > result.tail_gap("EMR2S-Local")

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3c of the paper.
+
+Runs the fig03c_tail_vs_bw experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig03c_tail_vs_bw
+
+
+def test_fig03c_tail_vs_bw(regenerate):
+    """Regenerate Figure 3c."""
+    result = regenerate(fig03c_tail_vs_bw)
+    assert result.onset_utilization("CXL-A") < result.onset_utilization("EMR2S-Local")

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 of the paper.
+
+Runs the fig04_rw_noise experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig04_rw_noise
+
+
+def test_fig04_rw_noise(regenerate):
+    """Regenerate Figure 4."""
+    result = regenerate(fig04_rw_noise)
+    assert result.p99_growth("CXL-C") > result.p99_growth("CXL-D")

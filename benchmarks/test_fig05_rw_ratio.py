@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 5 of the paper.
+
+Runs the fig05_rw_ratio experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig05_rw_ratio
+
+
+def test_fig05_rw_ratio(regenerate):
+    """Regenerate Figure 5."""
+    result = regenerate(fig05_rw_ratio)
+    assert result.best_ratio("CXL-C") == "1:0"
+    assert result.best_ratio("CXL-D") in ("3:1", "4:1")

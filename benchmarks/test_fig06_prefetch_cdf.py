@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6 of the paper.
+
+Runs the fig06_prefetch_cdf experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig06_prefetch_cdf
+
+
+def test_fig06_prefetch_cdf(regenerate):
+    """Regenerate Figure 6."""
+    result = regenerate(fig06_prefetch_cdf)
+    assert result.median("CXL-B", 1) < 60.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 of the paper.
+
+Runs the fig07_workload_tails experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig07_workload_tails
+
+
+def test_fig07_workload_tails(regenerate):
+    """Regenerate Figure 7."""
+    result = regenerate(fig07_workload_tails)
+    p999 = {t: s["p99.9"] for t, s in result.redis_percentiles.items()}
+    assert p999["CXL-C"] > p999["Local"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8a/b of the paper.
+
+Runs the fig08ab_slowdown_cdf experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig08ab_slowdown_cdf
+
+
+def test_fig08ab_slowdown_cdf(regenerate):
+    """Regenerate Figure 8a/b."""
+    result = regenerate(fig08ab_slowdown_cdf)
+    assert result.fraction_below("NUMA", 50) >= result.fraction_below("CXL-B", 50)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8c/d of the paper.
+
+Runs the fig08cd_cxl_numa experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig08cd_cxl_numa
+
+
+def test_fig08cd_cxl_numa(regenerate):
+    """Regenerate Figure 8c/d."""
+    result = regenerate(fig08cd_cxl_numa)
+    assert result.omnetpp["CXL-A+NUMA"] > result.omnetpp["CXL-A"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8e of the paper.
+
+Runs the fig08e_spr_emr experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig08e_spr_emr
+
+
+def test_fig08e_spr_emr(regenerate):
+    """Regenerate Figure 8e."""
+    result = regenerate(fig08e_spr_emr)
+    assert result.median_gap("CXL-A") < 10.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8f of the paper.
+
+Runs the fig08f_interleave experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig08f_interleave
+
+
+def test_fig08f_interleave(regenerate):
+    """Regenerate Figure 8f."""
+    result = regenerate(fig08f_interleave)
+    assert result.improvement_from_interleave() > 0.0

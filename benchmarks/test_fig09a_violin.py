@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9a of the paper.
+
+Runs the fig09a_violin experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig09a_violin
+
+
+def test_fig09a_violin(regenerate):
+    """Regenerate Figure 9a."""
+    result = regenerate(fig09a_violin)
+    assert len(result.summaries) == 11

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9b of the paper.
+
+Runs the fig09b_ycsb experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig09b_ycsb
+
+
+def test_fig09b_ycsb(regenerate):
+    """Regenerate Figure 9b."""
+    result = regenerate(fig09b_ycsb)
+    for series in result.slowdowns.values():
+        assert series["CXL-B"] > series["NUMA"]

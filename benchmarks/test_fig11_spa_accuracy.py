@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 11 of the paper.
+
+Runs the fig11_spa_accuracy experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig11_spa_accuracy
+
+
+def test_fig11_spa_accuracy(regenerate):
+    """Regenerate Figure 11."""
+    result = regenerate(fig11_spa_accuracy)
+    for target in result.errors:
+        assert result.fraction_within(target, "stalls", 5.0) >= 0.95

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 12 of the paper.
+
+Runs the fig12_prefetch_analysis experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig12_prefetch_analysis
+
+
+def test_fig12_prefetch_analysis(regenerate):
+    """Regenerate Figure 12."""
+    result = regenerate(fig12_prefetch_analysis)
+    assert result.pearson_r > 0.95

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 13's mechanism chain, quantified.
+
+Runs the fig13_mechanism experiment driver under the benchmark clock,
+prints the stage table, and asserts the causal chain's monotonicity.
+"""
+
+import pytest
+
+from repro.experiments import fig13_mechanism
+
+
+def test_fig13_mechanism(regenerate):
+    """Regenerate the Figure 13 mechanism table."""
+    result = regenerate(fig13_mechanism)
+    assert result.monotone("late_fraction")
+    assert result.monotone("coverage", increasing=False)
+    assert result.monotone("l1pf_shift_events", tolerance=1e5)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 14 of the paper.
+
+Runs the fig14_breakdown experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig14_breakdown
+
+
+def test_fig14_breakdown(regenerate):
+    """Regenerate Figure 14."""
+    result = regenerate(fig14_breakdown)
+    assert "CXL-A" in result.by_target

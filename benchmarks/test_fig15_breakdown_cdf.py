@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 15 of the paper.
+
+Runs the fig15_breakdown_cdf experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig15_breakdown_cdf
+
+
+def test_fig15_breakdown_cdf(regenerate):
+    """Regenerate Figure 15."""
+    result = regenerate(fig15_breakdown_cdf)
+    assert result.dram_ge5 >= 0.40

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 16 of the paper.
+
+Runs the fig16_period experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import fig16_period
+
+
+def test_fig16_period(regenerate):
+    """Regenerate Figure 16."""
+    result = regenerate(fig16_period)
+    assert result.mean("602.gcc_s") > 10.0

@@ -1,0 +1,90 @@
+"""Library micro-benchmarks: the hot paths users call in a loop.
+
+Unlike the figure benchmarks (one deterministic regeneration each), these
+measure the library's own performance with pytest-benchmark's normal
+multi-round timing, guarding against regressions in the paths campaigns
+hammer: the pipeline fixed point, distribution sampling, MIO measurement,
+Spa analysis, and the cache simulator.
+"""
+
+import pytest
+
+from repro.core.spa import spa_analyze
+from repro.cpu.cachesim import CacheHierarchySim, StreamPrefetcherSim
+from repro.cpu.pipeline import run_workload
+from repro.hw.cxl import cxl_a
+from repro.hw.platform import EMR2S
+from repro.tools.mio import MioBenchmark
+from repro.workloads import workload_by_name
+from repro.workloads.traces import sequential_stream
+
+
+@pytest.fixture(scope="module")
+def device():
+    return cxl_a()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return workload_by_name("605.mcf_s")
+
+
+def test_perf_pipeline_run(benchmark, device, workload):
+    """One full pipeline solve (6 phases, fixed point each)."""
+    result = benchmark(run_workload, workload, EMR2S, device)
+    assert result.cycles > 0
+
+
+def test_perf_distribution_sampling(benchmark, device, rng=None):
+    """100k per-request latency samples from a device distribution."""
+    import numpy as np
+
+    generator = np.random.default_rng(3)
+    dist = device.distribution(8.0)
+
+    result = benchmark(dist.sample, 100_000, generator)
+    assert len(result) == 100_000
+
+def test_perf_mio_measure(benchmark, device):
+    """One MIO measurement (50k samples)."""
+    mio = MioBenchmark(device, samples=50_000)
+    result = benchmark(mio.measure, 4)
+    assert result.latencies_ns.size == 50_000
+
+
+def test_perf_spa_analysis(benchmark, device, workload):
+    """Spa differential analysis of a profiled pair."""
+    base = run_workload(workload, EMR2S, EMR2S.local_target())
+    cxl = run_workload(workload, EMR2S, device)
+    result = benchmark(spa_analyze, base, cxl)
+    assert result.estimates.actual > 0
+
+
+def test_perf_cachesim(benchmark):
+    """Trace-driven cache simulation (50k accesses, prefetcher on)."""
+    trace = sequential_stream(50_000, 32 * 1024 * 1024)
+
+    def simulate():
+        sim = CacheHierarchySim(prefetcher=StreamPrefetcherSim())
+        return sim.run(trace)
+
+    stats = benchmark(simulate)
+    assert stats.accesses == 50_000
+
+
+def test_perf_campaign_slice(benchmark):
+    """A 10-workload x 1-device campaign slice (Melody's inner loop)."""
+    from repro.core.melody import Campaign, Melody
+    from repro.workloads import all_workloads
+
+    workloads = all_workloads()[::27]
+
+    def run_campaign():
+        campaign = Campaign(
+            name="micro", platform=EMR2S, targets=(cxl_a(),),
+            workloads=workloads,
+        )
+        return Melody().run(campaign)
+
+    result = benchmark(run_campaign)
+    assert result.records

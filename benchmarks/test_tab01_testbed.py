@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 1 of the paper.
+
+Runs the tab01_testbed experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import tab01_testbed
+
+
+def test_tab01_testbed(regenerate):
+    """Regenerate Table 1."""
+    result = regenerate(tab01_testbed)
+    rows = result
+    # Calibration: measured values near the paper's Table 1.
+    assert rows["CXL-A"].local_latency_ns == pytest.approx(214.0, rel=0.05)
+    assert rows["CXL-D"].local_bandwidth_gbps == pytest.approx(52.0, rel=0.1)

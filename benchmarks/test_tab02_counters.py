@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 of the paper.
+
+Runs the tab02_counters experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import tab02_counters
+
+
+def test_tab02_counters(regenerate):
+    """Regenerate Table 2."""
+    result = regenerate(tab02_counters)
+    assert result.containment_holds

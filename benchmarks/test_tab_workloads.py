@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the workload-population table.
+
+Runs the tab_workloads experiment driver under the benchmark clock,
+prints the per-suite statistics, and asserts the population structure.
+"""
+
+import pytest
+
+from repro.experiments import tab_workloads
+
+
+def test_tab_workloads(regenerate):
+    """Regenerate the population summary."""
+    result = regenerate(tab_workloads)
+    assert result.total == 265
+    assert 0.10 <= result.bandwidth_fraction <= 0.30

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Use case 5.7 of the paper.
+
+Runs the usecase_tuning experiment driver end to end (fast mode) under the
+benchmark clock, prints the regenerated table/series, and asserts the
+figure's headline qualitative claim.
+"""
+
+import pytest
+
+from repro.experiments import usecase_tuning
+
+
+def test_usecase_tuning(regenerate):
+    """Regenerate Use case 5.7."""
+    result = regenerate(usecase_tuning)
+    assert result.slowdown_after_pct < result.slowdown_before_pct

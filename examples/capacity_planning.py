@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Capacity planning: pick a CXL topology for a workload mix.
+
+The deployment question the paper's Recommendation #2 raises: given a set
+of workloads, which memory expansion option keeps everyone under a
+slowdown budget?  Candidates span the Figure 1 spectrum -- NUMA, each CXL
+device, a two-device interleave, and CXL behind a switch.
+
+Run:  python examples/capacity_planning.py [budget_pct]
+"""
+
+import sys
+
+from repro.analysis.report import Table
+from repro.core.melody import Campaign, Melody
+from repro.hw.cxl import cxl_a, cxl_b, cxl_d
+from repro.hw.platform import EMR2S
+from repro.hw.topology import CxlSwitchTopology, InterleavedTarget
+from repro.workloads import workload_by_name
+
+FLEET = (
+    "redis-ycsb-c",            # latency-critical cache
+    "voltdb-ycsb-a",           # update-heavy OLTP
+    "spark-sql-join",          # analytics
+    "gpt2-large",              # ML inference
+    "bfs-twitter",             # graph analytics
+    "603.bwaves_s",            # bandwidth-hungry HPC
+    "compress-zstd",           # background batch
+)
+"""A representative mixed fleet."""
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+    workloads = tuple(workload_by_name(name) for name in FLEET)
+    candidates = {
+        "NUMA": EMR2S.numa_target(),
+        "CXL-A": cxl_a(),
+        "CXL-B": cxl_b(),
+        "CXL-D": cxl_d(),
+        "CXL-D x2": InterleavedTarget([cxl_d(), cxl_d()], name="CXL-Dx2"),
+        "CXL-D+Switch": CxlSwitchTopology(cxl_d()),
+    }
+
+    melody = Melody()
+    result = melody.run(
+        Campaign(name="planning", platform=EMR2S,
+                 targets=tuple(candidates.values()), workloads=workloads)
+    )
+
+    table = Table(["option", "capacity GB", "worst S%", "mean S%",
+                   f"within {budget:.0f}%?"])
+    verdicts = {}
+    for label, target in candidates.items():
+        slowdowns = result.slowdowns(target.name)
+        worst = float(slowdowns.max())
+        mean = float(slowdowns.mean())
+        ok = worst <= budget
+        verdicts[label] = (ok, worst)
+        table.add_row(label, target.capacity_gb, worst, mean,
+                      "yes" if ok else "NO")
+    print(f"fleet of {len(FLEET)} workloads, slowdown budget {budget:.0f}%\n")
+    print(table.render())
+
+    print("\nper-workload detail (worst offenders):")
+    detail = Table(["workload"] + list(candidates))
+    for w in workloads:
+        row = [w.name]
+        for target in candidates.values():
+            row.append(result.record(w.name, target.name).slowdown_pct)
+        detail.add_row(*row)
+    print(detail.render())
+
+    fitting = [label for label, (ok, _) in verdicts.items() if ok]
+    if fitting:
+        best = min(fitting, key=lambda label: verdicts[label][1])
+        print(f"\nrecommendation: {best} "
+              f"(worst-case slowdown {verdicts[best][1]:.1f}%)")
+    else:
+        print("\nno candidate meets the budget; "
+              "tier the bandwidth-bound workloads locally first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a CXL device and analyze a workload on it.
+
+Walks the three core Melody flows in ~40 lines of API usage:
+
+1. device-level measurement (latency, bandwidth, tails),
+2. workload slowdown measurement against a local-DRAM baseline,
+3. Spa root-cause analysis from the nine CPU counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.spa import spa_analyze
+from repro.cpu.pipeline import run_workload
+from repro.hw.cxl import cxl_a
+from repro.hw.platform import EMR2S
+from repro.tools.mio import MioBenchmark
+from repro.tools.mlc import MemoryLatencyChecker
+from repro.workloads import workload_by_name
+
+
+def main() -> None:
+    platform = EMR2S
+    device = cxl_a()
+    local = platform.local_target()
+
+    # -- 1. device characterization ---------------------------------------
+    mlc = MemoryLatencyChecker()
+    print(f"== {device.name} on {platform.name} ==")
+    print(f"idle latency : {device.idle_latency_ns():.0f} ns "
+          f"(local DRAM: {local.idle_latency_ns():.0f} ns)")
+    print(f"read bandwidth: {mlc.peak_bandwidth(device):.1f} GB/s")
+
+    mio = MioBenchmark(device, samples=50_000)
+    result = mio.measure(n_threads=1)
+    print(f"p50 / p99.9  : {result.percentile(50):.0f} / "
+          f"{result.percentile(99.9):.0f} ns "
+          f"(tail gap {result.tail_gap_ns():.0f} ns)")
+
+    # -- 2. workload slowdown ----------------------------------------------
+    workload = workload_by_name("605.mcf_s")
+    baseline = run_workload(workload, platform, local)
+    on_cxl = run_workload(workload, platform, device)
+    slowdown = on_cxl.slowdown_vs(baseline)
+    print(f"\n== {workload.name} ==")
+    print(f"local runtime : {baseline.time_s * 1e3:.1f} ms")
+    print(f"CXL runtime   : {on_cxl.time_s * 1e3:.1f} ms "
+          f"(slowdown {slowdown:.1f}%)")
+
+    # -- 3. Spa root-cause analysis ------------------------------------------
+    breakdown = spa_analyze(baseline, on_cxl)
+    print("\n== Spa breakdown (from the 9 counters) ==")
+    print(f"estimated slowdown: {breakdown.estimates.from_memory:.1f}% "
+          f"(actual {breakdown.estimates.actual:.1f}%)")
+    for source, value in sorted(
+        breakdown.components.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {source:6s} {value:6.1f}%")
+    print(f"  other  {breakdown.other:6.1f}%")
+    print(f"dominant source: {breakdown.dominant()}")
+
+
+if __name__ == "__main__":
+    main()

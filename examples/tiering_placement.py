@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Spa-guided tiering: the §5.7 memory-placement use case, end to end.
+
+Reproduces the paper's 605.mcf optimization loop:
+
+1. run the workload on local DRAM and on CXL; measure the slowdown;
+2. convert time-sampled counters into instruction periods and find the
+   bursty periods (>10% slowdown);
+3. attribute the hot periods' misses to program objects (the paper used
+   Intel Pin + addr2line; here the object map carries that attribution);
+4. relocate the implicated objects to local DRAM and re-measure.
+
+Run:  python examples/tiering_placement.py
+"""
+
+from repro.core.period import hot_periods, period_analysis
+from repro.core.tuning import HotObject, tune_placement
+from repro.cpu.pipeline import run_workload
+from repro.hw.cxl import cxl_a
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+
+OBJECT_MAP = (
+    HotObject("arc_array", 2.0, {
+        "hot-1": 0.70, "hot-2": 0.65, "hot-3": 0.60,
+        "cool-1": 0.45, "cool-2": 0.40, "cool-3": 0.40,
+    }),
+    HotObject("node_array", 2.0, {
+        "hot-1": 0.25, "hot-2": 0.28, "hot-3": 0.30,
+        "cool-1": 0.25, "cool-2": 0.30, "cool-3": 0.30,
+    }),
+    HotObject("scratch_buffers", 1.5, {}),
+)
+
+
+def sparkline(values, width_chars=" .:-=+*#%@"):
+    """Render a value series as a block sparkline."""
+    peak = max(max(values), 1e-9)
+    return "".join(
+        width_chars[min(len(width_chars) - 1,
+                        int(v / peak * (len(width_chars) - 1)))]
+        for v in values
+    )
+
+
+def main() -> None:
+    workload = workload_by_name("605.mcf_s")
+    platform = EMR2S
+    device = cxl_a()
+    local = platform.local_target()
+
+    # Step 1-2: measure and find the bursty periods.
+    base = run_workload(workload, platform, local)
+    on_cxl = run_workload(workload, platform, device)
+    print(f"{workload.name} on {device.name}: "
+          f"{on_cxl.slowdown_vs(base):.1f}% slowdown")
+
+    periods = period_analysis(
+        base, on_cxl, workload.instructions / 40, cxl_target=device
+    )
+    values = [p.actual_pct for p in periods]
+    print(f"per-period slowdown: |{sparkline(values)}|")
+    hot = hot_periods(periods, 10.0)
+    print(f"{len(hot)}/{len(periods)} periods exceed 10% slowdown")
+    if hot:
+        peak = max(hot, key=lambda p: p.actual_pct)
+        dominant = max(peak.components, key=lambda k: peak.components[k])
+        print(f"worst period: #{peak.index} at {peak.actual_pct:.1f}% "
+              f"(dominant source: {dominant})")
+
+    # Step 3-4: attribute, relocate, re-measure.
+    result = tune_placement(workload, platform, device, OBJECT_MAP)
+    print("\nSpa-guided relocation:")
+    for obj in result.relocated:
+        print(f"  moved {obj.name} ({obj.size_gb:.1f} GB) to local DRAM")
+    print(f"slowdown: {result.slowdown_before_pct:.1f}% -> "
+          f"{result.slowdown_after_pct:.1f}% "
+          f"({result.improvement_pct:.1f} points recovered, "
+          f"{result.moved_gb:.1f} GB moved)")
+    untouched = [o.name for o in OBJECT_MAP if o not in result.relocated]
+    print(f"left on CXL: {', '.join(untouched)}")
+
+
+if __name__ == "__main__":
+    main()

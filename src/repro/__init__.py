@@ -1,0 +1,20 @@
+"""Melody: systematic CXL memory characterization and performance analysis.
+
+A full reproduction of "Systematic CXL Memory Characterization and
+Performance Analysis at Scale" (ASPLOS 2025) with a simulated hardware
+substrate in place of the paper's physical testbed (see DESIGN.md for the
+substitution inventory).
+
+Top-level layout:
+
+* :mod:`repro.hw` -- DRAM, iMC, NUMA, CXL devices, and composed topologies
+* :mod:`repro.cpu` -- CPU backend stall model and PMU counter emulation
+* :mod:`repro.workloads` -- the 265-workload registry and suite generators
+* :mod:`repro.tools` -- MLC-style loaded-latency tool, MIO tail sampler,
+  traffic generators, time-based counter sampling
+* :mod:`repro.core` -- Melody campaign orchestration and the Spa analysis
+* :mod:`repro.analysis` -- statistics and report rendering
+* :mod:`repro.experiments` -- drivers regenerating each paper table/figure
+"""
+
+__version__ = "1.0.0"

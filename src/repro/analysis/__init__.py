@@ -1,0 +1,29 @@
+"""Statistics and reporting helpers shared by experiments and benchmarks."""
+
+from repro.analysis.stats import (
+    cdf_points,
+    pearson,
+    percentile_summary,
+    violin_summary,
+)
+from repro.analysis.slowdown import slowdown_pct, speedup_ratio
+from repro.analysis.report import Table, format_cdf_row
+from repro.analysis.regression import (
+    DatasetDiff,
+    diff_datasets,
+    render_diff,
+)
+
+__all__ = [
+    "cdf_points",
+    "pearson",
+    "percentile_summary",
+    "violin_summary",
+    "slowdown_pct",
+    "speedup_ratio",
+    "Table",
+    "format_cdf_row",
+    "DatasetDiff",
+    "diff_datasets",
+    "render_diff",
+]

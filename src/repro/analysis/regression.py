@@ -1,0 +1,130 @@
+"""Campaign-dataset regression diffing.
+
+The repository ships a campaign dataset (`data/emr_campaign.csv`); when the
+models evolve, the question is always *what moved*.  This module diffs two
+datasets record-by-record and classifies the movements, so CI (or a human)
+can tell a deliberate recalibration from an accidental regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import DatasetRecord
+from repro.errors import AnalysisError
+
+DEFAULT_TOLERANCE_PP = 1.0
+"""Slowdown movements below this many points are considered noise."""
+
+
+@dataclass(frozen=True)
+class RecordDiff:
+    """One (workload, target) record's movement between datasets."""
+
+    workload: str
+    target: str
+    before_pct: float
+    after_pct: float
+
+    @property
+    def delta_pp(self) -> float:
+        """Slowdown movement in percentage points (positive = slower now)."""
+        return self.after_pct - self.before_pct
+
+
+@dataclass(frozen=True)
+class DatasetDiff:
+    """The full comparison of two campaign datasets."""
+
+    changed: Tuple[RecordDiff, ...]
+    unchanged: int
+    only_before: Tuple[Tuple[str, str], ...]
+    only_after: Tuple[Tuple[str, str], ...]
+
+    @property
+    def max_movement_pp(self) -> float:
+        """Largest absolute slowdown movement."""
+        if not self.changed:
+            return 0.0
+        return max(abs(d.delta_pp) for d in self.changed)
+
+    @property
+    def mean_movement_pp(self) -> float:
+        """Mean signed movement over the changed records."""
+        if not self.changed:
+            return 0.0
+        return float(np.mean([d.delta_pp for d in self.changed]))
+
+    def worst(self, n: int = 10) -> List[RecordDiff]:
+        """The n largest movements, biggest first."""
+        return sorted(self.changed, key=lambda d: -abs(d.delta_pp))[:n]
+
+    def is_clean(self, budget_pp: float = 3.0) -> bool:
+        """No record moved beyond the budget and no records disappeared."""
+        return (
+            self.max_movement_pp <= budget_pp
+            and not self.only_before
+            and not self.only_after
+        )
+
+
+def diff_datasets(
+    before: Sequence[DatasetRecord],
+    after: Sequence[DatasetRecord],
+    tolerance_pp: float = DEFAULT_TOLERANCE_PP,
+) -> DatasetDiff:
+    """Diff two loaded campaign datasets by (workload, target) key."""
+    if tolerance_pp < 0:
+        raise AnalysisError("tolerance cannot be negative")
+    before_map: Dict[Tuple[str, str], DatasetRecord] = {
+        (r.workload, r.target): r for r in before
+    }
+    after_map: Dict[Tuple[str, str], DatasetRecord] = {
+        (r.workload, r.target): r for r in after
+    }
+    changed: List[RecordDiff] = []
+    unchanged = 0
+    for key, old in before_map.items():
+        new = after_map.get(key)
+        if new is None:
+            continue
+        delta = abs(new.slowdown_pct - old.slowdown_pct)
+        if delta > tolerance_pp:
+            changed.append(
+                RecordDiff(
+                    workload=key[0],
+                    target=key[1],
+                    before_pct=old.slowdown_pct,
+                    after_pct=new.slowdown_pct,
+                )
+            )
+        else:
+            unchanged += 1
+    only_before = tuple(sorted(set(before_map) - set(after_map)))
+    only_after = tuple(sorted(set(after_map) - set(before_map)))
+    return DatasetDiff(
+        changed=tuple(changed),
+        unchanged=unchanged,
+        only_before=only_before,
+        only_after=only_after,
+    )
+
+
+def render_diff(diff: DatasetDiff, n_worst: int = 10) -> str:
+    """Human-readable diff summary."""
+    lines = [
+        f"dataset diff: {len(diff.changed)} moved, {diff.unchanged} stable, "
+        f"{len(diff.only_before)} removed, {len(diff.only_after)} added",
+        f"  mean movement {diff.mean_movement_pp:+.2f} pp, "
+        f"max {diff.max_movement_pp:.2f} pp",
+    ]
+    for d in diff.worst(n_worst):
+        lines.append(
+            f"  {d.workload:32s} {d.target:12s} "
+            f"{d.before_pct:7.1f}% -> {d.after_pct:7.1f}% "
+            f"({d.delta_pp:+.1f})"
+        )
+    return "\n".join(lines)

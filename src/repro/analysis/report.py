@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark regenerates its table/figure as text: rows for tables,
+labelled series for figures.  A tiny fixed-width table renderer keeps the
+output readable in CI logs without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import AnalysisError
+
+
+class Table:
+    """A fixed-width text table."""
+
+    def __init__(self, headers: Sequence[str]):
+        if not headers:
+            raise AnalysisError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cells are stringified, floats at 1 decimal."""
+        if len(cells) != len(self.headers):
+            raise AnalysisError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(f"{cell:.1f}")
+            else:
+                formatted.append(str(cell))
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Render the table with padded columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def format_cdf_row(label: str, values, thresholds=(5, 10, 25, 50, 100)) -> str:
+    """One-line CDF summary: fraction of values under each threshold."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    parts = [
+        f"<{t}%: {float(np.mean(arr < t)) * 100:4.0f}%" for t in thresholds
+    ]
+    return f"{label:18s} " + "  ".join(parts)

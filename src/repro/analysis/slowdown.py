@@ -1,0 +1,21 @@
+"""The paper's slowdown metric.
+
+``S = (P_DRAM / P_CXL - 1) * 100%`` where P is workload performance
+(throughput or inverse runtime).  Positive S means CXL is slower.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+def slowdown_pct(baseline_performance: float, performance: float) -> float:
+    """Slowdown of ``performance`` relative to ``baseline_performance``."""
+    if performance <= 0 or baseline_performance <= 0:
+        raise AnalysisError("performance values must be positive")
+    return (baseline_performance / performance - 1.0) * 100.0
+
+
+def speedup_ratio(slowdown_percent: float) -> float:
+    """Convert a slowdown percentage into a runtime ratio (2.9x etc.)."""
+    return 1.0 + slowdown_percent / 100.0

@@ -1,0 +1,93 @@
+"""Statistical helpers: CDFs, percentiles, violin summaries, correlation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``: returns (sorted values, cumulative frac)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot build a CDF from no values")
+    xs = np.sort(arr)
+    ys = np.arange(1, arr.size + 1) / arr.size
+    return xs, ys
+
+
+def percentile_summary(values: Sequence[float], ps=(50, 90, 95, 99, 99.9)) -> dict:
+    """Named percentiles of a sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot summarize no values")
+    return {f"p{p:g}": float(np.percentile(arr, p)) for p in ps}
+
+
+@dataclass(frozen=True)
+class ViolinSummary:
+    """The quantities a violin plot encodes for one group (Figure 9a)."""
+
+    label: str
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    density_grid: np.ndarray  # where the kernel density was evaluated
+    density: np.ndarray  # the (normalised) density values
+
+
+def violin_summary(
+    label: str, values: Sequence[float], grid_points: int = 64
+) -> ViolinSummary:
+    """Summarize one group for a violin plot, with a light KDE.
+
+    The KDE uses a Gaussian kernel with Silverman's rule-of-thumb
+    bandwidth -- enough to plot the violin shape without scipy.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError(f"violin group {label!r} has no values")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    std = float(arr.std())
+    bandwidth = 1.06 * std * arr.size ** (-1 / 5) if std > 0 else 1.0
+    grid = np.linspace(float(arr.min()), float(arr.max()), grid_points)
+    diffs = (grid[:, None] - arr[None, :]) / bandwidth
+    density = np.exp(-0.5 * diffs**2).sum(axis=1) / (
+        arr.size * bandwidth * np.sqrt(2 * np.pi)
+    )
+    peak = density.max()
+    if peak > 0:
+        density = density / peak
+    return ViolinSummary(
+        label=label,
+        count=arr.size,
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        density_grid=grid,
+        density=density,
+    )
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Figure 12a's 0.99 claim)."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.size != ya.size:
+        raise AnalysisError(f"length mismatch: {xa.size} vs {ya.size}")
+    if xa.size < 2:
+        raise AnalysisError("correlation needs at least two points")
+    if xa.std() == 0 or ya.std() == 0:
+        raise AnalysisError("correlation undefined for constant series")
+    return float(np.corrcoef(xa, ya)[0, 1])

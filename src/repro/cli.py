@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the main Melody workflows without writing any Python:
+
+* ``characterize`` -- device-level measurement battery (MLC + MIO + CPMU)
+* ``campaign``     -- run a slowdown campaign and export the dataset
+* ``spa``          -- Spa breakdown of one workload on one target
+* ``figures``      -- regenerate paper tables/figures by id
+* ``workloads``    -- list the 265-workload population
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import MelodyError
+
+
+def _target_by_name(name: str, platform):
+    from repro.hw.cxl import CXL_DEVICES, device_by_name
+    from repro.hw.topology import remote_view
+
+    if name == "local":
+        return platform.local_target()
+    if name == "numa":
+        return platform.numa_target()
+    if name.endswith("+numa"):
+        return remote_view(device_by_name(name[: -len("+numa")].upper()))
+    if name.upper() in CXL_DEVICES:
+        return device_by_name(name.upper())
+    raise MelodyError(
+        f"unknown target {name!r}; choose local, numa, cxl-a..cxl-d, "
+        "or cxl-X+numa"
+    )
+
+
+def cmd_characterize(args) -> int:
+    """Run the device measurement battery."""
+    from repro.hw.cxl import device_by_name
+    from repro.hw.cxl.cpmu import Cpmu
+    from repro.tools.mio import MioBenchmark
+    from repro.tools.mlc import MemoryLatencyChecker
+
+    device = device_by_name(args.device.upper())
+    mlc = MemoryLatencyChecker()
+    print(f"== {device.name} ({device.profile.spec}, "
+          f"{'FPGA' if device.is_fpga else 'ASIC'}) ==")
+    print(f"idle latency  : {device.idle_latency_ns():.0f} ns")
+    print(f"read bandwidth: {mlc.peak_bandwidth(device):.1f} GB/s")
+    ratios = mlc.peak_bandwidth_by_ratio(device)
+    best = max(ratios, key=lambda k: ratios[k])
+    print(f"peak bandwidth: {ratios[best]:.1f} GB/s at {best}")
+    mio = MioBenchmark(device, samples=args.samples)
+    result = mio.measure()
+    print(f"p50/p99/p99.9 : {result.percentile(50):.0f} / "
+          f"{result.percentile(99):.0f} / {result.percentile(99.9):.0f} ns")
+    print(f"tail gap      : {result.tail_gap_ns():.0f} ns (p99.9 - p50)")
+    print()
+    print(Cpmu(device).latency_report(load_gbps=args.load))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run a slowdown campaign and optionally export it."""
+    from repro.core.dataset import export_csv, export_json
+    from repro.core.melody import Campaign, Melody
+    from repro.hw.platform import platform_by_name
+    from repro.workloads import all_workloads, workloads_by_suite
+
+    platform = platform_by_name(args.platform)
+    workloads = (
+        workloads_by_suite(args.suite) if args.suite else all_workloads()
+    )
+    if args.sample > 1:
+        workloads = workloads[:: args.sample]
+    targets = tuple(_target_by_name(t, platform) for t in args.targets)
+    campaign = Campaign(
+        name="cli", platform=platform, targets=targets,
+        workloads=tuple(workloads),
+    )
+    result = Melody().run(campaign)
+    from repro.analysis.report import format_cdf_row
+
+    print(f"{len(result.records)} records "
+          f"({len(result.skipped)} skipped for capacity)")
+    for target in result.target_names():
+        print("  " + format_cdf_row(target, result.slowdowns(target)))
+    if args.csv:
+        rows = export_csv(result, args.csv)
+        print(f"wrote {rows} rows to {args.csv}")
+    if args.json:
+        rows = export_json(result, args.json)
+        print(f"wrote {rows} records to {args.json}")
+    return 0
+
+
+def cmd_spa(args) -> int:
+    """Spa breakdown of one workload on one target."""
+    from repro.core.spa import spa_analyze
+    from repro.cpu.pipeline import run_workload
+    from repro.hw.platform import platform_by_name
+    from repro.workloads import workload_by_name
+
+    platform = platform_by_name(args.platform)
+    workload = workload_by_name(args.workload)
+    target = _target_by_name(args.target, platform)
+    base = run_workload(workload, platform, platform.local_target())
+    run = run_workload(workload, platform, target)
+    breakdown = spa_analyze(base, run)
+    print(f"{workload.name} on {target.name} (vs {platform.name} local):")
+    print(f"  actual slowdown   : {breakdown.estimates.actual:6.1f}%")
+    print(f"  Spa (Δs_Memory)   : {breakdown.estimates.from_memory:6.1f}%")
+    for source, value in sorted(
+        breakdown.components.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"    {source:6s} {value:6.1f}%")
+    print(f"    core   {breakdown.core:6.1f}%")
+    print(f"    other  {breakdown.other:6.1f}%")
+    print(f"  dominant source   : {breakdown.dominant()}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Regenerate paper tables/figures."""
+    from pathlib import Path
+
+    from repro.experiments import ALL_EXPERIMENTS
+
+    out_dir = Path(args.output) if args.output else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    wanted = set(args.ids)
+    ran = 0
+    for module in ALL_EXPERIMENTS:
+        name = module.__name__.split(".")[-1]
+        if wanted and not any(w in name for w in wanted):
+            continue
+        result = module.run(fast=not args.full)
+        text = module.render(result)
+        print(text)
+        print()
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+        ran += 1
+    if ran == 0:
+        names = [m.__name__.split(".")[-1] for m in ALL_EXPERIMENTS]
+        print(f"no experiment matches {sorted(wanted)}; "
+              f"available: {', '.join(names)}")
+        return 1
+    if out_dir:
+        print(f"wrote {ran} figure files to {out_dir}")
+    return 0
+
+
+def cmd_fit(args) -> int:
+    """Fit device models from measurement CSVs."""
+    import csv
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.hw.fitting import fit_device, fit_queue_model, fit_tail_model
+
+    samples = np.loadtxt(args.latency_samples, ndmin=1)
+    curve = []
+    with Path(args.loaded_curve).open() as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#"):
+                continue
+            curve.append((float(row[0]), float(row[1])))
+
+    tail_fit = fit_tail_model(samples)
+    queue, peak = fit_queue_model(curve)
+    print(f"fitted device from {len(samples)} latency samples and "
+          f"{len(curve)} curve points:")
+    print(f"  base latency : {tail_fit.base_ns:.1f} ns")
+    print(f"  jitter       : {tail_fit.tail.jitter_ns:.1f} ns "
+          f"(shape {tail_fit.tail.jitter_shape:.1f})")
+    print(f"  excursions   : p={tail_fit.tail.tail_prob_idle:.4f}, "
+          f"scale={tail_fit.tail.tail_scale_idle_ns:.0f} ns")
+    print(f"  queue onset  : {queue.onset_util * 100:.0f}% utilization")
+    print(f"  peak BW      : {peak:.1f} GB/s")
+
+    if args.workload:
+        from repro.cpu.pipeline import run_workload
+        from repro.hw.platform import platform_by_name
+        from repro.workloads import workload_by_name
+
+        platform = platform_by_name(args.platform)
+        target = fit_device("fitted-device", samples, curve)
+        workload = workload_by_name(args.workload)
+        base = run_workload(workload, platform, platform.local_target())
+        run = run_workload(workload, platform, target)
+        print(f"  {workload.name} slowdown on the fitted device: "
+              f"{run.slowdown_vs(base):.1f}%")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """List the workload population."""
+    from collections import Counter
+
+    from repro.workloads import all_workloads
+
+    population = all_workloads()
+    if args.suite:
+        population = [w for w in population if w.suite == args.suite]
+    if args.verbose:
+        for w in population:
+            print(f"{w.name:40s} {w.suite:14s} {w.latency_class:10s} "
+                  f"l3={w.l3_mpki:5.1f}mpki ws={w.working_set_gb:5.1f}GB")
+    else:
+        counts = Counter(w.suite for w in population)
+        for suite, count in sorted(counts.items()):
+            print(f"{suite:16s} {count}")
+        print(f"{'total':16s} {len(population)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Melody: CXL characterization and Spa analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="device measurement battery")
+    p.add_argument("device", help="CXL-A..CXL-D (case-insensitive)")
+    p.add_argument("--samples", type=int, default=50_000)
+    p.add_argument("--load", type=float, default=5.0,
+                   help="CPMU operating load in GB/s")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("campaign", help="run a slowdown campaign")
+    p.add_argument("--platform", default="EMR2S")
+    p.add_argument("--targets", nargs="+", default=["numa", "cxl-a"],
+                   help="local|numa|cxl-a..d|cxl-X+numa")
+    p.add_argument("--suite", default=None, help="restrict to one suite")
+    p.add_argument("--sample", type=int, default=1,
+                   help="run every Nth workload")
+    p.add_argument("--csv", default=None, help="export dataset CSV")
+    p.add_argument("--json", default=None, help="export dataset JSON")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("spa", help="Spa breakdown of one workload")
+    p.add_argument("workload")
+    p.add_argument("--target", default="cxl-a")
+    p.add_argument("--platform", default="EMR2S")
+    p.set_defaults(func=cmd_spa)
+
+    p = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="*",
+                   help="substring filters (e.g. fig08 tab01); empty = all")
+    p.add_argument("--full", action="store_true",
+                   help="full 265-workload population")
+    p.add_argument("--output", default=None,
+                   help="directory to write <experiment>.txt files into")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("fit", help="fit device models from measurements")
+    p.add_argument("latency_samples",
+                   help="file of per-request idle latencies (ns, one/line)")
+    p.add_argument("loaded_curve",
+                   help="CSV of bandwidth_gbps,latency_ns curve points")
+    p.add_argument("--workload", default=None,
+                   help="also predict this workload's slowdown on the fit")
+    p.add_argument("--platform", default="EMR2S")
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("workloads", help="list the population")
+    p.add_argument("--suite", default=None)
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except MelodyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

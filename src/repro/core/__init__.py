@@ -1,0 +1,102 @@
+"""The paper's primary contribution: Melody campaigns and Spa analysis.
+
+* :mod:`repro.core.melody` -- characterization campaign orchestration
+  (workloads x targets x platforms) and slowdown datasets.
+* :mod:`repro.core.spa` -- Spa: stall-based CXL performance analysis
+  (Equations 1-8, accuracy validation).
+* :mod:`repro.core.breakdown` -- component-wise slowdown breakdowns
+  (Figures 14 and 15).
+* :mod:`repro.core.period` -- period-based (instruction-interval) slowdown
+  analysis from time-sampled counters (§5.6, Figure 16).
+* :mod:`repro.core.prefetch` -- prefetcher-inefficiency analysis
+  (Figure 12, Finding #4).
+* :mod:`repro.core.tuning` -- Spa-guided memory placement (§5.7).
+* :mod:`repro.core.tiering` -- Spa-based tiering policies vs the LLC-miss
+  heuristic (§5.7's "smarter tiering" claim).
+* :mod:`repro.core.prediction` -- cross-device slowdown prediction from one
+  profile pair (§5.7's predictive-models claim).
+* :mod:`repro.core.dataset` -- campaign dataset export/import (the paper's
+  open-sourced datasets artifact).
+"""
+
+from repro.core.melody import (
+    Campaign,
+    CampaignResult,
+    Melody,
+    SlowdownRecord,
+)
+from repro.core.spa import (
+    SpaBreakdown,
+    SpaEstimates,
+    spa_analyze,
+    validate_accuracy,
+)
+from repro.core.breakdown import (
+    breakdown_cdfs,
+    breakdown_by_suite,
+    dominant_source,
+)
+from repro.core.period import PeriodBreakdown, period_analysis
+from repro.core.prefetch import PrefetchShift, prefetch_shift
+from repro.core.tuning import HotObject, TuningResult, tune_placement
+from repro.core.tiering import (
+    MissRatePolicy,
+    SpaStallPolicy,
+    TieredSystem,
+    TieringOutcome,
+    UniformPolicy,
+    compare_policies,
+    simulate_tiering,
+)
+from repro.core.prediction import (
+    LlcHeuristicPredictor,
+    SlowdownPrediction,
+    predict_slowdown,
+    validate_predictions,
+)
+from repro.core.dataset import export_csv, export_json, load_csv
+from repro.core.colocation import (
+    ColocationOutcome,
+    PhaseAwareOutcome,
+    colocated_slowdowns,
+    phase_aware_colocation,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "Melody",
+    "SlowdownRecord",
+    "SpaBreakdown",
+    "SpaEstimates",
+    "spa_analyze",
+    "validate_accuracy",
+    "breakdown_cdfs",
+    "breakdown_by_suite",
+    "dominant_source",
+    "PeriodBreakdown",
+    "period_analysis",
+    "PrefetchShift",
+    "prefetch_shift",
+    "HotObject",
+    "TuningResult",
+    "tune_placement",
+    "MissRatePolicy",
+    "SpaStallPolicy",
+    "TieredSystem",
+    "TieringOutcome",
+    "UniformPolicy",
+    "compare_policies",
+    "simulate_tiering",
+    "LlcHeuristicPredictor",
+    "SlowdownPrediction",
+    "predict_slowdown",
+    "validate_predictions",
+    "export_csv",
+    "export_json",
+    "load_csv",
+    "ColocationOutcome",
+    "PhaseAwareOutcome",
+    "colocated_slowdowns",
+    "phase_aware_colocation",
+]

@@ -1,0 +1,90 @@
+"""Component-wise slowdown breakdowns across workload populations.
+
+Aggregates :class:`~repro.core.spa.SpaBreakdown` results the way §5.5 of
+the paper presents them:
+
+* per-workload stacked breakdowns grouped by suite (Figure 14),
+* CDFs of each component's slowdown contribution across the population
+  (Figure 15),
+* dominant-source classification ("DRAM-bound", "store-bound", ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.spa import SOURCES, SpaBreakdown
+from repro.errors import AnalysisError
+
+ALL_SOURCES = SOURCES + ("core", "other")
+"""Every category in the Figure 14 stacks."""
+
+
+def breakdown_by_suite(
+    breakdowns: Sequence[SpaBreakdown],
+    suites: Dict[str, str],
+) -> Dict[str, List[SpaBreakdown]]:
+    """Group breakdowns by benchmark suite (Figure 14 panels).
+
+    ``suites`` maps workload name -> suite name.
+    """
+    grouped: Dict[str, List[SpaBreakdown]] = {}
+    for b in breakdowns:
+        try:
+            suite = suites[b.workload]
+        except KeyError:
+            raise AnalysisError(f"no suite known for workload {b.workload!r}")
+        grouped.setdefault(suite, []).append(b)
+    for entries in grouped.values():
+        entries.sort(key=lambda b: b.workload)
+    return grouped
+
+
+def breakdown_cdfs(breakdowns: Sequence[SpaBreakdown]) -> Dict[str, np.ndarray]:
+    """Per-component slowdown vectors across the population (Figure 15).
+
+    Returns, per source, the sorted per-workload contribution (percent);
+    plotting value-vs-rank gives the paper's CDF panels.
+    """
+    if not breakdowns:
+        raise AnalysisError("no breakdowns to aggregate")
+    out = {}
+    for source in SOURCES:
+        out[source] = np.sort(
+            np.array([b.components[source] for b in breakdowns])
+        )
+    return out
+
+
+def fraction_with_component_above(
+    breakdowns: Sequence[SpaBreakdown], source: str, threshold_pct: float
+) -> float:
+    """Fraction of workloads whose ``source`` slowdown exceeds a threshold.
+
+    The paper's headline numbers: >=15% of workloads see >=5% *cache*
+    slowdown; >=40% see >=5% demand-read (DRAM) slowdown.
+    """
+    if source == "cache":
+        values = [b.cache for b in breakdowns]
+    elif source in SOURCES:
+        values = [b.components[source] for b in breakdowns]
+    else:
+        raise AnalysisError(f"unknown source {source!r}")
+    return float(np.mean(np.array(values) >= threshold_pct))
+
+
+def dominant_source(breakdown: SpaBreakdown, min_share: float = 0.5) -> str:
+    """Classify a workload by its dominant slowdown source.
+
+    Returns the source contributing more than ``min_share`` of the
+    explained slowdown, or ``"mixed"`` when none does.
+    """
+    total = breakdown.explained
+    if total <= 0:
+        return "none"
+    shares = dict(breakdown.components)
+    shares["core"] = breakdown.core
+    best = max(shares, key=lambda k: shares[k])
+    return best if shares[best] / total > min_share else "mixed"

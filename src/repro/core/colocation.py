@@ -1,0 +1,216 @@
+"""Workload co-location on shared CXL memory, and phase-aware scheduling.
+
+Finding #5 ends with a recommendation: *"By identifying less-affected
+periods, resource utilizations could be optimized, benefiting other
+workloads under co-location."*  This module turns that sentence into a
+scheduler:
+
+* :func:`colocated_slowdowns` solves the joint operating point of several
+  workloads sharing one device (each sees the others as neighbour load);
+* :func:`phase_aware_colocation` compares two ways of running a batch job
+  next to a latency-critical (LC) tenant:
+
+  - **naive**: the batch streams throughout, so the LC tenant's *hot*
+    phases (the ones Spa's period analysis flags) absorb neighbour
+    pressure exactly when they can least afford it;
+  - **phase-aware**: the batch is gated to the LC tenant's cool phases
+    (plus whatever remains after the LC job finishes), trading a longer
+    batch makespan for the LC tenant's hot phases running undisturbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cpu.pipeline import PipelineConfig, run_workload
+from repro.errors import AnalysisError
+from repro.hw.platform import Platform
+from repro.hw.pooling import SharedDeviceView
+from repro.hw.target import MemoryTarget
+from repro.workloads.base import WorkloadSpec
+
+HOT_PHASE_PREFIX = "hot"
+"""Phase labels starting with this are treated as latency-critical bursts."""
+
+
+@dataclass(frozen=True)
+class ColocationOutcome:
+    """Joint operating point of co-located workloads."""
+
+    slowdowns_vs_alone: Dict[str, float]  # extra slowdown from sharing
+    slowdowns_vs_local: Dict[str, float]  # total slowdown vs local DRAM
+    loads_gbps: Dict[str, float]
+
+    def interference(self, workload: str) -> float:
+        """Slowdown added purely by the neighbours (percentage points)."""
+        return self.slowdowns_vs_alone[workload]
+
+
+def colocated_slowdowns(
+    workloads: Sequence[WorkloadSpec],
+    platform: Platform,
+    device_factory,
+    config: PipelineConfig = PipelineConfig(),
+    iterations: int = 4,
+) -> ColocationOutcome:
+    """Solve the joint fixed point of workloads sharing one device.
+
+    Each workload's neighbour load is the sum of the others' offered
+    bandwidth; loads and runs are iterated to convergence (damped; the
+    coupling is mild because loads shrink as interference grows).
+    """
+    if len(workloads) < 2:
+        raise AnalysisError("co-location needs at least two workloads")
+    local = platform.local_target()
+    base = {
+        w.name: run_workload(w, platform, local, config) for w in workloads
+    }
+    alone = {
+        w.name: run_workload(w, platform, device_factory(), config)
+        for w in workloads
+    }
+    loads = {w.name: alone[w.name].mean_load_gbps for w in workloads}
+
+    runs = dict(alone)
+    for _ in range(iterations):
+        new_loads = {}
+        for w in workloads:
+            neighbour = sum(
+                loads[other.name] for other in workloads if other is not w
+            )
+            device = device_factory()
+            peak = device.peak_bandwidth_gbps(0.7)
+            neighbour = min(neighbour, 0.9 * peak)
+            view = (
+                SharedDeviceView(device, neighbour_gbps=neighbour)
+                if neighbour > 0
+                else device
+            )
+            runs[w.name] = run_workload(w, platform, view, config)
+            new_loads[w.name] = runs[w.name].mean_load_gbps
+        loads = {
+            name: 0.5 * loads[name] + 0.5 * new_loads[name]
+            for name in loads
+        }
+
+    return ColocationOutcome(
+        slowdowns_vs_alone={
+            w.name: runs[w.name].slowdown_vs(base[w.name])
+            - alone[w.name].slowdown_vs(base[w.name])
+            for w in workloads
+        },
+        slowdowns_vs_local={
+            w.name: runs[w.name].slowdown_vs(base[w.name]) for w in workloads
+        },
+        loads_gbps=dict(loads),
+    )
+
+
+@dataclass(frozen=True)
+class PhaseAwareOutcome:
+    """Naive vs phase-aware co-location of (LC tenant, batch job)."""
+
+    lc_workload: str
+    batch_workload: str
+    lc_slowdown_naive_pct: float
+    lc_slowdown_phase_aware_pct: float
+    batch_makespan_naive_s: float
+    batch_makespan_phase_aware_s: float
+
+    @property
+    def lc_recovered_pct(self) -> float:
+        """LC slowdown removed by phase-aware gating (points)."""
+        return self.lc_slowdown_naive_pct - self.lc_slowdown_phase_aware_pct
+
+    @property
+    def batch_cost_ratio(self) -> float:
+        """Batch makespan stretch paid for the recovery."""
+        return (
+            self.batch_makespan_phase_aware_s / self.batch_makespan_naive_s
+        )
+
+
+def _lc_cycles_with_gating(
+    lc: WorkloadSpec,
+    platform: Platform,
+    device_factory,
+    batch_load_gbps: float,
+    gate_hot_phases: bool,
+    config: PipelineConfig,
+) -> Tuple[float, float, float]:
+    """LC cycles with the batch as neighbour (optionally gated).
+
+    Returns ``(total_cycles, cool_seconds, total_seconds)``.
+    """
+    total_cycles = 0.0
+    cool_cycles = 0.0
+    for phase in lc.effective_phases():
+        spec = lc.in_phase(phase)
+        hot = phase.label.startswith(HOT_PHASE_PREFIX)
+        neighbour = 0.0 if (gate_hot_phases and hot) else batch_load_gbps
+        device = device_factory()
+        # A saturating batch cannot actually push more than the device
+        # serves; clamp its neighbour pressure below the shared peak.
+        neighbour = min(neighbour, 0.85 * device.peak_bandwidth_gbps(0.7))
+        view = (
+            SharedDeviceView(device, neighbour_gbps=neighbour)
+            if neighbour > 0
+            else device
+        )
+        cycles = run_workload(spec, platform, view, config).cycles
+        total_cycles += cycles
+        if not hot:
+            cool_cycles += cycles
+    freq_hz = platform.freq_ghz * 1e9
+    return total_cycles, cool_cycles / freq_hz, total_cycles / freq_hz
+
+
+def phase_aware_colocation(
+    lc: WorkloadSpec,
+    batch: WorkloadSpec,
+    platform: Platform,
+    device_factory,
+    config: PipelineConfig = PipelineConfig(),
+) -> PhaseAwareOutcome:
+    """Compare naive and phase-aware co-location (Finding #5)."""
+    if not lc.phases:
+        raise AnalysisError(
+            "phase-aware co-location needs a phased latency-critical "
+            "workload"
+        )
+    local = platform.local_target()
+    lc_base = run_workload(lc, platform, local, config)
+    batch_alone = run_workload(batch, platform, device_factory(), config)
+    batch_load = batch_alone.mean_load_gbps
+    batch_work_s = batch_alone.time_s
+
+    naive_cycles, _, naive_total_s = _lc_cycles_with_gating(
+        lc, platform, device_factory, batch_load,
+        gate_hot_phases=False, config=config,
+    )
+    aware_cycles, cool_s, aware_total_s = _lc_cycles_with_gating(
+        lc, platform, device_factory, batch_load,
+        gate_hot_phases=True, config=config,
+    )
+
+    naive_slowdown = (naive_cycles - lc_base.cycles) / lc_base.cycles * 100.0
+    aware_slowdown = (aware_cycles - lc_base.cycles) / lc_base.cycles * 100.0
+
+    # Batch makespan: naive runs concurrently for its whole duration (it
+    # cannot finish before its own work time); phase-aware only progresses
+    # during the LC tenant's cool time, then runs alone.
+    makespan_naive = max(batch_work_s, 0.0)
+    if batch_work_s <= cool_s:
+        makespan_aware = aware_total_s  # finished inside the cool windows
+    else:
+        makespan_aware = aware_total_s + (batch_work_s - cool_s)
+
+    return PhaseAwareOutcome(
+        lc_workload=lc.name,
+        batch_workload=batch.name,
+        lc_slowdown_naive_pct=naive_slowdown,
+        lc_slowdown_phase_aware_pct=aware_slowdown,
+        batch_makespan_naive_s=makespan_naive,
+        batch_makespan_phase_aware_s=makespan_aware,
+    )

@@ -1,0 +1,148 @@
+"""Campaign dataset export/import — the "open-sourced datasets" artifact.
+
+The paper ships its measurement datasets alongside the tools.  This module
+serializes a :class:`~repro.core.melody.CampaignResult` to portable CSV
+(one row per workload x target, slowdown + the nine counters for both
+runs) and JSON (full structured form including the stall decomposition),
+and reloads the CSV into numpy-friendly records so downstream analysis can
+run without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+from repro.core.melody import CampaignResult
+from repro.core.spa import spa_analyze
+from repro.errors import AnalysisError
+
+CSV_COLUMNS = (
+    "workload", "suite", "latency_class", "platform", "target",
+    "slowdown_pct",
+    "base_cycles", "base_instructions",
+    "cxl_cycles", "cxl_instructions",
+    "base_bound_on_loads", "base_bound_on_stores", "base_stalls_l1d_miss",
+    "base_stalls_l2_miss", "base_stalls_l3_miss", "base_retired_stalls",
+    "base_one_ports_util", "base_two_ports_util", "base_stalls_scoreboard",
+    "cxl_bound_on_loads", "cxl_bound_on_stores", "cxl_stalls_l1d_miss",
+    "cxl_stalls_l2_miss", "cxl_stalls_l3_miss", "cxl_retired_stalls",
+    "cxl_one_ports_util", "cxl_two_ports_util", "cxl_stalls_scoreboard",
+)
+"""The flat per-record schema (raw counters from both runs)."""
+
+_COUNTER_FIELDS = (
+    "bound_on_loads", "bound_on_stores", "stalls_l1d_miss",
+    "stalls_l2_miss", "stalls_l3_miss", "retired_stalls",
+    "one_ports_util", "two_ports_util", "stalls_scoreboard",
+)
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """One reloaded dataset row."""
+
+    workload: str
+    suite: str
+    latency_class: str
+    platform: str
+    target: str
+    slowdown_pct: float
+    counters: dict  # {"base_...": float, "cxl_...": float}
+
+
+def export_csv(result: CampaignResult, path) -> int:
+    """Write the campaign dataset as CSV; returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for record in result.records:
+            base, run = record.baseline.counters, record.run.counters
+            row = [
+                record.workload, record.suite, record.latency_class,
+                record.platform, record.target,
+                f"{record.slowdown_pct:.4f}",
+                f"{base.cycles:.0f}", f"{base.instructions:.0f}",
+                f"{run.cycles:.0f}", f"{run.instructions:.0f}",
+            ]
+            row.extend(f"{getattr(base, f):.0f}" for f in _COUNTER_FIELDS)
+            row.extend(f"{getattr(run, f):.0f}" for f in _COUNTER_FIELDS)
+            writer.writerow(row)
+            rows += 1
+    return rows
+
+
+def export_json(result: CampaignResult, path) -> int:
+    """Write the full structured dataset (with Spa breakdowns) as JSON."""
+    path = Path(path)
+    entries = []
+    for record in result.records:
+        breakdown = spa_analyze(record.baseline, record.run)
+        entries.append(
+            {
+                "workload": record.workload,
+                "suite": record.suite,
+                "latency_class": record.latency_class,
+                "platform": record.platform,
+                "target": record.target,
+                "slowdown_pct": record.slowdown_pct,
+                "spa": {
+                    "actual": breakdown.estimates.actual,
+                    "from_memory": breakdown.estimates.from_memory,
+                    "components": breakdown.components,
+                    "core": breakdown.core,
+                    "other": breakdown.other,
+                },
+                "operating_point": {
+                    "load_gbps": record.run.mean_load_gbps,
+                    "latency_ns": record.run.mean_latency_ns,
+                },
+            }
+        )
+    payload = {
+        "campaign": result.campaign.name,
+        "platform": result.campaign.platform.name,
+        "records": entries,
+        "skipped": [list(pair) for pair in result.skipped],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return len(entries)
+
+
+def load_csv(path) -> List[DatasetRecord]:
+    """Reload a CSV dataset into records."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"dataset not found: {path}")
+    records = []
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != list(CSV_COLUMNS):
+            raise AnalysisError(
+                f"unexpected dataset schema in {path}: {reader.fieldnames}"
+            )
+        for row in reader:
+            counters = {
+                key: float(row[key])
+                for key in CSV_COLUMNS
+                if key.startswith(("base_", "cxl_"))
+            }
+            records.append(
+                DatasetRecord(
+                    workload=row["workload"],
+                    suite=row["suite"],
+                    latency_class=row["latency_class"],
+                    platform=row["platform"],
+                    target=row["target"],
+                    slowdown_pct=float(row["slowdown_pct"]),
+                    counters=counters,
+                )
+            )
+    if not records:
+        raise AnalysisError(f"dataset {path} is empty")
+    return records

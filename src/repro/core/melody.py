@@ -1,0 +1,218 @@
+"""Melody: large-scale CXL characterization campaign orchestration.
+
+A :class:`Campaign` declares what to measure -- workloads x memory targets
+on a platform, with a local-DRAM baseline -- and :class:`Melody` executes
+it, producing a :class:`CampaignResult` dataset of per-workload slowdowns
+plus the underlying runs (so Spa and the prefetch analysis can reuse them
+without re-running anything).
+
+Standard campaign builders regenerate the paper's setups:
+
+* :func:`Melody.device_campaign` -- the Figure 8a sweep: 265 workloads
+  across NUMA and CXL-A..D on EMR.
+* :func:`Melody.latency_spectrum_campaign` -- the Figure 9a violin sweep:
+  all 11 {CPU} x {NUMA/CXL} latency configurations from 140 to 410 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
+from repro.errors import AnalysisError, ConfigurationError
+from repro.hw.cxl.device import device_by_name
+from repro.hw.platform import (
+    EMR2S,
+    SKX2S,
+    SKX8S,
+    SPR2S,
+    Platform,
+)
+from repro.hw.target import MemoryTarget
+from repro.workloads import all_workloads
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SlowdownRecord:
+    """One (workload, target) slowdown measurement."""
+
+    workload: str
+    suite: str
+    latency_class: str
+    target: str
+    platform: str
+    slowdown_pct: float
+    baseline: RunResult
+    run: RunResult
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative measurement plan."""
+
+    name: str
+    platform: Platform
+    targets: Tuple[MemoryTarget, ...]
+    workloads: Tuple[WorkloadSpec, ...]
+    config: PipelineConfig = PipelineConfig()
+    baseline: Optional[MemoryTarget] = None  # defaults to platform local
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ConfigurationError(f"campaign {self.name}: no targets")
+        if not self.workloads:
+            raise ConfigurationError(f"campaign {self.name}: no workloads")
+
+
+@dataclass
+class CampaignResult:
+    """Dataset produced by one campaign."""
+
+    campaign: Campaign
+    records: List[SlowdownRecord] = field(default_factory=list)
+    skipped: List[Tuple[str, str]] = field(default_factory=list)  # (workload, target)
+
+    def slowdowns(self, target: str) -> np.ndarray:
+        """Slowdown vector (percent) for one target, in workload order."""
+        values = [r.slowdown_pct for r in self.records if r.target == target]
+        if not values:
+            targets = sorted({r.target for r in self.records})
+            raise AnalysisError(f"no records for {target!r}; have {targets}")
+        return np.array(values)
+
+    def record(self, workload: str, target: str) -> SlowdownRecord:
+        """Look up one record."""
+        for r in self.records:
+            if r.workload == workload and r.target == target:
+                return r
+        raise AnalysisError(f"no record for ({workload!r}, {target!r})")
+
+    def pairs(self, target: str) -> List[Tuple[RunResult, RunResult]]:
+        """(baseline, run) pairs for one target -- Spa's input."""
+        return [
+            (r.baseline, r.run) for r in self.records if r.target == target
+        ]
+
+    def target_names(self) -> List[str]:
+        """All targets present, in first-seen order."""
+        seen = []
+        for r in self.records:
+            if r.target not in seen:
+                seen.append(r.target)
+        return seen
+
+    def fraction_below(self, target: str, threshold_pct: float) -> float:
+        """Fraction of workloads with slowdown below ``threshold_pct``."""
+        s = self.slowdowns(target)
+        return float(np.mean(s < threshold_pct))
+
+
+class Melody:
+    """Campaign executor with per-(workload, platform) baseline caching."""
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()):
+        self.config = config
+        self._baseline_cache: Dict[Tuple[str, str, str], RunResult] = {}
+
+    # -- execution -----------------------------------------------------------
+
+    def _baseline(
+        self, workload: WorkloadSpec, platform: Platform, target: MemoryTarget
+    ) -> RunResult:
+        key = (workload.name, platform.name, target.name)
+        if key not in self._baseline_cache:
+            self._baseline_cache[key] = run_workload(
+                workload, platform, target, self.config
+            )
+        return self._baseline_cache[key]
+
+    def run(self, campaign: Campaign) -> CampaignResult:
+        """Execute a campaign, skipping workloads that do not fit a device."""
+        result = CampaignResult(campaign=campaign)
+        baseline_target = campaign.baseline or campaign.platform.local_target()
+        for workload in campaign.workloads:
+            base = self._baseline(workload, campaign.platform, baseline_target)
+            for target in campaign.targets:
+                if workload.working_set_gb > target.capacity_gb:
+                    result.skipped.append((workload.name, target.name))
+                    continue
+                run = run_workload(
+                    workload, campaign.platform, target, campaign.config
+                )
+                result.records.append(
+                    SlowdownRecord(
+                        workload=workload.name,
+                        suite=workload.suite,
+                        latency_class=workload.latency_class,
+                        target=target.name,
+                        platform=campaign.platform.name,
+                        slowdown_pct=run.slowdown_vs(base),
+                        baseline=base,
+                        run=run,
+                    )
+                )
+        return result
+
+    # -- standard campaigns ----------------------------------------------------
+
+    @staticmethod
+    def device_campaign(
+        workloads: Sequence[WorkloadSpec] = None,
+        platform: Platform = EMR2S,
+        devices: Sequence[str] = ("CXL-A", "CXL-B", "CXL-C", "CXL-D"),
+        include_numa: bool = True,
+    ) -> Campaign:
+        """The Figure 8a setup: all workloads across NUMA + 4 CXL devices."""
+        targets: List[MemoryTarget] = []
+        if include_numa:
+            targets.append(platform.numa_target())
+        targets.extend(device_by_name(name) for name in devices)
+        return Campaign(
+            name="device-characterization",
+            platform=platform,
+            targets=tuple(targets),
+            workloads=tuple(workloads if workloads is not None else all_workloads()),
+        )
+
+    @staticmethod
+    def latency_spectrum_setups() -> List[Tuple[str, Platform, MemoryTarget]]:
+        """The 11 {CPU} x {NUMA, CXL} setups of Figure 9a, by rising latency.
+
+        SKX contributes the NUMA-emulated 140/190/410 ns points; SPR and EMR
+        contribute their NUMA plus locally-attached CXL devices.
+        """
+        setups: List[Tuple[str, Platform, MemoryTarget]] = [
+            ("SKX-140ns", SKX2S, SKX2S.numa_target()),
+            ("SKX-190ns", SKX2S, SKX2S.emulated_latency_target(190.0)),
+            ("SPR-NUMA", SPR2S, SPR2S.numa_target()),
+            ("EMR-NUMA", EMR2S, EMR2S.numa_target()),
+            ("SPR-CXL-A", SPR2S, device_by_name("CXL-A")),
+            ("EMR-CXL-A", EMR2S, device_by_name("CXL-A")),
+            ("EMR-CXL-D", EMR2S, device_by_name("CXL-D")),
+            ("SPR-CXL-B", SPR2S, device_by_name("CXL-B")),
+            ("EMR-CXL-B", EMR2S, device_by_name("CXL-B")),
+            ("EMR-CXL-C", EMR2S, device_by_name("CXL-C")),
+            ("SKX-410ns", SKX8S, SKX8S.numa_target()),
+        ]
+        return setups
+
+    def run_latency_spectrum(
+        self, workloads: Sequence[WorkloadSpec] = None
+    ) -> Dict[str, CampaignResult]:
+        """Execute the full Figure 9a spectrum; one result per setup."""
+        workloads = tuple(workloads if workloads is not None else all_workloads())
+        results = {}
+        for label, platform, target in self.latency_spectrum_setups():
+            campaign = Campaign(
+                name=label,
+                platform=platform,
+                targets=(target,),
+                workloads=workloads,
+                config=self.config,
+            )
+            results[label] = self.run(campaign)
+        return results

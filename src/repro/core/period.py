@@ -1,0 +1,141 @@
+"""Period-based slowdown analysis (§5.6, Figure 16).
+
+Workload-level Spa misses temporal dynamics: a workload whose average
+slowdown is 20% may spend two thirds of its execution above 30% (602.gcc).
+The obstacle is that profilers sample counters on a *time* cadence while
+the same instructions take different amounts of time on local DRAM and on
+CXL -- the two time axes do not align.
+
+The paper's solution, implemented here: since the retired-instruction
+stream is identical on both backends, convert each run's time-window
+samples into fixed *instruction periods* (e.g. every 1B instructions) by
+accumulating windows and proportionally splitting the window that straddles
+a period boundary.  Periods then align one-to-one across backends and the
+differential Spa breakdown applies per period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cpu.counters import CounterSample
+from repro.cpu.pipeline import RunResult
+from repro.core.spa import SOURCES
+from repro.errors import AnalysisError
+from repro.hw.target import MemoryTarget
+from repro.tools.sampler import TimeSampler, TimeWindowSample
+
+
+@dataclass(frozen=True)
+class PeriodBreakdown:
+    """Differential Spa breakdown of one instruction period."""
+
+    index: int
+    instructions_start: float
+    instructions_end: float
+    actual_pct: float  # Delta cycles / local cycles, percent
+    components: Dict[str, float]  # per-source percent (store/l1/l2/l3/dram)
+    other_pct: float
+
+    @property
+    def explained_pct(self) -> float:
+        """Slowdown explained by the five memory sources."""
+        return sum(self.components.values())
+
+
+def windows_to_periods(
+    windows: Sequence[TimeWindowSample], period_instructions: float
+) -> List[CounterSample]:
+    """Convert a time-window counter stream into instruction periods.
+
+    Windows are accumulated until the period boundary; the straddling
+    window is split proportionally (assuming smooth counter progression
+    within the ~1 ms window, as the paper does).  A trailing partial
+    period is dropped -- it has no aligned counterpart in the other run.
+    """
+    if period_instructions <= 0:
+        raise AnalysisError("period_instructions must be positive")
+    periods: List[CounterSample] = []
+    acc: CounterSample = None
+    acc_instr = 0.0
+    for window in windows:
+        remaining = window.counters
+        while acc_instr + remaining.instructions >= period_instructions:
+            need = period_instructions - acc_instr
+            frac = need / remaining.instructions
+            piece = remaining.scaled(frac)
+            acc = piece if acc is None else acc.plus(piece)
+            periods.append(acc)
+            acc = None
+            acc_instr = 0.0
+            remaining = remaining.scaled(1.0 - frac)
+            if remaining.instructions <= 1e-9:
+                remaining = None
+                break
+        if remaining is not None and remaining.instructions > 0:
+            acc = remaining if acc is None else acc.plus(remaining)
+            acc_instr += remaining.instructions
+    return periods
+
+
+def period_analysis(
+    local: RunResult,
+    cxl: RunResult,
+    period_instructions: float,
+    window_ms: float = 1.0,
+    cxl_target: MemoryTarget = None,
+) -> List[PeriodBreakdown]:
+    """Differential per-period Spa breakdown of a (local, CXL) run pair."""
+    if local.workload.name != cxl.workload.name:
+        raise AnalysisError("period analysis requires the same workload")
+    sampler = TimeSampler(window_ms=window_ms)
+    local_periods = windows_to_periods(
+        sampler.sample(local), period_instructions
+    )
+    cxl_periods = windows_to_periods(
+        sampler.sample(cxl, target=cxl_target), period_instructions
+    )
+    n = min(len(local_periods), len(cxl_periods))
+    if n == 0:
+        raise AnalysisError(
+            "period longer than the whole run; choose a smaller "
+            "period_instructions"
+        )
+    out: List[PeriodBreakdown] = []
+    for i in range(n):
+        lp, cp = local_periods[i], cxl_periods[i]
+        c = lp.cycles
+        components = {
+            "store": (cp.s_store - lp.s_store) / c * 100.0,
+            "l1": (cp.s_l1 - lp.s_l1) / c * 100.0,
+            "l2": (cp.s_l2 - lp.s_l2) / c * 100.0,
+            "l3": (cp.s_l3 - lp.s_l3) / c * 100.0,
+            "dram": (cp.s_dram - lp.s_dram) / c * 100.0,
+        }
+        actual = (cp.cycles - c) / c * 100.0
+        out.append(
+            PeriodBreakdown(
+                index=i,
+                instructions_start=i * period_instructions,
+                instructions_end=(i + 1) * period_instructions,
+                actual_pct=actual,
+                components=components,
+                other_pct=actual - sum(components.values()),
+            )
+        )
+    return out
+
+
+def mean_slowdown(periods: Sequence[PeriodBreakdown]) -> float:
+    """Average slowdown across periods (equal instruction weights)."""
+    if not periods:
+        raise AnalysisError("no periods")
+    return sum(p.actual_pct for p in periods) / len(periods)
+
+
+def hot_periods(
+    periods: Sequence[PeriodBreakdown], threshold_pct: float
+) -> List[PeriodBreakdown]:
+    """Periods whose slowdown exceeds the threshold (tuning's first step)."""
+    return [p for p in periods if p.actual_pct > threshold_pct]

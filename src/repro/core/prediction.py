@@ -1,0 +1,223 @@
+"""Spa-based cross-device slowdown prediction.
+
+§5.7: *"Spa serves as a foundation for accurate predictive models...
+analyzing and predicting workload performance in complex memory
+configurations."*  The predictor answers the deployment question: having
+profiled a workload on local DRAM and ONE reference CXL device, what will
+its slowdown be on a DIFFERENT device — without running it there?
+
+Mechanism: Spa's differential stalls are decomposable, and each source
+scales with a known device property:
+
+* DRAM-demand stalls scale with the *latency delta* ratio
+  ``(lat_target − lat_local) / (lat_ref − lat_local)``;
+* store-buffer stalls scale with the full latency ratio (RFO round trips);
+* cache (delayed-prefetch) stalls scale with the latency *overshoot*
+  beyond the prefetch lead, i.e. super-linearly near the lead;
+* a bandwidth floor is added when the workload's measured traffic exceeds
+  the target's peak.
+
+The naive baseline the paper critiques — "slowdown ∝ LLC misses x latency"
+— is implemented alongside for comparison; it cannot see prefetch
+coverage, MLP, or store behaviour, which is where it loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.spa import spa_analyze
+from repro.cpu.pipeline import RunResult
+from repro.errors import AnalysisError
+from repro.hw.target import MemoryTarget
+
+PREFETCH_LEAD_PROXY_NS = 280.0
+"""Population-typical prefetch lead used to scale cache stalls when the
+true per-workload lead is unknown to the predictor (it only has counters)."""
+
+
+@dataclass(frozen=True)
+class SlowdownPrediction:
+    """Predicted slowdown on a target, with the per-source contributions."""
+
+    workload: str
+    target: str
+    predicted_pct: float
+    dram_pct: float
+    store_pct: float
+    cache_pct: float
+    bandwidth_floor_pct: float
+
+    @property
+    def breakdown(self) -> dict:
+        """Per-source predicted contributions."""
+        return {
+            "dram": self.dram_pct,
+            "store": self.store_pct,
+            "cache": self.cache_pct,
+            "bandwidth": self.bandwidth_floor_pct,
+        }
+
+
+def _latency_scale(local_ns: float, ref_ns: float, target_ns: float) -> float:
+    """Delta-latency ratio used for demand-stall scaling."""
+    ref_delta = ref_ns - local_ns
+    if ref_delta <= 0:
+        raise AnalysisError("reference device is not slower than local DRAM")
+    return max(0.0, (target_ns - local_ns) / ref_delta)
+
+
+def _overshoot_scale(local_ns: float, ref_ns: float, target_ns: float) -> float:
+    """Prefetch-overshoot ratio for cache-stall scaling."""
+    ref_over = max(0.0, ref_ns - PREFETCH_LEAD_PROXY_NS)
+    target_over = max(0.0, target_ns - PREFETCH_LEAD_PROXY_NS)
+    if ref_over <= 0:
+        # Reference device never turned prefetches late; fall back to the
+        # delta-latency scale (pessimistic).
+        return _latency_scale(local_ns, ref_ns, target_ns)
+    return target_over / ref_over
+
+
+def predict_slowdown(
+    local_run: RunResult,
+    reference_run: RunResult,
+    reference_target: MemoryTarget,
+    target: MemoryTarget,
+) -> SlowdownPrediction:
+    """Predict the workload's slowdown on ``target`` from one profile pair."""
+    breakdown = spa_analyze(local_run, reference_run)
+    local_ns = local_run.mean_latency_ns
+    ref_ns = reference_run.mean_latency_ns
+    target_ns = target.distribution(
+        reference_run.mean_load_gbps,
+        reference_run.workload.read_fraction(),
+    ).mean_ns
+
+    lat_scale = _latency_scale(local_ns, ref_ns, target_ns)
+    full_ratio = target_ns / ref_ns
+    over_scale = _overshoot_scale(local_ns, ref_ns, target_ns)
+
+    dram = max(0.0, breakdown.components["dram"]) * lat_scale
+    store = max(0.0, breakdown.components["store"]) * full_ratio
+    cache = max(0.0, breakdown.cache) * over_scale
+
+    # Bandwidth floor: the workload's local traffic must fit the target.
+    workload = local_run.workload
+    demand = local_run.mean_load_gbps
+    peak = target.peak_bandwidth_gbps(workload.read_fraction())
+    floor = 0.0
+    if demand > 0.97 * peak:
+        floor = (demand / (0.97 * peak) - 1.0) * 100.0
+
+    predicted = max(dram + store + cache, floor)
+    return SlowdownPrediction(
+        workload=workload.name,
+        target=target.name,
+        predicted_pct=predicted,
+        dram_pct=dram,
+        store_pct=store,
+        cache_pct=cache,
+        bandwidth_floor_pct=floor,
+    )
+
+
+class LlcHeuristicPredictor:
+    """The conventional heuristic the paper critiques (§5.2).
+
+    Predicts ``slowdown = k * LLC_MPKI * latency_delta`` with a single
+    population-fitted constant ``k``.  It never looks at which misses
+    actually stall the pipeline, so it systematically over-predicts for
+    prefetch-covered/high-MLP workloads and under-predicts for dependent
+    chains and store-buffer-bound workloads -- the "low accuracy, lack of
+    interpretability" failure mode.
+    """
+
+    def __init__(self):
+        self._k = None
+
+    def fit(self, pairs: Sequence[Tuple[RunResult, RunResult]]) -> "LlcHeuristicPredictor":
+        """Calibrate ``k`` on (local, reference-device) profile pairs."""
+        if not pairs:
+            raise AnalysisError("cannot fit the heuristic on no pairs")
+        ratios = []
+        for local_run, ref_run in pairs:
+            actual = (
+                (ref_run.cycles - local_run.cycles) / local_run.cycles * 100.0
+            )
+            exposure = self._exposure(local_run, ref_run.mean_latency_ns)
+            if exposure > 0:
+                ratios.append(actual / exposure)
+        if not ratios:
+            raise AnalysisError("no pair had LLC-miss exposure to fit on")
+        self._k = float(np.median(ratios))
+        return self
+
+    @staticmethod
+    def _exposure(local_run: RunResult, target_latency_ns: float) -> float:
+        workload = local_run.workload
+        delta = max(0.0, target_latency_ns - local_run.mean_latency_ns)
+        return workload.l3_mpki * delta
+
+    def predict(self, local_run: RunResult, target: MemoryTarget) -> float:
+        """Predict the slowdown on ``target`` from LLC MPKI alone."""
+        if self._k is None:
+            raise AnalysisError("heuristic predictor not fitted")
+        return self._k * self._exposure(local_run, target.idle_latency_ns())
+
+
+@dataclass(frozen=True)
+class PredictionValidation:
+    """Accuracy of a predictor over a population."""
+
+    errors_pct: np.ndarray  # |predicted - actual| per workload
+    naive_errors_pct: np.ndarray
+
+    @property
+    def median_error(self) -> float:
+        """Median absolute prediction error (points)."""
+        return float(np.median(self.errors_pct))
+
+    @property
+    def naive_median_error(self) -> float:
+        """Median absolute error of the naive LLC-scaling baseline."""
+        return float(np.median(self.naive_errors_pct))
+
+    def fraction_within(self, points: float) -> float:
+        """Fraction of predictions within ``points`` of the measurement."""
+        return float(np.mean(self.errors_pct <= points))
+
+
+def validate_predictions(
+    triples: Sequence[Tuple[RunResult, RunResult, RunResult]],
+    reference_target: MemoryTarget,
+    target: MemoryTarget,
+) -> PredictionValidation:
+    """Validate predictions against actual runs.
+
+    ``triples`` holds (local_run, reference_run, actual_target_run) per
+    workload; the actual run is used only for ground truth.
+    """
+    if not triples:
+        raise AnalysisError("no prediction triples supplied")
+    heuristic = LlcHeuristicPredictor().fit(
+        [(local_run, ref_run) for local_run, ref_run, _ in triples]
+    )
+    errors = []
+    naive_errors = []
+    for local_run, ref_run, actual_run in triples:
+        actual = (
+            (actual_run.cycles - local_run.cycles) / local_run.cycles * 100.0
+        )
+        predicted = predict_slowdown(
+            local_run, ref_run, reference_target, target
+        ).predicted_pct
+        naive = heuristic.predict(local_run, target)
+        errors.append(abs(predicted - actual))
+        naive_errors.append(abs(naive - actual))
+    return PredictionValidation(
+        errors_pct=np.array(errors),
+        naive_errors_pct=np.array(naive_errors),
+    )

@@ -1,0 +1,73 @@
+"""Prefetcher-inefficiency analysis under CXL (§5.4, Figures 12-13).
+
+Two observable signatures identify the Figure 13 mechanism from counters
+alone:
+
+* the *shift*: ``L1PF-L3-miss`` increases by almost exactly as much as
+  ``L2PF-L3-miss`` decreases (y = x, Pearson ~0.99), with no change in
+  ``L2PF-L3-hit`` -- late L2 prefetches push the L1 prefetcher to fetch
+  from memory directly (Figure 12a);
+* the *correlation*: workloads with larger L2-prefetcher coverage drops
+  show larger Spa cache (S_L2) slowdowns (Figure 12b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cpu.pipeline import RunResult
+from repro.core.spa import SpaBreakdown, spa_analyze
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class PrefetchShift:
+    """The Figure 12a observables for one (local, CXL) run pair."""
+
+    workload: str
+    l1pf_l3_miss_increase: float  # events
+    l2pf_l3_miss_decrease: float  # events
+    l2pf_l3_hit_change: float  # events (expected ~0)
+    coverage_drop_pct: float  # L2PF coverage lost, percentage points
+    l2_slowdown_pct: float  # Spa S_L2 for the pair
+
+    @property
+    def shift_ratio(self) -> float:
+        """L1PF increase / L2PF decrease; ~1.0 under the Figure 13 mechanism."""
+        if self.l2pf_l3_miss_decrease == 0:
+            return float("nan")
+        return self.l1pf_l3_miss_increase / self.l2pf_l3_miss_decrease
+
+
+def prefetch_shift(local: RunResult, cxl: RunResult) -> PrefetchShift:
+    """Compute the prefetcher shift observables for one run pair."""
+    if local.workload.name != cxl.workload.name:
+        raise AnalysisError("run pair must be the same workload")
+    breakdown: SpaBreakdown = spa_analyze(local, cxl)
+    lc, cc = local.counters, cxl.counters
+
+    # Coverage drop from the model's operating points (instruction-weighted).
+    def coverage(run: RunResult) -> float:
+        total = sum(p.instructions for p in run.phases)
+        return sum(
+            p.operating_point.prefetch.coverage * p.instructions
+            for p in run.phases
+        ) / total
+
+    drop = (coverage(local) - coverage(cxl)) * 100.0
+    return PrefetchShift(
+        workload=local.workload.name,
+        l1pf_l3_miss_increase=cc.l1pf_l3_miss - lc.l1pf_l3_miss,
+        l2pf_l3_miss_decrease=lc.l2pf_l3_miss - cc.l2pf_l3_miss,
+        l2pf_l3_hit_change=cc.l2pf_l3_hit - lc.l2pf_l3_hit,
+        coverage_drop_pct=drop,
+        l2_slowdown_pct=breakdown.components["l2"] + breakdown.components["l3"],
+    )
+
+
+def shift_scatter(
+    pairs: Sequence[Tuple[RunResult, RunResult]],
+) -> List[PrefetchShift]:
+    """Figure 12a's scatter: one shift point per workload pair."""
+    return [prefetch_shift(local, cxl) for local, cxl in pairs]

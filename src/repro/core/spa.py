@@ -1,0 +1,203 @@
+"""Spa: Stall-based CXL performance analysis (§5 of the paper).
+
+Spa's insight is that the *differential* CPU stalls between a CXL run and a
+local-DRAM run of the same workload accurately explain the slowdown, while
+absolute stall counts in either run do not.  Using only the nine counters
+of Table 2 it computes (Equations 1-5):
+
+    Delta_s          = Delta P6                        (total extra stalls)
+    Delta_s_Core     = Delta P7 + Delta P8 + Delta P9
+    Delta_s_Memory   = Delta P1 + Delta P2
+    Delta_s_Backend  = Delta_s_Core + Delta_s_Memory
+
+    S = Delta_c / c  ~=  Delta_s / c  ~=  Delta_s_Backend / c
+                     ~=  Delta_s_Memory / c
+
+and breaks the memory part down by source (Equations 6-8) via the
+Figure 10 containment differencing:
+
+    S ~= S_store + S_L1 + S_L2 + S_L3 + S_DRAM
+
+All estimates divide by the *baseline* cycle count ``c``, matching the
+paper's slowdown definition.  :func:`validate_accuracy` reproduces the
+Figure 11 validation: the absolute difference between estimated and
+actually-measured slowdowns across a workload population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.counters import CounterSample
+from repro.cpu.pipeline import RunResult
+from repro.errors import AnalysisError
+
+SOURCES = ("store", "l1", "l2", "l3", "dram")
+"""Component slowdown sources, innermost-buffer first."""
+
+
+@dataclass(frozen=True)
+class SpaEstimates:
+    """The three Equation-5 slowdown estimators, in percent."""
+
+    actual: float  # measured: (c' - c) / c
+    from_stalls: float  # Delta s / c            (Figure 11a)
+    from_backend: float  # Delta s_Backend / c   (Figure 11b)
+    from_memory: float  # Delta s_Memory / c     (Figure 11c)
+
+    @property
+    def stall_error(self) -> float:
+        """|actual - from_stalls| in percentage points."""
+        return abs(self.actual - self.from_stalls)
+
+    @property
+    def backend_error(self) -> float:
+        """|actual - from_backend| in percentage points."""
+        return abs(self.actual - self.from_backend)
+
+    @property
+    def memory_error(self) -> float:
+        """|actual - from_memory| in percentage points."""
+        return abs(self.actual - self.from_memory)
+
+
+@dataclass(frozen=True)
+class SpaBreakdown:
+    """Full Spa analysis of one (local, CXL) run pair."""
+
+    workload: str
+    target: str
+    estimates: SpaEstimates
+    components: Dict[str, float]  # percent slowdown per source
+    core: float  # Delta s_Core / c (percent)
+    other: float  # actual - explained (percent, the Figure 14 "Other")
+
+    @property
+    def cache(self) -> float:
+        """Combined cache slowdown S_L1 + S_L2 + S_L3."""
+        return self.components["l1"] + self.components["l2"] + self.components["l3"]
+
+    @property
+    def explained(self) -> float:
+        """Slowdown accounted for by Spa's sources."""
+        return sum(self.components.values()) + self.core
+
+    def dominant(self) -> str:
+        """The single largest slowdown source."""
+        return max(self.components, key=lambda k: self.components[k])
+
+
+CONTAINMENT_TOLERANCE = 0.02
+"""Relative slack allowed on the Figure 10 containment checks (measurement
+noise can jitter adjacent counters past each other by a fraction of a
+percent; anything beyond this indicates corrupted input)."""
+
+
+def check_counters(sample: CounterSample, label: str = "sample") -> None:
+    """Validate a counter reading's structural invariants.
+
+    Spa's differencing silently produces garbage if the containment
+    structure (P1 >= P3 >= P4 >= P5 >= 0) is violated -- e.g. by a
+    mis-programmed PMU, a truncated log, or counter multiplexing gone
+    wrong.  This guard raises instead.
+    """
+    chain = (
+        ("BOUND_ON_LOADS", sample.bound_on_loads),
+        ("STALLS_L1D_MISS", sample.stalls_l1d_miss),
+        ("STALLS_L2_MISS", sample.stalls_l2_miss),
+        ("STALLS_L3_MISS", sample.stalls_l3_miss),
+    )
+    for (hi_name, hi), (lo_name, lo) in zip(chain, chain[1:]):
+        if lo > hi * (1.0 + CONTAINMENT_TOLERANCE):
+            raise AnalysisError(
+                f"{label}: counter containment violated "
+                f"({lo_name}={lo:.0f} > {hi_name}={hi:.0f}); "
+                "the reading is corrupt or from an unsupported PMU"
+            )
+    for name, value in chain + (("BOUND_ON_STORES", sample.bound_on_stores),):
+        if value < 0:
+            raise AnalysisError(f"{label}: negative counter {name}={value}")
+    if sample.cycles <= 0:
+        raise AnalysisError(f"{label}: non-positive cycle count")
+
+
+def _check_pair(local: RunResult, cxl: RunResult) -> None:
+    if local.workload.name != cxl.workload.name:
+        raise AnalysisError(
+            f"run pair mismatch: {local.workload.name} vs {cxl.workload.name}"
+        )
+    if local.instructions != cxl.instructions:
+        raise AnalysisError(
+            "runs retired different instruction counts; Spa requires the "
+            "same program on both memory backends"
+        )
+    check_counters(local.counters, "baseline run")
+    check_counters(cxl.counters, "CXL run")
+
+
+def spa_analyze(local: RunResult, cxl: RunResult) -> SpaBreakdown:
+    """Analyze one (local-DRAM, CXL) run pair using only the PMU counters.
+
+    Everything here is computed from :class:`CounterSample` readings -- the
+    model's internal ground truth is never consulted, so the analysis is as
+    honest as it would be on real hardware.
+    """
+    _check_pair(local, cxl)
+    lc, cc = local.counters, cxl.counters
+    c = lc.cycles
+
+    actual = (cc.cycles - c) / c * 100.0
+    d_stalls = (cc.retired_stalls - lc.retired_stalls) / c * 100.0
+    d_core = (cc.s_core - lc.s_core) / c * 100.0
+    d_memory = (cc.s_memory - lc.s_memory) / c * 100.0
+    d_backend = d_memory + d_core
+
+    components = {
+        "store": (cc.s_store - lc.s_store) / c * 100.0,
+        "l1": (cc.s_l1 - lc.s_l1) / c * 100.0,
+        "l2": (cc.s_l2 - lc.s_l2) / c * 100.0,
+        "l3": (cc.s_l3 - lc.s_l3) / c * 100.0,
+        "dram": (cc.s_dram - lc.s_dram) / c * 100.0,
+    }
+    explained = sum(components.values()) + d_core
+    return SpaBreakdown(
+        workload=local.workload.name,
+        target=cxl.target_name,
+        estimates=SpaEstimates(
+            actual=actual,
+            from_stalls=d_stalls,
+            from_backend=d_backend,
+            from_memory=d_memory,
+        ),
+        components=components,
+        core=d_core,
+        other=actual - explained,
+    )
+
+
+def validate_accuracy(
+    pairs: Sequence[Tuple[RunResult, RunResult]],
+) -> Dict[str, np.ndarray]:
+    """The Figure 11 validation over a population of run pairs.
+
+    Returns the absolute estimation errors (percentage points) of the
+    three estimators, one array entry per workload.
+    """
+    if not pairs:
+        raise AnalysisError("accuracy validation needs at least one run pair")
+    breakdowns = [spa_analyze(local, cxl) for local, cxl in pairs]
+    return {
+        "stalls": np.array([b.estimates.stall_error for b in breakdowns]),
+        "backend": np.array([b.estimates.backend_error for b in breakdowns]),
+        "memory": np.array([b.estimates.memory_error for b in breakdowns]),
+    }
+
+
+def accuracy_summary(errors: Dict[str, np.ndarray]) -> Dict[str, float]:
+    """Fraction of workloads within 5 points, per estimator (paper's claim)."""
+    return {
+        name: float(np.mean(arr <= 5.0)) for name, arr in errors.items()
+    }

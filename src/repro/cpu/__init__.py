@@ -1,0 +1,38 @@
+"""CPU backend model and PMU counter emulation.
+
+Models the pipeline components of Figure 2a of the paper -- caches, line
+fill buffer, store buffer, L1/L2 hardware prefetchers, and the out-of-order
+backend -- at the level of *stall accounting*: given a workload's memory
+behaviour and a memory target's latency distribution, the model produces
+total cycles plus the nine stall-related performance counters Spa consumes
+(Table 2), with the exact containment semantics of Figure 10.
+"""
+
+from repro.cpu.counters import (
+    COUNTER_DESCRIPTIONS,
+    COUNTER_NAMES,
+    CounterSample,
+    CounterSet,
+)
+from repro.cpu.cache import CacheHierarchy, effective_l3_mpki
+from repro.cpu.prefetcher import PrefetchModel, PrefetchOutcome
+from repro.cpu.store_buffer import StoreBufferModel
+from repro.cpu.backend import BackendModel, StallComponents
+from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
+
+__all__ = [
+    "COUNTER_DESCRIPTIONS",
+    "COUNTER_NAMES",
+    "CounterSample",
+    "CounterSet",
+    "CacheHierarchy",
+    "effective_l3_mpki",
+    "PrefetchModel",
+    "PrefetchOutcome",
+    "StoreBufferModel",
+    "BackendModel",
+    "StallComponents",
+    "PipelineConfig",
+    "RunResult",
+    "run_workload",
+]

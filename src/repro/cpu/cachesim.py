@@ -1,0 +1,258 @@
+"""A trace-driven set-associative cache hierarchy simulator.
+
+The analytical backend consumes per-workload miss rates and prefetch
+coverage as *inputs*; this simulator produces those numbers from first
+principles, by replaying an :class:`~repro.workloads.traces.AccessTrace`
+through a three-level LRU hierarchy with a stream prefetcher:
+
+* set-associative L1/L2/L3 with true LRU replacement (inclusive fills),
+* a stride-detecting stream prefetcher in the L2 (the dominant one in
+  §5.4's analysis) that trains on miss streams per 4 KiB region and runs
+  ``distance`` lines ahead once confident,
+* prefetch *timeliness* accounting: a prefetch issued ``d`` lines ahead of
+  the demand stream is timely only if the stream takes longer than the
+  memory latency to reach it -- the exact mechanism behind Figure 13.
+
+Used by :mod:`repro.workloads.calibration` to derive spec parameters, and
+by tests to validate the analytical model's structural assumptions
+(streams prefetch, pointer chases do not, random exceeds cache capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import DEFAULT_SEED, generator_for
+from repro.units import CACHELINE_BYTES
+from repro.workloads.traces import AccessTrace
+
+PAGE_BYTES = 4096
+LINES_PER_PAGE = PAGE_BYTES // CACHELINE_BYTES
+
+
+class SetAssociativeCache:
+    """One cache level: set-associative, true LRU."""
+
+    def __init__(self, capacity_bytes: float, ways: int, name: str = "L?"):
+        if capacity_bytes < ways * CACHELINE_BYTES:
+            raise ConfigurationError(
+                f"{name}: capacity below one set ({capacity_bytes} B)"
+            )
+        if ways < 1:
+            raise ConfigurationError(f"{name}: ways must be >= 1")
+        self.name = name
+        self.ways = ways
+        self.n_sets = max(1, int(capacity_bytes) // (ways * CACHELINE_BYTES))
+        # Per-set: tag -> last-use stamp.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+
+    def _locate(self, line: int):
+        return self._sets[line % self.n_sets], line // self.n_sets
+
+    def lookup(self, line: int, touch: bool = True) -> bool:
+        """Probe (and by default LRU-touch) a line; True on hit."""
+        entries, tag = self._locate(line)
+        self._clock += 1
+        if tag in entries:
+            if touch:
+                entries[tag] = self._clock
+            return True
+        return False
+
+    def insert(self, line: int) -> None:
+        """Fill a line, evicting LRU if the set is full."""
+        entries, tag = self._locate(line)
+        self._clock += 1
+        if tag not in entries and len(entries) >= self.ways:
+            victim = min(entries, key=entries.get)
+            del entries[victim]
+        entries[tag] = self._clock
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+
+class StreamPrefetcherSim:
+    """A region-based stream prefetcher training on L2-miss streams.
+
+    Tracks per-4KiB-region last line and direction; after ``train``
+    consecutive hits in the same direction it issues ``degree`` prefetches
+    ``distance`` lines ahead.
+    """
+
+    def __init__(self, distance: int = 20, degree: int = 4, train: int = 2,
+                 table_size: int = 64):
+        if distance < 1 or degree < 1 or train < 1 or table_size < 1:
+            raise ConfigurationError("prefetcher parameters must be >= 1")
+        self.distance = distance
+        self.degree = degree
+        self.train = train
+        self.table_size = table_size
+        self._streams: Dict[int, tuple] = {}  # region -> (last, dir, count)
+
+    def observe(self, line: int) -> List[int]:
+        """Train on an access; return lines to prefetch (possibly empty)."""
+        region = line // LINES_PER_PAGE
+        last, direction, count = self._streams.get(region, (None, 0, 0))
+        issue: List[int] = []
+        if last is not None and line != last:
+            step = 1 if line > last else -1
+            if direction == step:
+                count += 1
+            else:
+                direction, count = step, 1
+            if count >= self.train:
+                base = line + direction * self.distance
+                issue = [base + direction * i for i in range(self.degree)]
+        self._streams[region] = (line, direction, count)
+        if len(self._streams) > self.table_size:
+            # Drop the oldest entry (FIFO approximation of table pressure).
+            self._streams.pop(next(iter(self._streams)))
+        return [l for l in issue if l >= 0]
+
+
+@dataclass
+class CacheSimStats:
+    """Counters produced by one simulation run."""
+
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    l3_misses: int = 0  # demand misses reaching memory
+    dependent_memory_misses: int = 0
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0  # later hit by a demand access
+    prefetches_timely: int = 0  # useful AND arrived before the demand
+    writebacks: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def mpki(self, instructions_per_access: float) -> Dict[str, float]:
+        """Per-level demand misses per kilo-instruction."""
+        instructions = self.accesses * instructions_per_access
+        scale = 1000.0 / max(instructions, 1.0)
+        return {
+            "l1_mpki": self.l1_misses * scale,
+            "l2_mpki": self.l2_misses * scale,
+            "l3_mpki": self.l3_misses * scale,
+        }
+
+    @property
+    def prefetch_coverage(self) -> float:
+        """Fraction of would-be memory misses covered by useful prefetches."""
+        covered = self.prefetches_useful
+        total = self.l3_misses + covered
+        return covered / total if total > 0 else 0.0
+
+    @property
+    def prefetch_timeliness(self) -> float:
+        """Fraction of useful prefetches that arrived on time."""
+        if self.prefetches_useful == 0:
+            return 0.0
+        return self.prefetches_timely / self.prefetches_useful
+
+    @property
+    def dependent_miss_fraction(self) -> float:
+        """Fraction of memory misses on dependent (chained) accesses."""
+        if self.l3_misses == 0:
+            return 0.0
+        return self.dependent_memory_misses / self.l3_misses
+
+
+class CacheHierarchySim:
+    """Three-level hierarchy + L2 stream prefetcher, trace-driven."""
+
+    def __init__(
+        self,
+        l1_bytes: float = 48 * 1024,
+        l2_bytes: float = 2 * 1024 * 1024,
+        l3_bytes: float = 16 * 1024 * 1024,
+        l1_ways: int = 12,
+        l2_ways: int = 16,
+        l3_ways: int = 16,
+        prefetcher: StreamPrefetcherSim = None,
+        memory_latency_ns: float = 110.0,
+        ns_per_access: float = 2.0,
+        seed: int = DEFAULT_SEED,
+    ):
+        self.l1 = SetAssociativeCache(l1_bytes, l1_ways, "L1")
+        self.l2 = SetAssociativeCache(l2_bytes, l2_ways, "L2")
+        self.l3 = SetAssociativeCache(l3_bytes, l3_ways, "L3")
+        self.prefetcher = prefetcher
+        self.memory_latency_ns = memory_latency_ns
+        self.ns_per_access = ns_per_access
+        # Pending prefetches: line -> access-index when the data arrives.
+        self._pending: Dict[int, float] = {}
+        # Per-prefetch latency jitter (queueing/row-buffer variation) makes
+        # the timeliness transition graded instead of a cliff.
+        self._rng = generator_for(seed, "cachesim")
+
+    def _fill_all(self, line: int) -> None:
+        self.l1.insert(line)
+        self.l2.insert(line)
+        self.l3.insert(line)
+
+    def run(self, trace: AccessTrace) -> CacheSimStats:
+        """Replay a trace; returns the counter set."""
+        stats = CacheSimStats()
+        lines = trace.lines
+        dependent = trace.dependent
+        is_write = trace.is_write
+        latency_in_accesses = (
+            self.memory_latency_ns / self.ns_per_access
+        )
+        for i in range(len(lines)):
+            line = int(lines[i])
+            stats.accesses += 1
+            if self.l1.lookup(line):
+                continue
+            stats.l1_misses += 1
+            if self.l2.lookup(line):
+                self.l1.insert(line)
+                self._train_prefetcher(line, i, latency_in_accesses, stats)
+                continue
+            stats.l2_misses += 1
+            # A pending or completed prefetch turns this L2 miss into a
+            # prefetch hit (timely only if the data already arrived).
+            if line in self._pending:
+                arrival = self._pending.pop(line)
+                stats.prefetches_useful += 1
+                if arrival <= i:
+                    stats.prefetches_timely += 1
+                self._fill_all(line)
+                self._train_prefetcher(line, i, latency_in_accesses, stats)
+                continue
+            if self.l3.lookup(line):
+                self.l2.insert(line)
+                self.l1.insert(line)
+                self._train_prefetcher(line, i, latency_in_accesses, stats)
+                continue
+            stats.l3_misses += 1
+            if dependent[i]:
+                stats.dependent_memory_misses += 1
+            if is_write[i]:
+                stats.writebacks += 1
+            self._fill_all(line)
+            self._train_prefetcher(line, i, latency_in_accesses, stats)
+        return stats
+
+    def _train_prefetcher(
+        self, line: int, index: int, latency_in_accesses: float,
+        stats: CacheSimStats,
+    ) -> None:
+        if self.prefetcher is None:
+            return
+        for target in self.prefetcher.observe(line):
+            if self.l2.lookup(target, touch=False):
+                continue
+            if target in self._pending:
+                continue
+            stats.prefetches_issued += 1
+            jitter = float(self._rng.uniform(0.6, 1.6))
+            self._pending[target] = index + latency_in_accesses * jitter

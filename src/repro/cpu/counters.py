@@ -1,0 +1,228 @@
+"""The nine Spa performance counters (Table 2) and their emulation.
+
+Spa deliberately restricts itself to nine events available on every recent
+Intel server core (SKX through GNR).  Their key structural property, shown
+in Figure 10 of the paper, is *containment*:
+
+    BOUND_ON_LOADS (P1)  >=  STALLS_L1D_MISS (P3)
+                         >=  STALLS_L2_MISS (P4)
+                         >=  STALLS_L3_MISS (P5)
+
+so level-wise stalls are recovered by differencing:
+``s_L1 = P1 - P3``, ``s_L2 = P3 - P4``, ``s_L3 = P4 - P5``, ``s_DRAM = P5``,
+and ``s_store = P2``.  The emulation builds each counter from the backend
+model's true stall components, adds the baseline (non-CXL-induced) stall
+activity that real counters also contain, and applies multiplicative
+measurement noise -- so Spa's differential analysis is validated against
+counters that behave like the real PMU rather than against the model's own
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+COUNTER_NAMES = (
+    "BOUND_ON_LOADS",
+    "BOUND_ON_STORES",
+    "STALLS_L1D_MISS",
+    "STALLS_L2_MISS",
+    "STALLS_L3_MISS",
+    "RETIRED_STALLS",
+    "ONE_PORTS_UTIL",
+    "TWO_PORTS_UTIL",
+    "STALLS_SCOREBOARD",
+)
+"""The P1..P9 event names (Table 2), in order."""
+
+COUNTER_DESCRIPTIONS = {
+    "BOUND_ON_LOADS": "#cycles while mem subsystem has >=1 outstanding load",
+    "BOUND_ON_STORES": "#cycles where the Store Buffer was full",
+    "STALLS_L1D_MISS": "#cycles while an L1-miss demand load is outstanding",
+    "STALLS_L2_MISS": "#cycles while an L2-miss demand load is outstanding",
+    "STALLS_L3_MISS": "#cycles while an L3-miss demand load is outstanding",
+    "RETIRED_STALLS": "#cycles without actually retired uops",
+    "ONE_PORTS_UTIL": "#cycles when 1 uop was executed on all ports",
+    "TWO_PORTS_UTIL": "#cycles when 2 uops were executed on all ports",
+    "STALLS_SCOREBOARD": "#cycles stalled due to serializing operations",
+}
+"""Brief event descriptions, as in Table 2 of the paper."""
+
+MEASUREMENT_NOISE = 0.004
+"""Relative std-dev of per-counter multiplicative measurement noise."""
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One reading of the nine counters plus the prefetch-analysis events.
+
+    ``cycles`` and ``instructions`` accompany every reading (any profiler
+    records them alongside); the ``l1pf``/``l2pf`` events are the derived
+    prefetcher counters §5.4 uses for Figure 12.
+    """
+
+    cycles: float
+    instructions: float
+    bound_on_loads: float  # P1
+    bound_on_stores: float  # P2
+    stalls_l1d_miss: float  # P3
+    stalls_l2_miss: float  # P4
+    stalls_l3_miss: float  # P5
+    retired_stalls: float  # P6
+    one_ports_util: float  # P7
+    two_ports_util: float  # P8
+    stalls_scoreboard: float  # P9
+    l1pf_l3_miss: float = 0.0
+    l2pf_l3_miss: float = 0.0
+    l2pf_l3_hit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.instructions < 0:
+            raise MeasurementError("cycles/instructions cannot be negative")
+
+    # -- Figure 10 differencing -------------------------------------------
+
+    @property
+    def s_store(self) -> float:
+        """Stall cycles attributed to the store buffer (= P2)."""
+        return self.bound_on_stores
+
+    @property
+    def s_l1(self) -> float:
+        """Stall cycles attributed to L1 (= P1 - P3)."""
+        return self.bound_on_loads - self.stalls_l1d_miss
+
+    @property
+    def s_l2(self) -> float:
+        """Stall cycles attributed to L2 (= P3 - P4)."""
+        return self.stalls_l1d_miss - self.stalls_l2_miss
+
+    @property
+    def s_l3(self) -> float:
+        """Stall cycles attributed to the LLC (= P4 - P5)."""
+        return self.stalls_l2_miss - self.stalls_l3_miss
+
+    @property
+    def s_dram(self) -> float:
+        """Stall cycles attributed to (CXL) DRAM demand loads (= P5)."""
+        return self.stalls_l3_miss
+
+    @property
+    def s_memory(self) -> float:
+        """Memory-subsystem stalls (= P1 + P2, Equation 4)."""
+        return self.bound_on_loads + self.bound_on_stores
+
+    @property
+    def s_core(self) -> float:
+        """Core-execution stall proxy (= P7 + P8 + P9, Equation 3)."""
+        return self.one_ports_util + self.two_ports_util + self.stalls_scoreboard
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    def scaled(self, factor: float) -> "CounterSample":
+        """All counters scaled by ``factor`` (used by the period converter)."""
+        values = {
+            f.name: getattr(self, f.name) * factor for f in fields(self)
+        }
+        return CounterSample(**values)
+
+    def plus(self, other: "CounterSample") -> "CounterSample":
+        """Element-wise sum (accumulate adjacent sampling windows)."""
+        values = {
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        }
+        return CounterSample(**values)
+
+    def as_dict(self) -> dict:
+        """All fields as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class CounterSet:
+    """Builds noisy :class:`CounterSample` readings from true stall values.
+
+    The builder receives the backend model's ground-truth components and
+    synthesizes the raw events a PMU would report: each derived counter is
+    the sum of its true constituents plus baseline activity, perturbed by
+    multiplicative noise so no two runs produce bit-identical readings.
+    """
+
+    def __init__(self, rng: np.random.Generator, noise: float = MEASUREMENT_NOISE):
+        if noise < 0:
+            raise MeasurementError(f"noise must be >= 0: {noise}")
+        self._rng = rng
+        self._noise = noise
+
+    def _jitter(self, value: float) -> float:
+        if value <= 0:
+            return max(0.0, value)
+        if self._noise == 0:
+            return value
+        return value * float(self._rng.normal(1.0, self._noise))
+
+    def build(
+        self,
+        cycles: float,
+        instructions: float,
+        s_l1: float,
+        s_l2: float,
+        s_l3: float,
+        s_dram: float,
+        s_store: float,
+        s_core: float,
+        s_other: float,
+        frontend_stalls: float,
+        baseline_load_stalls: float,
+        serialization_stalls: float,
+        l1pf_l3_miss: float = 0.0,
+        l2pf_l3_miss: float = 0.0,
+        l2pf_l3_hit: float = 0.0,
+    ) -> CounterSample:
+        """Assemble one noisy reading from true stall components.
+
+        ``baseline_load_stalls`` is load-related stall activity present in
+        every configuration (short L2/L3 hit stalls); it inflates P1, P3-P5
+        uniformly and cancels in Spa's differential analysis, exactly as on
+        real hardware.
+        """
+        p5 = s_dram + 0.40 * baseline_load_stalls
+        p4 = p5 + s_l3 + 0.15 * baseline_load_stalls
+        p3 = p4 + s_l2 + 0.15 * baseline_load_stalls
+        p1 = p3 + s_l1 + 0.30 * baseline_load_stalls
+        p2 = s_store
+        p6 = (
+            frontend_stalls
+            + p1
+            + p2
+            + s_core
+            + s_other
+        )
+        # Port-utilization stalls: partial-issue cycles scale with core
+        # pressure; the scoreboard term carries serializing operations.
+        p9 = serialization_stalls + 0.3 * s_core
+        p7 = 0.45 * s_core + 0.05 * frontend_stalls
+        p8 = 0.25 * s_core + 0.04 * frontend_stalls
+        return CounterSample(
+            cycles=self._jitter(cycles),
+            instructions=instructions,
+            bound_on_loads=self._jitter(p1),
+            bound_on_stores=self._jitter(p2),
+            stalls_l1d_miss=self._jitter(p3),
+            stalls_l2_miss=self._jitter(p4),
+            stalls_l3_miss=self._jitter(p5),
+            retired_stalls=self._jitter(p6),
+            one_ports_util=self._jitter(p7),
+            two_ports_util=self._jitter(p8),
+            stalls_scoreboard=self._jitter(p9),
+            l1pf_l3_miss=self._jitter(l1pf_l3_miss),
+            l2pf_l3_miss=self._jitter(l2pf_l3_miss),
+            l2pf_l3_hit=self._jitter(l2pf_l3_hit),
+        )

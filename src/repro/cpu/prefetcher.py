@@ -1,0 +1,151 @@
+"""Hardware-prefetcher model with the Figure 13 timeliness mechanism.
+
+The paper's Finding #4 explains cache slowdowns under CXL as a prefetcher
+*timeliness* problem, summarized in Figure 13:
+
+1. CXL's longer access latency means an L2 prefetch issued the usual
+   distance ahead of the demand stream no longer arrives in time.
+2. The L2 prefetcher's effective coverage drops; demand loads and L1
+   prefetches that used to hit in L2 now miss there.
+3. The L1 prefetcher compensates by fetching from LLC/DRAM directly --
+   visible as an increase in ``L1PF-L3-miss`` that almost exactly matches
+   the decrease in ``L2PF-L3-miss`` (Figure 12a, y = x, Pearson 0.99).
+4. Late-but-arriving prefetches turn cache hits into *delayed hits*,
+   surfacing as stall cycles at the cache levels (S_L1 + S_L2 + S_L3).
+
+The model computes, for a given memory latency, the surviving coverage,
+the late fraction, the per-late-prefetch residual stall, and the L1PF/L2PF
+counter rates.  With prefetchers disabled the outcome degenerates to zero
+coverage -- all would-be-prefetched lines become demand misses, and cache
+stalls vanish (the paper's prefetchers-off validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.platform import Microarchitecture
+from repro.workloads.base import WorkloadSpec
+
+COVERAGE_LOSS_MAX = 0.38
+"""Max fractional L2PF coverage loss at full lateness (paper: 2-38%)."""
+
+LATE_STALL_EXPOSURE = 0.55
+"""Fraction of a late prefetch's residual latency exposed as a stall
+(out-of-order execution hides the rest)."""
+
+L2PF_SHARE = 0.85
+"""Share of covered lines brought in by the L2 prefetcher (rest by L1PF)."""
+
+
+@dataclass(frozen=True)
+class PrefetchOutcome:
+    """Prefetcher effectiveness at one operating point.
+
+    All rates are per kilo-instruction; ``residual_stall_ns`` is the mean
+    exposed stall caused by one late prefetch.
+    """
+
+    enabled: bool
+    coverage: float  # surviving fraction of L3 demand misses covered
+    ideal_coverage: float  # coverage at zero-lateness (local-DRAM regime)
+    late_fraction: float  # fraction of covered lines arriving late
+    residual_stall_ns: float
+    l1pf_l3_miss_pki: float
+    l2pf_l3_miss_pki: float
+    l2pf_l3_hit_pki: float
+
+    @property
+    def coverage_drop(self) -> float:
+        """Absolute coverage lost to lateness (Figure 12b's x-axis)."""
+        return self.ideal_coverage - self.coverage
+
+    @property
+    def uncovered_fraction(self) -> float:
+        """Fraction of L3 demand misses left for the demand path."""
+        return 1.0 - self.coverage
+
+
+DISABLED_OUTCOME_TEMPLATE = dict(
+    enabled=False,
+    coverage=0.0,
+    ideal_coverage=0.0,
+    late_fraction=0.0,
+    residual_stall_ns=0.0,
+    l1pf_l3_miss_pki=0.0,
+    l2pf_l3_miss_pki=0.0,
+    l2pf_l3_hit_pki=0.0,
+)
+
+
+@dataclass(frozen=True)
+class PrefetchModel:
+    """L1+L2 stream-prefetcher pair for one microarchitecture.
+
+    ``lateness_span`` controls how quickly extra latency (beyond the
+    workload's prefetch lead) saturates the lateness effect: a latency
+    overshoot equal to ``lateness_span`` x lead counts as fully late.
+    """
+
+    uarch: Microarchitecture
+    lateness_span: float = 2.5
+
+    def outcome(
+        self,
+        workload: WorkloadSpec,
+        l3_mpki: float,
+        memory_latency_ns: float,
+        enabled: bool = True,
+    ) -> PrefetchOutcome:
+        """Evaluate prefetcher effectiveness at ``memory_latency_ns``."""
+        if not enabled:
+            return PrefetchOutcome(**DISABLED_OUTCOME_TEMPLATE)
+
+        ideal = min(
+            0.98, workload.prefetch_friendliness * self.uarch.prefetch_aggressiveness
+        )
+        lead = workload.prefetch_lead_ns * self.uarch.prefetch_aggressiveness
+        overshoot = max(0.0, memory_latency_ns - lead)
+        lateness = float(np.clip(overshoot / (self.lateness_span * lead), 0.0, 1.0))
+
+        coverage = ideal * (1.0 - COVERAGE_LOSS_MAX * lateness)
+        late_fraction = 0.6 * lateness
+        residual = LATE_STALL_EXPOSURE * overshoot
+
+        # Counter rates: the L2PF covers its share of covered misses; the
+        # coverage lost to lateness reappears as L1PF fetches that bypass L2
+        # and miss the LLC -- hence Delta(L1PF-L3-miss) == -Delta(L2PF-L3-miss).
+        # The L1PF's own base share tracks the *ideal* coverage (its stream
+        # detection is unaffected by L2 lateness).
+        l2pf_miss = l3_mpki * coverage * L2PF_SHARE
+        l1pf_base = l3_mpki * ideal * (1.0 - L2PF_SHARE)
+        shifted = l3_mpki * (ideal - coverage) * L2PF_SHARE
+        l1pf_miss = l1pf_base + shifted
+        # L2 prefetches that land in the LLC (hit there) are unaffected by
+        # memory latency -- the paper observed no change in L2PF-L3-hit.
+        l2pf_hit = workload.l2_mpki * ideal * 0.25
+
+        return PrefetchOutcome(
+            enabled=True,
+            coverage=coverage,
+            ideal_coverage=ideal,
+            late_fraction=late_fraction,
+            residual_stall_ns=residual,
+            l1pf_l3_miss_pki=l1pf_miss,
+            l2pf_l3_miss_pki=l2pf_miss,
+            l2pf_l3_hit_pki=l2pf_hit,
+        )
+
+    def cache_stall_split(self) -> dict:
+        """How delayed-hit stalls distribute across cache levels.
+
+        On SKX most of the effect lands on L2 (stalls for L1-miss demand
+        loads); on SPR/EMR it lands on the LLC (stalls for L2-miss loads) --
+        §5.4.  A small share always reaches L1 (delayed L1 hits, step 3 of
+        Figure 13).
+        """
+        if self.uarch.cache_stall_focus == "L2":
+            return {"L1": 0.15, "L2": 0.65, "L3": 0.20}
+        return {"L1": 0.12, "L2": 0.18, "L3": 0.70}

@@ -1,0 +1,171 @@
+"""A trace-driven timing engine: the analytic backend's independent twin.
+
+`repro.cpu.backend` computes cycles analytically from aggregate workload
+parameters.  This module computes them *mechanistically* from an address
+trace: replay the trace through the cache simulator, then charge each
+memory-level event its timing cost --
+
+* cache hits cost their level's load-to-use latency (overlapped by the
+  OoO window, so only a fraction is exposed);
+* memory misses sample per-request latencies from the target's
+  distribution; dependent misses serialize, independent misses overlap up
+  to the effective MLP;
+* timely prefetch hits are free; late prefetch hits cost the remaining
+  fraction of the memory latency.
+
+Having two engines matters: they share no code path between workload
+description and cycles, so agreement between them (checked in
+``abl_engine_agreement``) validates the analytic model's structure, and
+disagreement bounds its error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.cachesim import CacheHierarchySim, StreamPrefetcherSim
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.hw.target import MemoryTarget
+from repro.rng import DEFAULT_SEED, generator_for
+from repro.workloads.traces import AccessTrace
+
+HIT_EXPOSURE = {"l1": 0.0, "l2": 0.3, "l3": 0.45}
+"""Exposed fraction of each cache level's hit latency (OoO hides the rest)."""
+
+LATE_PREFETCH_EXPOSURE = 0.5
+"""Exposed fraction of memory latency when a prefetch arrives late."""
+
+INDEPENDENT_MLP = 8.0
+"""Overlap factor for independent (non-chained) memory misses."""
+
+
+@dataclass(frozen=True)
+class TraceRunResult:
+    """Cycles and event counts from one trace-driven execution."""
+
+    trace: str
+    target: str
+    cycles: float
+    instructions: float
+    memory_miss_cycles: float
+    cache_hit_cycles: float
+    late_prefetch_cycles: float
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions
+
+    def slowdown_vs(self, baseline: "TraceRunResult") -> float:
+        """Percent slowdown relative to another run of the same trace."""
+        if baseline.trace != self.trace:
+            raise ConfigurationError("slowdown requires the same trace")
+        return (self.cycles / baseline.cycles - 1.0) * 100.0
+
+
+class TracePipeline:
+    """Trace-driven execution on one platform + memory target."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        target: MemoryTarget,
+        instructions_per_access: float = 3.5,
+        base_ipc: float = 2.0,
+        prefetcher: StreamPrefetcherSim = None,
+        seed: int = DEFAULT_SEED,
+    ):
+        if instructions_per_access <= 0 or base_ipc <= 0:
+            raise ConfigurationError(
+                "instructions_per_access and base_ipc must be positive"
+            )
+        self.platform = platform
+        self.target = target
+        self.instructions_per_access = instructions_per_access
+        self.base_ipc = base_ipc
+        self.prefetcher = prefetcher
+        self.seed = seed
+
+    def run(self, trace: AccessTrace) -> TraceRunResult:
+        """Execute the trace; returns cycles decomposed by source."""
+        platform = self.platform
+        freq = platform.freq_ghz
+        # 1. Cache behaviour from the simulator, with the target's latency
+        #    driving prefetch timeliness.
+        ns_per_access = self.instructions_per_access / self.base_ipc / freq
+        sim = CacheHierarchySim(
+            l1_bytes=platform.l1d_kb * 1024,
+            l2_bytes=platform.l2_mb * 1024 * 1024,
+            l3_bytes=platform.l3_mb * 1024 * 1024,
+            prefetcher=(
+                self.prefetcher
+                if self.prefetcher is not None
+                else StreamPrefetcherSim()
+            ),
+            memory_latency_ns=self.target.idle_latency_ns(),
+            ns_per_access=ns_per_access,
+            seed=self.seed,
+        )
+        stats = sim.run(trace)
+
+        instructions = stats.accesses * self.instructions_per_access
+        base_cycles = instructions / self.base_ipc
+
+        hierarchy_ns = {
+            "l2": 16.0 / freq,
+            "l3": 55.0 / freq,
+        }
+        l2_hits = stats.l1_misses - stats.l2_misses
+        l3_hits = stats.l2_misses - stats.l3_misses - stats.prefetches_useful
+        cache_hit_ns = (
+            l2_hits * hierarchy_ns["l2"] * HIT_EXPOSURE["l2"]
+            + max(0, l3_hits) * hierarchy_ns["l3"] * HIT_EXPOSURE["l3"]
+        )
+
+        rng = generator_for(
+            self.seed, "tracepipeline", trace.name, self.target.name
+        )
+        n_miss = stats.l3_misses
+        late = stats.prefetches_useful - stats.prefetches_timely
+        bytes_moved = (n_miss + stats.prefetches_useful) * 64.0
+
+        # 2-3. Charge the events at a self-consistent operating point:
+        # offered load depends on runtime, which depends on the charged
+        # latencies -- two damped passes converge for every pattern.
+        total_ns = base_cycles / freq + cache_hit_ns
+        miss_ns = 0.0
+        late_ns = 0.0
+        for _ in range(3):
+            load = bytes_moved / max(total_ns, 1.0)
+            load = min(load, 0.95 * self.target.peak_bandwidth_gbps())
+            dist = self.target.distribution(load)
+            miss_ns = 0.0
+            if n_miss > 0:
+                latencies = dist.sample(n_miss, rng)
+                n_dep = int(round(n_miss * stats.dependent_miss_fraction))
+                # Dependent misses serialize; independent ones overlap.
+                miss_ns = (
+                    latencies[:n_dep].sum()
+                    + latencies[n_dep:].sum() / INDEPENDENT_MLP
+                )
+            # Late prefetches expose part of the memory latency, but the
+            # stream they belong to overlaps many of them concurrently.
+            late_ns = (
+                late * dist.mean_ns * LATE_PREFETCH_EXPOSURE
+                / INDEPENDENT_MLP
+            )
+            total_ns = (
+                base_cycles / freq + cache_hit_ns + miss_ns + late_ns
+            )
+        return TraceRunResult(
+            trace=trace.name,
+            target=self.target.name,
+            cycles=total_ns * freq,
+            instructions=instructions,
+            memory_miss_cycles=miss_ns * freq,
+            cache_hit_cycles=cache_hit_ns * freq,
+            late_prefetch_cycles=late_ns * freq,
+        )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Melody framework.
+
+All library-raised errors derive from :class:`MelodyError` so that callers can
+catch framework failures without accidentally swallowing programming errors
+(``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class MelodyError(Exception):
+    """Base class for all errors raised by the Melody framework."""
+
+
+class ConfigurationError(MelodyError):
+    """A device, platform, or topology was configured inconsistently."""
+
+
+class CalibrationError(MelodyError):
+    """A calibrated model parameter is outside its physically valid range."""
+
+
+class WorkloadError(MelodyError):
+    """A workload specification is invalid or unknown to the registry."""
+
+
+class MeasurementError(MelodyError):
+    """A measurement tool was driven with invalid parameters."""
+
+
+class AnalysisError(MelodyError):
+    """An analysis routine received inconsistent or insufficient inputs."""
+
+
+class SaturationError(MelodyError):
+    """An offered load exceeds what a memory target can ever serve.
+
+    Raised by open-loop latency queries when the offered bandwidth is at or
+    beyond the target's peak bandwidth; closed-loop tools never raise this
+    because their throughput self-limits at saturation.
+    """
+
+    def __init__(self, offered_gbps: float, peak_gbps: float, target: str):
+        self.offered_gbps = offered_gbps
+        self.peak_gbps = peak_gbps
+        self.target = target
+        super().__init__(
+            f"offered load {offered_gbps:.2f} GB/s >= peak "
+            f"{peak_gbps:.2f} GB/s on {target}"
+        )

@@ -1,0 +1,141 @@
+"""Ablation: analytic backend vs trace-driven engine agreement.
+
+The analytical backend (`cpu/backend.py`) and the trace-driven engine
+(`cpu/tracepipeline.py`) share no code between workload description and
+cycle count: one solves closed forms over aggregate parameters, the other
+replays an address stream through a cache simulator and charges sampled
+latencies.  For each canonical pattern we (a) derive a spec from the trace
+and run it analytically, (b) run the same trace mechanistically, and
+compare the predicted *CXL slowdown* -- the quantity every figure is
+built from.
+
+Agreement on ordering and rough magnitude validates the analytic model's
+structure against an independent mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import Table
+from repro.cpu.pipeline import run_workload
+from repro.cpu.tracepipeline import TracePipeline
+from repro.hw.cxl import cxl_b
+from repro.hw.platform import EMR2S
+from repro.workloads.calibration import derive_parameters
+from repro.workloads.traces import (
+    pointer_chase,
+    random_uniform,
+    sequential_stream,
+    zipf_accesses,
+)
+
+WORKING_SET = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EnginePair:
+    """Both engines' slowdown for one pattern."""
+
+    pattern: str
+    analytic_pct: float
+    trace_driven_pct: float
+
+
+@dataclass(frozen=True)
+class EngineAgreementResult:
+    """Pairwise comparison across the canonical patterns."""
+
+    pairs: List[EnginePair]
+
+    def ordering_agrees(self) -> bool:
+        """Both engines rank the latency-dominated patterns identically.
+
+        The streaming pattern is excluded: it is bandwidth-dominated on
+        CXL-B, and the two engines treat the saturated regime differently
+        (closed-form floor vs per-request queueing at the knee), so its
+        *magnitude* is engine-specific even though both call it slow.
+        """
+        latency_bound = [p for p in self.pairs if p.pattern != "sequential"]
+        by_analytic = sorted(latency_bound, key=lambda p: p.analytic_pct)
+        by_trace = sorted(latency_bound, key=lambda p: p.trace_driven_pct)
+        return [p.pattern for p in by_analytic] == [
+            p.pattern for p in by_trace
+        ]
+
+    def max_latency_bound_gap(self) -> float:
+        """Largest |analytic - trace| over the latency-dominated patterns."""
+        return max(
+            abs(p.analytic_pct - p.trace_driven_pct)
+            for p in self.pairs
+            if p.pattern != "sequential"
+        )
+
+    def stream_bandwidth_bound_in_both(self) -> bool:
+        """Both engines see the stream substantially slowed on CXL-B."""
+        stream = self.pair("sequential")
+        return stream.analytic_pct > 20.0 and stream.trace_driven_pct > 20.0
+
+    def pair(self, pattern: str) -> EnginePair:
+        """Look up one pattern."""
+        for p in self.pairs:
+            if p.pattern == pattern:
+                return p
+        raise KeyError(pattern)
+
+
+def run(fast: bool = True) -> EngineAgreementResult:
+    """Compare both engines on the canonical patterns, local vs CXL-B."""
+    n = 100_000 if fast else 300_000
+    traces = {
+        "sequential": sequential_stream(n, WORKING_SET),
+        "random": random_uniform(n, WORKING_SET),
+        "zipf": zipf_accesses(n, WORKING_SET),
+        "pointer-chase": pointer_chase(min(n, 60_000), WORKING_SET),
+    }
+    local = EMR2S.local_target()
+    device = cxl_b()
+    pairs = []
+    for pattern, trace in traces.items():
+        # Engine A: analytic pipeline on the trace-derived spec.
+        spec = derive_parameters(trace).to_spec(
+            name=pattern, working_set_gb=WORKING_SET / 2**30
+        )
+        base = run_workload(spec, EMR2S, local)
+        cxl = run_workload(spec, EMR2S, device)
+        analytic = cxl.slowdown_vs(base)
+        # Engine B: trace-driven timing on the raw trace.
+        trace_base = TracePipeline(EMR2S, local).run(trace)
+        trace_cxl = TracePipeline(EMR2S, device).run(trace)
+        trace_driven = trace_cxl.slowdown_vs(trace_base)
+        pairs.append(
+            EnginePair(
+                pattern=pattern,
+                analytic_pct=analytic,
+                trace_driven_pct=trace_driven,
+            )
+        )
+    return EngineAgreementResult(pairs=pairs)
+
+
+def render(result: EngineAgreementResult) -> str:
+    """Side-by-side engine table."""
+    lines = ["Ablation: analytic vs trace-driven engine (CXL-B slowdowns)"]
+    table = Table(["pattern", "analytic S%", "trace-driven S%"])
+    for p in result.pairs:
+        table.add_row(p.pattern, p.analytic_pct, p.trace_driven_pct)
+    lines.append(table.render())
+    verdict = "agrees" if result.ordering_agrees() else "DISAGREES"
+    lines.append(
+        f"latency-bound pattern ordering across engines: {verdict} "
+        f"(max gap {result.max_latency_bound_gap():.1f} points)"
+    )
+    stream_ok = result.stream_bandwidth_bound_in_both()
+    lines.append(
+        "stream classified bandwidth-constrained by both engines: "
+        + ("yes" if stream_ok else "NO")
+        + " (magnitudes differ by design: closed-form floor vs "
+        "per-request queueing at the knee)"
+    )
+    return "\n".join(lines)

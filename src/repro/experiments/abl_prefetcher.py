@@ -1,0 +1,115 @@
+"""Ablation: hardware prefetchers on/off (validates Finding #4).
+
+The paper validated its cache-slowdown attribution by disabling the L1/L2
+prefetchers: cache stalls vanished (S_L1 = S_L2 = S_L3 = 0) and the
+would-be-prefetched lines became LLC demand misses (slowdowns moved to
+S_DRAM) -- while overall performance dropped (e.g. 603.bwaves lost 50%).
+The ablation reruns that experiment across a workload sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import Table
+from repro.core.spa import spa_analyze
+from repro.cpu.pipeline import PipelineConfig, run_workload
+from repro.experiments.common import workload_population
+from repro.hw.cxl import cxl_b
+from repro.hw.platform import EMR2S
+
+HEADLINE_WORKLOAD = "603.bwaves_s"
+"""The workload the paper quotes: ~50% loss with prefetchers disabled."""
+
+
+@dataclass(frozen=True)
+class PrefetchAblationRow:
+    """One workload's on/off comparison."""
+
+    workload: str
+    cache_slowdown_on: float
+    cache_slowdown_off: float
+    dram_slowdown_on: float
+    dram_slowdown_off: float
+    perf_loss_from_disabling_pct: float
+
+
+@dataclass(frozen=True)
+class PrefetchAblationResult:
+    """Rows per sampled workload."""
+
+    rows: Tuple[PrefetchAblationRow, ...]
+
+    def row(self, workload: str) -> PrefetchAblationRow:
+        """Look up one workload."""
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+    @property
+    def max_cache_slowdown_off(self) -> float:
+        """Largest cache slowdown with prefetchers off (should be ~0)."""
+        return max(abs(r.cache_slowdown_off) for r in self.rows)
+
+
+def run(fast: bool = True) -> PrefetchAblationResult:
+    """Run the sample with prefetchers enabled and disabled."""
+    workloads = [w for w in workload_population(fast)[::6]]
+    names = {w.name for w in workloads}
+    if HEADLINE_WORKLOAD not in names:
+        from repro.workloads import workload_by_name
+
+        workloads.append(workload_by_name(HEADLINE_WORKLOAD))
+    local = EMR2S.local_target()
+    device = cxl_b()
+    rows = []
+    for workload in workloads:
+        on_cfg = PipelineConfig(prefetchers_enabled=True)
+        off_cfg = PipelineConfig(prefetchers_enabled=False)
+        base_on = run_workload(workload, EMR2S, local, on_cfg)
+        cxl_on = run_workload(workload, EMR2S, device, on_cfg)
+        base_off = run_workload(workload, EMR2S, local, off_cfg)
+        cxl_off = run_workload(workload, EMR2S, device, off_cfg)
+        b_on = spa_analyze(base_on, cxl_on)
+        b_off = spa_analyze(base_off, cxl_off)
+        # The paper's headline loss (603.bwaves ~50%) is on local DRAM,
+        # where demand stalls dominate; on a bandwidth-saturated CXL device
+        # the floor binds either way and prefetchers matter less.
+        perf_loss = (base_off.cycles / base_on.cycles - 1.0) * 100.0
+        rows.append(
+            PrefetchAblationRow(
+                workload=workload.name,
+                cache_slowdown_on=b_on.cache,
+                cache_slowdown_off=b_off.cache,
+                dram_slowdown_on=b_on.components["dram"],
+                dram_slowdown_off=b_off.components["dram"],
+                perf_loss_from_disabling_pct=perf_loss,
+            )
+        )
+    return PrefetchAblationResult(rows=tuple(rows))
+
+
+def render(result: PrefetchAblationResult) -> str:
+    """Summary: cache stalls vanish, DRAM stalls absorb them."""
+    lines = ["Ablation: prefetchers on vs off (CXL-B)"]
+    table = Table(["workload", "cache S% on", "cache S% off", "dram S% on",
+                   "dram S% off", "perf loss off %"])
+    interesting = sorted(result.rows, key=lambda r: -r.cache_slowdown_on)
+    for r in interesting[:10]:
+        table.add_row(r.workload, r.cache_slowdown_on, r.cache_slowdown_off,
+                      r.dram_slowdown_on, r.dram_slowdown_off,
+                      r.perf_loss_from_disabling_pct)
+    lines.append(table.render())
+    lines.append(
+        f"max |cache slowdown| with prefetchers off: "
+        f"{result.max_cache_slowdown_off:.2f}% (Finding #4 expects ~0)"
+    )
+    headline = result.row(HEADLINE_WORKLOAD)
+    lines.append(
+        f"{HEADLINE_WORKLOAD}: disabling prefetchers costs "
+        f"{headline.perf_loss_from_disabling_pct:.0f}% performance "
+        "(paper: ~50%)"
+    )
+    return "\n".join(lines)

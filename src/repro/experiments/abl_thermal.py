@@ -1,0 +1,88 @@
+"""Ablation: thermal stress testing (§3.2's 70C experiment + beyond).
+
+The paper stress-tested its devices at 70C and saw no tail inflation, but
+flagged thermal throttling as a plausible tail source for future
+higher-power devices (PCIe 6.0).  The model lets us run the experiment the
+authors could not risk: sweep the operating temperature past the throttle
+threshold and watch latency, bandwidth, and tails degrade together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import Table
+from repro.hw.cxl import cxl_a
+from repro.tools.mio import MioBenchmark
+
+TEMPERATURES_C = (45.0, 70.0, 85.0, 95.0, 105.0)
+"""Sweep: ambient, the paper's stress point, the threshold, and beyond."""
+
+
+@dataclass(frozen=True)
+class ThermalPoint:
+    """Device behaviour at one temperature."""
+
+    temperature_c: float
+    idle_latency_ns: float
+    read_bandwidth_gbps: float
+    tail_gap_ns: float
+
+
+@dataclass(frozen=True)
+class ThermalResult:
+    """The sweep for one device."""
+
+    device: str
+    points: Tuple[ThermalPoint, ...]
+
+    def point(self, temperature_c: float) -> ThermalPoint:
+        """Look up one temperature."""
+        for p in self.points:
+            if p.temperature_c == temperature_c:
+                return p
+        raise KeyError(temperature_c)
+
+    @property
+    def paper_stress_test_clean(self) -> bool:
+        """No degradation at 70C (the paper's observation)."""
+        ambient = self.point(TEMPERATURES_C[0])
+        stressed = self.point(70.0)
+        return (
+            abs(stressed.idle_latency_ns - ambient.idle_latency_ns) < 1.0
+            and abs(stressed.tail_gap_ns - ambient.tail_gap_ns) < 15.0
+        )
+
+
+def run(fast: bool = True) -> ThermalResult:
+    """Sweep CXL-A's operating temperature."""
+    samples = 30_000 if fast else 120_000
+    base = cxl_a()
+    points = []
+    for temp in TEMPERATURES_C:
+        device = base.at_temperature(temp)
+        mio = MioBenchmark(device, samples=samples)
+        result = mio.measure()
+        points.append(
+            ThermalPoint(
+                temperature_c=temp,
+                idle_latency_ns=device.idle_latency_ns(),
+                read_bandwidth_gbps=device.peak_bandwidth_gbps(),
+                tail_gap_ns=result.tail_gap_ns(),
+            )
+        )
+    return ThermalResult(device=base.name, points=tuple(points))
+
+
+def render(result: ThermalResult) -> str:
+    """Temperature sweep table."""
+    lines = [f"Ablation: thermal stress sweep ({result.device})"]
+    table = Table(["temp C", "idle ns", "read GB/s", "tail gap ns"])
+    for p in result.points:
+        table.add_row(p.temperature_c, p.idle_latency_ns,
+                      p.read_bandwidth_gbps, p.tail_gap_ns)
+    lines.append(table.render())
+    status = "clean" if result.paper_stress_test_clean else "DEGRADED"
+    lines.append(f"70C stress test (paper's §3.2 experiment): {status}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Shared infrastructure for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.hw.cxl import cxl_a, cxl_b, cxl_c, cxl_d
+from repro.hw.platform import EMR2S
+from repro.hw.target import MemoryTarget
+from repro.workloads import all_workloads
+from repro.workloads.base import WorkloadSpec
+
+FAST_SUBSAMPLE = 5
+"""In fast mode, run every Nth workload of the population."""
+
+
+def workload_population(fast: bool) -> Tuple[WorkloadSpec, ...]:
+    """The evaluation population: subsampled in fast mode, full otherwise.
+
+    Fast mode keeps every anchored SPEC workload (the figures call them out
+    by name) and every Nth of the rest, preserving suite diversity.
+    """
+    workloads = all_workloads()
+    if not fast:
+        return workloads
+    anchored = {
+        "603.bwaves_s", "619.lbm_s", "649.fotonik3d_s", "654.roms_s",
+        "520.omnetpp_r", "605.mcf_s", "602.gcc_s", "631.deepsjeng_s",
+        "508.namd_r", "503.bwaves_r", "519.lbm_r",
+    }
+    picked = [w for w in workloads if w.name in anchored]
+    rest = [w for w in workloads if w.name not in anchored]
+    picked.extend(rest[::FAST_SUBSAMPLE])
+    picked.sort(key=lambda w: (w.suite, w.name))
+    return tuple(picked)
+
+
+def standard_targets() -> dict:
+    """Local/NUMA/CXL-A..D on the EMR reference platform."""
+    return {
+        "Local": EMR2S.local_target(),
+        "NUMA": EMR2S.numa_target(),
+        "CXL-A": cxl_a(),
+        "CXL-B": cxl_b(),
+        "CXL-C": cxl_c(),
+        "CXL-D": cxl_d(),
+    }
+
+
+def measurement_targets() -> Sequence[MemoryTarget]:
+    """The six targets of every device-level figure, in paper order."""
+    targets = standard_targets()
+    return [targets[k] for k in ("Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D")]

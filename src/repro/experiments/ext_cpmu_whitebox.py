@@ -1,0 +1,64 @@
+"""Extension: CPMU white-box tail attribution (the paper's future work).
+
+§3.2 proposes breaking down each request's latency across the CXL link,
+the MC, and the DRAM chips via the CXL 3.0 CPMU.  Our CPMU model does
+exactly that: at a moderate load it attributes each device's p99 tail to
+its dominant physical source -- the FPGA CXL-C's to its memory controller,
+local-DRAM-like devices' to DRAM chip effects (refresh/row conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.hw.cxl import CXL_DEVICES
+from repro.hw.cxl.cpmu import Cpmu, CpmuTrace
+
+OPERATING_LOAD_GBPS = 10.0
+
+
+@dataclass(frozen=True)
+class CpmuResult:
+    """Per-device traces and their tail attributions."""
+
+    traces: Dict[str, CpmuTrace]
+    attributions: Dict[str, Dict[str, float]]  # device -> component share
+
+    def dominant(self, device: str) -> str:
+        """Dominant tail source for a device."""
+        shares = self.attributions[device]
+        return max(shares, key=lambda k: shares[k])
+
+
+def run(fast: bool = True) -> CpmuResult:
+    """Sample every device through the CPMU and attribute its tail."""
+    n = 40_000 if fast else 200_000
+    traces = {}
+    attributions = {}
+    for name, factory in CXL_DEVICES.items():
+        device = factory()
+        cpmu = Cpmu(device)
+        trace = cpmu.sample(n, load_gbps=OPERATING_LOAD_GBPS)
+        traces[name] = trace
+        attributions[name] = trace.tail_attribution(99.0)
+    return CpmuResult(traces=traces, attributions=attributions)
+
+
+def render(result: CpmuResult) -> str:
+    """Mean component breakdown + tail attribution per device."""
+    lines = [
+        "Extension: CPMU white-box latency attribution "
+        f"(@{OPERATING_LOAD_GBPS:.0f} GB/s)"
+    ]
+    table = Table(["device", "host", "link", "MC", "dram", "queue",
+                   "tail source"])
+    for name, trace in result.traces.items():
+        b = trace.mean_breakdown_ns()
+        table.add_row(
+            name, b["host"], b["link"], b["controller"], b["dram"],
+            b["queueing"], result.dominant(name),
+        )
+    lines.append(table.render())
+    return "\n".join(lines)

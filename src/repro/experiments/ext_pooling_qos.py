@@ -1,0 +1,100 @@
+"""Extension: noisy-neighbour QoS in CXL memory pooling.
+
+The pooling scenario the paper motivates (and Recommendation #1 warns
+about): several hosts share one expander, and a latency-critical tenant's
+tail latency is at the mercy of its neighbours' bandwidth appetite.  We
+sweep neighbour load on two devices -- tail-stable CXL-D and tail-fragile
+CXL-B -- and measure a Redis tenant's slowdown and its request-level p99.9.
+
+The QoS story follows directly from Figure 3c's onset curves: CXL-D
+isolates tenants until its high onset utilization; CXL-B's tails blow up
+long before its bandwidth is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.cpu.pipeline import run_workload, sample_run_latencies
+from repro.hw.cxl import cxl_b, cxl_d
+from repro.hw.platform import EMR2S
+from repro.hw.pooling import SharedDeviceView
+from repro.workloads import workload_by_name
+
+import numpy as np
+
+NEIGHBOUR_FRACTIONS = (0.0, 0.25, 0.5, 0.7)
+"""Neighbour load as a fraction of each device's read bandwidth."""
+
+TENANT = "redis-ycsb-c"
+
+
+@dataclass(frozen=True)
+class PoolingQosResult:
+    """Per-device sweep of the tenant's slowdown and tail latency."""
+
+    slowdowns: Dict[str, Dict[float, float]]  # device -> fraction -> S%
+    tail_p999_ns: Dict[str, Dict[float, float]]
+
+    def qos_collapse_fraction(self, device: str,
+                              slowdown_limit: float = 25.0) -> float:
+        """First neighbour fraction where the tenant's SLO breaks."""
+        for fraction in sorted(self.slowdowns[device]):
+            if self.slowdowns[device][fraction] > slowdown_limit:
+                return fraction
+        return 1.0
+
+
+def run(fast: bool = True) -> PoolingQosResult:
+    """Sweep neighbour load for the Redis tenant on CXL-B and CXL-D."""
+    n = 20_000 if fast else 80_000
+    tenant = workload_by_name(TENANT)
+    local = EMR2S.local_target()
+    base = run_workload(tenant, EMR2S, local)
+    slowdowns: Dict[str, Dict[float, float]] = {}
+    tails: Dict[str, Dict[float, float]] = {}
+    for factory in (cxl_b, cxl_d):
+        device = factory()
+        name = device.name
+        # Neighbour budget is a fraction of what the device can serve at
+        # the neighbours' own read/write mix.
+        peak = device.peak_bandwidth_gbps(0.7)
+        slowdowns[name] = {}
+        tails[name] = {}
+        for fraction in NEIGHBOUR_FRACTIONS:
+            if fraction == 0.0:
+                view = device
+            else:
+                view = SharedDeviceView(
+                    factory(), neighbour_gbps=fraction * peak
+                )
+            result = run_workload(tenant, EMR2S, view)
+            slowdowns[name][fraction] = result.slowdown_vs(base)
+            latencies = sample_run_latencies(result, view, n=n)
+            tails[name][fraction] = float(np.percentile(latencies, 99.9))
+    return PoolingQosResult(slowdowns=slowdowns, tail_p999_ns=tails)
+
+
+def render(result: PoolingQosResult) -> str:
+    """Sweep table plus the QoS verdict."""
+    lines = [f"Extension: pooling QoS -- {TENANT} vs neighbour load"]
+    table = Table(["device", "neighbours", "slowdown %", "p99.9 ns"])
+    for device, series in result.slowdowns.items():
+        for fraction in sorted(series):
+            table.add_row(
+                device, f"{fraction * 100:.0f}% of BW",
+                series[fraction],
+                result.tail_p999_ns[device][fraction],
+            )
+    lines.append(table.render())
+    for device in result.slowdowns:
+        collapse = result.qos_collapse_fraction(device)
+        verdict = (
+            f"SLO (25% slowdown) breaks at {collapse * 100:.0f}% neighbour load"
+            if collapse < 1.0
+            else "SLO holds across the sweep"
+        )
+        lines.append(f"  {device}: {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Extension: Spa-based cross-device slowdown prediction (§5.7).
+
+Profile every workload once on local DRAM and once on CXL-A, then predict
+its slowdown on CXL-B and CXL-D without running there.  The Spa predictor
+scales the differential stall components by per-source device properties;
+the baseline is the fitted LLC-miss heuristic the paper critiques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.core.prediction import PredictionValidation, validate_predictions
+from repro.cpu.pipeline import run_workload
+from repro.experiments.common import workload_population
+from repro.hw.cxl import cxl_a, cxl_b, cxl_d
+from repro.hw.platform import EMR2S
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Validation per prediction target."""
+
+    validations: Dict[str, PredictionValidation]
+
+    def median_error(self, target: str) -> float:
+        """Median |predicted - actual| for one target (points)."""
+        return self.validations[target].median_error
+
+
+def run(fast: bool = True) -> PredictionResult:
+    """Profile on CXL-A, predict and validate on CXL-B and CXL-D."""
+    workloads = workload_population(fast)
+    if fast:
+        workloads = workloads[::2]
+    local = EMR2S.local_target()
+    reference = cxl_a()
+    targets = {"CXL-B": cxl_b(), "CXL-D": cxl_d()}
+
+    triples = {name: [] for name in targets}
+    for w in workloads:
+        base = run_workload(w, EMR2S, local)
+        ref = run_workload(w, EMR2S, reference)
+        for name, target in targets.items():
+            actual = run_workload(w, EMR2S, target)
+            triples[name].append((base, ref, actual))
+    validations = {
+        name: validate_predictions(triples[name], reference, targets[name])
+        for name in targets
+    }
+    return PredictionResult(validations=validations)
+
+
+def render(result: PredictionResult) -> str:
+    """Accuracy table: Spa predictor vs the LLC heuristic."""
+    lines = ["Extension: cross-device slowdown prediction "
+             "(profiled on CXL-A only)"]
+    table = Table(["predict", "spa median err", "llc-heuristic err",
+                   "spa <=5pp", "spa <=10pp"])
+    for name, v in result.validations.items():
+        table.add_row(
+            name,
+            v.median_error,
+            v.naive_median_error,
+            f"{v.fraction_within(5) * 100:.0f}%",
+            f"{v.fraction_within(10) * 100:.0f}%",
+        )
+    lines.append(table.render())
+    return "\n".join(lines)

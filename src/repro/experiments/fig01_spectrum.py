@@ -1,0 +1,62 @@
+"""Figure 1: the sub-microsecond CXL latency/bandwidth spectrum.
+
+One point per memory configuration class: socket-local DRAM, NUMA, locally
+attached CXL, CXL behind a NUMA hop, CXL behind a switch, and a multi-hop
+composition -- average latency versus aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.report import Table
+from repro.hw.cxl import cxl_a, cxl_d
+from repro.hw.cxl.fabric import cmm_b_class_box
+from repro.hw.platform import EMR2S
+from repro.hw.topology import CxlSwitchTopology, remote_view
+from repro.tools.mlc import MemoryLatencyChecker
+
+
+@dataclass(frozen=True)
+class SpectrumPoint:
+    """One configuration class on the Figure 1 plane."""
+
+    label: str
+    latency_ns: float
+    bandwidth_gbps: float
+
+
+def run(fast: bool = True) -> Tuple[SpectrumPoint, ...]:
+    """Measure each configuration class with the MLC work-alike."""
+    del fast
+    mlc = MemoryLatencyChecker()
+    switch = CxlSwitchTopology(cxl_d())
+    multihop = CxlSwitchTopology(cxl_a(), levels=2)
+    configs = (
+        ("Socket-local DRAM", EMR2S.local_target()),
+        ("NUMA", EMR2S.numa_target()),
+        ("CXL", cxl_a()),
+        ("CXL (high-BW)", cxl_d()),
+        ("CXL+NUMA", remote_view(cxl_a())),
+        ("CXL+Switch", switch),
+        # The paper's [15] citation: a CMM-B-class pooled memory box.
+        ("CXL+Switch (memory box)", cmm_b_class_box()),
+        ("CXL+multi-hops", multihop),
+    )
+    return tuple(
+        SpectrumPoint(
+            label=label,
+            latency_ns=target.idle_latency_ns(),
+            bandwidth_gbps=mlc.peak_bandwidth(target),
+        )
+        for label, target in configs
+    )
+
+
+def render(points: Tuple[SpectrumPoint, ...]) -> str:
+    """The spectrum as a table (latency ascending)."""
+    table = Table(["configuration", "avg latency ns", "bandwidth GB/s"])
+    for p in sorted(points, key=lambda p: p.latency_ns):
+        table.add_row(p.label, p.latency_ns, p.bandwidth_gbps)
+    return "Figure 1: sub-us CXL latency/bandwidth spectrum\n" + table.render()

@@ -1,0 +1,65 @@
+"""Figure 3a: loaded-latency curves (average latency vs bandwidth).
+
+31 delay-injected traffic threads sweep the load from idle to saturation
+on every target; the paper's observations to reproduce: latency is flat at
+low utilization everywhere, CXL devices start climbing at 50-86% while
+local/NUMA hold to 90-95%, and every curve ends in a vertical queueing
+wall (CXL-A/B spike past 1 us, CXL-C approaches 3 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import Table
+from repro.experiments.common import measurement_targets
+from repro.tools.mlc import LoadedLatencyPoint, MemoryLatencyChecker
+
+FAST_DELAYS = (0, 200, 500, 1000, 2500, 7000, 20000)
+
+
+@dataclass(frozen=True)
+class LoadedLatencyCurves:
+    """Per-target loaded-latency curves."""
+
+    curves: Dict[str, Tuple[LoadedLatencyPoint, ...]]
+
+    def knee_utilization(self, name: str, rise_ns: float = 60.0) -> float:
+        """Utilization where latency has risen ``rise_ns`` over idle."""
+        curve = self.curves[name]
+        idle = min(p.latency_ns for p in curve)
+        peak = max(p.bandwidth_gbps for p in curve)
+        for p in sorted(curve, key=lambda p: p.bandwidth_gbps):
+            if p.latency_ns >= idle + rise_ns:
+                return p.bandwidth_gbps / peak
+        return 1.0
+
+
+def run(fast: bool = True) -> LoadedLatencyCurves:
+    """Sweep every target."""
+    mlc = MemoryLatencyChecker()
+    delays = FAST_DELAYS if fast else None
+    curves = {}
+    for target in measurement_targets():
+        if delays is None:
+            curves[target.name] = mlc.loaded_latency_curve(target)
+        else:
+            curves[target.name] = mlc.loaded_latency_curve(target, delays)
+    return LoadedLatencyCurves(curves=curves)
+
+
+def render(result: LoadedLatencyCurves) -> str:
+    """Each curve as (bandwidth, latency) pairs plus the knee summary."""
+    lines = ["Figure 3a: average latency vs bandwidth (31 threads)"]
+    for name, curve in result.curves.items():
+        pts = "  ".join(
+            f"({p.bandwidth_gbps:.1f}GB/s,{p.latency_ns:.0f}ns)"
+            for p in sorted(curve, key=lambda p: p.bandwidth_gbps)
+        )
+        lines.append(f"  {name:12s} {pts}")
+    table = Table(["target", "util at +60ns latency rise"])
+    for name in result.curves:
+        table.add_row(name, f"{result.knee_utilization(name) * 100:.0f}%")
+    lines.append(table.render())
+    return "\n".join(lines)

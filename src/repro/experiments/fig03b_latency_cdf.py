@@ -1,0 +1,64 @@
+"""Figure 3b: pointer-chase latency CDFs, 1-32 threads, prefetchers off.
+
+MIO measures per-request latency under 1, 2, 4, 8, 16, 32 co-located
+chase threads (never exceeding 50% device bandwidth).  Key claims: local
+and NUMA show p99.9-p50 gaps of only ~45/61 ns; CXL-B and CXL-C reach
+~160 ns (50% over median); CXL-D is the most stable CXL device (~75 ns);
+at p99.99+ CXL-A/D exceed 700 ns and CXL-B/C approach 1 us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import Table
+from repro.experiments.common import measurement_targets
+from repro.tools.mio import MioBenchmark, MioResult
+
+THREAD_SWEEP = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class LatencyCdfResult:
+    """MIO results per target per thread count."""
+
+    results: Dict[str, Dict[int, MioResult]]
+
+    def tail_gap(self, target: str, threads: int = 1) -> float:
+        """p99.9 - p50 for one configuration."""
+        return self.results[target][threads].tail_gap_ns()
+
+
+def run(fast: bool = True) -> LatencyCdfResult:
+    """Measure all targets across the thread sweep."""
+    samples = 30_000 if fast else 200_000
+    threads = (1, 8, 32) if fast else THREAD_SWEEP
+    results: Dict[str, Dict[int, MioResult]] = {}
+    for target in measurement_targets():
+        mio = MioBenchmark(target, samples=samples)
+        results[target.name] = {n: mio.measure(n_threads=n) for n in threads}
+    return LatencyCdfResult(results=results)
+
+
+def render(result: LatencyCdfResult) -> str:
+    """Percentile table per target (single-thread) plus tail-gap sweep."""
+    table = Table(["target", "p50", "p99", "p99.9", "p99.99", "p99.9-p50"])
+    for name, by_threads in result.results.items():
+        r = by_threads[min(by_threads)]
+        table.add_row(
+            name,
+            r.percentile(50),
+            r.percentile(99),
+            r.percentile(99.9),
+            r.percentile(99.99),
+            r.tail_gap_ns(),
+        )
+    lines = ["Figure 3b: pointer-chase latency CDFs (prefetchers off)",
+             table.render(), "", "tail gap (p99.9-p50) vs thread count:"]
+    for name, by_threads in result.results.items():
+        gaps = "  ".join(
+            f"{n}t:{r.tail_gap_ns():.0f}ns" for n, r in sorted(by_threads.items())
+        )
+        lines.append(f"  {name:12s} {gaps}")
+    return "\n".join(lines)

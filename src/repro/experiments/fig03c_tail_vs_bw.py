@@ -1,0 +1,63 @@
+"""Figure 3c: (p99.9 - p50) latency gap versus bandwidth utilization.
+
+Background read threads load the device while a foreground thread
+pointer-chases.  Local/NUMA stay flat to 90%+ utilization; CXL-A's gap
+starts growing around 30% utilization and CXL-D's around 70%; CXL-B/C
+are elevated throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.experiments.common import measurement_targets
+from repro.tools.mio import MioBenchmark
+
+UTILIZATIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+FAST_UTILIZATIONS = (0.0, 0.3, 0.5, 0.7, 0.9)
+
+
+@dataclass(frozen=True)
+class TailVsBandwidth:
+    """Per-target tail gap across the utilization sweep."""
+
+    gaps: Dict[str, Dict[float, float]]
+
+    def onset_utilization(self, target: str, rise_ns: float = 40.0) -> float:
+        """First utilization where the gap exceeds idle gap + ``rise_ns``."""
+        series = self.gaps[target]
+        idle_gap = series[min(series)]
+        for util in sorted(series):
+            if series[util] >= idle_gap + rise_ns:
+                return util
+        return 1.0
+
+
+def run(fast: bool = True) -> TailVsBandwidth:
+    """Sweep background utilization on every target."""
+    utils = FAST_UTILIZATIONS if fast else UTILIZATIONS
+    samples = 30_000 if fast else 150_000
+    gaps = {}
+    for target in measurement_targets():
+        mio = MioBenchmark(target, samples=samples)
+        gaps[target.name] = mio.tail_vs_utilization(utils)
+    return TailVsBandwidth(gaps=gaps)
+
+
+def render(result: TailVsBandwidth) -> str:
+    """Gap table: rows = targets, columns = utilization."""
+    utils = sorted(next(iter(result.gaps.values())))
+    table = Table(["target"] + [f"{u * 100:.0f}%" for u in utils] + ["onset"])
+    for name, series in result.gaps.items():
+        onset = result.onset_utilization(name)
+        table.add_row(
+            name,
+            *[series[u] for u in utils],
+            f"{onset * 100:.0f}%" if onset < 1.0 else "stable",
+        )
+    return (
+        "Figure 3c: (p99.9-p50) latency gap (ns) vs bandwidth utilization\n"
+        + table.render()
+    )

@@ -1,0 +1,74 @@
+"""Figure 4: latency CDFs under mixed read/write background noise.
+
+0-7 unthrottled AVX read/write traffic threads co-run with the
+pointer-chase measurement, below device saturation.  Local and NUMA stay
+stable; three of four CXL devices (A, B, C) show worsening high-percentile
+latencies as the noise thread count grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.experiments.common import measurement_targets
+from repro.tools.mio import MioBenchmark, MioResult
+from repro.tools.trafficgen import TrafficGenerator
+
+NOISE_THREADS = (0, 1, 3, 5, 7)
+NOISE_READ_FRACTION = 0.5  # mixed read/write noise
+
+
+@dataclass(frozen=True)
+class RwNoiseResult:
+    """MIO results per target per noise-thread count."""
+
+    results: Dict[str, Dict[int, MioResult]]
+
+    def p99_growth(self, target: str) -> float:
+        """p99 latency increase from 0 to max noise threads (ns)."""
+        series = self.results[target]
+        return (
+            series[max(series)].percentile(99)
+            - series[min(series)].percentile(99)
+        )
+
+
+def run(fast: bool = True) -> RwNoiseResult:
+    """Sweep noise threads on every target."""
+    samples = 30_000 if fast else 150_000
+    threads = (0, 3, 7) if fast else NOISE_THREADS
+    results: Dict[str, Dict[int, MioResult]] = {}
+    for target in measurement_targets():
+        generator = TrafficGenerator(target, read_fraction=NOISE_READ_FRACTION)
+        mio = MioBenchmark(target, samples=samples)
+        per_thread = {}
+        for n in threads:
+            # Keep noise below saturation, as the paper does.
+            load = generator.offered_load(n, intensity=0.6) if n else None
+            per_thread[n] = mio.measure(
+                n_threads=1,
+                background=load,
+                read_fraction=(
+                    NOISE_READ_FRACTION if n else 1.0
+                ),
+            )
+        results[target.name] = per_thread
+    return RwNoiseResult(results=results)
+
+
+def render(result: RwNoiseResult) -> str:
+    """p99/p99.9 per noise level, plus the growth summary."""
+    lines = ["Figure 4: latency under read/write noise"]
+    table = Table(["target", "noise", "p50", "p99", "p99.9"])
+    for name, series in result.results.items():
+        for n, r in sorted(series.items()):
+            table.add_row(name, f"{n}thr", r.percentile(50),
+                          r.percentile(99), r.percentile(99.9))
+    lines.append(table.render())
+    growth = Table(["target", "p99 growth 0->max noise (ns)"])
+    for name in result.results:
+        growth.add_row(name, result.p99_growth(name))
+    lines.append(growth.render())
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Figure 5: latency-bandwidth curves under read/write ratios 1:0 .. 1:1.
+
+The defining shapes: local DRAM peaks read-only and degrades smoothly with
+writes; NUMA and ASIC CXL devices peak at *mixed* ratios (full-duplex
+links); the FPGA CXL-C behaves like a shared bus, peaking read-only; peak
+ratio differs per device (~2-3:1 for CXL-A, 3:1-4:1 for CXL-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import Table
+from repro.experiments.common import measurement_targets
+from repro.tools.mlc import MemoryLatencyChecker, RW_RATIOS
+
+FAST_DELAYS = (0, 300, 1000, 4000, 20000)
+
+
+@dataclass(frozen=True)
+class RwRatioResult:
+    """Peak bandwidth per ratio per target, plus full curves."""
+
+    peaks: Dict[str, Dict[str, float]]
+    curves: Dict[str, Dict[str, Tuple]]
+
+    def best_ratio(self, target: str) -> str:
+        """The ratio achieving peak bandwidth for one target."""
+        series = self.peaks[target]
+        return max(series, key=lambda k: series[k])
+
+
+def run(fast: bool = True) -> RwRatioResult:
+    """Sweep all six ratios on every target."""
+    mlc = MemoryLatencyChecker()
+    delays = FAST_DELAYS if fast else None
+    peaks: Dict[str, Dict[str, float]] = {}
+    curves: Dict[str, Dict[str, Tuple]] = {}
+    for target in measurement_targets():
+        peaks[target.name] = mlc.peak_bandwidth_by_ratio(target)
+        if delays is None:
+            curves[target.name] = mlc.rw_ratio_curves(target)
+        else:
+            curves[target.name] = mlc.rw_ratio_curves(target, delays_cycles=delays)
+    return RwRatioResult(peaks=peaks, curves=curves)
+
+
+def render(result: RwRatioResult) -> str:
+    """Peak-bandwidth table with best ratio per target."""
+    ratios = list(RW_RATIOS)
+    table = Table(["target"] + ratios + ["best"])
+    for name, series in result.peaks.items():
+        table.add_row(name, *[series[r] for r in ratios], result.best_ratio(name))
+    return (
+        "Figure 5: peak bandwidth (GB/s) by read:write ratio\n" + table.render()
+    )

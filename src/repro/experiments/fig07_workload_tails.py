@@ -1,0 +1,109 @@
+"""Figure 7: CXL tail latencies observed by real workloads.
+
+(a/b) 508.namd_r -- bandwidth mostly under 500 MB/s with rare spikes, yet
+CXL-C's sampled latency spikes toward 1 us, showing the MC cannot hold
+latency even under near-idle load.
+(c) Redis YCSB-C (read-only, latency-critical) -- device-level tails
+propagate to application-level request latency: high percentiles blow up
+on CXL-C while local/NUMA/CXL-B stay far lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.cpu.pipeline import run_workload, sample_run_latencies
+from repro.experiments.common import standard_targets
+from repro.hw.platform import EMR2S
+from repro.tools.sampler import TimeSampler
+from repro.workloads import workload_by_name
+
+REQUEST_CHAIN_DEPTH = 48
+"""Dependent memory accesses per Redis request; device tails compound."""
+
+REQUEST_BASE_US = 20.0
+"""Fixed request cost: network stack, parsing, response serialization."""
+
+EPISODE_PROB_FACTOR = 2.0
+EPISODE_SCALE_FACTOR = 3.0
+"""Congestion episodes are time-correlated: when one hits, the *whole*
+request's device accesses slow together, which is how device-level tails
+blow up application p99s (Figure 7c's CXL-C explosion)."""
+
+
+@dataclass(frozen=True)
+class WorkloadTailResult:
+    """Panels a-c of Figure 7."""
+
+    namd_series: Dict[str, Tuple[np.ndarray, np.ndarray]]  # (latency, bw) per target
+    redis_percentiles: Dict[str, Dict[str, float]]  # target -> percentile -> us
+
+
+def run(fast: bool = True) -> WorkloadTailResult:
+    """Sample 508.namd over time and Redis YCSB-C request latencies."""
+    targets = standard_targets()
+    namd = workload_by_name("508.namd_r")
+    sampler = TimeSampler(window_ms=1.0)
+    namd_series = {}
+    for name in ("Local", "NUMA", "CXL-C"):
+        target = targets[name]
+        result = run_workload(namd, EMR2S, target)
+        windows = sampler.sample(result, target=target, max_windows=2000)
+        namd_series[name] = (
+            np.array([w.latency_ns for w in windows]),
+            np.array([w.bandwidth_gbps for w in windows]),
+        )
+
+    redis = workload_by_name("redis-ycsb-c")
+    n = 20_000 if fast else 100_000
+    rng = np.random.default_rng(7)
+    redis_percentiles = {}
+    for name in ("Local", "NUMA", "CXL-B", "CXL-C"):
+        target = targets[name]
+        result = run_workload(redis, EMR2S, target)
+        device = sample_run_latencies(result, target, n=n * REQUEST_CHAIN_DEPTH)
+        # A request walks a dependent chain; its latency is the sum of the
+        # chain's device latencies plus fixed request-processing time.
+        chains = device[: n * REQUEST_CHAIN_DEPTH].reshape(n, REQUEST_CHAIN_DEPTH)
+        request_us = chains.sum(axis=1) / 1000.0 + REQUEST_BASE_US
+        # Correlated congestion episodes slow a whole request's accesses.
+        tail = target.tail_model()
+        util = result.phases[0].operating_point.utilization
+        episode_prob = min(0.3, EPISODE_PROB_FACTOR * tail.tail_prob(util))
+        hit = rng.random(n) < episode_prob
+        inflation = 1.0 + rng.exponential(EPISODE_SCALE_FACTOR, n)
+        device_part = request_us - REQUEST_BASE_US
+        request_us = np.where(
+            hit, REQUEST_BASE_US + device_part * inflation, request_us
+        )
+        redis_percentiles[name] = {
+            f"p{p:g}": float(np.percentile(request_us, p))
+            for p in (50, 75, 90, 95, 99, 99.9)
+        }
+    return WorkloadTailResult(
+        namd_series=namd_series, redis_percentiles=redis_percentiles
+    )
+
+
+def render(result: WorkloadTailResult) -> str:
+    """Spike summary for namd plus the Redis percentile table."""
+    lines = ["Figure 7a/b: 508.namd_r sampled memory latency"]
+    table = Table(["target", "mean BW GB/s", "mean lat ns", "max lat ns",
+                   "spikes >2x median"])
+    for name, (lat, bw) in result.namd_series.items():
+        spikes = int(np.sum(lat > 2 * np.median(lat)))
+        table.add_row(name, float(bw.mean()), float(lat.mean()),
+                      float(lat.max()), spikes)
+    lines.append(table.render())
+    lines.append("")
+    lines.append("Figure 7c: Redis YCSB-C request latency (us)")
+    ps = ["p50", "p75", "p90", "p95", "p99", "p99.9"]
+    table = Table(["target"] + ps)
+    for name, series in result.redis_percentiles.items():
+        table.add_row(name, *[series[p] for p in ps])
+    lines.append(table.render())
+    return "\n".join(lines)

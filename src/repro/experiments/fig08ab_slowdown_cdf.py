@@ -1,0 +1,85 @@
+"""Figure 8a/b: slowdown CDFs of the 265-workload population.
+
+Panel (a): CDFs across NUMA and CXL-A..D on EMR; orderings to reproduce:
+NUMA best, then CXL-D ~ NUMA, CXL-A, CXL-B; CXL-C limited to the
+workloads fitting its 16 GB.  Panel (b) zooms on the tail: CXL-A/B carry
+a 1.5-5.8x catastrophic tail (bandwidth-bound workloads) that NUMA/CXL-D
+do not (their worst case is 80-90%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import Table, format_cdf_row
+from repro.core.melody import CampaignResult, Melody
+from repro.experiments.common import workload_population
+
+PAPER_FRACTIONS = {
+    # target -> {threshold: fraction below}
+    "NUMA": {50: 0.98},
+    "CXL-D": {5: 0.43, 10: 0.60, 50: 0.94},
+    "CXL-A": {5: 0.35, 10: 0.54, 50: 0.87},
+    "CXL-B": {5: 0.22, 10: 0.32, 50: 0.80},
+}
+"""The paper's headline CDF fractions, for side-by-side reporting."""
+
+
+@dataclass(frozen=True)
+class SlowdownCdfResult:
+    """The campaign dataset plus per-target slowdown vectors."""
+
+    campaign: CampaignResult
+    slowdowns: Dict[str, np.ndarray]
+
+    def fraction_below(self, target: str, threshold: float) -> float:
+        """Fraction of workloads under ``threshold`` percent slowdown."""
+        return float(np.mean(self.slowdowns[target] < threshold))
+
+    def tail_workloads(self, target: str, threshold: float = 150.0):
+        """Workloads in the panel-(b) tail on one target."""
+        return [
+            r.workload
+            for r in self.campaign.records
+            if r.target == target and r.slowdown_pct >= threshold
+        ]
+
+
+def run(fast: bool = True) -> SlowdownCdfResult:
+    """Run the device campaign over the population."""
+    melody = Melody()
+    campaign = Melody.device_campaign(workloads=workload_population(fast))
+    result = melody.run(campaign)
+    slowdowns = {
+        name.replace("EMR2S-", ""): result.slowdowns(name)
+        for name in result.target_names()
+    }
+    return SlowdownCdfResult(campaign=result, slowdowns=slowdowns)
+
+
+def render(result: SlowdownCdfResult) -> str:
+    """CDF summary rows plus the paper-vs-measured fraction table."""
+    lines = ["Figure 8a: slowdown CDFs (265 workloads)"]
+    for name, values in result.slowdowns.items():
+        lines.append("  " + format_cdf_row(name, values))
+    lines.append("")
+    table = Table(["target", "threshold", "measured", "paper"])
+    for target, fractions in PAPER_FRACTIONS.items():
+        for threshold, paper in fractions.items():
+            measured = result.fraction_below(target, threshold)
+            table.add_row(target, f"<{threshold}%", f"{measured * 100:.0f}%",
+                          f"{paper * 100:.0f}%")
+    lines.append(table.render())
+    lines.append("")
+    lines.append("Figure 8b: the slowdown tail (>=150%)")
+    for target in ("CXL-A", "CXL-B", "CXL-D", "NUMA"):
+        tail = result.tail_workloads(target)
+        worst = float(result.slowdowns[target].max())
+        lines.append(
+            f"  {target:6s} tail={len(tail)} workloads, worst={worst:.0f}% "
+            f"({', '.join(tail[:4])}{'...' if len(tail) > 4 else ''})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Figure 8e: SPR versus EMR slowdown CDFs under CXL-A and CXL-B.
+
+EMR's LLC is 2.7x larger than SPR's (160 vs 60 MB), yet the slowdown
+patterns are nearly identical: a larger cache does not absorb CXL's
+latency/bandwidth penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import format_cdf_row
+from repro.core.melody import Campaign, Melody
+from repro.experiments.common import workload_population
+from repro.hw.cxl import cxl_a, cxl_b
+from repro.hw.platform import EMR2S, SPR2S
+
+
+@dataclass(frozen=True)
+class SprEmrResult:
+    """Slowdown vectors per (platform, device)."""
+
+    slowdowns: Dict[str, np.ndarray]
+
+    def median_gap(self, device: str) -> float:
+        """|median(SPR) - median(EMR)| for one device (should be small)."""
+        spr = np.median(self.slowdowns[f"SPR:{device}"])
+        emr = np.median(self.slowdowns[f"EMR:{device}"])
+        return float(abs(spr - emr))
+
+
+def run(fast: bool = True) -> SprEmrResult:
+    """Run both devices on both platforms."""
+    melody = Melody()
+    workloads = workload_population(fast)
+    slowdowns = {}
+    for platform, tag in ((SPR2S, "SPR"), (EMR2S, "EMR")):
+        for device_factory, device in ((cxl_a, "CXL-A"), (cxl_b, "CXL-B")):
+            result = melody.run(
+                Campaign(
+                    name=f"{tag}:{device}",
+                    platform=platform,
+                    targets=(device_factory(),),
+                    workloads=workloads,
+                )
+            )
+            slowdowns[f"{tag}:{device}"] = result.slowdowns(device)
+    return SprEmrResult(slowdowns=slowdowns)
+
+
+def render(result: SprEmrResult) -> str:
+    """CDF rows per setup plus the SPR/EMR median gap."""
+    lines = ["Figure 8e: SPR vs EMR slowdown CDFs"]
+    for label, values in result.slowdowns.items():
+        lines.append("  " + format_cdf_row(label, values))
+    for device in ("CXL-A", "CXL-B"):
+        lines.append(
+            f"  median gap SPR vs EMR on {device}: "
+            f"{result.median_gap(device):.1f} points"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Figure 8f: NUMA vs one CXL-D vs two hardware-interleaved CXL-Ds.
+
+On SPEC CPU 2017 (hosted on EMR2S', CXL-D's platform): interleaving two
+CXL-D devices doubles bandwidth to ~104 GB/s and sharply reduces the
+slowdowns of bandwidth-hungry workloads, closing most of the gap to NUMA
+-- when CXL bandwidth matches NUMA, remaining slowdowns are latency-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import format_cdf_row
+from repro.core.melody import Campaign, Melody
+from repro.hw.cxl import cxl_d
+from repro.hw.platform import EMR2S_PRIME
+from repro.hw.topology import InterleavedTarget
+from repro.workloads import workloads_by_suite
+
+
+@dataclass(frozen=True)
+class InterleaveResult:
+    """Slowdown vectors for NUMA*, CXL-D x1, CXL-D x2 on SPEC."""
+
+    slowdowns: Dict[str, np.ndarray]
+
+    def improvement_from_interleave(self) -> float:
+        """Mean slowdown reduction x1 -> x2 (percentage points)."""
+        return float(
+            np.mean(self.slowdowns["CXL-D x1"] - self.slowdowns["CXL-D x2"])
+        )
+
+
+def run(fast: bool = True) -> InterleaveResult:
+    """Run SPEC across the three targets."""
+    melody = Melody()
+    spec = workloads_by_suite("SPEC CPU 2017")
+    if fast:
+        spec = spec[::2]
+    targets = {
+        "NUMA*": EMR2S_PRIME.numa_target(),
+        "CXL-D x1": cxl_d(),
+        "CXL-D x2": InterleavedTarget([cxl_d(), cxl_d()], name="CXL-Dx2"),
+    }
+    slowdowns = {}
+    for label, target in targets.items():
+        result = melody.run(
+            Campaign(
+                name=label,
+                platform=EMR2S_PRIME,
+                targets=(target,),
+                workloads=tuple(spec),
+            )
+        )
+        slowdowns[label] = result.slowdowns(target.name)
+    return InterleaveResult(slowdowns=slowdowns)
+
+
+def render(result: InterleaveResult) -> str:
+    """CDF rows and the interleave improvement."""
+    lines = ["Figure 8f: NUMA vs CXL-D x1 vs CXL-D x2 (SPEC CPU 2017)"]
+    for label, values in result.slowdowns.items():
+        lines.append(
+            "  " + format_cdf_row(label, values, thresholds=(5, 10, 25, 50, 80))
+        )
+    lines.append(
+        f"  mean slowdown reduction from interleaving: "
+        f"{result.improvement_from_interleave():.1f} points"
+    )
+    return "\n".join(lines)

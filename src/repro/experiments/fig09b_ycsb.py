@@ -1,0 +1,84 @@
+"""Figure 9b: YCSB A-F slowdowns on Redis and VoltDB.
+
+Cloud stores are latency-sensitive: slowdown grows super-linearly as the
+memory target's latency rises NUMA -> CXL-A -> CXL-B (the slowdown ratio
+exceeds the latency ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.core.melody import Campaign, Melody
+from repro.experiments.common import standard_targets
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+from repro.workloads.suites.cloud import YCSB_WORKLOADS
+
+STORES = ("redis", "voltdb")
+TARGET_ORDER = ("NUMA", "CXL-A", "CXL-B")
+
+
+@dataclass(frozen=True)
+class YcsbResult:
+    """slowdowns[(store, letter)][target] in percent."""
+
+    slowdowns: Dict[tuple, Dict[str, float]]
+
+    def superlinearity(self, store: str, letter: str) -> float:
+        """Slowdown growth ratio vs latency growth ratio, NUMA -> CXL-B.
+
+        >1 means super-linear (the paper's claim).
+        """
+        series = self.slowdowns[(store, letter)]
+        latency = {"NUMA": 193.0, "CXL-A": 214.0, "CXL-B": 271.0}
+        local = 111.0
+        slow_ratio = series["CXL-B"] / max(series["NUMA"], 1e-9)
+        lat_ratio = (latency["CXL-B"] - local) / (latency["NUMA"] - local)
+        return slow_ratio / lat_ratio
+
+
+def run(fast: bool = True) -> YcsbResult:
+    """Run the 12 YCSB workloads across NUMA/CXL-A/CXL-B."""
+    del fast  # 12 workloads x 3 targets is always cheap
+    melody = Melody()
+    targets = standard_targets()
+    workloads = tuple(
+        workload_by_name(f"{store}-ycsb-{letter.lower()}")
+        for store in STORES
+        for letter in YCSB_WORKLOADS
+    )
+    campaign = Campaign(
+        name="ycsb",
+        platform=EMR2S,
+        targets=tuple(targets[t] for t in TARGET_ORDER),
+        workloads=workloads,
+    )
+    result = melody.run(campaign)
+    slowdowns: Dict[tuple, Dict[str, float]] = {}
+    for store in STORES:
+        for letter in YCSB_WORKLOADS:
+            name = f"{store}-ycsb-{letter.lower()}"
+            per_target = {}
+            for target_label in TARGET_ORDER:
+                target_name = targets[target_label].name
+                per_target[target_label] = result.record(name, target_name).slowdown_pct
+            slowdowns[(store, letter)] = per_target
+    return YcsbResult(slowdowns=slowdowns)
+
+
+def render(result: YcsbResult) -> str:
+    """Per-workload slowdown table plus super-linearity factors."""
+    table = Table(["store", "ycsb"] + list(TARGET_ORDER) + ["superlin"])
+    for (store, letter), series in result.slowdowns.items():
+        table.add_row(
+            store, letter,
+            *[series[t] for t in TARGET_ORDER],
+            result.superlinearity(store, letter),
+        )
+    return (
+        "Figure 9b: YCSB slowdowns (%), super-linear growth with latency\n"
+        + table.render()
+    )

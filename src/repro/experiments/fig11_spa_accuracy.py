@@ -1,0 +1,62 @@
+"""Figure 11: Spa accuracy validation.
+
+For every workload, compare the actually measured slowdown against the
+three counter-based estimators (Delta s, Delta s_Backend, Delta s_Memory)
+on NUMA, CXL-A, and CXL-B.  Paper's claims: Delta s within 5 points for
+~100% of workloads (98% within 2), Delta s_Backend for >=96%, and
+Delta s_Memory for >=95%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.core.melody import Melody
+from repro.core.spa import validate_accuracy
+from repro.experiments.common import workload_population
+
+
+@dataclass(frozen=True)
+class SpaAccuracyResult:
+    """Per-target estimator error vectors (percentage points)."""
+
+    errors: Dict[str, Dict[str, np.ndarray]]
+
+    def fraction_within(self, target: str, estimator: str,
+                        points: float = 5.0) -> float:
+        """Fraction of workloads with |error| <= ``points``."""
+        return float(np.mean(self.errors[target][estimator] <= points))
+
+
+def run(fast: bool = True) -> SpaAccuracyResult:
+    """Validate the three estimators on NUMA / CXL-A / CXL-B."""
+    melody = Melody()
+    campaign = Melody.device_campaign(
+        workloads=workload_population(fast), devices=("CXL-A", "CXL-B")
+    )
+    result = melody.run(campaign)
+    errors = {}
+    for target in result.target_names():
+        label = target.replace("EMR2S-", "")
+        errors[label] = validate_accuracy(result.pairs(target))
+    return SpaAccuracyResult(errors=errors)
+
+
+def render(result: SpaAccuracyResult) -> str:
+    """Within-5-points (and within-2) fractions per estimator per target."""
+    table = Table(["target", "estimator", "<=2pp", "<=5pp", "paper <=5pp"])
+    paper = {"stalls": "100%", "backend": "96%", "memory": "95%"}
+    for target, errors in result.errors.items():
+        for estimator in ("stalls", "backend", "memory"):
+            table.add_row(
+                target,
+                estimator,
+                f"{result.fraction_within(target, estimator, 2.0) * 100:.0f}%",
+                f"{result.fraction_within(target, estimator, 5.0) * 100:.0f}%",
+                paper[estimator],
+            )
+    return "Figure 11: Spa estimator accuracy\n" + table.render()

@@ -1,0 +1,110 @@
+"""Figure 13: the cache-slowdown causal chain, quantified stage by stage.
+
+The paper presents Figure 13 as a diagram:
+
+    (1) CXL's longer latency  ->  (2) reduced L2PF timeliness & coverage
+    ->  (3) more aggressive L1PF fetching from memory
+    ->  (4) increasing # of delayed L1 hits  ->  cache stalls
+
+This experiment instantiates the diagram with measurements: for one
+prefetch-heavy workload on every target, each stage's quantity is read off
+the model/counters -- device latency, prefetch lateness, surviving L2PF
+coverage, the L1PF-L3-miss shift, and the resulting Spa cache slowdown.
+Every arrow in the diagram becomes a monotone relationship in the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import Table
+from repro.core.prefetch import prefetch_shift
+from repro.core.spa import spa_analyze
+from repro.cpu.pipeline import run_workload
+from repro.experiments.common import measurement_targets
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+
+WORKLOAD = "649.fotonik3d_s"
+"""A prefetch-dependent streaming workload (named in Figure 12b)."""
+
+
+@dataclass(frozen=True)
+class MechanismStage:
+    """The Figure 13 quantities on one target."""
+
+    target: str
+    latency_ns: float  # stage 1
+    late_fraction: float  # stage 2 (timeliness loss)
+    coverage: float  # stage 2 (surviving coverage)
+    l1pf_shift_events: float  # stage 3
+    cache_slowdown_pct: float  # stage 4 (the outcome)
+
+
+@dataclass(frozen=True)
+class MechanismResult:
+    """One row per target, ordered by latency."""
+
+    workload: str
+    stages: List[MechanismStage]
+
+    def monotone(self, attribute: str, increasing: bool = True,
+                 tolerance: float = 0.0) -> bool:
+        """Whether a stage quantity is monotone along the latency axis."""
+        values = [getattr(s, attribute) for s in self.stages]
+        pairs = zip(values, values[1:])
+        if increasing:
+            return all(b >= a - tolerance for a, b in pairs)
+        return all(b <= a + tolerance for a, b in pairs)
+
+
+def run(fast: bool = True) -> MechanismResult:
+    """Measure every Figure 13 stage on every target."""
+    del fast
+    workload = workload_by_name(WORKLOAD)
+    local = EMR2S.local_target()
+    base = run_workload(workload, EMR2S, local)
+    stages = []
+    for target in measurement_targets():
+        if target.name.endswith("Local"):
+            continue
+        result = run_workload(workload, EMR2S, target)
+        shift = prefetch_shift(base, result)
+        breakdown = spa_analyze(base, result)
+        op = result.phases[0].operating_point
+        stages.append(
+            MechanismStage(
+                target=target.name,
+                latency_ns=result.mean_latency_ns,
+                late_fraction=op.prefetch.late_fraction,
+                coverage=op.prefetch.coverage,
+                l1pf_shift_events=shift.l1pf_l3_miss_increase,
+                cache_slowdown_pct=breakdown.cache,
+            )
+        )
+    stages.sort(key=lambda s: s.latency_ns)
+    return MechanismResult(workload=WORKLOAD, stages=stages)
+
+
+def render(result: MechanismResult) -> str:
+    """One row per target, each Figure 13 stage a column."""
+    lines = [f"Figure 13: the cache-slowdown mechanism ({result.workload})"]
+    table = Table(["target", "(1) lat ns", "(2) late frac", "(2) coverage",
+                   "(3) L1PF shift", "(4) cache S%"])
+    for s in result.stages:
+        table.add_row(s.target, s.latency_ns, s.late_fraction, s.coverage,
+                      s.l1pf_shift_events, s.cache_slowdown_pct)
+    lines.append(table.render())
+    checks = {
+        "lateness grows with latency": result.monotone("late_fraction"),
+        "coverage falls with latency": result.monotone(
+            "coverage", increasing=False
+        ),
+        "L1PF shift grows with latency": result.monotone(
+            "l1pf_shift_events", tolerance=1e5
+        ),
+    }
+    for claim, holds in checks.items():
+        lines.append(f"  {claim}: {'holds' if holds else 'VIOLATED'}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Figure 14: per-workload Spa slowdown breakdowns, grouped by suite.
+
+Stacked DRAM/L3/L2/L1/Store/Core/Other contributions for every workload
+under NUMA, CXL-A, and CXL-B.  Structural claims: 519.lbm/619.lbm are
+store-dominated; GAPBS is DRAM-demand dominated (except pr-kron and
+pr-twitter's cache share); Llama leans on LLC; Redis/VoltDB and
+GPT-2/DLRM are DRAM-dominated (ML ~90%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import Table
+from repro.core.breakdown import breakdown_by_suite, dominant_source
+from repro.core.melody import Melody
+from repro.core.spa import SpaBreakdown, spa_analyze
+from repro.experiments.common import workload_population
+from repro.workloads import workload_by_name
+
+TARGETS = ("NUMA", "CXL-A", "CXL-B")
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    """Per-target, per-suite breakdowns."""
+
+    by_target: Dict[str, Dict[str, List[SpaBreakdown]]]
+
+    def breakdown(self, target: str, workload: str) -> SpaBreakdown:
+        """One workload's breakdown on one target."""
+        suite = workload_by_name(workload).suite
+        for b in self.by_target[target][suite]:
+            if b.workload == workload:
+                return b
+        raise KeyError(workload)
+
+    def dram_share(self, target: str, workload: str) -> float:
+        """DRAM fraction of the explained slowdown."""
+        b = self.breakdown(target, workload)
+        return b.components["dram"] / max(b.explained, 1e-9)
+
+
+def run(fast: bool = True) -> BreakdownResult:
+    """Compute breakdowns for the population on the three targets."""
+    melody = Melody()
+    campaign = Melody.device_campaign(
+        workloads=workload_population(fast), devices=("CXL-A", "CXL-B")
+    )
+    result = melody.run(campaign)
+    suites = {w.name: w.suite for w in campaign.workloads}
+    by_target = {}
+    for target in result.target_names():
+        label = target.replace("EMR2S-", "")
+        breakdowns = [spa_analyze(l, c) for l, c in result.pairs(target)]
+        by_target[label] = breakdown_by_suite(breakdowns, suites)
+    return BreakdownResult(by_target=by_target)
+
+
+def render(result: BreakdownResult) -> str:
+    """Per-suite stacked breakdown tables for CXL-A."""
+    lines = ["Figure 14: Spa slowdown breakdown (CXL-A shown)"]
+    target = "CXL-A"
+    for suite, breakdowns in sorted(result.by_target[target].items()):
+        lines.append(f"\n  [{suite}]")
+        table = Table(["workload", "total", "dram", "l3", "l2", "l1",
+                       "store", "core", "other", "dominant"])
+        for b in breakdowns[:12]:
+            table.add_row(
+                b.workload, b.estimates.actual,
+                b.components["dram"], b.components["l3"], b.components["l2"],
+                b.components["l1"], b.components["store"], b.core, b.other,
+                dominant_source(b),
+            )
+        lines.append("  " + table.render().replace("\n", "\n  "))
+        if len(breakdowns) > 12:
+            lines.append(f"  ... {len(breakdowns) - 12} more")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Figure 16: period-based slowdown time series.
+
+Per-instruction-period Spa breakdowns for 602.gcc_s, 605.mcf_s, and
+631.deepsjeng_s on CXL.  Claims: 602.gcc's first two thirds run well above
+its ~20% whole-run average; 605.mcf and 631.deepsjeng have similar
+averages but very different temporal structure (mcf bursts, deepsjeng
+oscillates gently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.core.period import PeriodBreakdown, mean_slowdown, period_analysis
+from repro.cpu.pipeline import run_workload
+from repro.experiments.common import standard_targets
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+
+WORKLOADS = ("602.gcc_s", "605.mcf_s", "631.deepsjeng_s")
+
+
+@dataclass(frozen=True)
+class PeriodResult:
+    """Per-workload period series on CXL-A."""
+
+    series: Dict[str, List[PeriodBreakdown]]
+
+    def mean(self, workload: str) -> float:
+        """Whole-run average slowdown from the periods."""
+        return mean_slowdown(self.series[workload])
+
+    def burstiness(self, workload: str) -> float:
+        """Std-dev of per-period slowdown (temporal variation)."""
+        values = [p.actual_pct for p in self.series[workload]]
+        return float(np.std(values))
+
+
+def run(fast: bool = True) -> PeriodResult:
+    """Run the three workloads and convert to instruction periods."""
+    targets = standard_targets()
+    local, cxl = targets["Local"], targets["CXL-A"]
+    period = 5e7 if fast else 2.5e7
+    series = {}
+    for name in WORKLOADS:
+        workload = workload_by_name(name)
+        base = run_workload(workload, EMR2S, local)
+        run_cxl = run_workload(workload, EMR2S, cxl)
+        series[name] = period_analysis(
+            base, run_cxl, period_instructions=period, cxl_target=cxl
+        )
+    return PeriodResult(series=series)
+
+
+def render(result: PeriodResult) -> str:
+    """Sparkline-style period series plus summary stats."""
+    lines = ["Figure 16: period-based slowdown breakdown (CXL-A)"]
+    for name, periods in result.series.items():
+        values = [p.actual_pct for p in periods]
+        peak = max(max(values), 1.0)
+        blocks = " .:-=+*#%@"
+        spark = "".join(
+            blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
+            if v > 0 else " "
+            for v in values
+        )
+        lines.append(
+            f"  {name:18s} mean={result.mean(name):5.1f}% "
+            f"sd={result.burstiness(name):4.1f} |{spark}|"
+        )
+    table = Table(["workload", "periods", "mean %", "max %",
+                   "dominant source (peak period)"])
+    for name, periods in result.series.items():
+        peak_period = max(periods, key=lambda p: p.actual_pct)
+        dominant = max(
+            peak_period.components, key=lambda k: peak_period.components[k]
+        )
+        table.add_row(name, len(periods), result.mean(name),
+                      peak_period.actual_pct, dominant)
+    lines.append(table.render())
+    return "\n".join(lines)

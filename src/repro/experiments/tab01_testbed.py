@@ -1,0 +1,90 @@
+"""Table 1: testbed idle latency and bandwidth, local and remote.
+
+Regenerates the Lat/BW columns by *measuring* every platform and device
+with the MLC work-alike (latency/bandwidth matrices), rather than printing
+the calibrated constants -- so the table doubles as a calibration check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import Table
+from repro.hw.cxl import CXL_DEVICES
+from repro.hw.platform import PLATFORMS
+from repro.hw.topology import remote_view
+from repro.tools.mlc import MemoryLatencyChecker
+
+PAPER_VALUES = {
+    # name -> (local lat ns, local BW GB/s, remote lat ns, remote BW GB/s)
+    "SPR2S": (114, 218, 191, 97),
+    "EMR2S": (111, 246, 193, 120),
+    "EMR2S'": (117, 236, 212, 119),
+    "SKX2S": (90, 52, 140, 32),
+    "SKX8S": (81, 109, 410, 7),
+    "CXL-A": (214, 24, 375, 14),
+    "CXL-B": (271, 22, 473, 13),
+    "CXL-C": (394, 18, 621, 14),
+    "CXL-D": (239, 52, 333, 14),
+}
+"""The paper's Table 1 numbers, for side-by-side comparison."""
+
+
+@dataclass(frozen=True)
+class TestbedRow:
+    """One measured Table 1 row."""
+
+    name: str
+    local_latency_ns: float
+    local_bandwidth_gbps: float
+    remote_latency_ns: float
+    remote_bandwidth_gbps: float
+
+
+def run(fast: bool = True) -> Dict[str, TestbedRow]:
+    """Measure every platform and CXL device."""
+    del fast  # the table is cheap either way
+    mlc = MemoryLatencyChecker()
+    rows: Dict[str, TestbedRow] = {}
+    for name, platform in PLATFORMS.items():
+        local = platform.local_target()
+        remote = platform.numa_target()
+        rows[name] = TestbedRow(
+            name=name,
+            local_latency_ns=local.idle_latency_ns(),
+            local_bandwidth_gbps=mlc.peak_bandwidth(local),
+            remote_latency_ns=remote.idle_latency_ns(),
+            remote_bandwidth_gbps=mlc.peak_bandwidth(remote),
+        )
+    for name, factory in CXL_DEVICES.items():
+        device = factory()
+        remote = remote_view(device)
+        rows[name] = TestbedRow(
+            name=name,
+            local_latency_ns=device.idle_latency_ns(),
+            local_bandwidth_gbps=mlc.peak_bandwidth(device),
+            remote_latency_ns=remote.idle_latency_ns(),
+            remote_bandwidth_gbps=mlc.peak_bandwidth(remote),
+        )
+    return rows
+
+
+def render(rows: Dict[str, TestbedRow]) -> str:
+    """Side-by-side measured vs paper table."""
+    table = Table(
+        ["name", "lat ns", "(paper)", "BW GB/s", "(paper)",
+         "rem lat", "(paper)", "rem BW", "(paper)"]
+    )
+    order = list(PAPER_VALUES)
+    for name in order:
+        row = rows[name]
+        paper = PAPER_VALUES[name]
+        table.add_row(
+            name,
+            row.local_latency_ns, paper[0],
+            row.local_bandwidth_gbps, paper[1],
+            row.remote_latency_ns, paper[2],
+            row.remote_bandwidth_gbps, paper[3],
+        )
+    return "Table 1: testbed characteristics (measured vs paper)\n" + table.render()

@@ -1,0 +1,101 @@
+"""Population table: the 265-workload evaluation set at a glance.
+
+The paper's §3.1 characterizes its population qualitatively ("some are
+latency-sensitive, approximately one quarter are bandwidth-sensitive...").
+This table quantifies our reproduction of that population: per suite, the
+count, sensitivity-class mix, miss-rate spread, and working-set spread --
+and validates the §3.1 proportions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.workloads import all_workloads
+from repro.workloads.base import BANDWIDTH_CLASS, COMPUTE_CLASS
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Aggregate statistics for one suite."""
+
+    suite: str
+    count: int
+    classes: Dict[str, int]
+    l3_mpki_median: float
+    l3_mpki_max: float
+    working_set_median_gb: float
+    multithreaded: int
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """Per-suite summaries plus population-level fractions."""
+
+    summaries: List[SuiteSummary]
+    total: int
+    bandwidth_fraction: float
+    compute_fraction: float
+    fits_cxl_c: int  # workloads runnable on the 16 GB device
+
+
+def run(fast: bool = True) -> PopulationResult:
+    """Summarize the registry."""
+    del fast
+    workloads = all_workloads()
+    summaries = []
+    for suite in sorted({w.suite for w in workloads}):
+        members = [w for w in workloads if w.suite == suite]
+        summaries.append(
+            SuiteSummary(
+                suite=suite,
+                count=len(members),
+                classes=dict(Counter(w.latency_class for w in members)),
+                l3_mpki_median=float(
+                    np.median([w.l3_mpki for w in members])
+                ),
+                l3_mpki_max=float(max(w.l3_mpki for w in members)),
+                working_set_median_gb=float(
+                    np.median([w.working_set_gb for w in members])
+                ),
+                multithreaded=sum(1 for w in members if w.threads > 1),
+            )
+        )
+    classes = Counter(w.latency_class for w in workloads)
+    return PopulationResult(
+        summaries=summaries,
+        total=len(workloads),
+        bandwidth_fraction=classes[BANDWIDTH_CLASS] / len(workloads),
+        compute_fraction=classes[COMPUTE_CLASS] / len(workloads),
+        fits_cxl_c=sum(1 for w in workloads if w.working_set_gb <= 16.0),
+    )
+
+
+def render(result: PopulationResult) -> str:
+    """The population table."""
+    lines = [f"Workload population: {result.total} workloads"]
+    table = Table(["suite", "n", "lat/mix/bw/cpu", "l3 mpki p50/max",
+                   "ws p50 GB", "multi-thr"])
+    for s in result.summaries:
+        mix = "/".join(
+            str(s.classes.get(k, 0))
+            for k in ("latency", "mixed", "bandwidth", "compute")
+        )
+        table.add_row(
+            s.suite, s.count, mix,
+            f"{s.l3_mpki_median:.1f}/{s.l3_mpki_max:.0f}",
+            s.working_set_median_gb, s.multithreaded,
+        )
+    lines.append(table.render())
+    lines.append(
+        f"bandwidth-sensitive: {result.bandwidth_fraction * 100:.0f}% "
+        "(paper: ~25%); "
+        f"compute-leaning: {result.compute_fraction * 100:.0f}%; "
+        f"fit CXL-C's 16 GB: {result.fits_cxl_c} (paper ran 60)"
+    )
+    return "\n".join(lines)

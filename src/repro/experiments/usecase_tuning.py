@@ -1,0 +1,64 @@
+"""§5.7 use case: Spa-guided memory placement for 605.mcf.
+
+The period-based analysis flags 605.mcf's bursty periods (>10% slowdown);
+Pin/addr2line-style attribution (our explicit object map) identifies two
+2 GB objects behind them; relocating both to local DRAM cuts the overall
+slowdown from ~13% to ~2-4%.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuning import HotObject, TuningResult, tune_placement
+from repro.experiments.common import standard_targets
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+
+MCF_OBJECTS = (
+    HotObject(
+        name="arc_array",
+        size_gb=2.0,
+        miss_share_by_phase={
+            "hot-1": 0.70, "hot-2": 0.65, "hot-3": 0.60,
+            "cool-1": 0.45, "cool-2": 0.40, "cool-3": 0.40,
+        },
+    ),
+    HotObject(
+        name="node_array",
+        size_gb=2.0,
+        miss_share_by_phase={
+            "hot-1": 0.25, "hot-2": 0.28, "hot-3": 0.30,
+            "cool-1": 0.25, "cool-2": 0.30, "cool-3": 0.30,
+        },
+    ),
+    HotObject(
+        name="cold_buffers",
+        size_gb=1.5,
+        miss_share_by_phase={},  # never hot: must NOT be relocated
+    ),
+)
+"""605.mcf's object map, as Pin + addr2line would recover it."""
+
+
+def run(fast: bool = True) -> TuningResult:
+    """Run the tuning loop for 605.mcf on CXL-A."""
+    del fast
+    workload = workload_by_name("605.mcf_s")
+    return tune_placement(
+        workload,
+        EMR2S,
+        standard_targets()["CXL-A"],
+        MCF_OBJECTS,
+        threshold_pct=10.0,
+    )
+
+
+def render(result: TuningResult) -> str:
+    """Before/after summary."""
+    moved = ", ".join(o.name for o in result.relocated) or "none"
+    return (
+        "Use case (5.7): Spa-guided placement for 605.mcf\n"
+        f"  slowdown before: {result.slowdown_before_pct:.1f}% (paper: 13%)\n"
+        f"  slowdown after:  {result.slowdown_after_pct:.1f}% (paper: 2%)\n"
+        f"  relocated: {moved} ({result.moved_gb:.1f} GB)\n"
+        f"  hot periods: {len(result.hot_period_indices)}"
+    )

@@ -1,0 +1,70 @@
+"""Hardware substrate: DRAM, iMC, NUMA interconnect, CXL devices, topologies.
+
+This package models every piece of hardware the Melody paper measures:
+
+* :mod:`repro.hw.dram` -- DDR4/DDR5 DRAM backends (banks, row buffer, refresh)
+* :mod:`repro.hw.queueing` -- load/latency queueing math shared by all targets
+* :mod:`repro.hw.tail` -- parametric tail-latency models
+* :mod:`repro.hw.target` -- the :class:`~repro.hw.target.MemoryTarget` interface
+* :mod:`repro.hw.imc` -- the CPU's integrated memory controller (local DRAM)
+* :mod:`repro.hw.numa` -- UPI cross-socket hops
+* :mod:`repro.hw.cxl` -- CXL link, third-party memory controller, and devices
+* :mod:`repro.hw.topology` -- composed memory topologies (CXL+NUMA, switch,
+  hardware interleaving)
+* :mod:`repro.hw.platform` -- the five server platforms of Table 1
+* :mod:`repro.hw.eventsim` -- a small event-driven queue simulator used to
+  validate the analytic queueing model
+"""
+
+from repro.hw.target import LatencyDistribution, MemoryTarget
+from repro.hw.dram import DDR4, DDR5, DramBackend, DramTimings
+from repro.hw.imc import IntegratedMemoryController, LocalDram
+from repro.hw.numa import NumaHop, NumaMemory
+from repro.hw.topology import (
+    CxlNumaTopology,
+    CxlSwitchTopology,
+    InterleavedTarget,
+    remote_view,
+)
+from repro.hw.pooling import SharedDeviceView, pool_views
+from repro.hw.fitting import fit_device, fit_queue_model, fit_tail_model
+from repro.hw.platform import (
+    EMR2S,
+    EMR2S_PRIME,
+    PLATFORMS,
+    SKX2S,
+    SKX8S,
+    SPR2S,
+    Platform,
+    platform_by_name,
+)
+
+__all__ = [
+    "LatencyDistribution",
+    "MemoryTarget",
+    "DDR4",
+    "DDR5",
+    "DramBackend",
+    "DramTimings",
+    "IntegratedMemoryController",
+    "LocalDram",
+    "NumaHop",
+    "NumaMemory",
+    "CxlNumaTopology",
+    "CxlSwitchTopology",
+    "InterleavedTarget",
+    "remote_view",
+    "Platform",
+    "PLATFORMS",
+    "SPR2S",
+    "EMR2S",
+    "EMR2S_PRIME",
+    "SKX2S",
+    "SKX8S",
+    "platform_by_name",
+    "SharedDeviceView",
+    "pool_views",
+    "fit_device",
+    "fit_queue_model",
+    "fit_tail_model",
+]

@@ -1,0 +1,100 @@
+"""Read/write bandwidth capacity models.
+
+Figure 5 of the paper shows that the *shape* of achievable bandwidth versus
+read/write ratio differs fundamentally across memory types:
+
+* **Shared-bus memory** (DDR behind an iMC, and the FPGA CXL-C device that
+  fails to use both CXL directions): a single bus carries reads and writes,
+  so peak bandwidth occurs for read-only traffic and mixed traffic pays a
+  bus-turnaround penalty.
+
+* **Full-duplex links** (UPI cross-socket, ASIC CXL devices): reads and
+  writes travel on independent unidirectional lanes, so the *total* peak
+  occurs at a mixed ratio where both directions are busy.  The ratio at
+  which the peak occurs equals the ratio of the two directions' capacities,
+  which differs per device (2:1 for CXL-A, 3:1-4:1 for CXL-D, ...).
+
+Both are captured by :class:`BandwidthModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+FULL_DUPLEX = "full-duplex"
+SHARED_BUS = "shared-bus"
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Achievable bandwidth as a function of the read fraction.
+
+    Parameters
+    ----------
+    read_gbps:
+        Capacity of the read direction (GB/s).  For a shared bus this is the
+        whole bus capacity under read-only traffic.
+    write_gbps:
+        Capacity of the write direction.  Ignored for shared-bus mode except
+        as the write-only limit.
+    backend_gbps:
+        Shared downstream limit (DRAM channels behind the controller).  The
+        total can never exceed this regardless of link duplexing.
+    mode:
+        ``FULL_DUPLEX`` or ``SHARED_BUS``.
+    turnaround_penalty:
+        Shared-bus only: fractional bandwidth lost at a perfect 1:1 mix due
+        to bus turnarounds (0.15 = 15% loss).  The loss shrinks linearly as
+        the mix approaches pure reads or pure writes.
+    """
+
+    read_gbps: float
+    write_gbps: float
+    backend_gbps: float
+    mode: str = FULL_DUPLEX
+    turnaround_penalty: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.mode not in (FULL_DUPLEX, SHARED_BUS):
+            raise ConfigurationError(f"unknown duplex mode: {self.mode!r}")
+        if min(self.read_gbps, self.write_gbps, self.backend_gbps) <= 0:
+            raise ConfigurationError("all capacities must be positive")
+        if not 0.0 <= self.turnaround_penalty < 1.0:
+            raise ConfigurationError(
+                f"turnaround_penalty out of range: {self.turnaround_penalty}"
+            )
+
+    def peak_gbps(self, read_fraction: float = 1.0) -> float:
+        """Peak total bandwidth for a traffic mix with ``read_fraction`` reads."""
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigurationError(f"read_fraction out of range: {read_fraction}")
+        if self.mode == FULL_DUPLEX:
+            limits = [self.backend_gbps]
+            if read_fraction > 0:
+                limits.append(self.read_gbps / read_fraction)
+            if read_fraction < 1:
+                limits.append(self.write_gbps / (1.0 - read_fraction))
+            return min(limits)
+        # Shared bus: linear turnaround dip, worst at a 1:1 mix.
+        mix = 1.0 - abs(2.0 * read_fraction - 1.0)  # 0 at pure r/w, 1 at 1:1
+        base = self.read_gbps * read_fraction + self.write_gbps * (1.0 - read_fraction)
+        return min(self.backend_gbps, base * (1.0 - self.turnaround_penalty * mix))
+
+    def best_mix(self, samples: int = 101) -> tuple:
+        """Return ``(read_fraction, peak_gbps)`` of the best traffic mix.
+
+        When a backend cap creates a flat plateau of optimal mixes (as on
+        CXL-A/D), the plateau *midpoint* is reported -- the ratio a
+        measurement sweep would identify as the peak.
+        """
+        fractions = [i / (samples - 1) for i in range(samples)]
+        peaks = [self.peak_gbps(f) for f in fractions]
+        best_bw = max(peaks)
+        plateau = [
+            f for f, bw in zip(fractions, peaks)
+            if bw >= best_bw * (1.0 - 1e-9)
+        ]
+        best_f = plateau[len(plateau) // 2]
+        return best_f, best_bw

@@ -1,0 +1,46 @@
+"""CXL memory expansion devices.
+
+* :mod:`repro.hw.cxl.link` -- the Flex Bus / PCIe physical and link layers
+  (flit serialization, per-direction bandwidth, retry jitter).
+* :mod:`repro.hw.cxl.controller` -- the third-party CXL memory controller
+  (request queue, scheduler, thermal management).
+* :mod:`repro.hw.cxl.device` -- assembled type-3 expanders, including the
+  four calibrated profiles CXL-A..CXL-D from Table 1 of the paper.
+"""
+
+from repro.hw.cxl.link import CxlLink, FlitFormat
+from repro.hw.cxl.controller import CxlMemoryController, ThermalModel
+from repro.hw.cxl.device import (
+    CXL_DEVICES,
+    CxlDevice,
+    DeviceProfile,
+    cxl_a,
+    cxl_b,
+    cxl_c,
+    cxl_d,
+    device_by_name,
+)
+from repro.hw.cxl.cpmu import Cpmu, CpmuTrace
+from repro.hw.cxl.eventdevice import EventDrivenDevice, EventSimResult
+from repro.hw.cxl.fabric import SwitchedFabric, cmm_b_class_box
+
+__all__ = [
+    "CxlLink",
+    "FlitFormat",
+    "CxlMemoryController",
+    "ThermalModel",
+    "CxlDevice",
+    "DeviceProfile",
+    "CXL_DEVICES",
+    "cxl_a",
+    "cxl_b",
+    "cxl_c",
+    "cxl_d",
+    "device_by_name",
+    "Cpmu",
+    "CpmuTrace",
+    "EventDrivenDevice",
+    "EventSimResult",
+    "SwitchedFabric",
+    "cmm_b_class_box",
+]

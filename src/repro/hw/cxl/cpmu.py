@@ -1,0 +1,195 @@
+"""CPMU: the CXL Performance Monitoring Unit (CXL 3.0) — white-box tails.
+
+§3.2's "Reasoning" paragraph ends with the approach the paper could not
+take on CXL 1.1 hardware: *"a white-box analysis, breaking down the latency
+of each memory request across components such as the CXL link, MC, and
+DRAM chips... would require the CXL MC to expose detailed performance
+counters, potentially through the upcoming CXL Performance Monitoring Unit
+(CPMU) introduced in CXL 3.0."*
+
+Because our devices are models, we can build exactly that instrument: the
+CPMU samples per-request latency *decomposed by component* and attributes
+each tail excursion to its source (link retries/back-pressure vs MC
+queueing/scheduling vs DRAM refresh/row conflicts).  This both demonstrates
+the paper's proposed future direction and doubles as a validation harness
+for the tail models (the components must sum to the observed latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.hw.cxl.device import HOST_OVERHEAD_NS, CxlDevice
+from repro.rng import DEFAULT_SEED, generator_for
+
+COMPONENTS = ("host", "link", "controller", "dram", "queueing", "excursion")
+"""Per-request latency components the CPMU attributes."""
+
+LINK_EXCURSION_SHARE = 0.35
+"""Share of tail excursions originating in the link layer (retries,
+flow-control back-pressure); the rest come from the MC (scheduling
+hiccups, refresh collisions, thermal events)."""
+
+
+@dataclass(frozen=True)
+class CpmuTrace:
+    """A component-resolved latency trace from one sampling session."""
+
+    device: str
+    load_gbps: float
+    utilization: float
+    components_ns: Dict[str, np.ndarray]  # per-request component latencies
+
+    @property
+    def total_ns(self) -> np.ndarray:
+        """Per-request total latencies (sum of components)."""
+        return sum(self.components_ns.values())
+
+    def mean_breakdown_ns(self) -> Dict[str, float]:
+        """Mean latency contribution per component."""
+        return {
+            name: float(values.mean())
+            for name, values in self.components_ns.items()
+        }
+
+    def tail_attribution(self, percentile: float = 99.0) -> Dict[str, float]:
+        """Who causes the tail?  Component shares of latency *beyond* the
+        given percentile's threshold, over the requests in that tail."""
+        totals = self.total_ns
+        threshold = np.percentile(totals, percentile)
+        in_tail = totals >= threshold
+        if not in_tail.any():
+            raise MeasurementError("no requests beyond the tail threshold")
+        base = {
+            name: float(values[~in_tail].mean()) if (~in_tail).any() else 0.0
+            for name, values in self.components_ns.items()
+        }
+        excess = {}
+        for name, values in self.components_ns.items():
+            excess[name] = max(0.0, float(values[in_tail].mean()) - base[name])
+        total_excess = sum(excess.values())
+        if total_excess <= 0:
+            return {name: 0.0 for name in excess}
+        return {name: value / total_excess for name, value in excess.items()}
+
+    def dominant_tail_source(self, percentile: float = 99.0) -> str:
+        """The single component contributing most of the tail."""
+        attribution = self.tail_attribution(percentile)
+        return max(attribution, key=lambda k: attribution[k])
+
+
+class Cpmu:
+    """A white-box per-request latency sampler for one CXL device.
+
+    Decomposes each sampled request into deterministic component shares
+    (host path, link serialization + stack, MC processing, DRAM access),
+    load-dependent queueing delay, and — when an excursion strikes — an
+    excursion attributed to the link or the MC per
+    :data:`LINK_EXCURSION_SHARE`.
+    """
+
+    def __init__(self, device: CxlDevice, seed: int = DEFAULT_SEED):
+        self.device = device
+        self.seed = seed
+
+    def sample(
+        self,
+        n: int,
+        load_gbps: float = 0.0,
+        read_fraction: float = 1.0,
+    ) -> CpmuTrace:
+        """Sample ``n`` requests with full component attribution."""
+        if n < 1:
+            raise MeasurementError(f"sample count must be >= 1: {n}")
+        device = self.device
+        rng = generator_for(
+            self.seed, "cpmu", device.name, f"{load_gbps:.2f}", f"{n}"
+        )
+        profile = device.profile
+        dist = device.distribution(load_gbps, read_fraction)
+        tail = device.tail_model()
+        util = dist.util
+
+        dram_backend = profile.dram
+        # Deterministic shares of the idle latency.
+        host = np.full(n, HOST_OVERHEAD_NS)
+        link = np.full(n, profile.link.round_trip_overhead_ns())
+        controller = np.full(
+            n,
+            device.latency_breakdown_ns()["controller"],
+        )
+        # DRAM access varies per request: row hit / miss / conflict mix
+        # plus refresh collisions -- the chip-level jitter.
+        t = dram_backend.timings
+        row_draw = rng.random(n)
+        dram = np.where(
+            row_draw < dram_backend.row_hit_rate,
+            t.row_hit_ns,
+            np.where(
+                row_draw < dram_backend.row_hit_rate + dram_backend.row_miss_rate,
+                t.row_miss_ns,
+                t.row_conflict_ns,
+            ),
+        )
+        refresh_hit = rng.random(n) < t.refresh_duty
+        dram = dram + np.where(refresh_hit, rng.uniform(0, t.tRFC, n), 0.0)
+
+        queueing = np.full(n, device.queue_model().delay_ns(util))
+
+        # Excursions: strike with the tail model's probability; attribute
+        # to link vs MC.
+        prob = tail.tail_prob(util)
+        scale = tail.tail_scale_ns(util)
+        struck = rng.random(n) < prob
+        excursion = np.zeros(n)
+        n_struck = int(struck.sum())
+        if n_struck and scale > 0:
+            excursion[struck] = np.minimum(
+                rng.exponential(scale, n_struck), tail.tail_cap_ns
+            )
+        link_fault = rng.random(n) < LINK_EXCURSION_SHARE
+        link_excursion = np.where(struck & link_fault, excursion, 0.0)
+        mc_excursion = np.where(struck & ~link_fault, excursion, 0.0)
+
+        return CpmuTrace(
+            device=device.name,
+            load_gbps=load_gbps,
+            utilization=util,
+            components_ns={
+                "host": host,
+                "link": link + link_excursion,
+                "controller": controller + mc_excursion,
+                "dram": dram,
+                "queueing": queueing,
+                "excursion": np.zeros(n),  # folded into link/controller
+            },
+        )
+
+    def latency_report(self, load_gbps: float = 0.0, n: int = 50_000) -> str:
+        """Human-readable white-box report for one operating point."""
+        trace = self.sample(n, load_gbps)
+        lines = [
+            f"CPMU report: {trace.device} @ {load_gbps:.1f} GB/s "
+            f"(util {trace.utilization * 100:.0f}%)"
+        ]
+        breakdown = trace.mean_breakdown_ns()
+        total = sum(breakdown.values())
+        for name in COMPONENTS:
+            value = breakdown.get(name, 0.0)
+            if value <= 0:
+                continue
+            lines.append(
+                f"  {name:10s} {value:7.1f} ns ({value / total * 100:4.1f}%)"
+            )
+        lines.append(f"  {'total':10s} {total:7.1f} ns")
+        attribution = trace.tail_attribution(99.0)
+        top = max(attribution, key=lambda k: attribution[k])
+        lines.append(
+            f"  p99 tail attribution: {top} "
+            f"({attribution[top] * 100:.0f}% of the excess)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,362 @@
+"""Assembled CXL type-3 memory expanders and the four testbed profiles.
+
+A :class:`CxlDevice` composes a :class:`~repro.hw.cxl.link.CxlLink`, a
+:class:`~repro.hw.cxl.controller.CxlMemoryController`, and a
+:class:`~repro.hw.dram.DramBackend` into a :class:`~repro.hw.target.MemoryTarget`.
+The four :class:`DeviceProfile` instances below are calibrated to Table 1 of
+the paper plus the tail behaviour of §3.2:
+
+==========  =====  ========  ========  =========  ==========================
+device      type   DDR       idle lat  read BW    notes
+==========  =====  ========  ========  =========  ==========================
+``CXL-A``   ASIC   2xDDR4    214 ns    24 GB/s    tails grow from ~30% util
+``CXL-B``   ASIC   1xDDR5    271 ns    22 GB/s    heavy tails even at idle
+``CXL-C``   FPGA   2xDDR4    394 ns    18 GB/s    unidirectional link use,
+                                                  3 us excursions under load
+``CXL-D``   ASIC   2xDDR5    239 ns    52 GB/s    x16, most stable tails
+==========  =====  ========  ========  =========  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.hw.bandwidth import FULL_DUPLEX, SHARED_BUS, BandwidthModel
+from repro.hw.cxl.controller import CxlMemoryController
+from repro.hw.cxl.link import CxlLink
+from repro.hw.dram import DDR4, DDR5, DramBackend
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import TailModel
+from repro.hw.target import MemoryTarget
+
+HOST_OVERHEAD_NS = 70.0
+"""Round-trip core -> LLC-miss path -> PCIe root complex latency on the host.
+
+Shared by all devices on the same host; part of every CXL access but not of
+local DRAM accesses.
+"""
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything needed to instantiate one vendor's expander.
+
+    ``remote_latency_ns`` / ``remote_read_gbps`` are the measured Table 1
+    "Remote" columns -- what the device looks like from the other socket --
+    consumed by :func:`repro.hw.topology.remote_view`.
+    """
+
+    name: str
+    vendor_type: str  # "asic" | "fpga"
+    spec: str  # e.g. "CXL 1.1 x8"
+    capacity_gb: float
+    dram: DramBackend
+    link: CxlLink
+    controller: CxlMemoryController
+    tail: TailModel
+    idle_latency_ns: float
+    read_gbps: float
+    write_gbps: float
+    backend_gbps: float
+    duplex_mode: str = FULL_DUPLEX
+    turnaround_penalty: float = 0.12
+    remote_latency_ns: Optional[float] = None
+    remote_read_gbps: Optional[float] = None
+    hosts: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.vendor_type not in ("asic", "fpga"):
+            raise ConfigurationError(f"unknown vendor type: {self.vendor_type}")
+        if self.idle_latency_ns <= 0:
+            raise ConfigurationError("idle latency must be positive")
+        if min(self.read_gbps, self.write_gbps, self.backend_gbps) <= 0:
+            raise ConfigurationError("bandwidth figures must be positive")
+
+
+class CxlDevice(MemoryTarget):
+    """A CXL 1.1 type-3 memory expander (CXL.io + CXL.mem)."""
+
+    def __init__(self, profile: DeviceProfile, temperature_c: float = None):
+        super().__init__(profile.name, profile.capacity_gb)
+        self.profile = profile
+        self.temperature_c = (
+            temperature_c
+            if temperature_c is not None
+            else profile.controller.thermal.ambient_c
+        )
+        # The controller's internal processing latency is whatever remains
+        # of the calibrated idle latency after host, link, and DRAM shares.
+        fixed = (
+            HOST_OVERHEAD_NS
+            + profile.link.round_trip_overhead_ns()
+            + profile.dram.mean_access_ns()
+            + profile.dram.refresh_extra_mean_ns()
+        )
+        self._mc_internal_ns = profile.idle_latency_ns - fixed
+        if self._mc_internal_ns < 0:
+            raise CalibrationError(
+                f"{profile.name}: idle latency {profile.idle_latency_ns}ns is "
+                f"below the host+link+DRAM floor {fixed:.1f}ns"
+            )
+
+    # -- latency breakdown -------------------------------------------------
+
+    def latency_breakdown_ns(self) -> dict:
+        """Decompose the idle latency into its physical components.
+
+        The white-box breakdown §3.2's "Reasoning" paragraph wishes the CXL
+        Performance Monitoring Unit could provide.
+        """
+        p = self.profile
+        return {
+            "host": HOST_OVERHEAD_NS,
+            "link": p.link.round_trip_overhead_ns(),
+            "controller": self._mc_internal_ns,
+            "dram": p.dram.mean_access_ns(),
+            "refresh": p.dram.refresh_extra_mean_ns(),
+        }
+
+    @property
+    def is_fpga(self) -> bool:
+        """Whether this is an FPGA-based device (CXL-C)."""
+        return self.profile.vendor_type == "fpga"
+
+    # -- MemoryTarget ------------------------------------------------------
+
+    def idle_latency_ns(self) -> float:
+        """Calibrated idle latency, thermally derated when throttling."""
+        base = self.profile.idle_latency_ns
+        derate = self.profile.controller.thermal.service_derating(self.temperature_c)
+        if derate > 1.0:
+            # Throttling stretches the DRAM-facing service portion.
+            dram_share = (
+                self.profile.dram.mean_access_ns() + self._mc_internal_ns
+            )
+            base += dram_share * (derate - 1.0)
+        return base
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Per-direction link/backend capacities, thermally derated."""
+        p = self.profile
+        derate = p.controller.thermal.service_derating(self.temperature_c)
+        return BandwidthModel(
+            read_gbps=p.read_gbps / derate,
+            write_gbps=p.write_gbps / derate,
+            backend_gbps=p.backend_gbps / derate,
+            mode=p.duplex_mode,
+            turnaround_penalty=p.turnaround_penalty,
+        )
+
+    def queue_model(self) -> QueueModel:
+        """The vendor MC's request queue over banked DRAM service."""
+        # Per-request service at the device: DRAM access divided across
+        # channels (banked service pipelines requests).
+        service = self.profile.dram.mean_access_ns() / self.profile.dram.channels
+        return self.profile.controller.queue_model(
+            service_ns=max(service, 8.0), temperature_c=self.temperature_c
+        )
+
+    def tail_model(self) -> TailModel:
+        """The device's calibrated vendor tail behaviour."""
+        return self.profile.tail
+
+    def at_temperature(self, temperature_c: float) -> "CxlDevice":
+        """A copy of this device operating at ``temperature_c`` (stress test)."""
+        return CxlDevice(self.profile, temperature_c=temperature_c)
+
+
+def _x8_link(full_duplex: bool = True) -> CxlLink:
+    return CxlLink(pcie_gen=5, lanes=8, full_duplex=full_duplex)
+
+
+def _x16_link() -> CxlLink:
+    return CxlLink(pcie_gen=5, lanes=16)
+
+
+CXL_A_PROFILE = DeviceProfile(
+    name="CXL-A",
+    vendor_type="asic",
+    spec="CXL 1.1 x8",
+    capacity_gb=128,
+    dram=DramBackend(timings=DDR4, channels=2),
+    link=_x8_link(),
+    controller=CxlMemoryController(
+        processing_ns=60.0,
+        queue_onset_util=0.55,
+        queue_variability=1.5,
+        queue_depth=48,
+        scheduler="fr-fcfs",
+    ),
+    tail=TailModel(
+        jitter_ns=15.0,
+        jitter_shape=2.0,
+        tail_prob_idle=0.004,
+        tail_scale_idle_ns=60.0,
+        onset_util=0.30,
+        prob_growth=0.10,
+        scale_growth=4.0,
+        tail_cap_ns=1500.0,
+        deep_prob=3e-4,
+        deep_scale_ns=400.0,
+    ),
+    idle_latency_ns=214.0,
+    read_gbps=24.0,
+    write_gbps=12.0,
+    backend_gbps=32.0,  # controller crossbar cap (below the 2xDDR4 40)
+    remote_latency_ns=375.0,
+    remote_read_gbps=14.0,
+    hosts=("SPR2S", "EMR2S"),
+)
+"""Lowest-latency testbed device: ASIC, 2xDDR4, 214 ns / 24 GB/s."""
+
+CXL_B_PROFILE = DeviceProfile(
+    name="CXL-B",
+    vendor_type="asic",
+    spec="CXL 1.1 x8",
+    capacity_gb=128,
+    dram=DramBackend(timings=DDR5, channels=1),
+    link=_x8_link(),
+    controller=CxlMemoryController(
+        processing_ns=110.0,
+        queue_onset_util=0.50,
+        queue_variability=1.8,
+        queue_depth=48,
+        scheduler="fr-fcfs",
+    ),
+    tail=TailModel(
+        jitter_ns=18.0,
+        jitter_shape=2.0,
+        tail_prob_idle=0.008,
+        tail_scale_idle_ns=75.0,
+        onset_util=0.40,
+        prob_growth=0.12,
+        scale_growth=5.0,
+        tail_cap_ns=2000.0,
+    ),
+    idle_latency_ns=271.0,
+    read_gbps=22.0,
+    write_gbps=4.5,
+    backend_gbps=30.0,
+    remote_latency_ns=473.0,
+    remote_read_gbps=13.0,
+    hosts=("SPR2S", "EMR2S"),
+)
+"""ASIC with a single DDR5 channel: 271 ns / 22 GB/s, heavy idle tails."""
+
+CXL_C_PROFILE = DeviceProfile(
+    name="CXL-C",
+    vendor_type="fpga",
+    spec="CXL 1.1 x8",
+    capacity_gb=16,
+    dram=DramBackend(timings=DDR4, channels=2),
+    link=_x8_link(full_duplex=False),
+    controller=CxlMemoryController(
+        processing_ns=260.0,
+        queue_onset_util=0.45,
+        queue_variability=2.2,
+        queue_depth=128,
+        scheduler="fcfs",
+    ),
+    tail=TailModel(
+        jitter_ns=25.0,
+        jitter_shape=1.8,
+        tail_prob_idle=0.008,
+        tail_scale_idle_ns=80.0,
+        onset_util=0.35,
+        prob_growth=0.25,
+        scale_growth=10.0,
+        tail_cap_ns=3000.0,
+    ),
+    idle_latency_ns=394.0,
+    read_gbps=19.0,
+    write_gbps=11.0,
+    backend_gbps=40.0,
+    duplex_mode=SHARED_BUS,
+    turnaround_penalty=0.30,
+    remote_latency_ns=621.0,
+    remote_read_gbps=14.0,
+    hosts=("SPR2S", "EMR2S"),
+)
+"""FPGA prototype: slow (394 ns), unable to drive both link directions."""
+
+CXL_D_PROFILE = DeviceProfile(
+    name="CXL-D",
+    vendor_type="asic",
+    spec="CXL 1.1 x16",
+    capacity_gb=756,
+    dram=DramBackend(timings=DDR5, channels=2),
+    link=_x16_link(),
+    controller=CxlMemoryController(
+        processing_ns=75.0,
+        queue_onset_util=0.80,
+        queue_variability=1.0,
+        queue_depth=64,
+        scheduler="fr-fcfs",
+    ),
+    tail=TailModel(
+        jitter_ns=14.0,
+        jitter_shape=2.2,
+        tail_prob_idle=0.004,
+        tail_scale_idle_ns=55.0,
+        onset_util=0.70,
+        prob_growth=0.05,
+        scale_growth=2.5,
+        tail_cap_ns=1200.0,
+        deep_prob=1.5e-4,
+        deep_scale_ns=400.0,
+    ),
+    idle_latency_ns=239.0,
+    read_gbps=52.0,
+    write_gbps=23.0,
+    backend_gbps=59.0,
+    remote_latency_ns=333.0,
+    remote_read_gbps=14.0,
+    hosts=("EMR2S'",),
+)
+"""Highest-bandwidth device: x16 lanes, 2xDDR5, 52 GB/s, NUMA-like tails."""
+
+
+def cxl_a() -> CxlDevice:
+    """Instantiate the CXL-A expander."""
+    return CxlDevice(CXL_A_PROFILE)
+
+
+def cxl_b() -> CxlDevice:
+    """Instantiate the CXL-B expander."""
+    return CxlDevice(CXL_B_PROFILE)
+
+
+def cxl_c() -> CxlDevice:
+    """Instantiate the CXL-C expander."""
+    return CxlDevice(CXL_C_PROFILE)
+
+
+def cxl_d() -> CxlDevice:
+    """Instantiate the CXL-D expander."""
+    return CxlDevice(CXL_D_PROFILE)
+
+
+CXL_DEVICES = {
+    "CXL-A": cxl_a,
+    "CXL-B": cxl_b,
+    "CXL-C": cxl_c,
+    "CXL-D": cxl_d,
+}
+"""Factory map of the testbed's four expanders."""
+
+
+def device_by_name(name: str) -> CxlDevice:
+    """Instantiate a testbed device by its paper name ("CXL-A".."CXL-D")."""
+    try:
+        return CXL_DEVICES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown CXL device {name!r}; choose from {sorted(CXL_DEVICES)}"
+        ) from None
+
+
+def with_tail_model(device: CxlDevice, tail: TailModel) -> CxlDevice:
+    """A copy of ``device`` with a substituted tail model (ablation hook)."""
+    return CxlDevice(replace(device.profile, tail=tail))

@@ -1,0 +1,140 @@
+"""Switched CXL fabrics: many expanders behind a shared switch uplink.
+
+Figure 1's ``CXL+Switch`` point comes from the paper's citation [15] -- a
+Samsung CMM-B-class memory box: up to 16 TB of pooled DRAM behind a CXL
+switch at ~60 GB/s, with switch transit pushing latency toward 600 ns.
+This module models that class of system:
+
+* N member devices (their capacities sum; their bandwidths sum *up to*
+  the uplink),
+* a shared switch uplink that becomes the binding resource once the
+  members' aggregate exceeds it,
+* switch store-and-forward latency on every access, and a mild tail
+  amplification per switch stage (one more queue on the path).
+
+The result is a :class:`~repro.hw.target.MemoryTarget`, so campaigns, the
+planners, and the measurement tools run against memory-box configurations
+unchanged (see ``examples/capacity_planning.py`` for the single-device
+switch case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import FULL_DUPLEX, BandwidthModel
+from repro.hw.cxl.device import CxlDevice
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import TailModel
+from repro.hw.target import MemoryTarget
+
+SWITCH_LATENCY_NS = 180.0
+"""Added round-trip latency of one switch level (mirrors
+:data:`repro.hw.topology.SWITCH_LATENCY_NS`; duplicated here to avoid a
+circular import through the cxl package)."""
+
+
+class SwitchedFabric(MemoryTarget):
+    """A memory box: member expanders pooled behind one switch uplink."""
+
+    def __init__(
+        self,
+        devices: Sequence[CxlDevice],
+        uplink_gbps: float,
+        name: str = None,
+        switch_latency_ns: float = SWITCH_LATENCY_NS,
+    ):
+        devices = list(devices)
+        if not devices:
+            raise ConfigurationError("a fabric needs at least one device")
+        if uplink_gbps <= 0:
+            raise ConfigurationError("uplink bandwidth must be positive")
+        if switch_latency_ns < 0:
+            raise ConfigurationError("switch latency cannot be negative")
+        first = devices[0]
+        for device in devices[1:]:
+            if abs(device.idle_latency_ns() - first.idle_latency_ns()) > 1.0:
+                raise ConfigurationError(
+                    "fabric members must have matching idle latencies"
+                )
+        super().__init__(
+            name or f"{first.name}-box-x{len(devices)}",
+            sum(d.capacity_gb for d in devices),
+        )
+        self.devices = devices
+        self.uplink_gbps = uplink_gbps
+        self.switch_latency_ns = switch_latency_ns
+
+    # -- MemoryTarget -------------------------------------------------------
+
+    def idle_latency_ns(self) -> float:
+        """Member idle latency plus the switch store-and-forward transit."""
+        return self.devices[0].idle_latency_ns() + self.switch_latency_ns
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Summed member capacities, clipped by the shared uplink."""
+        read = 0.0
+        write = 0.0
+        backend = 0.0
+        for device in self.devices:
+            model = device.bandwidth_model()
+            read += model.read_gbps
+            write += model.write_gbps
+            backend += model.backend_gbps
+        return BandwidthModel(
+            read_gbps=min(read, self.uplink_gbps),
+            write_gbps=min(write, self.uplink_gbps * 0.5),
+            backend_gbps=min(backend, self.uplink_gbps),
+            mode=FULL_DUPLEX,
+        )
+
+    def queue_model(self) -> QueueModel:
+        """Member queue plus an uplink stage that binds when shared."""
+        inner = self.devices[0].queue_model()
+        # Earlier onset when the uplink is the binding resource: the
+        # members' aggregate can exceed the uplink, so the uplink queues
+        # while the member devices still look idle.
+        member_total = sum(
+            d.peak_bandwidth_gbps() for d in self.devices
+        )
+        uplink_bound = member_total > self.uplink_gbps
+        return QueueModel(
+            service_ns=inner.service_ns + 2.0,
+            variability=inner.variability * (1.3 if uplink_bound else 1.0),
+            onset_util=(
+                min(inner.onset_util, 0.6) if uplink_bound
+                else inner.onset_util
+            ),
+            max_delay_ns=inner.max_delay_ns * 1.3,
+        )
+
+    def tail_model(self) -> TailModel:
+        """Member tails amplified by one switch queueing stage."""
+        return self.devices[0].tail_model().scaled(
+            prob_factor=1.5, scale_factor=1.2
+        )
+
+    @property
+    def member_count(self) -> int:
+        """Number of pooled expanders."""
+        return len(self.devices)
+
+
+def cmm_b_class_box(members: int = 8) -> SwitchedFabric:
+    """A CMM-B-class memory box: CXL-D members behind a 60 GB/s uplink.
+
+    The paper's Figure 1 cites this class of system at ~60 GB/s and
+    switch-extended latency approaching 600 ns; eight 756 GB members give
+    the multi-TB capacity the product line advertises.
+    """
+    from repro.hw.cxl.device import cxl_d
+
+    if members < 1:
+        raise ConfigurationError("need at least one member")
+    return SwitchedFabric(
+        devices=[cxl_d() for _ in range(members)],
+        uplink_gbps=60.0,
+        name=f"CMM-B-box-x{members}",
+        switch_latency_ns=SWITCH_LATENCY_NS * 2,  # box-internal + host switch
+    )

@@ -1,0 +1,166 @@
+"""DRAM device model: DDR timings, banks, row buffer, and refresh.
+
+Both the CPU's integrated memory controller (iMC) and every CXL expander
+terminate in commodity DRAM.  This module models the part of latency and
+latency *variation* that originates in the DRAM chips themselves:
+
+* Row-buffer locality: a request hits the open row (CAS only), misses it
+  (activate + CAS), or conflicts (precharge + activate + CAS).
+* Refresh: every tREFI a rank is unavailable for tRFC, so a small fraction
+  of requests eat up to a full tRFC of extra delay.  This is the source of
+  the small-but-nonzero tails the paper observes even on local DRAM.
+* Channel bandwidth: transfer-rate x bus-width, derated to the sustainable
+  fraction real controllers achieve.
+
+The numbers below follow JEDEC DDR4-3200 / DDR5-4800 speed bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """JEDEC-style timing set for one DRAM generation (all times in ns)."""
+
+    generation: str
+    tCL: float  # CAS latency: column access on an open row
+    tRCD: float  # row-to-column: activate before CAS on a closed bank
+    tRP: float  # precharge: close a conflicting row first
+    tRFC: float  # refresh cycle: rank unavailable during refresh
+    tREFI: float  # refresh interval
+    transfer_gtps: float  # transfer rate in GT/s (e.g. 3.2 for DDR4-3200)
+    bus_bytes: int = 8  # 64-bit data bus
+    sustained_fraction: float = 0.78  # fraction of theoretical BW sustained
+
+    def __post_init__(self) -> None:
+        if min(self.tCL, self.tRCD, self.tRP, self.tRFC, self.tREFI) <= 0:
+            raise ConfigurationError("all DRAM timings must be positive")
+        if not 0.0 < self.sustained_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sustained_fraction out of range: {self.sustained_fraction}"
+            )
+
+    @property
+    def row_hit_ns(self) -> float:
+        """Access latency when the target row is already open."""
+        return self.tCL
+
+    @property
+    def row_miss_ns(self) -> float:
+        """Access latency when the bank is idle (activate + CAS)."""
+        return self.tRCD + self.tCL
+
+    @property
+    def row_conflict_ns(self) -> float:
+        """Access latency when another row is open (precharge first)."""
+        return self.tRP + self.tRCD + self.tCL
+
+    @property
+    def refresh_duty(self) -> float:
+        """Fraction of time a rank is blocked by refresh."""
+        return self.tRFC / self.tREFI
+
+    @property
+    def channel_peak_gbps(self) -> float:
+        """Theoretical per-channel peak bandwidth (GB/s)."""
+        return self.transfer_gtps * self.bus_bytes
+
+    @property
+    def channel_sustained_gbps(self) -> float:
+        """Sustainable per-channel bandwidth (GB/s)."""
+        return self.channel_peak_gbps * self.sustained_fraction
+
+
+DDR4 = DramTimings(
+    generation="DDR4-3200",
+    tCL=13.75,
+    tRCD=13.75,
+    tRP=13.75,
+    tRFC=350.0,
+    tREFI=7800.0,
+    transfer_gtps=3.2,
+)
+"""DDR4-3200 (CL22): the memory behind SKX platforms, CXL-A, and CXL-C."""
+
+DDR5 = DramTimings(
+    generation="DDR5-4800",
+    tCL=13.33,
+    tRCD=13.33,
+    tRP=13.33,
+    tRFC=295.0,
+    tREFI=3900.0,
+    transfer_gtps=4.8,
+)
+"""DDR5-4800 (CL32): the memory behind SPR/EMR platforms, CXL-B, and CXL-D."""
+
+
+@dataclass(frozen=True)
+class DramBackend:
+    """A set of DRAM channels behind one memory controller.
+
+    Parameters
+    ----------
+    timings:
+        The DRAM generation's timing set.
+    channels:
+        Number of independent channels.
+    row_hit_rate / row_conflict_rate:
+        Steady-state row-buffer behaviour of a mixed request stream; the
+        remainder are plain row misses.
+    """
+
+    timings: DramTimings
+    channels: int
+    row_hit_rate: float = 0.55
+    row_conflict_rate: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ConfigurationError(f"channels must be positive: {self.channels}")
+        if not 0.0 <= self.row_hit_rate <= 1.0:
+            raise ConfigurationError(f"row_hit_rate out of range: {self.row_hit_rate}")
+        if not 0.0 <= self.row_conflict_rate <= 1.0:
+            raise ConfigurationError(
+                f"row_conflict_rate out of range: {self.row_conflict_rate}"
+            )
+        if self.row_hit_rate + self.row_conflict_rate > 1.0:
+            raise ConfigurationError("row hit + conflict rates exceed 1.0")
+
+    @property
+    def row_miss_rate(self) -> float:
+        """Fraction of requests that are plain row misses."""
+        return 1.0 - self.row_hit_rate - self.row_conflict_rate
+
+    def mean_access_ns(self) -> float:
+        """Mean chip-level access latency for the configured row behaviour."""
+        t = self.timings
+        return (
+            self.row_hit_rate * t.row_hit_ns
+            + self.row_miss_rate * t.row_miss_ns
+            + self.row_conflict_rate * t.row_conflict_ns
+        )
+
+    def refresh_extra_mean_ns(self) -> float:
+        """Mean extra latency contributed by refresh blocking.
+
+        A request arriving during a refresh waits half of tRFC on average;
+        the probability of arriving during one equals the refresh duty.
+        """
+        return self.timings.refresh_duty * self.timings.tRFC / 2.0
+
+    def peak_bandwidth_gbps(self) -> float:
+        """Sustained bandwidth across all channels."""
+        return self.channels * self.timings.channel_sustained_gbps
+
+    def access_jitter_ns(self) -> float:
+        """Std-dev-scale jitter of chip-level access latency.
+
+        The spread between a row hit and a row conflict bounds how much the
+        chips alone can vary; controllers add their own variation on top.
+        """
+        t = self.timings
+        return (t.row_conflict_ns - t.row_hit_ns) / 2.0

@@ -1,0 +1,244 @@
+"""Fitting device models to measured data: adopt Melody on your hardware.
+
+Everything in :mod:`repro.hw` is calibrated to the paper's testbed.  A user
+with *their own* device measures it with the real Intel MLC and MIO, then
+fits our models to those measurements:
+
+* :func:`fit_tail_model` -- recover :class:`~repro.hw.tail.TailModel`
+  parameters from a per-request latency sample (MIO output) via quantile
+  matching: the median pins the base, the bulk spread pins the jitter, and
+  the exceedance tail pins the excursion probability and scale.
+* :func:`fit_queue_model` -- recover
+  :class:`~repro.hw.queueing.QueueModel` parameters from a loaded-latency
+  curve (MLC output): the flat region pins the onset, the knee's growth
+  pins the service x variability product, and the wall pins the cap.
+* :func:`fit_device` -- bundle both into a ready-to-use
+  :class:`~repro.hw.topology.ComposedTarget` standing in for the measured
+  device, so campaigns, Spa, and the tools run against it unchanged.
+
+Round-trip accuracy is tested by fitting the models to samples drawn from
+known parameters (see ``tests/hw/test_fitting.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import TailModel
+from repro.hw.topology import ComposedTarget
+from repro.hw.target import MemoryTarget
+
+MIN_TAIL_SAMPLES = 5_000
+"""Below this, the p99.9 exceedance estimate is too noisy to fit."""
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """A fitted tail model plus its goodness-of-fit summary."""
+
+    base_ns: float
+    tail: TailModel
+    p50_error_ns: float
+    p999_error_ns: float
+
+
+def fit_tail_model(
+    latencies_ns: Sequence[float],
+    utilization: float = 0.0,
+) -> TailFit:
+    """Fit a :class:`TailModel` to a per-request latency sample.
+
+    The sample should come from a (near-)idle measurement; ``utilization``
+    records the operating point so the onset can be placed above it.
+
+    Method: the 5th percentile estimates the deterministic base; jitter
+    mean/shape come from the bulk (5th-90th percentile) via gamma moment
+    matching; excursions are everything beyond ``base + 4 x jitter``, with
+    probability = exceedance rate and scale = mean exceedance.
+    """
+    arr = np.asarray(latencies_ns, dtype=float)
+    if arr.size < MIN_TAIL_SAMPLES:
+        raise CalibrationError(
+            f"need >= {MIN_TAIL_SAMPLES} samples to fit tails, got {arr.size}"
+        )
+    base = float(np.percentile(arr, 5))
+    extras = np.maximum(0.0, arr - base)
+
+    # Jitter from the robust centre: for a gamma with shape ~2 the median
+    # sits at ~0.84 x mean, so the median-based estimate is immune to the
+    # excursion mass in the upper tail.
+    jitter_mean = max(float(np.median(extras)) / 0.839, 0.1)
+    jitter_shape = 2.0
+
+    # Excursions from the deep tail: beyond 5 x jitter the gamma is
+    # negligible, the overshoot mean estimates the exponential scale
+    # (memorylessness), and the exceedance rate back-extrapolates to the
+    # full excursion probability: P(exc > t) = p0 * exp(-t / scale).
+    threshold = 5.0 * jitter_mean
+    overshoot = extras[extras > threshold] - threshold
+    # The gamma jitter itself leaks past the threshold with a known rate
+    # (shape 2, t = 5 x mean => (1 + 10) e^-10); subtract it so the
+    # excursion probability is not inflated for stable devices.
+    gamma_leak = float((1.0 + 10.0) * np.exp(-10.0))
+    if len(overshoot) >= 10:
+        tail_scale = float(overshoot.mean())
+        exceedance = max(
+            0.0, float(len(overshoot)) / arr.size - gamma_leak
+        )
+        if tail_scale > 1.5 * jitter_mean:
+            # A genuine excursion regime: back-extrapolate to t = 0.
+            tail_prob = min(
+                0.2, exceedance * float(np.exp(threshold / tail_scale))
+            )
+        else:
+            # Overshoots on the jitter scale are jitter, not excursions;
+            # extrapolating would be ill-conditioned (e^(t/s) blows up).
+            tail_prob = min(0.2, exceedance)
+        tail_cap = float(extras.max()) * 1.5
+    else:
+        tail_scale = 0.0
+        tail_prob = 0.0
+        tail_cap = 1000.0
+
+    tail = TailModel(
+        jitter_ns=jitter_mean,
+        jitter_shape=jitter_shape,
+        tail_prob_idle=min(1.0, tail_prob),
+        tail_scale_idle_ns=tail_scale,
+        onset_util=float(np.clip(utilization + 0.1, 0.05, 0.95)),
+        prob_growth=0.1,
+        scale_growth=3.0,
+        tail_cap_ns=max(tail_cap, 1.0),
+    )
+    fitted_mean = base + tail.mean_extra_ns(utilization)
+    del fitted_mean  # diagnostic percentiles below are the fit report
+    p50_fit = base + jitter_mean  # coarse; exact p50 needs sampling
+    p999_fit = base + threshold + tail_scale * np.log(
+        max(tail_prob / 1e-3, 1.0000001)
+    )
+    return TailFit(
+        base_ns=base,
+        tail=tail,
+        p50_error_ns=abs(p50_fit - float(np.percentile(arr, 50))),
+        p999_error_ns=abs(p999_fit - float(np.percentile(arr, 99.9))),
+    )
+
+
+def fit_queue_model(
+    curve: Sequence[Tuple[float, float]],
+) -> Tuple[QueueModel, float]:
+    """Fit a :class:`QueueModel` to a loaded-latency curve.
+
+    ``curve`` holds ``(bandwidth_gbps, latency_ns)`` points (MLC output).
+    Returns ``(model, peak_gbps)``.
+
+    Method: the peak is the largest measured bandwidth; the idle latency is
+    the flat region's minimum; the onset is the first utilization where
+    latency rises 5% above idle; the service x variability product is
+    least-squares fitted on the rho/(1-rho) shape over the rising region;
+    the cap is the highest observed queueing delay.
+    """
+    points = sorted((float(b), float(l)) for b, l in curve)
+    if len(points) < 4:
+        raise CalibrationError("need >= 4 curve points to fit queueing")
+    bandwidths = np.array([p[0] for p in points])
+    latencies = np.array([p[1] for p in points])
+    peak = float(bandwidths.max()) / 0.999
+    idle = float(latencies.min())
+
+    utils = bandwidths / peak
+    rising = latencies > idle * 1.05
+    if not rising.any():
+        # Perfectly flat curve: an iMC-like target.
+        return (
+            QueueModel(service_ns=10.0, onset_util=0.95,
+                       max_delay_ns=max(idle, 1.0)),
+            peak,
+        )
+    onset = float(np.clip(utils[rising].min() - 0.05, 0.0, 0.94))
+
+    delays = latencies - idle
+    mask = rising & (utils < 0.999)
+    rho = np.clip((utils[mask] - onset) / (1.0 - onset), 1e-6, 1.0 - 1e-6)
+    shape = rho / (1.0 - rho)
+    denominator = float(np.sum(shape**2))
+    if denominator > 0:
+        coeff = float(np.sum(delays[mask] * shape)) / denominator
+    else:
+        # All rising points sit at the saturated wall: fall back to the
+        # delay magnitude as the service scale.
+        coeff = float(delays[rising].mean())
+    coeff = max(coeff, 0.1)
+    max_delay = float(delays.max()) if delays.max() > 0 else 100.0
+
+    model = QueueModel(
+        service_ns=coeff,  # variability folded into the product
+        variability=1.0,
+        onset_util=onset,
+        max_delay_ns=max(max_delay, coeff),
+    )
+    return model, peak
+
+
+def fit_device(
+    name: str,
+    idle_latencies_ns: Sequence[float],
+    loaded_curve: Sequence[Tuple[float, float]],
+    write_gbps: float = None,
+    capacity_gb: float = 128.0,
+) -> MemoryTarget:
+    """Build a drop-in target from a device's measurements.
+
+    ``idle_latencies_ns`` is a MIO-style per-request sample at idle;
+    ``loaded_curve`` is an MLC-style (bandwidth, latency) sweep.
+    """
+    tail_fit = fit_tail_model(idle_latencies_ns)
+    queue, peak = fit_queue_model(loaded_curve)
+    bandwidth = BandwidthModel(
+        read_gbps=peak,
+        write_gbps=write_gbps if write_gbps is not None else peak * 0.4,
+        backend_gbps=peak * 1.5,
+    )
+
+    class _Measured(MemoryTarget):
+        """A target standing in for the measured device."""
+
+        def idle_latency_ns(self):
+            """Mean of the measured idle sample."""
+            return float(np.mean(idle_latencies_ns))
+
+        def bandwidth_model(self):
+            """Capacities from the measured curve's peak."""
+            return bandwidth
+
+        def queue_model(self):
+            """The fitted queueing behaviour."""
+            return queue
+
+        def tail_model(self):
+            """The fitted tail behaviour."""
+            return tail_fit.tail
+
+    return _Measured(name, capacity_gb)
+
+
+def roundtrip_report(target: MemoryTarget, fitted: MemoryTarget,
+                     loads_gbps: Sequence[float]) -> dict:
+    """Compare an original target with its fitted stand-in at given loads."""
+    rows = {}
+    for load in loads_gbps:
+        original = target.distribution(load)
+        recovered = fitted.distribution(load)
+        rows[load] = {
+            "mean_error_ns": abs(original.mean_ns - recovered.mean_ns),
+            "gap_error_ns": abs(
+                original.tail_gap_ns() - recovered.tail_gap_ns()
+            ),
+        }
+    return rows

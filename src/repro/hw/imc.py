@@ -1,0 +1,115 @@
+"""Socket-local DRAM behind the CPU's integrated memory controller (iMC).
+
+The iMC is the baseline every CXL comparison in the paper is made against:
+it is tightly coupled to the core (no serialization over PCIe), has been
+optimised for decades, and holds latency flat until ~90-95% utilization
+(Figure 3a, "Local" curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.hw.bandwidth import SHARED_BUS, BandwidthModel
+from repro.hw.dram import DramBackend
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import DRAM_TAIL, TailModel
+from repro.hw.target import MemoryTarget
+
+
+@dataclass(frozen=True)
+class IntegratedMemoryController:
+    """Operating parameters of a CPU-integrated memory controller.
+
+    Parameters
+    ----------
+    processing_ns:
+        Fixed request-processing time inside the controller (scheduling,
+        address mapping).  Mature iMCs keep this in the single-digit ns.
+    queue_onset_util:
+        Utilization where queueing delay becomes visible; iMCs hold flat to
+        ~90%+.
+    queue_variability:
+        Service-time variability factor for the queue model (deterministic,
+        heavily banked service => below 1).
+    """
+
+    processing_ns: float = 5.0
+    queue_onset_util: float = 0.90
+    queue_variability: float = 0.6
+
+    def queue_model(self, service_ns: float) -> QueueModel:
+        """Queue model for the iMC with the given mean service time."""
+        return QueueModel(
+            service_ns=service_ns,
+            variability=self.queue_variability,
+            onset_util=self.queue_onset_util,
+            max_delay_ns=1500.0,
+        )
+
+
+class LocalDram(MemoryTarget):
+    """Socket-local DRAM: DRAM channels behind the iMC.
+
+    The target is calibrated to a platform's measured idle latency and read
+    bandwidth (Table 1); the DRAM backend supplies the chip-level latency
+    pieces, and whatever remains of the calibrated idle latency is the
+    on-chip fabric + iMC overhead.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_gb: float,
+        idle_latency_ns: float,
+        read_bandwidth_gbps: float,
+        dram: DramBackend,
+        imc: IntegratedMemoryController = IntegratedMemoryController(),
+        tail: TailModel = DRAM_TAIL,
+        write_efficiency: float = 0.88,
+    ):
+        super().__init__(name, capacity_gb)
+        chip_ns = dram.mean_access_ns() + dram.refresh_extra_mean_ns()
+        fabric_ns = idle_latency_ns - chip_ns - imc.processing_ns
+        if fabric_ns < 0:
+            raise CalibrationError(
+                f"{name}: calibrated idle latency {idle_latency_ns}ns is below "
+                f"the DRAM chip latency {chip_ns:.1f}ns"
+            )
+        self._idle_ns = idle_latency_ns
+        self._fabric_ns = fabric_ns
+        self._read_gbps = read_bandwidth_gbps
+        self._write_efficiency = write_efficiency
+        self.dram = dram
+        self.imc = imc
+        self._tail = tail
+
+    @property
+    def fabric_overhead_ns(self) -> float:
+        """On-chip fabric + iMC share of the idle latency."""
+        return self._fabric_ns + self.imc.processing_ns
+
+    def idle_latency_ns(self) -> float:
+        """Calibrated idle read latency (Table 1's local column)."""
+        return self._idle_ns
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Shared-bus DDR capacities (read-only traffic achieves peak)."""
+        # The DDR bus is shared between reads and writes; read-only traffic
+        # achieves the calibrated peak, mixed traffic pays turnarounds.
+        return BandwidthModel(
+            read_gbps=self._read_gbps,
+            write_gbps=self._read_gbps * self._write_efficiency,
+            backend_gbps=max(self._read_gbps, self.dram.peak_bandwidth_gbps()),
+            mode=SHARED_BUS,
+            turnaround_penalty=0.12,
+        )
+
+    def queue_model(self) -> QueueModel:
+        """The iMC's queue over the DRAM service time."""
+        return self.imc.queue_model(self.dram.mean_access_ns())
+
+    def tail_model(self) -> TailModel:
+        """Local DRAM's small, stable tail behaviour."""
+        return self._tail

@@ -1,0 +1,116 @@
+"""Cross-socket (NUMA) memory access over the UPI interconnect.
+
+Remote-socket DRAM is the paper's closest performance peer to CXL: similar
+latency regime (190-410 ns across the testbed), full-duplex link, but with a
+mature coherence fabric that keeps tails small (p99.9-p50 of only ~61 ns).
+A :class:`NumaMemory` target wraps a socket's :class:`~repro.hw.imc.LocalDram`
+with one or more :class:`NumaHop` traversals; multi-hop chains model the
+8-socket SKX8S system's 410 ns configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import FULL_DUPLEX, BandwidthModel
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import NUMA_TAIL, TailModel
+from repro.hw.target import MemoryTarget
+
+
+@dataclass(frozen=True)
+class NumaHop:
+    """One UPI hop between sockets.
+
+    Parameters
+    ----------
+    latency_ns:
+        One-way added round-trip latency of the hop (link transit + remote
+        caching-agent processing).
+    read_gbps / write_gbps:
+        Per-direction UPI bandwidth available to memory traffic.
+    """
+
+    latency_ns: float = 77.0
+    read_gbps: float = 110.0
+    write_gbps: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ConfigurationError(f"hop latency must be >= 0: {self.latency_ns}")
+        if min(self.read_gbps, self.write_gbps) <= 0:
+            raise ConfigurationError("hop bandwidth must be positive")
+
+
+class NumaMemory(MemoryTarget):
+    """DRAM on a remote socket reached through ``hops`` UPI traversals."""
+
+    def __init__(
+        self,
+        local: MemoryTarget,
+        hop: NumaHop,
+        hops: int = 1,
+        name: str = None,
+        tail: TailModel = NUMA_TAIL,
+        idle_latency_ns: float = None,
+        read_bandwidth_gbps: float = None,
+    ):
+        """Wrap ``local`` behind ``hops`` x ``hop``.
+
+        ``idle_latency_ns`` / ``read_bandwidth_gbps`` override the composed
+        values when a platform's measured Table 1 numbers are available
+        (measurements fold in effects, such as snoop latency, that the hop
+        model does not represent explicitly).
+        """
+        if hops < 1:
+            raise ConfigurationError(f"hops must be >= 1: {hops}")
+        super().__init__(
+            name or f"{local.name}+{hops}hop", local.capacity_gb
+        )
+        self.local = local
+        self.hop = hop
+        self.hops = hops
+        self._tail = tail
+        self._idle_override = idle_latency_ns
+        self._read_bw_override = read_bandwidth_gbps
+
+    def idle_latency_ns(self) -> float:
+        """Measured remote latency, or local + hop latency when uncalibrated."""
+        if self._idle_override is not None:
+            return self._idle_override
+        return self.local.idle_latency_ns() + self.hops * self.hop.latency_ns
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Full-duplex UPI capacities, divided across chained hops."""
+        # Each hop is full-duplex; chaining hops divides usable bandwidth
+        # (shared links on the longer path), and the local DRAM behind the
+        # last hop is the backend limit.
+        read = self.hop.read_gbps / self.hops
+        write = self.hop.write_gbps / self.hops
+        if self._read_bw_override is not None:
+            scale = self._read_bw_override / read
+            read *= scale
+            write *= scale
+        return BandwidthModel(
+            read_gbps=read,
+            write_gbps=write,
+            backend_gbps=self.local.bandwidth_model().backend_gbps,
+            mode=FULL_DUPLEX,
+        )
+
+    def queue_model(self) -> QueueModel:
+        """The far iMC's queue plus the hop's own (well-behaved) stage."""
+        inner = self.local.queue_model()
+        # The UPI link adds its own (small, well-behaved) queueing stage;
+        # fold it into a single model with slightly higher variability.
+        return QueueModel(
+            service_ns=inner.service_ns + 4.0 * self.hops,
+            variability=inner.variability * 1.15,
+            onset_util=min(inner.onset_util, 0.92),
+            max_delay_ns=inner.max_delay_ns,
+        )
+
+    def tail_model(self) -> TailModel:
+        """Cross-socket tails: slightly larger than local, still stable."""
+        return self._tail

@@ -1,0 +1,264 @@
+"""The five testbed server platforms of Table 1.
+
+Each :class:`Platform` bundles a CPU microarchitecture (cache sizes, ROB,
+store buffer, prefetcher behaviour) with calibrated local and remote memory
+targets.  The SKX machines double as the paper's NUMA-emulated latency
+configurations: SKX2S provides the 140 ns and (via lowered uncore frequency)
+190 ns points, and the 8-socket SKX8S provides the 410 ns multi-hop point --
+together with SPR/EMR NUMA these form the 7-point latency spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hw.dram import DDR4, DDR5, DramBackend
+from repro.hw.imc import LocalDram
+from repro.hw.numa import NumaHop, NumaMemory
+from repro.hw.target import MemoryTarget
+
+
+@dataclass(frozen=True)
+class Microarchitecture:
+    """Core parameters the CPU backend model needs.
+
+    ``cache_stall_focus`` records where delayed-prefetch stalls concentrate:
+    on SKX most cache slowdown appears at L2 (stalls for L1 load misses),
+    while on SPR/EMR it appears at the LLC (stalls for L2 load misses) --
+    §5.4 of the paper.
+    """
+
+    family: str  # "SKX" | "SPR" | "EMR"
+    rob_entries: int
+    store_buffer_entries: int
+    fill_buffers: int  # L1 miss MSHRs / LFB entries
+    max_demand_mlp: float  # sustainable demand memory-level parallelism
+    prefetch_aggressiveness: float  # scaling of prefetch distance/coverage
+    cache_stall_focus: str  # "L2" | "L3"
+
+    def __post_init__(self) -> None:
+        if self.cache_stall_focus not in ("L2", "L3"):
+            raise ConfigurationError(
+                f"cache_stall_focus must be L2 or L3: {self.cache_stall_focus}"
+            )
+        if min(self.rob_entries, self.store_buffer_entries, self.fill_buffers) <= 0:
+            raise ConfigurationError("microarchitecture sizes must be positive")
+
+
+SKX_UARCH = Microarchitecture(
+    family="SKX",
+    rob_entries=224,
+    store_buffer_entries=56,
+    fill_buffers=12,
+    max_demand_mlp=10.0,
+    prefetch_aggressiveness=0.9,
+    cache_stall_focus="L2",
+)
+
+SPR_UARCH = Microarchitecture(
+    family="SPR",
+    rob_entries=512,
+    store_buffer_entries=112,
+    fill_buffers=16,
+    max_demand_mlp=16.0,
+    prefetch_aggressiveness=1.0,
+    cache_stall_focus="L3",
+)
+
+EMR_UARCH = Microarchitecture(
+    family="EMR",
+    rob_entries=512,
+    store_buffer_entries=112,
+    fill_buffers=16,
+    max_demand_mlp=16.0,
+    prefetch_aggressiveness=1.0,
+    cache_stall_focus="L3",
+)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One testbed server: CPU + calibrated local/remote memory.
+
+    Latency/bandwidth figures are the measured Table 1 values; the DRAM
+    backend supplies chip-level structure underneath them.
+    """
+
+    name: str
+    sockets: int
+    cores: int
+    freq_ghz: float
+    l1d_kb: int
+    l2_mb: float
+    l3_mb: float
+    uarch: Microarchitecture
+    ddr_channels: int
+    ddr_generation: str  # "DDR4" | "DDR5"
+    memory_gb: float
+    local_latency_ns: float
+    local_bandwidth_gbps: float
+    remote_latency_ns: float
+    remote_bandwidth_gbps: float
+    remote_hops: int = 1
+    extra_latency_configs_ns: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.ddr_generation not in ("DDR4", "DDR5"):
+            raise ConfigurationError(f"unknown DDR generation: {self.ddr_generation}")
+        if self.sockets < 1 or self.cores < 1:
+            raise ConfigurationError("sockets and cores must be positive")
+
+    def dram_backend(self) -> DramBackend:
+        """The per-socket DRAM channel set."""
+        timings = DDR4 if self.ddr_generation == "DDR4" else DDR5
+        return DramBackend(timings=timings, channels=self.ddr_channels)
+
+    def local_target(self) -> MemoryTarget:
+        """Socket-local DRAM (the slowdown baseline)."""
+        return LocalDram(
+            name=f"{self.name}-Local",
+            capacity_gb=self.memory_gb,
+            idle_latency_ns=self.local_latency_ns,
+            read_bandwidth_gbps=self.local_bandwidth_gbps,
+            dram=self.dram_backend(),
+        )
+
+    def numa_target(self) -> MemoryTarget:
+        """Cross-socket DRAM at this platform's measured remote figures."""
+        hop_ns = (self.remote_latency_ns - self.local_latency_ns) / self.remote_hops
+        return NumaMemory(
+            local=self.local_target(),
+            hop=NumaHop(latency_ns=hop_ns),
+            hops=self.remote_hops,
+            name=f"{self.name}-NUMA",
+            idle_latency_ns=self.remote_latency_ns,
+            read_bandwidth_gbps=self.remote_bandwidth_gbps,
+        )
+
+    def emulated_latency_target(self, latency_ns: float) -> MemoryTarget:
+        """A NUMA-emulated latency configuration (e.g. SKX2S at 190 ns).
+
+        The paper lowers uncore frequency / adds hops to move the remote
+        latency; bandwidth stays at the platform's remote figure.
+        """
+        if latency_ns < self.local_latency_ns:
+            raise ConfigurationError(
+                f"emulated latency {latency_ns}ns below local "
+                f"{self.local_latency_ns}ns"
+            )
+        hop_ns = latency_ns - self.local_latency_ns
+        return NumaMemory(
+            local=self.local_target(),
+            hop=NumaHop(latency_ns=hop_ns),
+            hops=1,
+            name=f"{self.name}-{latency_ns:.0f}ns",
+            idle_latency_ns=latency_ns,
+            read_bandwidth_gbps=self.remote_bandwidth_gbps,
+        )
+
+
+SPR2S = Platform(
+    name="SPR2S",
+    sockets=2,
+    cores=32,
+    freq_ghz=2.1,
+    l1d_kb=48,
+    l2_mb=2.0,
+    l3_mb=60.0,
+    uarch=SPR_UARCH,
+    ddr_channels=8,
+    ddr_generation="DDR5",
+    memory_gb=128,
+    local_latency_ns=114.0,
+    local_bandwidth_gbps=218.0,
+    remote_latency_ns=191.0,
+    remote_bandwidth_gbps=97.0,
+)
+
+EMR2S = Platform(
+    name="EMR2S",
+    sockets=2,
+    cores=32,
+    freq_ghz=2.1,
+    l1d_kb=48,
+    l2_mb=2.0,
+    l3_mb=160.0,
+    uarch=EMR_UARCH,
+    ddr_channels=8,
+    ddr_generation="DDR5",
+    memory_gb=128,
+    local_latency_ns=111.0,
+    local_bandwidth_gbps=246.0,
+    remote_latency_ns=193.0,
+    remote_bandwidth_gbps=120.0,
+)
+
+EMR2S_PRIME = Platform(
+    name="EMR2S'",
+    sockets=2,
+    cores=52,
+    freq_ghz=2.3,
+    l1d_kb=48,
+    l2_mb=2.0,
+    l3_mb=260.0,
+    uarch=EMR_UARCH,
+    ddr_channels=8,
+    ddr_generation="DDR5",
+    memory_gb=1536,
+    local_latency_ns=117.0,
+    local_bandwidth_gbps=236.0,
+    remote_latency_ns=212.0,
+    remote_bandwidth_gbps=119.0,
+)
+
+SKX2S = Platform(
+    name="SKX2S",
+    sockets=2,
+    cores=10,
+    freq_ghz=2.2,
+    l1d_kb=32,
+    l2_mb=1.0,
+    l3_mb=13.8,
+    uarch=SKX_UARCH,
+    ddr_channels=6,
+    ddr_generation="DDR4",
+    memory_gb=96,
+    local_latency_ns=90.0,
+    local_bandwidth_gbps=52.0,
+    remote_latency_ns=140.0,
+    remote_bandwidth_gbps=32.0,
+    extra_latency_configs_ns=(190.0,),
+)
+
+SKX8S = Platform(
+    name="SKX8S",
+    sockets=8,
+    cores=28,
+    freq_ghz=2.5,
+    l1d_kb=32,
+    l2_mb=1.0,
+    l3_mb=38.5,
+    uarch=SKX_UARCH,
+    ddr_channels=6,
+    ddr_generation="DDR4",
+    memory_gb=48,
+    local_latency_ns=81.0,
+    local_bandwidth_gbps=109.0,
+    remote_latency_ns=410.0,
+    remote_bandwidth_gbps=7.0,
+    remote_hops=2,
+)
+
+PLATFORMS = {p.name: p for p in (SPR2S, EMR2S, EMR2S_PRIME, SKX2S, SKX8S)}
+"""All testbed platforms keyed by Table 1 name."""
+
+
+def platform_by_name(name: str) -> Platform:
+    """Look up a testbed platform by its Table 1 name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
+        ) from None

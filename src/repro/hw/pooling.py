@@ -1,0 +1,128 @@
+"""Memory pooling: one CXL device shared by multiple hosts.
+
+The paper motivates CXL with rack-level pooling (Pond-style, its citation
+[34]) and Finding #2 notes CXL "could be useful ... e.g., in pooling
+scenarios" -- but also that tail latency is the QoS risk.  This module
+models the sharing side of that story: a device whose bandwidth is
+consumed concurrently by *other* hosts, so one host's view of the device
+operates at ``own load + neighbour load``.
+
+:class:`SharedDeviceView` is a :class:`~repro.hw.target.MemoryTarget`
+wrapper that folds the neighbours' load into every latency query, letting
+the whole existing stack (pipeline, Melody, Spa, MIO) measure noisy-
+neighbour interference without modification.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import TailModel
+from repro.hw.target import LatencyDistribution, MemoryTarget
+
+
+class SharedDeviceView(MemoryTarget):
+    """One host's view of a pooled device with neighbour traffic.
+
+    The neighbours' aggregate load shifts the operating point: latency
+    queries at own-load ``x`` are answered at ``x + neighbour_gbps``, and
+    the bandwidth available to this host shrinks by the neighbours' share.
+    """
+
+    def __init__(
+        self,
+        device: MemoryTarget,
+        neighbour_gbps: float,
+        neighbour_read_fraction: float = 0.7,
+        name: str = None,
+    ):
+        if neighbour_gbps < 0:
+            raise ConfigurationError("neighbour load cannot be negative")
+        peak = device.peak_bandwidth_gbps(neighbour_read_fraction)
+        if neighbour_gbps >= peak:
+            raise ConfigurationError(
+                f"neighbours alone saturate {device.name} "
+                f"({neighbour_gbps} >= {peak:.1f} GB/s)"
+            )
+        super().__init__(
+            name or f"{device.name}+{neighbour_gbps:.0f}GBps-neighbours",
+            device.capacity_gb,
+        )
+        self.device = device
+        self.neighbour_gbps = neighbour_gbps
+        self.neighbour_read_fraction = neighbour_read_fraction
+
+    # -- MemoryTarget -------------------------------------------------------
+
+    def idle_latency_ns(self) -> float:
+        """This host's unloaded latency (neighbour pressure included)."""
+        # "Idle" for this host still includes the neighbours' pressure.
+        return self.device.distribution(
+            self.neighbour_gbps, self.neighbour_read_fraction
+        ).mean_ns
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Capacities left over after the neighbours' share."""
+        inner = self.device.bandwidth_model()
+        scale = 1.0 - self.neighbour_gbps / max(
+            inner.backend_gbps, self.neighbour_gbps + 1e-9
+        )
+        return BandwidthModel(
+            read_gbps=max(0.5, inner.read_gbps * scale),
+            write_gbps=max(0.25, inner.write_gbps * scale),
+            backend_gbps=max(0.5, inner.backend_gbps - self.neighbour_gbps),
+            mode=inner.mode,
+            turnaround_penalty=inner.turnaround_penalty,
+        )
+
+    def queue_model(self) -> QueueModel:
+        """The underlying device's queue model."""
+        return self.device.queue_model()
+
+    def tail_model(self) -> TailModel:
+        """The underlying device's tail model."""
+        return self.device.tail_model()
+
+    def distribution(
+        self, load_gbps: float = 0.0, read_fraction: float = 1.0
+    ) -> LatencyDistribution:
+        """Latency at own load + neighbour load on the *device*."""
+        total = load_gbps + self.neighbour_gbps
+        # Combined read fraction, traffic-weighted.
+        if total > 0:
+            combined_rf = (
+                load_gbps * read_fraction
+                + self.neighbour_gbps * self.neighbour_read_fraction
+            ) / total
+        else:
+            combined_rf = read_fraction
+        return self.device.distribution(total, combined_rf)
+
+
+def pool_views(
+    device_factory,
+    hosts: int,
+    per_neighbour_gbps: float,
+    **kwargs,
+) -> Sequence[SharedDeviceView]:
+    """Views for ``hosts`` equal tenants of one pooled device.
+
+    Each host sees the other ``hosts - 1`` tenants as neighbours.
+    """
+    if hosts < 1:
+        raise ConfigurationError("need at least one host")
+    views = []
+    for i in range(hosts):
+        device = device_factory()
+        views.append(
+            SharedDeviceView(
+                device,
+                neighbour_gbps=per_neighbour_gbps * (hosts - 1),
+                name=f"{device.name}-pool{hosts}-host{i}",
+                **kwargs,
+            )
+        )
+    return views

@@ -1,0 +1,154 @@
+"""Load-dependent queueing delay models shared by all memory targets.
+
+Two complementary views are provided:
+
+* **Open loop** -- callers offer a bandwidth (GB/s); the model returns the
+  queueing delay requests experience at that load.  This follows the familiar
+  M/G/1-style growth: negligible below ~50% utilization, then super-linear,
+  diverging at saturation.  Real memory controllers bound the divergence with
+  finite queues, so the delay is capped at a configurable maximum that
+  represents a full request queue (this is the "vertical wall" at the right
+  end of every loaded-latency curve in Figure 3a of the paper).
+
+* **Closed loop** -- a fixed number of traffic threads each inject a
+  configurable delay between consecutive accesses (exactly how Intel MLC
+  generates its load points).  Throughput and latency are solved
+  self-consistently with a fixed-point iteration, which naturally produces
+  the saturating latency/bandwidth curves without ever "offering" an
+  impossible load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueueModel:
+    """Analytic open-loop queueing delay for a memory service point.
+
+    Parameters
+    ----------
+    service_ns:
+        Mean service time of the bottleneck resource (per cacheline).
+    variability:
+        Squared-coefficient-of-variation-like factor; 1.0 gives M/M/1-style
+        growth, lower values model more deterministic (pipelined) service.
+    max_delay_ns:
+        Queueing delay when the request queue is completely full.  Acts as
+        the cap on the divergence at saturation.
+    onset_util:
+        Utilization below which queueing delay is (nearly) zero.  DRAM and
+        mature iMCs hold latency flat until ~90% utilization; immature CXL
+        controllers start queueing as early as 50%.
+    """
+
+    service_ns: float
+    variability: float = 1.0
+    max_delay_ns: float = 4000.0
+    onset_util: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_ns < 0:
+            raise ConfigurationError(f"service_ns must be >= 0: {self.service_ns}")
+        if not 0.0 <= self.onset_util < 1.0:
+            raise ConfigurationError(f"onset_util must be in [0, 1): {self.onset_util}")
+        if self.max_delay_ns <= 0:
+            raise ConfigurationError(f"max_delay_ns must be > 0: {self.max_delay_ns}")
+
+    def delay_ns(self, utilization: float) -> float:
+        """Mean queueing delay at ``utilization`` (0..1+; >=1 returns the cap).
+
+        Below ``onset_util`` the delay is zero; beyond it the effective
+        utilization is rescaled so the delay still diverges exactly at 1.0.
+        """
+        if utilization <= self.onset_util:
+            return 0.0
+        if utilization >= 1.0:
+            return self.max_delay_ns
+        # Rescale so rho spans (0, 1) over (onset_util, 1.0); clamp just
+        # under 1 so float rounding at the boundary cannot divide by zero.
+        rho = (utilization - self.onset_util) / (1.0 - self.onset_util)
+        rho = min(rho, 1.0 - 1e-12)
+        raw = self.variability * self.service_ns * rho / (1.0 - rho)
+        return min(raw, self.max_delay_ns)
+
+
+def utilization(load_gbps: float, peak_gbps: float) -> float:
+    """Offered-load utilization, clamped to [0, inf); peak 0 means unusable."""
+    if peak_gbps <= 0:
+        raise ConfigurationError(f"peak bandwidth must be positive: {peak_gbps}")
+    return max(0.0, load_gbps / peak_gbps)
+
+
+def solve_closed_loop(
+    latency_at_load,
+    n_threads: int,
+    inject_delay_ns: float,
+    peak_gbps: float,
+    bytes_per_access: int = 64,
+    tol_ns: float = 0.05,
+    max_iter: int = 200,
+):
+    """Solve the closed-loop fixed point for MLC-style traffic generation.
+
+    Each of ``n_threads`` threads repeats: access memory (takes ``latency``),
+    then compute for ``inject_delay_ns``.  Thread throughput is therefore
+    ``1 / (latency + delay)`` accesses per ns and total offered bandwidth
+    follows; but the latency itself depends on that bandwidth, so we iterate
+    to a fixed point (damped to guarantee convergence near saturation).
+
+    Parameters
+    ----------
+    latency_at_load:
+        Callable ``f(load_gbps) -> latency_ns`` describing the target.
+    n_threads:
+        Number of concurrent traffic threads.
+    inject_delay_ns:
+        Compute delay injected between consecutive accesses of one thread.
+    peak_gbps:
+        Peak bandwidth of the target; used to cap the achieved load.
+
+    Returns
+    -------
+    (latency_ns, achieved_gbps):
+        The self-consistent mean latency and total achieved bandwidth.
+    """
+    if n_threads <= 0:
+        raise ConfigurationError(f"n_threads must be positive: {n_threads}")
+    if inject_delay_ns < 0:
+        raise ConfigurationError(f"inject_delay_ns must be >= 0: {inject_delay_ns}")
+
+    cap = 0.999 * peak_gbps
+
+    def offered_at(load: float) -> float:
+        per_thread_ns = latency_at_load(load) + inject_delay_ns
+        if per_thread_ns <= 0:
+            return cap
+        return n_threads * bytes_per_access / per_thread_ns  # bytes/ns == GB/s
+
+    # offered_at is non-increasing in load (latency grows with load), so
+    # g(load) = offered_at(load) - load is strictly decreasing: bisection is
+    # robust where damped iteration oscillates at the saturation knee.
+    if offered_at(cap) >= cap:
+        # Saturated: throughput pins at the knee and the surplus demand
+        # shows up as latency via Little's law.
+        lat = max(
+            latency_at_load(cap),
+            n_threads * bytes_per_access / cap - inject_delay_ns,
+        )
+        return lat, cap
+
+    lo, hi = 0.0, cap
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if offered_at(mid) > mid:
+            lo = mid
+        else:
+            hi = mid
+        if (hi - lo) * bytes_per_access < tol_ns:  # GB/s gap scaled small
+            break
+    load = 0.5 * (lo + hi)
+    return latency_at_load(load), load

@@ -1,0 +1,200 @@
+"""Parametric tail-latency models.
+
+The paper's central device-level finding (Finding #1) is that CXL devices
+exhibit unstable, heavy *tail* latencies that average latency and bandwidth
+do not capture: some devices (CXL-B, CXL-C) show large p99.9-p50 gaps even at
+low utilization, others (CXL-A, CXL-D) only start misbehaving beyond an
+onset utilization, while local DRAM and NUMA stay stable to 90-95%.
+
+We model the per-request latency of a target as a three-part mixture::
+
+    latency = base + jitter + tail_excursion
+
+* ``base`` -- the deterministic component (link transit + MC + DRAM access).
+* ``jitter`` -- small always-present variation (row-buffer misses, refresh),
+  modelled as a gamma-distributed term with mean ``jitter_ns``.
+* ``tail_excursion`` -- with probability ``tail_prob(util)`` the request
+  additionally experiences an exponential excursion with mean
+  ``tail_scale(util)``, capped at ``tail_cap_ns``.  This captures link-layer
+  retries, flow-control back-pressure, scheduler hiccups, and thermal events
+  inside third-party CXL MCs.
+
+Both the probability and the magnitude of excursions grow once utilization
+passes ``onset_util``, reproducing Figure 3c's device-specific divergence of
+(p99.9 - p50) with load.  The model is deliberately pluggable (it is one of
+the ablation hooks listed in DESIGN.md): passing :data:`NO_TAIL` to a device
+yields an idealised, perfectly stable controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TailModel:
+    """Tail-latency behaviour of one memory service point.
+
+    Parameters
+    ----------
+    jitter_ns:
+        Mean of the always-present gamma jitter (DRAM-level variation).
+    jitter_shape:
+        Gamma shape for the jitter; smaller = more skewed.
+    tail_prob_idle:
+        Probability that an idle-load request takes a tail excursion.
+    tail_scale_idle_ns:
+        Mean magnitude (ns) of an excursion at idle load.
+    onset_util:
+        Utilization at which load begins amplifying the tail.
+    prob_growth:
+        Linear growth rate of tail probability with utilization past onset
+        (per unit utilization).
+    scale_growth:
+        Multiplicative growth of excursion magnitude at full utilization
+        (1.0 = no growth).
+    tail_cap_ns:
+        Hard cap on a single excursion (keeps the distribution physical).
+    deep_prob / deep_scale_ns:
+        An optional second, much rarer and larger excursion class (p99.99+
+        events: correlated retries, scheduler stalls).  Load-independent;
+        zero by default.
+    """
+
+    jitter_ns: float = 12.0
+    jitter_shape: float = 2.0
+    tail_prob_idle: float = 0.0005
+    tail_scale_idle_ns: float = 60.0
+    onset_util: float = 0.9
+    prob_growth: float = 0.01
+    scale_growth: float = 1.5
+    tail_cap_ns: float = 3000.0
+    deep_prob: float = 0.0
+    deep_scale_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jitter_ns < 0 or self.jitter_shape <= 0:
+            raise ConfigurationError("jitter parameters must be non-negative/positive")
+        if not 0.0 <= self.tail_prob_idle <= 1.0:
+            raise ConfigurationError(f"tail_prob_idle out of range: {self.tail_prob_idle}")
+        if self.tail_scale_idle_ns < 0 or self.tail_cap_ns <= 0:
+            raise ConfigurationError("tail scale/cap must be non-negative/positive")
+        if not 0.0 <= self.onset_util <= 1.0:
+            raise ConfigurationError(f"onset_util out of range: {self.onset_util}")
+        if not 0.0 <= self.deep_prob <= 1.0 or self.deep_scale_ns < 0:
+            raise ConfigurationError("deep-tail parameters out of range")
+
+    def load_factor(self, util: float) -> float:
+        """Excess utilization past the onset, in [0, 1]."""
+        if util <= self.onset_util:
+            return 0.0
+        span = max(1e-9, 1.0 - self.onset_util)
+        return min(1.0, (util - self.onset_util) / span)
+
+    def tail_prob(self, util: float) -> float:
+        """Probability of a tail excursion at ``util``."""
+        prob = self.tail_prob_idle + self.prob_growth * self.load_factor(util)
+        return min(1.0, prob)
+
+    def tail_scale_ns(self, util: float) -> float:
+        """Mean excursion magnitude (ns) at ``util``."""
+        growth = 1.0 + (self.scale_growth - 1.0) * self.load_factor(util)
+        return self.tail_scale_idle_ns * growth
+
+    def mean_extra_ns(self, util: float) -> float:
+        """Mean latency added by jitter + excursions at ``util``."""
+        return self.jitter_ns + self.mean_excursion_ns(util)
+
+    def mean_excursion_ns(self, util: float) -> float:
+        """Mean latency added by tail *excursions* alone at ``util``.
+
+        Excludes the always-present jitter: jitter exists on every memory
+        type (row-buffer misses, refresh) and the out-of-order window hides
+        it, whereas excursions are the CXL-specific events that serialize
+        dependent access chains.
+        """
+        return (
+            self.tail_prob(util) * self.tail_scale_ns(util)
+            + self.deep_prob * self.deep_scale_ns
+        )
+
+    def sample_extra_ns(
+        self, n: int, util: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n`` per-request extra-latency samples at ``util``."""
+        if n < 0:
+            raise ConfigurationError(f"sample count must be >= 0: {n}")
+        jitter = rng.gamma(self.jitter_shape, self.jitter_ns / self.jitter_shape, n)
+        prob = self.tail_prob(util)
+        scale = self.tail_scale_ns(util)
+        hit = rng.random(n) < prob
+        excursions = np.zeros(n)
+        n_hit = int(hit.sum())
+        if n_hit and scale > 0:
+            excursions[hit] = np.minimum(
+                rng.exponential(scale, n_hit), self.tail_cap_ns
+            )
+        if self.deep_prob > 0 and self.deep_scale_ns > 0:
+            deep_hit = rng.random(n) < self.deep_prob
+            n_deep = int(deep_hit.sum())
+            if n_deep:
+                excursions[deep_hit] += np.minimum(
+                    rng.exponential(self.deep_scale_ns, n_deep),
+                    self.tail_cap_ns,
+                )
+        return jitter + excursions
+
+    def scaled(self, prob_factor: float = 1.0, scale_factor: float = 1.0) -> "TailModel":
+        """Return a copy with amplified tail probability/magnitude.
+
+        Used by topology composition: CXL behind a NUMA hop exhibits
+        dramatically worse tails (Figure 8c/d), which we model by amplifying
+        the device's own tail parameters.
+        """
+        return replace(
+            self,
+            tail_prob_idle=min(1.0, self.tail_prob_idle * prob_factor),
+            prob_growth=self.prob_growth * prob_factor,
+            tail_scale_idle_ns=self.tail_scale_idle_ns * scale_factor,
+            tail_cap_ns=self.tail_cap_ns * max(1.0, scale_factor),
+        )
+
+
+NO_TAIL = TailModel(
+    jitter_ns=0.0,
+    jitter_shape=1.0,
+    tail_prob_idle=0.0,
+    tail_scale_idle_ns=0.0,
+    onset_util=1.0,
+    prob_growth=0.0,
+    scale_growth=1.0,
+)
+"""Idealised controller with perfectly deterministic latency (ablation)."""
+
+DRAM_TAIL = TailModel(
+    jitter_ns=13.0,
+    jitter_shape=2.2,
+    tail_prob_idle=0.0010,
+    tail_scale_idle_ns=45.0,
+    onset_util=0.93,
+    prob_growth=0.004,
+    scale_growth=1.2,
+    tail_cap_ns=400.0,
+)
+"""Socket-local DRAM behind an iMC: p99.9-p50 around 45 ns, stable to ~93%."""
+
+NUMA_TAIL = TailModel(
+    jitter_ns=18.0,
+    jitter_shape=2.2,
+    tail_prob_idle=0.0015,
+    tail_scale_idle_ns=58.0,
+    onset_util=0.92,
+    prob_growth=0.005,
+    scale_growth=1.3,
+    tail_cap_ns=500.0,
+)
+"""Cross-socket DRAM: slightly larger but still stable tails (~61 ns gap)."""

@@ -1,0 +1,192 @@
+"""The :class:`MemoryTarget` interface and its latency distribution object.
+
+Every memory a workload can run against -- socket-local DRAM, cross-socket
+NUMA, a CXL expander, CXL behind a NUMA hop or a switch, or an interleaved
+pair of devices -- implements :class:`MemoryTarget`.  The interface exposes
+exactly the observables the paper's tooling measures:
+
+* idle latency and peak bandwidth (Table 1),
+* mean latency under an offered load and read/write mix (Figures 3a, 5),
+* a full per-request latency *distribution* at a load point, from which the
+  tail figures (3b, 3c, 4, 6, 7) are derived.
+
+The distribution is a parametric mixture (deterministic base + queueing +
+:class:`~repro.hw.tail.TailModel` extras) that can be sampled or queried for
+analytic percentiles.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SaturationError
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.queueing import QueueModel, utilization
+from repro.hw.tail import TailModel
+from repro.rng import DEFAULT_SEED, generator_for
+
+_PERCENTILE_SAMPLES = 200_000
+"""Sample count behind analytic percentile queries (deterministic seed)."""
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Per-request latency distribution of a target at one operating point.
+
+    ``base_ns`` is the deterministic component (transit + service + mean
+    queueing delay at this load); ``tail`` contributes jitter and excursions
+    evaluated at utilization ``util``.
+    """
+
+    base_ns: float
+    tail: TailModel
+    util: float
+    name: str = "target"
+
+    def __post_init__(self) -> None:
+        if self.base_ns < 0:
+            raise ConfigurationError(f"base latency must be >= 0: {self.base_ns}")
+
+    @property
+    def mean_ns(self) -> float:
+        """Mean per-request latency."""
+        return self.base_ns + self.tail.mean_extra_ns(self.util)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` per-request latency samples."""
+        return self.base_ns + self.tail.sample_extra_ns(n, self.util, rng)
+
+    def _reference_samples(self) -> np.ndarray:
+        rng = generator_for(DEFAULT_SEED, "latency-distribution", self.name)
+        return self.sample(_PERCENTILE_SAMPLES, rng)
+
+    def percentile(self, p) -> float:
+        """Latency percentile ``p`` (0-100), from a deterministic sample set."""
+        return float(np.percentile(self._reference_samples(), p))
+
+    def percentiles(self, ps) -> np.ndarray:
+        """Vector of percentiles (single shared sample set, so self-consistent)."""
+        return np.percentile(self._reference_samples(), np.asarray(ps))
+
+    def tail_gap_ns(self, hi: float = 99.9, lo: float = 50.0) -> float:
+        """The paper's stability metric: p_hi - p_lo (Figure 3c uses 99.9/50)."""
+        gaps = self.percentiles([hi, lo])
+        return float(gaps[0] - gaps[1])
+
+
+class MemoryTarget(abc.ABC):
+    """Abstract memory target: anything a workload's misses can be served by."""
+
+    def __init__(self, name: str, capacity_gb: float):
+        if capacity_gb <= 0:
+            raise ConfigurationError(f"capacity must be positive: {capacity_gb}")
+        self.name = name
+        self.capacity_gb = capacity_gb
+
+    # -- interface -------------------------------------------------------
+
+    @abc.abstractmethod
+    def idle_latency_ns(self) -> float:
+        """Unloaded (idle) read latency, as Intel MLC's latency_matrix reports."""
+
+    @abc.abstractmethod
+    def bandwidth_model(self) -> BandwidthModel:
+        """Read/write bandwidth capacities of this target."""
+
+    @abc.abstractmethod
+    def queue_model(self) -> QueueModel:
+        """Open-loop queueing behaviour of the bottleneck service point."""
+
+    @abc.abstractmethod
+    def tail_model(self) -> TailModel:
+        """Tail-latency behaviour of this target."""
+
+    # -- derived observables ---------------------------------------------
+
+    def peak_bandwidth_gbps(self, read_fraction: float = 1.0) -> float:
+        """Peak achievable bandwidth for a given read fraction."""
+        return self.bandwidth_model().peak_gbps(read_fraction)
+
+    def utilization(self, load_gbps: float, read_fraction: float = 1.0) -> float:
+        """Utilization of the binding resource under ``load_gbps``."""
+        return utilization(load_gbps, self.peak_bandwidth_gbps(read_fraction))
+
+    def mean_latency_ns(
+        self, load_gbps: float = 0.0, read_fraction: float = 1.0
+    ) -> float:
+        """Mean loaded latency at an offered load (open loop).
+
+        Raises :class:`SaturationError` if the offered load is not servable.
+        """
+        peak = self.peak_bandwidth_gbps(read_fraction)
+        if load_gbps >= peak:
+            raise SaturationError(load_gbps, peak, self.name)
+        return self.distribution(load_gbps, read_fraction).mean_ns
+
+    def distribution(
+        self, load_gbps: float = 0.0, read_fraction: float = 1.0
+    ) -> LatencyDistribution:
+        """Full latency distribution at an operating point.
+
+        The calibrated idle latency is what a measurement tool reports at
+        zero load, i.e. the distribution *mean*; the deterministic base is
+        therefore the idle latency minus the tail model's idle-load extras.
+        Loads at or beyond saturation are clamped to 99.9% utilization: a
+        closed-loop measurement can sit *at* the knee but never beyond it.
+        """
+        util = min(0.999, self.utilization(load_gbps, read_fraction))
+        tail = self.tail_model()
+        base = max(
+            0.0,
+            self.idle_latency_ns()
+            - tail.mean_extra_ns(0.0)
+            + self.queue_model().delay_ns(util),
+        )
+        return LatencyDistribution(
+            base_ns=base,
+            tail=self.tail_model(),
+            util=util,
+            name=f"{self.name}@{load_gbps:.1f}GBps-r{read_fraction:.2f}",
+        )
+
+    def sample_latencies(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        load_gbps: float = 0.0,
+        read_fraction: float = 1.0,
+    ) -> np.ndarray:
+        """Draw ``n`` per-request latencies at an operating point."""
+        return self.distribution(load_gbps, read_fraction).sample(n, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name}: "
+            f"{self.idle_latency_ns():.0f}ns, "
+            f"{self.peak_bandwidth_gbps():.0f}GB/s read>"
+        )
+
+
+@dataclass(frozen=True)
+class TargetSummary:
+    """The Table 1 row for a target: idle latency + read bandwidth."""
+
+    name: str
+    idle_latency_ns: float
+    read_bandwidth_gbps: float
+    peak_bandwidth_gbps: float = field(default=0.0)
+
+    @classmethod
+    def of(cls, target: MemoryTarget) -> "TargetSummary":
+        """Summarise a target the way Table 1 reports it."""
+        best_f, best_bw = target.bandwidth_model().best_mix()
+        del best_f
+        return cls(
+            name=target.name,
+            idle_latency_ns=target.idle_latency_ns(),
+            read_bandwidth_gbps=target.peak_bandwidth_gbps(1.0),
+            peak_bandwidth_gbps=best_bw,
+        )

@@ -1,0 +1,233 @@
+"""Composed memory topologies: CXL+NUMA, CXL behind switches, interleaving.
+
+Figure 1 of the paper lays out the sub-microsecond spectrum these
+compositions create:
+
+* ``Local``  -- ~80-120 ns, hundreds of GB/s
+* ``NUMA``   -- ~140-210 ns (one UPI hop)
+* ``CXL``    -- ~200-400 ns (locally attached expander)
+* ``CXL+NUMA`` -- ~330-620 ns (expander on the *other* socket)
+* ``CXL+Switch`` -- ~600 ns (switch-extended connectivity)
+* multi-hop compositions beyond that
+
+Two findings drive the modelling here: (1) crossing a NUMA hop to reach CXL
+amplifies tail latency far beyond what the added average latency suggests
+(Figure 8c/d: 520.omnetpp slows down 2.9x under CXL+NUMA despite <5% under
+plain CXL); (2) hardware-interleaving two CXL-D devices doubles bandwidth and
+largely closes the gap to NUMA (Figure 8f).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.cxl.device import CxlDevice
+from repro.hw.numa import NumaHop
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import TailModel
+from repro.hw.target import MemoryTarget
+
+CXL_NUMA_TAIL_PROB_IDLE = 0.05
+CXL_NUMA_TAIL_ONSET_UTIL = 0.05
+CXL_NUMA_PROB_GROWTH = 2.0
+CXL_NUMA_SCALE_FACTOR = 4.2
+CXL_NUMA_SCALE_GROWTH = 3.5
+"""Tail behaviour when CXL traffic crosses a UPI hop.
+
+The UPI coherence fabric and the CXL root port were not co-designed; their
+back-to-back flow control interacts badly, so even single-digit utilization
+triggers congestion episodes -- the paper observes p98+ latencies reaching
+800 ns for workloads that are tail-stable on locally-attached CXL
+(Figure 8d), with slowdowns improving monotonically as workload intensity
+is reduced."""
+
+SWITCH_LATENCY_NS = 180.0
+"""Added round-trip latency of one CXL switch level (Samsung CMM-B class)."""
+
+
+class ComposedTarget(MemoryTarget):
+    """A target derived from another one with overridden observables."""
+
+    def __init__(
+        self,
+        inner: MemoryTarget,
+        name: str,
+        idle_latency_ns: float = None,
+        bandwidth: BandwidthModel = None,
+        queue: QueueModel = None,
+        tail: TailModel = None,
+        capacity_gb: float = None,
+    ):
+        super().__init__(name, capacity_gb or inner.capacity_gb)
+        self.inner = inner
+        self._idle = idle_latency_ns
+        self._bandwidth = bandwidth
+        self._queue = queue
+        self._tail = tail
+
+    def idle_latency_ns(self) -> float:
+        """Overridden idle latency, falling back to the inner target's."""
+        return self._idle if self._idle is not None else self.inner.idle_latency_ns()
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Overridden bandwidth model, falling back to the inner target's."""
+        return self._bandwidth or self.inner.bandwidth_model()
+
+    def queue_model(self) -> QueueModel:
+        """Overridden queue model, falling back to the inner target's."""
+        return self._queue or self.inner.queue_model()
+
+    def tail_model(self) -> TailModel:
+        """Overridden tail model, falling back to the inner target's."""
+        return self._tail or self.inner.tail_model()
+
+
+def remote_view(device: CxlDevice, hop: NumaHop = NumaHop()) -> MemoryTarget:
+    """The ``CXL+NUMA`` topology: a CXL expander accessed across sockets.
+
+    Idle latency and bandwidth come from the device profile's measured
+    "Remote" columns when calibrated (Table 1); otherwise they are composed
+    from the hop.  The tail model is amplified by the UPI/CXL interaction
+    factors, and queueing onsets earlier because two flow-control domains
+    are chained.
+    """
+    profile = device.profile
+    if profile.remote_latency_ns is not None:
+        idle = profile.remote_latency_ns
+    else:
+        idle = device.idle_latency_ns() + hop.latency_ns
+    local_bw = device.bandwidth_model()
+    if profile.remote_read_gbps is not None:
+        read = profile.remote_read_gbps
+    else:
+        read = min(local_bw.read_gbps, hop.read_gbps)
+    scale = read / local_bw.read_gbps
+    bandwidth = BandwidthModel(
+        read_gbps=read,
+        write_gbps=max(1.0, local_bw.write_gbps * scale),
+        backend_gbps=local_bw.backend_gbps,
+        mode=local_bw.mode,
+        turnaround_penalty=local_bw.turnaround_penalty,
+    )
+    inner_queue = device.queue_model()
+    queue = QueueModel(
+        service_ns=inner_queue.service_ns + 6.0,
+        variability=inner_queue.variability * 1.3,
+        onset_util=max(0.0, inner_queue.onset_util - 0.15),
+        max_delay_ns=inner_queue.max_delay_ns * 1.5,
+    )
+    device_tail = device.tail_model()
+    tail = TailModel(
+        jitter_ns=device_tail.jitter_ns * 1.5,
+        jitter_shape=device_tail.jitter_shape,
+        tail_prob_idle=CXL_NUMA_TAIL_PROB_IDLE,
+        tail_scale_idle_ns=device_tail.tail_scale_idle_ns * CXL_NUMA_SCALE_FACTOR,
+        onset_util=CXL_NUMA_TAIL_ONSET_UTIL,
+        prob_growth=CXL_NUMA_PROB_GROWTH,
+        scale_growth=CXL_NUMA_SCALE_GROWTH,
+        tail_cap_ns=4000.0,
+    )
+    return ComposedTarget(
+        device,
+        name=f"{device.name}+NUMA",
+        idle_latency_ns=idle,
+        bandwidth=bandwidth,
+        queue=queue,
+        tail=tail,
+    )
+
+
+class CxlNumaTopology(ComposedTarget):
+    """Convenience subclass naming the ``CXL+NUMA`` composition explicitly."""
+
+    def __init__(self, device: CxlDevice, hop: NumaHop = NumaHop()):
+        composed = remote_view(device, hop)
+        super().__init__(
+            device,
+            name=composed.name,
+            idle_latency_ns=composed.idle_latency_ns(),
+            bandwidth=composed.bandwidth_model(),
+            queue=composed.queue_model(),
+            tail=composed.tail_model(),
+        )
+
+
+class CxlSwitchTopology(ComposedTarget):
+    """A CXL device reached through one or more switch levels.
+
+    Each level adds :data:`SWITCH_LATENCY_NS` of transit and a mild tail
+    amplification (one more store-and-forward queue on the path).
+    """
+
+    def __init__(self, device: CxlDevice, levels: int = 1):
+        if levels < 1:
+            raise ConfigurationError(f"switch levels must be >= 1: {levels}")
+        inner_bw = device.bandwidth_model()
+        bandwidth = BandwidthModel(
+            read_gbps=inner_bw.read_gbps * (0.95 ** levels),
+            write_gbps=inner_bw.write_gbps * (0.95 ** levels),
+            backend_gbps=inner_bw.backend_gbps,
+            mode=inner_bw.mode,
+            turnaround_penalty=inner_bw.turnaround_penalty,
+        )
+        super().__init__(
+            device,
+            name=f"{device.name}+Switch" + (f"x{levels}" if levels > 1 else ""),
+            idle_latency_ns=device.idle_latency_ns() + levels * SWITCH_LATENCY_NS,
+            bandwidth=bandwidth,
+            tail=device.tail_model().scaled(
+                prob_factor=1.5 ** levels, scale_factor=1.2 ** levels
+            ),
+        )
+        self.levels = levels
+
+
+class InterleavedTarget(MemoryTarget):
+    """Hardware interleaving across several identical targets.
+
+    Cacheline-granular interleaving spreads every stream evenly, so the
+    aggregate behaves like one device with summed bandwidth and unchanged
+    idle latency -- the Figure 8f "CXL-D x2" configuration.
+    """
+
+    def __init__(self, targets, name: str = None):
+        targets = list(targets)
+        if len(targets) < 2:
+            raise ConfigurationError("interleaving requires at least two targets")
+        first = targets[0]
+        for t in targets[1:]:
+            if abs(t.idle_latency_ns() - first.idle_latency_ns()) > 1.0:
+                raise ConfigurationError(
+                    "interleaved targets must have matching idle latencies"
+                )
+        super().__init__(
+            name or f"{first.name}x{len(targets)}",
+            sum(t.capacity_gb for t in targets),
+        )
+        self.targets = targets
+
+    def idle_latency_ns(self) -> float:
+        """Idle latency of any member (they must match)."""
+        return self.targets[0].idle_latency_ns()
+
+    def bandwidth_model(self) -> BandwidthModel:
+        """Summed per-direction capacities across the interleave set."""
+        models = [t.bandwidth_model() for t in self.targets]
+        first = models[0]
+        return BandwidthModel(
+            read_gbps=sum(m.read_gbps for m in models),
+            write_gbps=sum(m.write_gbps for m in models),
+            backend_gbps=sum(m.backend_gbps for m in models),
+            mode=first.mode,
+            turnaround_penalty=first.turnaround_penalty,
+        )
+
+    def queue_model(self) -> QueueModel:
+        """One member's queue (utilization already divides across members)."""
+        # Per-device utilization is total/N; expressing the queue against the
+        # summed peak achieves exactly that, so the inner model is reusable.
+        return self.targets[0].queue_model()
+
+    def tail_model(self) -> TailModel:
+        """One member's tail model (members are identical)."""
+        return self.targets[0].tail_model()

@@ -1,0 +1,33 @@
+"""Measurement tooling: the instruments Melody drives against the testbed.
+
+* :mod:`repro.tools.mlc` -- an Intel MLC work-alike: idle latency /
+  bandwidth matrices, delay-injected loaded-latency curves, read/write
+  ratio sweeps.
+* :mod:`repro.tools.mio` -- the paper's custom MIO microbenchmark:
+  cacheline-granular pointer-chase latency sampling for tail analysis.
+* :mod:`repro.tools.trafficgen` -- background read/write traffic threads
+  (the "AVX noise" co-runners of Figure 4).
+* :mod:`repro.tools.sampler` -- 1 ms time-based performance-counter
+  sampling of pipeline runs, feeding the period-based analysis.
+"""
+
+from repro.tools.mlc import (
+    LoadedLatencyPoint,
+    MemoryLatencyChecker,
+    RW_RATIOS,
+)
+from repro.tools.mio import MioBenchmark, MioResult
+from repro.tools.trafficgen import TrafficGenerator, TrafficLoad
+from repro.tools.sampler import TimeSampler, TimeWindowSample
+
+__all__ = [
+    "LoadedLatencyPoint",
+    "MemoryLatencyChecker",
+    "RW_RATIOS",
+    "MioBenchmark",
+    "MioResult",
+    "TrafficGenerator",
+    "TrafficLoad",
+    "TimeSampler",
+    "TimeWindowSample",
+]

@@ -1,0 +1,185 @@
+"""MIO: the paper's cacheline-level latency microbenchmark.
+
+Existing tools (MLC) report only averages; MIO performs dependent
+pointer-chase loads over a working set larger than the LLC and logs the
+average latency of every N consecutive operations (N configurable, to
+amortize ``rdtsc`` overhead), storing logs on an idle NUMA node to avoid
+perturbing the measurement.  From those logs come the latency CDFs and
+(p99.9 - p50) tail metrics of Figures 3b, 3c, 4, and 6.
+
+The simulated version samples per-request latencies from the target's
+distribution at the operating point set by the co-located threads and/or
+background traffic, then averages in groups of N exactly as the real tool
+does (group-averaging thins extreme single-request tails, which is why the
+paper keeps N small).
+
+With CPU prefetchers enabled (Figure 6) a fraction of chase loads hit a
+prefetched line: the pattern MIO chases is partially predictable, so
+latencies collapse toward cache-hit time for covered loads while the
+*tails* -- excursions on the uncovered ones -- survive, demonstrating the
+paper's "prefetching does not fully mitigate CXL tail latency" finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.hw.queueing import solve_closed_loop
+from repro.hw.target import MemoryTarget
+from repro.rng import DEFAULT_SEED, generator_for
+from repro.tools.trafficgen import TrafficLoad
+
+CACHE_HIT_LATENCY_NS = 18.0
+"""Latency of a chase load that hits a prefetched line in L2."""
+
+PREFETCH_HIT_FRACTION = 0.85
+"""Fraction of chase loads covered when prefetchers are on (Figure 6)."""
+
+
+@dataclass(frozen=True)
+class MioResult:
+    """One MIO measurement: per-record latencies at one operating point."""
+
+    target_name: str
+    n_threads: int
+    group_size: int
+    background_gbps: float
+    achieved_gbps: float
+    latencies_ns: np.ndarray
+
+    def percentile(self, p) -> float:
+        """Latency percentile over the recorded samples."""
+        return float(np.percentile(self.latencies_ns, p))
+
+    def tail_gap_ns(self, hi: float = 99.9, lo: float = 50.0) -> float:
+        """The paper's stability metric (p99.9 - p50 by default)."""
+        return self.percentile(hi) - self.percentile(lo)
+
+    def cdf(self, grid_ns: np.ndarray = None):
+        """Empirical CDF: returns (grid_ns, fraction <= grid)."""
+        if grid_ns is None:
+            grid_ns = np.linspace(0.0, float(self.latencies_ns.max()), 512)
+        fractions = np.searchsorted(
+            np.sort(self.latencies_ns), grid_ns, side="right"
+        ) / len(self.latencies_ns)
+        return grid_ns, fractions
+
+
+class MioBenchmark:
+    """Pointer-chase latency sampler against one memory target."""
+
+    def __init__(
+        self,
+        target: MemoryTarget,
+        group_size: int = 1,
+        samples: int = 100_000,
+        seed: int = DEFAULT_SEED,
+    ):
+        if group_size < 1:
+            raise MeasurementError(f"group_size must be >= 1: {group_size}")
+        if samples < 1:
+            raise MeasurementError(f"samples must be >= 1: {samples}")
+        self.target = target
+        self.group_size = group_size
+        self.samples = samples
+        self.seed = seed
+
+    def _chase_load(self, n_threads: int, background_gbps: float) -> float:
+        """Self-consistent total load of n pointer-chase threads + noise."""
+
+        def latency_at(load: float) -> float:
+            return self.target.distribution(load).mean_ns
+
+        _, chase_bw = solve_closed_loop(
+            lambda load: latency_at(load + background_gbps),
+            n_threads=n_threads,
+            inject_delay_ns=0.0,
+            peak_gbps=max(
+                1e-3, self.target.peak_bandwidth_gbps() - background_gbps
+            ),
+        )
+        return chase_bw
+
+    def measure(
+        self,
+        n_threads: int = 1,
+        background: TrafficLoad = None,
+        prefetchers_on: bool = False,
+        read_fraction: float = 1.0,
+    ) -> MioResult:
+        """Run one measurement.
+
+        Parameters
+        ----------
+        n_threads:
+            Co-located pointer-chase threads (Figure 3b sweeps 1-32).
+        background:
+            Optional co-located traffic-generator load (Figures 3c and 4).
+        prefetchers_on:
+            Emulate hardware prefetchers covering part of the chase
+            (Figure 6).
+        read_fraction:
+            Read share of the *combined* traffic at the device.
+        """
+        if n_threads < 1:
+            raise MeasurementError(f"n_threads must be >= 1: {n_threads}")
+        rng = generator_for(
+            self.seed,
+            "mio",
+            self.target.name,
+            f"t{n_threads}",
+            f"bg{background.bandwidth_gbps if background else 0.0:.2f}",
+            f"pf{prefetchers_on}",
+        )
+        bg_gbps = background.bandwidth_gbps if background else 0.0
+        chase_gbps = self._chase_load(n_threads, bg_gbps)
+        total = chase_gbps + bg_gbps
+
+        raw_count = self.samples * self.group_size
+        raw = self.target.sample_latencies(
+            raw_count, rng, load_gbps=total, read_fraction=read_fraction
+        )
+        if prefetchers_on:
+            covered = rng.random(raw_count) < PREFETCH_HIT_FRACTION
+            # Covered loads hit a prefetched line; excursions survive on the
+            # uncovered remainder (and on prefetches that themselves took an
+            # excursion, visible as a delayed hit at ~1/3 exposure).
+            hit_latency = CACHE_HIT_LATENCY_NS + rng.gamma(2.0, 4.0, raw_count)
+            dist = self.target.distribution(total, read_fraction)
+            delayed = np.maximum(0.0, raw - dist.mean_ns) / 3.0
+            raw = np.where(covered, hit_latency + delayed, raw)
+        grouped = raw.reshape(self.samples, self.group_size).mean(axis=1)
+        return MioResult(
+            target_name=self.target.name,
+            n_threads=n_threads,
+            group_size=self.group_size,
+            background_gbps=bg_gbps,
+            achieved_gbps=total,
+            latencies_ns=grouped,
+        )
+
+    def tail_vs_utilization(
+        self,
+        utilizations,
+        read_fraction: float = 1.0,
+    ) -> dict:
+        """(p99.9 - p50) at a sweep of background utilizations (Figure 3c)."""
+        results = {}
+        peak = self.target.peak_bandwidth_gbps(read_fraction)
+        for util in utilizations:
+            if not 0.0 <= util < 1.0:
+                raise MeasurementError(f"utilization out of [0, 1): {util}")
+            background = TrafficLoad(
+                n_threads=max(1, int(util * 16)),
+                read_fraction=read_fraction,
+                bandwidth_gbps=util * peak,
+                utilization=util,
+            )
+            result = self.measure(
+                n_threads=1, background=background, read_fraction=read_fraction
+            )
+            results[util] = result.tail_gap_ns()
+        return results

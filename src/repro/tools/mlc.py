@@ -1,0 +1,151 @@
+"""An Intel Memory Latency Checker (MLC) work-alike.
+
+Reproduces the measurement modes the paper uses:
+
+* ``--latency_matrix`` / ``--bandwidth_matrix``: idle latency and peak
+  read bandwidth per target (the Table 1 columns).
+* loaded-latency sweeps: one latency-measuring thread co-located with
+  traffic-generator threads, each injecting a configurable compute delay
+  (0-40K cycles) between accesses -- producing the latency-vs-bandwidth
+  curves of Figures 3a and 5.
+* read/write ratio sweeps (1:0, 4:1, 3:1, 2:1, 3:2, 1:1), exposing each
+  device's duplexing behaviour (Figure 5).
+
+Traffic threads are closed-loop, so the tool traces out the whole curve up
+to (but never beyond) saturation, exactly like the real MLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import MeasurementError
+from repro.hw.queueing import solve_closed_loop
+from repro.hw.target import MemoryTarget
+
+RW_RATIOS = {
+    "1:0": 1.0,
+    "4:1": 0.8,
+    "3:1": 0.75,
+    "2:1": 2.0 / 3.0,
+    "3:2": 0.6,
+    "1:1": 0.5,
+}
+"""The paper's read:write ratio sweep, as read fractions."""
+
+DEFAULT_DELAYS_CYCLES = (
+    0, 50, 100, 150, 200, 300, 400, 500, 700, 1000,
+    1500, 2500, 4000, 7000, 12000, 20000, 40000,
+)
+"""Injected compute delays between accesses, in CPU cycles (MLC style)."""
+
+
+@dataclass(frozen=True)
+class LoadedLatencyPoint:
+    """One point on a loaded-latency curve."""
+
+    inject_delay_cycles: int
+    latency_ns: float
+    bandwidth_gbps: float
+    read_fraction: float
+
+
+class MemoryLatencyChecker:
+    """Drives MLC-style measurements against one or more targets."""
+
+    def __init__(self, freq_ghz: float = 2.1, n_threads: int = 31):
+        if freq_ghz <= 0 or n_threads <= 0:
+            raise MeasurementError("frequency and thread count must be positive")
+        self.freq_ghz = freq_ghz
+        self.n_threads = n_threads
+
+    # -- matrices -----------------------------------------------------------
+
+    def latency_matrix(self, targets: Sequence[MemoryTarget]) -> dict:
+        """Idle latency per target (--latency_matrix)."""
+        return {t.name: t.idle_latency_ns() for t in targets}
+
+    def bandwidth_matrix(self, targets: Sequence[MemoryTarget]) -> dict:
+        """Peak read bandwidth per target (--bandwidth_matrix)."""
+        return {t.name: self.peak_bandwidth(t) for t in targets}
+
+    def peak_bandwidth(self, target: MemoryTarget, read_fraction: float = 1.0) -> float:
+        """Peak achieved bandwidth with all threads at zero injected delay."""
+        point = self.loaded_latency_point(target, 0, read_fraction)
+        return point.bandwidth_gbps
+
+    # -- loaded latency -------------------------------------------------------
+
+    STREAM_MLP = 16.0
+    """Concurrent lines each traffic thread keeps in flight (AVX streams)."""
+
+    def loaded_latency_point(
+        self,
+        target: MemoryTarget,
+        inject_delay_cycles: int,
+        read_fraction: float = 1.0,
+    ) -> LoadedLatencyPoint:
+        """Solve one closed-loop operating point.
+
+        Traffic threads stream (many lines in flight, so their per-access
+        service is latency / STREAM_MLP); the reported latency is what the
+        dependent-load measurement thread observes -- the full distribution
+        mean at the achieved load.
+        """
+        if inject_delay_cycles < 0:
+            raise MeasurementError("inject delay cannot be negative")
+        delay_ns = inject_delay_cycles / self.freq_ghz
+
+        def latency_at(load: float) -> float:
+            return target.distribution(load, read_fraction).mean_ns
+
+        def stream_service(load: float) -> float:
+            return latency_at(load) / self.STREAM_MLP
+
+        _, bandwidth = solve_closed_loop(
+            stream_service,
+            n_threads=self.n_threads,
+            inject_delay_ns=delay_ns,
+            peak_gbps=target.peak_bandwidth_gbps(read_fraction),
+        )
+        return LoadedLatencyPoint(
+            inject_delay_cycles=inject_delay_cycles,
+            latency_ns=latency_at(bandwidth),
+            bandwidth_gbps=bandwidth,
+            read_fraction=read_fraction,
+        )
+
+    def loaded_latency_curve(
+        self,
+        target: MemoryTarget,
+        delays_cycles: Sequence[int] = DEFAULT_DELAYS_CYCLES,
+        read_fraction: float = 1.0,
+    ) -> Tuple[LoadedLatencyPoint, ...]:
+        """The full latency-vs-bandwidth curve (Figure 3a), high load first."""
+        points = [
+            self.loaded_latency_point(target, d, read_fraction)
+            for d in sorted(delays_cycles)
+        ]
+        return tuple(points)
+
+    def rw_ratio_curves(
+        self,
+        target: MemoryTarget,
+        ratios: dict = None,
+        delays_cycles: Sequence[int] = DEFAULT_DELAYS_CYCLES,
+    ) -> dict:
+        """Loaded-latency curves per read:write ratio (Figure 5)."""
+        ratios = ratios or RW_RATIOS
+        return {
+            label: self.loaded_latency_curve(target, delays_cycles, fraction)
+            for label, fraction in ratios.items()
+        }
+
+    def peak_bandwidth_by_ratio(self, target: MemoryTarget, ratios: dict = None) -> dict:
+        """Peak achieved bandwidth per read:write ratio."""
+        ratios = ratios or RW_RATIOS
+        return {
+            label: self.peak_bandwidth(target, fraction)
+            for label, fraction in ratios.items()
+        }

@@ -1,0 +1,148 @@
+"""Time-based performance-counter sampling of pipeline runs.
+
+Real profilers read counters on a wall-clock cadence (the paper samples
+every 1 ms).  This module turns a :class:`~repro.cpu.pipeline.RunResult`
+into that stream: each phase's totals are spread over its duration and
+sliced into fixed windows, with per-window measurement noise -- including
+windows that straddle phase boundaries, which is exactly the raggedness the
+period-based converter (§5.6) has to deal with.
+
+The sampler can also attach a memory-latency reading per window (the
+Figure 7a time series of spiky CXL latencies under low bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.cpu.counters import CounterSample
+from repro.cpu.pipeline import RunResult
+from repro.errors import MeasurementError
+from repro.hw.target import MemoryTarget
+from repro.rng import DEFAULT_SEED, generator_for
+from repro.units import NS_PER_MS
+
+
+@dataclass(frozen=True)
+class TimeWindowSample:
+    """One sampling window: counters accrued during [t_start, t_end)."""
+
+    t_start_ms: float
+    t_end_ms: float
+    counters: CounterSample
+    latency_ns: float  # mean device latency observed in the window
+    bandwidth_gbps: float  # offered load in the window
+
+    @property
+    def duration_ms(self) -> float:
+        """Window length in milliseconds."""
+        return self.t_end_ms - self.t_start_ms
+
+
+class TimeSampler:
+    """Slices a run into fixed time windows of counter readings."""
+
+    def __init__(self, window_ms: float = 1.0, seed: int = DEFAULT_SEED,
+                 noise: float = 0.01):
+        if window_ms <= 0:
+            raise MeasurementError(f"window must be positive: {window_ms}")
+        if noise < 0:
+            raise MeasurementError(f"noise must be >= 0: {noise}")
+        self.window_ms = window_ms
+        self.seed = seed
+        self.noise = noise
+
+    def sample(
+        self,
+        run: RunResult,
+        target: MemoryTarget = None,
+        max_windows: int = 100_000,
+    ) -> Tuple[TimeWindowSample, ...]:
+        """Produce the windowed counter stream for ``run``.
+
+        If ``target`` is given, each window additionally records a sampled
+        mean memory latency at the phase's operating point, jittered by the
+        target's tail model (Figure 7a's latency spikes come from here).
+        """
+        freq_hz = run.platform.freq_ghz * 1e9
+        rng = generator_for(
+            self.seed, "sampler", run.workload.name, run.target_name
+        )
+        # Build per-phase absolute time spans.
+        spans = []
+        t0_ms = 0.0
+        for phase in run.phases:
+            duration_ms = phase.cycles / freq_hz * 1e3
+            spans.append((t0_ms, t0_ms + duration_ms, phase))
+            t0_ms += duration_ms
+        total_ms = t0_ms
+
+        windows = []
+        t = 0.0
+        span_idx = 0
+        while t < total_ms and len(windows) < max_windows:
+            t_end = min(t + self.window_ms, total_ms)
+            # Accumulate the proportional share of every phase this window
+            # overlaps (a window may straddle a phase boundary).
+            acc = None
+            latency_acc = 0.0
+            bandwidth_acc = 0.0
+            cursor = t
+            idx = span_idx
+            while cursor < t_end and idx < len(spans):
+                s_start, s_end, phase = spans[idx]
+                overlap = min(t_end, s_end) - cursor
+                if overlap <= 0:
+                    idx += 1
+                    continue
+                share = overlap / (s_end - s_start)
+                piece = phase.counters.scaled(share)
+                acc = piece if acc is None else acc.plus(piece)
+                weight = overlap / (t_end - t)
+                op = phase.operating_point
+                latency = op.latency_ns
+                if target is not None:
+                    # A window's reading is the mean over many accesses, so
+                    # per-request excursions average out -- unless the whole
+                    # window falls into a congestion *episode* (excursions
+                    # are time-correlated on CXL), in which case the window
+                    # mean itself spikes.  This is what produces 508.namd's
+                    # spiky CXL-C latency at near-idle load (Figure 7a).
+                    tail = target.tail_model()
+                    dist = target.distribution(op.load_gbps, op.read_fraction)
+                    latency = float(
+                        target.sample_latencies(
+                            8, rng,
+                            load_gbps=op.load_gbps,
+                            read_fraction=op.read_fraction,
+                        ).mean()
+                    )
+                    episode_prob = min(0.3, 3.0 * tail.tail_prob(dist.util))
+                    if rng.random() < episode_prob:
+                        latency += float(
+                            rng.exponential(2.5 * tail.tail_scale_ns(dist.util))
+                        )
+                latency_acc += weight * latency
+                bandwidth_acc += weight * op.load_gbps
+                cursor += overlap
+                if cursor >= s_end:
+                    idx += 1
+            span_idx = max(span_idx, idx - 1) if idx > 0 else 0
+            if acc is None:
+                break
+            if self.noise > 0:
+                acc = acc.scaled(max(0.0, float(rng.normal(1.0, self.noise))))
+            windows.append(
+                TimeWindowSample(
+                    t_start_ms=t,
+                    t_end_ms=t_end,
+                    counters=acc,
+                    latency_ns=latency_acc,
+                    bandwidth_gbps=bandwidth_acc,
+                )
+            )
+            t = t_end
+        return tuple(windows)

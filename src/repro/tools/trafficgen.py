@@ -1,0 +1,79 @@
+"""Background traffic generators (the "noise" co-runners of Figure 4).
+
+The paper co-locates its latency-measuring thread with bandwidth-intensive
+read/write threads built on AVX streaming loops.  Each generator thread is
+closed-loop: it issues back-to-back wide accesses, so its achieved
+bandwidth self-limits as the device loads up.  The generator solves that
+fixed point and reports the background load it contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.hw.queueing import solve_closed_loop
+from repro.hw.target import MemoryTarget
+
+AVX_BYTES_PER_ACCESS = 256
+"""Bytes one unrolled AVX streaming iteration moves (4 x 64B lines)."""
+
+
+@dataclass(frozen=True)
+class TrafficLoad:
+    """Achieved background traffic of a generator gang."""
+
+    n_threads: int
+    read_fraction: float
+    bandwidth_gbps: float
+    utilization: float
+
+
+class TrafficGenerator:
+    """A gang of background read/write traffic threads on one target."""
+
+    def __init__(self, target: MemoryTarget, read_fraction: float = 0.5):
+        if not 0.0 <= read_fraction <= 1.0:
+            raise MeasurementError(f"read_fraction out of range: {read_fraction}")
+        self.target = target
+        self.read_fraction = read_fraction
+
+    def offered_load(self, n_threads: int, intensity: float = 1.0) -> TrafficLoad:
+        """Solve the gang's achieved bandwidth.
+
+        ``intensity`` in (0, 1] throttles each thread (1.0 = back-to-back
+        AVX streaming); the paper's Figure 4 sweeps 0-7 unthrottled threads
+        without saturating the device.
+        """
+        if n_threads < 0:
+            raise MeasurementError("thread count cannot be negative")
+        if not 0.0 < intensity <= 1.0:
+            raise MeasurementError(f"intensity out of (0, 1]: {intensity}")
+        if n_threads == 0:
+            return TrafficLoad(0, self.read_fraction, 0.0, 0.0)
+
+        # Streaming threads overlap many lines per access; model the
+        # per-access service as the line latency divided by the stream MLP.
+        stream_mlp = 8.0
+
+        def latency_at(load: float) -> float:
+            return (
+                self.target.distribution(load, self.read_fraction).mean_ns
+                / stream_mlp
+            )
+
+        idle_between = (1.0 / intensity - 1.0) * 50.0  # throttle knob (ns)
+        bandwidth = solve_closed_loop(
+            latency_at,
+            n_threads=n_threads,
+            inject_delay_ns=idle_between,
+            peak_gbps=self.target.peak_bandwidth_gbps(self.read_fraction),
+            bytes_per_access=AVX_BYTES_PER_ACCESS,
+        )[1]
+        util = self.target.utilization(bandwidth, self.read_fraction)
+        return TrafficLoad(
+            n_threads=n_threads,
+            read_fraction=self.read_fraction,
+            bandwidth_gbps=bandwidth,
+            utilization=min(util, 0.999),
+        )

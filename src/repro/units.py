@@ -1,0 +1,62 @@
+"""Unit conventions and conversion helpers used across the Melody framework.
+
+The whole code base sticks to a single set of units so that model code never
+has to guess what a bare float means:
+
+* latency -- nanoseconds (``ns``)
+* bandwidth -- gigabytes per second (``GB/s``), decimal gigabytes
+* time -- seconds for wall-clock quantities, nanoseconds for per-request ones
+* capacity -- bytes (with ``GiB`` helpers for human-sized constants)
+* frequency -- gigahertz (``GHz``)
+
+A small number of helpers convert between cycles and nanoseconds given a core
+frequency; these are used by the CPU backend model when translating memory
+latencies into stall cycles.
+"""
+
+from __future__ import annotations
+
+CACHELINE_BYTES = 64
+"""Size of one cacheline transfer; every memory request moves one of these."""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+"""Binary capacity units (bytes)."""
+
+GB_DECIMAL = 1_000_000_000
+"""Decimal gigabyte used for bandwidth figures (GB/s)."""
+
+NS_PER_S = 1_000_000_000
+US_PER_S = 1_000_000
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+
+
+def cycles_to_ns(cycles: float, freq_ghz: float) -> float:
+    """Convert a cycle count at ``freq_ghz`` into nanoseconds."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return cycles / freq_ghz
+
+
+def ns_to_cycles(ns: float, freq_ghz: float) -> float:
+    """Convert nanoseconds into cycles at ``freq_ghz``."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return ns * freq_ghz
+
+
+def gbps_to_lines_per_ns(gbps: float) -> float:
+    """Convert a GB/s bandwidth into cachelines per nanosecond."""
+    return gbps * GB_DECIMAL / CACHELINE_BYTES / NS_PER_S
+
+
+def lines_per_ns_to_gbps(lines_per_ns: float) -> float:
+    """Convert cachelines per nanosecond into GB/s."""
+    return lines_per_ns * CACHELINE_BYTES * NS_PER_S / GB_DECIMAL
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to binary gigabytes."""
+    return n_bytes / GB

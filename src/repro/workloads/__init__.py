@@ -1,0 +1,30 @@
+"""Workload substrate: specifications, synthetic kernels, suites, registry.
+
+The paper characterizes 265 real workloads drawn from SPEC CPU 2017, GAPBS,
+PARSEC, PBBS, ML/AI (GPT-2, Llama, DLRM, MLPerf), cloud systems (Redis,
+VoltDB, CloudSuite, Spark, Phoronix), and more.  Melody's analysis consumes
+each workload's *memory behaviour* -- intensity, locality, parallelism,
+read/write mix, prefetchability, burstiness, phase structure -- which is
+exactly what :class:`~repro.workloads.base.WorkloadSpec` captures.  The
+suite modules regenerate a named model for every workload, and
+:mod:`repro.workloads.registry` assembles the full 265-entry population.
+"""
+
+from repro.workloads.base import Phase, WorkloadSpec
+from repro.workloads.registry import (
+    REGISTRY_SIZE,
+    all_workloads,
+    workload_by_name,
+    workloads_by_suite,
+    workloads_fitting,
+)
+
+__all__ = [
+    "Phase",
+    "WorkloadSpec",
+    "REGISTRY_SIZE",
+    "all_workloads",
+    "workload_by_name",
+    "workloads_by_suite",
+    "workloads_fitting",
+]

@@ -1,0 +1,252 @@
+"""Workload specifications: the memory-behaviour model of one program.
+
+A :class:`WorkloadSpec` is the contract between the workload substrate and
+the CPU backend model.  It describes a program the way a memory-system study
+sees it: how many instructions it retires, how often it misses each cache
+level, how much memory-level parallelism its misses enjoy, how prefetchable
+its access streams are, how bursty its traffic is, and how its behaviour
+changes across execution phases.
+
+All miss rates are calibrated at the reference platform (EMR2S, 160 MB LLC);
+the CPU model rescales them for other cache sizes via ``cache_sensitivity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Tuple
+
+from repro.errors import WorkloadError
+
+REFERENCE_LLC_MB = 160.0
+"""LLC size the miss rates are calibrated against (EMR2S)."""
+
+LATENCY_CLASS = "latency"
+BANDWIDTH_CLASS = "bandwidth"
+COMPUTE_CLASS = "compute"
+MIXED_CLASS = "mixed"
+CLASSES = (LATENCY_CLASS, BANDWIDTH_CLASS, COMPUTE_CLASS, MIXED_CLASS)
+"""Sensitivity classes used for population-level reporting."""
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase: a weight and multipliers on the base behaviour.
+
+    ``weight`` is the fraction of the workload's instructions spent in the
+    phase; ``multipliers`` scales selected spec fields (``l3_mpki``,
+    ``stores_pki``, ``mlp``, ...) during it.  Phases drive the paper's
+    period-based slowdown analysis (§5.6, Figure 16).
+    """
+
+    weight: float
+    multipliers: Mapping[str, float] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise WorkloadError(f"phase weight out of (0, 1]: {self.weight}")
+        for key, value in self.multipliers.items():
+            if value < 0:
+                raise WorkloadError(f"negative multiplier for {key}: {value}")
+
+
+_SCALABLE_FIELDS = (
+    "l1_mpki",
+    "l2_mpki",
+    "l3_mpki",
+    "loads_pki",
+    "stores_pki",
+    "mlp",
+    "prefetch_friendliness",
+    "base_cpi",
+    "burst_ratio",
+    "burst_fraction",
+)
+"""Spec fields a phase multiplier may scale."""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Memory-behaviour model of one workload.
+
+    Parameters
+    ----------
+    name / suite / description:
+        Identity; ``suite`` matches the paper's benchmark-suite grouping.
+    instructions:
+        Retired instructions in one run (abstract; scaled-down traces).
+    base_cpi:
+        Cycles per instruction with a perfect memory system (compute +
+        frontend + cache-hit latencies already folded in).
+    frontend_stall_frac:
+        Fraction of base cycles that are frontend stalls; CXL leaves these
+        unchanged (the paper's frontend-delta finding in §5.3).
+    loads_pki / stores_pki:
+        Loads and stores per kilo-instruction.
+    l1_mpki / l2_mpki / l3_mpki:
+        Demand-load misses per kilo-instruction at each level, *before*
+        prefetching, at the reference LLC size.
+    cache_sensitivity:
+        Exponent scaling ``l3_mpki`` with LLC size (0 = fully resident or
+        fully streaming; larger = cache-friendly working set).
+    mlp:
+        Average memory-level parallelism of demand misses (1 = pointer
+        chase; >8 = independent streams).
+    prefetch_friendliness:
+        Fraction of L3 demand misses an ideal-latency hardware prefetcher
+        covers (stream/stride regularity).
+    prefetch_lead_ns:
+        How far ahead of use the prefetcher can run for this access
+        pattern; latencies beyond this turn prefetches late (Figure 13).
+    tail_sensitivity:
+        How strongly dependent accesses serialize behind tail excursions
+        (0 = independent accesses, 1 = fully dependent chains).
+    burst_ratio / burst_fraction:
+        Traffic burstiness: ``burst_fraction`` of memory traffic is issued
+        at ``burst_ratio`` x the average bandwidth (drives the CXL+NUMA
+        congestion findings of Figure 8c/d).
+    store_rfo_fraction:
+        Fraction of stores that miss and issue an RFO to memory.
+    writeback_ratio:
+        Dirty-writeback traffic per L3 miss (adds write bandwidth).
+    serialization_pki:
+        Serializing operations per kilo-instruction (scoreboard stalls).
+    threads:
+        Concurrent worker threads.  Stall behaviour is per-thread (every
+        thread sees the same latency), but *traffic* aggregates across
+        threads -- this is what lets multithreaded HPC workloads demand
+        more bandwidth than a CXL device can supply (Figure 8b's tail).
+    working_set_gb:
+        Resident set; devices smaller than this cannot host the workload.
+    latency_class:
+        Descriptive sensitivity class for population reporting.
+    phases:
+        Execution phases (weights must sum to 1 when present).
+    """
+
+    name: str
+    suite: str
+    instructions: int = 1_000_000_000
+    base_cpi: float = 0.55
+    frontend_stall_frac: float = 0.15
+    loads_pki: float = 280.0
+    stores_pki: float = 110.0
+    l1_mpki: float = 30.0
+    l2_mpki: float = 12.0
+    l3_mpki: float = 3.0
+    cache_sensitivity: float = 0.1
+    mlp: float = 4.0
+    prefetch_friendliness: float = 0.5
+    prefetch_lead_ns: float = 250.0
+    tail_sensitivity: float = 0.3
+    burst_ratio: float = 2.0
+    burst_fraction: float = 0.05
+    store_rfo_fraction: float = 0.3
+    writeback_ratio: float = 0.4
+    serialization_pki: float = 0.2
+    threads: int = 1
+    working_set_gb: float = 4.0
+    latency_class: str = MIXED_CLASS
+    description: str = ""
+    phases: Tuple[Phase, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError(f"{self.name}: instructions must be positive")
+        if self.base_cpi <= 0:
+            raise WorkloadError(f"{self.name}: base_cpi must be positive")
+        if not 0.0 <= self.frontend_stall_frac < 1.0:
+            raise WorkloadError(f"{self.name}: frontend_stall_frac out of range")
+        if not self.l1_mpki >= self.l2_mpki >= self.l3_mpki >= 0:
+            raise WorkloadError(
+                f"{self.name}: miss rates must satisfy L1 >= L2 >= L3 >= 0 "
+                f"({self.l1_mpki}, {self.l2_mpki}, {self.l3_mpki})"
+            )
+        if self.l1_mpki > self.loads_pki:
+            raise WorkloadError(f"{self.name}: more L1 misses than loads")
+        if self.mlp < 1.0:
+            raise WorkloadError(f"{self.name}: mlp must be >= 1")
+        for frac_field in (
+            "prefetch_friendliness",
+            "tail_sensitivity",
+            "burst_fraction",
+            "store_rfo_fraction",
+        ):
+            value = getattr(self, frac_field)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{self.name}: {frac_field} out of [0, 1]")
+        if self.burst_ratio < 1.0:
+            raise WorkloadError(f"{self.name}: burst_ratio must be >= 1")
+        if self.threads < 1:
+            raise WorkloadError(f"{self.name}: threads must be >= 1")
+        if self.latency_class not in CLASSES:
+            raise WorkloadError(
+                f"{self.name}: unknown latency_class {self.latency_class!r}"
+            )
+        if self.phases:
+            total = sum(p.weight for p in self.phases)
+            if abs(total - 1.0) > 1e-6:
+                raise WorkloadError(
+                    f"{self.name}: phase weights sum to {total}, expected 1"
+                )
+            for phase in self.phases:
+                for key in phase.multipliers:
+                    if key not in _SCALABLE_FIELDS:
+                        raise WorkloadError(
+                            f"{self.name}: phase scales unknown field {key!r}"
+                        )
+
+    # -- phase handling ----------------------------------------------------
+
+    def effective_phases(self) -> Tuple[Phase, ...]:
+        """The phase list, defaulting to one uniform phase."""
+        if self.phases:
+            return self.phases
+        return (Phase(weight=1.0, label="whole-run"),)
+
+    def in_phase(self, phase: Phase) -> "WorkloadSpec":
+        """A spec describing behaviour during ``phase`` only."""
+        updates = {}
+        for key, factor in phase.multipliers.items():
+            updates[key] = getattr(self, key) * factor
+        # Phase-local view runs the phase's share of instructions.
+        updates["instructions"] = max(1, int(self.instructions * phase.weight))
+        updates["phases"] = ()
+        spec = replace(self, **updates)
+        return spec
+
+    def scaled_intensity(self, factor: float) -> "WorkloadSpec":
+        """A reduced-intensity variant (the paper's 1/2 and 1/4 load runs).
+
+        Scaling intensity thins the miss stream and flattens bursts, exactly
+        like shrinking 520.omnetpp's simulated LAN count.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise WorkloadError(f"intensity factor out of (0, 1]: {factor}")
+        return replace(
+            self,
+            name=f"{self.name}@{factor:g}x",
+            l1_mpki=self.l1_mpki * factor,
+            l2_mpki=self.l2_mpki * factor,
+            l3_mpki=self.l3_mpki * factor,
+            burst_ratio=1.0 + (self.burst_ratio - 1.0) * factor,
+        )
+
+    # -- traffic accounting -------------------------------------------------
+
+    def read_fraction(self) -> float:
+        """Read share of this workload's memory traffic (reads + RFOs vs writes)."""
+        reads = self.l3_mpki + self.stores_pki * self.store_rfo_fraction
+        writes = self.l3_mpki * self.writeback_ratio
+        total = reads + writes
+        return reads / total if total > 0 else 1.0
+
+    def memory_bytes_per_kilo_instruction(self) -> float:
+        """Total device traffic (bytes) generated per 1000 instructions."""
+        lines = (
+            self.l3_mpki  # demand + prefetch fills (prefetcher moves them, not removes)
+            + self.stores_pki * self.store_rfo_fraction  # RFO fills
+            + self.l3_mpki * self.writeback_ratio  # dirty writebacks
+        )
+        return lines * 64.0

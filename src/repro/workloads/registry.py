@@ -1,0 +1,78 @@
+"""The 265-workload registry.
+
+Assembles every suite generator into the paper's evaluation population:
+
+=============  =====
+suite          count
+=============  =====
+SPEC CPU 2017     43
+GAPBS             30
+PARSEC            13
+PBBS              44
+ML                29
+Cloud             53
+Phoronix          53
+**total**      **265**
+=============  =====
+
+Lookups are by exact name; :func:`workloads_fitting` filters by device
+capacity (the paper could only evaluate 60 workloads on the 16 GB CXL-C).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.base import WorkloadSpec
+
+REGISTRY_SIZE = 265
+"""Expected total population size (matches the paper)."""
+
+
+@lru_cache(maxsize=1)
+def all_workloads() -> Tuple[WorkloadSpec, ...]:
+    """The full 265-workload population, sorted by (suite, name)."""
+    from repro.workloads.suites import ALL_SUITE_MODULES
+
+    specs = []
+    for module in ALL_SUITE_MODULES:
+        specs.extend(module.workloads())
+    specs.sort(key=lambda w: (w.suite, w.name))
+    names = [w.name for w in specs]
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        raise WorkloadError(f"duplicate workload names: {sorted(duplicates)}")
+    if len(specs) != REGISTRY_SIZE:
+        raise WorkloadError(
+            f"registry has {len(specs)} workloads, expected {REGISTRY_SIZE}"
+        )
+    return tuple(specs)
+
+
+@lru_cache(maxsize=1)
+def _by_name() -> dict:
+    return {w.name: w for w in all_workloads()}
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up one workload by its exact name."""
+    try:
+        return _by_name()[name]
+    except KeyError:
+        raise WorkloadError(f"unknown workload {name!r}") from None
+
+
+def workloads_by_suite(suite: str) -> Tuple[WorkloadSpec, ...]:
+    """All workloads of one suite (e.g. "GAPBS")."""
+    matches = tuple(w for w in all_workloads() if w.suite == suite)
+    if not matches:
+        suites = sorted({w.suite for w in all_workloads()})
+        raise WorkloadError(f"unknown suite {suite!r}; choose from {suites}")
+    return matches
+
+
+def workloads_fitting(capacity_gb: float) -> Tuple[WorkloadSpec, ...]:
+    """Workloads whose working set fits in ``capacity_gb`` of memory."""
+    return tuple(w for w in all_workloads() if w.working_set_gb <= capacity_gb)

@@ -1,0 +1,34 @@
+"""Per-suite workload generators.
+
+Each module regenerates the memory-behaviour models for one benchmark suite
+the paper evaluates.  Workloads the paper discusses individually
+(520.omnetpp, 605.mcf, 603.bwaves, ...) are hand-anchored to their described
+behaviour; the rest are drawn deterministically from suite-specific
+parameter templates so the full population reproduces the paper's
+sensitivity mix (~25% bandwidth-sensitive, >30% frontend-bound, a 7%
+catastrophic tail on low-bandwidth devices).
+"""
+
+from repro.workloads.suites import (
+    cloud,
+    gapbs,
+    ml,
+    parsec,
+    pbbs,
+    phoronix,
+    spec2017,
+)
+
+ALL_SUITE_MODULES = (spec2017, gapbs, parsec, pbbs, ml, cloud, phoronix)
+"""All suite modules, in the paper's presentation order."""
+
+__all__ = [
+    "ALL_SUITE_MODULES",
+    "spec2017",
+    "gapbs",
+    "parsec",
+    "pbbs",
+    "ml",
+    "cloud",
+    "phoronix",
+]

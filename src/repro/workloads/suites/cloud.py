@@ -1,0 +1,145 @@
+"""Cloud workloads: YCSB on Redis/VoltDB/Memcached, CloudSuite, Spark.
+
+Cloud services are the paper's most latency-sensitive population
+(Figure 9b shows YCSB slowdowns growing super-linearly with CXL latency):
+request handling chases pointers through indexes and object headers with
+little memory-level parallelism, and device-level tail latencies propagate
+directly into request tails (Figure 7c, Redis YCSB-C on CXL-C).
+
+Generators:
+
+* YCSB core workloads A-F against Redis, VoltDB, and Memcached (18).
+* CloudSuite 4.0 benchmarks at two client-load levels (16).
+* Spark/HiBench data-analytics jobs (19) -- these are the bandwidth-leaning
+  exception within the cloud population.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LATENCY_CLASS
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    LATENCY_LIGHT_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "Cloud"
+
+YCSB_WORKLOADS = {
+    # name -> (read fraction of ops, description)
+    "A": (0.5, "update heavy (50/50 read/update)"),
+    "B": (0.95, "read mostly (95/5)"),
+    "C": (1.0, "read only"),
+    "D": (0.95, "read latest (95/5, skewed to recent)"),
+    "E": (0.95, "short ranges (scan heavy)"),
+    "F": (0.5, "read-modify-write"),
+}
+"""The six YCSB core workloads."""
+
+_STORES = {
+    # per-store behaviour: (l3_mpki, mlp, base_cpi, tail_sensitivity)
+    "redis": (1.1, 2.2, 0.8, 0.9),
+    "voltdb": (1.4, 2.4, 0.9, 0.8),
+    "memcached": (0.9, 2.0, 0.7, 0.9),
+}
+
+_CLOUDSUITE = (
+    "data-serving",
+    "data-caching",
+    "data-analytics",
+    "graph-analytics",
+    "in-memory-analytics",
+    "media-streaming",
+    "web-search",
+    "web-serving",
+)
+_CLOUDSUITE_LOADS = ("base", "peak")
+
+_HIBENCH = (
+    "micro-wordcount", "micro-sort", "micro-terasort", "micro-sleep",
+    "micro-repartition", "sql-scan", "sql-join", "sql-aggregation",
+    "ml-kmeans", "ml-bayes", "ml-lr", "ml-als", "ml-pca", "ml-gbt",
+    "ml-rf", "ml-svd", "websearch-pagerank", "websearch-nutchindexing",
+    "graph-nweight",
+)
+_HIBENCH_BANDWIDTH = {
+    "micro-sort", "micro-terasort", "micro-repartition", "sql-scan",
+    "websearch-pagerank",
+}
+_HIBENCH_LIGHT = {"micro-sleep", "micro-wordcount", "sql-aggregation"}
+
+
+def _ycsb(store: str, letter: str):
+    """One YCSB workload against one in-memory store."""
+    mpki, mlp, cpi, tail = _STORES[store]
+    read_frac, description = YCSB_WORKLOADS[letter]
+    # Update-heavy workloads push more RFOs; scans raise the miss rate.
+    store_rfo = 0.1 + 0.3 * (1.0 - read_frac)
+    scan_boost = 1.5 if letter == "E" else 1.0
+    return LATENCY_HEAVY_TEMPLATE.instantiate(
+        f"{store}-ycsb-{letter.lower()}", SUITE,
+        base_cpi=cpi,
+        frontend_stall_frac=0.25,  # request dispatch is frontend-heavy
+        l1_mpki=mpki * 9.0,
+        l2_mpki=mpki * 3.0,
+        l3_mpki=mpki * scan_boost,
+        cache_sensitivity=0.2,
+        mlp=mlp,
+        prefetch_friendliness=0.35,
+        prefetch_lead_ns=220,
+        tail_sensitivity=tail,
+        burst_ratio=3.0,
+        burst_fraction=0.1,
+        stores_pki=40 + 120 * (1.0 - read_frac),
+        store_rfo_fraction=store_rfo,
+        writeback_ratio=0.3,
+        working_set_gb=12.0,
+        latency_class=LATENCY_CLASS,
+        description=description,
+    )
+
+
+def _cloudsuite(name: str, load: str):
+    """One CloudSuite benchmark at one client-load level."""
+    bandwidth_leaning = name in ("data-analytics", "media-streaming")
+    template = MIXED_TEMPLATE if bandwidth_leaning else LATENCY_LIGHT_TEMPLATE
+    boost = 1.4 if load == "peak" else 1.0
+    base = template.instantiate(f"cloudsuite-{name}-{load}", SUITE)
+    # Peak load raises intensity and burstiness relative to base load.
+    from dataclasses import replace
+
+    return replace(
+        base,
+        l3_mpki=min(base.l2_mpki, base.l3_mpki * boost),
+        burst_fraction=min(1.0, base.burst_fraction * boost),
+        tail_sensitivity=min(1.0, base.tail_sensitivity + 0.2),
+    )
+
+
+def _hibench(name: str):
+    """One Spark/HiBench job."""
+    if name in _HIBENCH_BANDWIDTH:
+        return BANDWIDTH_TEMPLATE.instantiate(
+            f"spark-{name}", SUITE,
+            l3_mpki=14.0, working_set_gb=30.0, tail_sensitivity=0.1,
+        )
+    if name in _HIBENCH_LIGHT:
+        return LATENCY_LIGHT_TEMPLATE.instantiate(
+            f"spark-{name}", SUITE, l3_mpki=0.6,
+        )
+    return MIXED_TEMPLATE.instantiate(f"spark-{name}", SUITE)
+
+
+def workloads() -> tuple:
+    """All 53 cloud workload models (18 YCSB + 16 CloudSuite + 19 Spark)."""
+    specs = []
+    for store in _STORES:
+        for letter in YCSB_WORKLOADS:
+            specs.append(_ycsb(store, letter))
+    for name in _CLOUDSUITE:
+        for load in _CLOUDSUITE_LOADS:
+            specs.append(_cloudsuite(name, load))
+    for name in _HIBENCH:
+        specs.append(_hibench(name))
+    return tuple(sorted(specs, key=lambda w: w.name))

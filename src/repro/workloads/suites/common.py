@@ -1,0 +1,207 @@
+"""Shared machinery for suite generators: sensitivity templates and jitter.
+
+The paper's 265-workload population spans four broad sensitivity classes
+(§3.1): latency-sensitive (many cloud workloads), bandwidth-sensitive
+(about one quarter, mostly HPC), compute/frontend-bound, and mixtures.
+Each template below captures one class's parameter ranges; a generator
+instantiates a template with deterministic per-name jitter so every
+workload is unique but reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.rng import DEFAULT_SEED, generator_for
+from repro.workloads.base import (
+    BANDWIDTH_CLASS,
+    COMPUTE_CLASS,
+    LATENCY_CLASS,
+    MIXED_CLASS,
+    WorkloadSpec,
+)
+
+
+@dataclass(frozen=True)
+class ParamRange:
+    """A (low, high) range sampled uniformly by the jitter generator."""
+
+    low: float
+    high: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value from the range."""
+        if self.low == self.high:
+            return self.low
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class Template:
+    """Parameter ranges for one sensitivity class within a suite."""
+
+    latency_class: str
+    ranges: Mapping[str, ParamRange]
+    fixed: Mapping[str, object] = field(default_factory=dict)
+
+    def instantiate(self, name: str, suite: str, **overrides) -> WorkloadSpec:
+        """Build a spec with per-name deterministic jitter.
+
+        Explicit ``overrides`` win over sampled and fixed values, letting
+        anchored workloads pin the fields the paper describes.
+        """
+        rng = generator_for(DEFAULT_SEED, "workload", suite, name)
+        params = {key: rng_range.sample(rng) for key, rng_range in self.ranges.items()}
+        params.update(self.fixed)
+        params.update(overrides)
+        # Enforce the hierarchy invariant after independent sampling.
+        if "l2_mpki" in params and "l1_mpki" in params:
+            params["l2_mpki"] = min(params["l2_mpki"], params["l1_mpki"])
+        if "l3_mpki" in params and "l2_mpki" in params:
+            params["l3_mpki"] = min(params["l3_mpki"], params["l2_mpki"])
+        latency_class = params.pop("latency_class", self.latency_class)
+        return WorkloadSpec(
+            name=name, suite=suite, latency_class=latency_class, **params
+        )
+
+
+def _r(low: float, high: float) -> ParamRange:
+    return ParamRange(low, high)
+
+
+COMPUTE_TEMPLATE = Template(
+    latency_class=COMPUTE_CLASS,
+    ranges={
+        "base_cpi": _r(0.35, 0.9),
+        "frontend_stall_frac": _r(0.2, 0.45),
+        "loads_pki": _r(150, 320),
+        "stores_pki": _r(20, 70),
+        "l1_mpki": _r(2.0, 12.0),
+        "l2_mpki": _r(0.5, 3.0),
+        "l3_mpki": _r(0.02, 0.2),
+        "cache_sensitivity": _r(0.0, 0.1),
+        "mlp": _r(2.0, 6.0),
+        "prefetch_friendliness": _r(0.4, 0.8),
+        "prefetch_lead_ns": _r(250, 450),
+        "tail_sensitivity": _r(0.0, 0.3),
+        "burst_ratio": _r(1.0, 2.0),
+        "burst_fraction": _r(0.0, 0.05),
+        "store_rfo_fraction": _r(0.05, 0.2),
+        "writeback_ratio": _r(0.1, 0.4),
+        "serialization_pki": _r(0.05, 0.4),
+        "working_set_gb": _r(0.5, 8.0),
+    },
+)
+"""Compute/frontend-bound: few LLC misses, minimal CXL slowdown."""
+
+LATENCY_LIGHT_TEMPLATE = Template(
+    latency_class=LATENCY_CLASS,
+    ranges={
+        "base_cpi": _r(0.45, 0.95),
+        "frontend_stall_frac": _r(0.1, 0.3),
+        "loads_pki": _r(200, 380),
+        "stores_pki": _r(40, 120),
+        "l1_mpki": _r(8.0, 25.0),
+        "l2_mpki": _r(2.0, 8.0),
+        "l3_mpki": _r(0.03, 0.22),
+        "cache_sensitivity": _r(0.05, 0.25),
+        "mlp": _r(1.5, 4.0),
+        "prefetch_friendliness": _r(0.3, 0.7),
+        "prefetch_lead_ns": _r(180, 350),
+        "tail_sensitivity": _r(0.3, 0.8),
+        "burst_ratio": _r(1.5, 4.0),
+        "burst_fraction": _r(0.02, 0.15),
+        "store_rfo_fraction": _r(0.1, 0.3),
+        "writeback_ratio": _r(0.2, 0.5),
+        "serialization_pki": _r(0.1, 0.6),
+        "working_set_gb": _r(2.0, 30.0),
+    },
+)
+"""Lightly latency-sensitive: pointer-rich but mostly cache-resident."""
+
+LATENCY_HEAVY_TEMPLATE = Template(
+    latency_class=LATENCY_CLASS,
+    ranges={
+        "base_cpi": _r(0.55, 1.1),
+        "frontend_stall_frac": _r(0.05, 0.2),
+        "loads_pki": _r(250, 420),
+        "stores_pki": _r(40, 140),
+        "l1_mpki": _r(20.0, 45.0),
+        "l2_mpki": _r(8.0, 20.0),
+        "l3_mpki": _r(0.5, 3.0),
+        "cache_sensitivity": _r(0.1, 0.35),
+        "mlp": _r(1.2, 3.5),
+        "prefetch_friendliness": _r(0.15, 0.5),
+        "prefetch_lead_ns": _r(150, 300),
+        "tail_sensitivity": _r(0.4, 1.0),
+        "burst_ratio": _r(1.5, 5.0),
+        "burst_fraction": _r(0.05, 0.2),
+        "store_rfo_fraction": _r(0.1, 0.35),
+        "writeback_ratio": _r(0.2, 0.6),
+        "serialization_pki": _r(0.1, 0.8),
+        "working_set_gb": _r(4.0, 80.0),
+    },
+)
+"""Strongly latency-sensitive: dependent misses dominate runtime."""
+
+BANDWIDTH_TEMPLATE = Template(
+    latency_class=BANDWIDTH_CLASS,
+    ranges={
+        "base_cpi": _r(0.4, 0.7),
+        "frontend_stall_frac": _r(0.05, 0.15),
+        "loads_pki": _r(280, 450),
+        "stores_pki": _r(80, 180),
+        "l1_mpki": _r(40.0, 70.0),
+        "l2_mpki": _r(20.0, 40.0),
+        "l3_mpki": _r(14.0, 34.0),
+        "cache_sensitivity": _r(0.0, 0.1),
+        "mlp": _r(8.0, 16.0),
+        "prefetch_friendliness": _r(0.8, 0.95),
+        "prefetch_lead_ns": _r(180, 300),
+        "tail_sensitivity": _r(0.0, 0.2),
+        "burst_ratio": _r(1.0, 1.5),
+        "burst_fraction": _r(0.0, 0.1),
+        "store_rfo_fraction": _r(0.3, 0.5),
+        "writeback_ratio": _r(0.4, 0.8),
+        "serialization_pki": _r(0.02, 0.2),
+        "working_set_gb": _r(8.0, 60.0),
+    },
+    fixed={"threads": 4},
+)
+"""Bandwidth-bound streaming (HPC): saturates low-bandwidth CXL devices."""
+
+MIXED_TEMPLATE = Template(
+    latency_class=MIXED_CLASS,
+    ranges={
+        "base_cpi": _r(0.45, 0.9),
+        "frontend_stall_frac": _r(0.1, 0.35),
+        "loads_pki": _r(200, 400),
+        "stores_pki": _r(50, 150),
+        "l1_mpki": _r(12.0, 40.0),
+        "l2_mpki": _r(4.0, 15.0),
+        "l3_mpki": _r(0.05, 0.4),
+        "cache_sensitivity": _r(0.05, 0.3),
+        "mlp": _r(3.0, 10.0),
+        "prefetch_friendliness": _r(0.5, 0.9),
+        "prefetch_lead_ns": _r(180, 380),
+        "tail_sensitivity": _r(0.2, 0.7),
+        "burst_ratio": _r(1.2, 3.5),
+        "burst_fraction": _r(0.02, 0.15),
+        "store_rfo_fraction": _r(0.15, 0.4),
+        "writeback_ratio": _r(0.2, 0.6),
+        "serialization_pki": _r(0.1, 0.7),
+        "working_set_gb": _r(2.0, 50.0),
+    },
+)
+"""Mixed latency/bandwidth behaviour."""
+
+TEMPLATES = {
+    COMPUTE_CLASS: COMPUTE_TEMPLATE,
+    LATENCY_CLASS: LATENCY_HEAVY_TEMPLATE,
+    BANDWIDTH_CLASS: BANDWIDTH_TEMPLATE,
+    MIXED_CLASS: MIXED_TEMPLATE,
+}
+"""Default template per sensitivity class."""

@@ -1,0 +1,85 @@
+"""GAP Benchmark Suite: 6 graph kernels x 5 input graphs.
+
+Graph analytics is the paper's archetype of DRAM-demand-dominated CXL
+slowdown (Figure 14b): irregular neighbour expansion defeats prefetchers,
+so nearly every LLC miss is an uncovered demand read.  Only the PageRank
+runs on dense synthetic graphs (pr-kron, pr-twitter) show cache-related
+slowdowns -- their streaming rank updates are prefetchable.
+
+Input graphs differ in scale and locality: ``web`` (small-world, high
+locality), ``twitter`` (power-law), ``urand`` (uniform random, worst
+locality), ``kron`` (synthetic power-law, largest), ``road`` (high
+diameter, small working set).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LATENCY_CLASS, MIXED_CLASS
+from repro.workloads.suites.common import (
+    LATENCY_HEAVY_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "GAPBS"
+
+KERNELS = ("bc", "bfs", "cc", "pr", "sssp", "tc")
+GRAPHS = ("web", "twitter", "urand", "kron", "road")
+
+_GRAPH_TRAITS = {
+    # (l3_mpki multiplier, mlp, working_set_gb, tail_sensitivity)
+    "web": (0.8, 3.0, 6.0, 0.6),
+    "twitter": (1.2, 4.0, 12.0, 0.5),
+    "urand": (1.6, 4.5, 14.0, 0.5),
+    "kron": (1.4, 5.0, 20.0, 0.4),
+    "road": (0.5, 2.0, 2.0, 0.8),
+}
+
+_KERNEL_TRAITS = {
+    # (base l3_mpki, prefetch_friendliness, base_cpi)
+    "bc": (4.0, 0.25, 0.7),
+    "bfs": (5.0, 0.2, 0.65),
+    "cc": (4.5, 0.3, 0.6),
+    "pr": (3.5, 0.55, 0.55),
+    "sssp": (5.5, 0.2, 0.75),
+    "tc": (3.0, 0.35, 0.8),
+}
+
+_PREFETCHABLE_PR = {("pr", "kron"), ("pr", "twitter")}
+"""PageRank on dense synthetic graphs: streaming updates, cache slowdowns."""
+
+
+def workloads() -> tuple:
+    """All 30 GAPBS kernel x graph workload models."""
+    specs = []
+    for kernel in KERNELS:
+        base_mpki, friendliness, cpi = _KERNEL_TRAITS[kernel]
+        for graph in GRAPHS:
+            mult, mlp, ws, tail = _GRAPH_TRAITS[graph]
+            name = f"{kernel}-{graph}"
+            template = LATENCY_HEAVY_TEMPLATE
+            overrides = dict(
+                base_cpi=cpi,
+                l1_mpki=base_mpki * mult * 6.0,
+                l2_mpki=base_mpki * mult * 2.5,
+                l3_mpki=base_mpki * mult,
+                cache_sensitivity=0.15,
+                mlp=mlp,
+                prefetch_friendliness=friendliness,
+                prefetch_lead_ns=220,
+                tail_sensitivity=tail,
+                stores_pki=50,
+                store_rfo_fraction=0.15,
+                writeback_ratio=0.3,
+                working_set_gb=ws,
+                latency_class=LATENCY_CLASS,
+            )
+            if (kernel, graph) in _PREFETCHABLE_PR:
+                template = MIXED_TEMPLATE
+                overrides.update(
+                    prefetch_friendliness=0.85,
+                    prefetch_lead_ns=300,
+                    mlp=8.0,
+                    latency_class=MIXED_CLASS,
+                )
+            specs.append(template.instantiate(name, SUITE, **overrides))
+    return tuple(sorted(specs, key=lambda w: w.name))

@@ -1,0 +1,130 @@
+"""ML/AI workloads: GPT-2, Llama-7B (llama.cpp), DLRM, MLPerf inference.
+
+The paper's ML findings (§5.5): DLRM and GPT-2 slowdowns are ~90% DRAM
+demand-read stalls (embedding/weight gathers defeat prefetchers), while
+many Llama workloads show LLC-originated slowdowns -- llama.cpp's blocked
+GEMV streams prefetch well at DRAM latency, but the prefetches turn late
+under CXL and surface as cache stalls.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LATENCY_CLASS, MIXED_CLASS
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "ML"
+
+_GPT2_SIZES = {
+    # name -> (working set GB, l3_mpki)
+    "gpt2-small": (0.6, 6.0),
+    "gpt2-medium": (1.6, 7.5),
+    "gpt2-large": (3.2, 8.5),
+    "gpt2-xl": (6.5, 9.5),
+}
+
+_LLAMA_CONFIGS = (
+    # (quantization, task): pp = prompt processing (compute-denser),
+    # tg = token generation (memory-bandwidth-bound GEMV)
+    ("q4_0", "pp"), ("q4_0", "tg"),
+    ("q4_1", "pp"), ("q4_1", "tg"),
+    ("q5_k", "pp"), ("q5_k", "tg"),
+    ("q8_0", "pp"), ("q8_0", "tg"),
+    ("f16", "pp"), ("f16", "tg"),
+)
+
+_QUANT_BYTES = {"q4_0": 0.5, "q4_1": 0.56, "q5_k": 0.69, "q8_0": 1.0, "f16": 2.0}
+
+_DLRM_CONFIGS = ("dlrm-small", "dlrm-medium", "dlrm-large")
+
+_MLPERF_MODELS = {
+    "mlperf-resnet50": MIXED_TEMPLATE,
+    "mlperf-retinanet": MIXED_TEMPLATE,
+    "mlperf-bert-99": MIXED_TEMPLATE,
+    "mlperf-bert-99.9": MIXED_TEMPLATE,
+    "mlperf-3d-unet": BANDWIDTH_TEMPLATE,
+    "mlperf-rnnt": MIXED_TEMPLATE,
+    "mlperf-gptj": LATENCY_HEAVY_TEMPLATE,
+    "mlperf-dlrm-v2": LATENCY_HEAVY_TEMPLATE,
+    "mlperf-ssd-mobilenet": MIXED_TEMPLATE,
+    "mlperf-mobilenet": MIXED_TEMPLATE,
+    "mlperf-efficientnet": MIXED_TEMPLATE,
+    "mlperf-stable-diffusion": BANDWIDTH_TEMPLATE,
+}
+
+
+def _gpt2(name: str, working_set: float, mpki: float):
+    """GPT-2 inference: embedding + attention gathers, ~90% DRAM slowdown."""
+    return LATENCY_HEAVY_TEMPLATE.instantiate(
+        name, SUITE,
+        base_cpi=0.6,
+        l1_mpki=mpki * 5.0,
+        l2_mpki=mpki * 2.2,
+        l3_mpki=mpki,
+        mlp=6.0,
+        prefetch_friendliness=0.3,
+        prefetch_lead_ns=250,
+        tail_sensitivity=0.3,
+        stores_pki=60,
+        store_rfo_fraction=0.15,
+        working_set_gb=working_set,
+        latency_class=LATENCY_CLASS,
+    )
+
+
+def _llama(quant: str, task: str):
+    """Llama-7B via llama.cpp: prefetch-heavy streams -> LLC slowdowns."""
+    weight_gb = 7.0 * _QUANT_BYTES[quant] + 1.0
+    tg = task == "tg"
+    return MIXED_TEMPLATE.instantiate(
+        f"llama-7b-{quant}-{task}", SUITE,
+        base_cpi=0.5 if tg else 0.4,
+        l1_mpki=40.0 if tg else 18.0,
+        l2_mpki=18.0 if tg else 7.0,
+        l3_mpki=(8.0 if tg else 2.5) * _QUANT_BYTES[quant] ** 0.5,
+        mlp=10.0 if tg else 6.0,
+        prefetch_friendliness=0.9,
+        prefetch_lead_ns=260,  # blocked GEMV: short lead, turns late on CXL
+        tail_sensitivity=0.1,
+        stores_pki=40,
+        store_rfo_fraction=0.1,
+        writeback_ratio=0.1,
+        working_set_gb=weight_gb,
+        latency_class=MIXED_CLASS,
+    )
+
+
+def _dlrm(name: str):
+    """DLRM: random embedding-table gathers, DRAM-demand dominated."""
+    size = {"dlrm-small": 8.0, "dlrm-medium": 24.0, "dlrm-large": 64.0}[name]
+    return LATENCY_HEAVY_TEMPLATE.instantiate(
+        name, SUITE,
+        base_cpi=0.55,
+        l1_mpki=45.0,
+        l2_mpki=20.0,
+        l3_mpki=7.0,
+        mlp=8.0,
+        prefetch_friendliness=0.15,
+        tail_sensitivity=0.25,
+        stores_pki=50,
+        store_rfo_fraction=0.1,
+        working_set_gb=size,
+        latency_class=LATENCY_CLASS,
+    )
+
+
+def workloads() -> tuple:
+    """All 29 ML workload models."""
+    specs = []
+    for name, (ws, mpki) in _GPT2_SIZES.items():
+        specs.append(_gpt2(name, ws, mpki))
+    for quant, task in _LLAMA_CONFIGS:
+        specs.append(_llama(quant, task))
+    for name in _DLRM_CONFIGS:
+        specs.append(_dlrm(name))
+    for name, template in _MLPERF_MODELS.items():
+        specs.append(template.instantiate(name, SUITE))
+    return tuple(sorted(specs, key=lambda w: w.name))

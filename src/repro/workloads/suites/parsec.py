@@ -1,0 +1,62 @@
+"""PARSEC 3.0: the 13 multithreaded shared-memory benchmarks.
+
+PARSEC spans the sensitivity spectrum: ``streamcluster`` and ``canneal``
+are memory-hungry (streaming and pointer-chasing respectively), while
+``blackscholes`` or ``swaptions`` barely touch DRAM.  The suite's
+working sets are small enough that all 13 fit on every testbed device.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    COMPUTE_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    LATENCY_LIGHT_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "PARSEC"
+
+_BENCHMARKS = {
+    "blackscholes": (COMPUTE_TEMPLATE, dict(working_set_gb=0.6)),
+    "bodytrack": (COMPUTE_TEMPLATE, dict(working_set_gb=1.0)),
+    "canneal": (
+        LATENCY_HEAVY_TEMPLATE,
+        dict(l3_mpki=4.0, l2_mpki=12.0, l1_mpki=30.0, mlp=2.0,
+             prefetch_friendliness=0.2, tail_sensitivity=0.7,
+             working_set_gb=2.5),
+    ),
+    "dedup": (MIXED_TEMPLATE, dict(working_set_gb=3.0)),
+    "facesim": (MIXED_TEMPLATE, dict(working_set_gb=1.5)),
+    "ferret": (LATENCY_LIGHT_TEMPLATE, dict(working_set_gb=2.0)),
+    "fluidanimate": (
+        MIXED_TEMPLATE,
+        dict(l3_mpki=2.5, prefetch_friendliness=0.7, working_set_gb=1.2),
+    ),
+    "freqmine": (LATENCY_LIGHT_TEMPLATE, dict(working_set_gb=2.0)),
+    "raytrace": (COMPUTE_TEMPLATE, dict(working_set_gb=1.5)),
+    "streamcluster": (
+        BANDWIDTH_TEMPLATE,
+        dict(l3_mpki=18.0, l2_mpki=30.0, l1_mpki=50.0, mlp=10.0,
+             prefetch_friendliness=0.9, tail_sensitivity=0.05,
+             working_set_gb=1.5, store_rfo_fraction=0.3,
+             writeback_ratio=0.5),
+    ),
+    "swaptions": (COMPUTE_TEMPLATE, dict(working_set_gb=0.5)),
+    "vips": (COMPUTE_TEMPLATE, dict(working_set_gb=1.5)),
+    "x264": (COMPUTE_TEMPLATE, dict(working_set_gb=1.0)),
+}
+
+
+def workloads() -> tuple:
+    """All 13 PARSEC workload models."""
+    return tuple(
+        sorted(
+            (
+                template.instantiate(name, SUITE, **overrides)
+                for name, (template, overrides) in _BENCHMARKS.items()
+            ),
+            key=lambda w: w.name,
+        )
+    )

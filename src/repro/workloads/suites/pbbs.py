@@ -1,0 +1,82 @@
+"""PBBS v2: the Problem Based Benchmark Suite's parallel kernels.
+
+PBBS kernels are fine-grained parallel algorithms -- sorts, geometry,
+graph primitives, string processing -- each run on two input
+distributions (as the suite ships them).  Their parallelism gives them
+higher memory-level parallelism than the GAPBS kernels, making them more
+bandwidth- than latency-shaped, with exceptions: the tree-based geometry
+kernels chase pointers.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "PBBS"
+
+_BANDWIDTH_KERNELS = {
+    "integerSort": ("uniform", "exponential"),
+    "comparisonSort": ("uniform", "almostSorted"),
+    "histogram": ("uniform", "skewed"),
+    "removeDuplicates": ("uniform", "trigrams"),
+    "wordCounts": ("trigrams", "wikipedia"),
+    "suffixArray": ("dna", "wikipedia"),
+    "invertedIndex": ("wikipedia", "trigrams"),
+    "longestRepeatedSubstring": ("dna", "trigrams"),
+}
+_MIXED_KERNELS = {
+    "BFS-pbbs": ("randLocal", "rMat"),
+    "maximalMatching": ("randLocal", "rMat"),
+    "maximalIndependentSet": ("randLocal", "rMat"),
+    "spanningForest": ("randLocal", "rMat"),
+    "minSpanningForest": ("randLocal", "rMat"),
+    "convexHull": ("uniform-2d", "onSphere"),
+    "delaunayTriangulation": ("uniform-2d", "kuzmin"),
+}
+_LATENCY_KERNELS = {
+    "nearestNeighbors": ("uniform-3d", "kuzmin"),
+    "rayCast": ("happy", "angel"),
+    "rangeQuery": ("uniform-2d", "kuzmin"),
+    "nBody": ("uniform-3d", "plummer"),
+    "delaunayRefine": ("uniform-2d", "kuzmin"),
+    "classify": ("covtype", "kdd"),
+    "setCover": ("randLocal", "rMat"),
+}
+
+
+def _spread(name: str, modulus: int) -> int:
+    """Stable small hash for per-name parameter spreading."""
+    return zlib.crc32(name.encode("utf-8")) % modulus
+
+
+def workloads() -> tuple:
+    """All 44 PBBS kernel x input workload models."""
+    specs = []
+    for kernel, inputs in _BANDWIDTH_KERNELS.items():
+        for inp in inputs:
+            name = f"{kernel}-{inp}"
+            specs.append(
+                BANDWIDTH_TEMPLATE.instantiate(
+                    name, SUITE,
+                    l3_mpki=10.0 + 2.0 * _spread(name, 5),
+                    working_set_gb=6.0 + _spread(name, 8),
+                )
+            )
+    for kernel, inputs in _MIXED_KERNELS.items():
+        for inp in inputs:
+            specs.append(MIXED_TEMPLATE.instantiate(f"{kernel}-{inp}", SUITE))
+    for kernel, inputs in _LATENCY_KERNELS.items():
+        for inp in inputs:
+            specs.append(
+                LATENCY_HEAVY_TEMPLATE.instantiate(
+                    f"{kernel}-{inp}", SUITE,
+                    prefetch_friendliness=0.25, mlp=3.0,
+                )
+            )
+    return tuple(sorted(specs, key=lambda w: w.name))

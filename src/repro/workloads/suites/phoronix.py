@@ -1,0 +1,72 @@
+"""Phoronix Test Suite: a broad cross-section of application benchmarks.
+
+Phoronix contributes the long, diverse tail of the paper's population --
+databases, web servers, compression, codecs, compilers, crypto, renderers,
+and memory microbenchmarks.  Most are compute-leaning (they exist to test
+CPUs), a sizeable minority are latency-sensitive services, and a few memory
+streamers are bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    COMPUTE_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    LATENCY_LIGHT_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "Phoronix"
+
+_COMPUTE_TESTS = (
+    "compress-7zip", "compress-zstd", "compress-lz4", "compress-xz",
+    "openssl-rsa", "openssl-sha256", "x264-pts", "x265-pts", "svt-av1",
+    "dav1d", "blender-pts", "c-ray", "povray-pts", "build-linux-kernel",
+    "build-llvm", "build-gcc", "coremark", "gmpbench", "john-the-ripper",
+    "namd-pts", "gromacs",
+)
+_LATENCY_TESTS = (
+    "pgbench-ro", "pgbench-rw", "mariadb-oltp", "sqlite-pts",
+    "rocksdb-readrandom", "rocksdb-readwhilewriting", "leveldb-readrandom",
+    "redis-pts-get", "redis-pts-set", "memcached-pts", "keydb-pts",
+    "nginx-pts", "apache-pts", "etcd-pts",
+)
+_MIXED_TESTS = (
+    "ffmpeg-pts", "git-pts", "darktable", "gimp-pts", "inkscape-pts",
+    "librewolf-speedometer", "node-web-tooling", "openjdk-dacapo",
+    "php-pts", "pybench-pts", "numpy-pts",
+)
+_BANDWIDTH_TESTS = (
+    "stream-copy", "stream-triad", "ramspeed-int", "ramspeed-fp",
+    "cachebench-rmw", "tinymembench", "mbw-memcpy",
+)
+
+
+def workloads() -> tuple:
+    """All 53 Phoronix workload models."""
+    specs = []
+    for name in _COMPUTE_TESTS:
+        specs.append(COMPUTE_TEMPLATE.instantiate(name, SUITE))
+    for name in _LATENCY_TESTS:
+        template = (
+            LATENCY_HEAVY_TEMPLATE
+            if "rocksdb" in name or "redis" in name or "pgbench" in name
+            else LATENCY_LIGHT_TEMPLATE
+        )
+        specs.append(
+            template.instantiate(
+                name, SUITE, tail_sensitivity=0.7, mlp=2.0,
+                prefetch_friendliness=0.25,
+            )
+        )
+    for name in _MIXED_TESTS:
+        specs.append(MIXED_TEMPLATE.instantiate(name, SUITE))
+    for name in _BANDWIDTH_TESTS:
+        specs.append(
+            BANDWIDTH_TEMPLATE.instantiate(
+                name, SUITE, l3_mpki=25.0, mlp=14.0,
+                prefetch_friendliness=0.95, working_set_gb=4.0,
+            )
+        )
+    return tuple(sorted(specs, key=lambda w: w.name))

@@ -1,0 +1,227 @@
+"""SPEC CPU 2017: all 43 benchmarks, with the paper's anchors pinned.
+
+Anchored behaviours (paper section in parentheses):
+
+* ``603.bwaves_s``, ``619.lbm_s``, ``649.fotonik3d_s``, ``654.roms_s`` --
+  bandwidth-bound, demanding >24 GB/s, exceeding CXL-A/B/C capacity and
+  suffering 1.5-5.8x slowdowns there (Figure 8b).
+* ``520.omnetpp_r`` / ``620.omnetpp_s`` -- discrete-event simulation,
+  <1 GB/s average traffic, tail-dependent; <5% slowdown on every local CXL
+  device but 2.9x under CXL+NUMA (Figure 8c/d).
+* ``605.mcf_s`` -- LLC-miss dominated with bursty phases; the Spa tuning
+  use case relocates its two 2 GB hot objects (§5.7, Figure 16b).
+* ``602.gcc_s`` -- heavy slowdown in the first two thirds of execution
+  (Figure 16a), store-buffer pressure (§5.5).
+* ``631.deepsjeng_s`` -- mild oscillating slowdown (Figure 16c).
+* ``519.lbm_r`` -- store-buffer (RFO) dominated slowdown (§5.5).
+* ``508.namd_r`` -- <500 MB/s with occasional 3.4 GB/s spikes; used for
+  the Figure 7a latency-spike demonstration.
+* ``503.bwaves_r`` -- slowdown dominated by prefetch (cache) stalls, in
+  contrast to 605.mcf's LLC-miss stalls (§5.5).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Phase, WorkloadSpec
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    COMPUTE_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    LATENCY_LIGHT_TEMPLATE,
+    MIXED_TEMPLATE,
+)
+
+SUITE = "SPEC CPU 2017"
+
+_OMNETPP = dict(
+    base_cpi=0.7,
+    frontend_stall_frac=0.12,
+    loads_pki=300,
+    stores_pki=60,
+    l1_mpki=25.0,
+    l2_mpki=8.0,
+    l3_mpki=2.0,
+    cache_sensitivity=0.2,
+    mlp=2.0,
+    prefetch_friendliness=0.95,
+    prefetch_lead_ns=500,
+    tail_sensitivity=1.0,
+    burst_ratio=4.0,
+    burst_fraction=0.3,
+    store_rfo_fraction=0.12,
+    writeback_ratio=0.3,
+    working_set_gb=2.0,
+)
+
+_BANDWIDTH_SPEED = dict(
+    threads=3,
+    base_cpi=0.45,
+    l1_mpki=80.0,
+    l2_mpki=55.0,
+    l3_mpki=32.0,
+    mlp=14.0,
+    prefetch_friendliness=0.92,
+    prefetch_lead_ns=600,
+    tail_sensitivity=0.05,
+    burst_ratio=1.1,
+    burst_fraction=0.02,
+    store_rfo_fraction=0.45,
+    writeback_ratio=0.8,
+    working_set_gb=12.0,
+)
+
+_MCF_PHASES = (
+    Phase(0.12, {"l3_mpki": 4.5, "mlp": 0.7}, label="hot-1"),
+    Phase(0.18, {"l3_mpki": 0.3}, label="cool-1"),
+    Phase(0.15, {"l3_mpki": 3.8, "mlp": 0.75}, label="hot-2"),
+    Phase(0.25, {"l3_mpki": 0.35}, label="cool-2"),
+    Phase(0.14, {"l3_mpki": 3.2, "mlp": 0.8}, label="hot-3"),
+    Phase(0.16, {"l3_mpki": 0.3}, label="cool-3"),
+)
+
+_GCC_PHASES = (
+    Phase(0.65, {"l3_mpki": 3.0, "stores_pki": 1.8}, label="compile"),
+    Phase(0.35, {"l3_mpki": 0.25, "stores_pki": 0.5}, label="link"),
+)
+
+_DEEPSJENG_PHASES = (
+    Phase(0.3, {"l3_mpki": 1.3}, label="opening"),
+    Phase(0.4, {"l3_mpki": 0.8}, label="midgame"),
+    Phase(0.3, {"l3_mpki": 1.15}, label="endgame"),
+)
+
+_ANCHORS = {
+    # -- bandwidth-bound fpspeed quartet (Figure 8b tail) ------------------
+    "603.bwaves_s": (BANDWIDTH_TEMPLATE, dict(_BANDWIDTH_SPEED)),
+    "619.lbm_s": (
+        BANDWIDTH_TEMPLATE,
+        dict(_BANDWIDTH_SPEED, stores_pki=220, store_rfo_fraction=0.6,
+             writeback_ratio=0.95, l3_mpki=28.0),
+    ),
+    "649.fotonik3d_s": (
+        BANDWIDTH_TEMPLATE,
+        dict(_BANDWIDTH_SPEED, l3_mpki=30.0, prefetch_friendliness=0.95,
+             prefetch_lead_ns=450),
+    ),
+    "654.roms_s": (BANDWIDTH_TEMPLATE, dict(_BANDWIDTH_SPEED, l3_mpki=26.0)),
+    # -- rate versions: still streaming-heavy, below device saturation -----
+    "503.bwaves_r": (
+        BANDWIDTH_TEMPLATE,
+        dict(base_cpi=0.5, l1_mpki=55.0, l2_mpki=30.0, l3_mpki=14.0, mlp=12.0,
+             prefetch_friendliness=0.93, prefetch_lead_ns=300,
+             tail_sensitivity=0.05, working_set_gb=10.0,
+             store_rfo_fraction=0.3, writeback_ratio=0.5),
+    ),
+    "519.lbm_r": (
+        BANDWIDTH_TEMPLATE,
+        dict(base_cpi=0.5, l1_mpki=60.0, l2_mpki=35.0, l3_mpki=16.0,
+             stores_pki=200, store_rfo_fraction=0.5, writeback_ratio=0.8,
+             mlp=10.0, prefetch_friendliness=0.9, working_set_gb=8.0),
+    ),
+    "549.fotonik3d_r": (
+        BANDWIDTH_TEMPLATE,
+        dict(l3_mpki=15.0, l2_mpki=30.0, l1_mpki=50.0, mlp=11.0,
+             prefetch_friendliness=0.94, prefetch_lead_ns=320,
+             working_set_gb=10.0),
+    ),
+    "554.roms_r": (
+        BANDWIDTH_TEMPLATE,
+        dict(l3_mpki=13.0, l2_mpki=28.0, l1_mpki=48.0, mlp=11.0,
+             prefetch_friendliness=0.92, prefetch_lead_ns=330,
+             working_set_gb=10.0),
+    ),
+    # -- the tail-anomaly pair ---------------------------------------------
+    "520.omnetpp_r": (LATENCY_LIGHT_TEMPLATE, dict(_OMNETPP)),
+    "620.omnetpp_s": (
+        LATENCY_LIGHT_TEMPLATE,
+        dict(_OMNETPP, l3_mpki=2.2, working_set_gb=4.0),
+    ),
+    # -- phase-structured workloads (Figure 16) -----------------------------
+    "605.mcf_s": (
+        LATENCY_HEAVY_TEMPLATE,
+        dict(base_cpi=0.8, l1_mpki=40.0, l2_mpki=16.0, l3_mpki=1.0,
+             cache_sensitivity=0.25, mlp=3.2, prefetch_friendliness=0.35,
+             prefetch_lead_ns=250, tail_sensitivity=0.5, burst_ratio=2.5,
+             burst_fraction=0.1, stores_pki=70, store_rfo_fraction=0.15,
+             working_set_gb=6.0, phases=_MCF_PHASES),
+    ),
+    "505.mcf_r": (
+        LATENCY_HEAVY_TEMPLATE,
+        dict(base_cpi=0.8, l1_mpki=38.0, l2_mpki=15.0, l3_mpki=1.5,
+             mlp=3.0, prefetch_friendliness=0.4, tail_sensitivity=0.5,
+             stores_pki=70, store_rfo_fraction=0.15, working_set_gb=4.0),
+    ),
+    "602.gcc_s": (
+        MIXED_TEMPLATE,
+        dict(base_cpi=0.65, l1_mpki=28.0, l2_mpki=9.0, l3_mpki=1.1,
+             mlp=3.0, prefetch_friendliness=0.5, tail_sensitivity=0.4,
+             stores_pki=160, store_rfo_fraction=0.35, writeback_ratio=0.5,
+             working_set_gb=6.0, phases=_GCC_PHASES),
+    ),
+    "631.deepsjeng_s": (
+        MIXED_TEMPLATE,
+        dict(base_cpi=0.6, l1_mpki=18.0, l2_mpki=6.0, l3_mpki=0.7,
+             mlp=2.5, prefetch_friendliness=0.45, tail_sensitivity=0.35,
+             stores_pki=90, store_rfo_fraction=0.2, working_set_gb=7.0,
+             phases=_DEEPSJENG_PHASES),
+    ),
+    # -- Figure 7a: quiet with rare spikes -----------------------------------
+    "508.namd_r": (
+        COMPUTE_TEMPLATE,
+        dict(base_cpi=0.45, l1_mpki=6.0, l2_mpki=1.2, l3_mpki=0.12,
+             mlp=4.0, burst_ratio=8.0, burst_fraction=0.02,
+             working_set_gb=1.0),
+    ),
+    "607.cactuBSSN_s": (
+        MIXED_TEMPLATE,
+        dict(l1_mpki=35.0, l2_mpki=14.0, l3_mpki=4.5,
+             prefetch_friendliness=0.85, prefetch_lead_ns=280, mlp=7.0,
+             tail_sensitivity=0.1, working_set_gb=9.0),
+    ),
+}
+"""Hand-anchored SPEC workloads: (template, overrides)."""
+
+_REMAINING = {
+    # intrate
+    "500.perlbench_r": COMPUTE_TEMPLATE,
+    "502.gcc_r": MIXED_TEMPLATE,
+    "523.xalancbmk_r": LATENCY_LIGHT_TEMPLATE,
+    "525.x264_r": COMPUTE_TEMPLATE,
+    "531.deepsjeng_r": COMPUTE_TEMPLATE,
+    "541.leela_r": COMPUTE_TEMPLATE,
+    "548.exchange2_r": COMPUTE_TEMPLATE,
+    "557.xz_r": MIXED_TEMPLATE,
+    # fprate
+    "507.cactuBSSN_r": MIXED_TEMPLATE,
+    "510.parest_r": MIXED_TEMPLATE,
+    "511.povray_r": COMPUTE_TEMPLATE,
+    "521.wrf_r": MIXED_TEMPLATE,
+    "526.blender_r": COMPUTE_TEMPLATE,
+    "527.cam4_r": MIXED_TEMPLATE,
+    "538.imagick_r": COMPUTE_TEMPLATE,
+    "544.nab_r": COMPUTE_TEMPLATE,
+    # intspeed
+    "600.perlbench_s": COMPUTE_TEMPLATE,
+    "623.xalancbmk_s": LATENCY_LIGHT_TEMPLATE,
+    "625.x264_s": COMPUTE_TEMPLATE,
+    "641.leela_s": COMPUTE_TEMPLATE,
+    "648.exchange2_s": COMPUTE_TEMPLATE,
+    "657.xz_s": MIXED_TEMPLATE,
+    # fpspeed
+    "621.wrf_s": MIXED_TEMPLATE,
+    "627.cam4_s": MIXED_TEMPLATE,
+    "628.pop2_s": MIXED_TEMPLATE,
+    "638.imagick_s": COMPUTE_TEMPLATE,
+    "644.nab_s": COMPUTE_TEMPLATE,
+}
+"""Un-anchored SPEC workloads: template only, jittered per name."""
+
+
+def workloads() -> tuple:
+    """All 43 SPEC CPU 2017 workload models."""
+    specs = []
+    for name, (template, overrides) in _ANCHORS.items():
+        specs.append(template.instantiate(name, SUITE, **overrides))
+    for name, template in _REMAINING.items():
+        specs.append(template.instantiate(name, SUITE))
+    return tuple(sorted(specs, key=lambda w: w.name))

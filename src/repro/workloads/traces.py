@@ -1,0 +1,262 @@
+"""Synthetic memory-access trace generators.
+
+The workload specs in this package describe programs by their *aggregate*
+memory behaviour (miss rates, MLP, prefetchability).  This module provides
+the level below: actual address streams with the canonical access patterns
+those aggregates arise from --
+
+* ``sequential_stream`` -- unit-stride scans (the prefetcher's best case),
+* ``strided_stream`` -- constant large strides (detectable but sparser),
+* ``random_uniform`` -- uniform random touches over a working set,
+* ``zipf_accesses`` -- skewed hot/cold reuse (cache-friendly),
+* ``pointer_chase`` -- dependent chains (serialized misses, MLP = 1),
+* ``mixed_trace`` -- weighted interleavings of the above.
+
+Traces feed :mod:`repro.cpu.cachesim`, which derives the spec-level
+parameters (per-level MPKI, prefetch coverage) from first principles --
+grounding the registry's numbers in microarchitectural simulation instead
+of assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import DEFAULT_SEED, generator_for
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """A memory-access trace at cacheline granularity.
+
+    ``addresses`` are byte addresses; ``dependent[i]`` marks accesses whose
+    address was produced by the previous load (pointer chasing) -- the
+    cache simulator uses it to compute effective MLP, and prefetchers
+    cannot run ahead of it.
+    """
+
+    name: str
+    addresses: np.ndarray  # int64 byte addresses
+    dependent: np.ndarray  # bool per access
+    is_write: np.ndarray  # bool per access
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.addresses) == len(self.dependent) == len(self.is_write)
+        ):
+            raise WorkloadError(f"{self.name}: trace arrays length mismatch")
+        if len(self.addresses) == 0:
+            raise WorkloadError(f"{self.name}: empty trace")
+
+    @property
+    def length(self) -> int:
+        """Number of accesses."""
+        return len(self.addresses)
+
+    @property
+    def lines(self) -> np.ndarray:
+        """Cacheline indices (addresses / 64)."""
+        return self.addresses // CACHELINE_BYTES
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Distinct cachelines touched x line size."""
+        return int(np.unique(self.lines).size) * CACHELINE_BYTES
+
+    def concat(self, other: "AccessTrace", name: str = None) -> "AccessTrace":
+        """Concatenate two traces."""
+        return AccessTrace(
+            name=name or f"{self.name}+{other.name}",
+            addresses=np.concatenate([self.addresses, other.addresses]),
+            dependent=np.concatenate([self.dependent, other.dependent]),
+            is_write=np.concatenate([self.is_write, other.is_write]),
+        )
+
+
+def _validated(n_accesses: int, working_set_bytes: int) -> None:
+    if n_accesses <= 0:
+        raise WorkloadError(f"n_accesses must be positive: {n_accesses}")
+    if working_set_bytes < CACHELINE_BYTES:
+        raise WorkloadError(
+            f"working set below one cacheline: {working_set_bytes}"
+        )
+
+
+def sequential_stream(
+    n_accesses: int,
+    working_set_bytes: int,
+    element_bytes: int = 8,
+    write_fraction: float = 0.0,
+    seed: int = DEFAULT_SEED,
+) -> AccessTrace:
+    """Unit-stride scan over ``element_bytes`` elements, wrapping around.
+
+    With the default 8-byte elements each cacheline is touched 8 times in
+    a row -- the spatial-locality structure real streaming kernels have,
+    and what gives the prefetcher time to run ahead.
+    """
+    _validated(n_accesses, working_set_bytes)
+    if not 1 <= element_bytes <= CACHELINE_BYTES:
+        raise WorkloadError(f"element size out of range: {element_bytes}")
+    addresses = (
+        np.arange(n_accesses, dtype=np.int64) * element_bytes
+    ) % working_set_bytes
+    rng = generator_for(seed, "trace-seq", str(n_accesses))
+    return AccessTrace(
+        name="sequential",
+        addresses=addresses,
+        dependent=np.zeros(n_accesses, dtype=bool),
+        is_write=rng.random(n_accesses) < write_fraction,
+    )
+
+
+def strided_stream(
+    n_accesses: int,
+    working_set_bytes: int,
+    stride_bytes: int = 256,
+    write_fraction: float = 0.0,
+    seed: int = DEFAULT_SEED,
+) -> AccessTrace:
+    """Constant-stride scan (stride in bytes, typically > one line)."""
+    _validated(n_accesses, working_set_bytes)
+    if stride_bytes < CACHELINE_BYTES:
+        raise WorkloadError(f"stride below one line: {stride_bytes}")
+    offsets = (
+        np.arange(n_accesses, dtype=np.int64) * stride_bytes
+    ) % working_set_bytes
+    rng = generator_for(seed, "trace-stride", str(stride_bytes))
+    return AccessTrace(
+        name=f"stride-{stride_bytes}",
+        addresses=(offsets // CACHELINE_BYTES) * CACHELINE_BYTES,
+        dependent=np.zeros(n_accesses, dtype=bool),
+        is_write=rng.random(n_accesses) < write_fraction,
+    )
+
+
+def random_uniform(
+    n_accesses: int,
+    working_set_bytes: int,
+    write_fraction: float = 0.0,
+    seed: int = DEFAULT_SEED,
+) -> AccessTrace:
+    """Uniform random line touches (worst-case locality, independent)."""
+    _validated(n_accesses, working_set_bytes)
+    n_lines = working_set_bytes // CACHELINE_BYTES
+    rng = generator_for(seed, "trace-rand", str(n_accesses))
+    lines = rng.integers(0, n_lines, n_accesses, dtype=np.int64)
+    return AccessTrace(
+        name="random",
+        addresses=lines * CACHELINE_BYTES,
+        dependent=np.zeros(n_accesses, dtype=bool),
+        is_write=rng.random(n_accesses) < write_fraction,
+    )
+
+
+def zipf_accesses(
+    n_accesses: int,
+    working_set_bytes: int,
+    skew: float = 1.1,
+    write_fraction: float = 0.0,
+    seed: int = DEFAULT_SEED,
+) -> AccessTrace:
+    """Zipf-skewed reuse: a hot head of lines absorbs most accesses."""
+    _validated(n_accesses, working_set_bytes)
+    if skew <= 1.0:
+        raise WorkloadError(f"zipf skew must exceed 1: {skew}")
+    n_lines = working_set_bytes // CACHELINE_BYTES
+    rng = generator_for(seed, "trace-zipf", f"{skew}")
+    ranks = rng.zipf(skew, n_accesses).astype(np.int64)
+    ranks = np.clip(ranks - 1, 0, n_lines - 1)
+    # Permute rank -> line so hot lines are scattered across the set space.
+    perm = generator_for(seed, "trace-zipf-perm", f"{n_lines}").permutation(
+        n_lines
+    )
+    lines = perm[ranks]
+    return AccessTrace(
+        name=f"zipf-{skew:g}",
+        addresses=lines * CACHELINE_BYTES,
+        dependent=np.zeros(n_accesses, dtype=bool),
+        is_write=rng.random(n_accesses) < write_fraction,
+    )
+
+
+def pointer_chase(
+    n_accesses: int,
+    working_set_bytes: int,
+    seed: int = DEFAULT_SEED,
+) -> AccessTrace:
+    """A dependent chain through a random permutation (MIO's pattern).
+
+    Every access is marked dependent: its address came from the previous
+    load, so misses serialize and prefetchers cannot predict it.
+    """
+    _validated(n_accesses, working_set_bytes)
+    n_lines = working_set_bytes // CACHELINE_BYTES
+    rng = generator_for(seed, "trace-chase", str(n_lines))
+    # Build one random cycle over all lines (a permutation with a single
+    # cycle), then walk it.
+    order = rng.permutation(n_lines).astype(np.int64)
+    next_line = np.empty(n_lines, dtype=np.int64)
+    next_line[order[:-1]] = order[1:]
+    next_line[order[-1]] = order[0]
+    lines = np.empty(n_accesses, dtype=np.int64)
+    current = order[0]
+    for i in range(n_accesses):
+        lines[i] = current
+        current = next_line[current]
+    return AccessTrace(
+        name="pointer-chase",
+        addresses=lines * CACHELINE_BYTES,
+        dependent=np.ones(n_accesses, dtype=bool),
+        is_write=np.zeros(n_accesses, dtype=bool),
+    )
+
+
+def mixed_trace(
+    components,
+    seed: int = DEFAULT_SEED,
+    name: str = "mixed",
+) -> AccessTrace:
+    """Random interleaving of component traces by weight.
+
+    ``components`` is a sequence of ``(trace, weight)``; each output access
+    is drawn from one component's stream (consumed in order), approximating
+    a program whose inner loops alternate between patterns.
+    """
+    components = list(components)
+    if not components:
+        raise WorkloadError("mixed trace needs at least one component")
+    weights = np.array([w for _, w in components], dtype=float)
+    if (weights <= 0).any():
+        raise WorkloadError("component weights must be positive")
+    weights = weights / weights.sum()
+    total = sum(t.length for t, _ in components)
+    rng = generator_for(seed, "trace-mix", name)
+    picks = rng.choice(len(components), size=total, p=weights)
+    cursors = [0] * len(components)
+    addresses = np.empty(total, dtype=np.int64)
+    dependent = np.empty(total, dtype=bool)
+    is_write = np.empty(total, dtype=bool)
+    count = 0
+    for pick in picks:
+        trace = components[pick][0]
+        cursor = cursors[pick]
+        if cursor >= trace.length:
+            continue
+        addresses[count] = trace.addresses[cursor]
+        dependent[count] = trace.dependent[cursor]
+        is_write[count] = trace.is_write[cursor]
+        cursors[pick] = cursor + 1
+        count += 1
+    if count == 0:
+        raise WorkloadError("mixed trace produced no accesses")
+    return AccessTrace(
+        name=name,
+        addresses=addresses[:count],
+        dependent=dependent[:count],
+        is_write=is_write[:count],
+    )

@@ -1,0 +1,96 @@
+"""Dataset regression-diff tests."""
+
+import pytest
+
+from repro.analysis.regression import diff_datasets, render_diff
+from repro.core.dataset import DatasetRecord
+from repro.errors import AnalysisError
+
+
+def _record(workload, target, slowdown):
+    return DatasetRecord(
+        workload=workload, suite="s", latency_class="mixed",
+        platform="EMR2S", target=target, slowdown_pct=slowdown,
+        counters={},
+    )
+
+
+@pytest.fixture
+def before():
+    return [
+        _record("a", "CXL-A", 10.0),
+        _record("b", "CXL-A", 50.0),
+        _record("c", "CXL-A", 5.0),
+    ]
+
+
+class TestDiff:
+    def test_identical_datasets_clean(self, before):
+        diff = diff_datasets(before, before)
+        assert diff.is_clean()
+        assert diff.unchanged == 3
+        assert not diff.changed
+
+    def test_movement_detected(self, before):
+        after = [
+            _record("a", "CXL-A", 10.2),  # within tolerance
+            _record("b", "CXL-A", 58.0),  # moved
+            _record("c", "CXL-A", 5.0),
+        ]
+        diff = diff_datasets(before, after)
+        assert len(diff.changed) == 1
+        assert diff.changed[0].workload == "b"
+        assert diff.changed[0].delta_pp == pytest.approx(8.0)
+        assert not diff.is_clean(budget_pp=3.0)
+        assert diff.is_clean(budget_pp=10.0)
+
+    def test_added_and_removed_records(self, before):
+        after = before[:2] + [_record("d", "CXL-A", 1.0)]
+        diff = diff_datasets(before, after)
+        assert diff.only_before == (("c", "CXL-A"),)
+        assert diff.only_after == (("d", "CXL-A"),)
+        assert not diff.is_clean(budget_pp=100.0)
+
+    def test_worst_ordering(self, before):
+        after = [
+            _record("a", "CXL-A", 30.0),
+            _record("b", "CXL-A", 53.0),
+            _record("c", "CXL-A", 5.0),
+        ]
+        worst = diff_datasets(before, after).worst(2)
+        assert worst[0].workload == "a"
+
+    def test_mean_movement_signed(self, before):
+        after = [
+            _record("a", "CXL-A", 14.0),
+            _record("b", "CXL-A", 46.0),
+            _record("c", "CXL-A", 5.0),
+        ]
+        diff = diff_datasets(before, after)
+        assert diff.mean_movement_pp == pytest.approx(0.0)
+
+    def test_render(self, before):
+        after = [_record("a", "CXL-A", 30.0)] + before[1:]
+        text = render_diff(diff_datasets(before, after))
+        assert "1 moved" in text
+        assert "+20.0" in text
+
+    def test_negative_tolerance_rejected(self, before):
+        with pytest.raises(AnalysisError):
+            diff_datasets(before, before, tolerance_pp=-1.0)
+
+
+class TestShippedRoundtrip:
+    def test_shipped_dataset_self_diff_clean(self, tmp_path):
+        from pathlib import Path
+
+        from repro.core.dataset import load_csv
+
+        dataset = (
+            Path(__file__).resolve().parent.parent.parent
+            / "data" / "emr_campaign.csv"
+        )
+        if not dataset.exists():
+            pytest.skip("shipped dataset not generated")
+        records = load_csv(dataset)
+        assert diff_datasets(records, records).is_clean()

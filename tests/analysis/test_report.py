@@ -1,0 +1,59 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.analysis.report import Table, format_cdf_row
+from repro.analysis.slowdown import slowdown_pct, speedup_ratio
+from repro.errors import AnalysisError
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"])
+        t.add_row("a", 1.0)
+        t.add_row("longer-name", 123.456)
+        lines = t.render().splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row(3.14159)
+        assert "3.1" in t.render()
+
+    def test_wrong_cell_count_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(AnalysisError):
+            t.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(AnalysisError):
+            Table([])
+
+
+class TestCdfRow:
+    def test_contains_thresholds(self):
+        row = format_cdf_row("target", [1.0, 20.0, 200.0])
+        assert "<5%" in row and "<100%" in row
+        assert "target" in row
+
+    def test_fractions_correct(self):
+        row = format_cdf_row("t", [1.0, 2.0, 3.0, 100.0], thresholds=(10,))
+        assert "75%" in row
+
+
+class TestSlowdownMetric:
+    def test_paper_formula(self):
+        # P_dram = 2, P_cxl = 1 => S = 100%.
+        assert slowdown_pct(2.0, 1.0) == pytest.approx(100.0)
+
+    def test_no_slowdown(self):
+        assert slowdown_pct(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_speedup_ratio_roundtrip(self):
+        assert speedup_ratio(190.0) == pytest.approx(2.9)
+        assert speedup_ratio(0.0) == pytest.approx(1.0)
+
+    def test_invalid_performance_rejected(self):
+        with pytest.raises(AnalysisError):
+            slowdown_pct(0.0, 1.0)

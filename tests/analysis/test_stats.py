@@ -1,0 +1,102 @@
+"""Statistics helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    cdf_points,
+    pearson,
+    percentile_summary,
+    violin_summary,
+)
+from repro.errors import AnalysisError
+
+
+class TestCdf:
+    def test_basic(self):
+        xs, ys = cdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            cdf_points([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=50))
+    @settings(max_examples=40)
+    def test_cdf_monotone(self, values):
+        xs, ys = cdf_points(values)
+        assert (np.diff(xs) >= 0).all()
+        assert (np.diff(ys) > 0).all()
+
+
+class TestPercentiles:
+    def test_summary_keys(self):
+        summary = percentile_summary(range(100))
+        assert set(summary) == {"p50", "p90", "p95", "p99", "p99.9"}
+        assert summary["p50"] <= summary["p99"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            percentile_summary([])
+
+
+class TestViolin:
+    def test_quartile_ordering(self, rng):
+        values = rng.normal(50, 10, 500)
+        v = violin_summary("g", values)
+        assert v.minimum <= v.q1 <= v.median <= v.q3 <= v.maximum
+
+    def test_density_normalised(self, rng):
+        v = violin_summary("g", rng.normal(0, 1, 300))
+        assert v.density.max() == pytest.approx(1.0)
+        assert (v.density >= 0).all()
+
+    def test_constant_values_ok(self):
+        v = violin_summary("g", [5.0] * 10)
+        assert v.median == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            violin_summary("g", [])
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            pearson([1], [1])
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40)
+    def test_bounded(self, points):
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        if np.std(xs) == 0 or np.std(ys) == 0:
+            return
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9

@@ -1,0 +1,74 @@
+"""Breakdown aggregation tests (Figures 14/15 machinery)."""
+
+import pytest
+
+from repro.core.breakdown import (
+    breakdown_by_suite,
+    breakdown_cdfs,
+    dominant_source,
+    fraction_with_component_above,
+)
+from repro.core.spa import spa_analyze
+from repro.cpu.pipeline import run_workload
+from repro.errors import AnalysisError
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    from repro.hw.cxl import cxl_a
+    from repro.hw.platform import EMR2S
+
+    local = EMR2S.local_target()
+    device = cxl_a()
+    out = []
+    for w in all_workloads()[::16]:
+        base = run_workload(w, EMR2S, local)
+        cxl = run_workload(w, EMR2S, device)
+        out.append(spa_analyze(base, cxl))
+    return out
+
+
+class TestGrouping:
+    def test_by_suite(self, breakdowns):
+        suites = {w.name: w.suite for w in all_workloads()}
+        grouped = breakdown_by_suite(breakdowns, suites)
+        assert sum(len(v) for v in grouped.values()) == len(breakdowns)
+
+    def test_unknown_workload_rejected(self, breakdowns):
+        with pytest.raises(AnalysisError):
+            breakdown_by_suite(breakdowns, {})
+
+
+class TestCdfs:
+    def test_cdf_per_source(self, breakdowns):
+        cdfs = breakdown_cdfs(breakdowns)
+        assert set(cdfs) == {"store", "l1", "l2", "l3", "dram"}
+        for values in cdfs.values():
+            assert len(values) == len(breakdowns)
+            assert (values[:-1] <= values[1:]).all()  # sorted
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            breakdown_cdfs([])
+
+    def test_fraction_above(self, breakdowns):
+        frac = fraction_with_component_above(breakdowns, "dram", 5.0)
+        assert 0.0 <= frac <= 1.0
+        assert fraction_with_component_above(breakdowns, "dram", 1e9) == 0.0
+
+    def test_cache_alias(self, breakdowns):
+        frac = fraction_with_component_above(breakdowns, "cache", 0.0)
+        assert 0.0 <= frac <= 1.0
+
+    def test_unknown_source_rejected(self, breakdowns):
+        with pytest.raises(AnalysisError):
+            fraction_with_component_above(breakdowns, "tlb", 5.0)
+
+
+class TestDominant:
+    def test_dominant_sums(self, breakdowns):
+        for b in breakdowns:
+            label = dominant_source(b)
+            assert label in ("store", "l1", "l2", "l3", "dram", "core",
+                             "mixed", "none")

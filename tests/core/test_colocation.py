@@ -1,0 +1,67 @@
+"""Co-location and phase-aware scheduling tests."""
+
+import pytest
+
+from repro.core.colocation import (
+    colocated_slowdowns,
+    phase_aware_colocation,
+)
+from repro.errors import AnalysisError
+from repro.hw.cxl import cxl_b, cxl_d
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture
+def lc():
+    return workload_by_name("605.mcf_s")
+
+
+@pytest.fixture
+def batch():
+    return workload_by_name("spark-micro-sort")
+
+
+class TestColocatedSlowdowns:
+    def test_interference_non_negative(self, lc, batch):
+        outcome = colocated_slowdowns((lc, batch), EMR2S, cxl_b)
+        assert outcome.interference(lc.name) > -1.0
+        assert outcome.interference(batch.name) > -1.0
+
+    def test_sharing_worse_than_alone(self, lc, batch):
+        outcome = colocated_slowdowns((lc, batch), EMR2S, cxl_b)
+        # A bandwidth-hungry neighbour visibly hurts the LC tenant.
+        assert outcome.interference(lc.name) > 5.0
+
+    def test_bigger_device_less_interference(self, lc, batch):
+        on_b = colocated_slowdowns((lc, batch), EMR2S, cxl_b)
+        on_d = colocated_slowdowns((lc, batch), EMR2S, cxl_d)
+        assert on_d.interference(lc.name) < on_b.interference(lc.name)
+
+    def test_loads_reported(self, lc, batch):
+        outcome = colocated_slowdowns((lc, batch), EMR2S, cxl_b)
+        assert set(outcome.loads_gbps) == {lc.name, batch.name}
+        assert all(v > 0 for v in outcome.loads_gbps.values())
+
+    def test_single_workload_rejected(self, lc):
+        with pytest.raises(AnalysisError):
+            colocated_slowdowns((lc,), EMR2S, cxl_b)
+
+
+class TestPhaseAwareScheduling:
+    def test_gating_recovers_lc_performance(self, lc, batch):
+        outcome = phase_aware_colocation(lc, batch, EMR2S, cxl_b)
+        assert (
+            outcome.lc_slowdown_phase_aware_pct
+            < outcome.lc_slowdown_naive_pct
+        )
+
+    def test_batch_pays_bounded_makespan(self, lc, batch):
+        outcome = phase_aware_colocation(lc, batch, EMR2S, cxl_b)
+        assert outcome.batch_cost_ratio >= 1.0
+        assert outcome.batch_cost_ratio < 5.0
+
+    def test_unphased_lc_rejected(self, batch):
+        flat = workload_by_name("redis-ycsb-c")
+        with pytest.raises(AnalysisError):
+            phase_aware_colocation(flat, batch, EMR2S, cxl_b)

@@ -1,0 +1,91 @@
+"""Dataset export/import tests."""
+
+import json
+
+import pytest
+
+from repro.core.dataset import (
+    CSV_COLUMNS,
+    export_csv,
+    export_json,
+    load_csv,
+)
+from repro.core.melody import Campaign, Melody
+from repro.errors import AnalysisError
+from repro.hw.platform import EMR2S
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    from repro.hw.cxl import cxl_a
+
+    campaign = Campaign(
+        name="dataset-test", platform=EMR2S, targets=(cxl_a(),),
+        workloads=all_workloads()[::40],
+    )
+    return Melody().run(campaign)
+
+
+class TestCsv:
+    def test_roundtrip(self, campaign_result, tmp_path):
+        path = tmp_path / "data.csv"
+        rows = export_csv(campaign_result, path)
+        assert rows == len(campaign_result.records)
+        records = load_csv(path)
+        assert len(records) == rows
+        original = campaign_result.records[0]
+        loaded = next(r for r in records if r.workload == original.workload)
+        assert loaded.slowdown_pct == pytest.approx(
+            original.slowdown_pct, abs=0.001
+        )
+        assert loaded.suite == original.suite
+
+    def test_counters_roundtrip(self, campaign_result, tmp_path):
+        path = tmp_path / "data.csv"
+        export_csv(campaign_result, path)
+        record = load_csv(path)[0]
+        original = campaign_result.record(record.workload, record.target)
+        assert record.counters["cxl_stalls_l3_miss"] == pytest.approx(
+            original.run.counters.stalls_l3_miss, rel=0.001
+        )
+
+    def test_schema_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(AnalysisError):
+            load_csv(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_csv(tmp_path / "nothing.csv")
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(",".join(CSV_COLUMNS) + "\n")
+        with pytest.raises(AnalysisError):
+            load_csv(path)
+
+
+class TestJson:
+    def test_structure(self, campaign_result, tmp_path):
+        path = tmp_path / "data.json"
+        count = export_json(campaign_result, path)
+        payload = json.loads(path.read_text())
+        assert payload["platform"] == "EMR2S"
+        assert len(payload["records"]) == count
+        entry = payload["records"][0]
+        assert set(entry["spa"]["components"]) == {
+            "store", "l1", "l2", "l3", "dram"
+        }
+
+    def test_spa_values_consistent(self, campaign_result, tmp_path):
+        path = tmp_path / "data.json"
+        export_json(campaign_result, path)
+        payload = json.loads(path.read_text())
+        for entry in payload["records"]:
+            record = campaign_result.record(entry["workload"],
+                                            entry["target"])
+            assert entry["slowdown_pct"] == pytest.approx(
+                record.slowdown_pct
+            )

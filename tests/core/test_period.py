@@ -1,0 +1,130 @@
+"""Period-based analysis tests: conversion, alignment, conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.period import (
+    hot_periods,
+    mean_slowdown,
+    period_analysis,
+    windows_to_periods,
+)
+from repro.cpu.counters import CounterSample
+from repro.cpu.pipeline import run_workload
+from repro.errors import AnalysisError
+from repro.tools.sampler import TimeSampler, TimeWindowSample
+
+
+def _window(instructions, cycles, t0=0.0):
+    counters = CounterSample(
+        cycles=cycles, instructions=instructions,
+        bound_on_loads=cycles * 0.3, bound_on_stores=cycles * 0.02,
+        stalls_l1d_miss=cycles * 0.25, stalls_l2_miss=cycles * 0.2,
+        stalls_l3_miss=cycles * 0.15, retired_stalls=cycles * 0.5,
+        one_ports_util=cycles * 0.05, two_ports_util=cycles * 0.03,
+        stalls_scoreboard=cycles * 0.01,
+    )
+    return TimeWindowSample(t_start_ms=t0, t_end_ms=t0 + 1.0,
+                            counters=counters, latency_ns=200.0,
+                            bandwidth_gbps=5.0)
+
+
+class TestWindowConversion:
+    def test_exact_division(self):
+        windows = [_window(100.0, 60.0, t) for t in range(10)]
+        periods = windows_to_periods(windows, 250.0)
+        assert len(periods) == 4
+        for p in periods:
+            assert p.instructions == pytest.approx(250.0)
+            assert p.cycles == pytest.approx(150.0)
+
+    def test_straddling_window_split_proportionally(self):
+        windows = [_window(100.0, 60.0), _window(100.0, 120.0, 1.0)]
+        periods = windows_to_periods(windows, 150.0)
+        assert len(periods) == 1
+        # 100 instr from window 1 (60 cycles) + 50 from window 2 (60 cycles).
+        assert periods[0].cycles == pytest.approx(120.0)
+
+    def test_trailing_partial_dropped(self):
+        windows = [_window(100.0, 60.0, t) for t in range(3)]
+        periods = windows_to_periods(windows, 200.0)
+        assert len(periods) == 1  # 300 instructions -> one full 200 period
+
+    def test_instruction_conservation_up_to_tail(self):
+        windows = [_window(97.0, 55.0, t) for t in range(20)]
+        periods = windows_to_periods(windows, 300.0)
+        assert all(
+            p.instructions == pytest.approx(300.0) for p in periods
+        )
+
+    @given(
+        n_windows=st.integers(min_value=1, max_value=30),
+        period=st.floats(min_value=50.0, max_value=500.0),
+    )
+    @settings(max_examples=30)
+    def test_period_sizes_always_exact(self, n_windows, period):
+        windows = [_window(100.0, 60.0, t) for t in range(n_windows)]
+        for p in windows_to_periods(windows, period):
+            assert p.instructions == pytest.approx(period, rel=1e-6)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(AnalysisError):
+            windows_to_periods([_window(1.0, 1.0)], 0.0)
+
+
+class TestPeriodAnalysis:
+    def test_phase_structure_recovered(self, phased_workload, emr,
+                                       local_target, device_b):
+        base = run_workload(phased_workload, emr, local_target)
+        cxl = run_workload(phased_workload, emr, device_b)
+        periods = period_analysis(base, cxl, 1e7)
+        values = [p.actual_pct for p in periods]
+        # Hot phase (first 60% of instructions) slows more than cold.
+        k = int(len(values) * 0.6)
+        assert np.mean(values[:k]) > np.mean(values[k:])
+
+    def test_mean_matches_workload_level(self, phased_workload, emr,
+                                         local_target, device_b):
+        base = run_workload(phased_workload, emr, local_target)
+        cxl = run_workload(phased_workload, emr, device_b)
+        periods = period_analysis(base, cxl, 1e7)
+        workload_level = (cxl.cycles - base.cycles) / base.cycles * 100.0
+        assert mean_slowdown(periods) == pytest.approx(workload_level, abs=4.0)
+
+    def test_components_explain_actual(self, phased_workload, emr,
+                                       local_target, device_b):
+        base = run_workload(phased_workload, emr, local_target)
+        cxl = run_workload(phased_workload, emr, device_b)
+        for p in period_analysis(base, cxl, 2e7):
+            assert p.explained_pct + p.other_pct == pytest.approx(
+                p.actual_pct
+            )
+
+    def test_hot_period_selection(self, phased_workload, emr, local_target,
+                                  device_b):
+        base = run_workload(phased_workload, emr, local_target)
+        cxl = run_workload(phased_workload, emr, device_b)
+        periods = period_analysis(base, cxl, 1e7)
+        hot = hot_periods(periods, 1.0)
+        assert all(p.actual_pct > 1.0 for p in hot)
+
+    def test_mismatched_workloads_rejected(self, simple_workload,
+                                           compute_workload, emr,
+                                           local_target, device_a):
+        a = run_workload(simple_workload, emr, local_target)
+        b = run_workload(compute_workload, emr, device_a)
+        with pytest.raises(AnalysisError):
+            period_analysis(a, b, 1e7)
+
+    def test_oversized_period_rejected(self, simple_workload, emr,
+                                       local_target, device_a):
+        a = run_workload(simple_workload, emr, local_target)
+        b = run_workload(simple_workload, emr, device_a)
+        with pytest.raises(AnalysisError):
+            period_analysis(a, b, 1e12)
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(AnalysisError):
+            mean_slowdown([])

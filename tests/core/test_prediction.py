@@ -1,0 +1,103 @@
+"""Cross-device prediction tests."""
+
+import pytest
+
+from repro.core.prediction import (
+    LlcHeuristicPredictor,
+    predict_slowdown,
+    validate_predictions,
+)
+from repro.cpu.pipeline import run_workload
+from repro.errors import AnalysisError
+from repro.hw.platform import EMR2S
+from repro.workloads import all_workloads, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def profile_pairs(device_a=None):
+    from repro.hw.cxl import cxl_a
+
+    local = EMR2S.local_target()
+    device = cxl_a()
+    pairs = []
+    for w in all_workloads()[::16]:
+        base = run_workload(w, EMR2S, local)
+        ref = run_workload(w, EMR2S, device)
+        pairs.append((base, ref))
+    return pairs
+
+
+class TestSpaPredictor:
+    def test_prediction_structure(self, emr, device_a, device_b,
+                                  simple_workload):
+        base = run_workload(simple_workload, emr, emr.local_target())
+        ref = run_workload(simple_workload, emr, device_a)
+        prediction = predict_slowdown(base, ref, device_a, device_b)
+        assert prediction.target == "CXL-B"
+        assert prediction.predicted_pct >= 0.0
+        assert set(prediction.breakdown) == {
+            "dram", "store", "cache", "bandwidth"
+        }
+
+    def test_slower_target_predicted_slower(self, emr, device_a, device_b,
+                                            device_d, simple_workload):
+        base = run_workload(simple_workload, emr, emr.local_target())
+        ref = run_workload(simple_workload, emr, device_a)
+        pb = predict_slowdown(base, ref, device_a, device_b)
+        pd = predict_slowdown(base, ref, device_a, device_d)
+        assert pb.predicted_pct > pd.predicted_pct
+
+    def test_prediction_close_to_actual(self, emr, device_a, device_b,
+                                        simple_workload):
+        base = run_workload(simple_workload, emr, emr.local_target())
+        ref = run_workload(simple_workload, emr, device_a)
+        actual = run_workload(simple_workload, emr, device_b)
+        prediction = predict_slowdown(base, ref, device_a, device_b)
+        actual_pct = (actual.cycles - base.cycles) / base.cycles * 100.0
+        assert prediction.predicted_pct == pytest.approx(actual_pct, abs=12.0)
+
+    def test_bandwidth_floor_triggers(self, emr, device_a, device_b,
+                                      bandwidth_workload):
+        base = run_workload(bandwidth_workload, emr, emr.local_target())
+        ref = run_workload(bandwidth_workload, emr, device_a)
+        prediction = predict_slowdown(base, ref, device_a, device_b)
+        assert prediction.bandwidth_floor_pct > 0.0
+
+    def test_reference_not_slower_rejected(self, emr, device_a,
+                                           simple_workload):
+        base = run_workload(simple_workload, emr, emr.local_target())
+        with pytest.raises(AnalysisError):
+            predict_slowdown(base, base, device_a, device_a)
+
+
+class TestHeuristicBaseline:
+    def test_fit_predict(self, profile_pairs, device_b):
+        predictor = LlcHeuristicPredictor().fit(profile_pairs)
+        value = predictor.predict(profile_pairs[0][0], device_b)
+        assert value >= 0.0
+
+    def test_unfitted_rejected(self, profile_pairs, device_b):
+        with pytest.raises(AnalysisError):
+            LlcHeuristicPredictor().predict(profile_pairs[0][0], device_b)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(AnalysisError):
+            LlcHeuristicPredictor().fit([])
+
+
+class TestValidation:
+    def test_spa_beats_heuristic(self, profile_pairs, device_a, device_b):
+        from repro.hw.cxl import cxl_b
+
+        target = cxl_b()
+        triples = []
+        for base, ref in profile_pairs:
+            actual = run_workload(base.workload, EMR2S, target)
+            triples.append((base, ref, actual))
+        validation = validate_predictions(triples, device_a, target)
+        assert validation.median_error <= validation.naive_median_error
+        assert validation.fraction_within(10.0) > 0.6
+
+    def test_empty_triples_rejected(self, device_a, device_b):
+        with pytest.raises(AnalysisError):
+            validate_predictions([], device_a, device_b)

@@ -1,0 +1,73 @@
+"""Prefetcher-shift analysis tests (Figure 12 machinery)."""
+
+import pytest
+
+from repro.core.prefetch import prefetch_shift, shift_scatter
+from repro.cpu.pipeline import run_workload
+from repro.errors import AnalysisError
+from repro.workloads.base import WorkloadSpec
+
+
+@pytest.fixture
+def streaming_workload():
+    return WorkloadSpec(
+        name="stream-pf", suite="test",
+        l1_mpki=50.0, l2_mpki=30.0, l3_mpki=12.0, mlp=10.0,
+        prefetch_friendliness=0.9, prefetch_lead_ns=200.0,
+    )
+
+
+class TestPrefetchShift:
+    def test_shift_ratio_near_one(self, streaming_workload, emr,
+                                  local_target, device_b):
+        base = run_workload(streaming_workload, emr, local_target)
+        cxl = run_workload(streaming_workload, emr, device_b)
+        shift = prefetch_shift(base, cxl)
+        assert shift.l2pf_l3_miss_decrease > 0.0
+        assert shift.shift_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_l2pf_hit_unchanged(self, streaming_workload, emr, local_target,
+                                device_b):
+        base = run_workload(streaming_workload, emr, local_target)
+        cxl = run_workload(streaming_workload, emr, device_b)
+        shift = prefetch_shift(base, cxl)
+        assert abs(shift.l2pf_l3_hit_change) < 0.02 * base.counters.l2pf_l3_hit
+
+    def test_coverage_drop_in_paper_range(self, streaming_workload, emr,
+                                          local_target, device_b):
+        base = run_workload(streaming_workload, emr, local_target)
+        cxl = run_workload(streaming_workload, emr, device_b)
+        shift = prefetch_shift(base, cxl)
+        # Paper: 2-38% L2PF coverage reductions under CXL.
+        assert 0.0 < shift.coverage_drop_pct < 40.0
+
+    def test_no_shift_when_lead_ample(self, emr, local_target, device_a):
+        workload = WorkloadSpec(
+            name="long-lead", suite="test",
+            l1_mpki=50.0, l2_mpki=30.0, l3_mpki=12.0,
+            prefetch_friendliness=0.9, prefetch_lead_ns=800.0,
+        )
+        base = run_workload(workload, emr, local_target)
+        cxl = run_workload(workload, emr, device_a)
+        shift = prefetch_shift(base, cxl)
+        assert shift.coverage_drop_pct == pytest.approx(0.0, abs=0.1)
+
+    def test_mismatched_pair_rejected(self, streaming_workload,
+                                      compute_workload, emr, local_target):
+        a = run_workload(streaming_workload, emr, local_target)
+        b = run_workload(compute_workload, emr, local_target)
+        with pytest.raises(AnalysisError):
+            prefetch_shift(a, b)
+
+
+class TestScatter:
+    def test_scatter_over_population(self, emr, local_target, device_b):
+        from repro.workloads import all_workloads
+
+        pairs = []
+        for w in all_workloads()[::32]:
+            base = run_workload(w, emr, local_target)
+            cxl = run_workload(w, emr, device_b)
+            pairs.append((base, cxl))
+        shifts = shift_scatter(pairs)
+        assert len(shifts) == len(pairs)

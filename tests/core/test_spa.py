@@ -1,0 +1,112 @@
+"""Spa analysis tests: Equations 1-8, accuracy, error handling."""
+
+import pytest
+
+from repro.core.spa import (
+    SOURCES,
+    accuracy_summary,
+    spa_analyze,
+    validate_accuracy,
+)
+from repro.cpu.pipeline import run_workload
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def run_pair(simple_workload, emr, local_target, device_b):
+    base = run_workload(simple_workload, emr, local_target)
+    cxl = run_workload(simple_workload, emr, device_b)
+    return base, cxl
+
+
+class TestSpaAnalyze:
+    def test_estimates_track_actual(self, run_pair):
+        breakdown = spa_analyze(*run_pair)
+        e = breakdown.estimates
+        assert e.actual > 0.0
+        assert e.from_stalls == pytest.approx(e.actual, abs=3.0)
+        assert e.from_memory == pytest.approx(e.actual, abs=5.0)
+
+    def test_components_cover_sources(self, run_pair):
+        breakdown = spa_analyze(*run_pair)
+        assert set(breakdown.components) == set(SOURCES)
+
+    def test_explained_close_to_actual(self, run_pair):
+        breakdown = spa_analyze(*run_pair)
+        assert breakdown.explained + breakdown.other == pytest.approx(
+            breakdown.estimates.actual
+        )
+
+    def test_dram_dominates_latency_workload(self, run_pair):
+        breakdown = spa_analyze(*run_pair)
+        assert breakdown.dominant() == "dram"
+
+    def test_store_dominates_store_workload(self, emr, local_target,
+                                            device_b):
+        from repro.workloads.base import WorkloadSpec
+
+        store_heavy = WorkloadSpec(
+            name="store-heavy", suite="test", base_cpi=0.5,
+            l1_mpki=50.0, l2_mpki=25.0, l3_mpki=10.0, mlp=10.0,
+            prefetch_friendliness=0.9, stores_pki=240.0,
+            store_rfo_fraction=0.6, writeback_ratio=0.9,
+        )
+        base = run_workload(store_heavy, emr, local_target)
+        cxl = run_workload(store_heavy, emr, device_b)
+        breakdown = spa_analyze(base, cxl)
+        assert breakdown.components["store"] > 0.0
+
+    def test_mismatched_workloads_rejected(self, run_pair, emr, local_target,
+                                           compute_workload):
+        base, _ = run_pair
+        other = run_workload(compute_workload, emr, local_target)
+        with pytest.raises(AnalysisError):
+            spa_analyze(base, other)
+
+    def test_uses_only_counters(self, run_pair):
+        """Spa must work from CounterSample data alone."""
+        base, cxl = run_pair
+        breakdown = spa_analyze(base, cxl)
+        # Recompute from raw counters by hand and compare.
+        c = base.counters.cycles
+        manual_memory = (
+            (cxl.counters.s_memory - base.counters.s_memory) / c * 100.0
+        )
+        assert breakdown.estimates.from_memory == pytest.approx(manual_memory)
+
+
+class TestAccuracyValidation:
+    def test_structure(self, run_pair):
+        errors = validate_accuracy([run_pair])
+        assert set(errors) == {"stalls", "backend", "memory"}
+        for arr in errors.values():
+            assert arr.shape == (1,)
+
+    def test_paper_accuracy_on_sample(self, emr, local_target, device_a):
+        from repro.workloads import all_workloads
+
+        pairs = []
+        for w in all_workloads()[::12]:
+            base = run_workload(w, emr, local_target)
+            cxl = run_workload(w, emr, device_a)
+            pairs.append((base, cxl))
+        summary = accuracy_summary(validate_accuracy(pairs))
+        assert summary["stalls"] >= 0.95
+        assert summary["backend"] >= 0.90
+        assert summary["memory"] >= 0.90
+
+    def test_estimator_ordering(self, emr, local_target, device_b):
+        """Delta-s is the tightest estimator, memory the loosest (Fig 11)."""
+        from repro.workloads import all_workloads
+
+        pairs = []
+        for w in all_workloads()[::12]:
+            base = run_workload(w, emr, local_target)
+            cxl = run_workload(w, emr, device_b)
+            pairs.append((base, cxl))
+        errors = validate_accuracy(pairs)
+        assert errors["stalls"].mean() <= errors["memory"].mean() + 0.5
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(AnalysisError):
+            validate_accuracy([])

@@ -1,0 +1,66 @@
+"""Spa failure-injection tests: corrupted counters must be rejected."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.spa import check_counters, spa_analyze
+from repro.cpu.pipeline import run_workload
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def run_pair(simple_workload, emr, local_target, device_a):
+    base = run_workload(simple_workload, emr, local_target)
+    cxl = run_workload(simple_workload, emr, device_a)
+    return base, cxl
+
+
+def _corrupt(run, **overrides):
+    counters = replace(run.counters, **overrides)
+    return replace(run, counters=counters)
+
+
+class TestCounterValidation:
+    def test_healthy_readings_accepted(self, run_pair):
+        for run in run_pair:
+            check_counters(run.counters)
+
+    def test_containment_violation_rejected(self, run_pair):
+        base, _ = run_pair
+        corrupt = _corrupt(
+            base, stalls_l3_miss=base.counters.bound_on_loads * 2
+        )
+        with pytest.raises(AnalysisError, match="containment"):
+            check_counters(corrupt.counters)
+
+    def test_truncated_log_rejected(self, run_pair):
+        """A truncated counter log shows up as P1 < P3."""
+        base, _ = run_pair
+        corrupt = _corrupt(
+            base, bound_on_loads=base.counters.stalls_l1d_miss / 2
+        )
+        with pytest.raises(AnalysisError):
+            check_counters(corrupt.counters)
+
+    def test_small_noise_tolerated(self, run_pair):
+        """Sub-percent counter jitter must not trip the guard."""
+        base, _ = run_pair
+        jittered = _corrupt(
+            base,
+            stalls_l1d_miss=base.counters.bound_on_loads * 1.005,
+        )
+        check_counters(jittered.counters)  # no raise
+
+    def test_spa_analyze_guards_both_runs(self, run_pair):
+        base, cxl = run_pair
+        corrupt_cxl = _corrupt(
+            cxl, stalls_l2_miss=cxl.counters.stalls_l1d_miss * 3
+        )
+        with pytest.raises(AnalysisError):
+            spa_analyze(base, corrupt_cxl)
+
+    def test_zero_cycles_rejected(self, run_pair):
+        base, _ = run_pair
+        with pytest.raises(AnalysisError, match="cycle"):
+            check_counters(replace(base.counters, cycles=0.0))

@@ -1,0 +1,132 @@
+"""Tiering substrate tests: coverage, placement, policy comparison."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tiering import (
+    MissRatePolicy,
+    SpaStallPolicy,
+    TieredSystem,
+    UniformPolicy,
+    compare_policies,
+    hotness_theta,
+    miss_coverage,
+    simulate_tiering,
+    tiered_slowdown,
+)
+from repro.errors import AnalysisError
+from repro.hw.platform import EMR2S
+from repro.workloads import workload_by_name
+
+FLEET_NAMES = ("503.bwaves_r", "canneal", "redis-ycsb-c", "bfs-road")
+
+
+@pytest.fixture
+def fleet():
+    return tuple(workload_by_name(n) for n in FLEET_NAMES)
+
+
+@pytest.fixture
+def system(device_b):
+    return TieredSystem(platform=EMR2S, cxl_target=device_b,
+                        local_budget_gb=10.0)
+
+
+class TestHotness:
+    def test_coverage_endpoints(self):
+        assert miss_coverage(0.0, 0.35) == 0.0
+        assert miss_coverage(1.0, 0.35) == pytest.approx(1.0)
+
+    def test_coverage_concentration(self):
+        # 20% of pages capture well over 20% of misses.
+        assert miss_coverage(0.2, 0.35) > 0.5
+
+    @given(
+        f1=st.floats(min_value=0.0, max_value=1.0),
+        f2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40)
+    def test_coverage_monotone(self, f1, f2):
+        lo, hi = sorted((f1, f2))
+        assert miss_coverage(lo, 0.4) <= miss_coverage(hi, 0.4)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(AnalysisError):
+            miss_coverage(1.5, 0.35)
+
+    def test_theta_deterministic_and_bounded(self, fleet):
+        for w in fleet:
+            theta = hotness_theta(w)
+            assert 0.25 <= theta <= 0.6
+            assert hotness_theta(w) == theta
+
+
+class TestTieredSlowdown:
+    def test_zero_local_equals_pure_cxl(self, emr, device_b,
+                                        simple_workload):
+        from repro.cpu.pipeline import run_workload
+
+        outcome = tiered_slowdown(simple_workload, emr, device_b, 0.0)
+        base = run_workload(simple_workload, emr, emr.local_target())
+        pure = run_workload(simple_workload, emr, device_b)
+        assert outcome.slowdown_pct == pytest.approx(
+            pure.slowdown_vs(base), abs=1.5
+        )
+
+    def test_full_local_zero_slowdown(self, emr, device_b, simple_workload):
+        outcome = tiered_slowdown(
+            simple_workload, emr, device_b, simple_workload.working_set_gb
+        )
+        assert outcome.slowdown_pct == pytest.approx(0.0, abs=0.5)
+
+    def test_more_local_less_slowdown(self, emr, device_b, simple_workload):
+        half = tiered_slowdown(simple_workload, emr, device_b,
+                               simple_workload.working_set_gb / 2)
+        none = tiered_slowdown(simple_workload, emr, device_b, 0.0)
+        assert half.slowdown_pct < none.slowdown_pct
+
+    def test_coverage_recorded(self, emr, device_b, simple_workload):
+        outcome = tiered_slowdown(simple_workload, emr, device_b,
+                                  simple_workload.working_set_gb / 4)
+        assert outcome.local_fraction == pytest.approx(0.25)
+        assert outcome.covered_miss_share > 0.25  # hotness concentration
+
+
+class TestPolicies:
+    def test_allocations_respect_budget(self, fleet, system):
+        from repro.cpu.pipeline import run_workload
+
+        pairs = {}
+        for w in fleet:
+            base = run_workload(w, EMR2S, EMR2S.local_target())
+            cxl = run_workload(w, EMR2S, system.cxl_target)
+            pairs[w.name] = (base, cxl)
+        for policy in (UniformPolicy(), MissRatePolicy(), SpaStallPolicy()):
+            allocation = policy.allocate(fleet, pairs,
+                                         system.local_budget_gb)
+            assert sum(allocation.values()) <= system.local_budget_gb + 1e-6
+            for w in fleet:
+                assert 0.0 <= allocation[w.name] <= w.working_set_gb
+
+    def test_spa_beats_llc_miss(self, fleet, system):
+        outcomes = compare_policies(fleet, system)
+        assert (
+            outcomes["spa-stalls"].mean_slowdown_pct
+            <= outcomes["llc-miss"].mean_slowdown_pct + 0.3
+        )
+
+    def test_outcome_lookup(self, fleet, system):
+        outcome = simulate_tiering(fleet, system, UniformPolicy())
+        assert outcome.placement("canneal").workload == "canneal"
+        with pytest.raises(AnalysisError):
+            outcome.placement("nope")
+
+    def test_empty_fleet_rejected(self, system):
+        with pytest.raises(AnalysisError):
+            simulate_tiering((), system, UniformPolicy())
+
+    def test_negative_budget_rejected(self, device_b):
+        with pytest.raises(AnalysisError):
+            TieredSystem(platform=EMR2S, cxl_target=device_b,
+                         local_budget_gb=-1.0)

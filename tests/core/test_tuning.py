@@ -1,0 +1,71 @@
+"""Spa-guided placement tuning tests (§5.7)."""
+
+import pytest
+
+from repro.core.tuning import HotObject, tune_placement
+from repro.errors import AnalysisError
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture
+def mcf():
+    return workload_by_name("605.mcf_s")
+
+
+@pytest.fixture
+def mcf_objects():
+    return [
+        HotObject("arcs", 2.0, {
+            "hot-1": 0.7, "hot-2": 0.65, "hot-3": 0.6,
+            "cool-1": 0.45, "cool-2": 0.4, "cool-3": 0.4,
+        }),
+        HotObject("nodes", 2.0, {
+            "hot-1": 0.25, "hot-2": 0.28, "hot-3": 0.3,
+            "cool-1": 0.25, "cool-2": 0.3, "cool-3": 0.3,
+        }),
+        HotObject("never-hot", 1.0, {}),
+    ]
+
+
+class TestTunePlacement:
+    def test_mcf_use_case(self, mcf, mcf_objects, emr, device_a):
+        result = tune_placement(mcf, emr, device_a, mcf_objects)
+        # Paper: 13% -> 2%; shape: large before, small after.
+        assert 8.0 < result.slowdown_before_pct < 20.0
+        assert result.slowdown_after_pct < 0.5 * result.slowdown_before_pct
+        assert result.improvement_pct > 5.0
+
+    def test_only_hot_objects_relocated(self, mcf, mcf_objects, emr,
+                                        device_a):
+        result = tune_placement(mcf, emr, device_a, mcf_objects)
+        names = {o.name for o in result.relocated}
+        assert names == {"arcs", "nodes"}
+        assert result.moved_gb == pytest.approx(4.0)
+
+    def test_hot_periods_identified(self, mcf, mcf_objects, emr, device_a):
+        result = tune_placement(mcf, emr, device_a, mcf_objects)
+        assert len(result.hot_period_indices) > 0
+
+    def test_high_threshold_no_relocation(self, mcf, mcf_objects, emr,
+                                          device_a):
+        result = tune_placement(mcf, emr, device_a, mcf_objects,
+                                threshold_pct=1000.0)
+        assert result.relocated == ()
+        assert result.slowdown_after_pct == result.slowdown_before_pct
+
+    def test_unphased_workload_supported(self, simple_workload, emr,
+                                         device_b):
+        objects = [HotObject("heap", 1.0, {"whole-run": 0.6})]
+        result = tune_placement(simple_workload, emr, device_b, objects,
+                                threshold_pct=1.0)
+        assert result.slowdown_after_pct < result.slowdown_before_pct
+
+    def test_no_objects_rejected(self, mcf, emr, device_a):
+        with pytest.raises(AnalysisError):
+            tune_placement(mcf, emr, device_a, [])
+
+    def test_invalid_object_rejected(self):
+        with pytest.raises(AnalysisError):
+            HotObject("bad", -1.0, {})
+        with pytest.raises(AnalysisError):
+            HotObject("bad", 1.0, {"p": 1.5})

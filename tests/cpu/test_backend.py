@@ -1,0 +1,161 @@
+"""Backend stall-model tests: monotonicity, floors, component structure."""
+
+import pytest
+
+from repro.cpu.backend import BackendModel, _traffic_points
+from repro.workloads.base import WorkloadSpec
+
+
+@pytest.fixture
+def model(emr):
+    return BackendModel(emr)
+
+
+class TestSolve:
+    def test_components_non_negative(self, model, simple_workload, device_b):
+        components, _ = model.solve(simple_workload, device_b)
+        for field in ("base", "s_l1", "s_l2", "s_l3", "s_dram", "s_store",
+                      "s_core", "s_other"):
+            assert getattr(components, field) >= 0.0, field
+
+    def test_cycles_exceed_base(self, model, simple_workload, device_b):
+        components, _ = model.solve(simple_workload, device_b)
+        assert components.cycles > components.base
+
+    def test_higher_latency_more_cycles(self, model, simple_workload,
+                                        local_target, device_c):
+        local, _ = model.solve(simple_workload, local_target)
+        cxl, _ = model.solve(simple_workload, device_c)
+        assert cxl.cycles > local.cycles
+
+    def test_device_latency_ordering_preserved(self, model, simple_workload,
+                                               device_a, device_b, device_c):
+        cycles = [
+            model.solve(simple_workload, d)[0].cycles
+            for d in (device_a, device_b, device_c)
+        ]
+        assert cycles[0] < cycles[1] < cycles[2]
+
+    def test_compute_workload_insensitive(self, model, compute_workload,
+                                          local_target, device_b):
+        local, _ = model.solve(compute_workload, local_target)
+        cxl, _ = model.solve(compute_workload, device_b)
+        slowdown = (cxl.cycles - local.cycles) / local.cycles
+        assert slowdown < 0.10
+
+    def test_frontend_constant_across_targets(self, model, simple_workload,
+                                              local_target, device_c):
+        local, _ = model.solve(simple_workload, local_target)
+        cxl, _ = model.solve(simple_workload, device_c)
+        assert local.frontend == pytest.approx(cxl.frontend)
+
+
+class TestBandwidthFloor:
+    def test_bandwidth_bound_on_small_device(self, model, bandwidth_workload,
+                                             device_a):
+        _, op = model.solve(bandwidth_workload, device_a)
+        assert op.bandwidth_bound
+
+    def test_not_bandwidth_bound_locally(self, model, bandwidth_workload,
+                                         local_target):
+        _, op = model.solve(bandwidth_workload, local_target)
+        assert not op.bandwidth_bound
+
+    def test_floor_sets_runtime_ratio(self, model, bandwidth_workload,
+                                      local_target, device_a):
+        local, op_l = model.solve(bandwidth_workload, local_target)
+        cxl, op_c = model.solve(bandwidth_workload, device_a)
+        # Bandwidth-bound: runtime ratio ~ demand / device peak.
+        ratio = cxl.cycles / local.cycles
+        assert ratio > 1.5
+
+    def test_threads_scale_traffic(self, model, bandwidth_workload,
+                                   local_target):
+        from dataclasses import replace
+
+        single = replace(bandwidth_workload, threads=1)
+        _, op1 = model.solve(single, local_target)
+        _, op3 = model.solve(bandwidth_workload, local_target)
+        assert op3.load_gbps > 2 * op1.load_gbps
+
+
+class TestPrefetcherInteraction:
+    def test_prefetchers_off_no_cache_stalls(self, emr, simple_workload,
+                                             device_b):
+        """Finding #4: with prefetchers off, S_L1 = S_L2 = S_L3 = 0."""
+        model = BackendModel(emr, prefetchers_enabled=False)
+        components, _ = model.solve(simple_workload, device_b)
+        assert components.cache == pytest.approx(0.0)
+
+    def test_prefetchers_off_more_dram_stalls(self, emr, simple_workload,
+                                              device_b):
+        on = BackendModel(emr, prefetchers_enabled=True)
+        off = BackendModel(emr, prefetchers_enabled=False)
+        c_on, _ = on.solve(simple_workload, device_b)
+        c_off, _ = off.solve(simple_workload, device_b)
+        assert c_off.s_dram > c_on.s_dram
+
+    def test_prefetchers_help_overall(self, emr, device_b):
+        """Prefetchers improve performance (the 603.bwaves 50% story)."""
+        streaming = WorkloadSpec(
+            name="stream", suite="test", l1_mpki=60.0, l2_mpki=40.0,
+            l3_mpki=20.0, mlp=12.0, prefetch_friendliness=0.9,
+            prefetch_lead_ns=400.0,
+        )
+        on = BackendModel(emr, prefetchers_enabled=True)
+        off = BackendModel(emr, prefetchers_enabled=False)
+        assert (
+            on.solve(streaming, device_b)[0].cycles
+            < off.solve(streaming, device_b)[0].cycles
+        )
+
+
+class TestTailSerialization:
+    def test_tail_sensitive_workload_hit_harder(self, model, device_b):
+        from dataclasses import replace
+
+        base = WorkloadSpec(
+            name="tail-test", suite="test", l1_mpki=25.0, l2_mpki=9.0,
+            l3_mpki=2.5, mlp=2.0, tail_sensitivity=0.0,
+        )
+        sensitive = replace(base, tail_sensitivity=1.0)
+        c_base, _ = model.solve(base, device_b)
+        c_sens, _ = model.solve(sensitive, device_b)
+        assert c_sens.s_dram > c_base.s_dram
+
+
+class TestTrafficPoints:
+    def test_no_bursts_single_point(self):
+        w = WorkloadSpec(name="t", suite="test", burst_fraction=0.0)
+        assert _traffic_points(w, 10.0) == ((1.0, 10.0),)
+
+    def test_burst_mixture_conserves_mean(self):
+        w = WorkloadSpec(name="t", suite="test", burst_ratio=4.0,
+                         burst_fraction=0.2)
+        points = _traffic_points(w, 10.0)
+        mean = sum(weight * load for weight, load in points)
+        assert mean == pytest.approx(10.0)
+
+    def test_burst_point_higher_than_mean(self):
+        w = WorkloadSpec(name="t", suite="test", burst_ratio=4.0,
+                         burst_fraction=0.2)
+        points = _traffic_points(w, 10.0)
+        assert max(load for _, load in points) == pytest.approx(40.0)
+
+    def test_quiet_clamped_at_zero(self):
+        # burst_fraction * burst_ratio > 1: all traffic fits in bursts.
+        w = WorkloadSpec(name="t", suite="test", burst_ratio=4.0,
+                         burst_fraction=0.5)
+        points = _traffic_points(w, 10.0)
+        assert min(load for _, load in points) == 0.0
+
+
+class TestOperatingPoint:
+    def test_load_reported(self, model, simple_workload, device_a):
+        _, op = model.solve(simple_workload, device_a)
+        assert op.load_gbps > 0.0
+        assert 0.0 <= op.utilization <= 1.0
+
+    def test_mlp_within_bounds(self, model, simple_workload, device_a, emr):
+        _, op = model.solve(simple_workload, device_a)
+        assert 1.0 <= op.effective_mlp <= emr.uarch.max_demand_mlp

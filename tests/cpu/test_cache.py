@@ -1,0 +1,81 @@
+"""Cache hierarchy tests: LLC-size scaling and hit-stall baselines."""
+
+import pytest
+
+from repro.cpu.cache import (
+    MAX_MISS_SCALE,
+    CacheHierarchy,
+    baseline_hit_stall_cycles,
+    effective_l3_mpki,
+)
+from repro.workloads.base import WorkloadSpec
+
+
+def _workload(**overrides):
+    base = dict(
+        name="cache-test", suite="test",
+        l1_mpki=30.0, l2_mpki=12.0, l3_mpki=3.0, cache_sensitivity=0.2,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestHierarchy:
+    def test_built_from_platform(self, emr):
+        h = CacheHierarchy.for_platform(emr)
+        assert h.l1.capacity_bytes == emr.l1d_kb * 1024
+        assert h.l3.capacity_bytes == emr.l3_mb * 1024 * 1024
+
+    def test_hit_latency_ordering(self, emr):
+        h = CacheHierarchy.for_platform(emr)
+        assert h.l1.hit_latency_cycles < h.l2.hit_latency_cycles
+        assert h.l2.hit_latency_cycles < h.l3.hit_latency_cycles
+
+
+class TestLlcScaling:
+    def test_reference_platform_unchanged(self, emr):
+        # EMR2S is the 160 MB reference: no rescaling.
+        w = _workload()
+        assert effective_l3_mpki(w, emr) == pytest.approx(w.l3_mpki)
+
+    def test_smaller_llc_more_misses(self, emr, skx):
+        w = _workload()
+        assert effective_l3_mpki(w, skx) > effective_l3_mpki(w, emr)
+
+    def test_insensitive_workload_unaffected(self, skx):
+        w = _workload(cache_sensitivity=0.0)
+        assert effective_l3_mpki(w, skx) == pytest.approx(w.l3_mpki)
+
+    def test_scaling_clamped(self, skx):
+        w = _workload(cache_sensitivity=0.35, l3_mpki=3.0, l2_mpki=50.0,
+                      l1_mpki=60.0)
+        assert effective_l3_mpki(w, skx) <= w.l3_mpki * MAX_MISS_SCALE
+
+    def test_l3_never_exceeds_l2(self, skx):
+        w = _workload(l2_mpki=3.5, l3_mpki=3.0, cache_sensitivity=0.35)
+        assert effective_l3_mpki(w, skx) <= w.l2_mpki
+
+    def test_spr_vs_emr_small_effect(self, spr, emr):
+        # Figure 8e: EMR's 2.7x LLC changes misses by a bounded amount.
+        w = _workload(cache_sensitivity=0.2)
+        ratio = effective_l3_mpki(w, spr) / effective_l3_mpki(w, emr)
+        assert 1.0 < ratio < 1.5
+
+
+class TestBaselineStalls:
+    def test_positive_for_cache_active_workload(self, emr):
+        h = CacheHierarchy.for_platform(emr)
+        w = _workload()
+        assert baseline_hit_stall_cycles(w, h, 1e9) > 0.0
+
+    def test_scales_with_instructions(self, emr):
+        h = CacheHierarchy.for_platform(emr)
+        w = _workload()
+        one = baseline_hit_stall_cycles(w, h, 1e8)
+        ten = baseline_hit_stall_cycles(w, h, 1e9)
+        assert ten == pytest.approx(10 * one)
+
+    def test_zero_when_no_cache_misses(self, emr):
+        h = CacheHierarchy.for_platform(emr)
+        w = _workload(l1_mpki=1.0, l2_mpki=1.0, l3_mpki=1.0)
+        assert baseline_hit_stall_cycles(w, h, 1e9) == pytest.approx(0.0)

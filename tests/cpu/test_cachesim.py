@@ -1,0 +1,139 @@
+"""Cache simulator tests: LRU, capacity, prefetching, timeliness."""
+
+import pytest
+
+from repro.cpu.cachesim import (
+    CacheHierarchySim,
+    SetAssociativeCache,
+    StreamPrefetcherSim,
+)
+from repro.errors import ConfigurationError
+from repro.units import CACHELINE_BYTES
+from repro.workloads.traces import (
+    pointer_chase,
+    random_uniform,
+    sequential_stream,
+    zipf_accesses,
+)
+
+WS_BIG = 64 * 1024 * 1024  # far beyond the 16 MiB default LLC
+WS_TINY = 256 * 1024  # fits in L2
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_insert(self):
+        cache = SetAssociativeCache(64 * CACHELINE_BYTES, ways=4)
+        cache.insert(7)
+        assert cache.lookup(7)
+
+    def test_miss_when_absent(self):
+        cache = SetAssociativeCache(64 * CACHELINE_BYTES, ways=4)
+        assert not cache.lookup(7)
+
+    def test_lru_eviction_order(self):
+        # Direct construction: 1 set, 2 ways.
+        cache = SetAssociativeCache(2 * CACHELINE_BYTES, ways=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.lookup(0)  # touch 0: 1 becomes LRU
+        cache.insert(2)  # evicts 1
+        assert cache.lookup(0)
+        assert not cache.lookup(1)
+        assert cache.lookup(2)
+
+    def test_occupancy_bounded(self):
+        cache = SetAssociativeCache(16 * CACHELINE_BYTES, ways=4)
+        for line in range(1000):
+            cache.insert(line)
+        assert cache.occupancy <= 16
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(CACHELINE_BYTES, ways=4)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1024 * CACHELINE_BYTES, ways=0)
+
+
+class TestStreamPrefetcher:
+    def test_detects_ascending_stream(self):
+        pf = StreamPrefetcherSim(distance=4, degree=2, train=2)
+        issued = []
+        for line in range(10):
+            issued.extend(pf.observe(line))
+        assert issued
+        assert all(l > 8 for l in issued[-2:])  # runs ahead
+
+    def test_ignores_random(self):
+        pf = StreamPrefetcherSim(train=3)
+        issued = []
+        for line in (5, 900, 3, 777, 12, 401):
+            issued.extend(pf.observe(line))
+        assert not issued
+
+    def test_detects_descending_stream(self):
+        pf = StreamPrefetcherSim(distance=4, degree=1, train=2)
+        issued = []
+        for line in range(100, 90, -1):
+            issued.extend(pf.observe(line))
+        assert issued
+        assert all(l < 90 for l in issued[-1:])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcherSim(distance=0)
+
+
+class TestHierarchy:
+    def test_tiny_working_set_no_memory_misses(self):
+        sim = CacheHierarchySim(prefetcher=None)
+        trace = sequential_stream(100_000, WS_TINY)
+        stats = sim.run(trace)
+        # After the cold pass everything hits in L2.
+        assert stats.l3_misses < trace.footprint_bytes // CACHELINE_BYTES + 10
+
+    def test_random_misses_scale_with_llc(self):
+        trace = random_uniform(120_000, WS_BIG)
+        small = CacheHierarchySim(l3_bytes=4 * 1024 * 1024).run(trace)
+        large = CacheHierarchySim(l3_bytes=64 * 1024 * 1024).run(trace)
+        assert large.l3_misses < small.l3_misses
+
+    def test_miss_hierarchy_invariant(self):
+        for trace in (
+            sequential_stream(60_000, WS_BIG),
+            random_uniform(60_000, WS_BIG),
+            zipf_accesses(60_000, WS_BIG),
+        ):
+            stats = CacheHierarchySim().run(trace)
+            assert stats.l1_misses >= stats.l2_misses >= stats.l3_misses
+
+    def test_stream_prefetcher_covers_sequential(self):
+        sim = CacheHierarchySim(prefetcher=StreamPrefetcherSim())
+        stats = sim.run(sequential_stream(200_000, WS_BIG))
+        assert stats.prefetch_coverage > 0.9
+
+    def test_prefetcher_useless_for_pointer_chase(self):
+        sim = CacheHierarchySim(prefetcher=StreamPrefetcherSim())
+        stats = sim.run(pointer_chase(60_000, WS_BIG))
+        assert stats.prefetch_coverage < 0.05
+
+    def test_pointer_chase_misses_are_dependent(self):
+        sim = CacheHierarchySim()
+        stats = sim.run(pointer_chase(60_000, WS_BIG))
+        assert stats.dependent_miss_fraction == pytest.approx(1.0)
+
+    def test_timeliness_degrades_with_latency(self):
+        trace = sequential_stream(200_000, WS_BIG)
+        short = CacheHierarchySim(
+            prefetcher=StreamPrefetcherSim(), memory_latency_ns=110.0
+        ).run(trace)
+        long = CacheHierarchySim(
+            prefetcher=StreamPrefetcherSim(), memory_latency_ns=400.0
+        ).run(trace)
+        assert long.prefetch_timeliness < short.prefetch_timeliness
+
+    def test_writebacks_counted(self):
+        sim = CacheHierarchySim()
+        trace = random_uniform(50_000, WS_BIG, write_fraction=0.5)
+        stats = sim.run(trace)
+        assert stats.writebacks > 0
+        assert stats.writebacks <= stats.l3_misses

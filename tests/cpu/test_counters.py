@@ -1,0 +1,164 @@
+"""PMU counter emulation tests: containment, differencing, arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.counters import (
+    COUNTER_DESCRIPTIONS,
+    COUNTER_NAMES,
+    CounterSample,
+    CounterSet,
+)
+from repro.errors import MeasurementError
+
+
+def _sample(**overrides):
+    base = dict(
+        cycles=1000.0,
+        instructions=2000.0,
+        bound_on_loads=400.0,
+        bound_on_stores=50.0,
+        stalls_l1d_miss=300.0,
+        stalls_l2_miss=250.0,
+        stalls_l3_miss=200.0,
+        retired_stalls=600.0,
+        one_ports_util=30.0,
+        two_ports_util=20.0,
+        stalls_scoreboard=10.0,
+    )
+    base.update(overrides)
+    return CounterSample(**base)
+
+
+class TestTable2:
+    def test_nine_events(self):
+        assert len(COUNTER_NAMES) == 9
+
+    def test_every_event_described(self):
+        for name in COUNTER_NAMES:
+            assert name in COUNTER_DESCRIPTIONS
+
+
+class TestFigure10Differencing:
+    def test_level_stalls(self):
+        s = _sample()
+        assert s.s_l1 == pytest.approx(100.0)  # P1 - P3
+        assert s.s_l2 == pytest.approx(50.0)  # P3 - P4
+        assert s.s_l3 == pytest.approx(50.0)  # P4 - P5
+        assert s.s_dram == pytest.approx(200.0)  # P5
+        assert s.s_store == pytest.approx(50.0)  # P2
+
+    def test_memory_is_p1_plus_p2(self):
+        s = _sample()
+        assert s.s_memory == pytest.approx(450.0)
+
+    def test_core_is_port_plus_scoreboard(self):
+        s = _sample()
+        assert s.s_core == pytest.approx(60.0)
+
+    def test_ipc(self):
+        assert _sample().ipc == pytest.approx(2.0)
+
+
+class TestArithmetic:
+    def test_scaled(self):
+        s = _sample().scaled(0.5)
+        assert s.cycles == pytest.approx(500.0)
+        assert s.s_dram == pytest.approx(100.0)
+
+    def test_plus(self):
+        s = _sample().plus(_sample())
+        assert s.cycles == pytest.approx(2000.0)
+        assert s.instructions == pytest.approx(4000.0)
+
+    def test_scaled_plus_partition(self):
+        s = _sample()
+        parts = s.scaled(0.3).plus(s.scaled(0.7))
+        assert parts.cycles == pytest.approx(s.cycles)
+        assert parts.s_memory == pytest.approx(s.s_memory)
+
+    def test_as_dict_roundtrip(self):
+        s = _sample()
+        assert CounterSample(**s.as_dict()) == s
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(MeasurementError):
+            _sample(cycles=-1.0)
+
+
+class TestCounterSet:
+    def _build(self, noise=0.0, **overrides):
+        rng = np.random.default_rng(42)
+        kwargs = dict(
+            cycles=10_000.0,
+            instructions=20_000.0,
+            s_l1=100.0,
+            s_l2=200.0,
+            s_l3=300.0,
+            s_dram=1500.0,
+            s_store=250.0,
+            s_core=80.0,
+            s_other=40.0,
+            frontend_stalls=900.0,
+            baseline_load_stalls=600.0,
+            serialization_stalls=50.0,
+        )
+        kwargs.update(overrides)
+        return CounterSet(rng, noise=noise).build(**kwargs)
+
+    def test_containment_holds(self):
+        s = self._build()
+        assert s.bound_on_loads >= s.stalls_l1d_miss
+        assert s.stalls_l1d_miss >= s.stalls_l2_miss
+        assert s.stalls_l2_miss >= s.stalls_l3_miss
+        assert s.stalls_l3_miss >= 0.0
+
+    def test_noiseless_differencing_recovers_components(self):
+        s = self._build()
+        base = self._build(s_l1=0, s_l2=0, s_l3=0, s_dram=0, s_store=0,
+                           s_core=0, s_other=0)
+        assert s.s_dram - base.s_dram == pytest.approx(1500.0)
+        assert s.s_l1 - base.s_l1 == pytest.approx(100.0)
+        assert s.s_l2 - base.s_l2 == pytest.approx(200.0)
+        assert s.s_l3 - base.s_l3 == pytest.approx(300.0)
+        assert s.s_store - base.s_store == pytest.approx(250.0)
+
+    def test_baseline_activity_cancels_in_differences(self):
+        a = self._build(baseline_load_stalls=600.0)
+        b = self._build(baseline_load_stalls=600.0, s_dram=2500.0)
+        assert b.s_dram - a.s_dram == pytest.approx(1000.0)
+
+    def test_retired_stalls_includes_everything(self):
+        s = self._build()
+        assert s.retired_stalls >= s.s_memory
+
+    def test_noise_perturbs_readings(self):
+        rng = np.random.default_rng(7)
+        noisy = CounterSet(rng, noise=0.01)
+        kwargs = dict(
+            cycles=10_000.0, instructions=20_000.0, s_l1=100.0, s_l2=200.0,
+            s_l3=300.0, s_dram=1500.0, s_store=250.0, s_core=80.0,
+            s_other=40.0, frontend_stalls=900.0, baseline_load_stalls=600.0,
+            serialization_stalls=50.0,
+        )
+        a = noisy.build(**kwargs)
+        b = noisy.build(**kwargs)
+        assert a.stalls_l3_miss != b.stalls_l3_miss
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(MeasurementError):
+            CounterSet(np.random.default_rng(0), noise=-0.1)
+
+    @given(dram=st.floats(min_value=0.0, max_value=1e7))
+    @settings(max_examples=30)
+    def test_containment_for_any_dram_stalls(self, dram):
+        s = self._build(s_dram=dram)
+        assert (
+            s.bound_on_loads
+            >= s.stalls_l1d_miss
+            >= s.stalls_l2_miss
+            >= s.stalls_l3_miss
+            >= 0.0
+        )

@@ -1,0 +1,111 @@
+"""Pipeline runner tests: determinism, phases, counters, latency sampling."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.pipeline import (
+    PipelineConfig,
+    run_workload,
+    sample_run_latencies,
+)
+
+
+class TestRunWorkload:
+    def test_deterministic(self, simple_workload, emr, device_a):
+        a = run_workload(simple_workload, emr, device_a)
+        b = run_workload(simple_workload, emr, device_a)
+        assert a.cycles == b.cycles
+        assert a.counters == b.counters
+
+    def test_different_seed_different_noise(self, simple_workload, emr,
+                                            device_a):
+        a = run_workload(simple_workload, emr, device_a,
+                         PipelineConfig(seed=1))
+        b = run_workload(simple_workload, emr, device_a,
+                         PipelineConfig(seed=2))
+        assert a.counters.stalls_l3_miss != b.counters.stalls_l3_miss
+
+    def test_performance_metric(self, simple_workload, emr, local_target):
+        result = run_workload(simple_workload, emr, local_target)
+        assert result.performance == pytest.approx(
+            result.instructions / result.time_s
+        )
+
+    def test_slowdown_positive_on_cxl(self, simple_workload, emr,
+                                      local_target, device_b):
+        base = run_workload(simple_workload, emr, local_target)
+        cxl = run_workload(simple_workload, emr, device_b)
+        assert cxl.slowdown_vs(base) > 0.0
+
+    def test_slowdown_of_self_is_zero(self, simple_workload, emr,
+                                      local_target):
+        base = run_workload(simple_workload, emr, local_target)
+        assert base.slowdown_vs(base) == pytest.approx(0.0)
+
+    def test_counters_track_cycles(self, simple_workload, emr, device_a):
+        result = run_workload(simple_workload, emr, device_a)
+        assert result.counters.cycles == pytest.approx(result.cycles, rel=0.02)
+
+    def test_ipc_below_peak(self, simple_workload, emr, device_a):
+        result = run_workload(simple_workload, emr, device_a)
+        assert 0.0 < result.ipc < 6.0
+
+
+class TestPhases:
+    def test_single_phase_by_default(self, simple_workload, emr, device_a):
+        result = run_workload(simple_workload, emr, device_a)
+        assert len(result.phases) == 1
+
+    def test_phase_count(self, phased_workload, emr, device_a):
+        result = run_workload(phased_workload, emr, device_a)
+        assert len(result.phases) == 2
+
+    def test_instructions_partitioned(self, phased_workload, emr, device_a):
+        result = run_workload(phased_workload, emr, device_a)
+        total = sum(p.instructions for p in result.phases)
+        assert total == pytest.approx(phased_workload.instructions, rel=0.01)
+
+    def test_hot_phase_slower(self, phased_workload, emr, device_b):
+        result = run_workload(phased_workload, emr, device_b)
+        hot, cold = result.phases
+        # Per-instruction cycles higher in the hot phase.
+        assert (hot.cycles / hot.instructions) > (
+            cold.cycles / cold.instructions
+        )
+
+    def test_aggregate_cycles_sum_phases(self, phased_workload, emr,
+                                         device_a):
+        result = run_workload(phased_workload, emr, device_a)
+        assert result.cycles == pytest.approx(
+            sum(p.cycles for p in result.phases)
+        )
+
+    def test_mean_latency_weighted(self, phased_workload, emr, device_a):
+        result = run_workload(phased_workload, emr, device_a)
+        lats = [p.operating_point.latency_ns for p in result.phases]
+        assert min(lats) <= result.mean_latency_ns <= max(lats)
+
+
+class TestLatencySampling:
+    def test_sample_count(self, simple_workload, emr, device_b):
+        result = run_workload(simple_workload, emr, device_b)
+        samples = sample_run_latencies(result, device_b, n=5000)
+        assert len(samples) == 5000
+
+    def test_samples_centred_on_device_latency(self, simple_workload, emr,
+                                               device_b):
+        result = run_workload(simple_workload, emr, device_b)
+        samples = sample_run_latencies(result, device_b, n=50_000)
+        assert np.median(samples) == pytest.approx(
+            device_b.idle_latency_ns(), rel=0.15
+        )
+
+    def test_tail_device_shows_heavier_tail(self, simple_workload, emr,
+                                            device_c, device_d):
+        rc = run_workload(simple_workload, emr, device_c)
+        rd = run_workload(simple_workload, emr, device_d)
+        sc = sample_run_latencies(rc, device_c, n=50_000)
+        sd = sample_run_latencies(rd, device_d, n=50_000)
+        gap_c = np.percentile(sc, 99.9) - np.percentile(sc, 50)
+        gap_d = np.percentile(sd, 99.9) - np.percentile(sd, 50)
+        assert gap_c > gap_d

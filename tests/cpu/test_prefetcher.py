@@ -1,0 +1,113 @@
+"""Prefetcher model tests: the Figure 13 timeliness mechanism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.prefetcher import COVERAGE_LOSS_MAX, PrefetchModel
+from repro.hw.platform import EMR_UARCH, SKX_UARCH
+from repro.workloads.base import WorkloadSpec
+
+
+def _workload(**overrides):
+    base = dict(
+        name="pf-test", suite="test",
+        l1_mpki=30.0, l2_mpki=12.0, l3_mpki=4.0,
+        prefetch_friendliness=0.8, prefetch_lead_ns=250.0,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+@pytest.fixture
+def model():
+    return PrefetchModel(EMR_UARCH)
+
+
+class TestTimeliness:
+    def test_full_coverage_at_short_latency(self, model):
+        w = _workload()
+        out = model.outcome(w, w.l3_mpki, memory_latency_ns=110.0)
+        assert out.coverage == pytest.approx(out.ideal_coverage)
+        assert out.late_fraction == 0.0
+        assert out.residual_stall_ns == 0.0
+
+    def test_coverage_drops_beyond_lead(self, model):
+        w = _workload()
+        short = model.outcome(w, w.l3_mpki, 110.0)
+        long = model.outcome(w, w.l3_mpki, 400.0)
+        assert long.coverage < short.coverage
+        assert long.late_fraction > 0.0
+        assert long.residual_stall_ns > 0.0
+
+    def test_coverage_loss_bounded(self, model):
+        # The paper observed 2-38% L2PF coverage reductions.
+        w = _workload()
+        worst = model.outcome(w, w.l3_mpki, 5000.0)
+        loss = 1.0 - worst.coverage / worst.ideal_coverage
+        assert loss <= COVERAGE_LOSS_MAX + 1e-9
+
+    @given(lat=st.floats(min_value=50.0, max_value=2000.0))
+    @settings(max_examples=40)
+    def test_coverage_in_unit_interval(self, lat):
+        w = _workload()
+        out = PrefetchModel(EMR_UARCH).outcome(w, w.l3_mpki, lat)
+        assert 0.0 <= out.coverage <= 1.0
+        assert 0.0 <= out.late_fraction <= 1.0
+
+    @given(
+        lat1=st.floats(min_value=100.0, max_value=1500.0),
+        lat2=st.floats(min_value=100.0, max_value=1500.0),
+    )
+    @settings(max_examples=40)
+    def test_coverage_monotone_decreasing_in_latency(self, lat1, lat2):
+        model = PrefetchModel(EMR_UARCH)
+        w = _workload()
+        lo, hi = sorted((lat1, lat2))
+        assert (
+            model.outcome(w, w.l3_mpki, hi).coverage
+            <= model.outcome(w, w.l3_mpki, lo).coverage
+        )
+
+
+class TestCounterShift:
+    def test_shift_conservation(self, model):
+        """The L2PF decrease reappears exactly as L1PF increase (Fig 12a)."""
+        w = _workload()
+        short = model.outcome(w, w.l3_mpki, 110.0)
+        long = model.outcome(w, w.l3_mpki, 400.0)
+        l2pf_decrease = short.l2pf_l3_miss_pki - long.l2pf_l3_miss_pki
+        l1pf_increase = long.l1pf_l3_miss_pki - short.l1pf_l3_miss_pki
+        assert l1pf_increase == pytest.approx(l2pf_decrease, rel=1e-6)
+
+    def test_l2pf_hit_unchanged(self, model):
+        """The paper observed no change in L2PF-L3-hit."""
+        w = _workload()
+        short = model.outcome(w, w.l3_mpki, 110.0)
+        long = model.outcome(w, w.l3_mpki, 400.0)
+        assert long.l2pf_l3_hit_pki == pytest.approx(short.l2pf_l3_hit_pki)
+
+
+class TestDisabled:
+    def test_disabled_covers_nothing(self, model):
+        w = _workload()
+        out = model.outcome(w, w.l3_mpki, 300.0, enabled=False)
+        assert out.coverage == 0.0
+        assert out.uncovered_fraction == 1.0
+        assert out.l1pf_l3_miss_pki == 0.0
+        assert out.l2pf_l3_miss_pki == 0.0
+
+
+class TestPlatformSplit:
+    def test_skx_focuses_l2(self):
+        split = PrefetchModel(SKX_UARCH).cache_stall_split()
+        assert split["L2"] > split["L3"]
+
+    def test_emr_focuses_l3(self):
+        split = PrefetchModel(EMR_UARCH).cache_stall_split()
+        assert split["L3"] > split["L2"]
+
+    def test_split_sums_to_one(self):
+        for uarch in (SKX_UARCH, EMR_UARCH):
+            split = PrefetchModel(uarch).cache_stall_split()
+            assert sum(split.values()) == pytest.approx(1.0)

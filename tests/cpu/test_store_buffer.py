@@ -1,0 +1,73 @@
+"""Store-buffer model tests: drain floor and overlap behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.store_buffer import StoreBufferModel
+from repro.errors import ConfigurationError
+from repro.hw.platform import EMR_UARCH, SKX_UARCH
+from repro.workloads.base import WorkloadSpec
+
+
+def _workload(stores_pki=150.0, rfo=0.5):
+    return WorkloadSpec(
+        name="sb-test", suite="test",
+        stores_pki=stores_pki, store_rfo_fraction=rfo,
+    )
+
+
+class TestStoreBuffer:
+    def test_hidden_when_concurrent_work_ample(self):
+        model = StoreBufferModel(EMR_UARCH)
+        stalls = model.stall_cycles(
+            _workload(stores_pki=40.0, rfo=0.1), 1e9,
+            rfo_latency_cycles=200.0, concurrent_cycles=1e9,
+        )
+        assert stalls == 0.0
+
+    def test_exposed_when_rfo_latency_long(self):
+        model = StoreBufferModel(EMR_UARCH)
+        stalls = model.stall_cycles(
+            _workload(), 1e9, rfo_latency_cycles=900.0,
+            concurrent_cycles=5e8,
+        )
+        assert stalls > 0.0
+
+    def test_grows_with_rfo_latency(self):
+        model = StoreBufferModel(EMR_UARCH)
+        args = (_workload(), 1e9)
+        short = model.stall_cycles(*args, rfo_latency_cycles=400.0,
+                                   concurrent_cycles=4e8)
+        long = model.stall_cycles(*args, rfo_latency_cycles=900.0,
+                                  concurrent_cycles=4e8)
+        assert long > short
+
+    def test_smaller_buffer_more_stalls(self):
+        # SKX's 56-entry buffer saturates before SPR/EMR's 112.
+        kwargs = dict(
+            workload=_workload(), instructions=1e9,
+            rfo_latency_cycles=700.0, concurrent_cycles=4e8,
+        )
+        skx = StoreBufferModel(SKX_UARCH).stall_cycles(**kwargs)
+        emr = StoreBufferModel(EMR_UARCH).stall_cycles(**kwargs)
+        assert skx > emr
+
+    def test_no_stores_no_stalls(self):
+        model = StoreBufferModel(EMR_UARCH)
+        w = WorkloadSpec(name="nostore", suite="test", stores_pki=0.0)
+        assert model.stall_cycles(w, 1e9, 500.0, 0.0) == 0.0
+
+    @given(
+        lat=st.floats(min_value=0.0, max_value=5000.0),
+        concurrent=st.floats(min_value=0.0, max_value=1e10),
+    )
+    @settings(max_examples=40)
+    def test_never_negative(self, lat, concurrent):
+        model = StoreBufferModel(EMR_UARCH)
+        stalls = model.stall_cycles(_workload(), 1e9, lat, concurrent)
+        assert stalls >= 0.0
+
+    def test_invalid_rfo_mlp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StoreBufferModel(EMR_UARCH, rfo_mlp=0.5)

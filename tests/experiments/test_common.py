@@ -1,0 +1,53 @@
+"""Experiment-infrastructure tests."""
+
+import pytest
+
+from repro.experiments.common import (
+    FAST_SUBSAMPLE,
+    measurement_targets,
+    standard_targets,
+    workload_population,
+)
+from repro.workloads import REGISTRY_SIZE
+
+
+class TestWorkloadPopulation:
+    def test_full_mode_is_whole_registry(self):
+        assert len(workload_population(fast=False)) == REGISTRY_SIZE
+
+    def test_fast_mode_subsamples(self):
+        fast = workload_population(fast=True)
+        assert len(fast) < REGISTRY_SIZE
+        assert len(fast) > REGISTRY_SIZE // (FAST_SUBSAMPLE * 2)
+
+    def test_fast_mode_keeps_anchors(self):
+        names = {w.name for w in workload_population(fast=True)}
+        for anchor in ("520.omnetpp_r", "605.mcf_s", "603.bwaves_s",
+                       "602.gcc_s"):
+            assert anchor in names
+
+    def test_fast_mode_no_duplicates(self):
+        names = [w.name for w in workload_population(fast=True)]
+        assert len(names) == len(set(names))
+
+    def test_fast_mode_preserves_suite_diversity(self):
+        suites = {w.suite for w in workload_population(fast=True)}
+        assert len(suites) == 7
+
+
+class TestTargets:
+    def test_standard_targets_complete(self):
+        targets = standard_targets()
+        assert set(targets) == {
+            "Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"
+        }
+
+    def test_measurement_order(self):
+        names = [t.name for t in measurement_targets()]
+        assert names[0].endswith("Local")
+        assert names[-1] == "CXL-D"
+
+    def test_fresh_instances(self):
+        a = standard_targets()["CXL-A"]
+        b = standard_targets()["CXL-A"]
+        assert a is not b

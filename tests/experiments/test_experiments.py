@@ -1,0 +1,253 @@
+"""Experiment driver tests: every figure regenerates and its headline
+qualitative claims hold in fast mode."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig01_spectrum,
+    fig03a_loaded_latency,
+    fig03b_latency_cdf,
+    fig03c_tail_vs_bw,
+    fig04_rw_noise,
+    fig05_rw_ratio,
+    fig06_prefetch_cdf,
+    fig07_workload_tails,
+    fig08ab_slowdown_cdf,
+    fig08cd_cxl_numa,
+    fig08e_spr_emr,
+    fig08f_interleave,
+    fig09a_violin,
+    fig09b_ycsb,
+    fig11_spa_accuracy,
+    fig12_prefetch_analysis,
+    fig14_breakdown,
+    fig15_breakdown_cdf,
+    fig16_period,
+    tab01_testbed,
+    tab02_counters,
+    usecase_tuning,
+)
+
+# Cache expensive campaign-backed experiment results at module scope.
+
+
+@pytest.fixture(scope="module")
+def cdf_result():
+    return fig08ab_slowdown_cdf.run(fast=True)
+
+
+@pytest.fixture(scope="module")
+def spa_result():
+    return fig11_spa_accuracy.run(fast=True)
+
+
+class TestEveryExperimentRenders:
+    @pytest.mark.parametrize(
+        "module",
+        [m for m in ALL_EXPERIMENTS
+         if m not in (fig08ab_slowdown_cdf, fig11_spa_accuracy,
+                      fig09a_violin, fig08e_spr_emr, fig14_breakdown)],
+        ids=lambda m: m.__name__.split(".")[-1],
+    )
+    def test_run_and_render(self, module):
+        result = module.run(fast=True)
+        text = module.render(result)
+        assert isinstance(text, str) and len(text) > 50
+
+
+class TestTable1:
+    def test_within_10pct_of_paper(self):
+        rows = tab01_testbed.run()
+        for name, paper in tab01_testbed.PAPER_VALUES.items():
+            row = rows[name]
+            assert row.local_latency_ns == pytest.approx(paper[0], rel=0.05)
+            assert row.local_bandwidth_gbps == pytest.approx(paper[1], rel=0.10)
+            assert row.remote_latency_ns == pytest.approx(paper[2], rel=0.05)
+            assert row.remote_bandwidth_gbps == pytest.approx(paper[3], rel=0.10)
+
+
+class TestTable2:
+    def test_containment_holds(self):
+        result = tab02_counters.run(fast=True)
+        assert result.containment_holds
+        assert len(result.events) == 9
+
+
+class TestFig1:
+    def test_latency_ordering(self):
+        points = {p.label: p for p in fig01_spectrum.run()}
+        assert (
+            points["Socket-local DRAM"].latency_ns
+            < points["NUMA"].latency_ns
+            < points["CXL"].latency_ns
+            < points["CXL+NUMA"].latency_ns
+        )
+        assert points["CXL+Switch"].latency_ns > 400.0
+
+
+class TestFig3:
+    def test_cxl_knee_earlier_than_local(self):
+        curves = fig03a_loaded_latency.run(fast=True)
+        assert (
+            curves.knee_utilization("CXL-B")
+            < curves.knee_utilization("EMR2S-Local")
+        )
+
+    def test_tail_gaps_ordered(self):
+        result = fig03b_latency_cdf.run(fast=True)
+        assert result.tail_gap("EMR2S-Local") < result.tail_gap("EMR2S-NUMA")
+        # CXL-B's gap is ~2x CXL-D's (156 vs 77-90 ns in the paper's terms;
+        # CXL-D carries a rare deep-tail component that nudges its p99.9).
+        assert result.tail_gap("CXL-B") > 1.7 * result.tail_gap("CXL-D")
+
+    def test_tail_onset_ordering(self):
+        result = fig03c_tail_vs_bw.run(fast=True)
+        # CXL-A's gap grows from low utilization; CXL-D much later;
+        # local/NUMA stay stable (Figure 3c).
+        assert result.onset_utilization("CXL-A") <= 0.5
+        assert result.onset_utilization("CXL-D") >= 0.5
+        assert result.onset_utilization("EMR2S-Local") >= 0.9
+
+
+class TestFig4:
+    def test_three_of_four_devices_unstable(self):
+        result = fig04_rw_noise.run(fast=True)
+        growth = {name: result.p99_growth(name) for name in result.results}
+        unstable = [n for n in ("CXL-A", "CXL-B", "CXL-C")
+                    if growth[n] > 200.0]
+        assert len(unstable) == 3
+        assert growth["CXL-D"] < 100.0
+        assert abs(growth["EMR2S-Local"]) < 50.0
+
+
+class TestFig5:
+    def test_duplexing_shapes(self):
+        result = fig05_rw_ratio.run(fast=True)
+        assert result.best_ratio("EMR2S-Local") == "1:0"
+        assert result.best_ratio("CXL-C") == "1:0"
+        assert result.best_ratio("CXL-A") not in ("1:0", "1:1")
+        assert result.best_ratio("CXL-D") in ("3:1", "4:1")
+
+
+class TestFig6:
+    def test_prefetch_hides_median_not_tail(self):
+        result = fig06_prefetch_cdf.run(fast=True)
+        assert result.median("CXL-B") < 50.0
+        assert result.p999("CXL-B") > 2 * result.p999("EMR2S-Local")
+
+
+class TestFig7:
+    def test_redis_tail_propagation(self):
+        result = fig07_workload_tails.run(fast=True)
+        p999 = {t: s["p99.9"] for t, s in result.redis_percentiles.items()}
+        assert p999["CXL-C"] > 3 * p999["Local"]
+        assert p999["CXL-C"] > p999["CXL-B"] > p999["NUMA"]
+
+
+class TestFig8ab:
+    def test_target_ordering_at_50pct(self, cdf_result):
+        f = cdf_result.fraction_below
+        assert f("NUMA", 50) >= f("CXL-D", 50) >= f("CXL-A", 50)
+        assert f("CXL-A", 50) >= f("CXL-B", 50) - 0.02
+
+    def test_many_workloads_tolerate_cxl(self, cdf_result):
+        """Finding #2: large fractions under 10% slowdown."""
+        assert cdf_result.fraction_below("CXL-D", 10) > 0.35
+        assert cdf_result.fraction_below("CXL-A", 10) > 0.35
+
+    def test_catastrophic_tail_only_on_low_bw_devices(self, cdf_result):
+        assert len(cdf_result.tail_workloads("CXL-A")) > 0
+        assert len(cdf_result.tail_workloads("CXL-B")) > 0
+        assert len(cdf_result.tail_workloads("NUMA")) == 0
+        assert len(cdf_result.tail_workloads("CXL-D")) == 0
+
+    def test_tail_magnitude_in_paper_range(self, cdf_result):
+        worst = float(cdf_result.slowdowns["CXL-B"].max())
+        assert 150.0 <= worst <= 580.0  # 1.5x-5.8x extra runtime
+
+
+class TestFig8cd:
+    def test_cxl_numa_worse_than_two_hop(self):
+        result = fig08cd_cxl_numa.run(fast=True)
+        assert (
+            np.median(result.slowdowns["CXL-A+NUMA"])
+            > np.median(result.slowdowns["SKX8S-410ns"])
+        )
+
+    def test_omnetpp_anomaly(self):
+        result = fig08cd_cxl_numa.run(fast=True)
+        assert result.omnetpp["CXL-A"] < 10.0
+        assert result.omnetpp["CXL-A+NUMA"] > 100.0
+        intensities = list(result.omnetpp_intensity.values())
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_tail_latency_signature(self):
+        result = fig08cd_cxl_numa.run(fast=True)
+        ps = result.omnetpp_latency_percentiles
+        assert ps["CXL-A+NUMA"]["p98"] > 2 * ps["CXL-A"]["p98"]
+
+
+class TestFig9b:
+    def test_ordering_and_superlinearity(self):
+        result = fig09b_ycsb.run()
+        for series in result.slowdowns.values():
+            assert series["NUMA"] < series["CXL-A"] < series["CXL-B"]
+        factors = [
+            result.superlinearity(store, letter)
+            for (store, letter) in result.slowdowns
+        ]
+        assert np.mean(factors) > 1.0
+
+
+class TestFig11:
+    def test_paper_accuracy_claims(self, spa_result):
+        for target in spa_result.errors:
+            assert spa_result.fraction_within(target, "stalls", 5.0) >= 0.95
+            assert spa_result.fraction_within(target, "memory", 5.0) >= 0.88
+
+
+class TestFig12:
+    def test_pearson_near_one(self):
+        result = fig12_prefetch_analysis.run(fast=True)
+        assert result.pearson_r > 0.97
+        assert len(result.scatter) >= 5
+
+    def test_named_workloads_have_coverage_drops(self):
+        result = fig12_prefetch_analysis.run(fast=True)
+        drops = [s.coverage_drop_pct for s in result.named]
+        assert any(d > 1.0 for d in drops)
+
+
+class TestFig15:
+    def test_dram_dominates_population(self):
+        result = fig15_breakdown_cdf.run(fast=True)
+        assert result.dram_ge5 >= 0.40  # paper: >=40%
+        assert result.cache_ge5 >= 0.05
+
+
+class TestFig16:
+    def test_gcc_front_loaded(self):
+        result = fig16_period.run(fast=True)
+        periods = result.series["602.gcc_s"]
+        values = [p.actual_pct for p in periods]
+        k = len(values) * 2 // 3
+        assert np.mean(values[:k]) > 1.5 * np.mean(values[k:])
+
+    def test_mcf_burstier_than_deepsjeng(self):
+        result = fig16_period.run(fast=True)
+        assert (
+            result.burstiness("605.mcf_s")
+            > result.burstiness("631.deepsjeng_s")
+        )
+
+
+class TestTuningUseCase:
+    def test_mcf_improvement(self):
+        result = usecase_tuning.run()
+        assert 8.0 < result.slowdown_before_pct < 20.0
+        assert result.slowdown_after_pct < 6.0
+        assert {o.name for o in result.relocated} == {
+            "arc_array", "node_array"
+        }

@@ -1,0 +1,91 @@
+"""Bandwidth-model tests: duplexing shapes of Figure 5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import FULL_DUPLEX, SHARED_BUS, BandwidthModel
+
+
+class TestFullDuplex:
+    def test_read_only_limited_by_read_path(self):
+        m = BandwidthModel(read_gbps=24.0, write_gbps=9.0, backend_gbps=40.0)
+        assert m.peak_gbps(1.0) == pytest.approx(24.0)
+
+    def test_write_only_limited_by_write_path(self):
+        m = BandwidthModel(read_gbps=24.0, write_gbps=9.0, backend_gbps=40.0)
+        assert m.peak_gbps(0.0) == pytest.approx(9.0)
+
+    def test_mixed_exceeds_read_only(self):
+        m = BandwidthModel(read_gbps=24.0, write_gbps=9.0, backend_gbps=40.0)
+        assert m.peak_gbps(0.75) > m.peak_gbps(1.0)
+
+    def test_backend_caps_total(self):
+        m = BandwidthModel(read_gbps=52.0, write_gbps=23.0, backend_gbps=59.0)
+        best_f, best_bw = m.best_mix()
+        assert best_bw == pytest.approx(59.0)
+        assert 0.6 <= best_f <= 0.9  # the CXL-D 3:1-4:1 plateau
+
+    def test_best_mix_at_path_balance(self):
+        m = BandwidthModel(read_gbps=20.0, write_gbps=10.0, backend_gbps=100.0)
+        best_f, best_bw = m.best_mix(samples=1001)
+        assert best_f == pytest.approx(2.0 / 3.0, abs=0.01)
+        assert best_bw == pytest.approx(30.0, rel=0.01)
+
+    @given(f=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_peak_positive_and_bounded(self, f):
+        m = BandwidthModel(read_gbps=24.0, write_gbps=9.0, backend_gbps=40.0)
+        peak = m.peak_gbps(f)
+        assert 0.0 < peak <= 40.0
+
+
+class TestSharedBus:
+    def test_peaks_read_only(self):
+        m = BandwidthModel(read_gbps=19.0, write_gbps=11.0,
+                           backend_gbps=40.0, mode=SHARED_BUS,
+                           turnaround_penalty=0.3)
+        best_f, _ = m.best_mix()
+        assert best_f == pytest.approx(1.0)
+
+    def test_mixed_pays_turnaround(self):
+        m = BandwidthModel(read_gbps=20.0, write_gbps=20.0,
+                           backend_gbps=40.0, mode=SHARED_BUS,
+                           turnaround_penalty=0.2)
+        assert m.peak_gbps(0.5) == pytest.approx(20.0 * 0.8)
+
+    def test_pure_traffic_pays_nothing(self):
+        m = BandwidthModel(read_gbps=20.0, write_gbps=15.0,
+                           backend_gbps=40.0, mode=SHARED_BUS,
+                           turnaround_penalty=0.2)
+        assert m.peak_gbps(1.0) == pytest.approx(20.0)
+        assert m.peak_gbps(0.0) == pytest.approx(15.0)
+
+    @given(f=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_shared_peak_bounded_by_pure_traffic(self, f):
+        m = BandwidthModel(read_gbps=20.0, write_gbps=15.0,
+                           backend_gbps=40.0, mode=SHARED_BUS)
+        assert m.peak_gbps(f) <= 20.0
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthModel(read_gbps=1.0, write_gbps=1.0, backend_gbps=1.0,
+                           mode="half-duplex")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthModel(read_gbps=0.0, write_gbps=1.0, backend_gbps=1.0)
+
+    def test_bad_read_fraction_rejected(self):
+        m = BandwidthModel(read_gbps=1.0, write_gbps=1.0, backend_gbps=1.0)
+        with pytest.raises(ConfigurationError):
+            m.peak_gbps(1.5)
+
+    def test_bad_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthModel(read_gbps=1.0, write_gbps=1.0, backend_gbps=1.0,
+                           turnaround_penalty=1.0)

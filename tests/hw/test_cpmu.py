@@ -1,0 +1,67 @@
+"""CPMU white-box attribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hw.cxl.cpmu import COMPONENTS, Cpmu
+
+
+class TestSampling:
+    def test_components_sum_to_plausible_total(self, device_a):
+        trace = Cpmu(device_a).sample(20_000, load_gbps=5.0)
+        totals = trace.total_ns
+        # Means match the device's distribution mean within jitter terms.
+        assert totals.mean() == pytest.approx(
+            device_a.distribution(5.0).mean_ns, rel=0.10
+        )
+
+    def test_all_components_present(self, device_b):
+        trace = Cpmu(device_b).sample(1000)
+        assert set(trace.components_ns) == set(COMPONENTS)
+
+    def test_deterministic(self, device_b):
+        a = Cpmu(device_b).sample(2000, load_gbps=3.0)
+        b = Cpmu(device_b).sample(2000, load_gbps=3.0)
+        assert np.array_equal(a.total_ns, b.total_ns)
+
+    def test_host_and_link_deterministic_shares(self, device_a):
+        trace = Cpmu(device_a).sample(5000)
+        assert np.allclose(trace.components_ns["host"], 70.0)
+
+    def test_queueing_grows_with_load(self, device_c):
+        idle = Cpmu(device_c).sample(2000, load_gbps=0.0)
+        loaded = Cpmu(device_c).sample(2000, load_gbps=15.0)
+        assert (
+            loaded.components_ns["queueing"].mean()
+            > idle.components_ns["queueing"].mean()
+        )
+
+    def test_invalid_count_rejected(self, device_a):
+        with pytest.raises(MeasurementError):
+            Cpmu(device_a).sample(0)
+
+
+class TestAttribution:
+    def test_shares_sum_to_one(self, device_b):
+        trace = Cpmu(device_b).sample(50_000, load_gbps=8.0)
+        attribution = trace.tail_attribution(99.0)
+        assert sum(attribution.values()) == pytest.approx(1.0)
+
+    def test_fpga_tail_is_controller(self, device_c):
+        trace = Cpmu(device_c).sample(50_000, load_gbps=10.0)
+        assert trace.dominant_tail_source(99.0) == "controller"
+
+    def test_mean_breakdown_matches_device_breakdown(self, device_a):
+        trace = Cpmu(device_a).sample(50_000)
+        breakdown = trace.mean_breakdown_ns()
+        device_breakdown = device_a.latency_breakdown_ns()
+        assert breakdown["host"] == pytest.approx(device_breakdown["host"])
+        assert breakdown["controller"] == pytest.approx(
+            device_breakdown["controller"], rel=0.15
+        )
+
+    def test_report_renders(self, device_d):
+        report = Cpmu(device_d).latency_report(load_gbps=5.0, n=20_000)
+        assert "CXL-D" in report
+        assert "tail attribution" in report

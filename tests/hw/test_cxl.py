@@ -1,0 +1,162 @@
+"""CXL link, controller, and device tests against the Table 1 calibration."""
+
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.hw.bandwidth import SHARED_BUS
+from repro.hw.cxl.controller import CxlMemoryController, ThermalModel
+from repro.hw.cxl.device import (
+    CXL_DEVICES,
+    CXL_A_PROFILE,
+    CxlDevice,
+    device_by_name,
+    with_tail_model,
+)
+from repro.hw.cxl.link import CxlLink, FlitFormat
+from repro.hw.tail import NO_TAIL
+
+PAPER_IDLE = {"CXL-A": 214.0, "CXL-B": 271.0, "CXL-C": 394.0, "CXL-D": 239.0}
+PAPER_READ_BW = {"CXL-A": 24.0, "CXL-B": 22.0, "CXL-C": 18.0, "CXL-D": 52.0}
+PAPER_PEAK_BW = {"CXL-A": 32.0, "CXL-B": 26.0, "CXL-C": 21.0, "CXL-D": 59.0}
+
+
+class TestLink:
+    def test_x8_gen5_effective_bandwidth(self):
+        link = CxlLink(pcie_gen=5, lanes=8)
+        # 32 GB/s raw, ~80% efficiency, ~6% flit overhead => ~24 GB/s.
+        assert link.raw_gbps_per_direction == pytest.approx(32.0)
+        assert 22.0 < link.effective_gbps_per_direction < 25.0
+
+    def test_x16_doubles_x8(self):
+        x8 = CxlLink(pcie_gen=5, lanes=8)
+        x16 = CxlLink(pcie_gen=5, lanes=16)
+        assert x16.effective_gbps_per_direction == pytest.approx(
+            2 * x8.effective_gbps_per_direction
+        )
+
+    def test_serialization_few_ns(self):
+        link = CxlLink(pcie_gen=5, lanes=8)
+        assert 1.0 < link.serialization_ns() < 5.0
+
+    def test_round_trip_overhead_tens_of_ns(self):
+        link = CxlLink(pcie_gen=5, lanes=8)
+        assert 20.0 < link.round_trip_overhead_ns() < 50.0
+
+    def test_flit_overhead_fraction(self):
+        flit = FlitFormat(total_bytes=68, payload_bytes=64)
+        assert flit.overhead_fraction == pytest.approx(4.0 / 68.0)
+
+    def test_invalid_generation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CxlLink(pcie_gen=7)
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CxlLink(lanes=3)
+
+    def test_invalid_flit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlitFormat(total_bytes=32, payload_bytes=64)
+
+
+class TestThermal:
+    def test_no_derating_below_threshold(self):
+        t = ThermalModel(throttle_threshold_c=85.0)
+        assert t.service_derating(70.0) == 1.0  # the paper's stress test
+
+    def test_derating_above_threshold(self):
+        t = ThermalModel(throttle_threshold_c=85.0, derate_per_degree=0.02)
+        assert t.service_derating(95.0) > 1.0
+
+    def test_derating_monotone(self):
+        t = ThermalModel()
+        assert t.service_derating(100.0) > t.service_derating(90.0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(throttle_threshold_c=20.0, ambient_c=45.0)
+
+
+class TestController:
+    def test_queue_onset_below_imc(self):
+        # Third-party MCs queue earlier than iMCs (Figure 3a finding).
+        c = CxlMemoryController()
+        assert c.queue_onset_util < 0.9
+
+    def test_queue_depth_bounds_delay(self):
+        c = CxlMemoryController(queue_depth=32)
+        q = c.queue_model(service_ns=20.0)
+        assert q.max_delay_ns == pytest.approx(32 * 20.0)
+
+    def test_thermal_derating_stretches_service(self):
+        c = CxlMemoryController()
+        cool = c.queue_model(service_ns=20.0, temperature_c=50.0)
+        hot = c.queue_model(service_ns=20.0, temperature_c=100.0)
+        assert hot.service_ns > cool.service_ns
+
+
+class TestDevices:
+    @pytest.mark.parametrize("name", sorted(CXL_DEVICES))
+    def test_idle_latency_matches_table1(self, name):
+        assert device_by_name(name).idle_latency_ns() == pytest.approx(
+            PAPER_IDLE[name]
+        )
+
+    @pytest.mark.parametrize("name", sorted(CXL_DEVICES))
+    def test_read_bandwidth_near_table1(self, name):
+        device = device_by_name(name)
+        assert device.peak_bandwidth_gbps(1.0) == pytest.approx(
+            PAPER_READ_BW[name], rel=0.08
+        )
+
+    @pytest.mark.parametrize("name", sorted(CXL_DEVICES))
+    def test_peak_bandwidth_near_paper(self, name):
+        device = device_by_name(name)
+        _, peak = device.bandwidth_model().best_mix()
+        assert peak == pytest.approx(PAPER_PEAK_BW[name], rel=0.10)
+
+    def test_latency_breakdown_sums_to_idle(self, all_devices):
+        for device in all_devices:
+            breakdown = device.latency_breakdown_ns()
+            assert sum(breakdown.values()) == pytest.approx(
+                device.profile.idle_latency_ns
+            )
+
+    def test_fpga_flag(self, device_c, device_a):
+        assert device_c.is_fpga
+        assert not device_a.is_fpga
+
+    def test_fpga_is_shared_bus(self, device_c):
+        assert device_c.bandwidth_model().mode == SHARED_BUS
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            device_by_name("CXL-Z")
+
+    def test_tail_ordering_b_worse_than_d(self, device_b, device_d):
+        gap_b = device_b.distribution(0.0).tail_gap_ns()
+        gap_d = device_d.distribution(0.0).tail_gap_ns()
+        assert gap_b > gap_d
+
+    def test_thermal_throttling_raises_latency_lowers_bandwidth(self, device_a):
+        hot = device_a.at_temperature(100.0)
+        assert hot.idle_latency_ns() > device_a.idle_latency_ns()
+        assert hot.peak_bandwidth_gbps() < device_a.peak_bandwidth_gbps()
+
+    def test_paper_stress_test_temperature_harmless(self, device_a):
+        # The paper stress-tested at 70C without observing tail inflation.
+        warm = device_a.at_temperature(70.0)
+        assert warm.idle_latency_ns() == pytest.approx(
+            device_a.idle_latency_ns()
+        )
+
+    def test_with_tail_model_ablation(self, device_b, rng):
+        ideal = with_tail_model(device_b, NO_TAIL)
+        assert ideal.distribution(0.0).tail_gap_ns() == pytest.approx(0.0)
+
+    def test_impossible_profile_rejected(self):
+        from dataclasses import replace
+
+        bad = replace(CXL_A_PROFILE, idle_latency_ns=50.0)
+        with pytest.raises(CalibrationError):
+            CxlDevice(bad)

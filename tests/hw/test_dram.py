@@ -1,0 +1,84 @@
+"""DRAM model tests: timings, row-buffer behaviour, refresh, bandwidth."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.dram import DDR4, DDR5, DramBackend, DramTimings
+
+
+class TestTimings:
+    def test_latency_ordering(self):
+        for t in (DDR4, DDR5):
+            assert t.row_hit_ns < t.row_miss_ns < t.row_conflict_ns
+
+    def test_ddr5_higher_channel_bandwidth(self):
+        assert DDR5.channel_peak_gbps > DDR4.channel_peak_gbps
+
+    def test_channel_peak_values(self):
+        # 3.2 GT/s * 8 B = 25.6 GB/s; 4.8 GT/s * 8 B = 38.4 GB/s.
+        assert DDR4.channel_peak_gbps == pytest.approx(25.6)
+        assert DDR5.channel_peak_gbps == pytest.approx(38.4)
+
+    def test_refresh_duty_small(self):
+        assert 0.0 < DDR4.refresh_duty < 0.1
+        assert 0.0 < DDR5.refresh_duty < 0.1
+
+    def test_sustained_below_peak(self):
+        assert DDR4.channel_sustained_gbps < DDR4.channel_peak_gbps
+
+    def test_invalid_timings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramTimings(generation="bad", tCL=0.0, tRCD=1, tRP=1, tRFC=1,
+                        tREFI=1, transfer_gtps=1)
+
+
+class TestBackend:
+    def test_mean_access_between_hit_and_conflict(self):
+        b = DramBackend(timings=DDR4, channels=2)
+        assert DDR4.row_hit_ns < b.mean_access_ns() < DDR4.row_conflict_ns
+
+    def test_all_hits_equals_hit_latency(self):
+        b = DramBackend(timings=DDR4, channels=1, row_hit_rate=1.0,
+                        row_conflict_rate=0.0)
+        assert b.mean_access_ns() == pytest.approx(DDR4.row_hit_ns)
+
+    def test_bandwidth_scales_with_channels(self):
+        b1 = DramBackend(timings=DDR5, channels=1)
+        b8 = DramBackend(timings=DDR5, channels=8)
+        assert b8.peak_bandwidth_gbps() == pytest.approx(
+            8 * b1.peak_bandwidth_gbps()
+        )
+
+    def test_refresh_extra_positive(self):
+        b = DramBackend(timings=DDR4, channels=2)
+        assert b.refresh_extra_mean_ns() > 0.0
+
+    def test_miss_rate_complement(self):
+        b = DramBackend(timings=DDR4, channels=2, row_hit_rate=0.6,
+                        row_conflict_rate=0.1)
+        assert b.row_miss_rate == pytest.approx(0.3)
+
+    @given(
+        hit=st.floats(min_value=0.0, max_value=1.0),
+        conflict=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_mean_access_bounded(self, hit, conflict):
+        if hit + conflict > 1.0:
+            with pytest.raises(ConfigurationError):
+                DramBackend(timings=DDR5, channels=1, row_hit_rate=hit,
+                            row_conflict_rate=conflict)
+        else:
+            b = DramBackend(timings=DDR5, channels=1, row_hit_rate=hit,
+                            row_conflict_rate=conflict)
+            assert DDR5.row_hit_ns <= b.mean_access_ns() <= DDR5.row_conflict_ns
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramBackend(timings=DDR4, channels=0)
+
+    def test_jitter_positive(self):
+        b = DramBackend(timings=DDR4, channels=2)
+        assert b.access_jitter_ns() > 0.0

@@ -1,0 +1,67 @@
+"""Request-level event-driven device simulator tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.cxl.eventdevice import EventDrivenDevice
+
+
+class TestEventDevice:
+    def test_low_load_mean_near_idle(self, device_a):
+        sim = EventDrivenDevice(device_a)
+        result = sim.simulate(20_000, offered_gbps=2.0)
+        assert result.mean_ns == pytest.approx(
+            device_a.idle_latency_ns(), rel=0.3
+        )
+
+    def test_latency_grows_with_load(self, device_a):
+        sim = EventDrivenDevice(device_a)
+        light = sim.simulate(20_000, offered_gbps=2.0)
+        heavy = sim.simulate(20_000, offered_gbps=20.0)
+        assert heavy.mean_ns > light.mean_ns
+
+    def test_deterministic(self, device_b):
+        sim = EventDrivenDevice(device_b)
+        a = sim.simulate(5_000, offered_gbps=5.0)
+        b = sim.simulate(5_000, offered_gbps=5.0)
+        assert a.mean_ns == b.mean_ns
+
+    def test_device_ordering_preserved(self, device_a, device_c):
+        fast = EventDrivenDevice(device_a).simulate(15_000, 5.0)
+        slow = EventDrivenDevice(device_c).simulate(15_000, 5.0)
+        assert slow.mean_ns > fast.mean_ns
+
+    def test_bank_effects_recorded(self, device_a):
+        result = EventDrivenDevice(device_a).simulate(30_000, 10.0)
+        assert result.bank_conflicts > 0
+        assert result.refresh_collisions > 0
+
+    def test_percentiles_ordered(self, device_b):
+        result = EventDrivenDevice(device_b).simulate(30_000, 8.0)
+        assert result.percentile(50) < result.percentile(99)
+        assert result.tail_gap_ns() > 0
+
+    def test_clean_room_tails_below_calibrated_for_cxl_c(self, device_c):
+        """The §3.2 attribution: physics alone cannot explain CXL-C's
+        measured tails under load."""
+        sim = EventDrivenDevice(device_c)
+        load = 0.8 * device_c.peak_bandwidth_gbps()
+        result = sim.simulate(30_000, load)
+        analytic_gap = device_c.distribution(load).tail_gap_ns()
+        assert result.tail_gap_ns() < 0.5 * analytic_gap
+
+    def test_comparison_structure(self, device_d):
+        comparison = EventDrivenDevice(device_d).compare_with_analytic(
+            5.0, n_requests=10_000
+        )
+        assert set(comparison) >= {
+            "sim_mean_ns", "analytic_mean_ns", "sim_p99_ns",
+            "analytic_p99_ns",
+        }
+
+    def test_invalid_parameters_rejected(self, device_a):
+        sim = EventDrivenDevice(device_a)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(0, 5.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(100, 0.0)

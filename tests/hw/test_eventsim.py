@@ -1,0 +1,98 @@
+"""Event-driven simulator tests + agreement with the analytic closed loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.eventsim import simulate_closed_loop
+from repro.hw.queueing import solve_closed_loop
+
+
+class TestEventSim:
+    def test_single_client_no_queueing(self, rng):
+        result = simulate_closed_loop(
+            n_clients=1,
+            think_time_ns=0.0,
+            service_sampler=lambda rng: 100.0,
+            n_requests=500,
+            rng=rng,
+        )
+        assert result.mean_latency_ns == pytest.approx(100.0)
+
+    def test_queueing_with_contention(self, rng):
+        result = simulate_closed_loop(
+            n_clients=8,
+            think_time_ns=0.0,
+            service_sampler=lambda rng: 100.0,
+            n_requests=2000,
+            rng=rng,
+        )
+        # 8 clients on 1 server, deterministic 100ns: latency ~ 800ns.
+        assert result.mean_latency_ns == pytest.approx(800.0, rel=0.05)
+
+    def test_multiple_servers_reduce_latency(self, rng):
+        kwargs = dict(
+            n_clients=8,
+            think_time_ns=0.0,
+            service_sampler=lambda rng: 100.0,
+            n_requests=2000,
+        )
+        one = simulate_closed_loop(rng=np.random.default_rng(1), servers=1, **kwargs)
+        four = simulate_closed_loop(rng=np.random.default_rng(1), servers=4, **kwargs)
+        assert four.mean_latency_ns < one.mean_latency_ns
+
+    def test_think_time_reduces_contention(self, rng):
+        kwargs = dict(
+            n_clients=8,
+            service_sampler=lambda rng: 100.0,
+            n_requests=2000,
+        )
+        busy = simulate_closed_loop(
+            think_time_ns=0.0, rng=np.random.default_rng(2), **kwargs
+        )
+        idle = simulate_closed_loop(
+            think_time_ns=5000.0, rng=np.random.default_rng(2), **kwargs
+        )
+        assert idle.mean_latency_ns < busy.mean_latency_ns
+
+    def test_bandwidth_accounting(self, rng):
+        result = simulate_closed_loop(
+            n_clients=1,
+            think_time_ns=0.0,
+            service_sampler=lambda rng: 64.0,  # 64ns per 64B line
+            n_requests=1000,
+            rng=rng,
+        )
+        assert result.bandwidth_gbps(64) == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_closed_loop(0, 0.0, lambda r: 1.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_closed_loop(1, -1.0, lambda r: 1.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_closed_loop(1, 0.0, lambda r: 1.0, 0, rng)
+
+
+class TestAgreementWithAnalytic:
+    def test_unloaded_throughput_matches(self, rng):
+        """Event sim and analytic fixed point agree away from saturation."""
+        service = 120.0
+        think = 600.0
+        n = 4
+        sim = simulate_closed_loop(
+            n_clients=n,
+            think_time_ns=think,
+            service_sampler=lambda rng: service,
+            n_requests=20_000,
+            rng=rng,
+            servers=16,  # ample service: no queueing
+        )
+        _, analytic_bw = solve_closed_loop(
+            lambda load: service,
+            n_threads=n,
+            inject_delay_ns=think,
+            peak_gbps=1000.0,
+        )
+        # Exponential think times vs the analytic mean: agree within 10%.
+        assert sim.bandwidth_gbps(64) == pytest.approx(analytic_bw, rel=0.10)

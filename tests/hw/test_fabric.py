@@ -1,0 +1,74 @@
+"""Switched-fabric (memory box) tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.cxl import cxl_a, cxl_d
+from repro.hw.cxl.fabric import SwitchedFabric, cmm_b_class_box
+
+
+class TestSwitchedFabric:
+    def test_capacity_sums(self):
+        fabric = SwitchedFabric([cxl_d(), cxl_d()], uplink_gbps=60.0)
+        assert fabric.capacity_gb == pytest.approx(2 * 756)
+
+    def test_switch_adds_latency(self):
+        fabric = SwitchedFabric([cxl_d()], uplink_gbps=60.0)
+        assert fabric.idle_latency_ns() > cxl_d().idle_latency_ns()
+
+    def test_uplink_caps_bandwidth(self):
+        # Four CXL-Ds aggregate 200+ GB/s but the uplink allows 60.
+        fabric = SwitchedFabric([cxl_d() for _ in range(4)],
+                                uplink_gbps=60.0)
+        assert fabric.peak_bandwidth_gbps() <= 60.0
+
+    def test_single_member_below_uplink_unclipped(self):
+        fabric = SwitchedFabric([cxl_a()], uplink_gbps=100.0)
+        assert fabric.peak_bandwidth_gbps() == pytest.approx(
+            cxl_a().peak_bandwidth_gbps()
+        )
+
+    def test_uplink_bound_fabric_queues_earlier(self):
+        shared = SwitchedFabric([cxl_d() for _ in range(4)],
+                                uplink_gbps=60.0)
+        roomy = SwitchedFabric([cxl_d()], uplink_gbps=200.0)
+        assert shared.queue_model().onset_util < roomy.queue_model().onset_util
+
+    def test_tails_amplified(self):
+        fabric = SwitchedFabric([cxl_d()], uplink_gbps=60.0)
+        assert (
+            fabric.distribution(5.0).tail_gap_ns()
+            > cxl_d().distribution(5.0).tail_gap_ns()
+        )
+
+    def test_mismatched_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchedFabric([cxl_d(), cxl_a()], uplink_gbps=60.0)
+
+    def test_empty_fabric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchedFabric([], uplink_gbps=60.0)
+
+    def test_invalid_uplink_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchedFabric([cxl_d()], uplink_gbps=0.0)
+
+
+class TestCmmBClassBox:
+    def test_figure1_data_point(self):
+        """The paper's [15] citation: ~60 GB/s at ~600 ns, multi-TB."""
+        box = cmm_b_class_box()
+        assert box.peak_bandwidth_gbps() == pytest.approx(60.0)
+        assert 550.0 <= box.idle_latency_ns() <= 650.0
+        assert box.capacity_gb > 4000  # multi-TB pooled capacity
+
+    def test_member_count(self):
+        assert cmm_b_class_box(members=4).member_count == 4
+
+    def test_workloads_run_against_it(self, emr, simple_workload):
+        from repro.cpu.pipeline import run_workload
+
+        box = cmm_b_class_box(members=2)
+        base = run_workload(simple_workload, emr, emr.local_target())
+        result = run_workload(simple_workload, emr, box)
+        assert result.slowdown_vs(base) > 0.0

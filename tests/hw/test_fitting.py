@@ -1,0 +1,107 @@
+"""Model-fitting tests: round-trip recovery from known parameters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.hw.fitting import (
+    fit_device,
+    fit_queue_model,
+    fit_tail_model,
+    roundtrip_report,
+)
+from repro.tools.mio import MioBenchmark
+from repro.tools.mlc import MemoryLatencyChecker
+
+
+class TestTailFit:
+    def test_roundtrip_on_cxl_b(self, device_b, rng):
+        samples = device_b.sample_latencies(100_000, rng)
+        fit = fit_tail_model(samples)
+        # Base near the true deterministic base.
+        true_base = device_b.distribution(0.0).base_ns
+        assert fit.base_ns == pytest.approx(true_base, rel=0.1)
+        # Excursion probability and scale in the right regime.
+        true_tail = device_b.tail_model()
+        assert fit.tail.tail_prob_idle == pytest.approx(
+            true_tail.tail_prob_idle, rel=2.0, abs=0.02
+        )
+        assert fit.tail.tail_scale_idle_ns > 20.0
+
+    def test_fitted_tail_gap_matches_measurement(self, device_c, rng):
+        samples = device_c.sample_latencies(150_000, rng)
+        fit = fit_tail_model(samples)
+        measured_gap = float(
+            np.percentile(samples, 99.9) - np.percentile(samples, 50)
+        )
+        refit = fit.base_ns + fit.tail.sample_extra_ns(
+            150_000, 0.0, np.random.default_rng(1)
+        )
+        refit_gap = float(np.percentile(refit, 99.9) - np.percentile(refit, 50))
+        assert refit_gap == pytest.approx(measured_gap, rel=0.4)
+
+    def test_stable_device_fits_small_tail(self, local_target, rng):
+        samples = local_target.sample_latencies(80_000, rng)
+        fit = fit_tail_model(samples)
+        assert fit.tail.tail_prob_idle < 0.05
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_tail_model([100.0] * 10)
+
+
+class TestQueueFit:
+    def test_roundtrip_on_mlc_curve(self, device_a):
+        mlc = MemoryLatencyChecker()
+        curve = [
+            (p.bandwidth_gbps, p.latency_ns)
+            for p in mlc.loaded_latency_curve(device_a)
+        ]
+        model, peak = fit_queue_model(curve)
+        assert peak == pytest.approx(
+            device_a.peak_bandwidth_gbps(), rel=0.02
+        )
+        # Onset in the right band (CXL queues early).
+        assert model.onset_util < 0.9
+
+    def test_flat_curve_yields_late_onset(self):
+        curve = [(1.0, 100.0), (5.0, 100.0), (10.0, 100.0), (20.0, 100.5)]
+        model, _ = fit_queue_model(curve)
+        assert model.onset_util >= 0.9
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_queue_model([(1.0, 100.0), (2.0, 101.0)])
+
+
+class TestFitDevice:
+    def test_stand_in_tracks_original(self, device_b, rng):
+        mlc = MemoryLatencyChecker()
+        idle_samples = MioBenchmark(device_b, samples=80_000).measure()
+        curve = [
+            (p.bandwidth_gbps, p.latency_ns)
+            for p in mlc.loaded_latency_curve(device_b)
+        ]
+        fitted = fit_device("CXL-B-fit", idle_samples.latencies_ns, curve)
+        report = roundtrip_report(device_b, fitted, loads_gbps=(2.0, 10.0))
+        for load, errors in report.items():
+            assert errors["mean_error_ns"] < 60.0
+            assert errors["gap_error_ns"] < 120.0
+
+    def test_stand_in_usable_by_pipeline(self, device_b, emr,
+                                         simple_workload, rng):
+        from repro.cpu.pipeline import run_workload
+
+        idle = device_b.sample_latencies(60_000, rng)
+        mlc = MemoryLatencyChecker()
+        curve = [
+            (p.bandwidth_gbps, p.latency_ns)
+            for p in mlc.loaded_latency_curve(device_b)
+        ]
+        fitted = fit_device("fit", idle, curve)
+        base = run_workload(simple_workload, emr, emr.local_target())
+        original = run_workload(simple_workload, emr, device_b)
+        stand_in = run_workload(simple_workload, emr, fitted)
+        assert stand_in.slowdown_vs(base) == pytest.approx(
+            original.slowdown_vs(base), abs=12.0
+        )

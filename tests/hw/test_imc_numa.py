@@ -1,0 +1,99 @@
+"""Local DRAM (iMC) and NUMA target tests."""
+
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.hw.dram import DDR5, DramBackend
+from repro.hw.imc import IntegratedMemoryController, LocalDram
+from repro.hw.numa import NumaHop, NumaMemory
+from repro.hw.platform import EMR2S
+
+
+class TestLocalDram:
+    def test_idle_latency_calibrated(self, local_target):
+        assert local_target.idle_latency_ns() == pytest.approx(111.0)
+
+    def test_fabric_overhead_positive(self, local_target):
+        assert local_target.fabric_overhead_ns > 0.0
+
+    def test_queue_onset_high(self, local_target):
+        # Mature iMCs hold latency flat to ~90% utilization.
+        assert local_target.queue_model().onset_util >= 0.85
+
+    def test_impossible_calibration_rejected(self):
+        with pytest.raises(CalibrationError):
+            LocalDram(
+                name="bad",
+                capacity_gb=64,
+                idle_latency_ns=5.0,  # below chip-level latency
+                read_bandwidth_gbps=100.0,
+                dram=DramBackend(timings=DDR5, channels=8),
+            )
+
+    def test_write_bandwidth_below_read(self, local_target):
+        m = local_target.bandwidth_model()
+        assert m.write_gbps < m.read_gbps
+
+
+class TestNumaMemory:
+    def test_remote_latency_override(self, numa_target):
+        assert numa_target.idle_latency_ns() == pytest.approx(193.0)
+
+    def test_remote_slower_than_local(self, emr):
+        assert (
+            emr.numa_target().idle_latency_ns()
+            > emr.local_target().idle_latency_ns()
+        )
+
+    def test_remote_bandwidth_below_local(self, emr):
+        assert (
+            emr.numa_target().peak_bandwidth_gbps()
+            < emr.local_target().peak_bandwidth_gbps()
+        )
+
+    def test_composed_latency_without_override(self):
+        local = EMR2S.local_target()
+        numa = NumaMemory(local, NumaHop(latency_ns=80.0))
+        assert numa.idle_latency_ns() == pytest.approx(
+            local.idle_latency_ns() + 80.0
+        )
+
+    def test_two_hops_double_latency_add(self):
+        local = EMR2S.local_target()
+        hop = NumaHop(latency_ns=80.0)
+        one = NumaMemory(local, hop, hops=1)
+        two = NumaMemory(local, hop, hops=2)
+        assert two.idle_latency_ns() - local.idle_latency_ns() == pytest.approx(
+            2 * (one.idle_latency_ns() - local.idle_latency_ns())
+        )
+
+    def test_two_hops_halve_bandwidth(self):
+        local = EMR2S.local_target()
+        hop = NumaHop(latency_ns=80.0)
+        one = NumaMemory(local, hop, hops=1)
+        two = NumaMemory(local, hop, hops=2)
+        assert two.peak_bandwidth_gbps() == pytest.approx(
+            one.peak_bandwidth_gbps() / 2, rel=0.01
+        )
+
+    def test_full_duplex_mixed_peak(self, numa_target):
+        # UPI is full duplex: mixed traffic beats read-only (Figure 5 NUMA).
+        assert numa_target.peak_bandwidth_gbps(0.6) > (
+            numa_target.peak_bandwidth_gbps(1.0)
+        )
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaMemory(EMR2S.local_target(), NumaHop(), hops=0)
+
+    def test_invalid_hop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaHop(latency_ns=-1.0)
+
+
+class TestImcParameters:
+    def test_queue_model_uses_service_time(self):
+        imc = IntegratedMemoryController(queue_onset_util=0.9)
+        q = imc.queue_model(service_ns=25.0)
+        assert q.service_ns == pytest.approx(25.0)
+        assert q.onset_util == pytest.approx(0.9)

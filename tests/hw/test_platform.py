@@ -1,0 +1,76 @@
+"""Platform definition tests against Table 1."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import PLATFORMS, SKX2S, SKX8S, platform_by_name
+
+
+class TestTable1Calibration:
+    @pytest.mark.parametrize(
+        "name,local_lat,local_bw,remote_lat,remote_bw",
+        [
+            ("SPR2S", 114, 218, 191, 97),
+            ("EMR2S", 111, 246, 193, 120),
+            ("EMR2S'", 117, 236, 212, 119),
+            ("SKX2S", 90, 52, 140, 32),
+            ("SKX8S", 81, 109, 410, 7),
+        ],
+    )
+    def test_latency_bandwidth(self, name, local_lat, local_bw, remote_lat,
+                               remote_bw):
+        platform = platform_by_name(name)
+        assert platform.local_target().idle_latency_ns() == pytest.approx(local_lat)
+        assert platform.local_target().peak_bandwidth_gbps() == pytest.approx(
+            local_bw, rel=0.01
+        )
+        assert platform.numa_target().idle_latency_ns() == pytest.approx(remote_lat)
+        assert platform.numa_target().peak_bandwidth_gbps() == pytest.approx(
+            remote_bw, rel=0.01
+        )
+
+    def test_five_platforms(self):
+        assert len(PLATFORMS) == 5
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            platform_by_name("ICX2S")
+
+
+class TestMicroarchitecture:
+    def test_skx_cache_stall_focus_l2(self, skx):
+        assert skx.uarch.cache_stall_focus == "L2"
+
+    def test_emr_cache_stall_focus_l3(self, emr):
+        assert emr.uarch.cache_stall_focus == "L3"
+
+    def test_spr_bigger_buffers_than_skx(self, spr, skx):
+        assert spr.uarch.rob_entries > skx.uarch.rob_entries
+        assert spr.uarch.store_buffer_entries > skx.uarch.store_buffer_entries
+
+
+class TestLatencyConfigurations:
+    def test_skx2s_provides_190ns_config(self):
+        assert 190.0 in SKX2S.extra_latency_configs_ns
+        target = SKX2S.emulated_latency_target(190.0)
+        assert target.idle_latency_ns() == pytest.approx(190.0)
+
+    def test_skx8s_remote_is_two_hops(self):
+        assert SKX8S.remote_hops == 2
+
+    def test_emulated_latency_below_local_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SKX2S.emulated_latency_target(50.0)
+
+    def test_seven_latency_configurations_exist(self):
+        # Table 1 bold latencies: 140, 191, 193, 212, 410 (+190 emulated)
+        # plus local references; the paper counts 7 distinct configs.
+        latencies = set()
+        for platform in PLATFORMS.values():
+            latencies.add(platform.remote_latency_ns)
+            latencies.update(platform.extra_latency_configs_ns)
+        assert len(latencies) >= 6
+
+    def test_dram_generation_matches(self, emr, skx):
+        assert emr.dram_backend().timings.generation.startswith("DDR5")
+        assert skx.dram_backend().timings.generation.startswith("DDR4")

@@ -1,0 +1,86 @@
+"""Pooled-device (noisy neighbour) tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.pooling import SharedDeviceView, pool_views
+
+
+class TestSharedDeviceView:
+    def test_neighbours_raise_observed_idle_latency(self, device_b):
+        shared = SharedDeviceView(device_b, neighbour_gbps=10.0)
+        assert shared.idle_latency_ns() > device_b.idle_latency_ns()
+
+    def test_zero_neighbours_transparent(self, device_b):
+        shared = SharedDeviceView(device_b, neighbour_gbps=0.0)
+        assert shared.idle_latency_ns() == pytest.approx(
+            device_b.idle_latency_ns(), rel=0.01
+        )
+
+    def test_own_load_added_to_neighbour_load(self, device_b):
+        shared = SharedDeviceView(device_b, neighbour_gbps=8.0)
+        # Own 4 GB/s on top of 8 neighbour == direct 12 on the raw device
+        # (up to the read-fraction blend).
+        direct = device_b.distribution(12.0, 0.7)
+        via_view = shared.distribution(4.0, 0.7)
+        assert via_view.mean_ns == pytest.approx(direct.mean_ns, rel=0.02)
+
+    def test_available_bandwidth_shrinks(self, device_d):
+        shared = SharedDeviceView(device_d, neighbour_gbps=20.0)
+        assert (
+            shared.peak_bandwidth_gbps() < device_d.peak_bandwidth_gbps()
+        )
+
+    def test_neighbour_tails_propagate(self, device_b):
+        quiet = device_b.distribution(1.0)
+        noisy = SharedDeviceView(device_b, neighbour_gbps=10.0).distribution(
+            1.0
+        )
+        assert noisy.tail_gap_ns() > quiet.tail_gap_ns()
+
+    def test_saturating_neighbours_rejected(self, device_b):
+        with pytest.raises(ConfigurationError):
+            SharedDeviceView(device_b, neighbour_gbps=100.0)
+
+    def test_negative_neighbours_rejected(self, device_b):
+        with pytest.raises(ConfigurationError):
+            SharedDeviceView(device_b, neighbour_gbps=-1.0)
+
+
+class TestPoolViews:
+    def test_view_count(self):
+        from repro.hw.cxl import cxl_d
+
+        views = pool_views(cxl_d, hosts=4, per_neighbour_gbps=5.0)
+        assert len(views) == 4
+
+    def test_each_host_sees_other_tenants(self):
+        from repro.hw.cxl import cxl_d
+
+        views = pool_views(cxl_d, hosts=4, per_neighbour_gbps=5.0)
+        for view in views:
+            assert view.neighbour_gbps == pytest.approx(15.0)
+
+    def test_single_host_unshared(self):
+        from repro.hw.cxl import cxl_d
+
+        (view,) = pool_views(cxl_d, hosts=1, per_neighbour_gbps=5.0)
+        assert view.neighbour_gbps == 0.0
+
+    def test_zero_hosts_rejected(self):
+        from repro.hw.cxl import cxl_d
+
+        with pytest.raises(ConfigurationError):
+            pool_views(cxl_d, hosts=0, per_neighbour_gbps=5.0)
+
+
+class TestPipelineIntegration:
+    def test_workload_slows_under_neighbours(self, emr, device_b,
+                                             simple_workload):
+        from repro.cpu.pipeline import run_workload
+
+        base = run_workload(simple_workload, emr, emr.local_target())
+        alone = run_workload(simple_workload, emr, device_b)
+        shared = SharedDeviceView(device_b, neighbour_gbps=10.0)
+        crowded = run_workload(simple_workload, emr, shared)
+        assert crowded.slowdown_vs(base) > alone.slowdown_vs(base)

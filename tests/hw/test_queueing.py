@@ -1,0 +1,136 @@
+"""Queueing model tests: analytic delay shape + closed-loop fixed point."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.queueing import QueueModel, solve_closed_loop, utilization
+
+
+class TestQueueModel:
+    def test_no_delay_below_onset(self):
+        q = QueueModel(service_ns=20.0, onset_util=0.5)
+        assert q.delay_ns(0.0) == 0.0
+        assert q.delay_ns(0.49) == 0.0
+        assert q.delay_ns(0.5) == 0.0
+
+    def test_delay_grows_past_onset(self):
+        q = QueueModel(service_ns=20.0, onset_util=0.5)
+        assert q.delay_ns(0.7) > 0.0
+        assert q.delay_ns(0.9) > q.delay_ns(0.7)
+
+    def test_delay_capped_at_saturation(self):
+        q = QueueModel(service_ns=20.0, max_delay_ns=500.0)
+        assert q.delay_ns(1.0) == 500.0
+        assert q.delay_ns(5.0) == 500.0
+
+    def test_cap_applies_before_saturation(self):
+        q = QueueModel(service_ns=1000.0, max_delay_ns=100.0, onset_util=0.0)
+        assert q.delay_ns(0.999) == 100.0
+
+    def test_variability_scales_delay(self):
+        lo = QueueModel(service_ns=20.0, variability=0.5)
+        hi = QueueModel(service_ns=20.0, variability=2.0)
+        assert hi.delay_ns(0.95) > lo.delay_ns(0.95)
+
+    @given(util=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=60)
+    def test_delay_never_negative_never_exceeds_cap(self, util):
+        q = QueueModel(service_ns=15.0, onset_util=0.4, max_delay_ns=800.0)
+        delay = q.delay_ns(util)
+        assert 0.0 <= delay <= 800.0
+
+    @given(
+        u1=st.floats(min_value=0.0, max_value=1.0),
+        u2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_delay_monotone_in_utilization(self, u1, u2):
+        q = QueueModel(service_ns=15.0, onset_util=0.3)
+        lo, hi = sorted((u1, u2))
+        assert q.delay_ns(lo) <= q.delay_ns(hi)
+
+    def test_invalid_onset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueueModel(service_ns=10.0, onset_util=1.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueueModel(service_ns=-1.0)
+
+
+class TestUtilization:
+    def test_basic_ratio(self):
+        assert utilization(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_zero_load(self):
+        assert utilization(0.0, 100.0) == 0.0
+
+    def test_zero_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilization(10.0, 0.0)
+
+
+class TestClosedLoop:
+    @staticmethod
+    def _flat_latency(load):
+        return 100.0
+
+    def test_unloaded_latency_returned(self):
+        lat, bw = solve_closed_loop(
+            self._flat_latency, n_threads=1, inject_delay_ns=0.0,
+            peak_gbps=100.0,
+        )
+        assert lat == pytest.approx(100.0)
+        # One thread, one 64B line per 100ns: 0.64 GB/s.
+        assert bw == pytest.approx(0.64, rel=0.01)
+
+    def test_injected_delay_lowers_bandwidth(self):
+        _, bw_fast = solve_closed_loop(
+            self._flat_latency, 4, 0.0, peak_gbps=100.0
+        )
+        _, bw_slow = solve_closed_loop(
+            self._flat_latency, 4, 400.0, peak_gbps=100.0
+        )
+        assert bw_slow < bw_fast
+
+    def test_more_threads_more_bandwidth(self):
+        _, bw1 = solve_closed_loop(self._flat_latency, 1, 0.0, peak_gbps=100.0)
+        _, bw8 = solve_closed_loop(self._flat_latency, 8, 0.0, peak_gbps=100.0)
+        assert bw8 == pytest.approx(8 * bw1, rel=0.05)
+
+    def test_saturation_pins_bandwidth_and_inflates_latency(self):
+        lat, bw = solve_closed_loop(
+            self._flat_latency, n_threads=64, inject_delay_ns=0.0,
+            peak_gbps=1.0,
+        )
+        assert bw == pytest.approx(0.999, rel=0.01)
+        # Little's law: 64 threads * 64B / 1GB/s ~ 4096ns >> 100ns.
+        assert lat > 1000.0
+
+    def test_load_dependent_latency_converges(self):
+        def rising(load):
+            return 100.0 + 20.0 * load
+
+        lat, bw = solve_closed_loop(rising, 8, 50.0, peak_gbps=50.0)
+        # Fixed point: offered(bw) == bw within tolerance.
+        offered = 8 * 64.0 / (rising(bw) + 50.0)
+        assert offered == pytest.approx(bw, rel=0.02)
+
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        delay=st.floats(min_value=0.0, max_value=5000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bandwidth_never_exceeds_peak(self, n, delay):
+        _, bw = solve_closed_loop(self._flat_latency, n, delay, peak_gbps=10.0)
+        assert bw <= 10.0
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_closed_loop(self._flat_latency, 0, 0.0, peak_gbps=10.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_closed_loop(self._flat_latency, 1, -1.0, peak_gbps=10.0)

@@ -1,0 +1,131 @@
+"""Tail-model tests: probabilities, scaling, sampling, calibrated presets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.tail import DRAM_TAIL, NO_TAIL, NUMA_TAIL, TailModel
+
+
+class TestTailProbability:
+    def test_idle_probability_below_onset(self):
+        t = TailModel(tail_prob_idle=0.01, onset_util=0.5, prob_growth=1.0)
+        assert t.tail_prob(0.0) == pytest.approx(0.01)
+        assert t.tail_prob(0.49) == pytest.approx(0.01)
+
+    def test_probability_grows_past_onset(self):
+        t = TailModel(tail_prob_idle=0.01, onset_util=0.5, prob_growth=1.0)
+        assert t.tail_prob(0.75) > 0.01
+        assert t.tail_prob(0.9) > t.tail_prob(0.75)
+
+    def test_probability_capped_at_one(self):
+        t = TailModel(tail_prob_idle=0.5, onset_util=0.0, prob_growth=10.0)
+        assert t.tail_prob(1.0) == 1.0
+
+    @given(util=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_probability_in_unit_interval(self, util):
+        t = TailModel(tail_prob_idle=0.02, onset_util=0.3, prob_growth=0.5)
+        assert 0.0 <= t.tail_prob(util) <= 1.0
+
+
+class TestTailScale:
+    def test_scale_grows_with_load(self):
+        t = TailModel(tail_scale_idle_ns=100.0, onset_util=0.2, scale_growth=3.0)
+        assert t.tail_scale_ns(0.1) == pytest.approx(100.0)
+        assert t.tail_scale_ns(1.0) == pytest.approx(300.0)
+
+    def test_no_growth_when_factor_one(self):
+        t = TailModel(tail_scale_idle_ns=100.0, scale_growth=1.0, onset_util=0.0)
+        assert t.tail_scale_ns(0.9) == pytest.approx(100.0)
+
+
+class TestMeanExtra:
+    def test_mean_extra_includes_jitter_and_excursions(self):
+        t = TailModel(jitter_ns=10.0, tail_prob_idle=0.1,
+                      tail_scale_idle_ns=50.0, onset_util=1.0)
+        assert t.mean_extra_ns(0.0) == pytest.approx(10.0 + 0.1 * 50.0)
+
+    def test_mean_excursion_excludes_jitter(self):
+        t = TailModel(jitter_ns=10.0, tail_prob_idle=0.1,
+                      tail_scale_idle_ns=50.0, onset_util=1.0)
+        assert t.mean_excursion_ns(0.0) == pytest.approx(5.0)
+
+    def test_no_tail_preset_adds_nothing(self):
+        assert NO_TAIL.mean_extra_ns(0.0) == 0.0
+        assert NO_TAIL.mean_extra_ns(0.99) == 0.0
+
+
+class TestSampling:
+    def test_sample_count(self, rng):
+        samples = DRAM_TAIL.sample_extra_ns(1000, 0.0, rng)
+        assert samples.shape == (1000,)
+
+    def test_samples_non_negative(self, rng):
+        samples = DRAM_TAIL.sample_extra_ns(5000, 0.5, rng)
+        assert (samples >= 0.0).all()
+
+    def test_sample_mean_matches_analytic(self, rng):
+        t = TailModel(jitter_ns=20.0, tail_prob_idle=0.05,
+                      tail_scale_idle_ns=100.0, onset_util=1.0,
+                      tail_cap_ns=100000.0)
+        samples = t.sample_extra_ns(200_000, 0.0, rng)
+        assert samples.mean() == pytest.approx(t.mean_extra_ns(0.0), rel=0.05)
+
+    def test_excursions_capped(self, rng):
+        t = TailModel(jitter_ns=0.0, jitter_shape=1.0, tail_prob_idle=1.0,
+                      tail_scale_idle_ns=500.0, tail_cap_ns=800.0,
+                      onset_util=1.0)
+        samples = t.sample_extra_ns(10_000, 0.0, rng)
+        assert samples.max() <= 800.0 + 1e-9
+
+    def test_zero_samples_ok(self, rng):
+        assert DRAM_TAIL.sample_extra_ns(0, 0.0, rng).shape == (0,)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            DRAM_TAIL.sample_extra_ns(-1, 0.0, rng)
+
+
+class TestScaled:
+    def test_scaled_amplifies_probability(self):
+        scaled = DRAM_TAIL.scaled(prob_factor=5.0)
+        assert scaled.tail_prob_idle == pytest.approx(
+            DRAM_TAIL.tail_prob_idle * 5.0
+        )
+
+    def test_scaled_probability_capped(self):
+        t = TailModel(tail_prob_idle=0.5)
+        assert t.scaled(prob_factor=10.0).tail_prob_idle == 1.0
+
+    def test_scaled_amplifies_magnitude_and_cap(self):
+        scaled = DRAM_TAIL.scaled(scale_factor=3.0)
+        assert scaled.tail_scale_idle_ns == pytest.approx(
+            DRAM_TAIL.tail_scale_idle_ns * 3.0
+        )
+        assert scaled.tail_cap_ns == pytest.approx(DRAM_TAIL.tail_cap_ns * 3.0)
+
+
+class TestPresets:
+    def test_dram_more_stable_than_numa(self):
+        assert DRAM_TAIL.mean_extra_ns(0.0) < NUMA_TAIL.mean_extra_ns(0.0)
+
+    def test_presets_stable_until_high_utilization(self):
+        for preset in (DRAM_TAIL, NUMA_TAIL):
+            assert preset.onset_util >= 0.9
+
+
+class TestValidation:
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TailModel(jitter_ns=-1.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TailModel(tail_prob_idle=1.5)
+
+    def test_bad_onset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TailModel(onset_util=2.0)

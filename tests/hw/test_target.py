@@ -1,0 +1,97 @@
+"""MemoryTarget interface tests against the calibrated targets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SaturationError
+from repro.hw.target import LatencyDistribution, TargetSummary
+from repro.hw.tail import DRAM_TAIL, NO_TAIL
+
+
+class TestDistribution:
+    def test_mean_at_idle_matches_calibrated_idle(self, local_target):
+        dist = local_target.distribution(0.0)
+        assert dist.mean_ns == pytest.approx(
+            local_target.idle_latency_ns(), rel=0.01
+        )
+
+    def test_mean_grows_with_load(self, device_b):
+        lo = device_b.distribution(2.0).mean_ns
+        hi = device_b.distribution(20.0).mean_ns
+        assert hi > lo
+
+    def test_saturated_load_clamped(self, device_a):
+        # Loads beyond peak clamp to the 99.9% knee instead of diverging.
+        dist = device_a.distribution(1000.0)
+        assert dist.util == pytest.approx(0.999)
+        assert np.isfinite(dist.mean_ns)
+
+    def test_sampling_matches_mean(self, device_a, rng):
+        dist = device_a.distribution(5.0)
+        samples = dist.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(dist.mean_ns, rel=0.02)
+
+    def test_percentiles_ordered(self, device_b):
+        dist = device_b.distribution(0.0)
+        p50, p99, p999 = dist.percentiles([50, 99, 99.9])
+        assert p50 < p99 < p999
+
+    def test_tail_gap_positive(self, device_c):
+        assert device_c.distribution(0.0).tail_gap_ns() > 0.0
+
+    def test_percentile_deterministic(self, device_a):
+        d1 = device_a.distribution(5.0)
+        d2 = device_a.distribution(5.0)
+        assert d1.percentile(99.9) == d2.percentile(99.9)
+
+    def test_no_tail_distribution_is_deterministic(self, rng):
+        dist = LatencyDistribution(base_ns=100.0, tail=NO_TAIL, util=0.0)
+        samples = dist.sample(1000, rng)
+        assert np.allclose(samples, 100.0)
+
+
+class TestOpenLoopLatency:
+    def test_mean_latency_at_idle(self, local_target):
+        assert local_target.mean_latency_ns(0.0) == pytest.approx(
+            local_target.idle_latency_ns(), rel=0.01
+        )
+
+    def test_saturation_error_raised(self, device_a):
+        peak = device_a.peak_bandwidth_gbps()
+        with pytest.raises(SaturationError) as exc:
+            device_a.mean_latency_ns(peak + 1.0)
+        assert exc.value.target == device_a.name
+
+    def test_utilization_consistent(self, device_d):
+        peak = device_d.peak_bandwidth_gbps()
+        assert device_d.utilization(peak / 2) == pytest.approx(0.5)
+
+
+class TestTargetSummary:
+    def test_summary_of_device(self, device_a):
+        summary = TargetSummary.of(device_a)
+        assert summary.name == "CXL-A"
+        assert summary.idle_latency_ns == pytest.approx(214.0)
+        assert summary.read_bandwidth_gbps == pytest.approx(24.0)
+        assert summary.peak_bandwidth_gbps >= summary.read_bandwidth_gbps
+
+    def test_summary_of_local(self, local_target):
+        summary = TargetSummary.of(local_target)
+        # Shared DDR bus: read-only IS the peak.
+        assert summary.peak_bandwidth_gbps == pytest.approx(
+            summary.read_bandwidth_gbps
+        )
+
+
+class TestSampleLatencies:
+    def test_sample_shape_and_positivity(self, device_b, rng):
+        samples = device_b.sample_latencies(5000, rng, load_gbps=3.0)
+        assert samples.shape == (5000,)
+        assert (samples > 0).all()
+
+    def test_read_fraction_changes_operating_point(self, device_b, rng):
+        # Write-heavy traffic saturates CXL-B's weak write path sooner,
+        # raising utilization and therefore latency at equal load.
+        read_heavy = device_b.distribution(10.0, read_fraction=1.0)
+        write_heavy = device_b.distribution(10.0, read_fraction=0.5)
+        assert write_heavy.util > read_heavy.util

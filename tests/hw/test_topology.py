@@ -1,0 +1,113 @@
+"""Topology composition tests: CXL+NUMA, switch, interleaving."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.cxl import cxl_a, cxl_d
+from repro.hw.topology import (
+    SWITCH_LATENCY_NS,
+    CxlNumaTopology,
+    CxlSwitchTopology,
+    InterleavedTarget,
+    remote_view,
+)
+
+
+class TestRemoteView:
+    def test_remote_latency_matches_table1(self, device_a):
+        assert remote_view(device_a).idle_latency_ns() == pytest.approx(375.0)
+
+    def test_remote_bandwidth_matches_table1(self, device_a):
+        assert remote_view(device_a).peak_bandwidth_gbps() == pytest.approx(
+            14.0
+        )
+
+    def test_tail_amplified(self, device_a):
+        local_gap = device_a.distribution(3.0).tail_gap_ns()
+        remote_gap = remote_view(device_a).distribution(3.0).tail_gap_ns()
+        assert remote_gap > 2 * local_gap
+
+    def test_queue_onset_lowered(self, device_a):
+        remote = remote_view(device_a)
+        assert remote.queue_model().onset_util < device_a.queue_model().onset_util
+
+    def test_capacity_preserved(self, device_a):
+        assert remote_view(device_a).capacity_gb == device_a.capacity_gb
+
+    def test_per_device_hop_penalty_differs(self, device_a, device_c):
+        # Table 1: the NUMA-hop latency penalty varies per device
+        # (+161 ns for CXL-A, +227 ns for CXL-C).
+        penalty_a = remote_view(device_a).idle_latency_ns() - device_a.idle_latency_ns()
+        penalty_c = remote_view(device_c).idle_latency_ns() - device_c.idle_latency_ns()
+        assert penalty_a == pytest.approx(161.0)
+        assert penalty_c == pytest.approx(227.0)
+
+    def test_topology_class_matches_function(self, device_a):
+        topo = CxlNumaTopology(device_a)
+        view = remote_view(device_a)
+        assert topo.idle_latency_ns() == view.idle_latency_ns()
+        assert topo.name == view.name
+
+
+class TestSwitch:
+    def test_switch_adds_latency(self, device_a):
+        sw = CxlSwitchTopology(device_a)
+        assert sw.idle_latency_ns() == pytest.approx(
+            device_a.idle_latency_ns() + SWITCH_LATENCY_NS
+        )
+
+    def test_levels_stack(self, device_a):
+        two = CxlSwitchTopology(device_a, levels=2)
+        assert two.idle_latency_ns() == pytest.approx(
+            device_a.idle_latency_ns() + 2 * SWITCH_LATENCY_NS
+        )
+
+    def test_switch_reaches_600ns_class(self, device_c):
+        # Figure 1: switch-extended CXL around 600 ns.
+        sw = CxlSwitchTopology(device_c)
+        assert sw.idle_latency_ns() > 500.0
+
+    def test_bandwidth_slightly_reduced(self, device_a):
+        sw = CxlSwitchTopology(device_a)
+        assert sw.peak_bandwidth_gbps() < device_a.peak_bandwidth_gbps()
+        assert sw.peak_bandwidth_gbps() > 0.8 * device_a.peak_bandwidth_gbps()
+
+    def test_zero_levels_rejected(self, device_a):
+        with pytest.raises(ConfigurationError):
+            CxlSwitchTopology(device_a, levels=0)
+
+
+class TestInterleaving:
+    def test_bandwidth_sums(self):
+        il = InterleavedTarget([cxl_d(), cxl_d()])
+        assert il.peak_bandwidth_gbps() == pytest.approx(
+            2 * cxl_d().peak_bandwidth_gbps()
+        )
+
+    def test_interleave_reaches_104gbps(self):
+        # Figure 8f: two CXL-Ds interleave to ~104 GB/s read.
+        il = InterleavedTarget([cxl_d(), cxl_d()])
+        assert il.peak_bandwidth_gbps() == pytest.approx(104.0, rel=0.02)
+
+    def test_latency_unchanged(self):
+        il = InterleavedTarget([cxl_d(), cxl_d()])
+        assert il.idle_latency_ns() == pytest.approx(cxl_d().idle_latency_ns())
+
+    def test_capacity_sums(self):
+        il = InterleavedTarget([cxl_d(), cxl_d()])
+        assert il.capacity_gb == pytest.approx(2 * cxl_d().capacity_gb)
+
+    def test_single_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterleavedTarget([cxl_d()])
+
+    def test_mismatched_latencies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterleavedTarget([cxl_d(), cxl_a()])
+
+    def test_same_load_lower_utilization(self):
+        single = cxl_d()
+        il = InterleavedTarget([cxl_d(), cxl_d()])
+        assert il.utilization(40.0) == pytest.approx(
+            single.utilization(40.0) / 2
+        )

@@ -1,0 +1,115 @@
+"""CLI tests (driven through main() with captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestWorkloadsCommand:
+    def test_summary(self, capsys):
+        code, out = run_cli(capsys, "workloads")
+        assert code == 0
+        assert "total" in out and "265" in out
+
+    def test_suite_filter_verbose(self, capsys):
+        code, out = run_cli(capsys, "workloads", "--suite", "GAPBS", "-v")
+        assert code == 0
+        assert "bfs-twitter" in out
+        assert out.count("GAPBS") == 30
+
+
+class TestCharacterizeCommand:
+    def test_device_report(self, capsys):
+        code, out = run_cli(capsys, "characterize", "cxl-b",
+                            "--samples", "5000")
+        assert code == 0
+        assert "CXL-B" in out
+        assert "tail gap" in out
+        assert "CPMU" in out
+
+    def test_unknown_device(self, capsys):
+        code, _ = run_cli(capsys, "characterize", "cxl-z")
+        assert code == 2
+
+
+class TestSpaCommand:
+    def test_breakdown(self, capsys):
+        code, out = run_cli(capsys, "spa", "605.mcf_s", "--target", "cxl-a")
+        assert code == 0
+        assert "dominant source" in out
+        assert "dram" in out
+
+    def test_cxl_numa_target(self, capsys):
+        code, out = run_cli(capsys, "spa", "520.omnetpp_r",
+                            "--target", "cxl-a+numa")
+        assert code == 0
+        assert "CXL-A+NUMA" in out
+
+    def test_unknown_workload(self, capsys):
+        code, _ = run_cli(capsys, "spa", "does-not-exist")
+        assert code == 2
+
+
+class TestCampaignCommand:
+    def test_campaign_with_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code, out = run_cli(
+            capsys, "campaign", "--suite", "PARSEC",
+            "--targets", "cxl-a", "--sample", "4",
+            "--csv", str(csv_path),
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "records" in out
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys):
+        code, out = run_cli(capsys, "figures", "tab01")
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_unknown_filter(self, capsys):
+        code, out = run_cli(capsys, "figures", "fig99")
+        assert code == 1
+        assert "available" in out
+
+
+class TestFiguresExport:
+    def test_output_directory_written(self, capsys, tmp_path):
+        out = tmp_path / "figures"
+        code, _ = run_cli(capsys, "figures", "tab01", "--output", str(out))
+        assert code == 0
+        files = list(out.glob("*.txt"))
+        assert len(files) == 1
+        assert "Table 1" in files[0].read_text()
+
+
+class TestFitCommand:
+    def test_fit_from_files(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.hw.cxl import cxl_b
+        from repro.tools.mlc import MemoryLatencyChecker
+
+        rng = np.random.default_rng(5)
+        lat = tmp_path / "lat.txt"
+        np.savetxt(lat, cxl_b().sample_latencies(20_000, rng))
+        curve = tmp_path / "curve.csv"
+        mlc = MemoryLatencyChecker()
+        lines = ["# bw,lat"]
+        for p in mlc.loaded_latency_curve(cxl_b(), (0, 500, 2000, 20000)):
+            lines.append(f"{p.bandwidth_gbps},{p.latency_ns}")
+        curve.write_text("\n".join(lines) + "\n")
+
+        code, out = run_cli(capsys, "fit", str(lat), str(curve),
+                            "--workload", "redis-ycsb-c")
+        assert code == 0
+        assert "base latency" in out
+        assert "slowdown on the fitted device" in out

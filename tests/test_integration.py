@@ -1,0 +1,147 @@
+"""Cross-module integration tests: campaign -> Spa -> breakdown -> period."""
+
+import numpy as np
+import pytest
+
+from repro.core.melody import Campaign, Melody
+from repro.core.period import mean_slowdown, period_analysis
+from repro.core.spa import spa_analyze
+from repro.cpu.pipeline import PipelineConfig, run_workload
+from repro.workloads import all_workloads, workload_by_name
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def campaign_result(self):
+        from repro.hw.cxl import cxl_a
+        from repro.hw.platform import EMR2S
+
+        campaign = Campaign(
+            name="integration",
+            platform=EMR2S,
+            targets=(cxl_a(),),
+            workloads=all_workloads()[::20],
+        )
+        return Melody().run(campaign)
+
+    def test_spa_explains_every_campaign_record(self, campaign_result):
+        for base, run in campaign_result.pairs("CXL-A"):
+            breakdown = spa_analyze(base, run)
+            # The counter-based estimate must track the dataset's slowdown.
+            record = campaign_result.record(
+                base.workload.name, "CXL-A"
+            )
+            assert breakdown.estimates.actual == pytest.approx(
+                record.slowdown_pct, abs=3.0
+            )
+
+    def test_breakdown_components_explain_slowdowns(self, campaign_result):
+        for base, run in campaign_result.pairs("CXL-A"):
+            b = spa_analyze(base, run)
+            assert b.explained + b.other == pytest.approx(b.estimates.actual)
+
+    def test_component_signs(self, campaign_result):
+        """CXL never speeds memory up: DRAM component is non-negative
+        (within counter noise)."""
+        for base, run in campaign_result.pairs("CXL-A"):
+            b = spa_analyze(base, run)
+            assert b.components["dram"] > -1.0
+
+
+class TestWorkloadPeriodConsistency:
+    def test_period_mean_equals_workload_slowdown(self, emr, device_a):
+        workload = workload_by_name("602.gcc_s")
+        base = run_workload(workload, emr, emr.local_target())
+        cxl = run_workload(workload, emr, device_a)
+        periods = period_analysis(base, cxl, workload.instructions / 20)
+        workload_s = (cxl.cycles - base.cycles) / base.cycles * 100.0
+        assert mean_slowdown(periods) == pytest.approx(workload_s, abs=5.0)
+
+
+class TestDeterminismAcrossStack:
+    def test_full_stack_reproducible(self, emr, device_b):
+        workload = workload_by_name("605.mcf_s")
+
+        def one_pass():
+            base = run_workload(workload, emr, emr.local_target(),
+                                PipelineConfig(seed=99))
+            cxl = run_workload(workload, emr, device_b,
+                               PipelineConfig(seed=99))
+            return spa_analyze(base, cxl)
+
+        a, b = one_pass(), one_pass()
+        assert a.estimates.actual == b.estimates.actual
+        assert a.components == b.components
+
+
+class TestCrossPlatformConsistency:
+    def test_slowdown_patterns_similar_spr_emr(self, spr, emr, device_a):
+        """Figure 8e's claim at the integration level."""
+        workloads = all_workloads()[::24]
+        diffs = []
+        for w in workloads:
+            s = []
+            for platform in (spr, emr):
+                base = run_workload(w, platform, platform.local_target())
+                cxl = run_workload(w, platform, device_a)
+                s.append(cxl.slowdown_vs(base))
+            diffs.append(abs(s[0] - s[1]))
+        assert np.median(diffs) < 10.0
+
+    def test_skx_l2_focus_vs_emr_l3_focus(self, skx, emr):
+        """§5.4: cache slowdown lands on L2 for SKX, LLC for SPR/EMR."""
+        from repro.hw.cxl import cxl_b
+        from repro.workloads.base import WorkloadSpec
+
+        streaming = WorkloadSpec(
+            name="late-pf", suite="test",
+            l1_mpki=50.0, l2_mpki=30.0, l3_mpki=12.0, mlp=10.0,
+            prefetch_friendliness=0.9, prefetch_lead_ns=180.0,
+        )
+        results = {}
+        for platform in (skx, emr):
+            base = run_workload(streaming, platform, platform.local_target())
+            cxl = run_workload(streaming, platform, cxl_b())
+            results[platform.uarch.family] = spa_analyze(base, cxl)
+        assert (
+            results["SKX"].components["l2"] > results["SKX"].components["l3"]
+        )
+        assert (
+            results["EMR"].components["l3"] > results["EMR"].components["l2"]
+        )
+
+
+class TestAblations:
+    def test_no_tail_ablation_removes_omnetpp_anomaly(self, emr):
+        """DESIGN.md ablation: the CXL+NUMA anomaly is purely tail-driven."""
+        from repro.hw.cxl import cxl_a
+        from repro.hw.tail import NO_TAIL
+        from repro.hw.topology import ComposedTarget, remote_view
+
+        omnetpp = workload_by_name("520.omnetpp_r")
+        base = run_workload(omnetpp, emr, emr.local_target())
+        remote = remote_view(cxl_a())
+        with_tails = run_workload(omnetpp, emr, remote)
+        no_tails = ComposedTarget(
+            remote,
+            name="CXL-A+NUMA-notail",
+            idle_latency_ns=remote.idle_latency_ns(),
+            bandwidth=remote.bandwidth_model(),
+            queue=remote.queue_model(),
+            tail=NO_TAIL,
+        )
+        without = run_workload(omnetpp, emr, no_tails)
+        assert with_tails.slowdown_vs(base) > 100.0
+        assert without.slowdown_vs(base) < 40.0
+
+    def test_prefetcher_ablation_moves_stalls_to_dram(self, emr, device_b,
+                                                      simple_workload):
+        """Finding #4: disabling prefetchers converts cache stalls into
+        LLC-miss (DRAM) stalls."""
+        on = run_workload(simple_workload, emr, device_b,
+                          PipelineConfig(prefetchers_enabled=True))
+        off = run_workload(simple_workload, emr, device_b,
+                           PipelineConfig(prefetchers_enabled=False))
+        assert off.components.cache == pytest.approx(0.0)
+        assert off.components.s_dram > on.components.s_dram
+        assert off.cycles > on.cycles

@@ -1,0 +1,207 @@
+"""Stack-wide property-based tests (hypothesis).
+
+These tests construct synthetic memory targets and workloads from sampled
+parameters and assert the invariants the whole reproduction rests on:
+slowdowns grow with latency, shrink with bandwidth, counters keep their
+containment structure, and the Spa pipeline conserves its accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.pipeline import run_workload
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.platform import EMR2S
+from repro.hw.queueing import QueueModel
+from repro.hw.tail import TailModel
+from repro.hw.target import MemoryTarget
+from repro.workloads.base import WorkloadSpec
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class SyntheticTarget(MemoryTarget):
+    """A parametric target for property tests."""
+
+    def __init__(self, idle_ns: float, read_gbps: float,
+                 tail: TailModel = None, name: str = "synthetic"):
+        super().__init__(name, capacity_gb=1024.0)
+        self._idle = idle_ns
+        self._read = read_gbps
+        self._tail = tail or TailModel(
+            jitter_ns=10.0, tail_prob_idle=0.002, tail_scale_idle_ns=40.0,
+            onset_util=0.6, prob_growth=0.05, scale_growth=2.0,
+        )
+
+    def idle_latency_ns(self):
+        return self._idle
+
+    def bandwidth_model(self):
+        return BandwidthModel(
+            read_gbps=self._read, write_gbps=self._read * 0.4,
+            backend_gbps=self._read * 1.5,
+        )
+
+    def queue_model(self):
+        return QueueModel(service_ns=15.0, onset_util=0.6,
+                          max_delay_ns=1500.0)
+
+    def tail_model(self):
+        return self._tail
+
+
+def _workload(l3_mpki: float, mlp: float, coverage: float) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=f"prop-{l3_mpki:.2f}-{mlp:.1f}-{coverage:.2f}",
+        suite="property",
+        instructions=50_000_000,
+        l1_mpki=max(10.0, l3_mpki * 4),
+        l2_mpki=max(4.0, l3_mpki * 2),
+        l3_mpki=l3_mpki,
+        mlp=mlp,
+        prefetch_friendliness=coverage,
+        burst_fraction=0.0,
+    )
+
+
+class TestSlowdownMonotonicity:
+    @given(
+        idle1=st.floats(min_value=120.0, max_value=350.0),
+        idle2=st.floats(min_value=120.0, max_value=350.0),
+        l3=st.floats(min_value=0.2, max_value=8.0),
+    )
+    @SETTINGS
+    def test_slowdown_monotone_in_idle_latency(self, idle1, idle2, l3):
+        lo, hi = sorted((idle1, idle2))
+        workload = _workload(l3, mlp=3.0, coverage=0.4)
+        base = run_workload(workload, EMR2S, EMR2S.local_target())
+        s_lo = run_workload(
+            workload, EMR2S, SyntheticTarget(lo, 30.0, name="lo")
+        ).slowdown_vs(base)
+        s_hi = run_workload(
+            workload, EMR2S, SyntheticTarget(hi, 30.0, name="hi")
+        ).slowdown_vs(base)
+        assert s_hi >= s_lo - 0.5  # counter-noise head-room
+
+    @given(
+        bw1=st.floats(min_value=8.0, max_value=80.0),
+        bw2=st.floats(min_value=8.0, max_value=80.0),
+    )
+    @SETTINGS
+    def test_slowdown_antitone_in_bandwidth(self, bw1, bw2):
+        lo, hi = sorted((bw1, bw2))
+        workload = _workload(20.0, mlp=12.0, coverage=0.9)
+        base = run_workload(workload, EMR2S, EMR2S.local_target())
+        s_small = run_workload(
+            workload, EMR2S, SyntheticTarget(220.0, lo, name="bw-lo")
+        ).slowdown_vs(base)
+        s_big = run_workload(
+            workload, EMR2S, SyntheticTarget(220.0, hi, name="bw-hi")
+        ).slowdown_vs(base)
+        assert s_big <= s_small + 0.5
+
+    @given(
+        l3a=st.floats(min_value=0.05, max_value=6.0),
+        l3b=st.floats(min_value=0.05, max_value=6.0),
+    )
+    @SETTINGS
+    def test_slowdown_monotone_in_miss_rate(self, l3a, l3b):
+        lo, hi = sorted((l3a, l3b))
+        target = SyntheticTarget(280.0, 25.0)
+        results = []
+        for l3 in (lo, hi):
+            workload = _workload(l3, mlp=2.5, coverage=0.3)
+            base = run_workload(workload, EMR2S, EMR2S.local_target())
+            results.append(
+                run_workload(workload, EMR2S, target).slowdown_vs(base)
+            )
+        assert results[1] >= results[0] - 0.5
+
+
+class TestPipelineInvariants:
+    @given(
+        l3=st.floats(min_value=0.05, max_value=15.0),
+        mlp=st.floats(min_value=1.0, max_value=16.0),
+        coverage=st.floats(min_value=0.0, max_value=0.95),
+        idle=st.floats(min_value=130.0, max_value=500.0),
+    )
+    @SETTINGS
+    def test_counters_containment_everywhere(self, l3, mlp, coverage, idle):
+        workload = _workload(l3, mlp, coverage)
+        target = SyntheticTarget(idle, 30.0)
+        counters = run_workload(workload, EMR2S, target).counters
+        # Adjacent counters can be equal up to independent measurement
+        # noise, so containment holds to a relative tolerance -- the same
+        # reality repro.core.spa.check_counters accommodates.
+        slack = 1.01
+        assert counters.bound_on_loads * slack >= counters.stalls_l1d_miss
+        assert counters.stalls_l1d_miss * slack >= counters.stalls_l2_miss
+        assert counters.stalls_l2_miss * slack >= counters.stalls_l3_miss
+        assert counters.stalls_l3_miss >= -1e-6
+
+    @given(
+        l3=st.floats(min_value=0.05, max_value=15.0),
+        idle=st.floats(min_value=130.0, max_value=500.0),
+    )
+    @SETTINGS
+    def test_components_sum_to_cycles(self, l3, idle):
+        workload = _workload(l3, 4.0, 0.5)
+        target = SyntheticTarget(idle, 30.0)
+        result = run_workload(workload, EMR2S, target)
+        c = result.components
+        total = (
+            c.base + c.s_l1 + c.s_l2 + c.s_l3 + c.s_dram + c.s_store
+            + c.s_core + c.s_other
+        )
+        assert total == pytest.approx(result.cycles)
+
+    @given(idle=st.floats(min_value=130.0, max_value=500.0))
+    @SETTINGS
+    def test_cxl_never_faster_than_local(self, idle):
+        workload = _workload(2.0, 3.0, 0.5)
+        base = run_workload(workload, EMR2S, EMR2S.local_target())
+        cxl = run_workload(workload, EMR2S, SyntheticTarget(idle, 30.0))
+        assert cxl.cycles >= base.cycles * 0.999
+
+
+class TestDistributionInvariants:
+    @given(
+        load=st.floats(min_value=0.0, max_value=60.0),
+        idle=st.floats(min_value=100.0, max_value=600.0),
+    )
+    @SETTINGS
+    def test_distribution_mean_at_least_base(self, load, idle):
+        target = SyntheticTarget(idle, 40.0)
+        dist = target.distribution(load)
+        assert dist.mean_ns >= dist.base_ns
+
+    @given(
+        load1=st.floats(min_value=0.0, max_value=35.0),
+        load2=st.floats(min_value=0.0, max_value=35.0),
+    )
+    @SETTINGS
+    def test_mean_latency_monotone_in_load(self, load1, load2):
+        lo, hi = sorted((load1, load2))
+        target = SyntheticTarget(200.0, 40.0)
+        assert (
+            target.distribution(hi).mean_ns
+            >= target.distribution(lo).mean_ns - 1e-9
+        )
+
+    @given(
+        idle=st.floats(min_value=100.0, max_value=600.0),
+        n=st.integers(min_value=100, max_value=5000),
+    )
+    @SETTINGS
+    def test_samples_never_below_base(self, idle, n):
+        target = SyntheticTarget(idle, 40.0)
+        rng = np.random.default_rng(0)
+        dist = target.distribution(3.0)
+        samples = dist.sample(n, rng)
+        assert (samples >= dist.base_ns - 1e-9).all()

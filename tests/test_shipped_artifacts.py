@@ -1,0 +1,69 @@
+"""Shipped-artifact consistency: the committed dataset matches the code.
+
+The repository ships `data/emr_campaign.csv` (the paper-scale campaign
+dataset). These tests reload it and verify (a) the schema survives,
+(b) the stored slowdowns re-derive from the stored counters, and
+(c) a spot-checked record matches a fresh simulation -- so the artifact
+can never silently drift from the library that claims to have produced it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import load_csv
+
+DATASET = Path(__file__).resolve().parent.parent / "data" / "emr_campaign.csv"
+
+pytestmark = pytest.mark.skipif(
+    not DATASET.exists(), reason="shipped dataset not generated"
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return load_csv(DATASET)
+
+
+class TestShippedDataset:
+    def test_population_coverage(self, records):
+        workloads = {r.workload for r in records}
+        targets = {r.target for r in records}
+        assert len(workloads) == 265
+        assert {"CXL-A", "CXL-B", "CXL-D"} <= targets
+
+    def test_counters_consistent_with_slowdown(self, records):
+        """Counter-derived cycles ratio reproduces the stored slowdown."""
+        for r in records[::97]:
+            derived = (
+                r.counters["cxl_cycles"] / r.counters["base_cycles"] - 1.0
+            ) * 100.0
+            assert derived == pytest.approx(r.slowdown_pct, abs=2.0)
+
+    def test_containment_in_stored_counters(self, records):
+        for r in records[::53]:
+            for prefix in ("base", "cxl"):
+                assert (
+                    r.counters[f"{prefix}_bound_on_loads"]
+                    >= r.counters[f"{prefix}_stalls_l1d_miss"]
+                    >= r.counters[f"{prefix}_stalls_l2_miss"]
+                    >= r.counters[f"{prefix}_stalls_l3_miss"]
+                    >= 0.0
+                )
+
+    def test_spot_check_against_fresh_simulation(self, records):
+        from repro.cpu.pipeline import run_workload
+        from repro.hw.cxl import cxl_a
+        from repro.hw.platform import EMR2S
+        from repro.workloads import workload_by_name
+
+        stored = next(
+            r for r in records
+            if r.workload == "605.mcf_s" and r.target == "CXL-A"
+        )
+        workload = workload_by_name("605.mcf_s")
+        base = run_workload(workload, EMR2S, EMR2S.local_target())
+        run = run_workload(workload, EMR2S, cxl_a())
+        assert run.slowdown_vs(base) == pytest.approx(
+            stored.slowdown_pct, abs=0.5
+        )

@@ -1,0 +1,69 @@
+"""Unit-conversion and RNG-plumbing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng, units
+
+
+class TestUnits:
+    def test_cycles_ns_roundtrip(self):
+        assert units.ns_to_cycles(units.cycles_to_ns(420.0, 2.1), 2.1) == (
+            pytest.approx(420.0)
+        )
+
+    def test_cycles_to_ns_at_2ghz(self):
+        assert units.cycles_to_ns(200.0, 2.0) == pytest.approx(100.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.ns_to_cycles(1.0, -1.0)
+
+    def test_bandwidth_line_conversion_roundtrip(self):
+        gbps = 24.0
+        lines = units.gbps_to_lines_per_ns(gbps)
+        assert units.lines_per_ns_to_gbps(lines) == pytest.approx(gbps)
+
+    def test_one_line_per_ns_is_64_gbps(self):
+        assert units.lines_per_ns_to_gbps(1.0) == pytest.approx(64.0)
+
+    def test_bytes_to_gb(self):
+        assert units.bytes_to_gb(units.GB) == pytest.approx(1.0)
+
+    @given(
+        ns=st.floats(min_value=0.0, max_value=1e6),
+        freq=st.floats(min_value=0.5, max_value=5.0),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, ns, freq):
+        assert units.cycles_to_ns(
+            units.ns_to_cycles(ns, freq), freq
+        ) == pytest.approx(ns, abs=1e-6)
+
+
+class TestRng:
+    def test_same_keys_same_seed(self):
+        assert rng.derive_seed(1, "a", "b") == rng.derive_seed(1, "a", "b")
+
+    def test_different_keys_different_seed(self):
+        assert rng.derive_seed(1, "a") != rng.derive_seed(1, "b")
+
+    def test_different_roots_different_seed(self):
+        assert rng.derive_seed(1, "a") != rng.derive_seed(2, "a")
+
+    def test_key_order_matters(self):
+        assert rng.derive_seed(1, "a", "b") != rng.derive_seed(1, "b", "a")
+
+    def test_generator_reproducible(self):
+        a = rng.generator_for(7, "x").random(5)
+        b = rng.generator_for(7, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_seed_fits_32_bits(self):
+        for key in ("short", "a-much-longer-key-with-dashes", ""):
+            seed = rng.derive_seed(0xFFFFFFFF, key)
+            assert 0 <= seed <= 0xFFFFFFFF

@@ -1,0 +1,117 @@
+"""MIO microbenchmark tests: tails, grouping, noise, prefetch emulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.tools.mio import MioBenchmark
+from repro.tools.trafficgen import TrafficLoad
+
+
+def _mio(target, **kwargs):
+    kwargs.setdefault("samples", 20_000)
+    return MioBenchmark(target, **kwargs)
+
+
+class TestBasicMeasurement:
+    def test_median_near_idle_latency(self, device_a):
+        result = _mio(device_a).measure()
+        assert result.percentile(50) == pytest.approx(
+            device_a.idle_latency_ns(), rel=0.05
+        )
+
+    def test_deterministic(self, device_a):
+        a = _mio(device_a).measure()
+        b = _mio(device_a).measure()
+        assert np.array_equal(a.latencies_ns, b.latencies_ns)
+
+    def test_tail_gap_ordering_matches_paper(self, local_target, numa_target,
+                                             device_b, device_d):
+        """Finding #1b: local < NUMA < CXL-D < CXL-B tail gaps."""
+        gaps = [
+            _mio(t).measure().tail_gap_ns()
+            for t in (local_target, numa_target, device_d, device_b)
+        ]
+        assert gaps == sorted(gaps)
+
+    def test_local_gap_around_45ns(self, local_target):
+        gap = _mio(local_target, samples=50_000).measure().tail_gap_ns()
+        assert 25.0 < gap < 70.0
+
+    def test_cxl_b_gap_around_160ns(self, device_b):
+        gap = _mio(device_b, samples=50_000).measure().tail_gap_ns()
+        assert 120.0 < gap < 220.0
+
+    def test_cdf_monotone(self, device_c):
+        grid, fractions = _mio(device_c).measure().cdf()
+        assert (np.diff(fractions) >= 0).all()
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestGrouping:
+    def test_grouping_thins_tails(self, device_b):
+        single = _mio(device_b, group_size=1).measure()
+        grouped = _mio(device_b, group_size=8).measure()
+        assert grouped.tail_gap_ns() < single.tail_gap_ns()
+
+    def test_grouping_preserves_mean(self, device_b):
+        single = _mio(device_b, group_size=1).measure()
+        grouped = _mio(device_b, group_size=8).measure()
+        assert grouped.latencies_ns.mean() == pytest.approx(
+            single.latencies_ns.mean(), rel=0.02
+        )
+
+    def test_invalid_group_rejected(self, device_a):
+        with pytest.raises(MeasurementError):
+            MioBenchmark(device_a, group_size=0)
+
+
+class TestThreadsAndNoise:
+    def test_threads_raise_load(self, device_a):
+        mio = _mio(device_a)
+        one = mio.measure(n_threads=1)
+        many = mio.measure(n_threads=32)
+        assert many.achieved_gbps > one.achieved_gbps
+
+    def test_pointer_chase_stays_under_half_bandwidth(self, device_a):
+        """§3.2: 32 chase threads never exceed 50% device bandwidth."""
+        result = _mio(device_a).measure(n_threads=32)
+        assert result.achieved_gbps < 0.5 * device_a.peak_bandwidth_gbps()
+
+    def test_background_noise_worsens_cxl_tails(self, device_b):
+        mio = _mio(device_b)
+        quiet = mio.measure()
+        noisy = mio.measure(
+            background=TrafficLoad(4, 0.5, 12.0, 0.55), read_fraction=0.5
+        )
+        assert noisy.tail_gap_ns() > quiet.tail_gap_ns()
+
+    def test_background_noise_spares_local(self, local_target):
+        mio = _mio(local_target)
+        quiet = mio.measure()
+        noisy = mio.measure(
+            background=TrafficLoad(4, 0.5, 120.0, 0.55), read_fraction=0.5
+        )
+        assert noisy.tail_gap_ns() < 2 * quiet.tail_gap_ns()
+
+    def test_tail_vs_utilization_sweep(self, device_a):
+        gaps = _mio(device_a).tail_vs_utilization((0.0, 0.5, 0.9))
+        assert gaps[0.9] > gaps[0.0]
+
+    def test_invalid_utilization_rejected(self, device_a):
+        with pytest.raises(MeasurementError):
+            _mio(device_a).tail_vs_utilization((1.5,))
+
+
+class TestPrefetchEmulation:
+    def test_prefetch_collapses_median(self, device_b):
+        mio = _mio(device_b)
+        off = mio.measure(prefetchers_on=False)
+        on = mio.measure(prefetchers_on=True)
+        assert on.percentile(50) < 0.3 * off.percentile(50)
+
+    def test_prefetch_does_not_eliminate_tails(self, device_b, local_target):
+        """Finding #1d: prefetchers hide averages, not CXL tails."""
+        cxl_on = _mio(device_b).measure(prefetchers_on=True)
+        local_on = _mio(local_target).measure(prefetchers_on=True)
+        assert cxl_on.percentile(99.9) > 2 * local_on.percentile(99.9)

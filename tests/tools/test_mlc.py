@@ -1,0 +1,93 @@
+"""MLC work-alike tests: loaded latency curves and ratio sweeps."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.tools.mlc import RW_RATIOS, MemoryLatencyChecker
+
+
+@pytest.fixture
+def mlc():
+    return MemoryLatencyChecker()
+
+
+class TestMatrices:
+    def test_latency_matrix(self, mlc, local_target, device_a):
+        matrix = mlc.latency_matrix([local_target, device_a])
+        assert matrix["CXL-A"] == pytest.approx(214.0)
+        assert matrix[local_target.name] == pytest.approx(111.0)
+
+    def test_bandwidth_matrix(self, mlc, local_target, device_a):
+        matrix = mlc.bandwidth_matrix([local_target, device_a])
+        assert matrix["CXL-A"] == pytest.approx(24.0, rel=0.02)
+
+
+class TestLoadedLatency:
+    def test_idle_point_at_large_delay(self, mlc, device_a):
+        point = mlc.loaded_latency_point(device_a, 40_000)
+        assert point.latency_ns == pytest.approx(
+            device_a.idle_latency_ns(), rel=0.02
+        )
+
+    def test_zero_delay_saturates(self, mlc, device_a):
+        point = mlc.loaded_latency_point(device_a, 0)
+        assert point.bandwidth_gbps == pytest.approx(24.0, rel=0.02)
+        assert point.latency_ns > 2 * device_a.idle_latency_ns()
+
+    def test_curve_monotone(self, mlc, device_b):
+        curve = mlc.loaded_latency_curve(device_b, (0, 500, 2000, 20000))
+        by_bw = sorted(curve, key=lambda p: p.bandwidth_gbps)
+        lats = [p.latency_ns for p in by_bw]
+        assert lats == sorted(lats)
+
+    def test_local_flat_until_saturation(self, mlc, local_target):
+        curve = mlc.loaded_latency_curve(local_target, (500, 2000, 20000))
+        lats = [p.latency_ns for p in curve]
+        assert max(lats) - min(lats) < 5.0
+
+    def test_cxl_saturation_wall_above_1us(self, mlc, device_b):
+        # Figure 3a: CXL-B spikes past 1 us at the wall.
+        point = mlc.loaded_latency_point(device_b, 0)
+        assert point.latency_ns > 1000.0
+
+    def test_negative_delay_rejected(self, mlc, device_a):
+        with pytest.raises(MeasurementError):
+            mlc.loaded_latency_point(device_a, -1)
+
+
+class TestRwRatios:
+    def test_six_paper_ratios(self):
+        assert set(RW_RATIOS) == {"1:0", "4:1", "3:1", "2:1", "3:2", "1:1"}
+
+    def test_local_peaks_read_only(self, mlc, local_target):
+        peaks = mlc.peak_bandwidth_by_ratio(local_target)
+        assert max(peaks, key=lambda k: peaks[k]) == "1:0"
+
+    def test_fpga_peaks_read_only(self, mlc, device_c):
+        """CXL-C cannot exploit the bidirectional link (Finding #1e)."""
+        peaks = mlc.peak_bandwidth_by_ratio(device_c)
+        assert max(peaks, key=lambda k: peaks[k]) == "1:0"
+
+    def test_asic_peaks_mixed(self, mlc, device_a, device_d):
+        for device in (device_a, device_d):
+            peaks = mlc.peak_bandwidth_by_ratio(device)
+            best = max(peaks, key=lambda k: peaks[k])
+            assert best != "1:0"
+            assert best != "1:1"
+
+    def test_cxl_d_peak_at_3_to_1(self, mlc, device_d):
+        peaks = mlc.peak_bandwidth_by_ratio(device_d)
+        assert peaks["3:1"] == pytest.approx(max(peaks.values()))
+        assert peaks["3:1"] == pytest.approx(59.0, rel=0.02)
+
+    def test_ratio_curves_structure(self, mlc, device_a):
+        curves = mlc.rw_ratio_curves(device_a, delays_cycles=(0, 2000))
+        assert set(curves) == set(RW_RATIOS)
+        for curve in curves.values():
+            assert len(curve) == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(MeasurementError):
+            MemoryLatencyChecker(freq_ghz=0.0)
+        with pytest.raises(MeasurementError):
+            MemoryLatencyChecker(n_threads=0)

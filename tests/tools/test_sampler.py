@@ -1,0 +1,99 @@
+"""Time sampler tests: window structure and counter conservation."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.pipeline import run_workload
+from repro.errors import MeasurementError
+from repro.tools.sampler import TimeSampler
+
+
+class TestWindows:
+    def test_instructions_conserved(self, phased_workload, emr, device_a):
+        run = run_workload(phased_workload, emr, device_a)
+        windows = TimeSampler(noise=0.0).sample(run)
+        total = sum(w.counters.instructions for w in windows)
+        assert total == pytest.approx(run.instructions, rel=1e-6)
+
+    def test_cycles_conserved(self, phased_workload, emr, device_a):
+        run = run_workload(phased_workload, emr, device_a)
+        windows = TimeSampler(noise=0.0).sample(run)
+        total = sum(w.counters.cycles for w in windows)
+        # Windows slice the PMU *readings* (noise included), so the sum
+        # reconstructs the counter-reported cycles, not the model's.
+        assert total == pytest.approx(run.counters.cycles, rel=1e-9)
+
+    def test_window_durations(self, simple_workload, emr, device_a):
+        run = run_workload(simple_workload, emr, device_a)
+        windows = TimeSampler(window_ms=1.0).sample(run)
+        for w in windows[:-1]:
+            assert w.duration_ms == pytest.approx(1.0)
+        assert 0.0 < windows[-1].duration_ms <= 1.0
+
+    def test_windows_contiguous(self, simple_workload, emr, device_a):
+        run = run_workload(simple_workload, emr, device_a)
+        windows = TimeSampler().sample(run)
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.t_start_ms == pytest.approx(prev.t_end_ms)
+
+    def test_total_duration_matches_runtime(self, simple_workload, emr,
+                                            device_a):
+        run = run_workload(simple_workload, emr, device_a)
+        windows = TimeSampler().sample(run)
+        assert windows[-1].t_end_ms == pytest.approx(
+            run.time_s * 1e3, rel=1e-6
+        )
+
+    def test_phase_boundary_straddled(self, phased_workload, emr, device_a):
+        """Windows crossing a phase boundary blend both phases' rates."""
+        run = run_workload(phased_workload, emr, device_a)
+        windows = TimeSampler(noise=0.0).sample(run)
+        rates = [w.counters.instructions / w.duration_ms for w in windows[:-1]]
+        # Hot phase first (lower IPS), cold phase later (higher IPS).
+        assert rates[-1] > rates[0]
+
+    def test_max_windows_respected(self, simple_workload, emr, device_a):
+        run = run_workload(simple_workload, emr, device_a)
+        windows = TimeSampler().sample(run, max_windows=10)
+        assert len(windows) == 10
+
+
+class TestLatencyReadings:
+    def test_latency_recorded_with_target(self, simple_workload, emr,
+                                          device_c):
+        run = run_workload(simple_workload, emr, device_c)
+        windows = TimeSampler().sample(run, target=device_c)
+        lats = np.array([w.latency_ns for w in windows])
+        assert np.median(lats) == pytest.approx(
+            device_c.idle_latency_ns(), rel=0.15
+        )
+
+    def test_episodes_create_spikes_on_tail_device(self, emr, device_c):
+        """Figure 7a: CXL-C shows latency spikes even at low bandwidth."""
+        from repro.workloads import workload_by_name
+
+        namd = workload_by_name("508.namd_r")
+        run = run_workload(namd, emr, device_c)
+        windows = TimeSampler().sample(run, target=device_c, max_windows=2000)
+        lats = np.array([w.latency_ns for w in windows])
+        assert lats.max() > 1.5 * np.median(lats)
+
+    def test_local_stays_stable(self, emr, local_target):
+        from repro.workloads import workload_by_name
+
+        namd = workload_by_name("508.namd_r")
+        run = run_workload(namd, emr, local_target)
+        windows = TimeSampler().sample(run, target=local_target,
+                                       max_windows=2000)
+        lats = np.array([w.latency_ns for w in windows])
+        assert lats.max() < 2.0 * np.median(lats)
+
+
+class TestValidation:
+    def test_bad_window_rejected(self):
+        with pytest.raises(MeasurementError):
+            TimeSampler(window_ms=0.0)
+
+    def test_bad_noise_rejected(self):
+        with pytest.raises(MeasurementError):
+            TimeSampler(noise=-0.5)

@@ -1,0 +1,43 @@
+"""Traffic generator tests."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.tools.trafficgen import TrafficGenerator
+
+
+class TestTrafficGenerator:
+    def test_zero_threads_zero_load(self, device_a):
+        load = TrafficGenerator(device_a).offered_load(0)
+        assert load.bandwidth_gbps == 0.0
+        assert load.utilization == 0.0
+
+    def test_load_monotone_in_threads(self, device_b):
+        gen = TrafficGenerator(device_b, read_fraction=0.7)
+        loads = [gen.offered_load(n).bandwidth_gbps for n in (1, 2, 4, 8)]
+        assert loads == sorted(loads)
+
+    def test_load_saturates(self, device_b):
+        gen = TrafficGenerator(device_b, read_fraction=0.7)
+        big = gen.offered_load(64)
+        assert big.utilization == pytest.approx(0.999, abs=0.01)
+        assert big.bandwidth_gbps <= device_b.peak_bandwidth_gbps(0.7)
+
+    def test_intensity_throttles(self, device_a):
+        gen = TrafficGenerator(device_a)
+        full = gen.offered_load(4, intensity=1.0)
+        throttled = gen.offered_load(4, intensity=0.2)
+        assert throttled.bandwidth_gbps < full.bandwidth_gbps
+
+    def test_read_fraction_recorded(self, device_a):
+        load = TrafficGenerator(device_a, read_fraction=0.5).offered_load(2)
+        assert load.read_fraction == 0.5
+
+    def test_invalid_parameters_rejected(self, device_a):
+        with pytest.raises(MeasurementError):
+            TrafficGenerator(device_a, read_fraction=1.5)
+        gen = TrafficGenerator(device_a)
+        with pytest.raises(MeasurementError):
+            gen.offered_load(-1)
+        with pytest.raises(MeasurementError):
+            gen.offered_load(2, intensity=0.0)

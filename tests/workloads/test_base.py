@@ -1,0 +1,140 @@
+"""WorkloadSpec tests: validation, phases, intensity scaling, traffic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Phase, WorkloadSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        WorkloadSpec(name="w", suite="s")
+
+    def test_miss_hierarchy_enforced(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", l1_mpki=5.0, l2_mpki=10.0,
+                         l3_mpki=1.0)
+
+    def test_l3_above_l2_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", l1_mpki=20.0, l2_mpki=5.0,
+                         l3_mpki=8.0)
+
+    def test_misses_capped_by_loads(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", loads_pki=10.0, l1_mpki=20.0,
+                         l2_mpki=5.0, l3_mpki=1.0)
+
+    def test_mlp_minimum(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", mlp=0.5)
+
+    def test_fraction_fields_bounded(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", prefetch_friendliness=1.2)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", tail_sensitivity=-0.1)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", latency_class="gpu")
+
+    def test_threads_minimum(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s", threads=0)
+
+    def test_phase_weights_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s",
+                         phases=(Phase(0.5), Phase(0.4)))
+
+    def test_phase_unknown_field_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="w", suite="s",
+                         phases=(Phase(1.0, {"magic": 2.0}),))
+
+    @given(
+        l1=st.floats(min_value=0.1, max_value=100.0),
+        frac2=st.floats(min_value=0.0, max_value=1.0),
+        frac3=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40)
+    def test_hierarchical_rates_always_valid(self, l1, frac2, frac3):
+        l2 = l1 * frac2
+        l3 = l2 * frac3
+        w = WorkloadSpec(name="w", suite="s", loads_pki=200.0,
+                         l1_mpki=l1, l2_mpki=l2, l3_mpki=l3)
+        assert w.l1_mpki >= w.l2_mpki >= w.l3_mpki
+
+
+class TestPhases:
+    def test_default_single_phase(self):
+        w = WorkloadSpec(name="w", suite="s")
+        phases = w.effective_phases()
+        assert len(phases) == 1
+        assert phases[0].weight == 1.0
+
+    def test_in_phase_scales_fields(self):
+        w = WorkloadSpec(name="w", suite="s", l3_mpki=2.0,
+                         phases=(Phase(0.25, {"l3_mpki": 3.0}, "hot"),
+                                 Phase(0.75, {}, "cold")))
+        hot = w.in_phase(w.phases[0])
+        assert hot.l3_mpki == pytest.approx(6.0)
+        assert hot.instructions == pytest.approx(w.instructions * 0.25)
+        assert hot.phases == ()
+
+    def test_phase_validation(self):
+        with pytest.raises(WorkloadError):
+            Phase(0.0)
+        with pytest.raises(WorkloadError):
+            Phase(0.5, {"l3_mpki": -1.0})
+
+
+class TestIntensityScaling:
+    def test_scaled_reduces_misses(self):
+        w = WorkloadSpec(name="w", suite="s", l3_mpki=2.0)
+        half = w.scaled_intensity(0.5)
+        assert half.l3_mpki == pytest.approx(1.0)
+        assert half.l1_mpki == pytest.approx(w.l1_mpki * 0.5)
+
+    def test_scaled_flattens_bursts(self):
+        w = WorkloadSpec(name="w", suite="s", burst_ratio=5.0)
+        half = w.scaled_intensity(0.5)
+        assert half.burst_ratio == pytest.approx(3.0)
+
+    def test_scaled_renames(self):
+        w = WorkloadSpec(name="w", suite="s")
+        assert w.scaled_intensity(0.25).name == "w@0.25x"
+
+    def test_invalid_factor_rejected(self):
+        w = WorkloadSpec(name="w", suite="s")
+        with pytest.raises(WorkloadError):
+            w.scaled_intensity(0.0)
+        with pytest.raises(WorkloadError):
+            w.scaled_intensity(1.5)
+
+
+class TestTraffic:
+    def test_read_fraction_bounds(self):
+        w = WorkloadSpec(name="w", suite="s")
+        assert 0.0 < w.read_fraction() <= 1.0
+
+    def test_read_only_workload(self):
+        w = WorkloadSpec(name="w", suite="s", stores_pki=0.0,
+                         writeback_ratio=0.0)
+        assert w.read_fraction() == pytest.approx(1.0)
+
+    def test_writebacks_lower_read_fraction(self):
+        lo_wb = WorkloadSpec(name="w", suite="s", writeback_ratio=0.1)
+        hi_wb = WorkloadSpec(name="w", suite="s", writeback_ratio=0.9)
+        assert hi_wb.read_fraction() < lo_wb.read_fraction()
+
+    def test_bytes_scale_with_misses(self):
+        lo = WorkloadSpec(name="w", suite="s", l3_mpki=1.0)
+        hi = WorkloadSpec(name="w", suite="s", l3_mpki=3.0)
+        assert (
+            hi.memory_bytes_per_kilo_instruction()
+            > lo.memory_bytes_per_kilo_instruction()
+        )

@@ -1,0 +1,77 @@
+"""Trace-to-spec calibration tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.calibration import (
+    derive_parameters,
+    timeliness_vs_latency,
+)
+from repro.workloads.traces import (
+    pointer_chase,
+    random_uniform,
+    sequential_stream,
+    zipf_accesses,
+)
+
+WS = 64 * 1024 * 1024
+
+
+class TestDerivedParameters:
+    def test_stream_profile(self):
+        d = derive_parameters(sequential_stream(200_000, WS))
+        assert d.prefetch_friendliness > 0.9
+        # l3_mpki counts demand misses before prefetch filtering (the spec
+        # convention); the stream misses once per line.
+        assert 25.0 < d.l3_mpki < 45.0
+        assert d.mlp > 8.0
+
+    def test_read_only_trace_has_no_stores(self):
+        d = derive_parameters(sequential_stream(50_000, WS))
+        assert d.stores_pki == 0.0
+        assert d.to_spec().stores_pki == 0.0
+
+    def test_write_fraction_derives_stores(self):
+        d = derive_parameters(
+            sequential_stream(50_000, WS, write_fraction=0.3)
+        )
+        assert d.stores_pki > 50.0
+
+    def test_pointer_chase_profile(self):
+        d = derive_parameters(pointer_chase(80_000, WS))
+        assert d.prefetch_friendliness < 0.05
+        assert d.mlp == pytest.approx(1.0)
+        assert d.l3_mpki > 50.0
+
+    def test_zipf_cache_friendlier_than_random(self):
+        zipf = derive_parameters(zipf_accesses(120_000, WS))
+        rand = derive_parameters(random_uniform(120_000, WS))
+        assert zipf.l3_mpki < rand.l3_mpki
+
+    def test_bigger_llc_fewer_misses(self):
+        trace = random_uniform(120_000, WS)
+        small = derive_parameters(trace, l3_bytes=4 * 1024 * 1024)
+        large = derive_parameters(trace, l3_bytes=64 * 1024 * 1024)
+        assert large.l3_mpki < small.l3_mpki
+
+    def test_to_spec_valid(self):
+        d = derive_parameters(sequential_stream(100_000, WS))
+        spec = d.to_spec(working_set_gb=2.0)
+        assert spec.l1_mpki >= spec.l2_mpki >= spec.l3_mpki
+        assert spec.name == "sequential"
+
+    def test_invalid_ipa_rejected(self):
+        with pytest.raises(WorkloadError):
+            derive_parameters(
+                sequential_stream(1000, WS), instructions_per_access=0.0
+            )
+
+
+class TestTimelinessCurve:
+    def test_monotone_degradation(self):
+        """The Figure 13 mechanism, from trace simulation."""
+        trace = sequential_stream(200_000, WS)
+        curve = timeliness_vs_latency(trace, (110.0, 250.0, 500.0))
+        values = [curve[k] for k in sorted(curve)]
+        assert values[0] > values[-1]
+        assert values == sorted(values, reverse=True)

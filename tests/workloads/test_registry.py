@@ -1,0 +1,113 @@
+"""Registry tests: population size, suite structure, anchored workloads."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    REGISTRY_SIZE,
+    all_workloads,
+    workload_by_name,
+    workloads_by_suite,
+    workloads_fitting,
+)
+from repro.workloads.base import BANDWIDTH_CLASS, COMPUTE_CLASS
+
+
+class TestPopulation:
+    def test_exactly_265(self):
+        assert len(all_workloads()) == REGISTRY_SIZE == 265
+
+    def test_unique_names(self):
+        names = [w.name for w in all_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_suite_counts(self):
+        counts = Counter(w.suite for w in all_workloads())
+        assert counts == {
+            "SPEC CPU 2017": 43,
+            "GAPBS": 30,
+            "PARSEC": 13,
+            "PBBS": 44,
+            "ML": 29,
+            "Cloud": 53,
+            "Phoronix": 53,
+        }
+
+    def test_sensitivity_mix(self):
+        """~25% bandwidth-sensitive, >30% frontend/compute-leaning (§3.1)."""
+        counts = Counter(w.latency_class for w in all_workloads())
+        bandwidth_frac = counts[BANDWIDTH_CLASS] / REGISTRY_SIZE
+        assert 0.10 <= bandwidth_frac <= 0.25
+        assert counts[COMPUTE_CLASS] >= 30
+
+    def test_all_specs_validate(self):
+        # Construction already validates; reaching here means all 265 do.
+        for w in all_workloads():
+            assert w.instructions > 0
+
+    def test_deterministic_regeneration(self):
+        a = {w.name: w for w in all_workloads()}
+        all_workloads.cache_clear()
+        b = {w.name: w for w in all_workloads()}
+        assert a == b
+
+
+class TestLookups:
+    def test_by_name(self):
+        w = workload_by_name("605.mcf_s")
+        assert w.suite == "SPEC CPU 2017"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_by_name("999.nothing")
+
+    def test_by_suite(self):
+        assert len(workloads_by_suite("GAPBS")) == 30
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            workloads_by_suite("TPC")
+
+    def test_fitting_filters_capacity(self):
+        small = workloads_fitting(16.0)
+        assert 0 < len(small) < REGISTRY_SIZE
+        assert all(w.working_set_gb <= 16.0 for w in small)
+
+
+class TestAnchors:
+    def test_paper_named_workloads_present(self):
+        for name in (
+            "603.bwaves_s", "619.lbm_s", "649.fotonik3d_s", "654.roms_s",
+            "520.omnetpp_r", "605.mcf_s", "602.gcc_s", "631.deepsjeng_s",
+            "508.namd_r", "519.lbm_r", "redis-ycsb-c", "bfs-twitter",
+            "pr-kron", "llama-7b-q4_0-tg", "gpt2-xl", "dlrm-large",
+        ):
+            workload_by_name(name)
+
+    def test_bandwidth_anchors_multithreaded(self):
+        for name in ("603.bwaves_s", "619.lbm_s"):
+            assert workload_by_name(name).threads > 1
+
+    def test_omnetpp_tail_profile(self):
+        w = workload_by_name("520.omnetpp_r")
+        assert w.tail_sensitivity == 1.0
+        assert w.burst_ratio > 1.0
+
+    def test_mcf_has_phases(self):
+        w = workload_by_name("605.mcf_s")
+        assert len(w.phases) == 6
+        labels = {p.label for p in w.phases}
+        assert "hot-1" in labels
+
+    def test_gcc_front_loaded(self):
+        w = workload_by_name("602.gcc_s")
+        compile_phase = w.phases[0]
+        assert compile_phase.weight == pytest.approx(0.65)
+        assert compile_phase.multipliers["l3_mpki"] > 1.0
+
+    def test_ycsb_against_three_stores(self):
+        for store in ("redis", "voltdb", "memcached"):
+            for letter in "abcdef":
+                workload_by_name(f"{store}-ycsb-{letter}")

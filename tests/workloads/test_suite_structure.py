@@ -1,0 +1,90 @@
+"""Suite-specific structural invariants (beyond the counting tests)."""
+
+import pytest
+
+from repro.workloads import workload_by_name, workloads_by_suite
+
+
+class TestMlSuite:
+    def test_dlrm_prefetch_hostile(self):
+        """DLRM's embedding gathers defeat prefetchers (§5.5's ~90% DRAM)."""
+        for name in ("dlrm-small", "dlrm-large"):
+            w = workload_by_name(name)
+            assert w.prefetch_friendliness < 0.3
+            assert w.latency_class == "latency"
+
+    def test_llama_prefetch_friendly_short_lead(self):
+        """Llama GEMV streams prefetch well but with a short lead (the
+        source of its LLC-attributed slowdowns)."""
+        w = workload_by_name("llama-7b-q4_0-tg")
+        assert w.prefetch_friendliness >= 0.85
+        assert w.prefetch_lead_ns < 300.0
+
+    def test_quantization_scales_working_set(self):
+        q4 = workload_by_name("llama-7b-q4_0-tg")
+        f16 = workload_by_name("llama-7b-f16-tg")
+        assert f16.working_set_gb > 2 * q4.working_set_gb
+
+    def test_gpt2_sizes_ordered(self):
+        sizes = [workload_by_name(f"gpt2-{s}").working_set_gb
+                 for s in ("small", "medium", "large", "xl")]
+        assert sizes == sorted(sizes)
+
+
+class TestCloudSuite:
+    def test_ycsb_update_heavy_more_rfo(self):
+        a = workload_by_name("redis-ycsb-a")  # 50/50 updates
+        c = workload_by_name("redis-ycsb-c")  # read only
+        assert a.store_rfo_fraction > c.store_rfo_fraction
+        assert a.stores_pki > c.stores_pki
+
+    def test_scan_workload_higher_misses(self):
+        e = workload_by_name("redis-ycsb-e")
+        c = workload_by_name("redis-ycsb-c")
+        assert e.l3_mpki > c.l3_mpki
+
+    def test_cloud_stores_tail_sensitive(self):
+        for store in ("redis", "voltdb", "memcached"):
+            w = workload_by_name(f"{store}-ycsb-c")
+            assert w.tail_sensitivity >= 0.7
+
+    def test_cloudsuite_peak_load_more_intense(self):
+        base = workload_by_name("cloudsuite-web-search-base")
+        peak = workload_by_name("cloudsuite-web-search-peak")
+        assert peak.l3_mpki >= base.l3_mpki
+        assert peak.tail_sensitivity >= base.tail_sensitivity
+
+
+class TestPhoronixSuite:
+    def test_memory_microbenchmarks_bandwidth_class(self):
+        for name in ("stream-triad", "ramspeed-int"):
+            w = workload_by_name(name)
+            assert w.latency_class == "bandwidth"
+            assert w.threads > 1
+
+    def test_databases_latency_class(self):
+        for name in ("pgbench-ro", "rocksdb-readrandom"):
+            w = workload_by_name(name)
+            assert w.latency_class == "latency"
+            assert w.mlp <= 3.0
+
+    def test_compute_tests_light_on_memory(self):
+        for name in ("compress-7zip", "openssl-rsa", "blender-pts"):
+            w = workload_by_name(name)
+            assert w.l3_mpki < 1.0
+
+
+class TestParsecSuite:
+    def test_canneal_pointer_chasing(self):
+        w = workload_by_name("canneal")
+        assert w.mlp <= 2.5
+        assert w.prefetch_friendliness <= 0.3
+
+    def test_streamcluster_streaming(self):
+        w = workload_by_name("streamcluster")
+        assert w.prefetch_friendliness >= 0.8
+        assert w.latency_class == "bandwidth"
+
+    def test_working_sets_modest(self):
+        for w in workloads_by_suite("PARSEC"):
+            assert w.working_set_gb <= 16.0  # all fit CXL-C

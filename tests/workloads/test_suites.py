@@ -1,0 +1,102 @@
+"""Suite generator tests: templates, jitter, per-suite structure."""
+
+import pytest
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suites import ALL_SUITE_MODULES, gapbs, spec2017
+from repro.workloads.suites.common import (
+    BANDWIDTH_TEMPLATE,
+    COMPUTE_TEMPLATE,
+    LATENCY_HEAVY_TEMPLATE,
+    ParamRange,
+)
+
+
+class TestTemplates:
+    def test_instantiate_produces_valid_spec(self):
+        w = COMPUTE_TEMPLATE.instantiate("t1", "test-suite")
+        assert isinstance(w, WorkloadSpec)
+        assert w.latency_class == "compute"
+
+    def test_jitter_deterministic_per_name(self):
+        a = COMPUTE_TEMPLATE.instantiate("same-name", "s")
+        b = COMPUTE_TEMPLATE.instantiate("same-name", "s")
+        assert a == b
+
+    def test_jitter_differs_across_names(self):
+        a = COMPUTE_TEMPLATE.instantiate("name-a", "s")
+        b = COMPUTE_TEMPLATE.instantiate("name-b", "s")
+        assert a.l3_mpki != b.l3_mpki
+
+    def test_overrides_win(self):
+        w = COMPUTE_TEMPLATE.instantiate("t", "s", l3_mpki=0.01,
+                                         l2_mpki=0.5, l1_mpki=5.0)
+        assert w.l3_mpki == pytest.approx(0.01)
+
+    def test_hierarchy_enforced_after_sampling(self):
+        # 200 samples: the l3 <= l2 <= l1 invariant must always hold.
+        for i in range(200):
+            w = LATENCY_HEAVY_TEMPLATE.instantiate(f"h{i}", "s")
+            assert w.l1_mpki >= w.l2_mpki >= w.l3_mpki
+
+    def test_bandwidth_template_multithreaded(self):
+        w = BANDWIDTH_TEMPLATE.instantiate("bw", "s")
+        assert w.threads > 1
+
+    def test_param_range_degenerate(self, rng):
+        assert ParamRange(2.0, 2.0).sample(rng) == 2.0
+
+
+class TestSuiteModules:
+    def test_each_module_has_workloads(self):
+        for module in ALL_SUITE_MODULES:
+            specs = module.workloads()
+            assert len(specs) > 0
+            assert all(isinstance(w, WorkloadSpec) for w in specs)
+
+    def test_suites_internally_sorted(self):
+        for module in ALL_SUITE_MODULES:
+            names = [w.name for w in module.workloads()]
+            assert names == sorted(names)
+
+    def test_suite_label_consistent(self):
+        for module in ALL_SUITE_MODULES:
+            suites = {w.suite for w in module.workloads()}
+            assert len(suites) == 1
+
+
+class TestGapbs:
+    def test_kernel_graph_cross_product(self):
+        names = {w.name for w in gapbs.workloads()}
+        for kernel in gapbs.KERNELS:
+            for graph in gapbs.GRAPHS:
+                assert f"{kernel}-{graph}" in names
+
+    def test_graph_kernels_prefetch_hostile(self):
+        for w in gapbs.workloads():
+            if w.name in ("pr-kron", "pr-twitter"):
+                assert w.prefetch_friendliness > 0.7  # the streaming pair
+            else:
+                assert w.prefetch_friendliness <= 0.6
+
+    def test_kron_largest_working_set(self):
+        by_name = {w.name: w for w in gapbs.workloads()}
+        assert by_name["bfs-kron"].working_set_gb > by_name["bfs-road"].working_set_gb
+
+
+class TestSpec2017:
+    def test_43_benchmarks(self):
+        assert len(spec2017.workloads()) == 43
+
+    def test_bandwidth_quartet_saturates_cxl_a(self):
+        by_name = {w.name: w for w in spec2017.workloads()}
+        for name in ("603.bwaves_s", "619.lbm_s", "649.fotonik3d_s",
+                     "654.roms_s"):
+            w = by_name[name]
+            # >24 GB/s demand requires high per-thread traffic x threads.
+            assert w.l3_mpki * w.threads > 24.0
+
+    def test_519_lbm_store_heavy(self):
+        by_name = {w.name: w for w in spec2017.workloads()}
+        w = by_name["519.lbm_r"]
+        assert w.stores_pki * w.store_rfo_fraction > 50.0

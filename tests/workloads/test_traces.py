@@ -1,0 +1,137 @@
+"""Trace generator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.units import CACHELINE_BYTES
+from repro.workloads.traces import (
+    AccessTrace,
+    mixed_trace,
+    pointer_chase,
+    random_uniform,
+    sequential_stream,
+    strided_stream,
+    zipf_accesses,
+)
+
+WS = 4 * 1024 * 1024  # 4 MiB
+
+
+class TestSequential:
+    def test_spatial_locality(self):
+        trace = sequential_stream(1000, WS)
+        # 8-byte elements: 8 consecutive accesses share a line.
+        assert len(np.unique(trace.lines[:8])) == 1
+
+    def test_wraps_working_set(self):
+        trace = sequential_stream(10 * WS // 8, WS)
+        assert trace.addresses.max() < WS
+
+    def test_not_dependent(self):
+        assert not sequential_stream(100, WS).dependent.any()
+
+    def test_write_fraction(self):
+        trace = sequential_stream(20_000, WS, write_fraction=0.25)
+        assert 0.2 < trace.is_write.mean() < 0.3
+
+    def test_invalid_element_rejected(self):
+        with pytest.raises(WorkloadError):
+            sequential_stream(100, WS, element_bytes=128)
+
+
+class TestStrided:
+    def test_stride_respected(self):
+        trace = strided_stream(100, WS, stride_bytes=256)
+        deltas = np.diff(trace.lines[:10])
+        assert (deltas == 4).all()  # 256 B = 4 lines
+
+    def test_sub_line_stride_rejected(self):
+        with pytest.raises(WorkloadError):
+            strided_stream(100, WS, stride_bytes=32)
+
+
+class TestRandomAndZipf:
+    def test_random_covers_working_set(self):
+        trace = random_uniform(200_000, WS)
+        coverage = trace.footprint_bytes / WS
+        assert coverage > 0.9
+
+    def test_zipf_concentrates(self):
+        trace = zipf_accesses(100_000, WS, skew=1.2)
+        lines, counts = np.unique(trace.lines, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top10 = counts[: max(1, len(counts) // 10)].sum()
+        assert top10 / counts.sum() > 0.5  # top 10% of lines >50% of traffic
+
+    def test_zipf_skew_validated(self):
+        with pytest.raises(WorkloadError):
+            zipf_accesses(100, WS, skew=1.0)
+
+
+class TestPointerChase:
+    def test_fully_dependent(self):
+        assert pointer_chase(1000, WS).dependent.all()
+
+    def test_single_cycle_visits_all_lines(self):
+        n_lines = 256
+        trace = pointer_chase(n_lines, n_lines * CACHELINE_BYTES)
+        assert len(np.unique(trace.lines)) == n_lines
+
+    def test_no_immediate_repeats(self):
+        trace = pointer_chase(5000, WS)
+        assert (np.diff(trace.lines) != 0).all()
+
+    def test_deterministic(self):
+        a = pointer_chase(1000, WS)
+        b = pointer_chase(1000, WS)
+        assert np.array_equal(a.addresses, b.addresses)
+
+
+class TestMixed:
+    def test_preserves_component_accesses(self):
+        seq = sequential_stream(5000, WS)
+        rnd = random_uniform(5000, WS)
+        mix = mixed_trace([(seq, 1.0), (rnd, 1.0)])
+        assert 5000 < mix.length <= 10_000
+        assert set(np.unique(mix.lines)) <= (
+            set(np.unique(seq.lines)) | set(np.unique(rnd.lines))
+        )
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(WorkloadError):
+            mixed_trace([])
+
+    def test_negative_weight_rejected(self):
+        seq = sequential_stream(100, WS)
+        with pytest.raises(WorkloadError):
+            mixed_trace([(seq, -1.0)])
+
+
+class TestAccessTrace:
+    def test_footprint(self):
+        trace = sequential_stream(8 * 100, WS)  # touches 100 lines
+        assert trace.footprint_bytes == 100 * CACHELINE_BYTES
+
+    def test_concat(self):
+        a = sequential_stream(100, WS)
+        b = random_uniform(50, WS)
+        c = a.concat(b)
+        assert c.length == 150
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(WorkloadError):
+            AccessTrace(
+                name="bad",
+                addresses=np.zeros(3, dtype=np.int64),
+                dependent=np.zeros(2, dtype=bool),
+                is_write=np.zeros(3, dtype=bool),
+            )
+
+    @given(n=st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=20)
+    def test_generators_produce_requested_length(self, n):
+        assert sequential_stream(n, WS).length == n
+        assert random_uniform(n, WS).length == n
