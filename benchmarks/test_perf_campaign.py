@@ -1,0 +1,107 @@
+"""Campaign-engine throughput benchmark: serial vs parallel vs warm cache.
+
+Runs the same Figure 8a device-campaign subset through three engine
+configurations and records cells/sec for each in ``BENCH_campaign.json``
+(next to this file's repo root), so the runtime layer's perf trajectory is
+tracked from PR to PR:
+
+* ``cold_serial``    -- jobs=1, empty cache: the pre-runtime baseline.
+* ``cold_parallel``  -- jobs=4, empty cache: process-pool fan-out.
+* ``warm_cache``     -- jobs=1, disk cache populated by a prior run.
+
+On a single-CPU host the pool cannot beat serial (the workers share one
+core and pay fork + pickle overhead); ``cpu_count`` is recorded alongside
+the numbers so readers can judge the parallel figure in context.  The warm
+path must beat cold-serial by a wide margin anywhere.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.melody import Melody
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import CampaignEngine
+from repro.workloads import all_workloads
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def _campaign():
+    return Melody.device_campaign(workloads=all_workloads()[::8])
+
+
+def _timed_run(campaign, jobs=1, cache_dir=None):
+    engine = CampaignEngine(cache=RunCache(cache_dir), jobs=jobs)
+    start = time.perf_counter()
+    result = Melody(engine=engine).run(campaign)
+    elapsed = time.perf_counter() - start
+    return result, engine, elapsed
+
+
+def test_perf_campaign_throughput(tmp_path):
+    campaign = _campaign()
+
+    serial_result, serial_engine, serial_s = _timed_run(campaign)
+    parallel_result, parallel_engine, parallel_s = _timed_run(
+        campaign, jobs=4
+    )
+
+    cache_dir = str(tmp_path / "runs")
+    _timed_run(campaign, cache_dir=cache_dir)  # populate the disk tier
+    warm_result, warm_engine, warm_s = _timed_run(
+        campaign, cache_dir=cache_dir
+    )
+
+    cells = serial_engine.stats.cells_requested
+    report = {
+        "campaign": {
+            "name": campaign.name,
+            "workloads": len(campaign.workloads),
+            "targets": len(campaign.targets),
+            "cells": cells,
+        },
+        "cpu_count": os.cpu_count(),
+        "cold_serial": {
+            "seconds": round(serial_s, 4),
+            "cells_per_second": round(cells / serial_s, 1),
+        },
+        "cold_parallel_jobs4": {
+            "seconds": round(parallel_s, 4),
+            "cells_per_second": round(cells / parallel_s, 1),
+            "pool_fallbacks": parallel_engine.stats.pool_fallbacks,
+            "speedup_vs_cold_serial": round(serial_s / parallel_s, 2),
+        },
+        "warm_cache": {
+            "seconds": round(warm_s, 4),
+            "cells_per_second": round(cells / warm_s, 1),
+            "speedup_vs_cold_serial": round(serial_s / warm_s, 2),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    # Correctness before speed: all three paths agree bit-for-bit.
+    for other in (parallel_result, warm_result):
+        for target in serial_result.target_names():
+            assert list(serial_result.slowdowns(target)) == list(
+                other.slowdowns(target)
+            )
+
+    assert warm_engine.stats.cells_run == 0
+    assert warm_s * 5 < serial_s, (
+        f"warm cache {warm_s:.3f}s not >=5x faster than serial {serial_s:.3f}s"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_s < serial_s, (
+            f"jobs=4 {parallel_s:.3f}s slower than serial {serial_s:.3f}s "
+            f"on a {os.cpu_count()}-CPU host"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-s", "-x"])

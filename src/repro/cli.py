@@ -17,6 +17,13 @@ import sys
 from repro.errors import MelodyError
 
 
+def _configure_runtime(args):
+    """Apply --jobs/--cache-dir to the process-wide campaign engine."""
+    from repro.runtime import configure_runtime
+
+    return configure_runtime(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
 def _target_by_name(name: str, platform):
     from repro.hw.cxl import CXL_DEVICES, device_by_name
     from repro.hw.topology import remote_view
@@ -68,6 +75,7 @@ def cmd_campaign(args) -> int:
     from repro.hw.platform import platform_by_name
     from repro.workloads import all_workloads, workloads_by_suite
 
+    engine = _configure_runtime(args)
     platform = platform_by_name(args.platform)
     workloads = (
         workloads_by_suite(args.suite) if args.suite else all_workloads()
@@ -84,6 +92,7 @@ def cmd_campaign(args) -> int:
 
     print(f"{len(result.records)} records "
           f"({len(result.skipped)} skipped for capacity)")
+    print(engine.stats.summary())
     for target in result.target_names():
         print("  " + format_cdf_row(target, result.slowdowns(target)))
     if args.csv:
@@ -127,6 +136,7 @@ def cmd_figures(args) -> int:
 
     from repro.experiments import ALL_EXPERIMENTS
 
+    engine = _configure_runtime(args)
     out_dir = Path(args.output) if args.output else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -150,6 +160,7 @@ def cmd_figures(args) -> int:
         return 1
     if out_dir:
         print(f"wrote {ran} figure files to {out_dir}")
+    print(engine.stats.summary())
     return 0
 
 
@@ -242,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every Nth workload")
     p.add_argument("--csv", default=None, help="export dataset CSV")
     p.add_argument("--json", default=None, help="export dataset JSON")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel worker processes (default: serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk run cache shared across invocations")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("spa", help="Spa breakdown of one workload")
@@ -257,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="full 265-workload population")
     p.add_argument("--output", default=None,
                    help="directory to write <experiment>.txt files into")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel worker processes (default: serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk run cache shared across invocations")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("fit", help="fit device models from measurements")

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
+from repro.cpu.pipeline import PipelineConfig, RunResult
 from repro.errors import AnalysisError, ConfigurationError
 from repro.hw.cxl.device import device_by_name
 from repro.hw.platform import (
@@ -32,6 +32,9 @@ from repro.hw.platform import (
     Platform,
 )
 from repro.hw.target import MemoryTarget
+from repro.runtime.cache import RunCache
+from repro.runtime.context import get_engine
+from repro.runtime.executor import CampaignEngine, Cell
 from repro.workloads import all_workloads
 from repro.workloads.base import WorkloadSpec
 
@@ -70,40 +73,65 @@ class Campaign:
 
 @dataclass
 class CampaignResult:
-    """Dataset produced by one campaign."""
+    """Dataset produced by one campaign.
+
+    Lookups go through a lazily built ``(workload, target)`` index (plus a
+    per-target grouping) so per-workload queries from downstream analyses
+    cost O(1) instead of scanning all records; the index rebuilds itself
+    whenever records were appended since it was last used.
+    """
 
     campaign: Campaign
     records: List[SlowdownRecord] = field(default_factory=list)
     skipped: List[Tuple[str, str]] = field(default_factory=list)  # (workload, target)
+    _indexed_count: int = field(default=-1, init=False, repr=False, compare=False)
+    _by_cell: Dict[Tuple[str, str], SlowdownRecord] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _by_target: Dict[str, List[SlowdownRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def _index(self) -> None:
+        if self._indexed_count == len(self.records):
+            return
+        self._by_cell = {}
+        self._by_target = {}
+        for r in self.records:
+            self._by_cell[(r.workload, r.target)] = r
+            self._by_target.setdefault(r.target, []).append(r)
+        self._indexed_count = len(self.records)
 
     def slowdowns(self, target: str) -> np.ndarray:
         """Slowdown vector (percent) for one target, in workload order."""
-        values = [r.slowdown_pct for r in self.records if r.target == target]
-        if not values:
-            targets = sorted({r.target for r in self.records})
+        self._index()
+        group = self._by_target.get(target)
+        if not group:
+            targets = sorted(self._by_target)
             raise AnalysisError(f"no records for {target!r}; have {targets}")
-        return np.array(values)
+        return np.array([r.slowdown_pct for r in group])
 
     def record(self, workload: str, target: str) -> SlowdownRecord:
         """Look up one record."""
-        for r in self.records:
-            if r.workload == workload and r.target == target:
-                return r
-        raise AnalysisError(f"no record for ({workload!r}, {target!r})")
+        self._index()
+        try:
+            return self._by_cell[(workload, target)]
+        except KeyError:
+            raise AnalysisError(
+                f"no record for ({workload!r}, {target!r})"
+            ) from None
 
     def pairs(self, target: str) -> List[Tuple[RunResult, RunResult]]:
         """(baseline, run) pairs for one target -- Spa's input."""
+        self._index()
         return [
-            (r.baseline, r.run) for r in self.records if r.target == target
+            (r.baseline, r.run) for r in self._by_target.get(target, [])
         ]
 
     def target_names(self) -> List[str]:
         """All targets present, in first-seen order."""
-        seen = []
-        for r in self.records:
-            if r.target not in seen:
-                seen.append(r.target)
-        return seen
+        self._index()
+        return list(self._by_target)
 
     def fraction_below(self, target: str, threshold_pct: float) -> float:
         """Fraction of workloads with slowdown below ``threshold_pct``."""
@@ -112,49 +140,74 @@ class CampaignResult:
 
 
 class Melody:
-    """Campaign executor with per-(workload, platform) baseline caching."""
+    """Campaign executor on top of the shared :mod:`repro.runtime` engine.
 
-    def __init__(self, config: PipelineConfig = PipelineConfig()):
+    All cell execution -- baselines included -- routes through a
+    :class:`~repro.runtime.executor.CampaignEngine`, so identical cells are
+    memoized across campaigns, experiments and (with a disk cache) across
+    processes, and fan out over a process pool when the engine has
+    ``jobs > 1``.  By default every Melody in a process shares one engine;
+    pass ``engine``, or ``jobs``/``cache_dir`` for a private one.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        engine: Optional[CampaignEngine] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ):
         self.config = config
-        self._baseline_cache: Dict[Tuple[str, str, str], RunResult] = {}
+        if engine is None and (jobs is not None or cache_dir is not None):
+            engine = CampaignEngine(cache=RunCache(cache_dir), jobs=jobs or 1)
+        self._engine = engine
+
+    @property
+    def engine(self) -> CampaignEngine:
+        """This Melody's engine (the process-wide one unless overridden)."""
+        return self._engine if self._engine is not None else get_engine()
 
     # -- execution -----------------------------------------------------------
 
-    def _baseline(
-        self, workload: WorkloadSpec, platform: Platform, target: MemoryTarget
-    ) -> RunResult:
-        key = (workload.name, platform.name, target.name)
-        if key not in self._baseline_cache:
-            self._baseline_cache[key] = run_workload(
-                workload, platform, target, self.config
-            )
-        return self._baseline_cache[key]
-
     def run(self, campaign: Campaign) -> CampaignResult:
-        """Execute a campaign, skipping workloads that do not fit a device."""
+        """Execute a campaign, skipping workloads that do not fit a device.
+
+        The cell grid is submitted baselines-first, so slowdown cells that
+        coincide with the baseline target (or with cells of an earlier
+        campaign) are recalled from the run cache instead of re-executed.
+        """
         result = CampaignResult(campaign=campaign)
         baseline_target = campaign.baseline or campaign.platform.local_target()
+        cells: List[Cell] = [
+            Cell(workload, campaign.platform, baseline_target, self.config)
+            for workload in campaign.workloads
+        ]
+        grid: List[Tuple[WorkloadSpec, MemoryTarget]] = []
         for workload in campaign.workloads:
-            base = self._baseline(workload, campaign.platform, baseline_target)
             for target in campaign.targets:
                 if workload.working_set_gb > target.capacity_gb:
                     result.skipped.append((workload.name, target.name))
                     continue
-                run = run_workload(
-                    workload, campaign.platform, target, campaign.config
+                grid.append((workload, target))
+                cells.append(
+                    Cell(workload, campaign.platform, target, campaign.config)
                 )
-                result.records.append(
-                    SlowdownRecord(
-                        workload=workload.name,
-                        suite=workload.suite,
-                        latency_class=workload.latency_class,
-                        target=target.name,
-                        platform=campaign.platform.name,
-                        slowdown_pct=run.slowdown_vs(base),
-                        baseline=base,
-                        run=run,
-                    )
+        runs = self.engine.run_cells(cells)
+        baselines = dict(zip((w.name for w in campaign.workloads), runs))
+        for (workload, target), run in zip(grid, runs[len(campaign.workloads):]):
+            base = baselines[workload.name]
+            result.records.append(
+                SlowdownRecord(
+                    workload=workload.name,
+                    suite=workload.suite,
+                    latency_class=workload.latency_class,
+                    target=target.name,
+                    platform=campaign.platform.name,
+                    slowdown_pct=run.slowdown_vs(base),
+                    baseline=base,
+                    run=run,
                 )
+            )
         return result
 
     # -- standard campaigns ----------------------------------------------------

@@ -207,13 +207,17 @@ def sample_run_latencies(
 
     Samples each phase's operating point in proportion to its instruction
     share, so phase bursts shape the tail exactly as the run experienced
-    them.
+    them.  Always returns exactly ``n`` samples: per-chunk rounding can
+    under-shoot (e.g. two half-weight burst points of an odd count both
+    round down), in which case the shortfall is drawn from the dominant
+    phase's operating point.
     """
     rng = generator_for(
         seed, "run-latency", result.workload.name, result.target_name
     )
     total = sum(p.instructions for p in result.phases)
     chunks = []
+    drawn = 0
     for phase in result.phases:
         count = max(1, int(round(n * phase.instructions / total)))
         op = phase.operating_point
@@ -226,6 +230,16 @@ def sample_run_latencies(
                     k, rng, load_gbps=load, read_fraction=op.read_fraction
                 )
             )
+            drawn += k
+    if drawn < n:
+        dominant = max(result.phases, key=lambda p: p.instructions)
+        op = dominant.operating_point
+        chunks.append(
+            target.sample_latencies(
+                n - drawn, rng,
+                load_gbps=op.load_gbps, read_fraction=op.read_fraction,
+            )
+        )
     return np.concatenate(chunks)[:n]
 
 

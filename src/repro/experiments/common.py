@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.core.melody import Melody
+from repro.cpu.pipeline import PipelineConfig
 from repro.hw.cxl import cxl_a, cxl_b, cxl_c, cxl_d
 from repro.hw.platform import EMR2S
 from repro.hw.target import MemoryTarget
@@ -12,6 +14,17 @@ from repro.workloads.base import WorkloadSpec
 
 FAST_SUBSAMPLE = 5
 """In fast mode, run every Nth workload of the population."""
+
+
+def campaign_melody(config: Optional[PipelineConfig] = None) -> Melody:
+    """A Melody on the process-wide shared runtime engine.
+
+    Every experiment driver builds its Melody here, so their campaigns
+    memoize against each other: the Figure 8a device sweep populates the
+    run cache that the Spa / prefetch / breakdown figures then reuse, and
+    CLI-level ``--jobs`` / ``--cache-dir`` settings apply to all of them.
+    """
+    return Melody(config) if config is not None else Melody()
 
 
 def workload_population(fast: bool) -> Tuple[WorkloadSpec, ...]:

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.analysis.report import Table, format_cdf_row
 from repro.core.melody import CampaignResult, Melody
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 
 PAPER_FRACTIONS = {
     # target -> {threshold: fraction below}
@@ -50,7 +50,7 @@ class SlowdownCdfResult:
 
 def run(fast: bool = True) -> SlowdownCdfResult:
     """Run the device campaign over the population."""
-    melody = Melody()
+    melody = campaign_melody()
     campaign = Melody.device_campaign(workloads=workload_population(fast))
     result = melody.run(campaign)
     slowdowns = {

@@ -17,9 +17,9 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.report import Table
-from repro.core.melody import Campaign, Melody
+from repro.core.melody import Campaign
 from repro.cpu.pipeline import run_workload, sample_run_latencies
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 from repro.hw.cxl import cxl_a
 from repro.hw.platform import EMR2S, SKX8S
 from repro.hw.topology import remote_view
@@ -38,7 +38,7 @@ class CxlNumaResult:
 
 def run(fast: bool = True) -> CxlNumaResult:
     """Run the three setups over the population and drill into omnetpp."""
-    melody = Melody()
+    melody = campaign_melody()
     workloads = workload_population(fast)
     # The paper's panel (c) compares 121 latency-focused workloads: the
     # comparison is about latency/tail behaviour, so bandwidth-saturating

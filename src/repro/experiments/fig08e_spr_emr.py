@@ -13,8 +13,8 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.report import format_cdf_row
-from repro.core.melody import Campaign, Melody
-from repro.experiments.common import workload_population
+from repro.core.melody import Campaign
+from repro.experiments.common import campaign_melody, workload_population
 from repro.hw.cxl import cxl_a, cxl_b
 from repro.hw.platform import EMR2S, SPR2S
 
@@ -34,7 +34,7 @@ class SprEmrResult:
 
 def run(fast: bool = True) -> SprEmrResult:
     """Run both devices on both platforms."""
-    melody = Melody()
+    melody = campaign_melody()
     workloads = workload_population(fast)
     slowdowns = {}
     for platform, tag in ((SPR2S, "SPR"), (EMR2S, "EMR")):

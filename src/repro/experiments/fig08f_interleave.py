@@ -14,7 +14,8 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.report import format_cdf_row
-from repro.core.melody import Campaign, Melody
+from repro.core.melody import Campaign
+from repro.experiments.common import campaign_melody
 from repro.hw.cxl import cxl_d
 from repro.hw.platform import EMR2S_PRIME
 from repro.hw.topology import InterleavedTarget
@@ -36,7 +37,7 @@ class InterleaveResult:
 
 def run(fast: bool = True) -> InterleaveResult:
     """Run SPEC across the three targets."""
-    melody = Melody()
+    melody = campaign_melody()
     spec = workloads_by_suite("SPEC CPU 2017")
     if fast:
         spec = spec[::2]

@@ -14,8 +14,7 @@ import numpy as np
 
 from repro.analysis.report import Table
 from repro.analysis.stats import ViolinSummary, violin_summary
-from repro.core.melody import Melody
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 
 
 @dataclass(frozen=True)
@@ -32,7 +31,7 @@ class ViolinResult:
 
 def run(fast: bool = True) -> ViolinResult:
     """Run the full latency spectrum."""
-    melody = Melody()
+    melody = campaign_melody()
     workloads = workload_population(fast)
     results = melody.run_latency_spectrum(workloads)
     summaries = []

@@ -11,8 +11,8 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.analysis.report import Table
-from repro.core.melody import Campaign, Melody
-from repro.experiments.common import standard_targets
+from repro.core.melody import Campaign
+from repro.experiments.common import campaign_melody, standard_targets
 from repro.hw.platform import EMR2S
 from repro.workloads import workload_by_name
 from repro.workloads.suites.cloud import YCSB_WORKLOADS
@@ -43,7 +43,7 @@ class YcsbResult:
 def run(fast: bool = True) -> YcsbResult:
     """Run the 12 YCSB workloads across NUMA/CXL-A/CXL-B."""
     del fast  # 12 workloads x 3 targets is always cheap
-    melody = Melody()
+    melody = campaign_melody()
     targets = standard_targets()
     workloads = tuple(
         workload_by_name(f"{store}-ycsb-{letter.lower()}")

@@ -17,7 +17,7 @@ import numpy as np
 from repro.analysis.report import Table
 from repro.core.melody import Melody
 from repro.core.spa import validate_accuracy
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,7 @@ class SpaAccuracyResult:
 
 def run(fast: bool = True) -> SpaAccuracyResult:
     """Validate the three estimators on NUMA / CXL-A / CXL-B."""
-    melody = Melody()
+    melody = campaign_melody()
     campaign = Melody.device_campaign(
         workloads=workload_population(fast), devices=("CXL-A", "CXL-B")
     )

@@ -16,7 +16,7 @@ from repro.analysis.report import Table
 from repro.analysis.stats import pearson
 from repro.core.melody import Melody
 from repro.core.prefetch import PrefetchShift, shift_scatter
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 
 MIN_SHIFT_EVENTS = 1e5
 """Scatter points need a measurable shift (the paper's axes start at 1e6)."""
@@ -43,7 +43,7 @@ class PrefetchAnalysisResult:
 
 def run(fast: bool = True) -> PrefetchAnalysisResult:
     """Compute the shift for every workload pair on CXL-B."""
-    melody = Melody()
+    melody = campaign_melody()
     campaign = Melody.device_campaign(
         workloads=workload_population(fast), devices=("CXL-B",),
         include_numa=False,

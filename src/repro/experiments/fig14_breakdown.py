@@ -16,7 +16,7 @@ from repro.analysis.report import Table
 from repro.core.breakdown import breakdown_by_suite, dominant_source
 from repro.core.melody import Melody
 from repro.core.spa import SpaBreakdown, spa_analyze
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 from repro.workloads import workload_by_name
 
 TARGETS = ("NUMA", "CXL-A", "CXL-B")
@@ -44,7 +44,7 @@ class BreakdownResult:
 
 def run(fast: bool = True) -> BreakdownResult:
     """Compute breakdowns for the population on the three targets."""
-    melody = Melody()
+    melody = campaign_melody()
     campaign = Melody.device_campaign(
         workloads=workload_population(fast), devices=("CXL-A", "CXL-B")
     )

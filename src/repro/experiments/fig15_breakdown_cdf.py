@@ -16,7 +16,7 @@ from repro.analysis.report import Table
 from repro.core.breakdown import breakdown_cdfs, fraction_with_component_above
 from repro.core.melody import Melody
 from repro.core.spa import SpaBreakdown, spa_analyze
-from repro.experiments.common import workload_population
+from repro.experiments.common import campaign_melody, workload_population
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,7 @@ class BreakdownCdfResult:
 
 def run(fast: bool = True) -> BreakdownCdfResult:
     """Aggregate component contributions across the population."""
-    melody = Melody()
+    melody = campaign_melody()
     campaign = Melody.device_campaign(
         workloads=workload_population(fast), devices=("CXL-A",),
         include_numa=False,

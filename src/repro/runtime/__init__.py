@@ -1,0 +1,40 @@
+"""The campaign execution runtime: memoized, parallel cell execution.
+
+Every (workload, platform, target, config) *cell* a campaign or experiment
+wants to run is routed through a process-wide :class:`CampaignEngine`,
+which consults a content-addressed :class:`RunCache` (in-memory tier shared
+across all experiments of one process, optional on-disk tier shared across
+processes) and fans uncached cells out over a process pool when ``jobs > 1``.
+
+Runs are bit-deterministic -- the pipeline derives every RNG from stable
+string keys (:mod:`repro.rng`) -- so memoization and parallel execution are
+both safe: a cached or pool-computed :class:`~repro.cpu.pipeline.RunResult`
+is bit-identical to the one a fresh serial call would produce.
+"""
+
+from repro.runtime.cache import RunCache, run_key
+from repro.runtime.context import (
+    configure_runtime,
+    get_engine,
+    reset_runtime,
+    runtime_stats,
+)
+from repro.runtime.executor import CampaignEngine, Cell, EngineStats
+from repro.runtime.serialize import (
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+__all__ = [
+    "CampaignEngine",
+    "Cell",
+    "EngineStats",
+    "RunCache",
+    "configure_runtime",
+    "get_engine",
+    "reset_runtime",
+    "run_key",
+    "run_result_from_dict",
+    "run_result_to_dict",
+    "runtime_stats",
+]

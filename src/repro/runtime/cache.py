@@ -1,0 +1,239 @@
+"""Content-addressed memoization of pipeline runs.
+
+A run is fully determined by its cell -- (workload spec, platform, target,
+pipeline config) -- because every RNG in the pipeline is derived from those
+values through stable string keys (:mod:`repro.rng`).  :func:`run_key`
+hashes a canonical fingerprint of the cell; :class:`RunCache` maps keys to
+:class:`~repro.cpu.pipeline.RunResult` objects in two tiers:
+
+* an **in-memory tier** shared by every campaign and experiment driver in
+  the process (this is what lets ``python -m repro figures`` run the
+  device campaign once instead of five times), and
+* an optional **on-disk tier** (one JSON document per run, sharded by key
+  prefix) so repeated CLI invocations skip finished cells entirely.
+
+Disk entries that fail to parse -- truncated writes, stale schema versions
+-- are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import is_dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.cpu.pipeline import PipelineConfig, RunResult
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.hw.target import MemoryTarget
+from repro.runtime.serialize import (
+    FORMAT_VERSION,
+    platform_from_dict,
+    platform_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    shallow_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.base import WorkloadSpec
+
+
+def _canonical(payload) -> str:
+    """Deterministic JSON text for fingerprinting (sorted keys)."""
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+_FINGERPRINT_MEMO: Dict[int, Tuple[object, str]] = {}
+_FINGERPRINT_MEMO_CAP = 100_000
+
+def _memoized(obj, build) -> str:
+    """Fingerprint ``obj`` once per object identity.
+
+    Campaigns hash the same workload/platform/target objects thousands of
+    times; canonicalizing each once makes :func:`run_key` effectively free.
+    The memo holds a strong reference to the keyed object, so an id() can
+    never be recycled while its entry is alive.
+    """
+    entry = _FINGERPRINT_MEMO.get(id(obj))
+    if entry is not None and entry[0] is obj:
+        return entry[1]
+    if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_CAP:
+        _FINGERPRINT_MEMO.clear()
+    text = _canonical(build(obj))
+    _FINGERPRINT_MEMO[id(obj)] = (obj, text)
+    return text
+
+
+def target_fingerprint(target: MemoryTarget) -> Dict[str, object]:
+    """Everything the pipeline observes about a target.
+
+    Targets are identified by behaviour, not by name: two targets with the
+    same name but different calibrations (say, a refitted device model)
+    hash differently, while re-constructed-but-identical targets collapse
+    onto one cache entry.
+    """
+    return {
+        "type": type(target).__name__,
+        "name": target.name,
+        "capacity_gb": target.capacity_gb,
+        "idle_latency_ns": target.idle_latency_ns(),
+        "bandwidth": shallow_dict(target.bandwidth_model()),
+        "queue": shallow_dict(target.queue_model()),
+        "tail": shallow_dict(target.tail_model()),
+    }
+
+
+def run_key(
+    workload: WorkloadSpec,
+    platform: Platform,
+    target: MemoryTarget,
+    config: PipelineConfig = PipelineConfig(),
+) -> str:
+    """Content-addressed key of one cell (sha256 hex digest)."""
+    parts = (
+        str(FORMAT_VERSION),
+        _memoized(workload, workload_to_dict),
+        _memoized(platform, platform_to_dict),
+        _memoized(target, target_fingerprint),
+        _memoized(
+            config,
+            lambda c: shallow_dict(c) if is_dataclass(c) else repr(c),
+        ),
+    )
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """Two-tier (memory + optional disk) store of finished runs.
+
+    On disk a run document stores its workload and platform by *reference*
+    -- a content hash pointing into ``blobs/`` -- so the hundreds of runs
+    of one campaign share a single copy of each spec.  Blob loads are
+    memoized per cache instance, which makes warm campaign loads cheap:
+    each workload/platform is parsed and validated once per process, not
+    once per cell.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self._memory: Dict[str, RunResult] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None and self.cache_dir.exists() \
+                and not self.cache_dir.is_dir():
+            raise ConfigurationError(
+                f"cache dir {cache_dir!r} exists and is not a directory"
+            )
+        self._made_shards = set()
+        self._blobs: Dict[str, object] = {}
+        self._blobs_written = set()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(str(self.cache_dir), key[:2], f"{key}.json")
+
+    def _blob_path(self, ref: str) -> str:
+        return os.path.join(str(self.cache_dir), "blobs", f"{ref}.json")
+
+    # -- blob tier -------------------------------------------------------
+
+    def _write_blob(self, obj, to_dict) -> str:
+        """Store one workload/platform blob; returns its content ref."""
+        ref = hashlib.sha256(
+            _memoized(obj, to_dict).encode("utf-8")
+        ).hexdigest()[:32]
+        self._blobs[ref] = obj
+        if ref in self._blobs_written:
+            return ref
+        path = self._blob_path(ref)
+        shard = os.path.dirname(path)
+        if shard not in self._made_shards:
+            os.makedirs(shard, exist_ok=True)
+            self._made_shards.add(shard)
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as handle:
+                json.dump(to_dict(obj), handle)
+            os.replace(tmp, path)
+        self._blobs_written.add(ref)
+        return ref
+
+    def _load_blob(self, ref: str, from_dict):
+        """Recall a blob (memoized); raises ``KeyError`` when absent."""
+        obj = self._blobs.get(ref)
+        if obj is None:
+            try:
+                with open(self._blob_path(ref), "r") as handle:
+                    obj = from_dict(json.load(handle))
+            except (OSError, ValueError, TypeError) as exc:
+                raise KeyError(f"missing blob {ref}") from exc
+            self._blobs[ref] = obj
+        return obj
+
+    # -- run tier --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Look a run up; promotes disk hits into the memory tier."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.memory_hits += 1
+            return hit
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                with open(path, "r") as handle:
+                    data = json.load(handle)
+                result = run_result_from_dict(
+                    data,
+                    workload=self._load_blob(
+                        data["workload_ref"], workload_from_dict
+                    ),
+                    platform=self._load_blob(
+                        data["platform_ref"], platform_from_dict
+                    ),
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                return None
+            self._memory[key] = result
+            self.disk_hits += 1
+            return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store a run in both tiers (atomic writes, blobs first)."""
+        self._memory[key] = result
+        self.stores += 1
+        path = self._disk_path(key)
+        if path is None:
+            return
+        data = run_result_to_dict(result, embed_context=False)
+        data["workload_ref"] = self._write_blob(
+            result.workload, workload_to_dict
+        )
+        data["platform_ref"] = self._write_blob(
+            result.platform, platform_to_dict
+        )
+        shard = os.path.dirname(path)
+        if shard not in self._made_shards:
+            os.makedirs(shard, exist_ok=True)
+            self._made_shards.add(shard)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(data, handle)
+        os.replace(tmp, path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier survives)."""
+        self._memory.clear()

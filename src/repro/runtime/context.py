@@ -1,0 +1,69 @@
+"""The process-wide default engine.
+
+Campaign users (Melody, the experiment drivers, the CLI) share one
+:class:`~repro.runtime.executor.CampaignEngine` per process so that runs
+memoize *across* experiments: the Figure 8a device campaign populates the
+cache that Figures 11/12/14/15 then read.
+
+The default engine is serial and memory-only.  ``configure_runtime``
+replaces it (the CLI calls this for ``--jobs`` / ``--cache-dir``); the
+``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` environment variables seed the
+default for embedders that never touch the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import CampaignEngine, EngineStats
+
+_engine: Optional[CampaignEngine] = None
+
+
+def get_engine() -> CampaignEngine:
+    """The shared engine, created on first use."""
+    global _engine
+    if _engine is None:
+        raw = os.environ.get("REPRO_JOBS", "1") or "1"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        _engine = CampaignEngine(cache=RunCache(cache_dir), jobs=jobs)
+    return _engine
+
+
+def configure_runtime(
+    jobs: Optional[int] = None, cache_dir: Optional[str] = None
+) -> CampaignEngine:
+    """Replace the shared engine with one using the given settings.
+
+    Settings left as ``None`` keep the current engine's value; the
+    in-memory cache always starts fresh (the disk tier, if any, persists).
+    """
+    global _engine
+    current = get_engine()
+    _engine = CampaignEngine(
+        cache=RunCache(cache_dir if cache_dir is not None
+                       else (str(current.cache.cache_dir)
+                             if current.cache.cache_dir else None)),
+        jobs=jobs if jobs is not None else current.jobs,
+    )
+    return _engine
+
+
+def reset_runtime() -> None:
+    """Forget the shared engine (tests use this for isolation)."""
+    global _engine
+    _engine = None
+
+
+def runtime_stats() -> EngineStats:
+    """Statistics of the shared engine."""
+    return get_engine().stats

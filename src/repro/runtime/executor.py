@@ -1,0 +1,160 @@
+"""The parallel, cache-aware campaign executor.
+
+:class:`CampaignEngine` takes a flat list of :class:`Cell` objects -- the
+(workload, platform, target, config) grid of a campaign -- and returns one
+:class:`~repro.cpu.pipeline.RunResult` per cell **in cell order**, never in
+completion order, so parallel and serial execution produce byte-identical
+downstream figures.
+
+Execution strategy per batch:
+
+1. resolve every cell against the :class:`~repro.runtime.cache.RunCache`;
+2. deduplicate the misses by content key (submission order preserved, so
+   callers that put baseline cells first get baseline-first scheduling and
+   dependent cells hit the cache);
+3. run the unique misses -- serially for ``jobs <= 1`` or small batches,
+   otherwise over a ``concurrent.futures`` process pool with chunked
+   submission;
+4. store results and assemble the per-cell list by key lookup.
+
+Pool setup failures (sandboxed environments, missing semaphores, pickling
+restrictions) degrade gracefully to the serial path; genuine run errors
+propagate exactly as they would serially.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
+from repro.hw.platform import Platform
+from repro.hw.target import MemoryTarget
+from repro.runtime.cache import RunCache, run_key
+from repro.workloads.base import WorkloadSpec
+
+_MIN_POOL_BATCH = 4
+"""Below this many pending cells a pool costs more than it saves."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One unit of campaign work: run a workload on one (platform, target)."""
+
+    workload: WorkloadSpec
+    platform: Platform
+    target: MemoryTarget
+    config: PipelineConfig = PipelineConfig()
+
+    def key(self) -> str:
+        """Content-addressed identity of this cell."""
+        return run_key(self.workload, self.platform, self.target, self.config)
+
+
+def _execute_cell(cell: Cell) -> RunResult:
+    """Pool worker: run one cell (module-level so it pickles)."""
+    return run_workload(cell.workload, cell.platform, cell.target, cell.config)
+
+
+@dataclass
+class EngineStats:
+    """Cumulative execution statistics of one engine."""
+
+    cells_requested: int = 0
+    cells_run: int = 0
+    cells_cached: int = 0
+    elapsed_s: float = 0.0
+    batches: int = 0
+    pool_fallbacks: int = 0
+
+    def runs_per_second(self) -> float:
+        """Executed-cell throughput (0 when nothing ran)."""
+        return self.cells_run / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def summary(self) -> str:
+        """The CLI's one-line report."""
+        return (
+            f"runtime: {self.cells_requested} cells "
+            f"({self.cells_run} run, {self.cells_cached} cached) "
+            f"in {self.elapsed_s:.2f}s "
+            f"({self.runs_per_second():.1f} runs/s)"
+        )
+
+
+@dataclass
+class CampaignEngine:
+    """Memoized executor shared by campaigns, experiments and the CLI."""
+
+    cache: RunCache = field(default_factory=RunCache)
+    jobs: int = 1
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def run_cells(self, cells: Sequence[Cell]) -> List[RunResult]:
+        """Execute a batch of cells; results are returned in cell order."""
+        start = time.perf_counter()
+        keys = [cell.key() for cell in cells]
+        resolved: Dict[str, RunResult] = {}
+        pending: List[Cell] = []
+        pending_keys: List[str] = []
+        for cell, key in zip(cells, keys):
+            if key in resolved:
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+                continue
+            resolved[key] = None  # claimed; dedupe within the batch
+            pending.append(cell)
+            pending_keys.append(key)
+
+        for key, result in zip(pending_keys, self._execute(pending)):
+            self.cache.put(key, result)
+            resolved[key] = result
+
+        self.stats.cells_requested += len(cells)
+        self.stats.cells_run += len(pending)
+        self.stats.cells_cached += len(cells) - len(pending)
+        self.stats.elapsed_s += time.perf_counter() - start
+        self.stats.batches += 1
+        return [resolved[key] for key in keys]
+
+    def run_one(
+        self,
+        workload: WorkloadSpec,
+        platform: Platform,
+        target: MemoryTarget,
+        config: PipelineConfig = PipelineConfig(),
+    ) -> RunResult:
+        """Run (or recall) a single cell."""
+        return self.run_cells([Cell(workload, platform, target, config)])[0]
+
+    # -- execution backends ------------------------------------------------
+
+    def _execute(self, pending: List[Cell]) -> List[RunResult]:
+        if self.jobs <= 1 or len(pending) < _MIN_POOL_BATCH:
+            return [_execute_cell(cell) for cell in pending]
+        try:
+            return self._execute_pool(pending)
+        except (OSError, ValueError, ImportError, BrokenProcessPool,
+                pickle.PicklingError):
+            # Pool infrastructure unavailable -- fall back, don't fail.
+            self.stats.pool_fallbacks += 1
+            return [_execute_cell(cell) for cell in pending]
+
+    def _execute_pool(self, pending: List[Cell]) -> List[RunResult]:
+        import multiprocessing as mp
+
+        try:
+            context = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = mp.get_context()
+        # ~4 chunks per worker amortizes submission while keeping the pool fed.
+        chunksize = max(1, len(pending) // (self.jobs * 4))
+        with ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=context
+        ) as pool:
+            return list(pool.map(_execute_cell, pending, chunksize=chunksize))

@@ -1,0 +1,170 @@
+"""Lossless JSON serialization of :class:`~repro.cpu.pipeline.RunResult`.
+
+The on-disk cache tier stores one JSON document per run.  Serialization
+must be *bit-faithful*: a reloaded result feeds the same figures as the
+original, so every float has to round-trip exactly.  Python's ``json``
+module emits ``repr()``-shortest floats, which reparse to the identical
+IEEE-754 value, so a dump/load cycle reproduces every field bit-for-bit.
+
+Workload specs and platforms are serialized structurally (all dataclass
+fields) rather than by name, so fitted devices, scaled-intensity variants
+and phase-local specs survive the round trip unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Dict
+
+from repro.cpu.backend import OperatingPoint, StallComponents
+from repro.cpu.counters import CounterSample
+from repro.cpu.pipeline import PhaseResult, RunResult
+from repro.cpu.prefetcher import PrefetchOutcome
+from repro.hw.platform import Microarchitecture, Platform
+from repro.workloads.base import Phase, WorkloadSpec
+
+FORMAT_VERSION = 1
+"""Bump on any schema change; mismatched cache entries are ignored."""
+
+_FIELD_NAMES: Dict[type, tuple] = {}
+
+
+def shallow_dict(obj) -> Dict[str, Any]:
+    """One dataclass level as a dict -- no ``asdict`` deepcopy recursion.
+
+    Only safe for objects whose fields are scalars (every model dataclass
+    here except the explicitly nested ones handled below); the cache write
+    path is hot enough that ``dataclasses.asdict`` shows up in profiles.
+    """
+    cls = type(obj)
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELD_NAMES[cls] = names
+    return {name: getattr(obj, name) for name in names}
+
+
+def _phase_to_dict(phase: Phase) -> Dict[str, Any]:
+    return {
+        "weight": phase.weight,
+        "multipliers": dict(phase.multipliers),
+        "label": phase.label,
+    }
+
+
+def _phase_from_dict(data: Dict[str, Any]) -> Phase:
+    return Phase(
+        weight=data["weight"],
+        multipliers=dict(data["multipliers"]),
+        label=data["label"],
+    )
+
+
+def workload_to_dict(spec: WorkloadSpec) -> Dict[str, Any]:
+    """All spec fields, with phases as nested dicts."""
+    data = shallow_dict(spec)
+    data["phases"] = [_phase_to_dict(p) for p in spec.phases]
+    return data
+
+
+def workload_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
+    """Rebuild a spec (validation re-runs in ``__post_init__``)."""
+    values = dict(data)
+    values["phases"] = tuple(_phase_from_dict(p) for p in data["phases"])
+    return WorkloadSpec(**values)
+
+
+def platform_to_dict(platform: Platform) -> Dict[str, Any]:
+    """All platform fields, with the microarchitecture nested."""
+    data = shallow_dict(platform)
+    data["uarch"] = shallow_dict(platform.uarch)
+    data["extra_latency_configs_ns"] = list(platform.extra_latency_configs_ns)
+    return data
+
+
+def platform_from_dict(data: Dict[str, Any]) -> Platform:
+    """Rebuild a platform, including its microarchitecture."""
+    values = dict(data)
+    values["uarch"] = Microarchitecture(**data["uarch"])
+    values["extra_latency_configs_ns"] = tuple(data["extra_latency_configs_ns"])
+    return Platform(**values)
+
+
+def _operating_point_to_dict(op: OperatingPoint) -> Dict[str, Any]:
+    data = shallow_dict(op)
+    data["prefetch"] = shallow_dict(op.prefetch)
+    return data
+
+
+def _phase_result_to_dict(phase: PhaseResult) -> Dict[str, Any]:
+    return {
+        "phase": _phase_to_dict(phase.phase),
+        "instructions": phase.instructions,
+        "components": shallow_dict(phase.components),
+        "operating_point": _operating_point_to_dict(phase.operating_point),
+        "counters": shallow_dict(phase.counters),
+    }
+
+
+def _phase_result_from_dict(data: Dict[str, Any]) -> PhaseResult:
+    op = dict(data["operating_point"])
+    op["prefetch"] = PrefetchOutcome(**op["prefetch"])
+    return PhaseResult(
+        phase=_phase_from_dict(data["phase"]),
+        instructions=data["instructions"],
+        components=StallComponents(**data["components"]),
+        operating_point=OperatingPoint(**op),
+        counters=CounterSample(**data["counters"]),
+    )
+
+
+def run_result_to_dict(
+    result: RunResult, embed_context: bool = True
+) -> Dict[str, Any]:
+    """Serialize a run to a JSON-safe dict (see :data:`FORMAT_VERSION`).
+
+    With ``embed_context=False`` the workload and platform are omitted --
+    the disk cache stores those once as content-addressed blobs instead of
+    duplicating them in every run document.
+    """
+    data = {
+        "version": FORMAT_VERSION,
+        "target_name": result.target_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "counters": shallow_dict(result.counters),
+        "components": shallow_dict(result.components),
+        "phases": [_phase_result_to_dict(p) for p in result.phases],
+    }
+    if embed_context:
+        data["workload"] = workload_to_dict(result.workload)
+        data["platform"] = platform_to_dict(result.platform)
+    return data
+
+
+def run_result_from_dict(
+    data: Dict[str, Any],
+    workload: WorkloadSpec = None,
+    platform: Platform = None,
+) -> RunResult:
+    """Rebuild a run from :func:`run_result_to_dict` output.
+
+    ``workload``/``platform`` override the embedded dicts when the caller
+    already rebuilt them (the cache's blob tier).  Raises ``KeyError``/
+    ``TypeError`` on schema mismatch; callers treat that as a cache miss
+    rather than an error.
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise KeyError(f"unsupported run format {data.get('version')!r}")
+    return RunResult(
+        workload=workload if workload is not None
+        else workload_from_dict(data["workload"]),
+        platform=platform if platform is not None
+        else platform_from_dict(data["platform"]),
+        target_name=data["target_name"],
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        counters=CounterSample(**data["counters"]),
+        components=StallComponents(**data["components"]),
+        phases=tuple(_phase_result_from_dict(p) for p in data["phases"]),
+    )

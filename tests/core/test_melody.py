@@ -4,6 +4,8 @@ import pytest
 
 from repro.core.melody import Campaign, Melody
 from repro.errors import AnalysisError, ConfigurationError
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import CampaignEngine
 from repro.workloads import all_workloads
 
 
@@ -76,6 +78,48 @@ class TestCampaignExecution:
         result = Melody().run(campaign)
         assert 0.0 <= result.fraction_below("CXL-A", 50.0) <= 1.0
         assert result.fraction_below("CXL-A", 1e9) == 1.0
+
+
+class TestBaselineCollapse:
+    """A target that coincides with the baseline must not run twice."""
+
+    def test_local_target_reuses_baseline_runs(self, emr, device_a,
+                                               simple_workload,
+                                               compute_workload):
+        engine = CampaignEngine(cache=RunCache())
+        campaign = Campaign(
+            name="dup-baseline",
+            platform=emr,
+            targets=(emr.local_target(), device_a),
+            workloads=(simple_workload, compute_workload),
+        )
+        result = Melody(engine=engine).run(campaign)
+        # 2 baselines + 2 local (collapse) + 2 device cells => 4 executions.
+        assert engine.stats.cells_requested == 6
+        assert engine.stats.cells_run == 4
+        assert engine.stats.cells_cached == 2
+        local = result.record(
+            simple_workload.name, emr.local_target().name
+        )
+        assert local.run is local.baseline
+        assert local.slowdown_pct == 0.0
+
+    def test_explicit_baseline_in_targets_collapses(self, emr, device_a,
+                                                    device_b,
+                                                    simple_workload):
+        engine = CampaignEngine(cache=RunCache())
+        campaign = Campaign(
+            name="explicit-baseline",
+            platform=emr,
+            targets=(device_a, device_b),
+            workloads=(simple_workload,),
+            baseline=device_a,
+        )
+        result = Melody(engine=engine).run(campaign)
+        assert engine.stats.cells_run == 2  # device_a once, device_b once
+        record = result.record(simple_workload.name, device_a.name)
+        assert record.run is record.baseline
+        assert record.slowdown_pct == 0.0
 
 
 class TestStandardCampaigns:

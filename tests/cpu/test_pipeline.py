@@ -92,6 +92,20 @@ class TestLatencySampling:
         samples = sample_run_latencies(result, device_b, n=5000)
         assert len(samples) == 5000
 
+    def test_exact_count_despite_rounding_shortfall(self, simple_workload,
+                                                    emr, device_b):
+        # Two half-weight burst points of an odd n both round down, which
+        # used to return n-1 samples; the shortfall is now padded from the
+        # dominant phase.
+        import dataclasses
+
+        bursty = dataclasses.replace(
+            simple_workload, burst_fraction=0.5, burst_ratio=1.5
+        )
+        result = run_workload(bursty, emr, device_b)
+        for n in (5, 7, 9, 10_001):
+            assert len(sample_run_latencies(result, device_b, n=n)) == n
+
     def test_samples_centred_on_device_latency(self, simple_workload, emr,
                                                device_b):
         result = run_workload(simple_workload, emr, device_b)

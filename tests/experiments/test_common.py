@@ -2,12 +2,15 @@
 
 import pytest
 
+from repro.cpu.pipeline import PipelineConfig
 from repro.experiments.common import (
     FAST_SUBSAMPLE,
+    campaign_melody,
     measurement_targets,
     standard_targets,
     workload_population,
 )
+from repro.runtime.context import get_engine
 from repro.workloads import REGISTRY_SIZE
 
 
@@ -51,3 +54,15 @@ class TestTargets:
         a = standard_targets()["CXL-A"]
         b = standard_targets()["CXL-A"]
         assert a is not b
+
+
+class TestCampaignMelody:
+    def test_shares_process_wide_engine(self):
+        assert campaign_melody().engine is get_engine()
+        assert campaign_melody().engine is campaign_melody().engine
+
+    def test_config_override_keeps_shared_engine(self):
+        config = PipelineConfig(prefetchers_enabled=False)
+        melody = campaign_melody(config)
+        assert melody.config is config
+        assert melody.engine is get_engine()

@@ -1,0 +1,88 @@
+"""Parallel and cached execution must be bit-identical to serial runs.
+
+These are the acceptance tests of the runtime layer: a ``jobs=4`` pool and
+a warm on-disk cache are pure performance features -- every observable
+(slowdown vectors, counter readings, full RunResults) matches the serial
+in-process path exactly, so rendered figures stay byte-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.melody import Melody
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import CampaignEngine
+from repro.workloads import all_workloads
+
+
+@pytest.fixture
+def fig8a_subset():
+    """A small slice of the Figure 8a device campaign."""
+    return Melody.device_campaign(workloads=all_workloads()[:6])
+
+
+def _private_melody(jobs=1, cache_dir=None):
+    engine = CampaignEngine(cache=RunCache(cache_dir), jobs=jobs)
+    return Melody(engine=engine), engine
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bitwise(self, fig8a_subset):
+        serial, _ = _private_melody(jobs=1)
+        parallel, engine = _private_melody(jobs=4)
+        expected = serial.run(fig8a_subset)
+        actual = parallel.run(fig8a_subset)
+
+        assert engine.stats.cells_run > 0
+        for target in expected.target_names():
+            np.testing.assert_array_equal(
+                expected.slowdowns(target), actual.slowdowns(target)
+            )
+        for want, got in zip(expected.records, actual.records):
+            assert want.workload == got.workload
+            assert want.target == got.target
+            assert want.run.counters == got.run.counters
+            assert want.baseline.counters == got.baseline.counters
+            assert want.run == got.run
+
+    def test_record_order_independent_of_jobs(self, fig8a_subset):
+        serial, _ = _private_melody(jobs=1)
+        parallel, _ = _private_melody(jobs=4)
+        a = serial.run(fig8a_subset)
+        b = parallel.run(fig8a_subset)
+        assert [(r.workload, r.target) for r in a.records] == [
+            (r.workload, r.target) for r in b.records
+        ]
+        assert a.skipped == b.skipped
+
+
+class TestWarmCacheDeterminism:
+    def test_warm_disk_cache_returns_identical_runs(self, fig8a_subset,
+                                                    tmp_path):
+        cold, cold_engine = _private_melody(cache_dir=str(tmp_path))
+        expected = cold.run(fig8a_subset)
+        assert cold_engine.stats.cells_run > 0
+
+        warm, warm_engine = _private_melody(cache_dir=str(tmp_path))
+        actual = warm.run(fig8a_subset)
+        assert warm_engine.stats.cells_run == 0
+        assert warm_engine.stats.cells_cached == \
+            warm_engine.stats.cells_requested
+
+        for want, got in zip(expected.records, actual.records):
+            assert want.run == got.run
+            assert want.baseline == got.baseline
+            assert want.slowdown_pct == got.slowdown_pct
+
+    def test_disk_cache_matches_uncached_run(self, fig8a_subset, tmp_path):
+        plain, _ = _private_melody()
+        cached, _ = _private_melody(cache_dir=str(tmp_path))
+        expected = plain.run(fig8a_subset)
+        cached.run(fig8a_subset)  # populate the disk tier
+        reloaded, engine = _private_melody(cache_dir=str(tmp_path))
+        actual = reloaded.run(fig8a_subset)
+        assert engine.cache.disk_hits > 0
+        for target in expected.target_names():
+            np.testing.assert_array_equal(
+                expected.slowdowns(target), actual.slowdowns(target)
+            )

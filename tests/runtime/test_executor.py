@@ -1,0 +1,116 @@
+"""CampaignEngine tests: dedupe, ordering, stats, pool and fallback."""
+
+import pytest
+
+from repro.cpu.pipeline import PipelineConfig, run_workload
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import CampaignEngine, Cell
+
+
+@pytest.fixture
+def engine():
+    return CampaignEngine(cache=RunCache())
+
+
+@pytest.fixture
+def grid(simple_workload, compute_workload, bandwidth_workload, emr,
+         device_a, device_b):
+    workloads = (simple_workload, compute_workload, bandwidth_workload)
+    return [
+        Cell(w, emr, t) for w in workloads for t in (device_a, device_b)
+    ]
+
+
+class TestRunCells:
+    def test_results_in_cell_order(self, engine, grid):
+        results = engine.run_cells(grid)
+        assert len(results) == len(grid)
+        for cell, result in zip(grid, results):
+            assert result.workload is cell.workload
+            assert result.target_name == cell.target.name
+
+    def test_duplicates_run_once(self, engine, grid):
+        results = engine.run_cells(grid + grid)
+        assert engine.stats.cells_requested == 2 * len(grid)
+        assert engine.stats.cells_run == len(grid)
+        assert engine.stats.cells_cached == len(grid)
+        for first, second in zip(results, results[len(grid):]):
+            assert first is second
+
+    def test_second_batch_fully_cached(self, engine, grid):
+        engine.run_cells(grid)
+        again = engine.run_cells(grid)
+        assert engine.stats.cells_run == len(grid)
+        assert engine.stats.cells_cached == len(grid)
+        assert engine.stats.batches == 2
+        assert all(r is s for r, s in zip(engine.run_cells(grid), again))
+
+    def test_run_one_matches_direct_call(self, engine, simple_workload, emr,
+                                         device_a):
+        result = engine.run_one(simple_workload, emr, device_a)
+        assert result == run_workload(simple_workload, emr, device_a)
+        assert engine.run_one(simple_workload, emr, device_a) is result
+
+    def test_config_distinguishes_cells(self, engine, simple_workload, emr,
+                                        device_a):
+        a = engine.run_one(simple_workload, emr, device_a)
+        b = engine.run_one(simple_workload, emr, device_a,
+                           PipelineConfig(seed=9))
+        assert engine.stats.cells_run == 2
+        assert a.counters != b.counters
+
+
+class TestParallel:
+    def test_pool_matches_serial_bitwise(self, grid):
+        serial = CampaignEngine(cache=RunCache(), jobs=1).run_cells(grid)
+        parallel = CampaignEngine(cache=RunCache(), jobs=4).run_cells(grid)
+        assert serial == parallel
+        for s, p in zip(serial, parallel):
+            assert s.cycles == p.cycles
+            assert s.counters == p.counters
+
+    def test_small_batches_stay_serial(self, simple_workload, emr, device_a,
+                                       monkeypatch):
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+
+        def boom(pending):  # pool must not be touched for tiny batches
+            raise AssertionError("pool used for a small batch")
+
+        monkeypatch.setattr(engine, "_execute_pool", boom)
+        engine.run_cells([Cell(simple_workload, emr, device_a)])
+        assert engine.stats.pool_fallbacks == 0
+
+    def test_broken_pool_falls_back_to_serial(self, grid, monkeypatch):
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+
+        def boom(pending):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(engine, "_execute_pool", boom)
+        results = engine.run_cells(grid)
+        assert engine.stats.pool_fallbacks == 1
+        assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
+
+    def test_run_errors_propagate(self, grid, monkeypatch):
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+
+        def boom(pending):
+            raise RuntimeError("a genuine run failure")
+
+        monkeypatch.setattr(engine, "_execute_pool", boom)
+        with pytest.raises(RuntimeError):
+            engine.run_cells(grid)
+
+
+class TestStats:
+    def test_runs_per_second(self, engine, grid):
+        assert engine.stats.runs_per_second() == 0.0
+        engine.run_cells(grid)
+        assert engine.stats.runs_per_second() > 0.0
+
+    def test_summary_line(self, engine, grid):
+        engine.run_cells(grid + grid)
+        line = engine.stats.summary()
+        assert line.startswith(f"runtime: {2 * len(grid)} cells")
+        assert f"({len(grid)} run, {len(grid)} cached)" in line
+        assert line.endswith("runs/s)")

@@ -1,0 +1,71 @@
+"""RunResult JSON serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.cpu.pipeline import PipelineConfig, run_workload
+from repro.runtime.serialize import (
+    platform_from_dict,
+    platform_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture
+def run(simple_workload, emr, device_a):
+    return run_workload(simple_workload, emr, device_a)
+
+
+class TestRoundTrip:
+    def test_run_result_bit_identical(self, run):
+        reloaded = run_result_from_dict(run_result_to_dict(run))
+        assert reloaded == run
+
+    def test_round_trip_through_json_text(self, run):
+        text = json.dumps(run_result_to_dict(run))
+        reloaded = run_result_from_dict(json.loads(text))
+        assert reloaded == run
+        assert reloaded.cycles == run.cycles
+        assert reloaded.counters == run.counters
+        assert reloaded.phases == run.phases
+
+    def test_phased_workload_round_trip(self, phased_workload, emr, device_a):
+        run = run_workload(phased_workload, emr, device_a)
+        reloaded = run_result_from_dict(run_result_to_dict(run))
+        assert reloaded == run
+        assert len(reloaded.phases) == 2
+        assert reloaded.workload.phases[0].multipliers == {"l3_mpki": 2.0}
+
+    def test_derived_metrics_survive(self, run):
+        reloaded = run_result_from_dict(run_result_to_dict(run))
+        assert reloaded.performance == run.performance
+        assert reloaded.mean_latency_ns == run.mean_latency_ns
+        assert reloaded.mean_load_gbps == run.mean_load_gbps
+
+    def test_workload_round_trip(self, bandwidth_workload):
+        reloaded = workload_from_dict(workload_to_dict(bandwidth_workload))
+        assert reloaded == bandwidth_workload
+
+    def test_platform_round_trip(self, emr, skx):
+        for platform in (emr, skx):
+            assert platform_from_dict(platform_to_dict(platform)) == platform
+
+
+class TestSchemaGuard:
+    def test_unknown_version_rejected(self, run):
+        data = run_result_to_dict(run)
+        data["version"] = 999
+        with pytest.raises(KeyError):
+            run_result_from_dict(data)
+
+    def test_context_omitted_when_not_embedded(self, run):
+        data = run_result_to_dict(run, embed_context=False)
+        assert "workload" not in data and "platform" not in data
+        reloaded = run_result_from_dict(
+            data, workload=run.workload, platform=run.platform
+        )
+        assert reloaded == run

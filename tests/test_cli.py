@@ -91,6 +91,55 @@ class TestFiguresExport:
         assert "Table 1" in files[0].read_text()
 
 
+class TestRuntimeFlags:
+    @pytest.fixture(autouse=True)
+    def fresh_runtime(self):
+        # --jobs/--cache-dir reconfigure the process-wide engine; keep that
+        # from leaking into (or out of) other tests.
+        from repro.runtime import reset_runtime
+
+        reset_runtime()
+        yield
+        reset_runtime()
+
+    def test_campaign_prints_stats_line(self, capsys):
+        code, out = run_cli(
+            capsys, "campaign", "--suite", "PARSEC",
+            "--targets", "cxl-a", "--sample", "4",
+        )
+        assert code == 0
+        line = next(l for l in out.splitlines() if l.startswith("runtime:"))
+        assert "run," in line and "cached)" in line
+        assert line.endswith("runs/s)")
+
+    def test_campaign_warm_cache_skips_runs(self, capsys, tmp_path):
+        args = ("campaign", "--suite", "PARSEC", "--targets", "cxl-a",
+                "--sample", "4", "--cache-dir", str(tmp_path))
+        code, cold = run_cli(capsys, *args)
+        assert code == 0
+        code, warm = run_cli(capsys, *args)
+        assert code == 0
+        assert "(0 run," in warm
+        rows = lambda text: [l for l in text.splitlines()
+                             if l.startswith("  ")]
+        assert rows(cold) == rows(warm)
+
+    def test_campaign_jobs_flag_identical_output(self, capsys):
+        args = ("campaign", "--suite", "PARSEC", "--targets", "cxl-a",
+                "--sample", "4")
+        _, serial = run_cli(capsys, *args)
+        code, parallel = run_cli(capsys, *args, "--jobs", "2")
+        assert code == 0
+        rows = lambda text: [l for l in text.splitlines()
+                             if l.startswith("  ")]
+        assert rows(serial) == rows(parallel)
+
+    def test_figures_prints_stats_line(self, capsys):
+        code, out = run_cli(capsys, "figures", "tab01")
+        assert code == 0
+        assert any(l.startswith("runtime:") for l in out.splitlines())
+
+
 class TestFitCommand:
     def test_fit_from_files(self, capsys, tmp_path):
         import numpy as np
