@@ -6,7 +6,11 @@ Exposes the main Melody workflows without writing any Python:
 * ``campaign``     -- run a slowdown campaign and export the dataset
 * ``spa``          -- Spa breakdown of one workload on one target
 * ``figures``      -- regenerate paper tables/figures by id
+* ``validate``     -- run the repro.diag invariant suite over the models
 * ``workloads``    -- list the 265-workload population
+
+``campaign``, ``spa``, and ``figures`` accept ``--strict``, which promotes
+any invariant violation in the produced results to an error (exit 2).
 """
 
 from __future__ import annotations
@@ -71,11 +75,13 @@ def cmd_characterize(args) -> int:
 def cmd_campaign(args) -> int:
     """Run a slowdown campaign and optionally export it."""
     from repro.core.dataset import export_csv, export_json
-    from repro.core.melody import Campaign, Melody
+    from repro.core.melody import Campaign
+    from repro.experiments.common import campaign_melody, set_strict
     from repro.hw.platform import platform_by_name
     from repro.workloads import all_workloads, workloads_by_suite
 
     engine = _configure_runtime(args)
+    set_strict(args.strict)
     platform = platform_by_name(args.platform)
     workloads = (
         workloads_by_suite(args.suite) if args.suite else all_workloads()
@@ -87,7 +93,7 @@ def cmd_campaign(args) -> int:
         name="cli", platform=platform, targets=targets,
         workloads=tuple(workloads),
     )
-    result = Melody().run(campaign)
+    result = campaign_melody().run(campaign)
     from repro.analysis.report import format_cdf_row
 
     print(f"{len(result.records)} records "
@@ -116,6 +122,13 @@ def cmd_spa(args) -> int:
     target = _target_by_name(args.target, platform)
     base = run_workload(workload, platform, platform.local_target())
     run = run_workload(workload, platform, target)
+    if args.strict:
+        from repro.diag import validate_run_results
+        from repro.errors import DiagnosticError
+
+        report = validate_run_results((base, run), label="spa runs")
+        if not report.ok:
+            raise DiagnosticError(report, context=f"spa {workload.name}")
     breakdown = spa_analyze(base, run)
     print(f"{workload.name} on {target.name} (vs {platform.name} local):")
     print(f"  actual slowdown   : {breakdown.estimates.actual:6.1f}%")
@@ -135,8 +148,10 @@ def cmd_figures(args) -> int:
     from pathlib import Path
 
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.common import set_strict
 
     engine = _configure_runtime(args)
+    set_strict(args.strict)
     out_dir = Path(args.output) if args.output else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -208,6 +223,18 @@ def cmd_fit(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    """Run the repro.diag invariant suite across all registered models."""
+    from repro.diag import run_checks
+
+    report = run_checks(layers=args.layer or None)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_workloads(args) -> int:
     """List the workload population."""
     from collections import Counter
@@ -257,12 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel worker processes (default: serial)")
     p.add_argument("--cache-dir", default=None,
                    help="on-disk run cache shared across invocations")
+    p.add_argument("--strict", action="store_true",
+                   help="promote invariant violations in results to errors")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("spa", help="Spa breakdown of one workload")
     p.add_argument("workload")
     p.add_argument("--target", default="cxl-a")
     p.add_argument("--platform", default="EMR2S")
+    p.add_argument("--strict", action="store_true",
+                   help="promote invariant violations in results to errors")
     p.set_defaults(func=cmd_spa)
 
     p = sub.add_parser("figures", help="regenerate paper tables/figures")
@@ -276,7 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel worker processes (default: serial)")
     p.add_argument("--cache-dir", default=None,
                    help="on-disk run cache shared across invocations")
+    p.add_argument("--strict", action="store_true",
+                   help="promote invariant violations in results to errors")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "validate", help="run the simulation invariant suite (repro.diag)"
+    )
+    p.add_argument("--layer", nargs="*", default=None,
+                   choices=["link", "device", "counters", "workloads",
+                            "runtime"],
+                   help="restrict to these layers (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured DiagReport as JSON")
+    p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("fit", help="fit device models from measurements")
     p.add_argument("latency_samples",

@@ -83,6 +83,22 @@ class CounterSample:
     def __post_init__(self) -> None:
         if self.cycles < 0 or self.instructions < 0:
             raise MeasurementError("cycles/instructions cannot be negative")
+        if self.stalls_l3_miss < 0 or self.bound_on_stores < 0:
+            raise MeasurementError(
+                "stall counters cannot be negative: "
+                f"P5={self.stalls_l3_miss}, P2={self.bound_on_stores}"
+            )
+        if not (
+            self.bound_on_loads
+            >= self.stalls_l1d_miss
+            >= self.stalls_l2_miss
+            >= self.stalls_l3_miss
+        ):
+            raise MeasurementError(
+                "containment violated (Fig. 10): require P1 >= P3 >= P4 >= P5, "
+                f"got P1={self.bound_on_loads}, P3={self.stalls_l1d_miss}, "
+                f"P4={self.stalls_l2_miss}, P5={self.stalls_l3_miss}"
+            )
 
     # -- Figure 10 differencing -------------------------------------------
 
@@ -210,19 +226,46 @@ class CounterSet:
         p9 = serialization_stalls + 0.3 * s_core
         p7 = 0.45 * s_core + 0.05 * frontend_stalls
         p8 = 0.25 * s_core + 0.04 * frontend_stalls
+        # Draw the per-counter noise in declaration order (one RNG stream
+        # position per counter, so adding the clamp below cannot shift the
+        # draws of well-behaved samples), then restore containment at the
+        # emulation boundary: independent multiplicative noise on P1/P3/P4/P5
+        # can invert an adjacent pair when the true difference is smaller
+        # than the noise, which would make the differenced stalls
+        # ``s_l1``/``s_l2``/``s_l3`` negative and corrupt Spa's Eq. 4
+        # breakdown.  Real PMUs cannot report such readings -- the events are
+        # physically nested -- so the emulation clamps each level to its
+        # parent, exactly like correlated noise in the limit.
+        j_cycles = self._jitter(cycles)
+        jp1 = self._jitter(p1)
+        jp2 = self._jitter(p2)
+        jp3 = self._jitter(p3)
+        jp4 = self._jitter(p4)
+        jp5 = self._jitter(p5)
+        jp6 = self._jitter(p6)
+        jp7 = self._jitter(p7)
+        jp8 = self._jitter(p8)
+        jp9 = self._jitter(p9)
+        j_l1pf = self._jitter(l1pf_l3_miss)
+        j_l2pf_miss = self._jitter(l2pf_l3_miss)
+        j_l2pf_hit = self._jitter(l2pf_l3_hit)
+        jp1 = max(0.0, jp1)
+        jp3 = min(max(0.0, jp3), jp1)
+        jp4 = min(max(0.0, jp4), jp3)
+        jp5 = min(max(0.0, jp5), jp4)
         return CounterSample(
-            cycles=self._jitter(cycles),
+            cycles=j_cycles,
             instructions=instructions,
-            bound_on_loads=self._jitter(p1),
-            bound_on_stores=self._jitter(p2),
-            stalls_l1d_miss=self._jitter(p3),
-            stalls_l2_miss=self._jitter(p4),
-            stalls_l3_miss=self._jitter(p5),
-            retired_stalls=self._jitter(p6),
-            one_ports_util=self._jitter(p7),
-            two_ports_util=self._jitter(p8),
-            stalls_scoreboard=self._jitter(p9),
-            l1pf_l3_miss=self._jitter(l1pf_l3_miss),
-            l2pf_l3_miss=self._jitter(l2pf_l3_miss),
-            l2pf_l3_hit=self._jitter(l2pf_l3_hit),
+            bound_on_loads=jp1,
+            bound_on_stores=max(0.0, jp2),
+            stalls_l1d_miss=jp3,
+            stalls_l2_miss=jp4,
+            stalls_l3_miss=jp5,
+            retired_stalls=jp6,
+            one_ports_util=jp7,
+            two_ports_util=jp8,
+            stalls_scoreboard=jp9,
+            l1pf_l3_miss=j_l1pf,
+            l2pf_l3_miss=j_l2pf_miss,
+            l2pf_l3_hit=j_l2pf_hit,
         )

@@ -1,0 +1,45 @@
+"""`repro.diag`: the simulation invariant-enforcement layer.
+
+The paper's credibility rests on structural properties real hardware
+guarantees for free -- counter containment (Fig. 10), load-monotone latency
+curves (Fig. 3), conservation through the link and MC queues -- but our
+software substitutes can silently violate them.  This subsystem turns those
+latent model bugs into loud diagnostics:
+
+* every layer of the stack registers *invariant checks* (`registry.py`)
+  that inspect the shipped models -- link (`checks_link`), CXL device / MC
+  (`checks_device`), CPU counters (`checks_counters`), workloads
+  (`checks_workloads`), and the execution runtime (`checks_runtime`);
+* violations are collected into a structured :class:`DiagReport`
+  (`report.py`) with per-layer context, renderable as JSON or text;
+* ``python -m repro validate`` runs the suite across all registered
+  devices/platforms/workloads and exits non-zero on any violation;
+* ``--strict`` on experiment commands promotes violations inside produced
+  results to :class:`~repro.errors.DiagnosticError` (`runcheck.py`).
+"""
+
+from repro.diag.context import DiagContext
+from repro.diag.registry import (
+    InvariantCheck,
+    all_invariants,
+    invariant,
+    run_checks,
+)
+from repro.diag.report import CheckResult, DiagReport, Violation
+from repro.diag.runcheck import (
+    validate_campaign_result,
+    validate_run_results,
+)
+
+__all__ = [
+    "CheckResult",
+    "DiagContext",
+    "DiagReport",
+    "InvariantCheck",
+    "Violation",
+    "all_invariants",
+    "invariant",
+    "run_checks",
+    "validate_campaign_result",
+    "validate_run_results",
+]

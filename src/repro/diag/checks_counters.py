@@ -1,0 +1,133 @@
+"""CPU-counter invariants: Figure 10 containment survives measurement noise.
+
+Spa's differential analysis assumes the physically nested stall events keep
+their nesting in every reported sample: ``P1 >= P3 >= P4 >= P5`` and hence
+non-negative differenced stalls.  Real PMUs guarantee this structurally;
+our emulation injects independent multiplicative noise per counter, so the
+guarantee has to be *enforced* at the emulation boundary
+(:meth:`repro.cpu.counters.CounterSet.build`).  These checks hammer the
+builder with randomized true-stall components -- including near-degenerate
+ones where adjacent levels differ by less than the noise -- at amplified
+noise, and verify the containment chain and the zero-noise differencing
+identity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cpu.counters import MEASUREMENT_NOISE, CounterSet
+from repro.diag.context import DiagContext
+from repro.diag.registry import invariant, subjects
+from repro.diag.report import Violation
+from repro.errors import MeasurementError
+from repro.rng import generator_for
+
+STRESS_NOISE = 10.0 * MEASUREMENT_NOISE
+"""Noise level for the containment stress (10x the calibrated PMU noise)."""
+
+
+def _random_components(rng) -> dict:
+    """One random true-stall draw, biased toward near-degenerate nesting."""
+    cycles = float(rng.uniform(1e6, 1e9))
+    # Log-uniform magnitudes so some levels are tiny relative to the noise
+    # -- exactly the regime where independent jitter inverts adjacent
+    # counters.
+    def stall() -> float:
+        return float(10.0 ** rng.uniform(-2.0, 0.0)) * cycles
+
+    return dict(
+        cycles=cycles,
+        instructions=float(rng.uniform(0.5, 2.0)) * cycles,
+        s_l1=stall(),
+        s_l2=stall(),
+        s_l3=stall(),
+        s_dram=stall(),
+        s_store=stall(),
+        s_core=stall(),
+        s_other=stall(),
+        frontend_stalls=stall(),
+        baseline_load_stalls=stall(),
+        serialization_stalls=stall(),
+    )
+
+
+@invariant(
+    name="containment-under-noise",
+    layer="counters",
+    description="emulated counter readings keep the Fig. 10 containment "
+    "chain (P1 >= P3 >= P4 >= P5) even at 10x PMU noise",
+)
+def check_containment_under_noise(ctx: DiagContext) -> Iterator[Violation]:
+    """Stress the counter builder at 10x noise; containment must survive."""
+    rng = generator_for(ctx.seed, "diag", "counters-containment")
+    builder = CounterSet(rng, noise=STRESS_NOISE)
+    draws = ctx.noise_draws
+    subjects(check_containment_under_noise, draws)
+    for i in range(draws):
+        components = _random_components(rng)
+        try:
+            sample = builder.build(**components)
+        except MeasurementError as exc:
+            # CounterSample.__post_init__ validates containment, so a
+            # constructor rejection means the emulation produced a reading
+            # no real PMU could.
+            yield Violation(
+                layer="counters",
+                check="containment-under-noise",
+                subject=f"draw-{i}",
+                message=f"builder produced an invalid reading: {exc}",
+                context={"noise": STRESS_NOISE},
+            )
+            continue
+        for name, value in (
+            ("s_l1", sample.s_l1),
+            ("s_l2", sample.s_l2),
+            ("s_l3", sample.s_l3),
+            ("s_dram", sample.s_dram),
+            ("s_store", sample.s_store),
+        ):
+            if value < 0:
+                yield Violation(
+                    layer="counters",
+                    check="containment-under-noise",
+                    subject=f"draw-{i}",
+                    message=f"negative differenced stall {name}",
+                    context={name: value, "noise": STRESS_NOISE},
+                )
+
+
+@invariant(
+    name="differencing-identity",
+    layer="counters",
+    description="at zero noise, Spa's differencing recovers the true stall "
+    "components plus their fixed baseline shares",
+)
+def check_differencing_identity(ctx: DiagContext) -> Iterator[Violation]:
+    """Zero-noise differencing recovers the true stall components."""
+    rng = generator_for(ctx.seed, "diag", "counters-identity")
+    builder = CounterSet(rng, noise=0.0)
+    draws = min(ctx.noise_draws, 100)
+    subjects(check_differencing_identity, draws)
+    for i in range(draws):
+        components = _random_components(rng)
+        sample = builder.build(**components)
+        baseline = components["baseline_load_stalls"]
+        expectations = (
+            ("s_l1", sample.s_l1, components["s_l1"] + 0.30 * baseline),
+            ("s_l2", sample.s_l2, components["s_l2"] + 0.15 * baseline),
+            ("s_l3", sample.s_l3, components["s_l3"] + 0.15 * baseline),
+            ("s_dram", sample.s_dram, components["s_dram"] + 0.40 * baseline),
+            ("s_store", sample.s_store, components["s_store"]),
+        )
+        for name, got, expected in expectations:
+            scale = max(abs(expected), components["cycles"] * 1e-9)
+            if abs(got - expected) > 1e-6 * scale:
+                yield Violation(
+                    layer="counters",
+                    check="differencing-identity",
+                    subject=f"draw-{i}",
+                    message=f"differenced {name} does not recover the true "
+                    "component at zero noise",
+                    context={"got": got, "expected": expected},
+                )

@@ -1,0 +1,239 @@
+"""Device / memory-controller invariants: latency floors, queue sanity,
+throughput ceilings, and Table 1 calibration fidelity.
+
+These encode what Figure 3a and Table 1 guarantee about real devices:
+loaded latency never dips below the unloaded floor and grows monotonically
+with injected bandwidth up to the saturation wall; a device never serves
+more than its link or backend can carry; and the white-box latency
+breakdown must conserve the calibrated idle latency (nothing unattributed,
+nothing counted twice).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.diag.context import DiagContext
+from repro.diag.registry import invariant, subjects
+from repro.diag.report import Violation
+
+_UTIL_GRID = tuple(i / 10.0 for i in range(11))
+
+
+@invariant(
+    name="latency-floor",
+    layer="device",
+    description="loaded latency never drops below the unloaded latency "
+    "(queueing and tails only ever add)",
+)
+def check_latency_floor(ctx: DiagContext) -> Iterator[Violation]:
+    """Loaded latency stays at or above the unloaded floor."""
+    targets = ctx.targets
+    subjects(check_latency_floor, len(targets))
+    for target in targets:
+        floor = target.mean_latency_ns(0.0)
+        for load in ctx.load_grid(target):
+            loaded = target.mean_latency_ns(load)
+            if loaded < floor * (1.0 - ctx.rel_tol):
+                yield Violation(
+                    layer="device",
+                    check="latency-floor",
+                    subject=target.name,
+                    message="loaded latency below the unloaded floor",
+                    context={
+                        "load_gbps": load,
+                        "loaded_ns": loaded,
+                        "floor_ns": floor,
+                    },
+                )
+
+
+@invariant(
+    name="latency-monotone",
+    layer="device",
+    description="mean loaded latency is non-decreasing in injected "
+    "bandwidth (Figure 3a curve shape)",
+)
+def check_latency_monotone(ctx: DiagContext) -> Iterator[Violation]:
+    """Loaded latency never falls as injected bandwidth rises."""
+    targets = ctx.targets
+    subjects(check_latency_monotone, len(targets))
+    for target in targets:
+        grid = ctx.load_grid(target)
+        latencies = [target.mean_latency_ns(load) for load in grid]
+        for (lo_load, lo_ns), (hi_load, hi_ns) in zip(
+            zip(grid, latencies), zip(grid[1:], latencies[1:])
+        ):
+            if hi_ns < lo_ns * (1.0 - ctx.rel_tol):
+                yield Violation(
+                    layer="device",
+                    check="latency-monotone",
+                    subject=target.name,
+                    message="latency decreased as injected bandwidth rose",
+                    context={
+                        "load_lo_gbps": lo_load,
+                        "load_hi_gbps": hi_load,
+                        "latency_lo_ns": lo_ns,
+                        "latency_hi_ns": hi_ns,
+                    },
+                )
+
+
+@invariant(
+    name="throughput-ceiling",
+    layer="device",
+    description="achievable throughput never exceeds the link payload "
+    "ceiling or the DRAM backend",
+)
+def check_throughput_ceiling(ctx: DiagContext) -> Iterator[Violation]:
+    """Served throughput respects link and backend capacities."""
+    devices = ctx.cxl_devices()
+    subjects(check_throughput_ceiling, len(devices))
+    for device in devices:
+        profile = device.profile
+        link_ceiling = profile.link.effective_gbps_per_direction
+        read_peak = device.peak_bandwidth_gbps(1.0)
+        if read_peak > link_ceiling * (1.0 + ctx.rel_tol):
+            yield Violation(
+                layer="device",
+                check="throughput-ceiling",
+                subject=device.name,
+                message="read throughput exceeds the link payload ceiling",
+                context={
+                    "read_peak_gbps": read_peak,
+                    "link_ceiling_gbps": link_ceiling,
+                },
+            )
+        _, best_total = device.bandwidth_model().best_mix()
+        backend = profile.backend_gbps
+        if best_total > backend * (1.0 + ctx.rel_tol):
+            yield Violation(
+                layer="device",
+                check="throughput-ceiling",
+                subject=device.name,
+                message="total throughput exceeds the DRAM backend capacity",
+                context={
+                    "best_total_gbps": best_total,
+                    "backend_gbps": backend,
+                },
+            )
+
+
+@invariant(
+    name="queue-sanity",
+    layer="device",
+    description="queueing delay is zero below onset, monotone in "
+    "utilization, and capped by the full-queue delay",
+)
+def check_queue_sanity(ctx: DiagContext) -> Iterator[Violation]:
+    """Queueing delay is zero at idle, monotone, and capped."""
+    targets = ctx.targets
+    subjects(check_queue_sanity, len(targets))
+    for target in targets:
+        queue = target.queue_model()
+        if queue.delay_ns(0.0) != 0.0:
+            yield Violation(
+                layer="device",
+                check="queue-sanity",
+                subject=target.name,
+                message="non-zero queueing delay at zero utilization",
+                context={"delay_at_zero_ns": queue.delay_ns(0.0)},
+            )
+        previous = 0.0
+        for util in _UTIL_GRID:
+            delay = queue.delay_ns(util)
+            if delay < previous - ctx.rel_tol * max(previous, 1.0):
+                yield Violation(
+                    layer="device",
+                    check="queue-sanity",
+                    subject=target.name,
+                    message="queueing delay decreased with utilization",
+                    context={
+                        "util": util,
+                        "delay_ns": delay,
+                        "previous_ns": previous,
+                    },
+                )
+            if delay > queue.max_delay_ns * (1.0 + ctx.rel_tol):
+                yield Violation(
+                    layer="device",
+                    check="queue-sanity",
+                    subject=target.name,
+                    message="queueing delay exceeds the full-queue cap",
+                    context={
+                        "util": util,
+                        "delay_ns": delay,
+                        "max_delay_ns": queue.max_delay_ns,
+                    },
+                )
+            previous = delay
+
+
+@invariant(
+    name="breakdown-conservation",
+    layer="device",
+    description="the white-box latency breakdown has non-negative "
+    "components that sum to the calibrated idle latency",
+)
+def check_breakdown_conservation(ctx: DiagContext) -> Iterator[Violation]:
+    """Latency breakdown components are non-negative and conserve the total."""
+    devices = ctx.cxl_devices()
+    subjects(check_breakdown_conservation, len(devices))
+    for device in devices:
+        breakdown = device.latency_breakdown_ns()
+        for component, value in breakdown.items():
+            if value < 0:
+                yield Violation(
+                    layer="device",
+                    check="breakdown-conservation",
+                    subject=device.name,
+                    message=f"negative {component!r} latency component",
+                    context={component: value},
+                )
+        total = sum(breakdown.values())
+        calibrated = device.profile.idle_latency_ns
+        if abs(total - calibrated) > ctx.rel_tol * calibrated:
+            yield Violation(
+                layer="device",
+                check="breakdown-conservation",
+                subject=device.name,
+                message="breakdown components do not sum to the calibrated "
+                "idle latency",
+                context={"sum_ns": total, "calibrated_ns": calibrated},
+            )
+
+
+@invariant(
+    name="table1-calibration",
+    layer="device",
+    description="instantiated devices reproduce their Table 1 operating "
+    "point (idle latency, read bandwidth) exactly",
+)
+def check_table1_calibration(ctx: DiagContext) -> Iterator[Violation]:
+    """Devices reproduce their Table 1 calibration exactly."""
+    devices = ctx.cxl_devices()
+    subjects(check_table1_calibration, len(devices))
+    for device in devices:
+        profile = device.profile
+        idle = device.idle_latency_ns()
+        if abs(idle - profile.idle_latency_ns) > ctx.rel_tol * profile.idle_latency_ns:
+            yield Violation(
+                layer="device",
+                check="table1-calibration",
+                subject=device.name,
+                message="idle latency drifted from the Table 1 calibration",
+                context={
+                    "idle_ns": idle,
+                    "table1_ns": profile.idle_latency_ns,
+                },
+            )
+        read_peak = device.peak_bandwidth_gbps(1.0)
+        expected = min(profile.read_gbps, profile.backend_gbps)
+        if abs(read_peak - expected) > ctx.rel_tol * expected:
+            yield Violation(
+                layer="device",
+                check="table1-calibration",
+                subject=device.name,
+                message="read bandwidth drifted from the Table 1 calibration",
+                context={"read_peak_gbps": read_peak, "table1_gbps": expected},
+            )

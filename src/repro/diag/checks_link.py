@@ -1,0 +1,171 @@
+"""Link-layer invariants: flit conservation and duplex bandwidth ceilings.
+
+The Flex Bus link is the one component every CXL access crosses twice, so a
+modelling error here silently shifts every latency and bandwidth number in
+the reproduction.  These checks pin the wire-level conservation laws:
+
+* a flit cannot deliver more payload than it carries, and the payload
+  bandwidth the link advertises must equal raw wire rate x encoding
+  efficiency x payload fraction (no overhead may be dropped or counted
+  twice -- the bug the PCIE_EFFICIENCY recalibration fixed);
+* a device cannot advertise more per-direction bandwidth than its link's
+  payload ceiling (Table 1's 52 GB/s CXL-D reads must fit through an x16
+  gen5 link);
+* the link's round-trip latency must charge serialization and expected
+  retry cost once per flit crossing (two per access), never less.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.diag.context import DiagContext
+from repro.diag.registry import invariant, subjects
+from repro.diag.report import Violation
+from repro.hw.bandwidth import SHARED_BUS
+from repro.hw.cxl.link import FLITS_PER_ACCESS, PCIE_EFFICIENCY, PCIE_GTPS
+
+
+@invariant(
+    name="flit-conservation",
+    layer="link",
+    description="payload fits in the flit; effective bandwidth = raw x "
+    "encoding x payload fraction (overhead charged exactly once)",
+)
+def check_flit_conservation(ctx: DiagContext) -> Iterator[Violation]:
+    """Flit bookkeeping conserves wire bytes and never exceeds raw rate."""
+    devices = ctx.cxl_devices()
+    subjects(check_flit_conservation, len(devices))
+    for device in devices:
+        link = device.profile.link
+        flit = link.flit
+        if not 0 < flit.payload_bytes <= flit.total_bytes:
+            yield Violation(
+                layer="link",
+                check="flit-conservation",
+                subject=device.name,
+                message="flit payload exceeds flit size",
+                context={
+                    "payload_bytes": flit.payload_bytes,
+                    "total_bytes": flit.total_bytes,
+                },
+            )
+            continue
+        raw = PCIE_GTPS[link.pcie_gen] * link.lanes / 8.0
+        expected = (
+            raw
+            * PCIE_EFFICIENCY[link.pcie_gen]
+            * (flit.payload_bytes / flit.total_bytes)
+        )
+        effective = link.effective_gbps_per_direction
+        if abs(effective - expected) > ctx.rel_tol * expected:
+            yield Violation(
+                layer="link",
+                check="flit-conservation",
+                subject=device.name,
+                message="effective bandwidth does not conserve wire bytes "
+                "(overhead dropped or double-counted)",
+                context={
+                    "effective_gbps": effective,
+                    "expected_gbps": expected,
+                    "raw_gbps": raw,
+                },
+            )
+        if effective > raw * (1.0 + ctx.rel_tol):
+            yield Violation(
+                layer="link",
+                check="flit-conservation",
+                subject=device.name,
+                message="payload bandwidth exceeds raw wire bandwidth",
+                context={"effective_gbps": effective, "raw_gbps": raw},
+            )
+
+
+@invariant(
+    name="duplex-ceiling",
+    layer="link",
+    description="advertised per-direction device bandwidth fits through "
+    "the link's payload ceiling",
+)
+def check_duplex_ceiling(ctx: DiagContext) -> Iterator[Violation]:
+    """Device bandwidth figures fit through the link payload ceiling."""
+    devices = ctx.cxl_devices()
+    subjects(check_duplex_ceiling, len(devices))
+    for device in devices:
+        profile = device.profile
+        ceiling = profile.link.effective_gbps_per_direction
+        bound = ceiling * (1.0 + ctx.rel_tol)
+        for direction, gbps in (
+            ("read", profile.read_gbps),
+            ("write", profile.write_gbps),
+        ):
+            if gbps > bound:
+                yield Violation(
+                    layer="link",
+                    check="duplex-ceiling",
+                    subject=device.name,
+                    message=f"{direction} bandwidth exceeds the link's "
+                    "per-direction payload ceiling",
+                    context={
+                        "direction": direction,
+                        "device_gbps": gbps,
+                        "link_ceiling_gbps": ceiling,
+                        "lanes": profile.link.lanes,
+                    },
+                )
+        if profile.duplex_mode == SHARED_BUS:
+            # A shared-bus device drives one direction at a time, so even
+            # the best mixed-traffic total must fit one direction's wire.
+            _, best_total = device.bandwidth_model().best_mix()
+            if best_total > bound:
+                yield Violation(
+                    layer="link",
+                    check="duplex-ceiling",
+                    subject=device.name,
+                    message="shared-bus total bandwidth exceeds one "
+                    "direction's payload ceiling",
+                    context={
+                        "best_total_gbps": best_total,
+                        "link_ceiling_gbps": ceiling,
+                    },
+                )
+
+
+@invariant(
+    name="retry-accounting",
+    layer="link",
+    description="round-trip overhead charges serialization + expected "
+    "retry cost per flit crossing (two per access)",
+)
+def check_retry_accounting(ctx: DiagContext) -> Iterator[Violation]:
+    """Round-trip latency charges retry + serialization per flit crossing."""
+    devices = ctx.cxl_devices()
+    subjects(check_retry_accounting, len(devices))
+    for device in devices:
+        link = device.profile.link
+        per_flit = link.serialization_ns() + link.expected_retry_ns_per_flit()
+        expected = FLITS_PER_ACCESS * per_flit + 2.0 * link.stack_latency_ns
+        actual = link.round_trip_overhead_ns()
+        if abs(actual - expected) > ctx.rel_tol * expected:
+            yield Violation(
+                layer="link",
+                check="retry-accounting",
+                subject=device.name,
+                message="round-trip overhead disagrees with per-flit "
+                "accounting (retry cost charged per access, not per flit?)",
+                context={
+                    "round_trip_ns": actual,
+                    "expected_ns": expected,
+                    "retry_ns_per_flit": link.expected_retry_ns_per_flit(),
+                },
+            )
+        floor = FLITS_PER_ACCESS * link.serialization_ns()
+        if actual < floor - ctx.rel_tol * floor:
+            yield Violation(
+                layer="link",
+                check="retry-accounting",
+                subject=device.name,
+                message="round-trip overhead below the two-flit "
+                "serialization floor",
+                context={"round_trip_ns": actual, "floor_ns": floor},
+            )

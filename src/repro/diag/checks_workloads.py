@@ -1,0 +1,137 @@
+"""Workload-layer invariants: spec structure and calibration fidelity.
+
+The 265-workload population drives every campaign figure, so a single spec
+with inconsistent traffic accounting skews the slowdown CDFs.  The spec
+constructor already rejects malformed inputs; these checks cover the
+*derived* quantities the backend consumes (read fraction, traffic volume,
+phase decomposition) and close the calibration loop: replaying canonical
+traces through the cache simulator must reproduce the qualitative targets
+the analytical model is calibrated against (streams prefetch well and
+enjoy high MLP; pointer chases do neither).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.diag.context import DiagContext
+from repro.diag.registry import invariant, subjects
+from repro.diag.report import Violation
+
+_TRACE_ACCESSES = 16_384
+_TRACE_WORKING_SET = 8 * 1024 * 1024
+
+STREAM_MIN_COVERAGE = 0.5
+"""A unit-stride stream must be at least this prefetch-coverable."""
+
+STREAM_MIN_MLP = 4.0
+"""Independent streaming misses must show substantial parallelism."""
+
+CHASE_MAX_COVERAGE = 0.2
+"""A dependent pointer chase must be essentially unprefetchable."""
+
+CHASE_MAX_MLP = 1.5
+"""Dependent chains serialize: MLP must stay near 1."""
+
+
+@invariant(
+    name="spec-sanity",
+    layer="workloads",
+    description="derived traffic accounting (read fraction, bytes/kilo-"
+    "instruction, phase weights) is finite and well-formed for every "
+    "registered workload",
+)
+def check_spec_sanity(ctx: DiagContext) -> Iterator[Violation]:
+    """Derived traffic accounting is well-formed for every workload."""
+    population = ctx.workloads
+    subjects(check_spec_sanity, len(population))
+    for spec in population:
+        rf = spec.read_fraction()
+        if not 0.0 <= rf <= 1.0 or not math.isfinite(rf):
+            yield Violation(
+                layer="workloads",
+                check="spec-sanity",
+                subject=spec.name,
+                message="read fraction outside [0, 1]",
+                context={"read_fraction": rf},
+            )
+        volume = spec.memory_bytes_per_kilo_instruction()
+        if volume < 0 or not math.isfinite(volume):
+            yield Violation(
+                layer="workloads",
+                check="spec-sanity",
+                subject=spec.name,
+                message="negative or non-finite memory traffic volume",
+                context={"bytes_per_ki": volume},
+            )
+        weights = sum(p.weight for p in spec.effective_phases())
+        if abs(weights - 1.0) > 1e-6:
+            yield Violation(
+                layer="workloads",
+                check="spec-sanity",
+                subject=spec.name,
+                message="effective phase weights do not sum to 1",
+                context={"weight_sum": weights},
+            )
+
+
+@invariant(
+    name="calibration-targets",
+    layer="workloads",
+    description="trace-derived parameters hit their calibration targets: "
+    "streams prefetch well with high MLP, pointer chases do neither, and "
+    "derived miss rates nest L1 >= L2 >= L3",
+)
+def check_calibration_targets(ctx: DiagContext) -> Iterator[Violation]:
+    """Trace-derived parameters hit their qualitative calibration targets."""
+    from repro.workloads.calibration import derive_parameters
+    from repro.workloads.traces import pointer_chase, sequential_stream
+
+    cases = (
+        (
+            "sequential-stream",
+            sequential_stream(
+                _TRACE_ACCESSES, _TRACE_WORKING_SET, seed=ctx.seed
+            ),
+            (
+                ("prefetch_friendliness", ">=", STREAM_MIN_COVERAGE),
+                ("mlp", ">=", STREAM_MIN_MLP),
+            ),
+        ),
+        (
+            "pointer-chase",
+            pointer_chase(_TRACE_ACCESSES, _TRACE_WORKING_SET, seed=ctx.seed),
+            (
+                ("prefetch_friendliness", "<=", CHASE_MAX_COVERAGE),
+                ("mlp", "<=", CHASE_MAX_MLP),
+            ),
+        ),
+    )
+    subjects(check_calibration_targets, len(cases))
+    for name, trace, targets in cases:
+        derived = derive_parameters(trace)
+        for parameter, op, bound in targets:
+            value = getattr(derived, parameter)
+            ok = value >= bound if op == ">=" else value <= bound
+            if not ok:
+                yield Violation(
+                    layer="workloads",
+                    check="calibration-targets",
+                    subject=name,
+                    message=f"derived {parameter} missed its calibration "
+                    f"target ({op} {bound})",
+                    context={parameter: value, "target": bound},
+                )
+        if not derived.l1_mpki >= derived.l2_mpki >= derived.l3_mpki >= 0:
+            yield Violation(
+                layer="workloads",
+                check="calibration-targets",
+                subject=name,
+                message="derived miss rates violate cache-level nesting",
+                context={
+                    "l1_mpki": derived.l1_mpki,
+                    "l2_mpki": derived.l2_mpki,
+                    "l3_mpki": derived.l3_mpki,
+                },
+            )

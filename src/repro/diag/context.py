@@ -1,0 +1,97 @@
+"""The subject pool an invariant-suite run inspects.
+
+A :class:`DiagContext` pins down *what* gets checked: the memory targets
+(local DRAM, cross-socket NUMA, the four CXL expanders), the platforms, the
+workload population, and the small workload sample used by the expensive
+run-based checks (pipeline containment, cache fidelity).  Checks never
+instantiate models themselves -- they read them off the context -- so tests
+can hand the suite a deliberately broken device or counter builder and
+assert that the right invariant trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Tuple
+
+from repro.hw.target import MemoryTarget
+from repro.rng import DEFAULT_SEED
+
+LOAD_GRID_POINTS = 9
+"""Utilization points per device for the load-dependent checks."""
+
+RUN_SAMPLE_SIZE = 3
+"""Workloads sampled by the run-based (pipeline / cache) checks."""
+
+
+def _default_targets() -> Tuple[MemoryTarget, ...]:
+    from repro.hw.cxl import cxl_a, cxl_b, cxl_c, cxl_d
+    from repro.hw.platform import EMR2S
+
+    return (
+        EMR2S.local_target(),
+        EMR2S.numa_target(),
+        cxl_a(),
+        cxl_b(),
+        cxl_c(),
+        cxl_d(),
+    )
+
+
+def _default_platforms() -> Tuple[object, ...]:
+    from repro.hw.platform import PLATFORMS
+
+    return tuple(PLATFORMS.values())
+
+
+def _default_workloads() -> Tuple[object, ...]:
+    from repro.workloads import all_workloads
+
+    return all_workloads()
+
+
+@dataclass(frozen=True)
+class DiagContext:
+    """Everything an invariant check may inspect."""
+
+    targets: Tuple[MemoryTarget, ...] = field(default_factory=_default_targets)
+    platforms: Tuple[object, ...] = field(default_factory=_default_platforms)
+    workloads: Tuple[object, ...] = field(default_factory=_default_workloads)
+    seed: int = DEFAULT_SEED
+    noise_draws: int = 1000
+    load_points: int = LOAD_GRID_POINTS
+    run_sample: int = RUN_SAMPLE_SIZE
+    rel_tol: float = 1e-6
+
+    @classmethod
+    def default(cls) -> "DiagContext":
+        """The shipped-model context ``repro validate`` uses."""
+        return cls()
+
+    def with_targets(self, targets: Sequence[MemoryTarget]) -> "DiagContext":
+        """A copy inspecting ``targets`` instead (test hook)."""
+        return replace(self, targets=tuple(targets))
+
+    def cxl_devices(self) -> Tuple[MemoryTarget, ...]:
+        """The subset of targets that are assembled CXL devices."""
+        from repro.hw.cxl.device import CxlDevice
+
+        return tuple(t for t in self.targets if isinstance(t, CxlDevice))
+
+    def sampled_workloads(self) -> Tuple[object, ...]:
+        """An evenly spaced workload sample for the run-based checks."""
+        population = self.workloads
+        if not population or self.run_sample <= 0:
+            return ()
+        step = max(1, len(population) // self.run_sample)
+        return tuple(population[::step][: self.run_sample])
+
+    def load_grid(self, target: MemoryTarget) -> Tuple[float, ...]:
+        """Offered-load points (GB/s) spanning idle to just-below-peak."""
+        peak = target.peak_bandwidth_gbps(1.0)
+        if self.load_points < 2:
+            return (0.0,)
+        return tuple(
+            peak * 0.95 * i / (self.load_points - 1)
+            for i in range(self.load_points)
+        )

@@ -1,0 +1,143 @@
+"""The invariant registry: declare checks, run the suite, get a report.
+
+Each layer's checks module declares functions decorated with
+:func:`invariant`; the decorator records an :class:`InvariantCheck` in a
+process-wide registry keyed by ``(layer, name)``.  :func:`run_checks`
+imports the checks modules lazily (so ``import repro.diag`` stays cheap),
+executes every registered check against a :class:`~repro.diag.context
+.DiagContext`, and folds the outcomes into a
+:class:`~repro.diag.report.DiagReport`.
+
+A check function takes the context and returns an iterable of
+:class:`~repro.diag.report.Violation` (empty when the invariant holds) --
+it never raises to signal a violation.  An unexpected exception inside a
+check is itself reported as a violation of that check: a crashing checker
+must fail loudly, not silently vouch for the model.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.diag.context import DiagContext
+from repro.diag.report import CheckResult, DiagReport, Violation
+
+LAYERS = ("link", "device", "counters", "workloads", "runtime")
+"""Registered layers, in stack order (wire -> device -> CPU -> sw)."""
+
+_CHECK_MODULES = {
+    "link": "repro.diag.checks_link",
+    "device": "repro.diag.checks_device",
+    "counters": "repro.diag.checks_counters",
+    "workloads": "repro.diag.checks_workloads",
+    "runtime": "repro.diag.checks_runtime",
+}
+
+CheckFn = Callable[[DiagContext], Iterable[Violation]]
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One registered invariant: identity plus the function enforcing it."""
+
+    name: str
+    layer: str
+    description: str
+    fn: CheckFn
+
+    def run(self, ctx: DiagContext) -> CheckResult:
+        """Execute against ``ctx``; a crash becomes a violation."""
+        try:
+            violations = tuple(self.fn(ctx))
+            subjects = getattr(self.fn, "_diag_subjects", 0)
+        except Exception as exc:  # noqa: BLE001 -- report, don't vouch
+            violations = (
+                Violation(
+                    layer=self.layer,
+                    check=self.name,
+                    subject="<checker>",
+                    message=f"check crashed: {exc!r}",
+                    context={
+                        "traceback": traceback.format_exc(limit=3),
+                    },
+                ),
+            )
+            subjects = 0
+        return CheckResult(
+            check=self.name,
+            layer=self.layer,
+            description=self.description,
+            subjects=subjects,
+            violations=violations,
+        )
+
+
+_REGISTRY: Dict[Tuple[str, str], InvariantCheck] = {}
+
+
+def invariant(name: str, layer: str, description: str) -> Callable[[CheckFn], CheckFn]:
+    """Register ``fn`` as the invariant ``layer.name``.
+
+    Re-registration under the same key replaces the old entry (module
+    reloads in tests), so the registry never accumulates duplicates.
+    """
+    if layer not in LAYERS:
+        raise ValueError(f"unknown diag layer {layer!r}; expected one of {LAYERS}")
+
+    def register(fn: CheckFn) -> CheckFn:
+        _REGISTRY[(layer, name)] = InvariantCheck(
+            name=name, layer=layer, description=description, fn=fn
+        )
+        return fn
+
+    return register
+
+
+def subjects(fn: CheckFn, count: int) -> None:
+    """Record how many subjects ``fn`` examined on its last run."""
+    fn._diag_subjects = count  # type: ignore[attr-defined]
+
+
+def _load_layers(layers: Sequence[str]) -> None:
+    for layer in layers:
+        importlib.import_module(_CHECK_MODULES[layer])
+
+
+def all_invariants(
+    layers: Optional[Sequence[str]] = None,
+) -> Tuple[InvariantCheck, ...]:
+    """Every registered check, in stack order then registration order."""
+    selected = _resolve_layers(layers)
+    _load_layers(selected)
+    ordered: List[InvariantCheck] = []
+    for layer in selected:
+        ordered.extend(
+            check for (lay, _), check in _REGISTRY.items() if lay == layer
+        )
+    return tuple(ordered)
+
+
+def _resolve_layers(layers: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    if layers is None:
+        return LAYERS
+    unknown = [layer for layer in layers if layer not in LAYERS]
+    if unknown:
+        raise ValueError(
+            f"unknown diag layer(s) {unknown}; expected a subset of {LAYERS}"
+        )
+    return tuple(layer for layer in LAYERS if layer in layers)
+
+
+def run_checks(
+    ctx: Optional[DiagContext] = None,
+    layers: Optional[Sequence[str]] = None,
+) -> DiagReport:
+    """Run the invariant suite and return the aggregate report."""
+    if ctx is None:
+        ctx = DiagContext.default()
+    return DiagReport(
+        results=tuple(check.run(ctx) for check in all_invariants(layers))
+    )

@@ -1,0 +1,149 @@
+"""Structured diagnostics: violations, per-check results, and the report.
+
+A :class:`Violation` names the broken invariant, the layer it lives in, and
+the *subject* (device, workload, counter sample, cache entry) it was
+observed on, plus free-form numeric context so the report is actionable
+without re-running the suite.  :class:`DiagReport` aggregates one
+:class:`CheckResult` per registered invariant and renders as JSON (for CI
+and tooling) or human-readable text (for the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of a registered invariant."""
+
+    layer: str
+    check: str
+    subject: str
+    message: str
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "layer": self.layer,
+            "check": self.check,
+            "subject": self.subject,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    def render(self) -> str:
+        """One human-readable line."""
+        ctx = ""
+        if self.context:
+            pairs = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(self.context.items())
+            )
+            ctx = f" [{pairs}]"
+        return f"{self.check} ({self.subject}): {self.message}{ctx}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of running one invariant check over its subjects."""
+
+    check: str
+    layer: str
+    description: str
+    subjects: int
+    violations: Tuple[Violation, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the invariant held for every subject."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "check": self.check,
+            "layer": self.layer,
+            "description": self.description,
+            "subjects": self.subjects,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+@dataclass(frozen=True)
+class DiagReport:
+    """The aggregate outcome of an invariant-suite run."""
+
+    results: Tuple[CheckResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def violations(self) -> Tuple[Violation, ...]:
+        """All violations, in check order."""
+        return tuple(v for r in self.results for v in r.violations)
+
+    def checks_by_layer(self) -> Dict[str, List[CheckResult]]:
+        """Check results grouped by layer, in first-seen order."""
+        grouped: Dict[str, List[CheckResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.layer, []).append(result)
+        return grouped
+
+    def merged(self, other: "DiagReport") -> "DiagReport":
+        """A report containing both runs' results."""
+        return DiagReport(results=self.results + other.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (stable key order)."""
+        return {
+            "ok": self.ok,
+            "checks": len(self.results),
+            "violation_count": len(self.violations),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the report (sorted keys, so diffs are stable)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines: List[str] = []
+        for layer, results in self.checks_by_layer().items():
+            bad = sum(len(r.violations) for r in results)
+            status = "ok" if bad == 0 else f"{bad} violation(s)"
+            lines.append(f"[{layer}] {len(results)} check(s): {status}")
+            for result in results:
+                mark = "pass" if result.ok else "FAIL"
+                lines.append(
+                    f"  {mark}  {result.check} "
+                    f"({result.subjects} subject(s)) -- {result.description}"
+                )
+                for violation in result.violations:
+                    lines.append(f"        ! {violation.render()}")
+        total = len(self.violations)
+        verdict = (
+            "all invariants hold"
+            if total == 0
+            else f"{total} violation(s) across {len(self.results)} check(s)"
+        )
+        lines.append(f"validate: {verdict}")
+        return "\n".join(lines)
+
+
+def collect(violations: Iterable[Violation]) -> Tuple[Violation, ...]:
+    """Materialize a violation iterable (checker convenience)."""
+    return tuple(violations)

@@ -1,0 +1,182 @@
+"""Post-hoc validation of produced results (the ``--strict`` path).
+
+Where :mod:`repro.diag.registry` checks the shipped *models*, this module
+checks concrete *outputs*: the :class:`~repro.cpu.pipeline.RunResult` and
+:class:`~repro.core.melody.CampaignResult` objects an experiment just
+produced.  Experiment commands run these under ``--strict`` and promote any
+violation to :class:`~repro.errors.DiagnosticError`, so a model regression
+can never silently flow into a rendered figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.diag.report import CheckResult, DiagReport, Violation
+
+
+def _check_counters(result, subject: str) -> List[Violation]:
+    violations: List[Violation] = []
+    counters = result.counters
+    if not (
+        counters.bound_on_loads
+        >= counters.stalls_l1d_miss
+        >= counters.stalls_l2_miss
+        >= counters.stalls_l3_miss
+        >= 0.0
+    ):
+        violations.append(
+            Violation(
+                layer="counters",
+                check="result-containment",
+                subject=subject,
+                message="counter reading violates Fig. 10 containment",
+                context={
+                    "p1": counters.bound_on_loads,
+                    "p3": counters.stalls_l1d_miss,
+                    "p4": counters.stalls_l2_miss,
+                    "p5": counters.stalls_l3_miss,
+                },
+            )
+        )
+    for name in ("s_l1", "s_l2", "s_l3", "s_dram", "s_store"):
+        value = getattr(counters, name)
+        if value < 0:
+            violations.append(
+                Violation(
+                    layer="counters",
+                    check="result-containment",
+                    subject=subject,
+                    message=f"negative differenced stall {name}",
+                    context={name: value},
+                )
+            )
+    return violations
+
+
+def _check_run(result, subject: str) -> List[Violation]:
+    violations = _check_counters(result, subject)
+    if not (result.cycles > 0 and math.isfinite(result.cycles)):
+        violations.append(
+            Violation(
+                layer="runtime",
+                check="result-sanity",
+                subject=subject,
+                message="non-positive or non-finite cycle count",
+                context={"cycles": result.cycles},
+            )
+        )
+        return violations
+    phase_cycles = sum(p.cycles for p in result.phases)
+    if abs(phase_cycles - result.cycles) > 1e-6 * result.cycles:
+        violations.append(
+            Violation(
+                layer="runtime",
+                check="result-sanity",
+                subject=subject,
+                message="phase cycles do not sum to the run's total",
+                context={
+                    "phase_sum": phase_cycles,
+                    "total": result.cycles,
+                },
+            )
+        )
+    phase_instructions = sum(p.instructions for p in result.phases)
+    if abs(phase_instructions - result.instructions) > 1e-6 * max(
+        result.instructions, 1.0
+    ):
+        violations.append(
+            Violation(
+                layer="runtime",
+                check="result-sanity",
+                subject=subject,
+                message="phase instructions do not sum to the run's total",
+                context={
+                    "phase_sum": phase_instructions,
+                    "total": result.instructions,
+                },
+            )
+        )
+    return violations
+
+
+def validate_run_results(
+    results: Iterable, label: str = "runs"
+) -> DiagReport:
+    """Validate a batch of :class:`RunResult` objects."""
+    violations: List[Violation] = []
+    count = 0
+    for result in results:
+        count += 1
+        subject = f"{result.workload.name}@{result.target_name}"
+        violations.extend(_check_run(result, subject))
+    return DiagReport(
+        results=(
+            CheckResult(
+                check="result-sanity",
+                layer="runtime",
+                description=f"produced {label} are structurally sound "
+                "(containment, conservation, finiteness)",
+                subjects=count,
+                violations=tuple(violations),
+            ),
+        )
+    )
+
+
+def validate_campaign_result(campaign_result) -> DiagReport:
+    """Validate a :class:`CampaignResult` (records + underlying runs)."""
+    violations: List[Violation] = []
+    records = campaign_result.records
+    checked_baselines = set()
+    for record in records:
+        subject = f"{record.workload}@{record.target}"
+        if not math.isfinite(record.slowdown_pct):
+            violations.append(
+                Violation(
+                    layer="runtime",
+                    check="campaign-sanity",
+                    subject=subject,
+                    message="non-finite slowdown",
+                    context={"slowdown_pct": record.slowdown_pct},
+                )
+            )
+        else:
+            recomputed = record.run.slowdown_vs(record.baseline)
+            if abs(recomputed - record.slowdown_pct) > 1e-6 * max(
+                abs(recomputed), 1.0
+            ):
+                violations.append(
+                    Violation(
+                        layer="runtime",
+                        check="campaign-sanity",
+                        subject=subject,
+                        message="recorded slowdown disagrees with its own "
+                        "baseline/run pair",
+                        context={
+                            "recorded_pct": record.slowdown_pct,
+                            "recomputed_pct": recomputed,
+                        },
+                    )
+                )
+        violations.extend(_check_run(record.run, subject))
+        # A baseline run is shared by every target's record; check it once.
+        if id(record.baseline) not in checked_baselines:
+            checked_baselines.add(id(record.baseline))
+            violations.extend(
+                _check_run(record.baseline, f"{record.workload}@baseline")
+            )
+    report = DiagReport(
+        results=(
+            CheckResult(
+                check="campaign-sanity",
+                layer="runtime",
+                description="campaign records are self-consistent and their "
+                "runs structurally sound",
+                subjects=len(records),
+                violations=tuple(violations),
+            ),
+        )
+    )
+    return report

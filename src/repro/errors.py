@@ -32,6 +32,23 @@ class AnalysisError(MelodyError):
     """An analysis routine received inconsistent or insufficient inputs."""
 
 
+class DiagnosticError(MelodyError):
+    """A registered simulation invariant was violated (``--strict`` mode).
+
+    Carries the :class:`~repro.diag.report.DiagReport` that tripped, so the
+    caller can render or serialize the full structured diagnosis.
+    """
+
+    def __init__(self, report, context: str = ""):
+        self.report = report
+        prefix = f"{context}: " if context else ""
+        count = len(report.violations)
+        first = report.violations[0].render() if count else "unknown"
+        super().__init__(
+            f"{prefix}{count} invariant violation(s); first: {first}"
+        )
+
+
 class SaturationError(MelodyError):
     """An offered load exceeds what a memory target can ever serve.
 

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.core.melody import Melody
+from repro.core.melody import Campaign, CampaignResult, Melody
 from repro.cpu.pipeline import PipelineConfig
+from repro.errors import DiagnosticError
 from repro.hw.cxl import cxl_a, cxl_b, cxl_c, cxl_d
 from repro.hw.platform import EMR2S
 from repro.hw.target import MemoryTarget
@@ -15,6 +16,46 @@ from repro.workloads.base import WorkloadSpec
 FAST_SUBSAMPLE = 5
 """In fast mode, run every Nth workload of the population."""
 
+_STRICT = False
+
+
+def set_strict(enabled: bool) -> None:
+    """Toggle strict mode: campaign results are diag-validated on return.
+
+    Flipped by the CLI's ``--strict`` flag; affects every Melody built via
+    :func:`campaign_melody` from then on (i.e. all experiment drivers).
+    """
+    global _STRICT
+    _STRICT = bool(enabled)
+
+
+def strict_enabled() -> bool:
+    """Whether strict (invariant-enforcing) mode is on."""
+    return _STRICT
+
+
+class ValidatingMelody(Melody):
+    """A Melody that refuses to return an invariant-violating dataset.
+
+    In strict mode every campaign result passes through
+    :func:`repro.diag.runcheck.validate_campaign_result` before being
+    handed to the caller; any violation raises
+    :class:`~repro.errors.DiagnosticError` carrying the full report, so a
+    model regression aborts the experiment instead of flowing into a
+    rendered figure.
+    """
+
+    def run(self, campaign: Campaign) -> CampaignResult:
+        """Execute the campaign; in strict mode, validate before returning."""
+        result = super().run(campaign)
+        if _STRICT:
+            from repro.diag.runcheck import validate_campaign_result
+
+            report = validate_campaign_result(result)
+            if not report.ok:
+                raise DiagnosticError(report, context=f"campaign {campaign.name}")
+        return result
+
 
 def campaign_melody(config: Optional[PipelineConfig] = None) -> Melody:
     """A Melody on the process-wide shared runtime engine.
@@ -23,8 +64,12 @@ def campaign_melody(config: Optional[PipelineConfig] = None) -> Melody:
     memoize against each other: the Figure 8a device sweep populates the
     run cache that the Spa / prefetch / breakdown figures then reuse, and
     CLI-level ``--jobs`` / ``--cache-dir`` settings apply to all of them.
+    Under ``--strict`` the returned Melody validates every campaign result
+    against the diag invariants before handing it back.
     """
-    return Melody(config) if config is not None else Melody()
+    return (
+        ValidatingMelody(config) if config is not None else ValidatingMelody()
+    )
 
 
 def workload_population(fast: bool) -> Tuple[WorkloadSpec, ...]:

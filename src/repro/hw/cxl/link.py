@@ -28,8 +28,19 @@ from repro.units import CACHELINE_BYTES
 PCIE_GTPS = {3: 8.0, 4: 16.0, 5: 32.0, 6: 64.0}
 """Per-lane transfer rate (GT/s) by PCIe generation."""
 
-PCIE_EFFICIENCY = {3: 0.790, 4: 0.790, 5: 0.798, 6: 0.850}
-"""Usable fraction after encoding and protocol overhead (128b/130b, flits)."""
+PCIE_EFFICIENCY = {3: 0.985, 4: 0.985, 5: 0.985, 6: 0.940}
+"""Usable wire fraction after line encoding (128b/130b; gen6 adds FEC).
+
+Only the *physical-layer* coding overhead belongs here: CXL.mem replaces the
+PCIe transaction layer with its own flit protocol, whose header/CRC share is
+carried by :class:`FlitFormat`.  (The previous values, ~0.79, additionally
+folded in PCIe TLP/DLLP framing that flit-mode links never pay; combined
+with the flit overhead that double-counted protocol cost and left the
+x16 link's payload ceiling below CXL-D's measured 52 GB/s read bandwidth.)
+"""
+
+FLITS_PER_ACCESS = 2
+"""Wire crossings per memory access: one request flit out, one response back."""
 
 
 @dataclass(frozen=True)
@@ -105,14 +116,23 @@ class CxlLink:
         gbps = PCIE_GTPS[self.pcie_gen] * self.lanes / 8.0
         return self.flit.total_bytes / gbps  # bytes / (GB/s) == ns
 
+    def expected_retry_ns_per_flit(self) -> float:
+        """Expected link-layer retry cost charged to one flit crossing.
+
+        ``retry_probability`` is a *per-flit* CRC-failure probability, so the
+        expected cost accrues on every wire crossing, not once per access.
+        """
+        return self.retry_probability * self.retry_penalty_ns
+
     def round_trip_overhead_ns(self) -> float:
         """Mean added round-trip latency of the link for one access.
 
-        Request flit out + response flit back, two stack traversals, plus
-        the expected retry cost.
+        Request flit out + response flit back (:data:`FLITS_PER_ACCESS`
+        serializations, each carrying its expected retry cost) plus two
+        transaction/link-stack traversals.
         """
         return (
-            2.0 * self.serialization_ns()
+            FLITS_PER_ACCESS
+            * (self.serialization_ns() + self.expected_retry_ns_per_flit())
             + 2.0 * self.stack_latency_ns
-            + self.retry_probability * self.retry_penalty_ns
         )

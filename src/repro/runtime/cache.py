@@ -13,7 +13,12 @@ hashes a canonical fingerprint of the cell; :class:`RunCache` maps keys to
   prefix) so repeated CLI invocations skip finished cells entirely.
 
 Disk entries that fail to parse -- truncated writes, stale schema versions
--- are treated as misses, never as errors.
+-- are treated as misses, never as errors.  Hygiene: a corrupt run document
+(or a run document whose referenced blob is corrupt) is *deleted* on
+detection rather than left to fail every future load, temp files from
+interrupted atomic writes are cleaned up on the failure path, and
+:meth:`RunCache.prune` garbage-collects unparseable documents, orphaned
+blobs, and stale temp files from the disk tier.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ import json
 import os
 from dataclasses import is_dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cpu.pipeline import PipelineConfig, RunResult
 from repro.errors import ConfigurationError
@@ -133,6 +138,7 @@ class RunCache:
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_dropped = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -161,24 +167,55 @@ class RunCache:
             os.makedirs(shard, exist_ok=True)
             self._made_shards.add(shard)
         if not os.path.exists(path):
-            tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w") as handle:
-                json.dump(to_dict(obj), handle)
-            os.replace(tmp, path)
+            self._atomic_write(path, to_dict(obj))
         self._blobs_written.add(ref)
         return ref
 
     def _load_blob(self, ref: str, from_dict):
-        """Recall a blob (memoized); raises ``KeyError`` when absent."""
+        """Recall a blob (memoized); raises ``KeyError`` when absent.
+
+        A blob file that exists but fails to parse or reconstruct is deleted
+        on detection: it can never satisfy a future load, and dropping it
+        lets the next :meth:`put` of the same content rewrite it cleanly.
+        """
         obj = self._blobs.get(ref)
         if obj is None:
+            path = self._blob_path(ref)
             try:
-                with open(self._blob_path(ref), "r") as handle:
+                with open(path, "r") as handle:
                     obj = from_dict(json.load(handle))
-            except (OSError, ValueError, TypeError) as exc:
+            except OSError as exc:
                 raise KeyError(f"missing blob {ref}") from exc
+            except (ValueError, TypeError, KeyError) as exc:
+                self._discard(path)
+                raise KeyError(f"corrupt blob {ref}") from exc
             self._blobs[ref] = obj
         return obj
+
+    # -- hygiene helpers -------------------------------------------------
+
+    def _atomic_write(self, path: str, payload) -> None:
+        """Write ``payload`` as JSON via a temp file; clean up on failure."""
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _discard(self, path: str) -> bool:
+        """Remove one corrupt cache file (best effort) and count it."""
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        self.corrupt_dropped += 1
+        return True
 
     # -- run tier --------------------------------------------------------
 
@@ -193,6 +230,16 @@ class RunCache:
             try:
                 with open(path, "r") as handle:
                     data = json.load(handle)
+            except OSError:
+                self.misses += 1
+                return None
+            except ValueError:
+                # Truncated or garbled document: degrade to a miss, but
+                # delete the file so it cannot keep failing forever.
+                self._discard(path)
+                self.misses += 1
+                return None
+            try:
                 result = run_result_from_dict(
                     data,
                     workload=self._load_blob(
@@ -202,7 +249,11 @@ class RunCache:
                         data["platform_ref"], platform_from_dict
                     ),
                 )
-            except (OSError, ValueError, KeyError, TypeError):
+            except (ValueError, KeyError, TypeError):
+                # Stale schema or unusable blob reference: the document can
+                # never load again -- drop it (corrupt blobs were already
+                # dropped by ``_load_blob``).
+                self._discard(path)
                 self.misses += 1
                 return None
             self._memory[key] = result
@@ -229,11 +280,42 @@ class RunCache:
         if shard not in self._made_shards:
             os.makedirs(shard, exist_ok=True)
             self._made_shards.add(shard)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(data, handle)
-        os.replace(tmp, path)
+        self._atomic_write(path, data)
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier survives)."""
         self._memory.clear()
+
+    def prune(self) -> Dict[str, int]:
+        """Garbage-collect the disk tier.
+
+        Removes (a) run documents that no longer parse, (b) blob files
+        referenced by no surviving run document, and (c) temp files left by
+        interrupted atomic writes.  Returns counts of what was removed.
+        """
+        removed = {"documents": 0, "blobs": 0, "temp_files": 0}
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return removed
+        referenced: set = set()
+        blob_dir = self.cache_dir / "blobs"
+        for path in sorted(self.cache_dir.rglob("*.json")):
+            if blob_dir in path.parents:
+                continue
+            try:
+                data = json.loads(path.read_text())
+                refs = (data["workload_ref"], data["platform_ref"])
+            except (OSError, ValueError, KeyError, TypeError):
+                if self._discard(str(path)):
+                    removed["documents"] += 1
+                continue
+            referenced.update(refs)
+        if blob_dir.is_dir():
+            for path in sorted(blob_dir.glob("*.json")):
+                if path.stem not in referenced:
+                    if self._discard(str(path)):
+                        removed["blobs"] += 1
+        for path in sorted(self.cache_dir.rglob("*.tmp.*")):
+            if self._discard(str(path)):
+                removed["temp_files"] += 1
+        self._blobs_written.clear()
+        return removed

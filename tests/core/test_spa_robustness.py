@@ -1,4 +1,12 @@
-"""Spa failure-injection tests: corrupted counters must be rejected."""
+"""Spa failure-injection tests: corrupted counters must be rejected.
+
+Containment corruption is now caught at :class:`CounterSample`
+construction (``__post_init__``), one layer below Spa's own
+:func:`check_counters` guard -- so corrupting a reading via
+``dataclasses.replace`` raises :class:`MeasurementError` before Spa ever
+sees it, and Spa's guard covers the residual cases (zero cycles, readings
+deserialized through paths that bypass the dataclass).
+"""
 
 from dataclasses import replace
 
@@ -6,7 +14,7 @@ import pytest
 
 from repro.core.spa import check_counters, spa_analyze
 from repro.cpu.pipeline import run_workload
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, MeasurementError
 
 
 @pytest.fixture
@@ -27,37 +35,34 @@ class TestCounterValidation:
             check_counters(run.counters)
 
     def test_containment_violation_rejected(self, run_pair):
+        """P5 > P1 cannot even be represented as a CounterSample."""
         base, _ = run_pair
-        corrupt = _corrupt(
-            base, stalls_l3_miss=base.counters.bound_on_loads * 2
-        )
-        with pytest.raises(AnalysisError, match="containment"):
-            check_counters(corrupt.counters)
+        with pytest.raises(MeasurementError, match="containment"):
+            _corrupt(base, stalls_l3_miss=base.counters.bound_on_loads * 2)
 
     def test_truncated_log_rejected(self, run_pair):
         """A truncated counter log shows up as P1 < P3."""
         base, _ = run_pair
-        corrupt = _corrupt(
-            base, bound_on_loads=base.counters.stalls_l1d_miss / 2
-        )
-        with pytest.raises(AnalysisError):
-            check_counters(corrupt.counters)
+        with pytest.raises(MeasurementError, match="containment"):
+            _corrupt(
+                base, bound_on_loads=base.counters.stalls_l1d_miss / 2
+            )
 
-    def test_small_noise_tolerated(self, run_pair):
-        """Sub-percent counter jitter must not trip the guard."""
+    def test_ordering_preserving_noise_tolerated(self, run_pair):
+        """Jitter that keeps the containment ordering passes both layers."""
         base, _ = run_pair
         jittered = _corrupt(
             base,
-            stalls_l1d_miss=base.counters.bound_on_loads * 1.005,
+            bound_on_loads=base.counters.bound_on_loads * 1.005,
         )
         check_counters(jittered.counters)  # no raise
 
     def test_spa_analyze_guards_both_runs(self, run_pair):
         base, cxl = run_pair
-        corrupt_cxl = _corrupt(
-            cxl, stalls_l2_miss=cxl.counters.stalls_l1d_miss * 3
-        )
-        with pytest.raises(AnalysisError):
+        with pytest.raises(MeasurementError, match="containment"):
+            corrupt_cxl = _corrupt(
+                cxl, stalls_l2_miss=cxl.counters.stalls_l1d_miss * 3
+            )
             spa_analyze(base, corrupt_cxl)
 
     def test_zero_cycles_rejected(self, run_pair):

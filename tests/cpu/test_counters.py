@@ -88,6 +88,40 @@ class TestArithmetic:
             _sample(cycles=-1.0)
 
 
+class TestContainmentValidation:
+    """__post_init__ rejects readings no real PMU could produce."""
+
+    def test_p3_above_p1_rejected(self):
+        with pytest.raises(MeasurementError, match="containment"):
+            _sample(stalls_l1d_miss=500.0)  # > bound_on_loads (400)
+
+    def test_p4_above_p3_rejected(self):
+        with pytest.raises(MeasurementError, match="containment"):
+            _sample(stalls_l2_miss=350.0)  # > stalls_l1d_miss (300)
+
+    def test_p5_above_p4_rejected(self):
+        with pytest.raises(MeasurementError, match="containment"):
+            _sample(stalls_l3_miss=260.0)  # > stalls_l2_miss (250)
+
+    def test_negative_p5_rejected(self):
+        with pytest.raises(MeasurementError, match="negative"):
+            _sample(stalls_l3_miss=-1.0)
+
+    def test_negative_p2_rejected(self):
+        with pytest.raises(MeasurementError, match="negative"):
+            _sample(bound_on_stores=-1.0)
+
+    def test_equal_adjacent_levels_accepted(self):
+        s = _sample(stalls_l1d_miss=400.0, stalls_l2_miss=400.0,
+                    stalls_l3_miss=400.0)
+        assert s.s_l1 == s.s_l2 == s.s_l3 == 0.0
+
+    def test_differenced_stalls_never_negative(self):
+        s = _sample()
+        for name in ("s_l1", "s_l2", "s_l3", "s_dram", "s_store"):
+            assert getattr(s, name) >= 0.0
+
+
 class TestCounterSet:
     def _build(self, noise=0.0, **overrides):
         rng = np.random.default_rng(42)

@@ -1,0 +1,100 @@
+"""CLI surface of the invariant suite: `repro validate` and `--strict`."""
+
+import json
+
+import pytest
+
+import repro.diag
+from repro.cli import main
+from repro.diag.report import CheckResult, DiagReport, Violation
+from repro.experiments.common import set_strict, strict_enabled
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+@pytest.fixture(autouse=True)
+def reset_strict():
+    yield
+    set_strict(False)
+
+
+def _failing_report():
+    return DiagReport(
+        results=(
+            CheckResult(
+                check="latency-floor",
+                layer="device",
+                description="loaded latency never drops below the floor",
+                subjects=1,
+                violations=(
+                    Violation(
+                        layer="device",
+                        check="latency-floor",
+                        subject="CXL-X",
+                        message="loaded latency below the unloaded floor",
+                    ),
+                ),
+            ),
+        )
+    )
+
+
+class TestValidateCommand:
+    def test_cheap_layers_exit_zero(self, capsys):
+        code, out = run_cli(capsys, "validate", "--layer", "link",
+                            "counters")
+        assert code == 0
+        assert "validate: all invariants hold" in out
+        assert "[link]" in out and "[counters]" in out
+
+    def test_json_output_is_structured(self, capsys):
+        code, out = run_cli(capsys, "validate", "--layer", "link", "--json")
+        data = json.loads(out)
+        assert code == 0
+        assert data["ok"] is True
+        assert all(r["layer"] == "link" for r in data["results"])
+
+    def test_violations_exit_nonzero(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            repro.diag, "run_checks", lambda layers=None: _failing_report()
+        )
+        code, out = run_cli(capsys, "validate")
+        assert code == 1
+        assert "FAIL" in out
+        assert "CXL-X" in out
+
+    def test_violations_exit_nonzero_as_json(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            repro.diag, "run_checks", lambda layers=None: _failing_report()
+        )
+        code, out = run_cli(capsys, "validate", "--json")
+        assert code == 1
+        assert json.loads(out)["ok"] is False
+
+
+class TestStrictFlag:
+    def test_campaign_strict_passes_on_healthy_models(self, capsys):
+        code, out = run_cli(
+            capsys, "campaign", "--suite", "PARSEC", "--targets", "cxl-a",
+            "--sample", "6", "--strict",
+        )
+        assert code == 0
+        assert "records" in out
+
+    def test_spa_strict_passes_on_healthy_models(self, capsys):
+        code, out = run_cli(capsys, "spa", "605.mcf_s", "--target", "cxl-a",
+                            "--strict")
+        assert code == 0
+        assert "dominant source" in out
+
+    def test_strict_flag_toggles_mode(self, capsys):
+        run_cli(capsys, "campaign", "--suite", "PARSEC",
+                "--targets", "cxl-a", "--sample", "8", "--strict")
+        assert strict_enabled()
+        run_cli(capsys, "campaign", "--suite", "PARSEC",
+                "--targets", "cxl-a", "--sample", "8")
+        assert not strict_enabled()

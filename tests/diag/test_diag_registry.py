@@ -1,0 +1,106 @@
+"""Invariant registry: registration, layer selection, crash containment."""
+
+import pytest
+
+from repro.diag.context import DiagContext
+from repro.diag.registry import (
+    LAYERS,
+    InvariantCheck,
+    _REGISTRY,
+    all_invariants,
+    invariant,
+    run_checks,
+    subjects,
+)
+from repro.diag.report import Violation
+
+
+@pytest.fixture
+def ctx():
+    """A tiny context so registry tests never run pipeline cells."""
+    return DiagContext.default().with_targets([])
+
+
+class TestRegistration:
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown diag layer"):
+            invariant(name="x", layer="kernel", description="")
+
+    def test_decorator_registers_and_replaces(self):
+        key = ("link", "test-temp-check")
+        try:
+            @invariant(name="test-temp-check", layer="link", description="v1")
+            def first(ctx):
+                return ()
+
+            assert _REGISTRY[key].description == "v1"
+
+            @invariant(name="test-temp-check", layer="link", description="v2")
+            def second(ctx):
+                return ()
+
+            assert _REGISTRY[key].description == "v2"
+            assert _REGISTRY[key].fn is second
+        finally:
+            _REGISTRY.pop(key, None)
+
+    def test_all_invariants_cover_every_layer(self):
+        checks = all_invariants()
+        layers = {check.layer for check in checks}
+        assert layers == set(LAYERS)
+        # Stack order: link checks come before runtime checks.
+        order = [check.layer for check in checks]
+        assert order == sorted(order, key=LAYERS.index)
+
+    def test_layer_filter(self):
+        checks = all_invariants(["counters"])
+        assert checks and all(c.layer == "counters" for c in checks)
+
+    def test_unknown_layer_filter_rejected(self):
+        with pytest.raises(ValueError, match="unknown diag layer"):
+            all_invariants(["link", "nope"])
+
+
+class TestCheckExecution:
+    def test_crash_becomes_violation(self, ctx):
+        def crashing(ctx):
+            raise RuntimeError("boom")
+
+        check = InvariantCheck(
+            name="crasher", layer="link", description="", fn=crashing
+        )
+        result = check.run(ctx)
+        assert not result.ok
+        [violation] = result.violations
+        assert "boom" in violation.message
+        assert "RuntimeError" in violation.context["traceback"]
+
+    def test_subjects_recorded(self, ctx):
+        def counting(ctx):
+            subjects(counting, 7)
+            return ()
+
+        check = InvariantCheck(
+            name="counter", layer="link", description="", fn=counting
+        )
+        assert check.run(ctx).subjects == 7
+
+    def test_violations_flow_through(self, ctx):
+        def failing(ctx):
+            yield Violation(
+                layer="link", check="failing", subject="s", message="m"
+            )
+
+        check = InvariantCheck(
+            name="failing", layer="link", description="", fn=failing
+        )
+        result = check.run(ctx)
+        assert len(result.violations) == 1
+        assert result.violations[0].message == "m"
+
+
+class TestRunChecks:
+    def test_layer_subset_report(self, ctx):
+        report = run_checks(ctx, layers=["link"])
+        assert {r.layer for r in report.results} == {"link"}
+        assert report.ok

@@ -1,0 +1,95 @@
+"""DiagReport structure: violations, aggregation, JSON and text output."""
+
+import json
+
+from repro.diag.report import CheckResult, DiagReport, Violation, collect
+
+
+def _violation(**overrides):
+    base = dict(
+        layer="device",
+        check="latency-floor",
+        subject="CXL-A",
+        message="loaded latency below the unloaded floor",
+        context={"loaded_ns": 199.5, "floor_ns": 214.0},
+    )
+    base.update(overrides)
+    return Violation(**base)
+
+
+def _result(violations=()):
+    return CheckResult(
+        check="latency-floor",
+        layer="device",
+        description="loaded latency never drops below the unloaded latency",
+        subjects=6,
+        violations=tuple(violations),
+    )
+
+
+class TestViolation:
+    def test_render_names_check_subject_and_context(self):
+        line = _violation().render()
+        assert "latency-floor" in line
+        assert "CXL-A" in line
+        assert "floor_ns=214" in line
+
+    def test_render_without_context(self):
+        line = _violation(context={}).render()
+        assert "[" not in line
+
+    def test_to_dict_is_json_safe(self):
+        assert json.loads(json.dumps(_violation().to_dict()))
+
+
+class TestCheckResult:
+    def test_ok_iff_no_violations(self):
+        assert _result().ok
+        assert not _result([_violation()]).ok
+
+
+class TestDiagReport:
+    def test_ok_and_violations_aggregate(self):
+        good = DiagReport(results=(_result(),))
+        bad = DiagReport(results=(_result(), _result([_violation()])))
+        assert good.ok and not good.violations
+        assert not bad.ok and len(bad.violations) == 1
+
+    def test_merged_concatenates(self):
+        merged = DiagReport(results=(_result(),)).merged(
+            DiagReport(results=(_result([_violation()]),))
+        )
+        assert len(merged.results) == 2
+        assert not merged.ok
+
+    def test_checks_by_layer_groups_in_order(self):
+        other = CheckResult(
+            check="flit-conservation", layer="link",
+            description="payload never exceeds the raw flit rate",
+            subjects=4,
+        )
+        report = DiagReport(results=(other, _result(), _result()))
+        grouped = report.checks_by_layer()
+        assert list(grouped) == ["link", "device"]
+        assert len(grouped["device"]) == 2
+
+    def test_to_json_round_trips(self):
+        report = DiagReport(results=(_result([_violation()]),))
+        data = json.loads(report.to_json())
+        assert data["ok"] is False
+        assert data["violation_count"] == 1
+        assert data["results"][0]["check"] == "latency-floor"
+
+    def test_render_verdict_lines(self):
+        clean = DiagReport(results=(_result(),)).render()
+        assert clean.endswith("validate: all invariants hold")
+        dirty = DiagReport(results=(_result([_violation()]),)).render()
+        assert "FAIL" in dirty
+        assert "1 violation(s) across 1 check(s)" in dirty
+
+
+def test_collect_materializes_generators():
+    def gen():
+        yield _violation()
+
+    assert collect(gen()) == (_violation(),)

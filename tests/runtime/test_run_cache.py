@@ -135,3 +135,88 @@ class TestDiskTier:
         assert len(cache) == 0
         assert cache.get(key) == run
         assert cache.disk_hits == 1
+
+
+class TestHygiene:
+    """Corrupt entries are deleted on detection; prune collects the rest."""
+
+    def _entry_path(self, tmp_path, key):
+        return tmp_path / key[:2] / f"{key}.json"
+
+    def test_corrupt_entry_deleted_on_detection(self, tmp_path, run,
+                                                simple_workload, emr,
+                                                device_a):
+        key = run_key(simple_workload, emr, device_a)
+        RunCache(str(tmp_path)).put(key, run)
+        path = self._entry_path(tmp_path, key)
+        path.write_text("{not json")
+        cache = RunCache(str(tmp_path))
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.corrupt_dropped == 1
+
+    def test_corrupt_blob_deleted_on_detection(self, tmp_path, run,
+                                               simple_workload, emr,
+                                               device_a):
+        key = run_key(simple_workload, emr, device_a)
+        RunCache(str(tmp_path)).put(key, run)
+        doc = json.loads(self._entry_path(tmp_path, key).read_text())
+        blob = tmp_path / "blobs" / f"{doc['workload_ref']}.json"
+        blob.write_text("{not json")
+        cache = RunCache(str(tmp_path))
+        assert cache.get(key) is None
+        # Both the unusable blob and the document referencing it are gone.
+        assert not blob.exists()
+        assert not self._entry_path(tmp_path, key).exists()
+        assert cache.corrupt_dropped == 2
+
+    def test_stale_schema_entry_deleted(self, tmp_path, run, simple_workload,
+                                        emr, device_a):
+        key = run_key(simple_workload, emr, device_a)
+        RunCache(str(tmp_path)).put(key, run)
+        path = self._entry_path(tmp_path, key)
+        path.write_text(json.dumps({"format_version": -1}))
+        cache = RunCache(str(tmp_path))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_failed_write_cleans_temp_file(self, tmp_path, run,
+                                           simple_workload, emr, device_a):
+        cache = RunCache(str(tmp_path))
+        key = run_key(simple_workload, emr, device_a)
+        path = cache._disk_path(key)
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with pytest.raises(TypeError):
+            cache._atomic_write(path, {"bad": object()})  # not JSON-safe
+        assert list(tmp_path.rglob("*.tmp.*")) == []
+
+    def test_prune_collects_garbage(self, tmp_path, run, simple_workload,
+                                    emr, device_a, device_b):
+        cache = RunCache(str(tmp_path))
+        key_a = run_key(simple_workload, emr, device_a)
+        key_b = run_key(simple_workload, emr, device_b)
+        cache.put(key_a, run)
+        cache.put(key_b, run)
+        # Corrupt one document: its platform/workload blobs stay referenced
+        # by the other document, so only the doc itself is collected ...
+        self._entry_path(tmp_path, key_b).write_text("{not json")
+        # ... plus an orphan blob nobody references and a stale temp file.
+        orphan = tmp_path / "blobs" / ("f" * 32 + ".json")
+        orphan.write_text("{}")
+        stale = tmp_path / key_a[:2] / f"{key_a}.json.tmp.99999"
+        stale.write_text("partial")
+
+        removed = RunCache(str(tmp_path)).prune()
+        assert removed == {"documents": 1, "blobs": 1, "temp_files": 1}
+        assert not orphan.exists() and not stale.exists()
+        # The intact entry still loads afterwards.
+        assert RunCache(str(tmp_path)).get(key_a) == run
+
+    def test_prune_on_empty_cache(self, tmp_path):
+        removed = RunCache(str(tmp_path)).prune()
+        assert removed == {"documents": 0, "blobs": 0, "temp_files": 0}
+        assert RunCache().prune() == {
+            "documents": 0, "blobs": 0, "temp_files": 0,
+        }
