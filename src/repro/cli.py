@@ -7,10 +7,19 @@ Exposes the main Melody workflows without writing any Python:
 * ``spa``          -- Spa breakdown of one workload on one target
 * ``figures``      -- regenerate paper tables/figures by id
 * ``validate``     -- run the repro.diag invariant suite over the models
+* ``stats``        -- render a ``--metrics`` export file
 * ``workloads``    -- list the 265-workload population
 
 ``campaign``, ``spa``, and ``figures`` accept ``--strict``, which promotes
 any invariant violation in the produced results to an error (exit 2).
+
+Observability (``characterize``, ``campaign``, ``figures``): ``--metrics
+PATH`` writes a metrics snapshot on completion (Prometheus text when PATH
+ends in ``.prom``, JSON otherwise -- the JSON is what ``repro stats``
+reads); ``--trace PATH`` writes a Chrome ``trace_event`` JSON viewable in
+Perfetto, sampling every ``--trace-sample`` N-th simulated request.
+Instrumentation never changes results: figures are byte-identical with the
+flags on or off.
 """
 
 from __future__ import annotations
@@ -26,6 +35,45 @@ def _configure_runtime(args):
     from repro.runtime import configure_runtime
 
     return configure_runtime(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _configure_obs(args):
+    """Enable metrics/tracing per the CLI flags; returns a ``finish()``.
+
+    The returned callable writes the collected artifacts (and restores the
+    zero-overhead defaults) once the command's real work is done, so the
+    export reflects the whole command.
+    """
+    from repro import obs
+
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if metrics_path:
+        obs.enable_metrics()
+    buffer = None
+    if trace_path:
+        sample = getattr(args, "trace_sample", None) or 1
+        buffer = obs.enable_tracing(sample_every=sample)
+
+    def finish() -> None:
+        """Write metrics/trace files and disable collection."""
+        if metrics_path:
+            registry = obs.metrics()
+            if metrics_path.endswith(".prom"):
+                text = registry.to_prometheus()
+            else:
+                text = registry.to_json() + "\n"
+            with open(metrics_path, "w") as handle:
+                handle.write(text)
+            obs.disable_metrics()
+            print(f"wrote metrics ({len(registry)} instruments) "
+                  f"to {metrics_path}")
+        if trace_path:
+            buffer.write(trace_path)
+            obs.disable_tracing()
+            print(f"wrote {len(buffer)} trace spans to {trace_path}")
+
+    return finish
 
 
 def _target_by_name(name: str, platform):
@@ -53,6 +101,7 @@ def cmd_characterize(args) -> int:
     from repro.tools.mio import MioBenchmark
     from repro.tools.mlc import MemoryLatencyChecker
 
+    finish = _configure_obs(args)
     device = device_by_name(args.device.upper())
     mlc = MemoryLatencyChecker()
     print(f"== {device.name} ({device.profile.spec}, "
@@ -69,6 +118,16 @@ def cmd_characterize(args) -> int:
     print(f"tail gap      : {result.tail_gap_ns():.0f} ns (p99.9 - p50)")
     print()
     print(Cpmu(device).latency_report(load_gbps=args.load))
+    if args.trace or args.metrics:
+        # Request-level spans and sim.* counters come from the event-driven
+        # simulator; run one battery at the CPMU operating load so the
+        # export has per-request pipeline data.
+        from repro.hw.cxl.eventdevice import EventDrivenDevice
+
+        EventDrivenDevice(device).simulate(
+            args.samples, args.load, read_fraction=0.75
+        )
+    finish()
     return 0
 
 
@@ -81,6 +140,7 @@ def cmd_campaign(args) -> int:
     from repro.workloads import all_workloads, workloads_by_suite
 
     engine = _configure_runtime(args)
+    finish = _configure_obs(args)
     set_strict(args.strict)
     platform = platform_by_name(args.platform)
     workloads = (
@@ -107,6 +167,7 @@ def cmd_campaign(args) -> int:
     if args.json:
         rows = export_json(result, args.json)
         print(f"wrote {rows} records to {args.json}")
+    finish()
     return 0
 
 
@@ -148,9 +209,10 @@ def cmd_figures(args) -> int:
     from pathlib import Path
 
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.common import set_strict
+    from repro.experiments.common import experiment_timer, set_strict
 
     engine = _configure_runtime(args)
+    finish = _configure_obs(args)
     set_strict(args.strict)
     out_dir = Path(args.output) if args.output else None
     if out_dir:
@@ -161,8 +223,10 @@ def cmd_figures(args) -> int:
         name = module.__name__.split(".")[-1]
         if wanted and not any(w in name for w in wanted):
             continue
-        result = module.run(fast=not args.full)
-        text = module.render(result)
+        with experiment_timer(name, "run"):
+            result = module.run(fast=not args.full)
+        with experiment_timer(name, "render"):
+            text = module.render(result)
         print(text)
         print()
         if out_dir:
@@ -176,6 +240,7 @@ def cmd_figures(args) -> int:
     if out_dir:
         print(f"wrote {ran} figure files to {out_dir}")
     print(engine.stats.summary())
+    finish()
     return 0
 
 
@@ -235,6 +300,46 @@ def cmd_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_stats(args) -> int:
+    """Render a ``--metrics`` JSON export as a summary (or raw JSON)."""
+    import json
+    from pathlib import Path
+
+    path = Path(args.metrics_file)
+    if not path.exists():
+        print(f"error: metrics file {path} does not exist", file=sys.stderr)
+        return 1
+    try:
+        snapshot = json.loads(path.read_text())
+    except ValueError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    sections = ("counters", "gauges", "histograms")
+    if not isinstance(snapshot, dict) or any(
+        s not in snapshot for s in sections
+    ):
+        print(f"error: {path} is not a repro metrics export "
+              f"(expected sections {', '.join(sections)})", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    total = sum(len(snapshot[s]) for s in sections)
+    print(f"{path}: {total} instruments "
+          f"({len(snapshot['counters'])} counters, "
+          f"{len(snapshot['gauges'])} gauges, "
+          f"{len(snapshot['histograms'])} histograms)")
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"  counter   {name:48s} {value:g}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        print(f"  gauge     {name:48s} {value:g}")
+    for name, data in sorted(snapshot["histograms"].items()):
+        count = data.get("count", 0)
+        mean = data["sum"] / count if count else 0.0
+        print(f"  histogram {name:48s} count={count:g} mean={mean:g}")
+    return 0
+
+
 def cmd_workloads(args) -> int:
     """List the workload population."""
     from collections import Counter
@@ -256,6 +361,17 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the shared --metrics/--trace/--trace-sample flags."""
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot on completion "
+                        "(.prom = Prometheus text, otherwise JSON)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome trace_event JSON (open in Perfetto)")
+    p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                   help="trace every Nth simulated request (default: 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser."""
     parser = argparse.ArgumentParser(
@@ -269,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=50_000)
     p.add_argument("--load", type=float, default=5.0,
                    help="CPMU operating load in GB/s")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("campaign", help="run a slowdown campaign")
@@ -286,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk run cache shared across invocations")
     p.add_argument("--strict", action="store_true",
                    help="promote invariant violations in results to errors")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("spa", help="Spa breakdown of one workload")
@@ -309,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk run cache shared across invocations")
     p.add_argument("--strict", action="store_true",
                    help="promote invariant violations in results to errors")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser(
@@ -316,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--layer", nargs="*", default=None,
                    choices=["link", "device", "counters", "workloads",
-                            "runtime"],
+                            "runtime", "obs"],
                    help="restrict to these layers (default: all)")
     p.add_argument("--json", action="store_true",
                    help="emit the structured DiagReport as JSON")
@@ -331,6 +450,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also predict this workload's slowdown on the fit")
     p.add_argument("--platform", default="EMR2S")
     p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("stats", help="render a --metrics export file")
+    p.add_argument("metrics_file",
+                   help="JSON metrics export written by --metrics")
+    p.add_argument("--json", action="store_true",
+                   help="re-emit the validated export as sorted JSON")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("workloads", help="list the population")
     p.add_argument("--suite", default=None)
@@ -349,6 +475,14 @@ def main(argv=None) -> int:
     except MelodyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro stats ... | head`); exit quietly
+        # instead of tracebacking, and keep the interpreter from crashing
+        # again when it flushes stdout at shutdown.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,7 @@ from repro.hw.platform import (
     Platform,
 )
 from repro.hw.target import MemoryTarget
+from repro.obs.timers import phase_timer
 from repro.runtime.cache import RunCache
 from repro.runtime.context import get_engine
 from repro.runtime.executor import CampaignEngine, Cell
@@ -176,6 +177,11 @@ class Melody:
         coincide with the baseline target (or with cells of an earlier
         campaign) are recalled from the run cache instead of re-executed.
         """
+        with phase_timer("campaign", campaign=campaign.name):
+            return self._run(campaign)
+
+    def _run(self, campaign: Campaign) -> CampaignResult:
+        """The untimed campaign body (see :meth:`run`)."""
         result = CampaignResult(campaign=campaign)
         baseline_target = campaign.baseline or campaign.platform.local_target()
         cells: List[Cell] = [

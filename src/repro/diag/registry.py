@@ -25,8 +25,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.diag.context import DiagContext
 from repro.diag.report import CheckResult, DiagReport, Violation
 
-LAYERS = ("link", "device", "counters", "workloads", "runtime")
-"""Registered layers, in stack order (wire -> device -> CPU -> sw)."""
+LAYERS = ("link", "device", "counters", "workloads", "runtime", "obs")
+"""Registered layers, in stack order (wire -> device -> CPU -> sw -> obs)."""
 
 _CHECK_MODULES = {
     "link": "repro.diag.checks_link",
@@ -34,6 +34,7 @@ _CHECK_MODULES = {
     "counters": "repro.diag.checks_counters",
     "workloads": "repro.diag.checks_workloads",
     "runtime": "repro.diag.checks_runtime",
+    "obs": "repro.diag.checks_obs",
 }
 
 CheckFn = Callable[[DiagContext], Iterable[Violation]]

@@ -10,6 +10,7 @@ from repro.errors import DiagnosticError
 from repro.hw.cxl import cxl_a, cxl_b, cxl_c, cxl_d
 from repro.hw.platform import EMR2S
 from repro.hw.target import MemoryTarget
+from repro.obs.timers import phase_timer
 from repro.workloads import all_workloads
 from repro.workloads.base import WorkloadSpec
 
@@ -51,7 +52,8 @@ class ValidatingMelody(Melody):
         if _STRICT:
             from repro.diag.runcheck import validate_campaign_result
 
-            report = validate_campaign_result(result)
+            with phase_timer("validate", campaign=campaign.name):
+                report = validate_campaign_result(result)
             if not report.ok:
                 raise DiagnosticError(report, context=f"campaign {campaign.name}")
         return result
@@ -70,6 +72,17 @@ def campaign_melody(config: Optional[PipelineConfig] = None) -> Melody:
     return (
         ValidatingMelody(config) if config is not None else ValidatingMelody()
     )
+
+
+def experiment_timer(experiment: str, stage: str):
+    """A phase timer for one stage (``run``/``render``) of one experiment.
+
+    The CLI's ``figures`` command wraps every driver in these, so a
+    ``--metrics`` export carries per-experiment wall-time histograms
+    (``phase_seconds{experiment=...,phase=...}``) and a ``--trace`` file
+    shows experiments as wall-clock spans alongside the simulator tracks.
+    """
+    return phase_timer(stage, experiment=experiment)
 
 
 def workload_population(fast: bool) -> Tuple[WorkloadSpec, ...]:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hw.queueing import QueueModel
+from repro.obs.metrics import metrics
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,11 @@ class CxlMemoryController:
         derate = 1.0
         if temperature_c is not None:
             derate = self.thermal.service_derating(temperature_c)
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("hw.controller.queue_models_built").inc()
+            if derate > 1.0:
+                registry.counter("hw.controller.thermal_throttled").inc()
         effective = service_ns * derate
         return QueueModel(
             service_ns=effective,

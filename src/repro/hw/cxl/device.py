@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.errors import CalibrationError, ConfigurationError
 from repro.hw.bandwidth import FULL_DUPLEX, SHARED_BUS, BandwidthModel
+from repro.obs.metrics import metrics
 from repro.hw.cxl.controller import CxlMemoryController
 from repro.hw.cxl.link import CxlLink
 from repro.hw.dram import DDR4, DDR5, DramBackend
@@ -100,6 +101,7 @@ class CxlDevice(MemoryTarget):
                 f"{profile.name}: idle latency {profile.idle_latency_ns}ns is "
                 f"below the host+link+DRAM floor {fixed:.1f}ns"
             )
+        metrics().counter("hw.device.builds", device=profile.name).inc()
 
     # -- latency breakdown -------------------------------------------------
 

@@ -15,16 +15,29 @@ The simulation is deliberately structured after Figure 2b of the paper:
 
 Requests arrive open-loop (Poisson at a configured load); per-request
 latency is ``completion - arrival`` plus the host-side overhead.
+
+Observability: when a :class:`~repro.obs.trace.TraceBuffer` is active
+(passed explicitly or installed process-wide via ``--trace``), every Nth
+request additionally emits one span per pipeline stage -- link transit,
+transaction-layer queueing, MC scheduling, bank service -- in simulated
+nanoseconds.  Tracing only *reads* the timeline the simulation computes
+anyway: all random draws happen up front, before the event loop, so traced
+and untraced runs are bit-identical, and each traced request's span
+durations sum to its reported latency (the ``obs`` diag layer enforces
+both).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hw.cxl.device import HOST_OVERHEAD_NS, CxlDevice
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, metrics
+from repro.obs.trace import TraceBuffer, tracing
 from repro.rng import DEFAULT_SEED, generator_for
 from repro.units import CACHELINE_BYTES
 
@@ -69,8 +82,14 @@ class EventDrivenDevice:
         n_requests: int,
         offered_gbps: float,
         read_fraction: float = 1.0,
+        trace: Optional[TraceBuffer] = None,
     ) -> EventSimResult:
-        """Simulate ``n_requests`` Poisson arrivals at ``offered_gbps``."""
+        """Simulate ``n_requests`` Poisson arrivals at ``offered_gbps``.
+
+        ``trace`` overrides the process-wide buffer from
+        :func:`repro.obs.trace.tracing`; sampled requests emit one span
+        per pipeline stage.  Tracing never alters the simulated timeline.
+        """
         if n_requests < 1:
             raise ConfigurationError("need at least one request")
         if offered_gbps <= 0:
@@ -124,17 +143,22 @@ class EventDrivenDevice:
         refreshes = 0
         retries = int(retry_draw.sum())
 
+        # All randomness is drawn above this line; the tracer below only
+        # reads the computed timeline, so traced runs are bit-identical.
+        buf = trace if trace is not None else tracing()
+        traced = 0
+
         for i in range(n_requests):
-            t = arrivals[i]
+            arrival = t = arrivals[i]
             # Inbound link: wait for the wire, serialize one flit.
-            start = max(t, inbound_free)
-            inbound_free = start + flit_ns
+            start_in = max(t, inbound_free)
+            inbound_free = start_in + flit_ns
             t = inbound_free + link.stack_latency_ns
 
             # MC: dispatch pipeline + fixed processing.
-            start = max(t, mc_free)
-            mc_free = start + dispatch_ns
-            t = start + fixed_mc_ns
+            start_mc = max(t, mc_free)
+            mc_free = start_mc + dispatch_ns
+            t = start_mc + fixed_mc_ns
 
             # Bank service with row-buffer state.
             bank = int(banks[i])
@@ -142,12 +166,14 @@ class EventDrivenDevice:
                 row = int(bank_open_row[bank])
             else:
                 row = int(rows[i])
-            ready = max(t, bank_free[bank])
+            bank_ready = max(t, bank_free[bank])
             # Refresh collision?
-            phase = (ready + refresh_phase[bank]) % timings.tREFI
+            phase = (bank_ready + refresh_phase[bank]) % timings.tREFI
+            refresh_wait = 0.0
             if phase < refresh_block_ns:
-                ready += refresh_block_ns - phase
+                refresh_wait = refresh_block_ns - phase
                 refreshes += 1
+            ready = bank_ready + refresh_wait
             if bank_open_row[bank] == row:
                 service = timings.row_hit_ns
             elif bank_open_row[bank] < 0:
@@ -158,16 +184,64 @@ class EventDrivenDevice:
             bank_open_row[bank] = row
             done = ready + service
             bank_free[bank] = done
-            t = done
 
             # Outbound link: response flit.
-            start = max(t, outbound_free)
-            outbound_free = start + flit_ns
+            start_out = max(done, outbound_free)
+            outbound_free = start_out + flit_ns
             t = outbound_free + link.stack_latency_ns
             if retry_draw[i]:
                 t += link.retry_penalty_ns
 
             latencies[i] = (t - arrivals[i]) + HOST_OVERHEAD_NS
+
+            if buf is not None and buf.sampled(i):
+                traced += 1
+                mc_entry = inbound_free + link.stack_latency_ns
+                bank_entry = start_mc + fixed_mc_ns
+                spans = (
+                    ("link.in.wait", "link", arrival, start_in - arrival),
+                    ("link.in.serialize", "link", start_in, flit_ns),
+                    ("link.in.stack", "link", inbound_free,
+                     link.stack_latency_ns),
+                    ("mc.queue.wait", "mc", mc_entry, start_mc - mc_entry),
+                    ("mc.schedule", "mc", start_mc, fixed_mc_ns),
+                    ("bank.wait", "dram", bank_entry,
+                     bank_ready - bank_entry),
+                    ("bank.refresh", "dram", bank_ready, refresh_wait),
+                    ("bank.service", "dram", ready, service),
+                    ("link.out.wait", "link", done, start_out - done),
+                    ("link.out.serialize", "link", start_out, flit_ns),
+                    ("link.out.stack", "link", outbound_free,
+                     link.stack_latency_ns),
+                    ("link.retry", "link", outbound_free
+                     + link.stack_latency_ns,
+                     link.retry_penalty_ns if retry_draw[i] else 0.0),
+                    ("host.overhead", "host", t, HOST_OVERHEAD_NS),
+                )
+                for name, cat, start_ns, dur_ns in spans:
+                    if dur_ns > 0.0 or name == "host.overhead":
+                        buf.add(name, cat, start_ns, dur_ns, track=i)
+                # Annotate the closing span with the request's identity.
+                last = buf.spans[-1]
+                last.args.update(
+                    device=device.name,
+                    bank=bank,
+                    latency_ns=float(latencies[i]),
+                )
+
+        registry = metrics()
+        if registry.enabled:
+            labels = {"device": device.name}
+            registry.counter("sim.requests", **labels).inc(n_requests)
+            registry.counter("sim.bank_conflicts", **labels).inc(conflicts)
+            registry.counter("sim.refresh_collisions", **labels).inc(refreshes)
+            registry.counter("sim.link_retries", **labels).inc(retries)
+            registry.counter("sim.traced_requests", **labels).inc(traced)
+            registry.histogram(
+                "sim.request_latency_ns",
+                buckets=DEFAULT_LATENCY_BUCKETS_NS,
+                **labels,
+            ).observe_many(latencies)
 
         return EventSimResult(
             device=device.name,

@@ -21,8 +21,10 @@ performance are:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import metrics
 from repro.units import CACHELINE_BYTES
 
 PCIE_GTPS = {3: 8.0, 4: 16.0, 5: 32.0, 6: 64.0}
@@ -131,8 +133,22 @@ class CxlLink:
         serializations, each carrying its expected retry cost) plus two
         transaction/link-stack traversals.
         """
+        metrics().counter("hw.link.round_trip_evals").inc()
         return (
             FLITS_PER_ACCESS
             * (self.serialization_ns() + self.expected_retry_ns_per_flit())
             + 2.0 * self.stack_latency_ns
         )
+
+    def span_budget_ns(self) -> Dict[str, float]:
+        """Per-direction span budget of one wire crossing (tracing hook).
+
+        Names match the event-level tracer's link span names: a request
+        (or response) pays one ``serialize``, one ``stack`` traversal, and
+        -- on a CRC failure -- one ``retry`` penalty.
+        """
+        return {
+            "serialize": self.serialization_ns(),
+            "stack": self.stack_latency_ns,
+            "retry": self.retry_penalty_ns,
+        }

@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError, SaturationError
 from repro.hw.bandwidth import BandwidthModel
 from repro.hw.queueing import QueueModel, utilization
 from repro.hw.tail import TailModel
+from repro.obs.metrics import metrics
 from repro.rng import DEFAULT_SEED, generator_for
 
 _PERCENTILE_SAMPLES = 200_000
@@ -137,6 +138,11 @@ class MemoryTarget(abc.ABC):
         Loads at or beyond saturation are clamped to 99.9% utilization: a
         closed-loop measurement can sit *at* the knee but never beyond it.
         """
+        registry = metrics()
+        if registry.enabled:
+            registry.counter(
+                "hw.target.distributions", target=self.name
+            ).inc()
         util = min(0.999, self.utilization(load_gbps, read_fraction))
         tail = self.tail_model()
         base = max(

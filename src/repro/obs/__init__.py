@@ -1,0 +1,70 @@
+"""`repro.obs`: metrics, request-level tracing, and profiling hooks.
+
+The paper's contribution is *measurement*; this subsystem makes the
+reproduction itself measurable without ever distorting what it measures:
+
+* a process-wide **metrics registry** (`metrics.py`) -- counters, gauges,
+  fixed-bucket histograms -- with a zero-overhead no-op default and JSON /
+  Prometheus-text export, fed by the hardware models, the event simulator,
+  and the campaign runtime;
+* **request-level trace sampling** (`trace.py`) -- the event-driven CXL
+  simulator emits per-request spans (link transit, transaction-layer
+  queueing, MC scheduling, bank service) for every Nth request, exported
+  as Chrome ``trace_event`` JSON for Perfetto;
+* **phase timers** (`timers.py`) -- wall-clock stage timing for campaigns
+  and experiment drivers.
+
+Hard guarantee: instrumentation observes, never participates -- no RNG
+draws, no model inputs.  Figures are byte-identical with observability on
+or off, and each traced request's span durations sum exactly to its
+reported latency; both properties are enforced by the ``obs`` layer of
+:mod:`repro.diag`.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics,
+    use_registry,
+)
+from repro.obs.timers import phase_timer
+from repro.obs.trace import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    Span,
+    TraceBuffer,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+    use_tracing,
+)
+
+__all__ = [
+    "CLOCK_SIM",
+    "CLOCK_WALL",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "TraceBuffer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "metrics",
+    "phase_timer",
+    "tracing",
+    "use_registry",
+    "use_tracing",
+]

@@ -1,0 +1,49 @@
+"""Phase timers: wall-clock instrumentation for coarse execution stages.
+
+:func:`phase_timer` wraps a block of work, records its wall time into the
+``phase_seconds`` histogram of the active metrics registry (labelled by
+phase name plus caller-supplied labels), and -- when tracing is enabled --
+emits a wall-clock span so campaign phases appear as a timeline track in
+Perfetto next to the simulated-time request spans.
+
+Experiment drivers time their ``run`` and ``render`` stages through this;
+Melody times whole campaigns.  With observability disabled the cost is two
+``perf_counter`` calls and a no-op histogram lookup.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS_S, metrics
+from repro.obs.trace import CLOCK_WALL, tracing
+
+
+@contextmanager
+def phase_timer(phase: str, **labels: str) -> Iterator[None]:
+    """Time a block as one named phase (histogram + optional wall span)."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        registry = metrics()
+        if registry.enabled:
+            registry.histogram(
+                "phase_seconds",
+                buckets=DEFAULT_TIME_BUCKETS_S,
+                phase=phase,
+                **labels,
+            ).observe(elapsed)
+        buffer = tracing()
+        if buffer is not None:
+            buffer.add(
+                phase,
+                "phase",
+                start_ns=start * 1e9,
+                dur_ns=elapsed * 1e9,
+                clock=CLOCK_WALL,
+                **labels,
+            )

@@ -1,0 +1,202 @@
+"""Request-level trace spans in Chrome ``trace_event`` JSON.
+
+The event-driven simulator (:mod:`repro.hw.cxl.eventdevice`) and the
+campaign runtime annotate what they do as **spans** -- named, categorized
+intervals -- collected into a :class:`TraceBuffer` and exported in the
+Chrome ``trace_event`` array format, so a campaign's breakdown is directly
+viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Two clock domains coexist in one file, kept apart as separate trace
+*processes*:
+
+* ``CLOCK_SIM`` -- simulated nanoseconds.  Each sampled request is one
+  track (thread); its spans tile the request's life exactly, so the span
+  durations of a track sum to the request's reported latency.  That sum
+  identity is the ``obs`` diag layer's span-accounting invariant.
+* ``CLOCK_WALL`` -- wall-clock nanoseconds (``time.perf_counter`` based),
+  used by the runtime's batch and phase spans.
+
+Sampling: a buffer created with ``sample_every=N`` records every Nth
+request (:meth:`TraceBuffer.sampled`), which bounds trace size on long
+simulations.  Sampling decisions *read* the request index only -- they
+never touch an RNG -- so tracing cannot perturb simulated results.
+
+Like the metrics registry, tracing is opt-in: :func:`tracing` returns
+``None`` until :func:`enable_tracing` installs a process-wide buffer (the
+CLI's ``--trace`` flag does this).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+CLOCK_SIM = "sim"
+"""Clock domain of simulated nanoseconds (the event simulator)."""
+
+CLOCK_WALL = "wall"
+"""Clock domain of wall-clock nanoseconds (the campaign runtime)."""
+
+_CLOCK_PIDS = {CLOCK_SIM: 1, CLOCK_WALL: 2}
+_CLOCK_NAMES = {
+    CLOCK_SIM: "simulator (simulated ns)",
+    CLOCK_WALL: "runtime (wall clock)",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval in one clock domain."""
+
+    name: str
+    cat: str
+    start_ns: float
+    dur_ns: float
+    track: int = 0
+    clock: str = CLOCK_SIM
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome ``trace_event`` complete-event (``ph: X``) record."""
+        event: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "ts": self.start_ns / 1e3,  # trace_event timestamps are in us
+            "dur": self.dur_ns / 1e3,
+            "pid": _CLOCK_PIDS[self.clock],
+            "tid": self.track,
+        }
+        if self.args:
+            event["args"] = dict(self.args)
+        return event
+
+
+class TraceBuffer:
+    """An append-only span collector with request-index sampling."""
+
+    def __init__(self, sample_every: int = 1):
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1: {sample_every}"
+            )
+        self.sample_every = sample_every
+        self.spans: List[Span] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def sampled(self, index: int) -> bool:
+        """Whether request ``index`` should be traced (every Nth is)."""
+        return index % self.sample_every == 0
+
+    def add(
+        self,
+        name: str,
+        cat: str,
+        start_ns: float,
+        dur_ns: float,
+        track: int = 0,
+        clock: str = CLOCK_SIM,
+        **args: object,
+    ) -> None:
+        """Append one span."""
+        if clock not in _CLOCK_PIDS:
+            raise ConfigurationError(f"unknown trace clock {clock!r}")
+        self.spans.append(
+            Span(
+                name=name,
+                cat=cat,
+                start_ns=float(start_ns),
+                dur_ns=float(dur_ns),
+                track=track,
+                clock=clock,
+                args=dict(args),
+            )
+        )
+
+    # -- queries (span accounting) ---------------------------------------
+
+    def tracks(self, clock: str = CLOCK_SIM) -> Tuple[int, ...]:
+        """All track ids seen in ``clock``, ascending."""
+        return tuple(
+            sorted({s.track for s in self.spans if s.clock == clock})
+        )
+
+    def spans_for_track(
+        self, track: int, clock: str = CLOCK_SIM
+    ) -> Tuple[Span, ...]:
+        """The spans of one track, in emission order."""
+        return tuple(
+            s for s in self.spans if s.clock == clock and s.track == track
+        )
+
+    def span_sum_ns(self, track: int, clock: str = CLOCK_SIM) -> float:
+        """Total span duration on one track (the accounting identity LHS)."""
+        return sum(
+            s.dur_ns for s in self.spans
+            if s.clock == clock and s.track == track
+        )
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome trace document: metadata + one event per span."""
+        events: List[Dict[str, object]] = []
+        for clock in sorted({s.clock for s in self.spans}):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": _CLOCK_PIDS[clock],
+                    "args": {"name": _CLOCK_NAMES[clock]},
+                }
+            )
+        events.extend(span.to_chrome() for span in self.spans)
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def dumps(self) -> str:
+        """Serialize the Chrome trace document."""
+        return json.dumps(self.to_chrome())
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace document to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+
+_active: Optional[TraceBuffer] = None
+
+
+def tracing() -> Optional[TraceBuffer]:
+    """The active trace buffer, or ``None`` when tracing is off."""
+    return _active
+
+
+def enable_tracing(sample_every: int = 1) -> TraceBuffer:
+    """Install a fresh process-wide trace buffer and return it."""
+    global _active
+    _active = TraceBuffer(sample_every=sample_every)
+    return _active
+
+
+def disable_tracing() -> None:
+    """Stop collecting spans (the previous buffer is dropped)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def use_tracing(buffer: Optional[TraceBuffer]) -> Iterator[Optional[TraceBuffer]]:
+    """Temporarily install ``buffer`` (tests and the diag suite)."""
+    global _active
+    previous = _active
+    _active = buffer
+    try:
+        yield buffer
+    finally:
+        _active = previous

@@ -20,6 +20,13 @@ Execution strategy per batch:
 Pool setup failures (sandboxed environments, missing semaphores, pickling
 restrictions) degrade gracefully to the serial path; genuine run errors
 propagate exactly as they would serially.
+
+Observability: every batch feeds the process-wide metrics registry
+(:mod:`repro.obs`) -- cells requested/run/cached/deduped, batch wall-time
+histogram, cache hit rate, pool-vs-serial split, worker utilization and
+pool fallbacks -- and, when tracing is on, emits one wall-clock span per
+batch.  Instrumentation only observes wall time and counts; it cannot
+change which cells run or what they return.
 """
 
 from __future__ import annotations
@@ -29,11 +36,13 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
 from repro.hw.platform import Platform
 from repro.hw.target import MemoryTarget
+from repro.obs.metrics import metrics
+from repro.obs.trace import CLOCK_WALL, tracing
 from repro.runtime.cache import RunCache, run_key
 from repro.workloads.base import WorkloadSpec
 
@@ -60,6 +69,26 @@ def _execute_cell(cell: Cell) -> RunResult:
     return run_workload(cell.workload, cell.platform, cell.target, cell.config)
 
 
+def _execute_cell_timed(cell: Cell) -> Tuple[RunResult, float]:
+    """Pool worker: run one cell and report its busy time (utilization)."""
+    start = time.perf_counter()
+    result = _execute_cell(cell)
+    return result, time.perf_counter() - start
+
+
+def _pool_chunksize(n_pending: int, jobs: int) -> int:
+    """Chunk size for pool submission.
+
+    ~4 chunks per worker amortizes submission overhead while keeping the
+    pool fed, clamped so the batch always splits into at least one chunk
+    per worker: a chunk size above ``ceil(n/jobs)`` would hand some
+    workers nothing while others serially chew oversized chunks.
+    """
+    amortized = max(1, n_pending // (jobs * 4))
+    per_worker = -(-n_pending // jobs)  # ceil
+    return max(1, min(amortized, per_worker))
+
+
 @dataclass
 class EngineStats:
     """Cumulative execution statistics of one engine."""
@@ -67,7 +96,12 @@ class EngineStats:
     cells_requested: int = 0
     cells_run: int = 0
     cells_cached: int = 0
+    cells_deduped: int = 0
+    cells_pool: int = 0
+    cells_serial: int = 0
     elapsed_s: float = 0.0
+    pool_busy_s: float = 0.0
+    pool_wall_s: float = 0.0
     batches: int = 0
     pool_fallbacks: int = 0
 
@@ -75,13 +109,56 @@ class EngineStats:
         """Executed-cell throughput (0 when nothing ran)."""
         return self.cells_run / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    def cached_per_second(self) -> float:
+        """Cache-hit (plus dedupe) service throughput."""
+        return (
+            self.cells_cached / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        )
+
+    def hit_rate(self) -> float:
+        """Fraction of requested cells served without executing them."""
+        return (
+            self.cells_cached / self.cells_requested
+            if self.cells_requested > 0
+            else 0.0
+        )
+
+    def dedupe_ratio(self) -> float:
+        """Fraction of requested cells collapsed onto an in-batch twin."""
+        return (
+            self.cells_deduped / self.cells_requested
+            if self.cells_requested > 0
+            else 0.0
+        )
+
+    def worker_utilization(self) -> float:
+        """Pool busy time over pool capacity (0 when the pool never ran).
+
+        ``pool_wall_s`` already aggregates ``workers x wall`` per batch, so
+        this is a capacity fraction in [0, 1] even across batches with
+        different worker counts.
+        """
+        return (
+            self.pool_busy_s / self.pool_wall_s if self.pool_wall_s > 0
+            else 0.0
+        )
+
     def summary(self) -> str:
-        """The CLI's one-line report."""
+        """The CLI's one-line report.
+
+        An all-cache-hit batch used to report a misleading ``0.0 runs/s``;
+        when nothing ran but cells were served, the throughput shown is
+        the cache-service rate instead, and the hit rate is always shown.
+        """
+        if self.cells_run == 0 and self.cells_cached > 0:
+            throughput = f"{self.cached_per_second():.1f} cached/s"
+        else:
+            throughput = f"{self.runs_per_second():.1f} runs/s"
         return (
             f"runtime: {self.cells_requested} cells "
             f"({self.cells_run} run, {self.cells_cached} cached) "
             f"in {self.elapsed_s:.2f}s "
-            f"({self.runs_per_second():.1f} runs/s)"
+            f"({throughput}, {self.hit_rate() * 100.0:.0f}% hit rate)"
         )
 
 
@@ -100,8 +177,10 @@ class CampaignEngine:
         resolved: Dict[str, RunResult] = {}
         pending: List[Cell] = []
         pending_keys: List[str] = []
+        dupes = 0
         for cell, key in zip(cells, keys):
             if key in resolved:
+                dupes += 1
                 continue
             hit = self.cache.get(key)
             if hit is not None:
@@ -115,12 +194,52 @@ class CampaignEngine:
             self.cache.put(key, result)
             resolved[key] = result
 
+        elapsed = time.perf_counter() - start
         self.stats.cells_requested += len(cells)
         self.stats.cells_run += len(pending)
         self.stats.cells_cached += len(cells) - len(pending)
-        self.stats.elapsed_s += time.perf_counter() - start
+        self.stats.cells_deduped += dupes
+        self.stats.elapsed_s += elapsed
         self.stats.batches += 1
+        self._observe_batch(len(cells), len(pending), dupes, start, elapsed)
         return [resolved[key] for key in keys]
+
+    def _observe_batch(
+        self,
+        requested: int,
+        ran: int,
+        dupes: int,
+        start: float,
+        elapsed: float,
+    ) -> None:
+        """Publish one batch's numbers to the metrics registry and tracer."""
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("runtime.cells_requested").inc(requested)
+            registry.counter("runtime.cells_run").inc(ran)
+            registry.counter("runtime.cells_cached").inc(
+                requested - ran - dupes
+            )
+            registry.counter("runtime.cells_deduped").inc(dupes)
+            registry.counter("runtime.batches").inc()
+            registry.histogram("runtime.batch_seconds").observe(elapsed)
+            registry.gauge("runtime.cache_hit_rate").set(
+                self.stats.hit_rate()
+            )
+            registry.gauge("runtime.dedupe_ratio").set(
+                self.stats.dedupe_ratio()
+            )
+        buffer = tracing()
+        if buffer is not None:
+            buffer.add(
+                f"batch[{requested}]",
+                "runtime",
+                start_ns=start * 1e9,
+                dur_ns=elapsed * 1e9,
+                clock=CLOCK_WALL,
+                cells_requested=requested,
+                cells_run=ran,
+            )
 
     def run_one(
         self,
@@ -136,14 +255,22 @@ class CampaignEngine:
 
     def _execute(self, pending: List[Cell]) -> List[RunResult]:
         if self.jobs <= 1 or len(pending) < _MIN_POOL_BATCH:
+            self.stats.cells_serial += len(pending)
+            if pending:
+                metrics().counter("runtime.cells_serial").inc(len(pending))
             return [_execute_cell(cell) for cell in pending]
         try:
-            return self._execute_pool(pending)
+            results = self._execute_pool(pending)
         except (OSError, ValueError, ImportError, BrokenProcessPool,
                 pickle.PicklingError):
             # Pool infrastructure unavailable -- fall back, don't fail.
             self.stats.pool_fallbacks += 1
+            self.stats.cells_serial += len(pending)
+            metrics().counter("runtime.pool_fallbacks").inc()
+            metrics().counter("runtime.cells_serial").inc(len(pending))
             return [_execute_cell(cell) for cell in pending]
+        self.stats.cells_pool += len(pending)
+        return results
 
     def _execute_pool(self, pending: List[Cell]) -> List[RunResult]:
         import multiprocessing as mp
@@ -152,9 +279,22 @@ class CampaignEngine:
             context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
             context = mp.get_context()
-        # ~4 chunks per worker amortizes submission while keeping the pool fed.
-        chunksize = max(1, len(pending) // (self.jobs * 4))
+        chunksize = _pool_chunksize(len(pending), self.jobs)
+        start = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=self.jobs, mp_context=context
         ) as pool:
-            return list(pool.map(_execute_cell, pending, chunksize=chunksize))
+            timed = list(
+                pool.map(_execute_cell_timed, pending, chunksize=chunksize)
+            )
+        wall = time.perf_counter() - start
+        busy = sum(duration for _, duration in timed)
+        self.stats.pool_busy_s += busy
+        self.stats.pool_wall_s += self.jobs * wall
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("runtime.cells_pool").inc(len(pending))
+            registry.gauge("runtime.worker_utilization").set(
+                self.stats.worker_utilization()
+            )
+        return [result for result, _ in timed]

@@ -1,0 +1,101 @@
+"""The obs diag layer: green on shipped wiring, trips on broken wiring."""
+
+import pytest
+
+from repro.diag import DiagContext, run_checks
+from repro.diag.checks_obs import (
+    check_export_wellformed,
+    check_span_accounting,
+)
+from repro.hw.cxl import cxl_a
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBuffer
+
+
+@pytest.fixture
+def small_ctx(monkeypatch):
+    """One device and a tiny request count, so obs checks stay fast."""
+    import repro.diag.checks_obs as checks_obs
+
+    monkeypatch.setattr(checks_obs, "SPAN_CHECK_REQUESTS", 80)
+    return DiagContext.default().with_targets([cxl_a()])
+
+
+def _failed_checks(report):
+    return {result.check for result in report.results if not result.ok}
+
+
+class TestShippedWiring:
+    def test_obs_layer_passes(self, small_ctx):
+        report = run_checks(small_ctx, layers=["obs"])
+        assert report.ok, report.render()
+        assert {r.check for r in report.results} == {
+            "span-accounting",
+            "trace-noninterference",
+            "metrics-noninterference",
+            "export-wellformed",
+        }
+
+
+class TestBrokenWiring:
+    def test_dropped_span_trips_accounting(self, small_ctx, monkeypatch):
+        """Silently losing a pipeline stage must fail span accounting."""
+        original = TraceBuffer.add
+
+        def dropping(self, name, cat, start_ns, dur_ns, **kwargs):
+            if name == "host.overhead":
+                return
+            original(self, name, cat, start_ns, dur_ns, **kwargs)
+
+        monkeypatch.setattr(TraceBuffer, "add", dropping)
+        violations = list(check_span_accounting(small_ctx))
+        assert violations
+        assert all(v.check == "span-accounting" for v in violations)
+        assert any("sum" in v.message for v in violations)
+
+    def test_inflated_span_trips_accounting(self, small_ctx, monkeypatch):
+        """Double-counting a stage must fail span accounting."""
+        original = TraceBuffer.add
+
+        def inflating(self, name, cat, start_ns, dur_ns, **kwargs):
+            if name == "mc.schedule":
+                dur_ns += 1.0
+            original(self, name, cat, start_ns, dur_ns, **kwargs)
+
+        monkeypatch.setattr(TraceBuffer, "add", inflating)
+        violations = list(check_span_accounting(small_ctx))
+        assert violations
+        gaps = [v.context["gap_ns"] for v in violations]
+        assert all(gap == pytest.approx(1.0) for gap in gaps)
+
+    def test_garbled_prometheus_trips_export_check(self, monkeypatch):
+        monkeypatch.setattr(
+            MetricsRegistry, "to_prometheus",
+            lambda self: "this is !! not an exposition line\n",
+        )
+        violations = list(
+            check_export_wellformed(DiagContext.default().with_targets([]))
+        )
+        assert any(v.subject == "prometheus" for v in violations)
+
+    def test_broken_histogram_accounting_trips_export_check(
+        self, monkeypatch
+    ):
+        from repro.obs.metrics import Histogram
+
+        def lossy_to_dict(self):
+            data = {
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count + 1,  # claims one phantom observation
+            }
+            return data
+
+        monkeypatch.setattr(Histogram, "to_dict", lossy_to_dict)
+        violations = list(
+            check_export_wellformed(DiagContext.default().with_targets([]))
+        )
+        assert any(
+            "do not sum" in v.message for v in violations
+        )

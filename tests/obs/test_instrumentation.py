@@ -1,0 +1,138 @@
+"""Instrumentation wiring: simulator spans, runtime metrics, phase timers.
+
+The determinism half of the contract (observability on vs. off produces
+bit-identical results) is enforced both here and by the ``obs`` layer of
+``repro.diag``; these tests additionally pin down *what* the wiring
+records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.cxl.eventdevice import EventDrivenDevice
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.timers import phase_timer
+from repro.obs.trace import CLOCK_WALL, TraceBuffer, use_tracing
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import CampaignEngine, Cell
+
+N_REQUESTS = 600
+LOAD_GBPS = 8.0
+
+
+@pytest.fixture
+def sim(device_a):
+    return EventDrivenDevice(device_a, seed=7)
+
+
+class TestSimulatorTracing:
+    def test_trace_does_not_perturb_latencies(self, sim):
+        plain = sim.simulate(N_REQUESTS, LOAD_GBPS)
+        traced = sim.simulate(N_REQUESTS, LOAD_GBPS, trace=TraceBuffer())
+        assert np.array_equal(plain.latencies_ns, traced.latencies_ns)
+        assert plain.bank_conflicts == traced.bank_conflicts
+        assert plain.refresh_collisions == traced.refresh_collisions
+        assert plain.link_retries == traced.link_retries
+
+    def test_span_sum_equals_reported_latency(self, sim):
+        buf = TraceBuffer()
+        result = sim.simulate(N_REQUESTS, LOAD_GBPS, trace=buf)
+        for track in buf.tracks():
+            latency = float(result.latencies_ns[track])
+            assert buf.span_sum_ns(track) == pytest.approx(
+                latency, abs=1e-6, rel=1e-9
+            )
+
+    def test_sampling_traces_every_nth_request(self, sim):
+        buf = TraceBuffer(sample_every=100)
+        sim.simulate(N_REQUESTS, LOAD_GBPS, trace=buf)
+        assert buf.tracks() == (0, 100, 200, 300, 400, 500)
+
+    def test_every_traced_request_covers_the_pipeline(self, sim):
+        buf = TraceBuffer(sample_every=200)
+        sim.simulate(N_REQUESTS, LOAD_GBPS, trace=buf)
+        for track in buf.tracks():
+            cats = {s.cat for s in buf.spans_for_track(track)}
+            assert {"link", "mc", "dram", "host"} <= cats
+
+    def test_global_buffer_used_when_no_explicit_trace(self, sim):
+        buf = TraceBuffer(sample_every=300)
+        with use_tracing(buf):
+            sim.simulate(N_REQUESTS, LOAD_GBPS)
+        assert len(buf) > 0
+
+    def test_metrics_counters_populated(self, sim, device_a):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = sim.simulate(N_REQUESTS, LOAD_GBPS)
+        label = {"device": device_a.name}
+        assert registry.counter("sim.requests", **label).value == N_REQUESTS
+        assert (registry.counter("sim.bank_conflicts", **label).value
+                == result.bank_conflicts)
+        hist = registry.histogram("sim.request_latency_ns", **label)
+        assert hist.count == N_REQUESTS
+        assert hist.sum == pytest.approx(float(result.latencies_ns.sum()))
+
+
+class TestRuntimeInstrumentation:
+    @pytest.fixture
+    def grid(self, simple_workload, compute_workload, emr, device_a,
+             device_b):
+        return [
+            Cell(w, emr, t)
+            for w in (simple_workload, compute_workload)
+            for t in (device_a, device_b)
+        ]
+
+    def test_batch_metrics_published(self, grid):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = CampaignEngine(cache=RunCache())
+            engine.run_cells(grid)
+            engine.run_cells(grid)
+        assert registry.counter("runtime.cells_requested").value == 2 * len(grid)
+        assert registry.counter("runtime.cells_run").value == len(grid)
+        assert registry.counter("runtime.cells_cached").value == len(grid)
+        assert registry.counter("runtime.batches").value == 2
+        assert registry.histogram("runtime.batch_seconds").count == 2
+        # The gauge is the engine-lifetime rate: 4 cached of 8 requested.
+        assert registry.gauge("runtime.cache_hit_rate").value == 0.5
+
+    def test_batch_spans_on_wall_clock(self, grid):
+        buf = TraceBuffer()
+        with use_tracing(buf):
+            CampaignEngine(cache=RunCache()).run_cells(grid)
+        spans = [s for s in buf.spans if s.clock == CLOCK_WALL]
+        assert any(s.name.startswith("batch[") for s in spans)
+
+    def test_metrics_do_not_change_results(self, grid):
+        reference = CampaignEngine(cache=RunCache()).run_cells(grid)
+        with use_registry(MetricsRegistry()):
+            observed = CampaignEngine(cache=RunCache()).run_cells(grid)
+        assert reference == observed
+
+
+class TestPhaseTimer:
+    def test_records_histogram_when_enabled(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with phase_timer("validate", campaign="cli"):
+                pass
+        hist = registry.histogram(
+            "phase_seconds", phase="validate", campaign="cli"
+        )
+        assert hist.count == 1
+
+    def test_emits_wall_span_when_tracing(self):
+        buf = TraceBuffer()
+        with use_tracing(buf):
+            with phase_timer("render", experiment="fig03a"):
+                pass
+        (span,) = buf.spans
+        assert span.clock == CLOCK_WALL
+        assert span.name == "render"
+        assert span.args == {"experiment": "fig03a"}
+
+    def test_noop_without_obs(self):
+        with phase_timer("idle"):
+            pass  # must not raise or allocate registry state

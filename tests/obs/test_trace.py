@@ -1,0 +1,110 @@
+"""Trace buffer tests: sampling, span queries, Chrome export, state."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    Span,
+    TraceBuffer,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+    use_tracing,
+)
+
+
+class TestSampling:
+    def test_sample_every_one_takes_all(self):
+        buf = TraceBuffer()
+        assert all(buf.sampled(i) for i in range(10))
+
+    def test_sample_every_n(self):
+        buf = TraceBuffer(sample_every=4)
+        assert [i for i in range(12) if buf.sampled(i)] == [0, 4, 8]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            TraceBuffer(sample_every=0)
+
+
+class TestSpans:
+    def test_add_and_query_by_track(self):
+        buf = TraceBuffer()
+        buf.add("link.in.wait", "link", 0.0, 5.0, track=0)
+        buf.add("bank.service", "dram", 5.0, 40.0, track=0)
+        buf.add("link.in.wait", "link", 2.0, 3.0, track=1)
+        assert len(buf) == 3
+        assert buf.tracks() == (0, 1)
+        names = [s.name for s in buf.spans_for_track(0)]
+        assert names == ["link.in.wait", "bank.service"]
+        assert buf.span_sum_ns(0) == pytest.approx(45.0)
+        assert buf.span_sum_ns(1) == pytest.approx(3.0)
+
+    def test_clocks_are_separate_domains(self):
+        buf = TraceBuffer()
+        buf.add("bank.service", "dram", 0.0, 10.0, track=0)
+        buf.add("batch[0]", "runtime", 0.0, 99.0, track=0, clock=CLOCK_WALL)
+        assert buf.tracks(CLOCK_SIM) == (0,)
+        assert buf.tracks(CLOCK_WALL) == (0,)
+        assert buf.span_sum_ns(0, CLOCK_SIM) == pytest.approx(10.0)
+        assert buf.span_sum_ns(0, CLOCK_WALL) == pytest.approx(99.0)
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceBuffer().add("x", "y", 0.0, 1.0, clock="tai")
+
+
+class TestChromeExport:
+    def test_complete_event_shape(self):
+        span = Span("mc.schedule", "mc", start_ns=1500.0, dur_ns=250.0,
+                    track=7, args={"bank": 3})
+        event = span.to_chrome()
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(1.5)   # us
+        assert event["dur"] == pytest.approx(0.25)
+        assert event["pid"] == 1 and event["tid"] == 7
+        assert event["args"] == {"bank": 3}
+
+    def test_document_has_metadata_per_clock(self):
+        buf = TraceBuffer()
+        buf.add("bank.service", "dram", 0.0, 10.0)
+        buf.add("batch[0]", "runtime", 0.0, 1.0, clock=CLOCK_WALL)
+        doc = json.loads(buf.dumps())
+        assert doc["displayTimeUnit"] == "ns"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {1, 2}
+        assert all(e["name"] == "process_name" for e in meta)
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 2
+
+    def test_write_round_trips(self, tmp_path):
+        buf = TraceBuffer()
+        buf.add("host.overhead", "host", 0.0, 40.0)
+        path = tmp_path / "trace.json"
+        buf.write(str(path))
+        doc = json.loads(path.read_text())
+        assert any(e.get("name") == "host.overhead"
+                   for e in doc["traceEvents"])
+
+
+class TestModuleState:
+    def test_off_by_default(self):
+        assert tracing() is None
+
+    def test_enable_disable_cycle(self):
+        buf = enable_tracing(sample_every=3)
+        try:
+            assert tracing() is buf
+            assert buf.sample_every == 3
+        finally:
+            disable_tracing()
+        assert tracing() is None
+
+    def test_use_tracing_restores_previous(self):
+        inner = TraceBuffer()
+        with use_tracing(inner):
+            assert tracing() is inner
+        assert tracing() is None

@@ -1,10 +1,15 @@
 """CampaignEngine tests: dedupe, ordering, stats, pool and fallback."""
 
 import pytest
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.cpu.pipeline import PipelineConfig, run_workload
 from repro.runtime.cache import RunCache
-from repro.runtime.executor import CampaignEngine, Cell
+from repro.runtime.executor import (
+    CampaignEngine,
+    Cell,
+    _pool_chunksize,
+)
 
 
 @pytest.fixture
@@ -101,6 +106,61 @@ class TestParallel:
         with pytest.raises(RuntimeError):
             engine.run_cells(grid)
 
+    def test_broken_process_pool_mid_map_falls_back(self, grid, monkeypatch):
+        """A pool that dies mid-``map`` degrades to identical serial results."""
+        import repro.runtime.executor as executor_mod
+
+        class DyingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                raise BrokenProcessPool("worker died unexpectedly")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", DyingPool)
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        results = engine.run_cells(grid)
+        assert engine.stats.pool_fallbacks == 1
+        assert engine.stats.cells_serial == len(grid)
+        assert engine.stats.cells_pool == 0
+        assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
+
+    def test_pool_vs_serial_cells_counted(self, grid):
+        serial = CampaignEngine(cache=RunCache(), jobs=1)
+        serial.run_cells(grid)
+        assert serial.stats.cells_serial == len(grid)
+        assert serial.stats.cells_pool == 0
+        pooled = CampaignEngine(cache=RunCache(), jobs=2)
+        pooled.run_cells(grid)
+        if pooled.stats.pool_fallbacks == 0:
+            assert pooled.stats.cells_pool == len(grid)
+            assert pooled.stats.cells_serial == 0
+            assert pooled.stats.pool_wall_s > 0.0
+            assert 0.0 < pooled.stats.worker_utilization() <= 1.0
+
+
+class TestPoolChunksize:
+    def test_at_least_one(self):
+        assert _pool_chunksize(1, 8) == 1
+
+    def test_every_worker_gets_a_chunk(self):
+        for n in (4, 6, 9, 17, 33, 100, 1000):
+            for jobs in (2, 4, 8, 16):
+                size = _pool_chunksize(n, jobs)
+                chunks = -(-n // size)
+                assert chunks >= min(jobs, n), (n, jobs, size)
+
+    def test_large_batches_amortize(self):
+        # 4 chunks per worker once the batch is big enough.
+        assert _pool_chunksize(320, 8) == 10
+        assert _pool_chunksize(64, 4) == 4
+
 
 class TestStats:
     def test_runs_per_second(self, engine, grid):
@@ -113,4 +173,22 @@ class TestStats:
         line = engine.stats.summary()
         assert line.startswith(f"runtime: {2 * len(grid)} cells")
         assert f"({len(grid)} run, {len(grid)} cached)" in line
-        assert line.endswith("runs/s)")
+        assert "runs/s" in line
+        assert "50% hit rate" in line
+
+    def test_all_cached_batch_reports_cached_throughput(self, engine, grid):
+        """A warm batch must not advertise a misleading ``0.0 runs/s``."""
+        engine.run_cells(grid)
+        warm = CampaignEngine(cache=engine.cache)
+        warm.run_cells(grid)
+        line = warm.stats.summary()
+        assert "0.0 runs/s" not in line
+        assert "cached/s" in line
+        assert "100% hit rate" in line
+        assert warm.stats.cached_per_second() > 0.0
+
+    def test_dedupe_tracked_separately(self, engine, grid):
+        engine.run_cells(grid + grid)
+        assert engine.stats.cells_deduped == len(grid)
+        assert engine.stats.dedupe_ratio() == 0.5
+        assert engine.stats.hit_rate() == 0.5

@@ -110,7 +110,7 @@ class TestRuntimeFlags:
         assert code == 0
         line = next(l for l in out.splitlines() if l.startswith("runtime:"))
         assert "run," in line and "cached)" in line
-        assert line.endswith("runs/s)")
+        assert "runs/s" in line and "hit rate)" in line
 
     def test_campaign_warm_cache_skips_runs(self, capsys, tmp_path):
         args = ("campaign", "--suite", "PARSEC", "--targets", "cxl-a",
@@ -162,3 +162,127 @@ class TestFitCommand:
         assert code == 0
         assert "base latency" in out
         assert "slowdown on the fitted device" in out
+
+
+class TestObsFlags:
+    @pytest.fixture(autouse=True)
+    def fresh_obs(self):
+        # --metrics/--trace install process-wide collectors; never let a
+        # failing test leak an enabled registry into the rest of the suite.
+        from repro.obs import disable_metrics, disable_tracing
+
+        yield
+        disable_metrics()
+        disable_tracing()
+
+    def test_characterize_writes_metrics_and_trace(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "characterize", "cxl-a", "--samples", "2000",
+            "--metrics", str(metrics), "--trace", str(trace),
+            "--trace-sample", "100",
+        )
+        assert code == 0
+        assert f"wrote metrics" in out and f"trace spans" in out
+        snapshot = json.loads(metrics.read_text())
+        assert 'sim.requests{device="CXL-A"}' in snapshot["counters"]
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans and {"link", "mc", "dram", "host"} <= {
+            e["cat"] for e in spans
+        }
+
+    def test_prom_suffix_selects_prometheus_text(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code, _ = run_cli(
+            capsys, "characterize", "cxl-b", "--samples", "1000",
+            "--metrics", str(metrics),
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_sim_requests counter" in text
+
+    def test_obs_flags_leave_metrics_disabled_after(self, capsys, tmp_path):
+        from repro.obs import metrics as active_metrics
+        from repro.obs import tracing
+
+        run_cli(capsys, "characterize", "cxl-a", "--samples", "1000",
+                "--metrics", str(tmp_path / "m.json"),
+                "--trace", str(tmp_path / "t.json"))
+        assert active_metrics().enabled is False
+        assert tracing() is None
+
+    def test_figures_byte_identical_with_obs_on(self, capsys, tmp_path):
+        from repro.runtime import reset_runtime
+
+        plain_dir = tmp_path / "plain"
+        obs_dir = tmp_path / "obs"
+        reset_runtime()
+        code, _ = run_cli(capsys, "figures", "tab01", "fig03",
+                          "--output", str(plain_dir))
+        assert code == 0
+        reset_runtime()
+        code, _ = run_cli(capsys, "figures", "tab01", "fig03",
+                          "--output", str(obs_dir),
+                          "--metrics", str(tmp_path / "m.json"),
+                          "--trace", str(tmp_path / "t.json"))
+        assert code == 0
+        reset_runtime()
+        plain = sorted(p.name for p in plain_dir.glob("*.txt"))
+        assert plain == sorted(p.name for p in obs_dir.glob("*.txt"))
+        for name in plain:
+            assert (plain_dir / name).read_bytes() == \
+                (obs_dir / name).read_bytes()
+
+
+class TestStatsCommand:
+    def _export(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("runtime.cells_run").inc(12)
+        registry.gauge("runtime.cache_hit_rate").set(0.5)
+        registry.histogram("runtime.batch_seconds",
+                           buckets=(1.0,)).observe(0.25)
+        path = tmp_path / "metrics.json"
+        path.write_text(registry.to_json() + "\n")
+        return path
+
+    def test_human_summary(self, capsys, tmp_path):
+        path = self._export(tmp_path)
+        code, out = run_cli(capsys, "stats", str(path))
+        assert code == 0
+        assert "3 instruments" in out
+        assert "runtime.cells_run" in out and "12" in out
+        assert "mean=0.25" in out
+
+    def test_json_re_emission(self, capsys, tmp_path):
+        import json
+
+        path = self._export(tmp_path)
+        code, out = run_cli(capsys, "stats", str(path), "--json")
+        assert code == 0
+        assert json.loads(out)["counters"]["runtime.cells_run"] == 12
+
+    def test_missing_file_fails(self, capsys, tmp_path):
+        code = main(["stats", str(tmp_path / "nope.json")])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "does not exist" in err
+
+    def test_unparseable_file_fails(self, capsys, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        code = main(["stats", str(path)])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_wrong_schema_fails(self, capsys, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"records": []}')
+        code = main(["stats", str(path)])
+        assert code == 1
+        assert "not a repro metrics export" in capsys.readouterr().err
