@@ -125,7 +125,8 @@ def cmd_characterize(args) -> int:
         from repro.hw.cxl.eventdevice import EventDrivenDevice
 
         EventDrivenDevice(device).simulate(
-            args.samples, args.load, read_fraction=0.75
+            args.samples, args.load, read_fraction=0.75,
+            engine=args.engine,
         )
     finish()
     return 0
@@ -385,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=50_000)
     p.add_argument("--load", type=float, default=5.0,
                    help="CPMU operating load in GB/s")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "scalar", "vector"],
+                   help="event-simulation engine for the sim battery "
+                   "(auto = vector unless tracing)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_characterize)
 

@@ -203,6 +203,85 @@ def check_breakdown_conservation(ctx: DiagContext) -> Iterator[Violation]:
             )
 
 
+_ENGINE_CHECK_REQUESTS = 600
+_ENGINE_CHECK_POINTS = (
+    # (load as a fraction of read peak, read fraction)
+    (0.35, 1.0),
+    (0.7, 0.7),
+)
+
+
+@invariant(
+    name="eventsim-engine-identity",
+    layer="device",
+    description="the vectorized event-simulation kernels are bit-identical "
+    "to the scalar reference loop (latencies and all event counters)",
+)
+def check_eventsim_engine_identity(ctx: DiagContext) -> Iterator[Violation]:
+    """Scalar and vector engines agree bit-for-bit on every device."""
+    import numpy as np
+
+    from repro.hw.cxl.eventdevice import EventDrivenDevice
+
+    devices = ctx.cxl_devices()
+    subjects(
+        check_eventsim_engine_identity,
+        len(devices) * len(_ENGINE_CHECK_POINTS),
+    )
+    for device in devices:
+        sim = EventDrivenDevice(device, seed=ctx.seed)
+        peak = device.peak_bandwidth_gbps(1.0)
+        for load_fraction, read_fraction in _ENGINE_CHECK_POINTS:
+            load = load_fraction * peak
+            scalar = sim.simulate(
+                _ENGINE_CHECK_REQUESTS, load,
+                read_fraction=read_fraction, engine="scalar",
+            )
+            vector = sim.simulate(
+                _ENGINE_CHECK_REQUESTS, load,
+                read_fraction=read_fraction, engine="vector",
+            )
+            subject = f"{device.name}@{load_fraction:.2f}/rf{read_fraction}"
+            if not np.array_equal(scalar.latencies_ns, vector.latencies_ns):
+                diff = np.abs(scalar.latencies_ns - vector.latencies_ns)
+                yield Violation(
+                    layer="device",
+                    check="eventsim-engine-identity",
+                    subject=subject,
+                    message="vector engine latencies diverge from the "
+                    "scalar reference",
+                    context={
+                        "diverging_requests": int(
+                            np.count_nonzero(diff > 0.0)
+                        ),
+                        "max_abs_diff_ns": float(diff.max()),
+                    },
+                )
+            counters = {
+                "bank_conflicts": (
+                    scalar.bank_conflicts, vector.bank_conflicts
+                ),
+                "refresh_collisions": (
+                    scalar.refresh_collisions, vector.refresh_collisions
+                ),
+                "link_retries": (scalar.link_retries, vector.link_retries),
+            }
+            mismatched = {
+                name: {"scalar": s, "vector": v}
+                for name, (s, v) in counters.items()
+                if s != v
+            }
+            if mismatched:
+                yield Violation(
+                    layer="device",
+                    check="eventsim-engine-identity",
+                    subject=subject,
+                    message="vector engine event counters diverge from the "
+                    "scalar reference",
+                    context=mismatched,
+                )
+
+
 @invariant(
     name="table1-calibration",
     layer="device",

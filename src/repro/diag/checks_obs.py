@@ -9,7 +9,11 @@ models:
   latency the simulator reported for it.  A span model that drops, double
   counts, or misattributes a pipeline stage fails here.
 * **trace noninterference** -- tracing on vs. off produces bit-identical
-  latencies and identical event counters.
+  latencies and identical event counters.  Since the untraced run resolves
+  ``engine="auto"`` to the vectorized kernels while the traced run takes
+  the scalar reference loop, this doubles as an end-to-end cross-engine
+  comparison (the ``device`` layer checks the engines against each other
+  directly).
 * **metrics noninterference** -- running the pipeline with a live metrics
   registry installed produces bit-identical run observables.
 * **export wellformedness** -- a populated registry round-trips through

@@ -57,8 +57,13 @@ class EventSimComparison:
         return worst["analytic_tail_gap_ns"] - worst["sim_tail_gap_ns"]
 
 
-def run(fast: bool = True) -> EventSimComparison:
-    """Compare every device at three load points."""
+def run(fast: bool = True, engine: str = "auto") -> EventSimComparison:
+    """Compare every device at three load points.
+
+    ``engine`` selects the event-simulation implementation (``auto`` uses
+    the vectorized kernels; ``scalar`` forces the reference loop).  Both
+    are bit-identical, so the rendered table does not depend on it.
+    """
     n = 25_000 if fast else 120_000
     rows = []
     for name, factory in CXL_DEVICES.items():
@@ -66,7 +71,9 @@ def run(fast: bool = True) -> EventSimComparison:
         sim = EventDrivenDevice(device)
         peak = device.peak_bandwidth_gbps()
         for fraction in LOADS_FRACTION:
-            row = sim.compare_with_analytic(fraction * peak, n_requests=n)
+            row = sim.compare_with_analytic(
+                fraction * peak, n_requests=n, engine=engine
+            )
             row["device"] = name
             rows.append(row)
     return EventSimComparison(rows=rows)

@@ -14,7 +14,26 @@ The simulation is deliberately structured after Figure 2b of the paper:
     CXL Ctrl -> request queue -> request scheduler -> DDR command -> DRAM
 
 Requests arrive open-loop (Poisson at a configured load); per-request
-latency is ``completion - arrival`` plus the host-side overhead.
+latency is ``completion - arrival`` plus the host-side overhead.  A write
+request (drawn from ``read_fraction``) serializes its data inbound like a
+read request does, but its completion carries no data: on a full-duplex
+link the outbound flit is skipped, while CXL-C's shared-bus controller
+still pays a full flit for the acknowledgement.
+
+Two engines compute the identical timeline:
+
+* ``engine="scalar"`` -- the per-request reference loop below, written in
+  the same max-plus / phase-shifted form as the kernels so every float
+  operation matches.  It is also the tracing path: span emission is
+  per-request by nature.
+* ``engine="vector"`` -- the NumPy kernels in
+  :mod:`repro.hw.cxl.kernels`; no Python loop over requests, typically
+  an order of magnitude faster (``BENCH_eventsim.json``).
+* ``engine="auto"`` (default) -- vector, unless a trace buffer is active.
+
+The two engines are bit-identical -- latencies and all event counters --
+for every device; the ``device`` diag layer enforces this on every
+``repro validate``.
 
 Observability: when a :class:`~repro.obs.trace.TraceBuffer` is active
 (passed explicitly or installed process-wide via ``--trace``), every Nth
@@ -36,6 +55,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hw.cxl.device import HOST_OVERHEAD_NS, CxlDevice
+from repro.hw.cxl.kernels import SimInputs, vector_timeline
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, metrics
 from repro.obs.trace import TraceBuffer, tracing
 from repro.rng import DEFAULT_SEED, generator_for
@@ -43,6 +63,9 @@ from repro.units import CACHELINE_BYTES
 
 BANKS_PER_CHANNEL = 16
 """DDR4/DDR5 banks per channel visible to the scheduler."""
+
+ENGINES = ("auto", "scalar", "vector")
+"""Accepted ``engine`` arguments to :meth:`EventDrivenDevice.simulate`."""
 
 
 @dataclass(frozen=True)
@@ -55,6 +78,8 @@ class EventSimResult:
     bank_conflicts: int
     refresh_collisions: int
     link_retries: int
+    read_fraction: float = 1.0
+    engine: str = "scalar"
 
     @property
     def mean_ns(self) -> float:
@@ -77,57 +102,40 @@ class EventDrivenDevice:
         self.device = device
         self.seed = seed
 
-    def simulate(
-        self,
-        n_requests: int,
-        offered_gbps: float,
-        read_fraction: float = 1.0,
-        trace: Optional[TraceBuffer] = None,
-    ) -> EventSimResult:
-        """Simulate ``n_requests`` Poisson arrivals at ``offered_gbps``.
+    def _prepare(
+        self, n_requests: int, offered_gbps: float, read_fraction: float
+    ) -> SimInputs:
+        """Draw all randomness and precompute the shared engine inputs.
 
-        ``trace`` overrides the process-wide buffer from
-        :func:`repro.obs.trace.tracing`; sampled requests emit one span
-        per pipeline stage.  Tracing never alters the simulated timeline.
+        Both engines consume these exact arrays, so their float operations
+        start from identical bits.  The RNG stream is keyed by the
+        operating point; ``read_fraction`` joins the key -- and spends a
+        draw -- only for mixed workloads, so every pure-read stream (the
+        historical default) is unchanged.
         """
-        if n_requests < 1:
-            raise ConfigurationError("need at least one request")
-        if offered_gbps <= 0:
-            raise ConfigurationError("offered load must be positive")
         device = self.device
         profile = device.profile
-        rng = generator_for(
-            self.seed, "eventdevice", device.name,
+        key = [
+            "eventdevice", device.name,
             f"{offered_gbps:.3f}", f"{n_requests}",
-        )
+        ]
+        if read_fraction != 1.0:
+            key.append(f"rf{read_fraction:.4f}")
+        rng = generator_for(self.seed, *key)
 
         timings = profile.dram.timings
         n_banks = profile.dram.channels * BANKS_PER_CHANNEL
         link = profile.link
+        flit_ns = link.serialization_ns()
 
         # Arrival process: Poisson with the configured mean rate.
         mean_gap_ns = CACHELINE_BYTES / offered_gbps
         arrivals = np.cumsum(rng.exponential(mean_gap_ns, n_requests))
 
-        # Link serialization rates (ns per flit) per direction.
-        flit_ns = link.serialization_ns()
-        inbound_free = 0.0
-        outbound_free = 0.0
-        # MC dispatch pipeline: deep enough to sustain the DRAM backend
-        # (the controller's *latency* is pipelined, not a throughput cap).
-        dispatch_ns = CACHELINE_BYTES / profile.backend_gbps
-        mc_free = 0.0
-        fixed_mc_ns = (
-            device.latency_breakdown_ns()["controller"]
-        )
-
-        bank_free = np.zeros(n_banks)
-        bank_open_row = np.full(n_banks, -1, dtype=np.int64)
         # Fine-grained per-bank refresh: each bank blocks for a fraction of
         # tRFC every tREFI, staggered (modern controllers refresh per bank
         # rather than stalling a whole rank).
         refresh_phase = rng.uniform(0.0, timings.tREFI, n_banks)
-        refresh_block_ns = 0.35 * timings.tRFC
 
         banks = rng.integers(0, n_banks, n_requests)
         # Row behaviour: reuse the bank's open row with the calibrated hit
@@ -137,101 +145,109 @@ class EventDrivenDevice:
         rows = rng.integers(0, 1 << 14, n_requests)
         retry_draw = rng.random(n_requests) < link.retry_probability * 50
         # (per-request retry probability aggregated over the flit exchanges)
+        if read_fraction != 1.0:
+            writes = rng.random(n_requests) >= read_fraction
+        else:
+            writes = np.zeros(n_requests, dtype=bool)
 
-        latencies = np.empty(n_requests)
-        conflicts = 0
-        refreshes = 0
-        retries = int(retry_draw.sum())
+        # Serial-resource shift tables (exclusive cumulative service).
+        # Inbound link and MC dispatch serve every request identically;
+        # the outbound link serves a write's completion for free on a
+        # full-duplex link (no data flit) and a full flit on CXL-C's
+        # shared bus.
+        index = np.arange(n_requests)
+        svc_out = np.full(n_requests, flit_ns)
+        if link.full_duplex:
+            svc_out[writes] = 0.0
+        shift_out = np.zeros(n_requests)
+        np.cumsum(svc_out[:-1], out=shift_out[1:])
 
-        # All randomness is drawn above this line; the tracer below only
-        # reads the computed timeline, so traced runs are bit-identical.
+        # MC dispatch pipeline: deep enough to sustain the DRAM backend
+        # (the controller's *latency* is pipelined, not a throughput cap).
+        dispatch_ns = CACHELINE_BYTES / profile.backend_gbps
+
+        return SimInputs(
+            n=n_requests,
+            n_banks=n_banks,
+            flit_ns=flit_ns,
+            stack_ns=link.stack_latency_ns,
+            dispatch_ns=dispatch_ns,
+            fixed_mc_ns=device.latency_breakdown_ns()["controller"],
+            trefi_ns=timings.tREFI,
+            refresh_block_ns=0.35 * timings.tRFC,
+            row_hit_ns=timings.row_hit_ns,
+            row_miss_ns=timings.row_miss_ns,
+            row_conflict_ns=timings.row_conflict_ns,
+            retry_penalty_ns=link.retry_penalty_ns,
+            host_overhead_ns=HOST_OVERHEAD_NS,
+            arrivals=arrivals,
+            banks=banks,
+            row_reuse=row_reuse,
+            rows=rows,
+            retry_draw=retry_draw,
+            writes=writes,
+            refresh_phase=refresh_phase,
+            shift_in=flit_ns * index,
+            shift_mc=dispatch_ns * index,
+            svc_out=svc_out,
+            shift_out=shift_out,
+        )
+
+    def simulate(
+        self,
+        n_requests: int,
+        offered_gbps: float,
+        read_fraction: float = 1.0,
+        trace: Optional[TraceBuffer] = None,
+        engine: str = "auto",
+    ) -> EventSimResult:
+        """Simulate ``n_requests`` Poisson arrivals at ``offered_gbps``.
+
+        ``trace`` overrides the process-wide buffer from
+        :func:`repro.obs.trace.tracing`; sampled requests emit one span
+        per pipeline stage.  Tracing never alters the simulated timeline.
+
+        ``engine`` picks the implementation: ``"scalar"`` (per-request
+        reference loop), ``"vector"`` (NumPy kernels), or ``"auto"``
+        (vector unless tracing is active -- span emission is per-request).
+        Both engines are bit-identical.
+        """
+        if n_requests < 1:
+            raise ConfigurationError("need at least one request")
+        if offered_gbps <= 0:
+            raise ConfigurationError("offered load must be positive")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read fraction must be in [0, 1]: {read_fraction}"
+            )
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         buf = trace if trace is not None else tracing()
-        traced = 0
+        if engine == "vector" and buf is not None:
+            raise ConfigurationError(
+                "the vector engine cannot emit per-request trace spans; "
+                "use engine='scalar' (or 'auto') when tracing"
+            )
+        resolved = "scalar" if engine == "scalar" or buf is not None else "vector"
 
-        for i in range(n_requests):
-            arrival = t = arrivals[i]
-            # Inbound link: wait for the wire, serialize one flit.
-            start_in = max(t, inbound_free)
-            inbound_free = start_in + flit_ns
-            t = inbound_free + link.stack_latency_ns
-
-            # MC: dispatch pipeline + fixed processing.
-            start_mc = max(t, mc_free)
-            mc_free = start_mc + dispatch_ns
-            t = start_mc + fixed_mc_ns
-
-            # Bank service with row-buffer state.
-            bank = int(banks[i])
-            if row_reuse[i] and bank_open_row[bank] >= 0:
-                row = int(bank_open_row[bank])
-            else:
-                row = int(rows[i])
-            bank_ready = max(t, bank_free[bank])
-            # Refresh collision?
-            phase = (bank_ready + refresh_phase[bank]) % timings.tREFI
-            refresh_wait = 0.0
-            if phase < refresh_block_ns:
-                refresh_wait = refresh_block_ns - phase
-                refreshes += 1
-            ready = bank_ready + refresh_wait
-            if bank_open_row[bank] == row:
-                service = timings.row_hit_ns
-            elif bank_open_row[bank] < 0:
-                service = timings.row_miss_ns
-            else:
-                service = timings.row_conflict_ns
-                conflicts += 1
-            bank_open_row[bank] = row
-            done = ready + service
-            bank_free[bank] = done
-
-            # Outbound link: response flit.
-            start_out = max(done, outbound_free)
-            outbound_free = start_out + flit_ns
-            t = outbound_free + link.stack_latency_ns
-            if retry_draw[i]:
-                t += link.retry_penalty_ns
-
-            latencies[i] = (t - arrivals[i]) + HOST_OVERHEAD_NS
-
-            if buf is not None and buf.sampled(i):
-                traced += 1
-                mc_entry = inbound_free + link.stack_latency_ns
-                bank_entry = start_mc + fixed_mc_ns
-                spans = (
-                    ("link.in.wait", "link", arrival, start_in - arrival),
-                    ("link.in.serialize", "link", start_in, flit_ns),
-                    ("link.in.stack", "link", inbound_free,
-                     link.stack_latency_ns),
-                    ("mc.queue.wait", "mc", mc_entry, start_mc - mc_entry),
-                    ("mc.schedule", "mc", start_mc, fixed_mc_ns),
-                    ("bank.wait", "dram", bank_entry,
-                     bank_ready - bank_entry),
-                    ("bank.refresh", "dram", bank_ready, refresh_wait),
-                    ("bank.service", "dram", ready, service),
-                    ("link.out.wait", "link", done, start_out - done),
-                    ("link.out.serialize", "link", start_out, flit_ns),
-                    ("link.out.stack", "link", outbound_free,
-                     link.stack_latency_ns),
-                    ("link.retry", "link", outbound_free
-                     + link.stack_latency_ns,
-                     link.retry_penalty_ns if retry_draw[i] else 0.0),
-                    ("host.overhead", "host", t, HOST_OVERHEAD_NS),
-                )
-                for name, cat, start_ns, dur_ns in spans:
-                    if dur_ns > 0.0 or name == "host.overhead":
-                        buf.add(name, cat, start_ns, dur_ns, track=i)
-                # Annotate the closing span with the request's identity.
-                last = buf.spans[-1]
-                last.args.update(
-                    device=device.name,
-                    bank=bank,
-                    latency_ns=float(latencies[i]),
-                )
+        inp = self._prepare(n_requests, offered_gbps, read_fraction)
+        if resolved == "vector":
+            timeline = vector_timeline(inp)
+            latencies = timeline.latencies_ns
+            conflicts = timeline.bank_conflicts
+            refreshes = timeline.refresh_collisions
+            traced = 0
+        else:
+            latencies, conflicts, refreshes, traced = self._scalar_timeline(
+                inp, buf
+            )
+        retries = int(inp.retry_draw.sum())
 
         registry = metrics()
         if registry.enabled:
-            labels = {"device": device.name}
+            labels = {"device": self.device.name}
             registry.counter("sim.requests", **labels).inc(n_requests)
             registry.counter("sim.bank_conflicts", **labels).inc(conflicts)
             registry.counter("sim.refresh_collisions", **labels).inc(refreshes)
@@ -244,19 +260,163 @@ class EventDrivenDevice:
             ).observe_many(latencies)
 
         return EventSimResult(
-            device=device.name,
+            device=self.device.name,
             offered_gbps=offered_gbps,
             latencies_ns=latencies,
             bank_conflicts=conflicts,
             refresh_collisions=refreshes,
             link_retries=retries,
+            read_fraction=read_fraction,
+            engine=resolved,
         )
 
+    def _scalar_timeline(
+        self, inp: SimInputs, buf: Optional[TraceBuffer]
+    ):
+        """The per-request reference loop (and tracing path).
+
+        Written in the same form the vector kernels evaluate: serial
+        resources via ``m = max(m, entry - shift); start = m + shift``
+        against the shared shift tables, and the bank stage in the
+        refresh-phase-shifted time domain.  Every floating-point operation
+        here has an elementwise twin in :mod:`repro.hw.cxl.kernels`, which
+        is what makes the engines bit-identical rather than merely close.
+        """
+        device = self.device
+        link = device.profile.link
+        n = inp.n
+        arrivals = inp.arrivals
+        shift_in, shift_mc, shift_out = inp.shift_in, inp.shift_mc, inp.shift_out
+        svc_out = inp.svc_out
+        banks, rows, row_reuse = inp.banks, inp.rows, inp.row_reuse
+        retry_draw = inp.retry_draw
+        refresh_phase = inp.refresh_phase
+        flit_ns, stack_ns = inp.flit_ns, inp.stack_ns
+        fixed_mc_ns = inp.fixed_mc_ns
+        trefi, block = inp.trefi_ns, inp.refresh_block_ns
+        row_hit_ns = inp.row_hit_ns
+        row_miss_ns = inp.row_miss_ns
+        row_conflict_ns = inp.row_conflict_ns
+        retry_penalty_ns = inp.retry_penalty_ns
+        host_ns = inp.host_overhead_ns
+
+        # Serial-resource scan states (max-plus running maxima).
+        m_in = m_mc = m_out = float("-inf")
+        # Per-bank state: open row, and busy time in the phase-shifted
+        # domain (idle banks sit at shifted zero = their phase).
+        bank_free = refresh_phase.copy()
+        bank_open_row = np.full(inp.n_banks, -1, dtype=np.int64)
+
+        latencies = np.empty(n)
+        conflicts = 0
+        refreshes = 0
+        traced = 0
+
+        for i in range(n):
+            arrival = arrivals[i]
+            # Inbound link: wait for the wire, serialize one flit.
+            x = arrival - shift_in[i]
+            if x > m_in:
+                m_in = x
+            start_in = m_in + shift_in[i]
+            inbound_free = start_in + flit_ns
+            t = inbound_free + stack_ns
+
+            # MC: dispatch pipeline + fixed processing.
+            x = t - shift_mc[i]
+            if x > m_mc:
+                m_mc = x
+            start_mc = m_mc + shift_mc[i]
+            t = start_mc + fixed_mc_ns
+
+            # Bank service with row-buffer state.
+            bank = int(banks[i])
+            if row_reuse[i] and bank_open_row[bank] >= 0:
+                row = int(bank_open_row[bank])
+            else:
+                row = int(rows[i])
+            if bank_open_row[bank] == row:
+                service = row_hit_ns
+            elif bank_open_row[bank] < 0:
+                service = row_miss_ns
+            else:
+                service = row_conflict_ns
+                conflicts += 1
+            bank_open_row[bank] = row
+            # Busy/refresh recurrence in the phase-shifted domain.
+            phase_b = refresh_phase[bank]
+            busy = t + phase_b
+            free = bank_free[bank]
+            if free > busy:
+                busy = free
+            phase = busy % trefi
+            if phase < block:
+                refreshes += 1
+            ready = busy + (block - phase)
+            if busy > ready:
+                ready = busy
+            done_shifted = ready + service
+            bank_free[bank] = done_shifted
+            done = done_shifted - phase_b
+
+            # Outbound link: response flit (free for full-duplex writes).
+            x = done - shift_out[i]
+            if x > m_out:
+                m_out = x
+            start_out = m_out + shift_out[i]
+            outbound_free = start_out + svc_out[i]
+            t = outbound_free + stack_ns
+            if retry_draw[i]:
+                t = t + retry_penalty_ns
+
+            latencies[i] = (t - arrival) + host_ns
+
+            if buf is not None and buf.sampled(i):
+                traced += 1
+                mc_entry = inbound_free + stack_ns
+                bank_entry = start_mc + fixed_mc_ns
+                bank_ready = busy - phase_b
+                ready_real = ready - phase_b
+                spans = (
+                    ("link.in.wait", "link", arrival, start_in - arrival),
+                    ("link.in.serialize", "link", start_in, flit_ns),
+                    ("link.in.stack", "link", inbound_free, stack_ns),
+                    ("mc.queue.wait", "mc", mc_entry, start_mc - mc_entry),
+                    ("mc.schedule", "mc", start_mc, fixed_mc_ns),
+                    ("bank.wait", "dram", bank_entry,
+                     bank_ready - bank_entry),
+                    ("bank.refresh", "dram", bank_ready,
+                     ready_real - bank_ready),
+                    ("bank.service", "dram", ready_real, done - ready_real),
+                    ("link.out.wait", "link", done, start_out - done),
+                    ("link.out.serialize", "link", start_out, svc_out[i]),
+                    ("link.out.stack", "link", outbound_free, stack_ns),
+                    ("link.retry", "link", outbound_free + stack_ns,
+                     retry_penalty_ns if retry_draw[i] else 0.0),
+                    ("host.overhead", "host", t, host_ns),
+                )
+                for name, cat, start_ns, dur_ns in spans:
+                    if dur_ns > 0.0 or name == "host.overhead":
+                        buf.add(name, cat, start_ns, dur_ns, track=i)
+                # Annotate the closing span with the request's identity.
+                last = buf.spans[-1]
+                last.args.update(
+                    device=device.name,
+                    bank=bank,
+                    write=bool(inp.writes[i]),
+                    latency_ns=float(latencies[i]),
+                )
+
+        return latencies, conflicts, refreshes, traced
+
     def compare_with_analytic(
-        self, offered_gbps: float, n_requests: int = 40_000
+        self,
+        offered_gbps: float,
+        n_requests: int = 40_000,
+        engine: str = "auto",
     ) -> dict:
         """Event-driven vs analytic mean/percentiles at one load."""
-        sim = self.simulate(n_requests, offered_gbps)
+        sim = self.simulate(n_requests, offered_gbps, engine=engine)
         dist = self.device.distribution(offered_gbps)
         return {
             "load_gbps": offered_gbps,

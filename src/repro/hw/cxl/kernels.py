@@ -1,0 +1,261 @@
+"""Vectorized max-plus scan kernels for the event-driven CXL simulator.
+
+The request pipeline in :mod:`repro.hw.cxl.eventdevice` is feed-forward
+and draws all of its randomness before the event loop, so each contention
+stage reduces to an array recurrence that NumPy can evaluate without a
+per-request Python loop:
+
+* **Serial resources** (inbound link, MC dispatch, outbound link) obey
+
+      ``start[i] = max(entry[i], start[i-1] + service[i-1])``
+
+  which, with ``shift[i] = sum(service[:i])`` hoisted out, becomes a
+  *max-plus prefix scan*::
+
+      start = np.maximum.accumulate(entry - shift) + shift
+
+* **Banked DRAM** groups requests by bank (one stable argsort shared by
+  the row-state and busy-time kernels).  Row-buffer outcomes
+  (hit/miss/conflict) resolve from a forward-fill over the sorted order;
+  the per-bank busy/refresh recurrence runs as a *lane-parallel rounds
+  loop*: the k-th request of every bank forms one short NumPy row, so the
+  Python-level loop runs ``max_requests_per_bank`` times over ``n_banks``
+  wide vectors instead of ``n`` times over scalars.
+
+Bit-identity contract
+---------------------
+The scalar reference loop in ``eventdevice`` performs the *same IEEE-754
+operations in the same order* as these kernels: both read the shared
+precomputed arrays in :class:`SimInputs` (shift tables, outbound service,
+RNG draws), both use the max-plus form of each serial-resource update, and
+both evaluate the bank stage in the refresh-phase-shifted time domain.
+``np.maximum.accumulate`` and the rounds loop are strictly sequential in
+their recurrence dimension, so scalar and vector engines return
+bit-identical latencies and event counters (the ``device`` diag layer and
+the cross-engine test suite enforce this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_LANE_PAD = 1e300
+"""Entry-time sentinel for padded bank lanes.
+
+A padded slot behaves like a request arriving in the far future: it never
+lowers ``max(entry, done_prev)``, survives ``% tREFI`` without producing
+non-finite values, and -- because exhausted lanes have no further real
+entries -- the poisoned ``done`` it produces is never read back.
+"""
+
+
+@dataclass(frozen=True)
+class SimInputs:
+    """Everything one simulation needs, precomputed once for both engines.
+
+    All randomness is drawn before either engine runs, and the serial-
+    resource shift tables are materialized here so the scalar loop and the
+    vector kernels literally index the same arrays.
+    """
+
+    n: int
+    n_banks: int
+    # model constants
+    flit_ns: float
+    stack_ns: float
+    dispatch_ns: float
+    fixed_mc_ns: float
+    trefi_ns: float
+    refresh_block_ns: float
+    row_hit_ns: float
+    row_miss_ns: float
+    row_conflict_ns: float
+    retry_penalty_ns: float
+    host_overhead_ns: float
+    # per-request RNG draws (arrival order)
+    arrivals: np.ndarray
+    banks: np.ndarray
+    row_reuse: np.ndarray
+    rows: np.ndarray
+    retry_draw: np.ndarray
+    writes: np.ndarray
+    # per-bank refresh stagger
+    refresh_phase: np.ndarray
+    # serial-resource tables: shift[i] = cumulative service before i
+    shift_in: np.ndarray
+    shift_mc: np.ndarray
+    svc_out: np.ndarray
+    shift_out: np.ndarray
+
+
+@dataclass(frozen=True)
+class VectorTimeline:
+    """What the vector engine hands back to the simulator."""
+
+    latencies_ns: np.ndarray
+    bank_conflicts: int
+    refresh_collisions: int
+
+
+def maxplus_scan(entry: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Start times of a serial resource as a max-plus prefix scan.
+
+    Solves ``start[i] = max(entry[i], start[i-1] + service[i-1])`` where
+    ``shift`` is the exclusive cumulative service.  ``maximum.accumulate``
+    is sequential, so the result is bit-identical to the scalar recurrence
+    written in the same ``m = max(m, entry - shift); start = m + shift``
+    form.
+    """
+    return np.maximum.accumulate(entry - shift) + shift
+
+
+def bank_sort(inp: SimInputs):
+    """Group requests by bank: one stable argsort shared by both kernels.
+
+    Returns ``(order, bounds, counts, first)`` where ``order`` sorts
+    requests by bank (arrival order preserved within a bank), ``bounds``
+    holds each bank's ``[start, end)`` slice of the sorted arrays, and
+    ``first`` marks each bank's first-ever request in sorted order.
+    """
+    order = np.argsort(inp.banks, kind="stable")
+    counts = np.bincount(inp.banks, minlength=inp.n_banks)
+    bounds = np.zeros(inp.n_banks + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    first = np.zeros(inp.n, dtype=bool)
+    first[bounds[:-1][counts > 0]] = True
+    return order, bounds, counts, first
+
+
+def row_states(
+    inp: SimInputs, order: np.ndarray, first: np.ndarray
+):
+    """Resolve row-buffer outcomes for the bank-sorted request stream.
+
+    Returns ``(service_sorted, conflicts)``.  Within each bank's segment
+    the effective row of a request is its own draw unless it reuses the
+    bank's open row; a forward-fill over "last non-reuse index" recovers
+    the open row without walking the segment: each segment's first request
+    anchors to itself (its index exceeds every earlier segment's), so one
+    global ``maximum.accumulate`` respects segment boundaries.
+    """
+    reuse_s = inp.row_reuse[order] & ~first
+    rows_s = inp.rows[order]
+    idx = np.arange(inp.n, dtype=np.int64)
+    anchor = np.maximum.accumulate(np.where(reuse_s, 0, idx))
+    eff_row = rows_s[anchor]
+    prev_row = np.empty_like(eff_row)
+    prev_row[1:] = eff_row[:-1]
+    if inp.n:
+        prev_row[0] = -1
+    # A request hits when it lands on the bank's open row -- by reuse or
+    # by its fresh draw colliding with it, exactly as the scalar open-row
+    # comparison decides.  First touches are cold misses; the rest of the
+    # non-hits close an open row: conflicts.
+    hit = ~first & (eff_row == prev_row)
+    conflict = ~first & ~hit
+    service_s = np.where(
+        hit,
+        inp.row_hit_ns,
+        np.where(first, inp.row_miss_ns, inp.row_conflict_ns),
+    )
+    return service_s, int(np.count_nonzero(conflict))
+
+
+def bank_recurrence(
+    inp: SimInputs,
+    entry_s: np.ndarray,
+    service_s: np.ndarray,
+    order: np.ndarray,
+    bounds: np.ndarray,
+    counts: np.ndarray,
+):
+    """Per-bank busy/refresh recurrence as a lane-parallel rounds loop.
+
+    Works in the refresh-phase-shifted time domain (``x' = x + phase[b]``)
+    so the refresh test is a plain ``% tREFI`` per lane; ``max`` commutes
+    with the shift exactly, so shifted and unshifted recurrences agree
+    bit-for-bit.  Each bank's k-th request occupies row ``k`` of a padded
+    ``(max_count, n_banks)`` matrix; the rounds loop is the only remaining
+    Python loop, and its body is six ufunc calls over the bank axis.
+
+    Returns ``(done, refresh_collisions)`` with ``done`` in arrival order
+    and the real (unshifted) time domain.
+    """
+    n, n_banks = inp.n, inp.n_banks
+    trefi, block = inp.trefi_ns, inp.refresh_block_ns
+    maxc = int(counts.max()) if n else 0
+
+    # Lane-major fill via per-bank slices (cheap: n_banks memcpys), then
+    # transpose to round-major so each round reads contiguous rows.
+    t_lanes = np.full((n_banks, maxc), _LANE_PAD)
+    s_lanes = np.zeros((n_banks, maxc))
+    for b in range(n_banks):
+        lo, hi = bounds[b], bounds[b + 1]
+        np.add(entry_s[lo:hi], inp.refresh_phase[b], out=t_lanes[b, : hi - lo])
+        s_lanes[b, : hi - lo] = service_s[lo:hi]
+    t_mat = np.ascontiguousarray(t_lanes.T)
+    s_mat = np.ascontiguousarray(s_lanes.T)
+    phase_mat = np.empty((maxc, n_banks))
+    done_mat = np.empty((maxc, n_banks))
+
+    done_prev = inp.refresh_phase.copy()  # idle banks: shifted zero
+    busy = np.empty(n_banks)
+    wait = np.empty(n_banks)
+    ready = np.empty(n_banks)
+    for r in range(maxc):
+        phase = phase_mat[r]
+        np.maximum(t_mat[r], done_prev, out=busy)
+        np.remainder(busy, trefi, out=phase)
+        np.subtract(block, phase, out=wait)
+        np.add(busy, wait, out=ready)
+        np.maximum(ready, busy, out=ready)
+        np.add(ready, s_mat[r], out=done_mat[r])
+        done_prev = done_mat[r]
+
+    lane_live = np.arange(maxc)[:, None] < counts[None, :]
+    refreshes = int(np.count_nonzero((phase_mat < block) & lane_live))
+
+    # Gather back to arrival order and undo the phase shift.
+    done_s = np.empty(n)
+    done_lanes = done_mat.T
+    for b in range(n_banks):
+        lo, hi = bounds[b], bounds[b + 1]
+        done_s[lo:hi] = done_lanes[b, : hi - lo]
+    done = np.empty(n)
+    done[order] = done_s
+    done -= inp.refresh_phase[inp.banks]
+    return done, refreshes
+
+
+def vector_timeline(inp: SimInputs) -> VectorTimeline:
+    """Run the whole pipeline as array kernels; arrival-order results."""
+    # Inbound link: wait for the wire, serialize one flit, cross the stack.
+    start_in = maxplus_scan(inp.arrivals, inp.shift_in)
+    inbound_free = start_in + inp.flit_ns
+    mc_entry = inbound_free + inp.stack_ns
+
+    # MC: dispatch pipeline (throughput) + fixed processing (latency).
+    start_mc = maxplus_scan(mc_entry, inp.shift_mc)
+    bank_entry = start_mc + inp.fixed_mc_ns
+
+    # Banked DRAM with row-buffer state and staggered refresh.
+    order, bounds, counts, first = bank_sort(inp)
+    service_s, conflicts = row_states(inp, order, first)
+    done, refreshes = bank_recurrence(
+        inp, bank_entry[order], service_s, order, bounds, counts
+    )
+
+    # Outbound link: response (or write-completion) flit, retries.
+    start_out = maxplus_scan(done, inp.shift_out)
+    outbound_free = start_out + inp.svc_out
+    t = outbound_free + inp.stack_ns
+    t = np.where(inp.retry_draw, t + inp.retry_penalty_ns, t)
+
+    latencies = (t - inp.arrivals) + inp.host_overhead_ns
+    return VectorTimeline(
+        latencies_ns=latencies,
+        bank_conflicts=conflicts,
+        refresh_collisions=refreshes,
+    )

@@ -61,8 +61,24 @@ class LatencyDistribution:
         return self.base_ns + self.tail.sample_extra_ns(n, self.util, rng)
 
     def _reference_samples(self) -> np.ndarray:
-        rng = generator_for(DEFAULT_SEED, "latency-distribution", self.name)
-        return self.sample(_PERCENTILE_SAMPLES, rng)
+        """The deterministic sample set behind percentile queries.
+
+        Drawing 200k samples dominates the cost of every ``percentile``/
+        ``tail_gap_ns`` call, and the draw is fully determined by the
+        distribution's fields -- so it is computed once per instance and
+        cached (the dataclass is frozen, hence ``object.__setattr__``).
+        The cached array is marked read-only so no caller can corrupt the
+        shared set.
+        """
+        cached = getattr(self, "_reference_cache", None)
+        if cached is None:
+            rng = generator_for(
+                DEFAULT_SEED, "latency-distribution", self.name
+            )
+            cached = self.sample(_PERCENTILE_SAMPLES, rng)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_reference_cache", cached)
+        return cached
 
     def percentile(self, p) -> float:
         """Latency percentile ``p`` (0-100), from a deterministic sample set."""

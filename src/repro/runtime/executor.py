@@ -14,7 +14,8 @@ Execution strategy per batch:
    dependent cells hit the cache);
 3. run the unique misses -- serially for ``jobs <= 1`` or small batches,
    otherwise over a ``concurrent.futures`` process pool with chunked
-   submission;
+   submission (requested jobs are clamped to the host's CPU count, and a
+   clamp down to one worker degrades to the serial path);
 4. store results and assemble the per-cell list by key lookup.
 
 Pool setup failures (sandboxed environments, missing semaphores, pickling
@@ -31,6 +32,7 @@ change which cells run or what they return.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -104,6 +106,8 @@ class EngineStats:
     pool_wall_s: float = 0.0
     batches: int = 0
     pool_fallbacks: int = 0
+    jobs_clamped: int = 0
+    """Worker slots removed by the CPU-count clamp (0 when jobs fit)."""
 
     def runs_per_second(self) -> float:
         """Executed-cell throughput (0 when nothing ran)."""
@@ -253,14 +257,31 @@ class CampaignEngine:
 
     # -- execution backends ------------------------------------------------
 
+    def _effective_jobs(self) -> int:
+        """Requested jobs clamped to the host's CPU count.
+
+        ``BENCH_campaign.json`` on a 1-CPU host showed ``jobs=4`` at 0.6x
+        the serial throughput: extra workers on an oversubscribed host only
+        add fork + pickle overhead.  An unknown CPU count leaves the
+        request untouched.
+        """
+        cpus = os.cpu_count()
+        effective = self.jobs if cpus is None else min(self.jobs, cpus)
+        clamped = self.jobs - effective
+        if clamped > 0:
+            self.stats.jobs_clamped = clamped
+            metrics().gauge("runtime.jobs_clamped").set(clamped)
+        return effective
+
     def _execute(self, pending: List[Cell]) -> List[RunResult]:
-        if self.jobs <= 1 or len(pending) < _MIN_POOL_BATCH:
+        jobs = self._effective_jobs()
+        if jobs <= 1 or len(pending) < _MIN_POOL_BATCH:
             self.stats.cells_serial += len(pending)
             if pending:
                 metrics().counter("runtime.cells_serial").inc(len(pending))
             return [_execute_cell(cell) for cell in pending]
         try:
-            results = self._execute_pool(pending)
+            results = self._execute_pool(pending, jobs)
         except (OSError, ValueError, ImportError, BrokenProcessPool,
                 pickle.PicklingError):
             # Pool infrastructure unavailable -- fall back, don't fail.
@@ -272,17 +293,17 @@ class CampaignEngine:
         self.stats.cells_pool += len(pending)
         return results
 
-    def _execute_pool(self, pending: List[Cell]) -> List[RunResult]:
+    def _execute_pool(self, pending: List[Cell], jobs: int) -> List[RunResult]:
         import multiprocessing as mp
 
         try:
             context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
             context = mp.get_context()
-        chunksize = _pool_chunksize(len(pending), self.jobs)
+        chunksize = _pool_chunksize(len(pending), jobs)
         start = time.perf_counter()
         with ProcessPoolExecutor(
-            max_workers=self.jobs, mp_context=context
+            max_workers=jobs, mp_context=context
         ) as pool:
             timed = list(
                 pool.map(_execute_cell_timed, pending, chunksize=chunksize)
@@ -290,7 +311,7 @@ class CampaignEngine:
         wall = time.perf_counter() - start
         busy = sum(duration for _, duration in timed)
         self.stats.pool_busy_s += busy
-        self.stats.pool_wall_s += self.jobs * wall
+        self.stats.pool_wall_s += jobs * wall
         registry = metrics()
         if registry.enabled:
             registry.counter("runtime.cells_pool").inc(len(pending))

@@ -1,0 +1,155 @@
+"""Cross-engine bit-identity: the vectorized kernels vs the scalar loop.
+
+The vector engine is a pure performance feature -- for every device,
+load, read/write mix, and tracing configuration it must return the exact
+floats and event counters the scalar reference loop returns.  These tests
+sweep that grid plus the degenerate shapes (a single request, a single
+bank) where padded-lane kernels typically go wrong.
+"""
+
+import numpy as np
+import pytest
+
+import repro.hw.cxl.eventdevice as eventdevice_mod
+from repro.errors import ConfigurationError
+from repro.hw.cxl import CXL_DEVICES
+from repro.hw.cxl.eventdevice import EventDrivenDevice
+from repro.obs.trace import TraceBuffer
+
+N_REQUESTS = 2_500
+LOAD_FRACTIONS = (0.15, 0.5, 0.85)
+READ_FRACTIONS = (1.0, 0.7, 0.0)
+
+
+def _assert_identical(scalar, vector):
+    np.testing.assert_array_equal(scalar.latencies_ns, vector.latencies_ns)
+    assert scalar.bank_conflicts == vector.bank_conflicts
+    assert scalar.refresh_collisions == vector.refresh_collisions
+    assert scalar.link_retries == vector.link_retries
+
+
+@pytest.mark.parametrize("name", list(CXL_DEVICES))
+class TestEngineIdentity:
+    def test_bit_identical_across_loads_and_mixes(self, name):
+        device = CXL_DEVICES[name]()
+        sim = EventDrivenDevice(device)
+        peak = device.peak_bandwidth_gbps()
+        for fraction in LOAD_FRACTIONS:
+            for read_fraction in READ_FRACTIONS:
+                scalar = sim.simulate(
+                    N_REQUESTS, fraction * peak,
+                    read_fraction=read_fraction, engine="scalar",
+                )
+                vector = sim.simulate(
+                    N_REQUESTS, fraction * peak,
+                    read_fraction=read_fraction, engine="vector",
+                )
+                _assert_identical(scalar, vector)
+                assert scalar.engine == "scalar"
+                assert vector.engine == "vector"
+
+    def test_traced_scalar_matches_vector(self, name):
+        """Tracing takes the scalar path; the timeline must not move."""
+        device = CXL_DEVICES[name]()
+        sim = EventDrivenDevice(device)
+        load = 0.4 * device.peak_bandwidth_gbps()
+        traced = sim.simulate(
+            N_REQUESTS, load, trace=TraceBuffer(sample_every=7)
+        )
+        vector = sim.simulate(N_REQUESTS, load, engine="vector")
+        assert traced.engine == "scalar"
+        _assert_identical(traced, vector)
+
+    def test_single_request(self, name):
+        device = CXL_DEVICES[name]()
+        sim = EventDrivenDevice(device)
+        scalar = sim.simulate(1, 5.0, engine="scalar")
+        vector = sim.simulate(1, 5.0, engine="vector")
+        _assert_identical(scalar, vector)
+
+    def test_single_bank(self, name, monkeypatch):
+        """One bank serializes everything; the lane matrix is one column."""
+        monkeypatch.setattr(eventdevice_mod, "BANKS_PER_CHANNEL", 1)
+        device = CXL_DEVICES[name]()
+        sim = EventDrivenDevice(device)
+        load = 0.3 * device.peak_bandwidth_gbps()
+        scalar = sim.simulate(1_500, load, engine="scalar")
+        vector = sim.simulate(1_500, load, engine="vector")
+        _assert_identical(scalar, vector)
+
+
+class TestEngineSelection:
+    def test_auto_resolves_to_vector_untraced(self, device_a):
+        result = EventDrivenDevice(device_a).simulate(200, 5.0)
+        assert result.engine == "vector"
+
+    def test_auto_resolves_to_scalar_when_traced(self, device_a):
+        result = EventDrivenDevice(device_a).simulate(
+            200, 5.0, trace=TraceBuffer()
+        )
+        assert result.engine == "scalar"
+
+    def test_vector_refuses_tracing(self, device_a):
+        with pytest.raises(ConfigurationError):
+            EventDrivenDevice(device_a).simulate(
+                200, 5.0, trace=TraceBuffer(), engine="vector"
+            )
+
+    def test_unknown_engine_rejected(self, device_a):
+        with pytest.raises(ConfigurationError):
+            EventDrivenDevice(device_a).simulate(200, 5.0, engine="numpy")
+
+    def test_invalid_read_fraction_rejected(self, device_a):
+        sim = EventDrivenDevice(device_a)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(200, 5.0, read_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(200, 5.0, read_fraction=-0.1)
+
+
+class TestReadFraction:
+    def test_mix_changes_the_result(self, device_a):
+        """The historical bug: read_fraction was silently ignored."""
+        sim = EventDrivenDevice(device_a)
+        reads = sim.simulate(4_000, 8.0, read_fraction=1.0)
+        mixed = sim.simulate(4_000, 8.0, read_fraction=0.5)
+        assert not np.array_equal(reads.latencies_ns, mixed.latencies_ns)
+        assert reads.read_fraction == 1.0
+        assert mixed.read_fraction == 0.5
+
+    def test_mix_keyed_into_rng_stream(self, device_a):
+        """Distinct mixes draw distinct streams, reproducibly."""
+        sim = EventDrivenDevice(device_a)
+        a = sim.simulate(2_000, 8.0, read_fraction=0.25)
+        b = sim.simulate(2_000, 8.0, read_fraction=0.75)
+        again = sim.simulate(2_000, 8.0, read_fraction=0.25)
+        assert not np.array_equal(a.latencies_ns, b.latencies_ns)
+        np.testing.assert_array_equal(a.latencies_ns, again.latencies_ns)
+
+    def test_pure_read_stream_unchanged_by_the_mix_plumbing(self, device_a):
+        """read_fraction=1.0 must reproduce the historical RNG stream.
+
+        The mix joins the RNG key (and spends a draw) only when it is not
+        1.0, so every shipped pure-read figure stays byte-identical.
+        """
+        sim = EventDrivenDevice(device_a)
+        result = sim.simulate(2_000, 8.0)
+        assert result.mean_ns == pytest.approx(result.mean_ns)
+        inp = sim._prepare(2_000, 8.0, 1.0)
+        assert not inp.writes.any()
+
+    def test_full_duplex_writes_skip_outbound_serialization(self, device_a):
+        """On a full-duplex link a write completion carries no data flit."""
+        sim = EventDrivenDevice(device_a)
+        inp = sim._prepare(4_000, 8.0, 0.5)
+        assert inp.writes.any()
+        assert (inp.svc_out[inp.writes] == 0.0).all()
+        assert (inp.svc_out[~inp.writes] == inp.flit_ns).all()
+
+    def test_shared_bus_writes_still_pay_the_flit(self, device_c):
+        """CXL-C's FPGA controller drives one shared bus: no free writes."""
+        assert not device_c.profile.link.full_duplex
+        sim = EventDrivenDevice(device_c)
+        inp = sim._prepare(4_000, 8.0, 0.5)
+        assert inp.writes.any()
+        assert (inp.svc_out == inp.flit_ns).all()

@@ -50,6 +50,31 @@ class TestDistribution:
         assert np.allclose(samples, 100.0)
 
 
+class TestReferenceSampleCache:
+    def test_reference_samples_cached_per_instance(self, device_a):
+        # Repeated percentile queries must reuse one 200k draw, not redraw.
+        dist = device_a.distribution(5.0)
+        first = dist._reference_samples()
+        assert dist._reference_samples() is first
+
+    def test_cached_samples_are_read_only(self, device_a):
+        samples = device_a.distribution(5.0)._reference_samples()
+        assert not samples.flags.writeable
+        with pytest.raises(ValueError):
+            samples[0] = 0.0
+
+    def test_cache_does_not_change_percentiles(self, device_a):
+        # Two fresh instances (each with its own cache) agree exactly.
+        d1 = device_a.distribution(5.0)
+        d2 = device_a.distribution(5.0)
+        warm = d1.percentile(99.9)
+        assert d1.percentile(99.9) == warm
+        assert d2.percentile(99.9) == warm
+        np.testing.assert_array_equal(
+            d1.percentiles([50, 99]), d2.percentiles([50, 99])
+        )
+
+
 class TestOpenLoopLatency:
     def test_mean_latency_at_idle(self, local_target):
         assert local_target.mean_latency_ns(0.0) == pytest.approx(

@@ -9,6 +9,7 @@ in-process path exactly, so rendered figures stay byte-identical.
 import numpy as np
 import pytest
 
+import repro.runtime.executor as executor_mod
 from repro.core.melody import Melody
 from repro.runtime.cache import RunCache
 from repro.runtime.executor import CampaignEngine
@@ -21,13 +22,19 @@ def fig8a_subset():
     return Melody.device_campaign(workloads=all_workloads()[:6])
 
 
+@pytest.fixture
+def quad_cpu(monkeypatch):
+    """Pretend the host has 4 CPUs so the jobs clamp keeps the pool."""
+    monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 4)
+
+
 def _private_melody(jobs=1, cache_dir=None):
     engine = CampaignEngine(cache=RunCache(cache_dir), jobs=jobs)
     return Melody(engine=engine), engine
 
 
 class TestParallelDeterminism:
-    def test_parallel_matches_serial_bitwise(self, fig8a_subset):
+    def test_parallel_matches_serial_bitwise(self, fig8a_subset, quad_cpu):
         serial, _ = _private_melody(jobs=1)
         parallel, engine = _private_melody(jobs=4)
         expected = serial.run(fig8a_subset)
@@ -45,7 +52,7 @@ class TestParallelDeterminism:
             assert want.baseline.counters == got.baseline.counters
             assert want.run == got.run
 
-    def test_record_order_independent_of_jobs(self, fig8a_subset):
+    def test_record_order_independent_of_jobs(self, fig8a_subset, quad_cpu):
         serial, _ = _private_melody(jobs=1)
         parallel, _ = _private_melody(jobs=4)
         a = serial.run(fig8a_subset)

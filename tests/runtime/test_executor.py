@@ -3,6 +3,7 @@
 import pytest
 from concurrent.futures.process import BrokenProcessPool
 
+import repro.runtime.executor as executor_mod
 from repro.cpu.pipeline import PipelineConfig, run_workload
 from repro.runtime.cache import RunCache
 from repro.runtime.executor import (
@@ -15,6 +16,12 @@ from repro.runtime.executor import (
 @pytest.fixture
 def engine():
     return CampaignEngine(cache=RunCache())
+
+
+@pytest.fixture
+def quad_cpu(monkeypatch):
+    """Pretend the host has 4 CPUs so jobs>1 survives the clamp."""
+    monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 4)
 
 
 @pytest.fixture
@@ -66,7 +73,7 @@ class TestRunCells:
 
 
 class TestParallel:
-    def test_pool_matches_serial_bitwise(self, grid):
+    def test_pool_matches_serial_bitwise(self, grid, quad_cpu):
         serial = CampaignEngine(cache=RunCache(), jobs=1).run_cells(grid)
         parallel = CampaignEngine(cache=RunCache(), jobs=4).run_cells(grid)
         assert serial == parallel
@@ -75,20 +82,21 @@ class TestParallel:
             assert s.counters == p.counters
 
     def test_small_batches_stay_serial(self, simple_workload, emr, device_a,
-                                       monkeypatch):
+                                       monkeypatch, quad_cpu):
         engine = CampaignEngine(cache=RunCache(), jobs=4)
 
-        def boom(pending):  # pool must not be touched for tiny batches
+        def boom(pending, jobs):  # pool must not be touched for tiny batches
             raise AssertionError("pool used for a small batch")
 
         monkeypatch.setattr(engine, "_execute_pool", boom)
         engine.run_cells([Cell(simple_workload, emr, device_a)])
         assert engine.stats.pool_fallbacks == 0
 
-    def test_broken_pool_falls_back_to_serial(self, grid, monkeypatch):
+    def test_broken_pool_falls_back_to_serial(self, grid, monkeypatch,
+                                              quad_cpu):
         engine = CampaignEngine(cache=RunCache(), jobs=4)
 
-        def boom(pending):
+        def boom(pending, jobs):
             raise OSError("no semaphores in this sandbox")
 
         monkeypatch.setattr(engine, "_execute_pool", boom)
@@ -96,19 +104,19 @@ class TestParallel:
         assert engine.stats.pool_fallbacks == 1
         assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
 
-    def test_run_errors_propagate(self, grid, monkeypatch):
+    def test_run_errors_propagate(self, grid, monkeypatch, quad_cpu):
         engine = CampaignEngine(cache=RunCache(), jobs=4)
 
-        def boom(pending):
+        def boom(pending, jobs):
             raise RuntimeError("a genuine run failure")
 
         monkeypatch.setattr(engine, "_execute_pool", boom)
         with pytest.raises(RuntimeError):
             engine.run_cells(grid)
 
-    def test_broken_process_pool_mid_map_falls_back(self, grid, monkeypatch):
+    def test_broken_process_pool_mid_map_falls_back(self, grid, monkeypatch,
+                                                    quad_cpu):
         """A pool that dies mid-``map`` degrades to identical serial results."""
-        import repro.runtime.executor as executor_mod
 
         class DyingPool:
             def __init__(self, *args, **kwargs):
@@ -131,7 +139,7 @@ class TestParallel:
         assert engine.stats.cells_pool == 0
         assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
 
-    def test_pool_vs_serial_cells_counted(self, grid):
+    def test_pool_vs_serial_cells_counted(self, grid, quad_cpu):
         serial = CampaignEngine(cache=RunCache(), jobs=1)
         serial.run_cells(grid)
         assert serial.stats.cells_serial == len(grid)
@@ -143,6 +151,49 @@ class TestParallel:
             assert pooled.stats.cells_serial == 0
             assert pooled.stats.pool_wall_s > 0.0
             assert 0.0 < pooled.stats.worker_utilization() <= 1.0
+
+
+class TestJobsClamp:
+    def test_clamped_to_serial_on_one_cpu(self, grid, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+
+        def boom(pending, jobs):  # a 1-CPU host must never pay for a pool
+            raise AssertionError("pool used despite the clamp")
+
+        monkeypatch.setattr(engine, "_execute_pool", boom)
+        results = engine.run_cells(grid)
+        assert engine.stats.jobs_clamped == 3
+        assert engine.stats.cells_serial == len(grid)
+        assert engine.stats.cells_pool == 0
+        assert engine.stats.pool_fallbacks == 0
+        assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
+
+    def test_clamped_to_host_cpus(self, grid, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 2)
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        seen = {}
+
+        def record(pending, jobs):
+            seen["jobs"] = jobs
+            return [executor_mod._execute_cell(cell) for cell in pending]
+
+        monkeypatch.setattr(engine, "_execute_pool", record)
+        engine.run_cells(grid)
+        assert seen["jobs"] == 2
+        assert engine.stats.jobs_clamped == 2
+
+    def test_unknown_cpu_count_leaves_jobs_alone(self, grid, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: None)
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        assert engine._effective_jobs() == 4
+        assert engine.stats.jobs_clamped == 0
+
+    def test_fitting_jobs_not_clamped(self, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 8)
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        assert engine._effective_jobs() == 4
+        assert engine.stats.jobs_clamped == 0
 
 
 class TestPoolChunksize:
