@@ -20,6 +20,14 @@ reads); ``--trace PATH`` writes a Chrome ``trace_event`` JSON viewable in
 Perfetto, sampling every ``--trace-sample`` N-th simulated request.
 Instrumentation never changes results: figures are byte-identical with the
 flags on or off.
+
+Resilience (``campaign``): ``--cell-timeout``/``--cell-retries`` run each
+cell in an isolated worker with bounded retry and quarantine failing cells
+instead of aborting (warning + exit 0; exit 3 under ``--strict-cells``);
+``--cache-dir`` additionally checkpoints progress so an interrupted
+campaign restarts from where it stopped with ``--resume``.  ``--fault-plan
+PATH`` injects a deterministic CXL RAS fault schedule (see
+:mod:`repro.faults`) into every simulated cell.
 """
 
 from __future__ import annotations
@@ -31,10 +39,44 @@ from repro.errors import MelodyError
 
 
 def _configure_runtime(args):
-    """Apply --jobs/--cache-dir to the process-wide campaign engine."""
+    """Apply --jobs/--cache-dir (and any resilience flags) to the engine."""
     from repro.runtime import configure_runtime
 
-    return configure_runtime(jobs=args.jobs, cache_dir=args.cache_dir)
+    return configure_runtime(
+        jobs=args.jobs, cache_dir=args.cache_dir, policy=_retry_policy(args)
+    )
+
+
+def _retry_policy(args):
+    """Build a RetryPolicy from --cell-timeout/--cell-retries, if given.
+
+    With neither flag the engine stays fail-fast (first cell error
+    aborts), which is the right default for interactive use.
+    """
+    from repro.runtime import RetryPolicy
+
+    timeout = getattr(args, "cell_timeout", None)
+    retries = getattr(args, "cell_retries", None)
+    if timeout is None and retries is None:
+        return None
+    return RetryPolicy(
+        max_attempts=retries if retries is not None else 3,
+        timeout_s=timeout,
+    )
+
+
+def _install_fault_plan(args):
+    """Install --fault-plan process-wide; returns a restore callable."""
+    from repro.faults import clear_fault_plan, install_fault_plan, load_plan
+
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return lambda: None
+    plan = install_fault_plan(load_plan(path))
+    label = "enabled" if plan.enabled else "empty (disabled)"
+    print(f"fault plan {plan.name!r} [{plan.key()[:12]}]: "
+          f"{len(plan.episodes)} episode(s), {label}")
+    return clear_fault_plan
 
 
 def _configure_obs(args):
@@ -118,58 +160,143 @@ def cmd_characterize(args) -> int:
     print(f"tail gap      : {result.tail_gap_ns():.0f} ns (p99.9 - p50)")
     print()
     print(Cpmu(device).latency_report(load_gbps=args.load))
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.fault_plan:
         # Request-level spans and sim.* counters come from the event-driven
         # simulator; run one battery at the CPMU operating load so the
-        # export has per-request pipeline data.
+        # export has per-request pipeline data.  A --fault-plan applies to
+        # this battery (RAS counters land in the metrics export).
         from repro.hw.cxl.eventdevice import EventDrivenDevice
 
-        EventDrivenDevice(device).simulate(
-            args.samples, args.load, read_fraction=0.75,
-            engine=args.engine,
-        )
+        restore_plan = _install_fault_plan(args)
+        try:
+            sim = EventDrivenDevice(device).simulate(
+                args.samples, args.load, read_fraction=0.75,
+                engine=args.engine,
+            )
+        finally:
+            restore_plan()
+        if sim.fault_plan is not None:
+            print(f"faults injected: {sim.injected_retries} retries, "
+                  f"{sim.poisoned_reads} poisoned reads, "
+                  f"{sim.ecc_corrected} ECC-corrected, "
+                  f"{sim.throttled_requests} throttled "
+                  f"(p99.9 {sim.percentile(99.9):.0f} ns)")
     finish()
     return 0
 
 
 def cmd_campaign(args) -> int:
-    """Run a slowdown campaign and optionally export it."""
+    """Run a slowdown campaign and optionally export it.
+
+    Exit codes: 0 on success -- including when some cells were quarantined
+    by the retry policy (they are reported as a warning summary and
+    recorded in the checkpoint); 3 when cells were quarantined *and*
+    ``--strict-cells`` was given; 2 on configuration/runtime errors.
+    """
     from repro.core.dataset import export_csv, export_json
     from repro.core.melody import Campaign
     from repro.experiments.common import campaign_melody, set_strict
     from repro.hw.platform import platform_by_name
     from repro.workloads import all_workloads, workloads_by_suite
 
+    if args.resume and not args.cache_dir:
+        raise MelodyError(
+            "--resume requires --cache-dir (checkpoints live in the "
+            "cache directory)"
+        )
     engine = _configure_runtime(args)
     finish = _configure_obs(args)
+    restore_plan = _install_fault_plan(args)
     set_strict(args.strict)
-    platform = platform_by_name(args.platform)
-    workloads = (
-        workloads_by_suite(args.suite) if args.suite else all_workloads()
-    )
-    if args.sample > 1:
-        workloads = workloads[:: args.sample]
-    targets = tuple(_target_by_name(t, platform) for t in args.targets)
-    campaign = Campaign(
-        name="cli", platform=platform, targets=targets,
-        workloads=tuple(workloads),
-    )
-    result = campaign_melody().run(campaign)
-    from repro.analysis.report import format_cdf_row
+    try:
+        platform = platform_by_name(args.platform)
+        workloads = (
+            workloads_by_suite(args.suite) if args.suite else all_workloads()
+        )
+        if args.sample > 1:
+            workloads = workloads[:: args.sample]
+        targets = tuple(_target_by_name(t, platform) for t in args.targets)
+        campaign = Campaign(
+            name="cli", platform=platform, targets=targets,
+            workloads=tuple(workloads),
+        )
+        checkpointer = _attach_checkpointer(args, engine, campaign)
+        result = campaign_melody().run(campaign)
+        if checkpointer is not None:
+            checkpointer.finalize(engine.failed)
+        from repro.analysis.report import format_cdf_row
 
-    print(f"{len(result.records)} records "
-          f"({len(result.skipped)} skipped for capacity)")
-    print(engine.stats.summary())
-    for target in result.target_names():
-        print("  " + format_cdf_row(target, result.slowdowns(target)))
-    if args.csv:
-        rows = export_csv(result, args.csv)
-        print(f"wrote {rows} rows to {args.csv}")
-    if args.json:
-        rows = export_json(result, args.json)
-        print(f"wrote {rows} records to {args.json}")
-    finish()
-    return 0
+        print(f"{len(result.records)} records "
+              f"({len(result.skipped)} skipped for capacity)")
+        print(engine.stats.summary())
+        for target in result.target_names():
+            print("  " + format_cdf_row(target, result.slowdowns(target)))
+        if args.csv:
+            rows = export_csv(result, args.csv)
+            print(f"wrote {rows} rows to {args.csv}")
+        if args.json:
+            rows = export_json(result, args.json)
+            print(f"wrote {rows} records to {args.json}")
+        finish()
+    finally:
+        restore_plan()
+    return _report_failed_cells(result.failed, args.strict_cells)
+
+
+def _attach_checkpointer(args, engine, campaign):
+    """Create/resume the campaign checkpoint when a cache dir is present."""
+    if not args.cache_dir:
+        return None
+    from repro.runtime import (
+        Checkpointer,
+        campaign_fingerprint,
+        load_checkpoint,
+    )
+
+    fingerprint = campaign_fingerprint(campaign)
+    total = len(campaign.workloads) + sum(
+        1
+        for w in campaign.workloads
+        for t in campaign.targets
+        if w.working_set_gb <= t.capacity_gb
+    )
+    completed = 0
+    if args.resume:
+        state = load_checkpoint(args.cache_dir, fingerprint)
+        if state is None:
+            print(f"no checkpoint for campaign {fingerprint[:12]}; "
+                  "starting fresh")
+        else:
+            engine.restore_quarantine(state.failed)
+            completed = state.completed_cells
+            print(f"resuming campaign {fingerprint[:12]}: "
+                  f"{state.completed_cells}/{state.total_cells} cells "
+                  f"checkpointed, {len(state.failed)} quarantined")
+    checkpointer = Checkpointer(
+        cache_dir=args.cache_dir,
+        fingerprint=fingerprint,
+        name=campaign.name,
+        total_cells=total,
+        every=args.checkpoint_every,
+        completed=completed,
+    )
+    engine.checkpointer = checkpointer
+    return checkpointer
+
+
+def _report_failed_cells(failed, strict_cells: bool) -> int:
+    """Print the quarantine warning summary; pick the exit code."""
+    if not failed:
+        return 0
+    print(f"warning: {len(failed)} cell(s) quarantined after retries:",
+          file=sys.stderr)
+    for record in failed[:10]:
+        detail = f" -- {record.message}" if record.message else ""
+        print(f"  {record.workload} on {record.target}: {record.reason} "
+              f"after {record.attempts} attempt(s){detail}", file=sys.stderr)
+    if len(failed) > 10:
+        print(f"  ... and {len(failed) - 10} more", file=sys.stderr)
+    return 3 if strict_cells else 0
 
 
 def cmd_spa(args) -> int:
@@ -390,6 +517,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "scalar", "vector"],
                    help="event-simulation engine for the sim battery "
                    "(auto = vector unless tracing)")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="JSON FaultPlan to inject into the sim battery")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_characterize)
 
@@ -408,6 +537,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk run cache shared across invocations")
     p.add_argument("--strict", action="store_true",
                    help="promote invariant violations in results to errors")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="JSON FaultPlan injected into every simulated cell "
+                        "(results land under a fault-keyed cache entry)")
+    p.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                   help="wall-clock timeout per cell attempt; implies "
+                        "isolated per-cell workers")
+    p.add_argument("--cell-retries", type=int, default=None, metavar="N",
+                   help="attempts per cell before quarantine (default 3 "
+                        "when --cell-timeout is set; unset = fail fast)")
+    p.add_argument("--checkpoint-every", type=int, default=16, metavar="N",
+                   help="checkpoint campaign progress every N completed "
+                        "cells (needs --cache-dir; default: 16)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted campaign from its "
+                        "checkpoint in --cache-dir")
+    p.add_argument("--strict-cells", action="store_true",
+                   help="exit 3 when any cell was quarantined "
+                        "(default: warn and exit 0)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
 
@@ -440,7 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--layer", nargs="*", default=None,
                    choices=["link", "device", "counters", "workloads",
-                            "runtime", "obs"],
+                            "runtime", "obs", "faults"],
                    help="restrict to these layers (default: all)")
     p.add_argument("--json", action="store_true",
                    help="emit the structured DiagReport as JSON")

@@ -35,7 +35,7 @@ from repro.hw.target import MemoryTarget
 from repro.obs.timers import phase_timer
 from repro.runtime.cache import RunCache
 from repro.runtime.context import get_engine
-from repro.runtime.executor import CampaignEngine, Cell
+from repro.runtime.executor import CampaignEngine, Cell, FailedCell
 from repro.workloads import all_workloads
 from repro.workloads.base import WorkloadSpec
 
@@ -85,6 +85,8 @@ class CampaignResult:
     campaign: Campaign
     records: List[SlowdownRecord] = field(default_factory=list)
     skipped: List[Tuple[str, str]] = field(default_factory=list)  # (workload, target)
+    failed: List[FailedCell] = field(default_factory=list)
+    """Cells quarantined by a resilient engine (empty in fail-fast mode)."""
     _indexed_count: int = field(default=-1, init=False, repr=False, compare=False)
     _by_cell: Dict[Tuple[str, str], SlowdownRecord] = field(
         default_factory=dict, init=False, repr=False, compare=False
@@ -198,10 +200,17 @@ class Melody:
                 cells.append(
                     Cell(workload, campaign.platform, target, campaign.config)
                 )
-        runs = self.engine.run_cells(cells)
+        engine = self.engine
+        failed_before = len(engine.failed)
+        runs = engine.run_cells(cells)
+        result.failed = list(engine.failed[failed_before:])
         baselines = dict(zip((w.name for w in campaign.workloads), runs))
         for (workload, target), run in zip(grid, runs[len(campaign.workloads):]):
             base = baselines[workload.name]
+            if run is None or base is None:
+                # Quarantined by the resilient engine: the FailedCell
+                # record (in ``result.failed``) carries the diagnosis.
+                continue
             result.records.append(
                 SlowdownRecord(
                     workload=workload.name,

@@ -25,8 +25,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.diag.context import DiagContext
 from repro.diag.report import CheckResult, DiagReport, Violation
 
-LAYERS = ("link", "device", "counters", "workloads", "runtime", "obs")
-"""Registered layers, in stack order (wire -> device -> CPU -> sw -> obs)."""
+LAYERS = (
+    "link", "device", "counters", "workloads", "runtime", "obs", "faults",
+)
+"""Registered layers, in stack order (wire -> device -> CPU -> sw -> obs);
+``faults`` sits last because its chaos harness exercises every layer
+below it."""
 
 _CHECK_MODULES = {
     "link": "repro.diag.checks_link",
@@ -35,6 +39,7 @@ _CHECK_MODULES = {
     "workloads": "repro.diag.checks_workloads",
     "runtime": "repro.diag.checks_runtime",
     "obs": "repro.diag.checks_obs",
+    "faults": "repro.diag.checks_faults",
 }
 
 CheckFn = Callable[[DiagContext], Iterable[Violation]]

@@ -1,0 +1,130 @@
+"""Host-side chaos: sabotage campaign cell execution, deterministically.
+
+Where :mod:`repro.faults.plan` injects *device* faults into the simulated
+timeline, this module injects *host* faults into the campaign runtime:
+worker processes that die mid-cell (SIGKILL-style ``os._exit``), cells
+that raise, and cells that hang.  The resilient executor
+(:class:`~repro.runtime.executor.CampaignEngine` with a
+:class:`~repro.runtime.executor.RetryPolicy`) must survive all of them --
+retrying transient failures, timing out hangs, and quarantining
+deterministic failures -- and the ``faults`` diag layer proves it does on
+every ``repro validate``.
+
+Chaos draws are keyed by ``(seed, cell key, attempt)``, so a cell killed
+on attempt 1 is killed again on every replay of attempt 1 (reproducible
+chaos), while its attempt 2 draws fresh -- and ``max_sabotaged_attempt``
+bounds how deep the sabotage reaches, guaranteeing the campaign
+terminates.  Keys listed in ``doomed`` fail every attempt: they exercise
+the quarantine path end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import MelodyError
+from repro.rng import generator_for
+
+
+class ChaosError(MelodyError):
+    """The injected cell failure (raised inside sabotaged workers)."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded sabotage schedule for campaign cell execution.
+
+    ``kill_prob``/``hang_prob``/``error_prob`` partition a single uniform
+    draw per (cell, attempt); a hang sleeps ``hang_s`` (long enough to
+    trip a per-cell timeout, short enough to terminate without one).
+    """
+
+    kill_prob: float = 0.0
+    hang_prob: float = 0.0
+    error_prob: float = 0.0
+    hang_s: float = 30.0
+    max_sabotaged_attempt: int = 1
+    doomed: Tuple[str, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.kill_prob + self.hang_prob + self.error_prob
+        if min(self.kill_prob, self.hang_prob, self.error_prob) < 0 \
+                or total > 1.0:
+            raise MelodyError(
+                "chaos probabilities must be >= 0 and sum to <= 1"
+            )
+        if self.hang_s <= 0:
+            raise MelodyError("hang_s must be positive")
+        if self.max_sabotaged_attempt < 0:
+            raise MelodyError("max_sabotaged_attempt must be >= 0")
+
+    def action(self, cell_key: str, attempt: int) -> str:
+        """The sabotage for one (cell, attempt): kill/hang/error/none."""
+        if cell_key in self.doomed:
+            return "error"
+        if attempt > self.max_sabotaged_attempt:
+            return "none"
+        r = generator_for(
+            self.seed, "chaos", cell_key, str(attempt)
+        ).random()
+        if r < self.kill_prob:
+            return "kill"
+        if r < self.kill_prob + self.hang_prob:
+            return "hang"
+        if r < self.kill_prob + self.hang_prob + self.error_prob:
+            return "error"
+        return "none"
+
+    def apply(self, cell_key: str, attempt: int) -> None:
+        """Execute the sabotage inside a worker (call before the run)."""
+        action = self.action(cell_key, attempt)
+        if action == "kill":
+            # SIGKILL semantics: no exception, no cleanup, no result.
+            os._exit(17)
+        if action == "hang":
+            time.sleep(self.hang_s)
+        elif action == "error":
+            raise ChaosError(
+                f"injected failure (cell {cell_key[:12]}, "
+                f"attempt {attempt})"
+            )
+
+
+# -- process-wide installation (inherited by forked workers) ---------------
+
+_ACTIVE: Optional[ChaosPolicy] = None
+
+
+def install_chaos(policy: ChaosPolicy) -> ChaosPolicy:
+    """Install ``policy`` process-wide; forked workers inherit it."""
+    global _ACTIVE
+    _ACTIVE = policy
+    return policy
+
+
+def active_chaos() -> Optional[ChaosPolicy]:
+    """The installed policy, or ``None`` (no sabotage)."""
+    return _ACTIVE
+
+
+def clear_chaos() -> None:
+    """Remove the installed policy."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def chaos_injection(policy: ChaosPolicy) -> Iterator[ChaosPolicy]:
+    """Scope a chaos policy to a block, restoring the previous after."""
+    global _ACTIVE
+    previous = _ACTIVE
+    install_chaos(policy)
+    try:
+        yield policy
+    finally:
+        _ACTIVE = previous

@@ -94,6 +94,19 @@ class CxlMemoryController:
         if self.queue_depth <= 0:
             raise ConfigurationError("queue_depth must be positive")
 
+    def throttle_episode_derating(self, temperature_c: float) -> float:
+        """Service derating during a scheduled thermal fault window.
+
+        The same :class:`ThermalModel` curve the analytic queue model
+        applies, exposed for the event simulator's fault injection; a
+        window that actually throttles (derate > 1) is counted so chaos
+        runs surface in ``hw.controller.fault_throttle_windows``.
+        """
+        derate = self.thermal.service_derating(temperature_c)
+        if derate > 1.0:
+            metrics().counter("hw.controller.fault_throttle_windows").inc()
+        return derate
+
     def queue_model(self, service_ns: float, temperature_c: float = None) -> QueueModel:
         """Queue model at a DRAM service time and operating temperature."""
         derate = 1.0

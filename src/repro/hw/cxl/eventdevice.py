@@ -54,6 +54,8 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.inject import apply_fault_plan
+from repro.faults.plan import active_fault_plan
 from repro.hw.cxl.device import HOST_OVERHEAD_NS, CxlDevice
 from repro.hw.cxl.kernels import SimInputs, vector_timeline
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, metrics
@@ -80,6 +82,12 @@ class EventSimResult:
     link_retries: int
     read_fraction: float = 1.0
     engine: str = "scalar"
+    # RAS fault-injection ledger (all zero / None on fault-free runs)
+    fault_plan: Optional[str] = None
+    injected_retries: int = 0
+    poisoned_reads: int = 0
+    ecc_corrected: int = 0
+    throttled_requests: int = 0
 
     @property
     def mean_ns(self) -> float:
@@ -233,6 +241,19 @@ class EventDrivenDevice:
         resolved = "scalar" if engine == "scalar" or buf is not None else "vector"
 
         inp = self._prepare(n_requests, offered_gbps, read_fraction)
+        # RAS fault injection: a plan transforms the prepared inputs (from
+        # its own RNG stream) and supplies post-engine latency adjustments.
+        # With no plan -- or an empty one -- nothing here runs, so the
+        # fault-free path stays byte-identical to a build without the
+        # subsystem.  (Scoped limitation: post-engine adjustments are not
+        # reflected in per-stage trace spans, so traced fault runs report
+        # pre-adjustment stage budgets.)
+        plan = active_fault_plan()
+        applied = None
+        if plan is not None and plan.enabled:
+            inp, applied = apply_fault_plan(
+                inp, self.device, plan, offered_gbps
+            )
         if resolved == "vector":
             timeline = vector_timeline(inp)
             latencies = timeline.latencies_ns
@@ -244,6 +265,10 @@ class EventDrivenDevice:
                 inp, buf
             )
         retries = int(inp.retry_draw.sum())
+        if applied is not None:
+            # Shared elementwise post-engine transform (ECC correction
+            # stalls, dropout completions): identical for both engines.
+            latencies = applied.adjust_latencies(latencies)
 
         registry = metrics()
         if registry.enabled:
@@ -258,6 +283,19 @@ class EventDrivenDevice:
                 buckets=DEFAULT_LATENCY_BUCKETS_NS,
                 **labels,
             ).observe_many(latencies)
+            if applied is not None:
+                registry.counter(
+                    "sim.faults.injected_retries", **labels
+                ).inc(applied.injected_retries)
+                registry.counter(
+                    "sim.faults.poisoned_reads", **labels
+                ).inc(applied.poisoned_reads)
+                registry.counter(
+                    "sim.faults.ecc_corrected", **labels
+                ).inc(applied.ecc_corrected)
+                registry.counter(
+                    "sim.faults.throttled_requests", **labels
+                ).inc(applied.throttled_requests)
 
         return EventSimResult(
             device=self.device.name,
@@ -268,6 +306,19 @@ class EventDrivenDevice:
             link_retries=retries,
             read_fraction=read_fraction,
             engine=resolved,
+            fault_plan=applied.plan_key if applied is not None else None,
+            injected_retries=(
+                applied.injected_retries if applied is not None else 0
+            ),
+            poisoned_reads=(
+                applied.poisoned_reads if applied is not None else 0
+            ),
+            ecc_corrected=(
+                applied.ecc_corrected if applied is not None else 0
+            ),
+            throttled_requests=(
+                applied.throttled_requests if applied is not None else 0
+            ),
         )
 
     def _scalar_timeline(
@@ -290,6 +341,7 @@ class EventDrivenDevice:
         svc_out = inp.svc_out
         banks, rows, row_reuse = inp.banks, inp.rows, inp.row_reuse
         retry_draw = inp.retry_draw
+        service_scale = inp.service_scale
         refresh_phase = inp.refresh_phase
         flit_ns, stack_ns = inp.flit_ns, inp.stack_ns
         fixed_mc_ns = inp.fixed_mc_ns
@@ -342,6 +394,9 @@ class EventDrivenDevice:
             else:
                 service = row_conflict_ns
                 conflicts += 1
+            if service_scale is not None:
+                # Same single multiply as the vector kernel's row_states.
+                service = service * service_scale[i]
             bank_open_row[bank] = row
             # Busy/refresh recurrence in the phase-shifted domain.
             phase_b = refresh_phase[bank]

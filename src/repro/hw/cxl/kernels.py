@@ -38,6 +38,7 @@ the cross-engine test suite enforce this).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -88,6 +89,10 @@ class SimInputs:
     shift_mc: np.ndarray
     svc_out: np.ndarray
     shift_out: np.ndarray
+    # per-request bank-service derating (fault injection: thermal windows);
+    # None -- the fault-free default -- means no multiply happens at all,
+    # keeping the fault-free float sequence untouched
+    service_scale: Optional[np.ndarray] = None
 
 
 @dataclass(frozen=True)
@@ -160,6 +165,10 @@ def row_states(
         inp.row_hit_ns,
         np.where(first, inp.row_miss_ns, inp.row_conflict_ns),
     )
+    if inp.service_scale is not None:
+        # Thermal-throttle derating: one multiply per request, mirrored by
+        # the scalar loop at the same point, so the engines stay bit-equal.
+        service_s = service_s * inp.service_scale[order]
     return service_s, int(np.count_nonzero(conflict))
 
 

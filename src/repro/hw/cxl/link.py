@@ -118,6 +118,23 @@ class CxlLink:
         gbps = PCIE_GTPS[self.pcie_gen] * self.lanes / 8.0
         return self.flit.total_bytes / gbps  # bytes / (GB/s) == ns
 
+    def storm_retry_probability(
+        self, multiplier: float, flit_exchanges: float = 50.0
+    ) -> float:
+        """Per-request retry probability during a CRC burst (RAS faults).
+
+        A retry storm -- marginal signal integrity, a flaky retimer --
+        multiplies the per-flit CRC-failure rate; aggregated over the
+        ``flit_exchanges`` a request's flits make (the same aggregation
+        the event simulator's baseline draw uses), clamped to a valid
+        probability.
+        """
+        if multiplier < 0:
+            raise ConfigurationError("retry multiplier must be >= 0")
+        return min(
+            1.0, self.retry_probability * flit_exchanges * multiplier
+        )
+
     def expected_retry_ns_per_flit(self) -> float:
         """Expected link-layer retry cost charged to one flit crossing.
 

@@ -13,13 +13,25 @@ is bit-identical to the one a fresh serial call would produce.
 """
 
 from repro.runtime.cache import RunCache, run_key
+from repro.runtime.checkpoint import (
+    Checkpointer,
+    CheckpointState,
+    campaign_fingerprint,
+    load_checkpoint,
+)
 from repro.runtime.context import (
     configure_runtime,
     get_engine,
     reset_runtime,
     runtime_stats,
 )
-from repro.runtime.executor import CampaignEngine, Cell, EngineStats
+from repro.runtime.executor import (
+    CampaignEngine,
+    Cell,
+    EngineStats,
+    FailedCell,
+    RetryPolicy,
+)
 from repro.runtime.serialize import (
     run_result_from_dict,
     run_result_to_dict,
@@ -28,10 +40,16 @@ from repro.runtime.serialize import (
 __all__ = [
     "CampaignEngine",
     "Cell",
+    "Checkpointer",
+    "CheckpointState",
     "EngineStats",
+    "FailedCell",
+    "RetryPolicy",
     "RunCache",
+    "campaign_fingerprint",
     "configure_runtime",
     "get_engine",
+    "load_checkpoint",
     "reset_runtime",
     "run_key",
     "run_result_from_dict",

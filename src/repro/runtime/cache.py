@@ -32,7 +32,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.cpu.pipeline import PipelineConfig, RunResult
 from repro.errors import ConfigurationError
+from repro.faults.plan import active_fault_plan
 from repro.hw.platform import Platform
+from repro.obs.metrics import metrics
 from repro.hw.target import MemoryTarget
 from repro.runtime.serialize import (
     FORMAT_VERSION,
@@ -109,6 +111,13 @@ def run_key(
             lambda c: shallow_dict(c) if is_dataclass(c) else repr(c),
         ),
     )
+    # An active fault plan changes what a run computes, so it joins the
+    # key: faulted results can never poison (or be served from) the
+    # fault-free cache.  No plan -- or a disabled, episode-free one --
+    # contributes nothing, keeping every historical key stable.
+    plan = active_fault_plan()
+    if plan is not None and plan.enabled:
+        parts = parts + (f"fault-plan:{plan.key()}",)
     return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
 
@@ -139,6 +148,7 @@ class RunCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_dropped = 0
+        self.recovered = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -187,7 +197,7 @@ class RunCache:
             except OSError as exc:
                 raise KeyError(f"missing blob {ref}") from exc
             except (ValueError, TypeError, KeyError) as exc:
-                self._discard(path)
+                self._recover(path)
                 raise KeyError(f"corrupt blob {ref}") from exc
             self._blobs[ref] = obj
         return obj
@@ -217,6 +227,20 @@ class RunCache:
         self.corrupt_dropped += 1
         return True
 
+    def _recover(self, path: str) -> bool:
+        """Drop a corrupt entry detected on the *load* path.
+
+        Interrupted or chaos-killed writers can leave truncated documents
+        behind; deleting one on load is self-healing, and the
+        ``runtime.cache_recovered`` counter makes the recovery visible
+        instead of silently eating it.
+        """
+        if not self._discard(path):
+            return False
+        self.recovered += 1
+        metrics().counter("runtime.cache_recovered").inc()
+        return True
+
     # -- run tier --------------------------------------------------------
 
     def get(self, key: str) -> Optional[RunResult]:
@@ -236,7 +260,7 @@ class RunCache:
             except ValueError:
                 # Truncated or garbled document: degrade to a miss, but
                 # delete the file so it cannot keep failing forever.
-                self._discard(path)
+                self._recover(path)
                 self.misses += 1
                 return None
             try:
@@ -253,7 +277,7 @@ class RunCache:
                 # Stale schema or unusable blob reference: the document can
                 # never load again -- drop it (corrupt blobs were already
                 # dropped by ``_load_blob``).
-                self._discard(path)
+                self._recover(path)
                 self.misses += 1
                 return None
             self._memory[key] = result

@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.runtime.cache import RunCache
-from repro.runtime.executor import CampaignEngine, EngineStats
+from repro.runtime.executor import CampaignEngine, EngineStats, RetryPolicy
 
 _engine: Optional[CampaignEngine] = None
 
@@ -40,12 +40,16 @@ def get_engine() -> CampaignEngine:
 
 
 def configure_runtime(
-    jobs: Optional[int] = None, cache_dir: Optional[str] = None
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    policy: Optional["RetryPolicy"] = None,
 ) -> CampaignEngine:
     """Replace the shared engine with one using the given settings.
 
-    Settings left as ``None`` keep the current engine's value; the
-    in-memory cache always starts fresh (the disk tier, if any, persists).
+    Settings left as ``None`` keep the current engine's value (except
+    ``policy``, which always takes the given value: passing ``None``
+    returns to fail-fast execution); the in-memory cache always starts
+    fresh (the disk tier, if any, persists).
     """
     global _engine
     current = get_engine()
@@ -54,6 +58,7 @@ def configure_runtime(
                        else (str(current.cache.cache_dir)
                              if current.cache.cache_dir else None)),
         jobs=jobs if jobs is not None else current.jobs,
+        policy=policy,
     )
     return _engine
 

@@ -1,4 +1,4 @@
-"""The parallel, cache-aware campaign executor.
+"""The parallel, cache-aware, fault-tolerant campaign executor.
 
 :class:`CampaignEngine` takes a flat list of :class:`Cell` objects -- the
 (workload, platform, target, config) grid of a campaign -- and returns one
@@ -8,7 +8,9 @@ downstream figures.
 
 Execution strategy per batch:
 
-1. resolve every cell against the :class:`~repro.runtime.cache.RunCache`;
+1. resolve every cell against the :class:`~repro.runtime.cache.RunCache`
+   (and against the engine's quarantine ledger -- a cell that already
+   failed repeatedly resolves to ``None`` instead of re-running);
 2. deduplicate the misses by content key (submission order preserved, so
    callers that put baseline cells first get baseline-first scheduling and
    dependent cells hit the cache);
@@ -19,13 +21,24 @@ Execution strategy per batch:
 4. store results and assemble the per-cell list by key lookup.
 
 Pool setup failures (sandboxed environments, missing semaphores, pickling
-restrictions) degrade gracefully to the serial path; genuine run errors
-propagate exactly as they would serially.
+restrictions) degrade gracefully to the serial path; a pool that breaks
+*mid-map* (a worker SIGKILLed) resubmits only the not-yet-completed cells
+serially rather than re-running the whole batch.  Genuine run errors
+propagate exactly as they would serially -- unless a
+:class:`RetryPolicy` is installed, which switches the engine into its
+**resilient mode**: each cell runs in an isolated subprocess with an
+optional wall-clock timeout, failures retry with seeded exponential
+backoff + jitter (the sleep function is injectable, so tests use a fake
+clock), and cells that exhaust their attempts are quarantined into
+structured :class:`FailedCell` records instead of aborting the campaign.
+A ``checkpointer`` (see :mod:`repro.runtime.checkpoint`) persists progress
+periodically so a killed campaign can resume.
 
 Observability: every batch feeds the process-wide metrics registry
 (:mod:`repro.obs`) -- cells requested/run/cached/deduped, batch wall-time
-histogram, cache hit rate, pool-vs-serial split, worker utilization and
-pool fallbacks -- and, when tracing is on, emits one wall-clock span per
+histogram, cache hit rate, pool-vs-serial split, worker utilization, pool
+fallbacks, and the resilience counters (retries, timeouts, quarantines,
+resubmissions) -- and, when tracing is on, emits one wall-clock span per
 batch.  Instrumentation only observes wall time and counts; it cannot
 change which cells run or what they return.
 """
@@ -35,21 +48,37 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
+from repro.errors import ConfigurationError
+from repro.faults.chaos import active_chaos
 from repro.hw.platform import Platform
 from repro.hw.target import MemoryTarget
 from repro.obs.metrics import metrics
 from repro.obs.trace import CLOCK_WALL, tracing
+from repro.rng import DEFAULT_SEED, generator_for
 from repro.runtime.cache import RunCache, run_key
 from repro.workloads.base import WorkloadSpec
 
 _MIN_POOL_BATCH = 4
 """Below this many pending cells a pool costs more than it saves."""
+
+_JOIN_GRACE_S = 5.0
+"""How long to wait for a terminated cell subprocess to die."""
 
 
 @dataclass(frozen=True)
@@ -78,6 +107,100 @@ def _execute_cell_timed(cell: Cell) -> Tuple[RunResult, float]:
     return result, time.perf_counter() - start
 
 
+def _execute_cell_attempt(cell: Cell, attempt: int = 1) -> RunResult:
+    """Run one cell under the (optional) chaos policy.
+
+    Chaos sabotage -- worker kill, hang, injected error -- happens
+    *before* the real run, keyed by (cell, attempt), so a sabotaged
+    attempt is reproducible and a later attempt can succeed.
+    """
+    chaos = active_chaos()
+    if chaos is not None:
+        chaos.apply(cell.key(), attempt)
+    return _execute_cell(cell)
+
+
+def _isolated_child(conn, cell: Cell, attempt: int) -> None:
+    """Subprocess body for resilient execution: report, never raise."""
+    try:
+        result = _execute_cell_attempt(cell, attempt)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 -- the parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _run_cell_isolated(
+    cell: Cell, attempt: int, timeout_s: Optional[float]
+) -> Tuple[str, object]:
+    """Run one cell in its own subprocess with a wall-clock timeout.
+
+    Returns ``("ok", RunResult)`` or ``(reason, message)`` with reason one
+    of ``"error"`` (the cell raised), ``"crash"`` (the subprocess died
+    without reporting -- SIGKILL, ``os._exit``), or ``"timeout"``.  On
+    hosts without subprocess infrastructure the cell runs inline, which
+    keeps campaigns working but cannot enforce the timeout.
+    """
+    import multiprocessing as mp
+
+    try:
+        context = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        context = mp.get_context()
+    try:
+        parent, child = context.Pipe(duplex=False)
+        proc = context.Process(
+            target=_isolated_child, args=(child, cell, attempt)
+        )
+        proc.start()
+    except (OSError, ValueError, ImportError):
+        # No subprocess infrastructure (sandbox): degraded inline run.
+        try:
+            return "ok", _execute_cell_attempt(cell, attempt)
+        except Exception as exc:  # noqa: BLE001 -- becomes a FailedCell
+            return "error", f"{type(exc).__name__}: {exc}"
+    child.close()
+    try:
+        timed_out = False
+        if not parent.poll(timeout_s):
+            # Deadline passed with nothing on the pipe: kill the worker.
+            # (Termination closes the child's pipe end, so poll() below
+            # would see EOF exactly like a crash -- the flag is what
+            # distinguishes the two.)
+            proc.terminate()
+            timed_out = True
+        proc.join(_JOIN_GRACE_S)
+        if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            proc.kill()
+            proc.join(_JOIN_GRACE_S)
+        if timed_out:
+            return "timeout", f"cell exceeded {timeout_s:.1f}s"
+        if not parent.poll(0):
+            return "crash", f"worker died (exit code {proc.exitcode})"
+        try:
+            status, payload = parent.recv()
+        except (EOFError, OSError):
+            return "crash", f"worker died (exit code {proc.exitcode})"
+        if status == "ok":
+            return "ok", payload
+        return "error", payload
+    finally:
+        try:
+            parent.close()
+        except Exception:
+            pass
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(_JOIN_GRACE_S)
+
+
 def _pool_chunksize(n_pending: int, jobs: int) -> int:
     """Chunk size for pool submission.
 
@@ -89,6 +212,89 @@ def _pool_chunksize(n_pending: int, jobs: int) -> int:
     amortized = max(1, n_pending // (jobs * 4))
     per_worker = -(-n_pending // jobs)  # ceil
     return max(1, min(amortized, per_worker))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule for resilient cell execution.
+
+    ``backoff_s`` is a pure function of (cell key, attempt): the jitter
+    comes from a seeded RNG keyed by both, so two runs of one campaign
+    sleep identical schedules and tests can assert them exactly.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter_frac: float = 0.25
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ConfigurationError("backoff_max_s must be >= the base")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ConfigurationError("jitter_frac must be in [0, 1]")
+
+    def backoff_s(self, cell_key: str, attempt: int) -> float:
+        """Delay before re-running ``cell_key`` after failed ``attempt``."""
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if base <= 0.0 or self.jitter_frac <= 0.0:
+            return base
+        draw = generator_for(
+            self.seed, "backoff", cell_key, str(attempt)
+        ).random()
+        return base * (1.0 + self.jitter_frac * (2.0 * draw - 1.0))
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """Structured record of a quarantined cell (campaign kept going)."""
+
+    key: str
+    workload: str
+    platform: str
+    target: str
+    attempts: int
+    reason: str  # "error" | "crash" | "timeout"
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (checkpoints, exports)."""
+        return {
+            "key": self.key,
+            "workload": self.workload,
+            "platform": self.platform,
+            "target": self.target,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailedCell":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            key=str(data["key"]),
+            workload=str(data.get("workload", "")),
+            platform=str(data.get("platform", "")),
+            target=str(data.get("target", "")),
+            attempts=int(data.get("attempts", 0)),
+            reason=str(data.get("reason", "error")),
+            message=str(data.get("message", "")),
+        )
 
 
 @dataclass
@@ -108,6 +314,14 @@ class EngineStats:
     pool_fallbacks: int = 0
     jobs_clamped: int = 0
     """Worker slots removed by the CPU-count clamp (0 when jobs fit)."""
+    cells_resubmitted: int = 0
+    """Cells resubmitted serially after a pool broke mid-batch."""
+    cells_retried: int = 0
+    """Failed attempts that were re-queued under a RetryPolicy."""
+    cells_timeout: int = 0
+    """Attempts killed by the per-cell wall-clock timeout."""
+    cells_quarantined: int = 0
+    """Cells resolved as FailedCell (including checkpoint-restored ones)."""
 
     def runs_per_second(self) -> float:
         """Executed-cell throughput (0 when nothing ran)."""
@@ -158,33 +372,74 @@ class EngineStats:
             throughput = f"{self.cached_per_second():.1f} cached/s"
         else:
             throughput = f"{self.runs_per_second():.1f} runs/s"
-        return (
+        line = (
             f"runtime: {self.cells_requested} cells "
             f"({self.cells_run} run, {self.cells_cached} cached) "
             f"in {self.elapsed_s:.2f}s "
             f"({throughput}, {self.hit_rate() * 100.0:.0f}% hit rate)"
         )
+        if self.cells_quarantined:
+            line += f" [{self.cells_quarantined} quarantined]"
+        return line
 
 
 @dataclass
 class CampaignEngine:
-    """Memoized executor shared by campaigns, experiments and the CLI."""
+    """Memoized executor shared by campaigns, experiments and the CLI.
+
+    With ``policy=None`` (the default) execution is fail-fast, exactly as
+    historical callers expect.  Installing a :class:`RetryPolicy` switches
+    failed-cell handling to retry/timeout/quarantine; ``failed`` then
+    accumulates one :class:`FailedCell` per quarantined cell and
+    ``run_cells`` returns ``None`` in that cell's slot.
+    """
 
     cache: RunCache = field(default_factory=RunCache)
     jobs: int = 1
     stats: EngineStats = field(default_factory=EngineStats)
+    policy: Optional[RetryPolicy] = None
+    checkpointer: Optional[object] = None
+    failed: List[FailedCell] = field(default_factory=list)
+    sleep_fn: Callable[[float], None] = time.sleep
+    _quarantined: Dict[str, FailedCell] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
-    def run_cells(self, cells: Sequence[Cell]) -> List[RunResult]:
-        """Execute a batch of cells; results are returned in cell order."""
+    def restore_quarantine(self, records: Iterable[FailedCell]) -> int:
+        """Seed the quarantine ledger (``--resume`` from a checkpoint).
+
+        Restored cells resolve to ``None`` without re-executing, and each
+        batch that requests one re-reports its :class:`FailedCell`.
+        """
+        count = 0
+        for record in records:
+            self._quarantined[record.key] = record
+            count += 1
+        return count
+
+    def run_cells(self, cells: Sequence[Cell]) -> List[Optional[RunResult]]:
+        """Execute a batch of cells; results are returned in cell order.
+
+        Slots are ``None`` only for quarantined cells (resilient mode).
+        """
         start = time.perf_counter()
         keys = [cell.key() for cell in cells]
-        resolved: Dict[str, RunResult] = {}
+        resolved: Dict[str, Optional[RunResult]] = {}
         pending: List[Cell] = []
         pending_keys: List[str] = []
         dupes = 0
+        quarantine_hits = 0
         for cell, key in zip(cells, keys):
             if key in resolved:
                 dupes += 1
+                continue
+            restored = self._quarantined.get(key)
+            if restored is not None:
+                resolved[key] = None
+                self.failed.append(restored)
+                self.stats.cells_quarantined += 1
+                metrics().counter("runtime.cells_quarantined").inc()
+                quarantine_hits += 1
                 continue
             hit = self.cache.get(key)
             if hit is not None:
@@ -194,24 +449,29 @@ class CampaignEngine:
             pending.append(cell)
             pending_keys.append(key)
 
-        for key, result in zip(pending_keys, self._execute(pending)):
-            self.cache.put(key, result)
-            resolved[key] = result
+        if self.policy is not None:
+            ran = self._execute_resilient(pending, pending_keys, resolved)
+        else:
+            ran = self._execute_batches(pending, pending_keys, resolved)
+        if self.checkpointer is not None:
+            self.checkpointer.flush(self.failed)
 
         elapsed = time.perf_counter() - start
+        cached = len(cells) - len(pending) - dupes - quarantine_hits
         self.stats.cells_requested += len(cells)
-        self.stats.cells_run += len(pending)
-        self.stats.cells_cached += len(cells) - len(pending)
+        self.stats.cells_run += ran
+        self.stats.cells_cached += cached + dupes
         self.stats.cells_deduped += dupes
         self.stats.elapsed_s += elapsed
         self.stats.batches += 1
-        self._observe_batch(len(cells), len(pending), dupes, start, elapsed)
+        self._observe_batch(len(cells), ran, cached, dupes, start, elapsed)
         return [resolved[key] for key in keys]
 
     def _observe_batch(
         self,
         requested: int,
         ran: int,
+        cached: int,
         dupes: int,
         start: float,
         elapsed: float,
@@ -221,9 +481,7 @@ class CampaignEngine:
         if registry.enabled:
             registry.counter("runtime.cells_requested").inc(requested)
             registry.counter("runtime.cells_run").inc(ran)
-            registry.counter("runtime.cells_cached").inc(
-                requested - ran - dupes
-            )
+            registry.counter("runtime.cells_cached").inc(cached)
             registry.counter("runtime.cells_deduped").inc(dupes)
             registry.counter("runtime.batches").inc()
             registry.histogram("runtime.batch_seconds").observe(elapsed)
@@ -251,7 +509,7 @@ class CampaignEngine:
         platform: Platform,
         target: MemoryTarget,
         config: PipelineConfig = PipelineConfig(),
-    ) -> RunResult:
+    ) -> Optional[RunResult]:
         """Run (or recall) a single cell."""
         return self.run_cells([Cell(workload, platform, target, config)])[0]
 
@@ -273,6 +531,41 @@ class CampaignEngine:
             metrics().gauge("runtime.jobs_clamped").set(clamped)
         return effective
 
+    def _checkpoint_step(self, n_pending: int) -> int:
+        """Sub-batch size for the fail-fast path under a checkpointer."""
+        every = getattr(self.checkpointer, "every", 0) \
+            if self.checkpointer is not None else 0
+        if every and every > 0:
+            return max(1, min(n_pending, int(every)))
+        return max(1, n_pending)
+
+    def _execute_batches(
+        self,
+        pending: List[Cell],
+        pending_keys: List[str],
+        resolved: Dict[str, Optional[RunResult]],
+    ) -> int:
+        """Fail-fast execution, split into checkpoint-sized sub-batches.
+
+        Without a checkpointer this is one ``_execute`` call, exactly the
+        historical behaviour; with one, progress persists every ``every``
+        completed cells so ``--resume`` loses at most one sub-batch.
+        """
+        if not pending:
+            return 0
+        step = self._checkpoint_step(len(pending))
+        done = 0
+        for lo in range(0, len(pending), step):
+            chunk = pending[lo:lo + step]
+            chunk_keys = pending_keys[lo:lo + step]
+            for key, result in zip(chunk_keys, self._execute(chunk)):
+                self.cache.put(key, result)
+                resolved[key] = result
+            done += len(chunk)
+            if self.checkpointer is not None:
+                self.checkpointer.tick(len(chunk), self.failed)
+        return done
+
     def _execute(self, pending: List[Cell]) -> List[RunResult]:
         jobs = self._effective_jobs()
         if jobs <= 1 or len(pending) < _MIN_POOL_BATCH:
@@ -281,7 +574,7 @@ class CampaignEngine:
                 metrics().counter("runtime.cells_serial").inc(len(pending))
             return [_execute_cell(cell) for cell in pending]
         try:
-            results = self._execute_pool(pending, jobs)
+            return self._execute_pool(pending, jobs)
         except (OSError, ValueError, ImportError, BrokenProcessPool,
                 pickle.PicklingError):
             # Pool infrastructure unavailable -- fall back, don't fail.
@@ -290,10 +583,15 @@ class CampaignEngine:
             metrics().counter("runtime.pool_fallbacks").inc()
             metrics().counter("runtime.cells_serial").inc(len(pending))
             return [_execute_cell(cell) for cell in pending]
-        self.stats.cells_pool += len(pending)
-        return results
 
     def _execute_pool(self, pending: List[Cell], jobs: int) -> List[RunResult]:
+        """Pooled execution; a mid-map pool break resubmits only the rest.
+
+        ``pool.map`` yields results in submission order, so consuming it
+        incrementally tells us exactly which prefix completed before a
+        worker died; only the remainder re-runs serially
+        (``cells_resubmitted``), not the whole batch.
+        """
         import multiprocessing as mp
 
         try:
@@ -302,20 +600,202 @@ class CampaignEngine:
             context = mp.get_context()
         chunksize = _pool_chunksize(len(pending), jobs)
         start = time.perf_counter()
+        timed: List[Tuple[RunResult, float]] = []
+        broke = False
         with ProcessPoolExecutor(
             max_workers=jobs, mp_context=context
         ) as pool:
-            timed = list(
-                pool.map(_execute_cell_timed, pending, chunksize=chunksize)
-            )
+            try:
+                for item in pool.map(
+                    _execute_cell_timed, pending, chunksize=chunksize
+                ):
+                    timed.append(item)
+            except BrokenProcessPool:
+                broke = True
         wall = time.perf_counter() - start
         busy = sum(duration for _, duration in timed)
         self.stats.pool_busy_s += busy
         self.stats.pool_wall_s += jobs * wall
+        self.stats.cells_pool += len(timed)
         registry = metrics()
         if registry.enabled:
-            registry.counter("runtime.cells_pool").inc(len(pending))
+            if timed:
+                registry.counter("runtime.cells_pool").inc(len(timed))
             registry.gauge("runtime.worker_utilization").set(
                 self.stats.worker_utilization()
             )
+        if broke:
+            rest = pending[len(timed):]
+            self.stats.pool_fallbacks += 1
+            self.stats.cells_resubmitted += len(rest)
+            self.stats.cells_serial += len(rest)
+            if registry.enabled:
+                registry.counter("runtime.pool_fallbacks").inc()
+                registry.counter("runtime.cells_resubmitted").inc(len(rest))
+                registry.counter("runtime.cells_serial").inc(len(rest))
+            timed.extend(_execute_cell_timed(cell) for cell in rest)
         return [result for result, _ in timed]
+
+    # -- resilient mode ----------------------------------------------------
+
+    def _execute_resilient(
+        self,
+        pending: List[Cell],
+        pending_keys: List[str],
+        resolved: Dict[str, Optional[RunResult]],
+    ) -> int:
+        """Retry/timeout/quarantine execution under ``self.policy``.
+
+        A pool first-pass handles the happy path cheaply when it is safe
+        (no per-cell timeout requested); everything it could not finish
+        drains through the isolated serial loop, which forks one
+        subprocess per attempt so crashes and hangs cannot take the
+        campaign down.  Backoff sleeps happen just before a retry runs,
+        via the injectable ``sleep_fn``.
+        """
+        policy = self.policy
+        queue: Deque[Tuple[Cell, str, int]] = deque(
+            (cell, key, 1) for cell, key in zip(pending, pending_keys)
+        )
+        ok = 0
+        jobs = self._effective_jobs()
+        if (
+            policy.timeout_s is None
+            and jobs > 1
+            and len(queue) >= _MIN_POOL_BATCH
+        ):
+            queue, ok = self._resilient_pool_pass(queue, jobs, resolved)
+        while queue:
+            cell, key, attempt = queue.popleft()
+            if attempt > 1:
+                delay = policy.backoff_s(key, attempt - 1)
+                if delay > 0:
+                    self.sleep_fn(delay)
+            outcome, payload = _run_cell_isolated(
+                cell, attempt, policy.timeout_s
+            )
+            if outcome == "ok":
+                self._complete(key, payload, resolved)
+                self.stats.cells_serial += 1
+                ok += 1
+                continue
+            if outcome == "timeout":
+                self.stats.cells_timeout += 1
+                metrics().counter("runtime.cells_timeout").inc()
+            if attempt >= policy.max_attempts:
+                self._quarantine(cell, key, attempt, outcome, str(payload))
+            else:
+                self.stats.cells_retried += 1
+                metrics().counter("runtime.cells_retried").inc()
+                queue.append((cell, key, attempt + 1))
+        return ok
+
+    def _resilient_pool_pass(
+        self,
+        queue: Deque[Tuple[Cell, str, int]],
+        jobs: int,
+        resolved: Dict[str, Optional[RunResult]],
+    ) -> Tuple[Deque[Tuple[Cell, str, int]], int]:
+        """One optimistic pool sweep; failures fall through to the loop.
+
+        A worker death breaks the pool for every unfinished future; those
+        cells re-queue *without* an attempt charge (the culprit is
+        unknown), while a future that carries a genuine exception charges
+        its attempt like a serial failure would.
+        """
+        items = list(queue)
+        retry: Deque[Tuple[Cell, str, int]] = deque()
+        ok = 0
+        import multiprocessing as mp
+
+        try:
+            context = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = mp.get_context()
+        start = time.perf_counter()
+        try:
+            pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+        except (OSError, ValueError, ImportError):
+            self.stats.pool_fallbacks += 1
+            metrics().counter("runtime.pool_fallbacks").inc()
+            return deque(items), 0
+        completed = 0
+        with pool:
+            try:
+                futures = [
+                    (pool.submit(_execute_cell_attempt, cell, attempt),
+                     cell, key, attempt)
+                    for cell, key, attempt in items
+                ]
+            except (BrokenProcessPool, pickle.PicklingError, OSError):
+                self.stats.pool_fallbacks += 1
+                metrics().counter("runtime.pool_fallbacks").inc()
+                return deque(items), 0
+            broke = False
+            for future, cell, key, attempt in futures:
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    broke = True
+                    retry.append((cell, key, attempt))
+                except (pickle.PicklingError, OSError):
+                    retry.append((cell, key, attempt))
+                except Exception as exc:  # noqa: BLE001 -- worker raised
+                    if attempt >= self.policy.max_attempts:
+                        self._quarantine(
+                            cell, key, attempt, "error",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    else:
+                        self.stats.cells_retried += 1
+                        metrics().counter("runtime.cells_retried").inc()
+                        retry.append((cell, key, attempt + 1))
+                else:
+                    self._complete(key, result, resolved)
+                    completed += 1
+                    ok += 1
+        wall = time.perf_counter() - start
+        self.stats.pool_wall_s += jobs * wall
+        self.stats.cells_pool += completed
+        registry = metrics()
+        if registry.enabled and completed:
+            registry.counter("runtime.cells_pool").inc(completed)
+        if broke:
+            self.stats.pool_fallbacks += 1
+            self.stats.cells_resubmitted += len(retry)
+            if registry.enabled:
+                registry.counter("runtime.pool_fallbacks").inc()
+                registry.counter("runtime.cells_resubmitted").inc(
+                    len(retry)
+                )
+        return retry, ok
+
+    def _complete(
+        self,
+        key: str,
+        result: RunResult,
+        resolved: Dict[str, Optional[RunResult]],
+    ) -> None:
+        """Record one successful cell (cache, result map, checkpoint)."""
+        self.cache.put(key, result)
+        resolved[key] = result
+        if self.checkpointer is not None:
+            self.checkpointer.tick(1, self.failed)
+
+    def _quarantine(
+        self, cell: Cell, key: str, attempts: int, reason: str, message: str
+    ) -> None:
+        """Give up on a cell: record it, never cache it, keep going."""
+        record = FailedCell(
+            key=key,
+            workload=cell.workload.name,
+            platform=cell.platform.name,
+            target=cell.target.name,
+            attempts=attempts,
+            reason=reason,
+            message=message,
+        )
+        self.failed.append(record)
+        self._quarantined[key] = record
+        self.stats.cells_quarantined += 1
+        metrics().counter("runtime.cells_quarantined").inc()

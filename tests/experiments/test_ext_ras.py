@@ -1,0 +1,44 @@
+"""RAS-tolerance experiment: faults inflate tails, medians hold steady."""
+
+import pytest
+
+from repro.experiments import ext_ras_tolerance
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_ras_tolerance.run(fast=True)
+
+
+class TestRasTolerance:
+    def test_faults_were_injected(self, result):
+        assert result.faults_were_injected()
+        for row in result.rows:
+            assert row.injected_retries > 0
+            assert row.ecc_corrected > 0
+
+    def test_tails_inflate_medians_stable(self, result):
+        assert result.tails_inflate()
+        assert result.medians_stable()
+        for row in result.rows:
+            assert row.tail_amplification > 1.0
+            assert abs(row.median_shift_pct) < 20.0
+
+    def test_covers_all_devices(self, result):
+        assert tuple(r.device for r in result.rows) == \
+            ext_ras_tolerance.DEVICES
+        row = result.row("CXL-C")
+        assert row.device == "CXL-C"
+        with pytest.raises(KeyError):
+            result.row("CXL-Z")
+
+    def test_render_has_table_and_verdict(self, result):
+        text = ext_ras_tolerance.render(result)
+        assert "RAS p50" in text and "tail amp" in text
+        for device in ext_ras_tolerance.DEVICES:
+            assert device in text
+        assert "tails inflate" in text
+
+    def test_deterministic(self, result):
+        again = ext_ras_tolerance.run(fast=True)
+        assert again.rows == result.rows

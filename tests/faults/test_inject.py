@@ -1,0 +1,154 @@
+"""Fault-injection tests: identity contracts, counters, engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultEpisode, FaultPlan, fault_injection
+from repro.hw.cxl.eventdevice import EventDrivenDevice
+
+N = 4000
+LOAD = 8.0
+SPAN_NS = N * 64 / LOAD  # expected arrival span at LOAD GB/s
+
+
+@pytest.fixture
+def sim(device_a):
+    return EventDrivenDevice(device_a)
+
+
+def kitchen_sink(seed=7):
+    return FaultPlan(
+        name="everything",
+        seed=seed,
+        episodes=(
+            FaultEpisode(kind="link_retry_storm", start_ns=0.0,
+                         duration_ns=2 * SPAN_NS, retry_multiplier=400.0),
+            FaultEpisode(kind="thermal_throttle", start_ns=0.0,
+                         duration_ns=2 * SPAN_NS, temperature_c=95.0),
+            FaultEpisode(kind="device_dropout", start_ns=SPAN_NS / 4,
+                         duration_ns=SPAN_NS / 10),
+            FaultEpisode(kind="ecc", start_ns=0.0, duration_ns=2 * SPAN_NS,
+                         ecc_single_prob=0.02, ecc_multi_prob=0.002),
+        ),
+    )
+
+
+class TestNeutrality:
+    """No plan, an empty plan, and a cleared plan are indistinguishable."""
+
+    def test_empty_plan_is_byte_identical(self, sim):
+        bare = sim.simulate(N, LOAD, engine="vector")
+        with fault_injection(FaultPlan(name="empty")):
+            covered = sim.simulate(N, LOAD, engine="vector")
+        assert np.array_equal(bare.latencies_ns, covered.latencies_ns)
+        assert covered.link_retries == bare.link_retries
+        assert covered.fault_plan is None
+        assert covered.injected_retries == 0
+        assert covered.poisoned_reads == 0
+
+    def test_plan_removal_restores_fault_free(self, sim):
+        bare = sim.simulate(N, LOAD, engine="vector")
+        with fault_injection(kitchen_sink()):
+            sim.simulate(N, LOAD, engine="vector")
+        after = sim.simulate(N, LOAD, engine="vector")
+        assert np.array_equal(bare.latencies_ns, after.latencies_ns)
+
+
+class TestInjection:
+    def test_storm_injects_retries(self, sim):
+        bare = sim.simulate(N, LOAD, engine="vector")
+        plan = FaultPlan(
+            name="storm",
+            episodes=(
+                FaultEpisode(kind="link_retry_storm", start_ns=0.0,
+                             duration_ns=2 * SPAN_NS,
+                             retry_multiplier=400.0),
+            ),
+        )
+        with fault_injection(plan):
+            stormy = sim.simulate(N, LOAD, engine="vector")
+        assert stormy.fault_plan == plan.key()
+        assert stormy.injected_retries > 0
+        assert stormy.link_retries > bare.link_retries
+        assert stormy.percentile(99.9) > bare.percentile(99.9)
+
+    def test_dropout_poisons_window(self, sim):
+        from repro.hw.cxl.device import HOST_OVERHEAD_NS
+
+        plan = FaultPlan(
+            name="dropout",
+            episodes=(
+                FaultEpisode(kind="device_dropout", start_ns=0.0,
+                             duration_ns=SPAN_NS / 8,
+                             dropout_latency_ns=350.0),
+            ),
+        )
+        with fault_injection(plan):
+            result = sim.simulate(N, LOAD, engine="vector")
+        assert result.poisoned_reads > 0
+        # Poisoned completions land at exactly the dropout path latency.
+        expected = 350.0 + HOST_OVERHEAD_NS
+        hits = int(np.sum(result.latencies_ns == expected))
+        assert hits == result.poisoned_reads
+
+    def test_ecc_corrections_counted_and_charged(self, sim):
+        bare = sim.simulate(N, LOAD, engine="vector")
+        plan = FaultPlan(
+            name="ecc",
+            episodes=(
+                FaultEpisode(kind="ecc", start_ns=0.0,
+                             duration_ns=2 * SPAN_NS,
+                             ecc_single_prob=0.05,
+                             ecc_correction_ns=60.0),
+            ),
+        )
+        with fault_injection(plan):
+            result = sim.simulate(N, LOAD, engine="vector")
+        assert result.ecc_corrected > 0
+        # Total added latency is exactly corrections x stall.
+        added = float(result.latencies_ns.sum() - bare.latencies_ns.sum())
+        assert added == pytest.approx(result.ecc_corrected * 60.0)
+
+    def test_throttle_derates_service(self, sim):
+        bare = sim.simulate(N, LOAD, engine="vector")
+        plan = FaultPlan(
+            name="hot",
+            episodes=(
+                FaultEpisode(kind="thermal_throttle", start_ns=0.0,
+                             duration_ns=2 * SPAN_NS, temperature_c=95.0),
+            ),
+        )
+        with fault_injection(plan):
+            result = sim.simulate(N, LOAD, engine="vector")
+        assert result.throttled_requests > 0
+        assert result.latencies_ns.mean() > bare.latencies_ns.mean()
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("device_fixture", ["device_a", "device_c"])
+    def test_scalar_vector_identical_under_faults(self, request,
+                                                  device_fixture):
+        sim = EventDrivenDevice(request.getfixturevalue(device_fixture))
+        with fault_injection(kitchen_sink()):
+            scalar = sim.simulate(N, LOAD, engine="scalar")
+            vector = sim.simulate(N, LOAD, engine="vector")
+        assert np.array_equal(scalar.latencies_ns, vector.latencies_ns)
+        assert scalar.link_retries == vector.link_retries
+        assert scalar.injected_retries == vector.injected_retries
+        assert scalar.poisoned_reads == vector.poisoned_reads
+        assert scalar.ecc_corrected == vector.ecc_corrected
+        assert scalar.throttled_requests == vector.throttled_requests
+
+    def test_same_plan_two_runs_identical(self, sim):
+        with fault_injection(kitchen_sink()):
+            one = sim.simulate(N, LOAD, engine="vector")
+            two = sim.simulate(N, LOAD, engine="vector")
+        assert np.array_equal(one.latencies_ns, two.latencies_ns)
+        assert one.injected_retries == two.injected_retries
+
+    def test_different_seed_different_faults(self, sim):
+        with fault_injection(kitchen_sink(seed=7)):
+            one = sim.simulate(N, LOAD, engine="vector")
+        with fault_injection(kitchen_sink(seed=8)):
+            two = sim.simulate(N, LOAD, engine="vector")
+        assert not np.array_equal(one.latencies_ns, two.latencies_ns)

@@ -1,0 +1,165 @@
+"""Checkpoint tests: cadence, round trips, recovery, and SIGKILL resume."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.core.melody import Melody
+from repro.errors import ConfigurationError
+from repro.faults.harness import chaos_campaign
+from repro.faults.plan import FaultPlan, FaultEpisode, fault_injection
+from repro.runtime.cache import RunCache
+from repro.runtime.checkpoint import (
+    Checkpointer,
+    campaign_fingerprint,
+    checkpoint_path,
+    load_checkpoint,
+)
+from repro.runtime.executor import CampaignEngine, FailedCell
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@pytest.fixture
+def failed_record():
+    return FailedCell(key="k1", workload="w", platform="EMR2S",
+                      target="CXL-A", attempts=3, reason="crash")
+
+
+class TestCheckpointer:
+    def test_write_cadence(self, tmp_path, failed_record):
+        ckpt = Checkpointer(cache_dir=str(tmp_path), fingerprint="f" * 32,
+                            name="t", total_cells=10, every=3)
+        ckpt.tick(1, [])
+        ckpt.tick(1, [])
+        assert ckpt.writes == 0
+        ckpt.tick(1, [failed_record])
+        assert ckpt.writes == 1
+        ckpt.flush([])  # nothing new since the write
+        assert ckpt.writes == 1
+        ckpt.tick(1, [])
+        ckpt.flush([])
+        assert ckpt.writes == 2
+
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="interval"):
+            Checkpointer(cache_dir=str(tmp_path), fingerprint="f" * 32,
+                         every=0)
+
+    def test_round_trip_with_failed_cells(self, tmp_path, failed_record):
+        ckpt = Checkpointer(cache_dir=str(tmp_path), fingerprint="a" * 32,
+                            name="rt", total_cells=5, every=1)
+        ckpt.tick(4, [failed_record])
+        state = load_checkpoint(str(tmp_path), "a" * 32)
+        assert state.completed_cells == 4
+        assert state.total_cells == 5
+        assert not state.complete
+        assert state.failed == (failed_record,)
+        ckpt.finalize([failed_record])
+        assert load_checkpoint(str(tmp_path), "a" * 32).complete
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path), "b" * 32) is None
+
+    def test_corrupt_checkpoint_deleted_and_none(self, tmp_path):
+        path = checkpoint_path(str(tmp_path), "c" * 32)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as handle:
+            handle.write("{truncated by a kill")
+        assert load_checkpoint(str(tmp_path), "c" * 32) is None
+        assert not os.path.exists(path)
+
+    def test_stale_version_rejected(self, tmp_path):
+        path = checkpoint_path(str(tmp_path), "d" * 32)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as handle:
+            json.dump({"version": 99, "fingerprint": "d" * 32}, handle)
+        assert load_checkpoint(str(tmp_path), "d" * 32) is None
+
+
+class TestFingerprint:
+    def test_stable_and_campaign_sensitive(self):
+        a = chaos_campaign(4)
+        b = chaos_campaign(4)
+        c = chaos_campaign(3)
+        assert campaign_fingerprint(a) == campaign_fingerprint(b)
+        assert campaign_fingerprint(a) != campaign_fingerprint(c)
+
+    def test_fault_plan_changes_fingerprint(self):
+        campaign = chaos_campaign(4)
+        bare = campaign_fingerprint(campaign)
+        plan = FaultPlan(name="p", episodes=(FaultEpisode(kind="ecc"),))
+        with fault_injection(plan):
+            faulted = campaign_fingerprint(campaign)
+        with fault_injection(FaultPlan(name="empty")):
+            disabled = campaign_fingerprint(campaign)
+        assert faulted != bare
+        assert disabled == bare  # empty plan is indistinguishable
+
+
+class TestSigkillResume:
+    """A campaign killed between checkpoints resumes without re-running."""
+
+    CHILD = textwrap.dedent("""\
+        import os, sys
+        sys.path.insert(0, sys.argv[1])
+        cache_dir = sys.argv[2]
+        from repro.faults.harness import chaos_campaign
+        from repro.runtime import (
+            CampaignEngine, Checkpointer, RunCache, campaign_fingerprint,
+        )
+        from repro.runtime.executor import Cell
+
+        campaign = chaos_campaign(4)
+        cells = [
+            Cell(w, campaign.platform, t, campaign.config)
+            for t in (campaign.platform.local_target(),) + campaign.targets
+            for w in campaign.workloads
+        ]
+        engine = CampaignEngine(cache=RunCache(cache_dir))
+        engine.checkpointer = Checkpointer(
+            cache_dir=cache_dir,
+            fingerprint=campaign_fingerprint(campaign),
+            name=campaign.name,
+            total_cells=len(cells),
+            every=1,
+        )
+        engine.run_cells(cells[:3])
+        os._exit(9)  # abrupt death, SIGKILL-style: no flush, no finalize
+    """)
+
+    def test_resume_after_kill_identical_and_incremental(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        script = tmp_path / "child.py"
+        script.write_text(self.CHILD)
+        proc = subprocess.run(
+            [sys.executable, str(script), SRC_DIR, cache_dir],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 9, proc.stderr
+
+        campaign = chaos_campaign(4)
+        fingerprint = campaign_fingerprint(campaign)
+        state = load_checkpoint(cache_dir, fingerprint)
+        assert state is not None and not state.complete
+        assert state.completed_cells == 3
+        assert state.failed == ()
+
+        # Resume: same cache dir; the three checkpointed cells must be
+        # served from disk, everything else runs fresh.
+        engine = CampaignEngine(cache=RunCache(cache_dir))
+        engine.restore_quarantine(state.failed)
+        resumed = Melody(engine=engine).run(campaign)
+        total_unique = 2 * len(campaign.workloads)  # baseline + device
+        assert engine.stats.cells_run == total_unique - 3
+        assert engine.stats.cells_cached >= 3
+
+        fresh = Melody(engine=CampaignEngine(cache=RunCache())).run(campaign)
+        assert [r.slowdown_pct for r in resumed.records] == [
+            r.slowdown_pct for r in fresh.records
+        ]

@@ -139,6 +139,40 @@ class TestParallel:
         assert engine.stats.cells_pool == 0
         assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
 
+    def test_partial_pool_break_resubmits_only_rest(self, grid, monkeypatch,
+                                                    quad_cpu):
+        """Cells finished before the pool broke are kept, not re-run."""
+        k = 2
+
+        class PartialPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                items = list(items)
+
+                def gen():
+                    for item in items[:k]:
+                        yield fn(item)
+                    raise BrokenProcessPool("worker died mid-map")
+
+                return gen()
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", PartialPool)
+        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        results = engine.run_cells(grid)
+        assert engine.stats.pool_fallbacks == 1
+        assert engine.stats.cells_pool == k
+        assert engine.stats.cells_resubmitted == len(grid) - k
+        assert engine.stats.cells_serial == len(grid) - k
+        assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
+
     def test_pool_vs_serial_cells_counted(self, grid, quad_cpu):
         serial = CampaignEngine(cache=RunCache(), jobs=1)
         serial.run_cells(grid)

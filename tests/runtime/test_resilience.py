@@ -1,0 +1,170 @@
+"""Resilient-executor tests: retry, backoff (fake clock), timeout, quarantine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.chaos import ChaosPolicy, chaos_injection
+from repro.runtime.cache import RunCache
+from repro.runtime.executor import (
+    CampaignEngine,
+    Cell,
+    FailedCell,
+    RetryPolicy,
+)
+
+
+@pytest.fixture
+def cells(simple_workload, compute_workload, bandwidth_workload, emr,
+          device_a):
+    workloads = (simple_workload, compute_workload, bandwidth_workload)
+    return [Cell(w, emr, device_a) for w in workloads]
+
+
+def resilient_engine(**policy_kwargs):
+    defaults = dict(max_attempts=3, backoff_base_s=0.0)
+    defaults.update(policy_kwargs)
+    return CampaignEngine(
+        cache=RunCache(), policy=RetryPolicy(**defaults)
+    )
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError, match="jitter_frac"):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(ConfigurationError, match="backoff_max_s"):
+            RetryPolicy(backoff_base_s=1.0, backoff_max_s=0.5)
+
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.5, jitter_frac=0.25, seed=4)
+        for attempt in range(1, 6):
+            a = policy.backoff_s("cell-x", attempt)
+            assert a == policy.backoff_s("cell-x", attempt)
+            nominal = min(0.1 * 2.0 ** (attempt - 1), 0.5)
+            assert nominal * 0.75 <= a <= nominal * 1.25
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(backoff_base_s=0.0, backoff_max_s=2.0)
+        assert policy.backoff_s("cell-x", 1) == 0.0
+
+
+class TestQuarantine:
+    def test_doomed_cell_quarantined_others_survive(self, cells):
+        engine = resilient_engine()
+        doomed = cells[1].key()
+        with chaos_injection(ChaosPolicy(doomed=(doomed,))):
+            results = engine.run_cells(cells)
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+        [record] = engine.failed
+        assert record.key == doomed
+        assert record.reason == "error"
+        assert record.attempts == 3
+        assert record.workload == cells[1].workload.name
+        assert engine.stats.cells_quarantined == 1
+        assert engine.stats.cells_retried == 2
+        assert "quarantined" in engine.stats.summary()
+
+    def test_quarantined_cell_not_cached_and_not_rerun(self, cells):
+        engine = resilient_engine()
+        doomed = cells[0].key()
+        with chaos_injection(ChaosPolicy(doomed=(doomed,))):
+            engine.run_cells(cells)
+        assert engine.cache.get(doomed) is None
+        ran_before = engine.stats.cells_run
+        again = engine.run_cells(cells)  # no chaos needed: ledger blocks it
+        assert again[0] is None
+        assert engine.stats.cells_run == ran_before
+        assert len(engine.failed) == 2  # re-reported per requesting batch
+
+    def test_restore_quarantine_short_circuits(self, cells):
+        record = FailedCell(
+            key=cells[2].key(), workload=cells[2].workload.name,
+            platform="EMR2S", target=cells[2].target.name,
+            attempts=3, reason="crash",
+        )
+        engine = resilient_engine()
+        assert engine.restore_quarantine([record]) == 1
+        results = engine.run_cells(cells)
+        assert results[2] is None
+        assert engine.stats.cells_run == 2
+        assert engine.failed == [record]
+
+    def test_failed_cell_round_trips(self):
+        record = FailedCell(
+            key="k", workload="w", platform="p", target="t",
+            attempts=2, reason="timeout", message="cell exceeded 1.0s",
+        )
+        assert FailedCell.from_dict(record.to_dict()) == record
+
+
+class TestBackoffClock:
+    def test_backoff_uses_injected_clock_no_real_sleep(self, cells):
+        engine = resilient_engine(
+            backoff_base_s=0.5, backoff_factor=2.0, backoff_max_s=4.0,
+            jitter_frac=0.25, seed=11,
+        )
+        slept = []
+        engine.sleep_fn = slept.append
+        doomed = cells[0].key()
+        with chaos_injection(ChaosPolicy(doomed=(doomed,))):
+            engine.run_cells([cells[0]])
+        policy = engine.policy
+        # Two retries -> exactly the seeded schedule, through the fake
+        # clock only (real sleeps of 0.5s+ would blow the test budget).
+        assert slept == [
+            policy.backoff_s(doomed, 1),
+            policy.backoff_s(doomed, 2),
+        ]
+
+    def test_transient_kill_retried_to_success(self, cells):
+        engine = resilient_engine(max_attempts=2)
+        engine.sleep_fn = lambda s: None
+        chaos = ChaosPolicy(kill_prob=1.0, max_sabotaged_attempt=1, seed=3)
+        with chaos_injection(chaos):
+            results = engine.run_cells(cells)
+        assert all(r is not None for r in results)
+        assert engine.failed == []
+        assert engine.stats.cells_retried == len(cells)
+        serial = CampaignEngine(cache=RunCache()).run_cells(cells)
+        assert results == serial
+
+
+class TestTimeout:
+    def test_hang_times_out_then_succeeds(self, cells):
+        engine = resilient_engine(max_attempts=2, timeout_s=0.3)
+        chaos = ChaosPolicy(hang_prob=1.0, hang_s=20.0,
+                            max_sabotaged_attempt=1)
+        with chaos_injection(chaos):
+            results = engine.run_cells([cells[0]])
+        assert results[0] is not None
+        assert engine.stats.cells_timeout == 1
+        assert engine.stats.cells_retried == 1
+        assert engine.failed == []
+
+    def test_persistent_hang_quarantined_as_timeout(self, cells):
+        engine = resilient_engine(max_attempts=1, timeout_s=0.3)
+        chaos = ChaosPolicy(hang_prob=1.0, hang_s=20.0,
+                            max_sabotaged_attempt=1)
+        with chaos_injection(chaos):
+            results = engine.run_cells([cells[1]])
+        assert results[0] is None
+        [record] = engine.failed
+        assert record.reason == "timeout"
+        assert "0.3" in record.message
+
+    def test_persistent_crash_quarantined_as_crash(self, cells):
+        engine = resilient_engine(max_attempts=2)
+        engine.sleep_fn = lambda s: None
+        chaos = ChaosPolicy(kill_prob=1.0, max_sabotaged_attempt=2)
+        with chaos_injection(chaos):
+            results = engine.run_cells([cells[2]])
+        assert results[0] is None
+        [record] = engine.failed
+        assert record.reason == "crash"
+        assert record.attempts == 2

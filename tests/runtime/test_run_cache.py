@@ -154,6 +154,32 @@ class TestHygiene:
         assert cache.get(key) is None
         assert not path.exists()
         assert cache.corrupt_dropped == 1
+        assert cache.recovered == 1
+
+    def test_recovery_visible_in_metrics(self, tmp_path, run,
+                                         simple_workload, emr, device_a):
+        from repro import obs
+
+        key = run_key(simple_workload, emr, device_a)
+        RunCache(str(tmp_path)).put(key, run)
+        self._entry_path(tmp_path, key).write_text("{not json")
+        obs.enable_metrics()
+        try:
+            RunCache(str(tmp_path)).get(key)
+            counter = obs.metrics().counter("runtime.cache_recovered")
+            assert counter.value == 1
+        finally:
+            obs.disable_metrics()
+
+    def test_prune_does_not_count_as_recovery(self, tmp_path, run,
+                                              simple_workload, emr,
+                                              device_a):
+        key = run_key(simple_workload, emr, device_a)
+        cache = RunCache(str(tmp_path))
+        cache.put(key, run)
+        self._entry_path(tmp_path, key).write_text("{not json")
+        cache.prune()
+        assert cache.recovered == 0
 
     def test_corrupt_blob_deleted_on_detection(self, tmp_path, run,
                                                simple_workload, emr,
