@@ -43,7 +43,10 @@ def _configure_runtime(args):
     from repro.runtime import configure_runtime
 
     return configure_runtime(
-        jobs=args.jobs, cache_dir=args.cache_dir, policy=_retry_policy(args)
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        policy=_retry_policy(args),
+        mode=getattr(args, "engine", None),
     )
 
 
@@ -514,9 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=5.0,
                    help="CPMU operating load in GB/s")
     p.add_argument("--engine", default="auto",
-                   choices=["auto", "scalar", "vector"],
+                   choices=["auto", "scalar", "vector", "batch"],
                    help="event-simulation engine for the sim battery "
-                   "(auto = vector unless tracing)")
+                   "(auto = vector unless tracing; batch = fused "
+                   "batch kernels, here over a batch of one)")
     p.add_argument("--fault-plan", default=None, metavar="PATH",
                    help="JSON FaultPlan to inject into the sim battery")
     _add_obs_flags(p)
@@ -533,6 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="export dataset JSON")
     p.add_argument("--jobs", type=int, default=None,
                    help="parallel worker processes (default: serial)")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "serial", "pool", "batch"],
+                   help="cell execution strategy: auto consults the "
+                   "planner cost model per batch of cells; serial/pool/"
+                   "batch force one strategy (results are byte-identical "
+                   "across all of them)")
     p.add_argument("--cache-dir", default=None,
                    help="on-disk run cache shared across invocations")
     p.add_argument("--strict", action="store_true",

@@ -283,6 +283,105 @@ def check_eventsim_engine_identity(ctx: DiagContext) -> Iterator[Violation]:
 
 
 @invariant(
+    name="eventsim-batch-identity",
+    layer="device",
+    description="the fused batch kernels return byte-identical results to "
+    "solo execution for every cell, including under fault plans",
+)
+def check_eventsim_batch_identity(ctx: DiagContext) -> Iterator[Violation]:
+    """Batched execution is indistinguishable from solo, cell by cell.
+
+    One heterogeneous batch fuses every device at every operating point;
+    a second batch runs under a fault plan exercising the per-cell RNG
+    streams (retry storm mutates the retry draws, a thermal window
+    applies ``service_scale``).  A divergence anywhere means the
+    planner's strategy choice could leak into figures.
+    """
+    import numpy as np
+
+    from repro.faults.plan import FaultEpisode, FaultPlan, fault_injection
+    from repro.hw.cxl.eventdevice import EventDrivenDevice, simulate_batch
+
+    devices = ctx.cxl_devices()
+    sims = [EventDrivenDevice(device, seed=ctx.seed) for device in devices]
+    points = [
+        (
+            sim,
+            _ENGINE_CHECK_REQUESTS,
+            load_fraction * sim.device.peak_bandwidth_gbps(1.0),
+            read_fraction,
+        )
+        for sim in sims
+        for load_fraction, read_fraction in _ENGINE_CHECK_POINTS
+    ]
+    plan = FaultPlan(
+        name="diag-batch-identity",
+        episodes=(
+            FaultEpisode(
+                kind="link_retry_storm", start_ns=2_000, duration_ns=30_000
+            ),
+            FaultEpisode(
+                kind="thermal_throttle", start_ns=10_000, duration_ns=40_000
+            ),
+        ),
+    )
+    subjects(check_eventsim_batch_identity, 2 * len(points))
+
+    def sweep(label):
+        solo = [
+            sim.simulate(n, load, read_fraction=rf, engine="vector")
+            for sim, n, load, rf in points
+        ]
+        batched = simulate_batch(points)
+        for (sim, _, load, rf), s, b in zip(points, solo, batched):
+            subject = f"{sim.device.name}@{load:.1f}gbps/rf{rf}{label}"
+            if not np.array_equal(s.latencies_ns, b.latencies_ns):
+                diff = np.abs(s.latencies_ns - b.latencies_ns)
+                yield Violation(
+                    layer="device",
+                    check="eventsim-batch-identity",
+                    subject=subject,
+                    message="batched latencies diverge from solo execution",
+                    context={
+                        "diverging_requests": int(
+                            np.count_nonzero(diff > 0.0)
+                        ),
+                        "max_abs_diff_ns": float(diff.max()),
+                    },
+                )
+            mismatched = {
+                name: {"solo": sv, "batch": bv}
+                for name, (sv, bv) in {
+                    "bank_conflicts": (s.bank_conflicts, b.bank_conflicts),
+                    "refresh_collisions": (
+                        s.refresh_collisions, b.refresh_collisions
+                    ),
+                    "link_retries": (s.link_retries, b.link_retries),
+                    "injected_retries": (
+                        s.injected_retries, b.injected_retries
+                    ),
+                    "throttled_requests": (
+                        s.throttled_requests, b.throttled_requests
+                    ),
+                }.items()
+                if sv != bv
+            }
+            if mismatched:
+                yield Violation(
+                    layer="device",
+                    check="eventsim-batch-identity",
+                    subject=subject,
+                    message="batched event counters diverge from solo "
+                    "execution",
+                    context=mismatched,
+                )
+
+    yield from sweep("")
+    with fault_injection(plan):
+        yield from sweep("/faulted")
+
+
+@invariant(
     name="table1-calibration",
     layer="device",
     description="instantiated devices reproduce their Table 1 operating "

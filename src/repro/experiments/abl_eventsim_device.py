@@ -24,7 +24,8 @@ from typing import Dict, List
 
 from repro.analysis.report import Table
 from repro.hw.cxl import CXL_DEVICES
-from repro.hw.cxl.eventdevice import EventDrivenDevice
+from repro.hw.cxl.eventdevice import compare_result_with_analytic
+from repro.runtime import SimCell, get_engine
 
 LOADS_FRACTION = (0.1, 0.5, 0.8)
 """Loads as fractions of each device's read bandwidth."""
@@ -60,22 +61,34 @@ class EventSimComparison:
 def run(fast: bool = True, engine: str = "auto") -> EventSimComparison:
     """Compare every device at three load points.
 
-    ``engine`` selects the event-simulation implementation (``auto`` uses
-    the vectorized kernels; ``scalar`` forces the reference loop).  Both
-    are bit-identical, so the rendered table does not depend on it.
+    ``engine`` selects the event-simulation implementation (``auto`` lets
+    the runtime planner fuse all twelve operating points into batched
+    kernel calls; ``scalar``/``vector`` pin each cell to a solo engine).
+    Every engine is bit-identical, so the rendered table does not depend
+    on the choice -- only the wall-clock does.
     """
     n = 25_000 if fast else 120_000
-    rows = []
+    cells = []
+    devices = []
     for name, factory in CXL_DEVICES.items():
         device = factory()
-        sim = EventDrivenDevice(device)
         peak = device.peak_bandwidth_gbps()
         for fraction in LOADS_FRACTION:
-            row = sim.compare_with_analytic(
-                fraction * peak, n_requests=n, engine=engine
+            cells.append(
+                SimCell(
+                    device=name,
+                    n_requests=n,
+                    offered_gbps=fraction * peak,
+                    engine=engine,
+                )
             )
-            row["device"] = name
-            rows.append(row)
+            devices.append((name, device))
+    results = get_engine().run_cells(cells)
+    rows = []
+    for (name, device), sim in zip(devices, results):
+        row = compare_result_with_analytic(device, sim)
+        row["device"] = name
+        rows.append(row)
     return EventSimComparison(rows=rows)
 
 

@@ -29,11 +29,17 @@ Two engines compute the identical timeline:
 * ``engine="vector"`` -- the NumPy kernels in
   :mod:`repro.hw.cxl.kernels`; no Python loop over requests, typically
   an order of magnitude faster (``BENCH_eventsim.json``).
+* ``engine="batch"`` -- the same kernels fused across *many* operating
+  points at once (:func:`simulate_batch`): B cells' request streams run
+  through one set of max-plus scans and one rounds loop, amortizing
+  kernel call overhead across a whole campaign chunk.
 * ``engine="auto"`` (default) -- vector, unless a trace buffer is active.
 
-The two engines are bit-identical -- latencies and all event counters --
+All engines are bit-identical -- latencies and all event counters --
 for every device; the ``device`` diag layer enforces this on every
-``repro validate``.
+``repro validate`` (``eventsim-engine-identity`` for scalar vs vector,
+``eventsim-batch-identity`` for batched vs solo, including under fault
+plans).
 
 Observability: when a :class:`~repro.obs.trace.TraceBuffer` is active
 (passed explicitly or installed process-wide via ``--trace``), every Nth
@@ -49,7 +55,7 @@ both).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,7 +63,12 @@ from repro.errors import ConfigurationError
 from repro.faults.inject import apply_fault_plan
 from repro.faults.plan import active_fault_plan
 from repro.hw.cxl.device import HOST_OVERHEAD_NS, CxlDevice
-from repro.hw.cxl.kernels import SimInputs, vector_timeline
+from repro.hw.cxl.kernels import (
+    SimInputs,
+    batch_chunks,
+    batch_timeline,
+    vector_timeline,
+)
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, metrics
 from repro.obs.trace import TraceBuffer, tracing
 from repro.rng import DEFAULT_SEED, generator_for
@@ -66,7 +77,7 @@ from repro.units import CACHELINE_BYTES
 BANKS_PER_CHANNEL = 16
 """DDR4/DDR5 banks per channel visible to the scheduler."""
 
-ENGINES = ("auto", "scalar", "vector")
+ENGINES = ("auto", "scalar", "vector", "batch")
 """Accepted ``engine`` arguments to :meth:`EventDrivenDevice.simulate`."""
 
 
@@ -89,6 +100,53 @@ class EventSimResult:
     ecc_corrected: int = 0
     throttled_requests: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON document for the run cache's disk tier.
+
+        ``tolist()`` yields Python floats and ``json`` writes shortest
+        round-trip reprs, so a reloaded result is bit-identical to the
+        stored one.  No schema version is embedded: :class:`SimCell` keys
+        fold ``FORMAT_VERSION``, so a format bump retires old documents
+        as clean cache misses.
+        """
+        return {
+            "kind": "eventsim",
+            "device": self.device,
+            "offered_gbps": self.offered_gbps,
+            "latencies_ns": self.latencies_ns.tolist(),
+            "bank_conflicts": self.bank_conflicts,
+            "refresh_collisions": self.refresh_collisions,
+            "link_retries": self.link_retries,
+            "read_fraction": self.read_fraction,
+            "engine": self.engine,
+            "fault_plan": self.fault_plan,
+            "injected_retries": self.injected_retries,
+            "poisoned_reads": self.poisoned_reads,
+            "ecc_corrected": self.ecc_corrected,
+            "throttled_requests": self.throttled_requests,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventSimResult":
+        """Rebuild a result stored by :meth:`to_dict`."""
+        if data.get("kind") != "eventsim":
+            raise ValueError("not an eventsim document")
+        return cls(
+            device=data["device"],
+            offered_gbps=data["offered_gbps"],
+            latencies_ns=np.asarray(data["latencies_ns"], dtype=np.float64),
+            bank_conflicts=int(data["bank_conflicts"]),
+            refresh_collisions=int(data["refresh_collisions"]),
+            link_retries=int(data["link_retries"]),
+            read_fraction=data["read_fraction"],
+            engine=data["engine"],
+            fault_plan=data["fault_plan"],
+            injected_retries=int(data["injected_retries"]),
+            poisoned_reads=int(data["poisoned_reads"]),
+            ecc_corrected=int(data["ecc_corrected"]),
+            throttled_requests=int(data["throttled_requests"]),
+        )
+
     @property
     def mean_ns(self) -> float:
         """Mean per-request latency."""
@@ -109,6 +167,44 @@ class EventDrivenDevice:
     def __init__(self, device: CxlDevice, seed: int = DEFAULT_SEED):
         self.device = device
         self.seed = seed
+        self._consts = None
+
+    def _constants(self) -> dict:
+        """Per-device timing constants, computed once per instance.
+
+        ``_prepare`` runs once per campaign cell; walking the device
+        profile's property chains (latency breakdown, link serialization)
+        each time costs tens of microseconds that dwarf small-cell kernel
+        work.  The cached values are the very objects the chains return,
+        so every downstream float is unchanged.  Keyed on the module's
+        ``BANKS_PER_CHANNEL`` so tests that patch it stay correct.
+        """
+        cached = self._consts
+        if cached is not None and cached["banks_per_channel"] == BANKS_PER_CHANNEL:
+            return cached
+        device = self.device
+        profile = device.profile
+        timings = profile.dram.timings
+        link = profile.link
+        cached = {
+            "banks_per_channel": BANKS_PER_CHANNEL,
+            "n_banks": profile.dram.channels * BANKS_PER_CHANNEL,
+            "flit_ns": link.serialization_ns(),
+            "stack_ns": link.stack_latency_ns,
+            "dispatch_ns": CACHELINE_BYTES / profile.backend_gbps,
+            "fixed_mc_ns": device.latency_breakdown_ns()["controller"],
+            "trefi_ns": timings.tREFI,
+            "refresh_block_ns": 0.35 * timings.tRFC,
+            "row_hit_ns": timings.row_hit_ns,
+            "row_miss_ns": timings.row_miss_ns,
+            "row_conflict_ns": timings.row_conflict_ns,
+            "retry_penalty_ns": link.retry_penalty_ns,
+            "retry_probability": link.retry_probability,
+            "row_hit_rate": profile.dram.row_hit_rate,
+            "full_duplex": link.full_duplex,
+        }
+        self._consts = cached
+        return cached
 
     def _prepare(
         self, n_requests: int, offered_gbps: float, read_fraction: float
@@ -122,7 +218,6 @@ class EventDrivenDevice:
         historical default) is unchanged.
         """
         device = self.device
-        profile = device.profile
         key = [
             "eventdevice", device.name,
             f"{offered_gbps:.3f}", f"{n_requests}",
@@ -131,10 +226,9 @@ class EventDrivenDevice:
             key.append(f"rf{read_fraction:.4f}")
         rng = generator_for(self.seed, *key)
 
-        timings = profile.dram.timings
-        n_banks = profile.dram.channels * BANKS_PER_CHANNEL
-        link = profile.link
-        flit_ns = link.serialization_ns()
+        consts = self._constants()
+        n_banks = consts["n_banks"]
+        flit_ns = consts["flit_ns"]
 
         # Arrival process: Poisson with the configured mean rate.
         mean_gap_ns = CACHELINE_BYTES / offered_gbps
@@ -143,15 +237,15 @@ class EventDrivenDevice:
         # Fine-grained per-bank refresh: each bank blocks for a fraction of
         # tRFC every tREFI, staggered (modern controllers refresh per bank
         # rather than stalling a whole rank).
-        refresh_phase = rng.uniform(0.0, timings.tREFI, n_banks)
+        refresh_phase = rng.uniform(0.0, consts["trefi_ns"], n_banks)
 
         banks = rng.integers(0, n_banks, n_requests)
         # Row behaviour: reuse the bank's open row with the calibrated hit
         # rate, otherwise touch another row (miss or conflict depending on
         # the bank's state).
-        row_reuse = rng.random(n_requests) < profile.dram.row_hit_rate
+        row_reuse = rng.random(n_requests) < consts["row_hit_rate"]
         rows = rng.integers(0, 1 << 14, n_requests)
-        retry_draw = rng.random(n_requests) < link.retry_probability * 50
+        retry_draw = rng.random(n_requests) < consts["retry_probability"] * 50
         # (per-request retry probability aggregated over the flit exchanges)
         if read_fraction != 1.0:
             writes = rng.random(n_requests) >= read_fraction
@@ -165,28 +259,28 @@ class EventDrivenDevice:
         # shared bus.
         index = np.arange(n_requests)
         svc_out = np.full(n_requests, flit_ns)
-        if link.full_duplex:
+        if consts["full_duplex"]:
             svc_out[writes] = 0.0
         shift_out = np.zeros(n_requests)
         np.cumsum(svc_out[:-1], out=shift_out[1:])
 
         # MC dispatch pipeline: deep enough to sustain the DRAM backend
         # (the controller's *latency* is pipelined, not a throughput cap).
-        dispatch_ns = CACHELINE_BYTES / profile.backend_gbps
+        dispatch_ns = consts["dispatch_ns"]
 
         return SimInputs(
             n=n_requests,
             n_banks=n_banks,
             flit_ns=flit_ns,
-            stack_ns=link.stack_latency_ns,
+            stack_ns=consts["stack_ns"],
             dispatch_ns=dispatch_ns,
-            fixed_mc_ns=device.latency_breakdown_ns()["controller"],
-            trefi_ns=timings.tREFI,
-            refresh_block_ns=0.35 * timings.tRFC,
-            row_hit_ns=timings.row_hit_ns,
-            row_miss_ns=timings.row_miss_ns,
-            row_conflict_ns=timings.row_conflict_ns,
-            retry_penalty_ns=link.retry_penalty_ns,
+            fixed_mc_ns=consts["fixed_mc_ns"],
+            trefi_ns=consts["trefi_ns"],
+            refresh_block_ns=consts["refresh_block_ns"],
+            row_hit_ns=consts["row_hit_ns"],
+            row_miss_ns=consts["row_miss_ns"],
+            row_conflict_ns=consts["row_conflict_ns"],
+            retry_penalty_ns=consts["retry_penalty_ns"],
             host_overhead_ns=HOST_OVERHEAD_NS,
             arrivals=arrivals,
             banks=banks,
@@ -216,10 +310,55 @@ class EventDrivenDevice:
         per pipeline stage.  Tracing never alters the simulated timeline.
 
         ``engine`` picks the implementation: ``"scalar"`` (per-request
-        reference loop), ``"vector"`` (NumPy kernels), or ``"auto"``
-        (vector unless tracing is active -- span emission is per-request).
-        Both engines are bit-identical.
+        reference loop), ``"vector"`` (NumPy kernels), ``"batch"`` (the
+        fused cross-cell kernels, here on a batch of one -- useful for
+        spot-checking identity), or ``"auto"`` (vector unless tracing is
+        active -- span emission is per-request).  All engines are
+        bit-identical.
         """
+        self._validate(n_requests, offered_gbps, read_fraction, engine)
+        buf = trace if trace is not None else tracing()
+        if engine in ("vector", "batch") and buf is not None:
+            raise ConfigurationError(
+                f"the {engine} engine cannot emit per-request trace spans; "
+                "use engine='scalar' (or 'auto') when tracing"
+            )
+        if engine == "batch":
+            resolved = "batch"
+        elif engine == "scalar" or buf is not None:
+            resolved = "scalar"
+        else:
+            resolved = "vector"
+
+        inp, applied = self._prepare_with_faults(
+            n_requests, offered_gbps, read_fraction
+        )
+        if resolved == "batch":
+            timeline = batch_timeline([inp])[0]
+            latencies = timeline.latencies_ns
+            conflicts = timeline.bank_conflicts
+            refreshes = timeline.refresh_collisions
+            traced = 0
+        elif resolved == "vector":
+            timeline = vector_timeline(inp)
+            latencies = timeline.latencies_ns
+            conflicts = timeline.bank_conflicts
+            refreshes = timeline.refresh_collisions
+            traced = 0
+        else:
+            latencies, conflicts, refreshes, traced = self._scalar_timeline(
+                inp, buf
+            )
+        return self._publish(
+            inp, applied, latencies, conflicts, refreshes, traced,
+            offered_gbps, read_fraction, resolved,
+        )
+
+    @staticmethod
+    def _validate(
+        n_requests: int, offered_gbps: float, read_fraction: float,
+        engine: str,
+    ) -> None:
         if n_requests < 1:
             raise ConfigurationError("need at least one request")
         if offered_gbps <= 0:
@@ -232,48 +371,49 @@ class EventDrivenDevice:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
-        buf = trace if trace is not None else tracing()
-        if engine == "vector" and buf is not None:
-            raise ConfigurationError(
-                "the vector engine cannot emit per-request trace spans; "
-                "use engine='scalar' (or 'auto') when tracing"
-            )
-        resolved = "scalar" if engine == "scalar" or buf is not None else "vector"
 
+    def _prepare_with_faults(
+        self, n_requests: int, offered_gbps: float, read_fraction: float
+    ):
+        """Prepared inputs plus the applied fault plan, if one is active.
+
+        RAS fault injection: a plan transforms the prepared inputs (from
+        its own RNG stream) and supplies post-engine latency adjustments.
+        With no plan -- or an empty one -- nothing here runs, so the
+        fault-free path stays byte-identical to a build without the
+        subsystem.  Both the preparation RNG and the fault RNG are keyed
+        per operating point, which is what lets batched execution compose:
+        each cell's arrays are drawn here, solo, before any batching
+        decision is made.
+        """
         inp = self._prepare(n_requests, offered_gbps, read_fraction)
-        # RAS fault injection: a plan transforms the prepared inputs (from
-        # its own RNG stream) and supplies post-engine latency adjustments.
-        # With no plan -- or an empty one -- nothing here runs, so the
-        # fault-free path stays byte-identical to a build without the
-        # subsystem.  (Scoped limitation: post-engine adjustments are not
-        # reflected in per-stage trace spans, so traced fault runs report
-        # pre-adjustment stage budgets.)
         plan = active_fault_plan()
         applied = None
         if plan is not None and plan.enabled:
             inp, applied = apply_fault_plan(
                 inp, self.device, plan, offered_gbps
             )
-        if resolved == "vector":
-            timeline = vector_timeline(inp)
-            latencies = timeline.latencies_ns
-            conflicts = timeline.bank_conflicts
-            refreshes = timeline.refresh_collisions
-            traced = 0
-        else:
-            latencies, conflicts, refreshes, traced = self._scalar_timeline(
-                inp, buf
-            )
+        return inp, applied
+
+    def _publish(
+        self, inp, applied, latencies, conflicts, refreshes, traced,
+        offered_gbps, read_fraction, resolved,
+    ) -> EventSimResult:
+        """Post-engine adjustments, metrics emission, result assembly.
+
+        Shared verbatim by the solo engines and :func:`simulate_batch`, so
+        a batched cell's counters and metrics match its solo twin's.
+        """
         retries = int(inp.retry_draw.sum())
         if applied is not None:
             # Shared elementwise post-engine transform (ECC correction
-            # stalls, dropout completions): identical for both engines.
+            # stalls, dropout completions): identical for all engines.
             latencies = applied.adjust_latencies(latencies)
 
         registry = metrics()
         if registry.enabled:
             labels = {"device": self.device.name}
-            registry.counter("sim.requests", **labels).inc(n_requests)
+            registry.counter("sim.requests", **labels).inc(inp.n)
             registry.counter("sim.bank_conflicts", **labels).inc(conflicts)
             registry.counter("sim.refresh_collisions", **labels).inc(refreshes)
             registry.counter("sim.link_retries", **labels).inc(retries)
@@ -472,13 +612,68 @@ class EventDrivenDevice:
     ) -> dict:
         """Event-driven vs analytic mean/percentiles at one load."""
         sim = self.simulate(n_requests, offered_gbps, engine=engine)
-        dist = self.device.distribution(offered_gbps)
-        return {
-            "load_gbps": offered_gbps,
-            "sim_mean_ns": sim.mean_ns,
-            "analytic_mean_ns": dist.mean_ns,
-            "sim_p99_ns": sim.percentile(99),
-            "analytic_p99_ns": dist.percentile(99),
-            "sim_tail_gap_ns": sim.tail_gap_ns(),
-            "analytic_tail_gap_ns": dist.tail_gap_ns(),
-        }
+        return compare_result_with_analytic(self.device, sim)
+
+
+def compare_result_with_analytic(device: CxlDevice, sim: EventSimResult) -> dict:
+    """Event-driven result vs the analytic closed forms at its load."""
+    dist = device.distribution(sim.offered_gbps)
+    return {
+        "load_gbps": sim.offered_gbps,
+        "sim_mean_ns": sim.mean_ns,
+        "analytic_mean_ns": dist.mean_ns,
+        "sim_p99_ns": sim.percentile(99),
+        "analytic_p99_ns": dist.percentile(99),
+        "sim_tail_gap_ns": sim.tail_gap_ns(),
+        "analytic_tail_gap_ns": dist.tail_gap_ns(),
+    }
+
+
+def simulate_batch(
+    points: Sequence[Tuple["EventDrivenDevice", int, float, float]],
+) -> List[EventSimResult]:
+    """Simulate many operating points through the fused batch kernels.
+
+    ``points`` are ``(sim, n_requests, offered_gbps, read_fraction)``
+    tuples -- heterogeneous devices, loads, mixes, and request counts are
+    all fine; the auto-chunker splits the batch into cache-sized fused
+    kernel calls.  Each point's randomness (and its fault-plan stream, if
+    a plan is active) is drawn exactly as a solo :meth:`simulate` call
+    would draw it, so every returned result is byte-identical to its solo
+    twin -- only the ``engine`` field reads ``"batch"``.
+
+    Tracing is per-request by nature and cannot ride the fused kernels;
+    an active trace buffer is a configuration error here.
+    """
+    if tracing() is not None:
+        raise ConfigurationError(
+            "the batch engine cannot emit per-request trace spans; "
+            "run cells solo with engine='scalar' when tracing"
+        )
+    prepared = []
+    for sim, n_requests, offered_gbps, read_fraction in points:
+        sim._validate(n_requests, offered_gbps, read_fraction, "batch")
+        inp, applied = sim._prepare_with_faults(
+            n_requests, offered_gbps, read_fraction
+        )
+        prepared.append((sim, inp, applied, offered_gbps, read_fraction))
+
+    timelines: List = []
+    inputs = [inp for _, inp, _, _, _ in prepared]
+    for lo, hi in batch_chunks(
+        [inp.n for inp in inputs], [inp.n_banks for inp in inputs]
+    ):
+        timelines.extend(batch_timeline(inputs[lo:hi]))
+
+    return [
+        sim._publish(
+            inp, applied,
+            timeline.latencies_ns,
+            timeline.bank_conflicts,
+            timeline.refresh_collisions,
+            0,
+            offered_gbps, read_fraction, "batch",
+        )
+        for (sim, inp, applied, offered_gbps, read_fraction), timeline
+        in zip(prepared, timelines)
+    ]

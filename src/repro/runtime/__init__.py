@@ -26,11 +26,16 @@ from repro.runtime.context import (
     runtime_stats,
 )
 from repro.runtime.executor import (
+    ENGINE_MODES,
     CampaignEngine,
     Cell,
     EngineStats,
+    ExecutionPlan,
+    ExecutionPlanner,
     FailedCell,
+    PlannerCosts,
     RetryPolicy,
+    SimCell,
 )
 from repro.runtime.serialize import (
     run_result_from_dict,
@@ -42,10 +47,15 @@ __all__ = [
     "Cell",
     "Checkpointer",
     "CheckpointState",
+    "ENGINE_MODES",
     "EngineStats",
+    "ExecutionPlan",
+    "ExecutionPlanner",
     "FailedCell",
+    "PlannerCosts",
     "RetryPolicy",
     "RunCache",
+    "SimCell",
     "campaign_fingerprint",
     "configure_runtime",
     "get_engine",

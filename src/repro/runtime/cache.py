@@ -263,6 +263,20 @@ class RunCache:
                 self._recover(path)
                 self.misses += 1
                 return None
+            if isinstance(data, dict) and data.get("kind") == "eventsim":
+                # Event-simulation documents carry their payload inline
+                # (no workload/platform blobs to resolve).
+                from repro.hw.cxl.eventdevice import EventSimResult
+
+                try:
+                    result = EventSimResult.from_dict(data)
+                except (ValueError, KeyError, TypeError):
+                    self._recover(path)
+                    self.misses += 1
+                    return None
+                self._memory[key] = result
+                self.disk_hits += 1
+                return result
             try:
                 result = run_result_from_dict(
                     data,
@@ -306,6 +320,27 @@ class RunCache:
             self._made_shards.add(shard)
         self._atomic_write(path, data)
 
+    def put_memory(self, key: str, result) -> None:
+        """Store a non-pipeline result (event-sim cells) in both tiers.
+
+        Event-simulation cells return :class:`EventSimResult` objects;
+        they always memoize in the process, and when the result knows how
+        to serialize itself (``to_dict``) and a disk tier is configured,
+        it persists as a self-contained document so warm ``--cache-dir``
+        invocations skip sim cells exactly like analytic ones.
+        """
+        self._memory[key] = result
+        self.stores += 1
+        path = self._disk_path(key)
+        to_dict = getattr(result, "to_dict", None)
+        if path is None or to_dict is None:
+            return
+        shard = os.path.dirname(path)
+        if shard not in self._made_shards:
+            os.makedirs(shard, exist_ok=True)
+            self._made_shards.add(shard)
+        self._atomic_write(path, to_dict())
+
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier survives)."""
         self._memory.clear()
@@ -327,6 +362,8 @@ class RunCache:
                 continue
             try:
                 data = json.loads(path.read_text())
+                if isinstance(data, dict) and data.get("kind") == "eventsim":
+                    continue  # self-contained: references no blobs
                 refs = (data["workload_ref"], data["platform_ref"])
             except (OSError, ValueError, KeyError, TypeError):
                 if self._discard(str(path)):

@@ -43,13 +43,16 @@ def configure_runtime(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     policy: Optional["RetryPolicy"] = None,
+    mode: Optional[str] = None,
 ) -> CampaignEngine:
     """Replace the shared engine with one using the given settings.
 
     Settings left as ``None`` keep the current engine's value (except
     ``policy``, which always takes the given value: passing ``None``
     returns to fail-fast execution); the in-memory cache always starts
-    fresh (the disk tier, if any, persists).
+    fresh (the disk tier, if any, persists).  ``mode`` is the execution
+    strategy (``auto``/``serial``/``pool``/``batch``, the CLI's
+    ``--engine``); ``auto`` delegates each pending set to the planner.
     """
     global _engine
     current = get_engine()
@@ -59,6 +62,7 @@ def configure_runtime(
                              if current.cache.cache_dir else None)),
         jobs=jobs if jobs is not None else current.jobs,
         policy=policy,
+        mode=mode if mode is not None else current.mode,
     )
     return _engine
 

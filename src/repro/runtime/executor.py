@@ -6,6 +6,13 @@
 completion order, so parallel and serial execution produce byte-identical
 downstream figures.
 
+The engine executes two kinds of cells: analytic :class:`Cell` objects
+(workload x platform x target through the CPU pipeline) and
+:class:`SimCell` objects (event-driven device simulations), which are
+*batchable* -- many sim cells fuse into single kernel invocations
+(:func:`repro.hw.cxl.eventdevice.simulate_batch`) instead of running one
+by one.
+
 Execution strategy per batch:
 
 1. resolve every cell against the :class:`~repro.runtime.cache.RunCache`
@@ -14,11 +21,19 @@ Execution strategy per batch:
 2. deduplicate the misses by content key (submission order preserved, so
    callers that put baseline cells first get baseline-first scheduling and
    dependent cells hit the cache);
-3. run the unique misses -- serially for ``jobs <= 1`` or small batches,
-   otherwise over a ``concurrent.futures`` process pool with chunked
-   submission (requested jobs are clamped to the host's CPU count, and a
-   clamp down to one worker degrades to the serial path);
+3. ask the :class:`ExecutionPlanner` how to run the unique misses --
+   **batch** (fused kernels, sim cells only), **pool** (process pool with
+   chunked submission), or **serial** -- from a small measured cost model
+   over the cell shapes and the host's CPU count.  Requested jobs are
+   clamped to the CPU count *before* planning, so a 1-CPU host can never
+   fork a pool (the regression BENCH_campaign.json once measured as
+   ``jobs=4`` running at 0.6x serial);
 4. store results and assemble the per-cell list by key lookup.
+
+A cell's result is byte-identical whether it ran serially, pooled, or
+batched (the ``eventsim-batch-identity`` diag check and the benchmark's
+pre-timing assertion both enforce this), so the planner's choice is pure
+policy -- it can never change campaign output.
 
 Pool setup failures (sandboxed environments, missing semaphores, pickling
 restrictions) degrade gracefully to the serial path; a pool that breaks
@@ -45,6 +60,7 @@ change which cells run or what they return.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import time
@@ -61,17 +77,20 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.cpu.pipeline import PipelineConfig, RunResult, run_workload
 from repro.errors import ConfigurationError
 from repro.faults.chaos import active_chaos
+from repro.faults.plan import active_fault_plan
 from repro.hw.platform import Platform
 from repro.hw.target import MemoryTarget
 from repro.obs.metrics import metrics
 from repro.obs.trace import CLOCK_WALL, tracing
 from repro.rng import DEFAULT_SEED, generator_for
 from repro.runtime.cache import RunCache, run_key
+from repro.runtime.serialize import FORMAT_VERSION
 from repro.workloads.base import WorkloadSpec
 
 _MIN_POOL_BATCH = 4
@@ -79,6 +98,9 @@ _MIN_POOL_BATCH = 4
 
 _JOIN_GRACE_S = 5.0
 """How long to wait for a terminated cell subprocess to die."""
+
+ENGINE_MODES = ("auto", "serial", "pool", "batch")
+"""Accepted ``CampaignEngine.mode`` values (the CLI's ``--engine``)."""
 
 
 @dataclass(frozen=True)
@@ -95,8 +117,87 @@ class Cell:
         return run_key(self.workload, self.platform, self.target, self.config)
 
 
-def _execute_cell(cell: Cell) -> RunResult:
+@dataclass(frozen=True)
+class SimCell:
+    """One event-simulation campaign cell: a device at an operating point.
+
+    Unlike :class:`Cell`, a sim cell is *batchable*: the planner can fuse
+    many of them into single kernel invocations.  ``engine`` is a per-cell
+    preference (``auto`` lets the planner decide; ``scalar``/``vector``
+    force a solo engine and opt the cell out of batching); it is excluded
+    from :meth:`key` because every engine returns byte-identical results,
+    so all of them collapse onto one cache entry.
+    """
+
+    device: str
+    n_requests: int
+    offered_gbps: float
+    read_fraction: float = 1.0
+    engine: str = "auto"
+    seed: int = DEFAULT_SEED
+
+    def key(self) -> str:
+        """Content-addressed identity (engine deliberately excluded)."""
+        parts = [
+            "simcell",
+            str(FORMAT_VERSION),
+            self.device,
+            str(self.n_requests),
+            f"{self.offered_gbps:.6f}",
+            f"{self.read_fraction:.6f}",
+            str(self.seed),
+        ]
+        # An active fault plan changes what the simulation computes, so it
+        # joins the key exactly as it does for analytic cells.
+        plan = active_fault_plan()
+        if plan is not None and plan.enabled:
+            parts.append(f"fault-plan:{plan.key()}")
+        return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+    @property
+    def batchable(self) -> bool:
+        """Whether this cell may join a fused batch."""
+        return self.engine in ("auto", "batch") and tracing() is None
+
+    def run(self):
+        """Run this cell solo (the serial and pool paths)."""
+        return _simulator_for(self.device, self.seed).simulate(
+            self.n_requests,
+            self.offered_gbps,
+            read_fraction=self.read_fraction,
+            engine=self.engine,
+        )
+
+
+AnyCell = Union[Cell, SimCell]
+
+_SIMULATORS: Dict[Tuple[str, int], object] = {}
+
+
+def _simulator_for(device_name: str, seed: int):
+    """Per-process simulator cache (device construction is not free)."""
+    cache_key = (device_name, seed)
+    sim = _SIMULATORS.get(cache_key)
+    if sim is None:
+        from repro.hw.cxl import CXL_DEVICES
+        from repro.hw.cxl.eventdevice import EventDrivenDevice
+
+        sim = EventDrivenDevice(CXL_DEVICES[device_name](), seed=seed)
+        _SIMULATORS[cache_key] = sim
+    return sim
+
+
+def _cell_names(cell: AnyCell) -> Tuple[str, str, str]:
+    """(workload, platform, target) display names for failure records."""
+    if isinstance(cell, SimCell):
+        return ("eventsim", cell.device, f"{cell.offered_gbps:.3f}gbps")
+    return (cell.workload.name, cell.platform.name, cell.target.name)
+
+
+def _execute_cell(cell: AnyCell):
     """Pool worker: run one cell (module-level so it pickles)."""
+    if isinstance(cell, SimCell):
+        return cell.run()
     return run_workload(cell.workload, cell.platform, cell.target, cell.config)
 
 
@@ -215,6 +316,142 @@ def _pool_chunksize(n_pending: int, jobs: int) -> int:
 
 
 @dataclass(frozen=True)
+class PlannerCosts:
+    """Measured per-cell cost constants (seconds) for the planner.
+
+    Calibrated on the reference 1-CPU box (see DESIGN.md): they only need
+    to get the *ordering* of the strategies right, not absolute wall
+    times, and the ordering is robust -- fork+pickle overhead is orders
+    of magnitude above per-cell work, and the fused kernels' per-request
+    cost is a stable fraction of the solo kernels'.
+    """
+
+    cell_serial_s: float = 8.6e-4
+    """One analytic pipeline cell (BENCH_campaign cold_serial)."""
+    sim_fixed_s: float = 2.5e-4
+    """Per sim cell: RNG preparation + result assembly (engine-independent)."""
+    sim_serial_req_s: float = 3.5e-7
+    """Solo vector kernels, marginal cost per request."""
+    sim_batch_req_s: float = 1.6e-7
+    """Fused batch kernels, marginal cost per request (cache-resident chunks)."""
+    pool_spawn_s: float = 2.5e-1
+    """Forking a worker pool (interpreter + import warmup)."""
+    pool_cell_s: float = 3.0e-4
+    """Per pooled cell: pickling, IPC, result transfer."""
+
+    def serial_s(self, cells: Sequence[AnyCell]) -> float:
+        """Estimated serial wall time for ``cells``."""
+        total = 0.0
+        for cell in cells:
+            if isinstance(cell, SimCell):
+                total += self.sim_fixed_s \
+                    + self.sim_serial_req_s * cell.n_requests
+            else:
+                total += self.cell_serial_s
+        return total
+
+    def batch_s(self, cells: Sequence[AnyCell]) -> float:
+        """Estimated fused-batch wall time (sim cells only)."""
+        return sum(
+            self.sim_fixed_s + self.sim_batch_req_s * cell.n_requests
+            for cell in cells
+        )
+
+    def pool_s(self, cells: Sequence[AnyCell], jobs: int) -> float:
+        """Estimated pooled wall time with ``jobs`` workers."""
+        return (
+            self.pool_spawn_s
+            + self.pool_cell_s * len(cells)
+            + self.serial_s(cells) / max(jobs, 1)
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One planning decision for a pending set of cells."""
+
+    choice: str  # "serial" | "pool" | "batch"
+    jobs: int
+    cells: int
+    est_s: float
+    est_serial_s: float
+    reason: str
+
+    def summary(self) -> str:
+        """Compact form for the runtime stats line."""
+        return f"{self.choice}({self.reason})"
+
+
+class ExecutionPlanner:
+    """Chooses batch vs pool vs serial for each pending set.
+
+    The decision is pure policy: every strategy returns byte-identical
+    results, so a wrong estimate costs wall time, never correctness.  By
+    construction the pool is only reachable with ``jobs > 1`` -- and jobs
+    arrive here already clamped to the host CPU count -- so a 1-CPU host
+    can never fork a pool, whatever mode or cost constants say.
+    """
+
+    def __init__(self, costs: Optional[PlannerCosts] = None):
+        self.costs = costs if costs is not None else PlannerCosts()
+
+    @staticmethod
+    def batchable(cells: Sequence[AnyCell]) -> bool:
+        """Whether every pending cell may join one fused batch.
+
+        Mixed sets never batch: analytic cells have no batch kernel, and
+        a sim cell pinned to ``scalar``/``vector`` (or running under a
+        tracer) asked for solo semantics.
+        """
+        return bool(cells) and all(
+            isinstance(cell, SimCell) and cell.batchable for cell in cells
+        )
+
+    def plan(
+        self, cells: Sequence[AnyCell], jobs: int, mode: str = "auto"
+    ) -> ExecutionPlan:
+        """Decide how to execute ``cells`` with at most ``jobs`` workers."""
+        if mode not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine mode {mode!r}; "
+                f"expected one of {ENGINE_MODES}"
+            )
+        costs = self.costs
+        n = len(cells)
+        est_serial = costs.serial_s(cells)
+        can_batch = self.batchable(cells)
+
+        def mk(choice: str, est: float, reason: str) -> ExecutionPlan:
+            return ExecutionPlan(
+                choice=choice, jobs=jobs, cells=n,
+                est_s=est, est_serial_s=est_serial, reason=reason,
+            )
+
+        if mode == "serial":
+            return mk("serial", est_serial, "forced")
+        if mode == "batch":
+            if can_batch:
+                return mk("batch", costs.batch_s(cells), "forced")
+            return mk("serial", est_serial, "batch-incompatible")
+        if mode == "pool":
+            if jobs > 1:
+                return mk("pool", costs.pool_s(cells, jobs), "forced")
+            return mk("serial", est_serial, "one-worker")
+
+        # auto: cheapest estimated strategy, pool gated exactly as the
+        # historical executor gated it (enough cells, more than one job).
+        if can_batch:
+            est_batch = costs.batch_s(cells)
+            if est_batch <= est_serial:
+                return mk("batch", est_batch, "cost-model")
+        if jobs > 1 and n >= _MIN_POOL_BATCH:
+            est_pool = costs.pool_s(cells, jobs)
+            if est_pool < est_serial:
+                return mk("pool", est_pool, "cost-model")
+        return mk("serial", est_serial, "cost-model")
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Bounded-retry schedule for resilient cell execution.
 
@@ -322,6 +559,16 @@ class EngineStats:
     """Attempts killed by the per-cell wall-clock timeout."""
     cells_quarantined: int = 0
     """Cells resolved as FailedCell (including checkpoint-restored ones)."""
+    cells_batched: int = 0
+    """Cells executed through the fused batch kernels."""
+    planner_serial: int = 0
+    """Pending sets the planner resolved to serial execution."""
+    planner_pool: int = 0
+    """Pending sets the planner resolved to the process pool."""
+    planner_batch: int = 0
+    """Pending sets the planner resolved to fused batching."""
+    last_plan: str = ""
+    """The most recent planning decision, e.g. ``batch(cost-model)``."""
 
     def runs_per_second(self) -> float:
         """Executed-cell throughput (0 when nothing ran)."""
@@ -380,6 +627,8 @@ class EngineStats:
         )
         if self.cells_quarantined:
             line += f" [{self.cells_quarantined} quarantined]"
+        if self.last_plan:
+            line += f" [plan: {self.last_plan}]"
         return line
 
 
@@ -401,6 +650,9 @@ class CampaignEngine:
     checkpointer: Optional[object] = None
     failed: List[FailedCell] = field(default_factory=list)
     sleep_fn: Callable[[float], None] = time.sleep
+    mode: str = "auto"
+    """Execution-strategy override: one of :data:`ENGINE_MODES`."""
+    planner: ExecutionPlanner = field(default_factory=ExecutionPlanner)
     _quarantined: Dict[str, FailedCell] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -559,30 +811,81 @@ class CampaignEngine:
             chunk = pending[lo:lo + step]
             chunk_keys = pending_keys[lo:lo + step]
             for key, result in zip(chunk_keys, self._execute(chunk)):
-                self.cache.put(key, result)
+                self._store(key, result)
                 resolved[key] = result
             done += len(chunk)
             if self.checkpointer is not None:
                 self.checkpointer.tick(len(chunk), self.failed)
         return done
 
-    def _execute(self, pending: List[Cell]) -> List[RunResult]:
+    def _store(self, key: str, result) -> None:
+        """Cache one result; sim results memoize in memory only.
+
+        :class:`EventSimResult` carries raw latency arrays with no disk
+        document format, so it never reaches the serializing tier.
+        """
+        if isinstance(result, RunResult):
+            self.cache.put(key, result)
+        else:
+            self.cache.put_memory(key, result)
+
+    def _note_plan(self, plan: ExecutionPlan) -> None:
+        """Record a planning decision in the stats and metrics."""
+        self.stats.last_plan = plan.summary()
+        if plan.choice == "batch":
+            self.stats.planner_batch += 1
+        elif plan.choice == "pool":
+            self.stats.planner_pool += 1
+        else:
+            self.stats.planner_serial += 1
+        registry = metrics()
+        if registry.enabled:
+            registry.counter(
+                "runtime.planner_choice", choice=plan.choice
+            ).inc()
+
+    def _execute(self, pending: List[AnyCell]) -> List[object]:
+        if not pending:
+            return []
         jobs = self._effective_jobs()
-        if jobs <= 1 or len(pending) < _MIN_POOL_BATCH:
-            self.stats.cells_serial += len(pending)
-            if pending:
-                metrics().counter("runtime.cells_serial").inc(len(pending))
-            return [_execute_cell(cell) for cell in pending]
-        try:
-            return self._execute_pool(pending, jobs)
-        except (OSError, ValueError, ImportError, BrokenProcessPool,
-                pickle.PicklingError):
-            # Pool infrastructure unavailable -- fall back, don't fail.
-            self.stats.pool_fallbacks += 1
-            self.stats.cells_serial += len(pending)
-            metrics().counter("runtime.pool_fallbacks").inc()
-            metrics().counter("runtime.cells_serial").inc(len(pending))
-            return [_execute_cell(cell) for cell in pending]
+        plan = self.planner.plan(pending, jobs, self.mode)
+        self._note_plan(plan)
+        if plan.choice == "batch":
+            return self._execute_batch(pending)
+        if plan.choice == "pool":
+            try:
+                return self._execute_pool(pending, jobs)
+            except (OSError, ValueError, ImportError, BrokenProcessPool,
+                    pickle.PicklingError):
+                # Pool infrastructure unavailable -- fall back, don't fail.
+                self.stats.pool_fallbacks += 1
+                metrics().counter("runtime.pool_fallbacks").inc()
+        self.stats.cells_serial += len(pending)
+        metrics().counter("runtime.cells_serial").inc(len(pending))
+        return [_execute_cell(cell) for cell in pending]
+
+    def _execute_batch(self, pending: List[SimCell]) -> List[object]:
+        """Fused execution: all pending sim cells through one batch call.
+
+        ``simulate_batch`` auto-chunks internally, so a campaign-sized
+        pending set becomes a handful of cache-resident kernel
+        invocations rather than one per cell.
+        """
+        from repro.hw.cxl.eventdevice import simulate_batch
+
+        points = [
+            (
+                _simulator_for(cell.device, cell.seed),
+                cell.n_requests,
+                cell.offered_gbps,
+                cell.read_fraction,
+            )
+            for cell in pending
+        ]
+        results = simulate_batch(points)
+        self.stats.cells_batched += len(pending)
+        metrics().counter("runtime.cells_batched").inc(len(pending))
+        return results
 
     def _execute_pool(self, pending: List[Cell], jobs: int) -> List[RunResult]:
         """Pooled execution; a mid-map pool break resubmits only the rest.
@@ -659,12 +962,17 @@ class CampaignEngine:
         )
         ok = 0
         jobs = self._effective_jobs()
-        if (
-            policy.timeout_s is None
-            and jobs > 1
-            and len(queue) >= _MIN_POOL_BATCH
-        ):
-            queue, ok = self._resilient_pool_pass(queue, jobs, resolved)
+        # Resilient mode keeps per-cell isolation -- a fused batch would
+        # let one poisoned cell take down its whole chunk -- so batching
+        # is never planned here; the planner only arbitrates pool vs
+        # serial for the optimistic first pass (the pool is unsafe under
+        # a per-cell timeout, which has no pooled equivalent).
+        if policy.timeout_s is None and pending:
+            mode = "pool" if self.mode == "pool" else "auto"
+            plan = self.planner.plan(pending, jobs, mode)
+            if plan.choice == "pool":
+                self._note_plan(plan)
+                queue, ok = self._resilient_pool_pass(queue, jobs, resolved)
         while queue:
             cell, key, attempt = queue.popleft()
             if attempt > 1:
@@ -777,20 +1085,22 @@ class CampaignEngine:
         resolved: Dict[str, Optional[RunResult]],
     ) -> None:
         """Record one successful cell (cache, result map, checkpoint)."""
-        self.cache.put(key, result)
+        self._store(key, result)
         resolved[key] = result
         if self.checkpointer is not None:
             self.checkpointer.tick(1, self.failed)
 
     def _quarantine(
-        self, cell: Cell, key: str, attempts: int, reason: str, message: str
+        self, cell: AnyCell, key: str, attempts: int, reason: str,
+        message: str,
     ) -> None:
         """Give up on a cell: record it, never cache it, keep going."""
+        workload, platform, target = _cell_names(cell)
         record = FailedCell(
             key=key,
-            workload=cell.workload.name,
-            platform=cell.platform.name,
-            target=cell.target.name,
+            workload=workload,
+            platform=platform,
+            target=target,
             attempts=attempts,
             reason=reason,
             message=message,

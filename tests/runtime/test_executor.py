@@ -9,6 +9,8 @@ from repro.runtime.cache import RunCache
 from repro.runtime.executor import (
     CampaignEngine,
     Cell,
+    ExecutionPlanner,
+    SimCell,
     _pool_chunksize,
 )
 
@@ -73,9 +75,15 @@ class TestRunCells:
 
 
 class TestParallel:
+    """Pool-machinery tests force ``mode="pool"``: the planner's cost
+    model (correctly) refuses to fork a pool for a six-cell grid, and
+    these tests exercise the pool plumbing, not the planning policy."""
+
     def test_pool_matches_serial_bitwise(self, grid, quad_cpu):
         serial = CampaignEngine(cache=RunCache(), jobs=1).run_cells(grid)
-        parallel = CampaignEngine(cache=RunCache(), jobs=4).run_cells(grid)
+        parallel = CampaignEngine(
+            cache=RunCache(), jobs=4, mode="pool"
+        ).run_cells(grid)
         assert serial == parallel
         for s, p in zip(serial, parallel):
             assert s.cycles == p.cycles
@@ -94,7 +102,7 @@ class TestParallel:
 
     def test_broken_pool_falls_back_to_serial(self, grid, monkeypatch,
                                               quad_cpu):
-        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        engine = CampaignEngine(cache=RunCache(), jobs=4, mode="pool")
 
         def boom(pending, jobs):
             raise OSError("no semaphores in this sandbox")
@@ -105,7 +113,7 @@ class TestParallel:
         assert results == CampaignEngine(cache=RunCache()).run_cells(grid)
 
     def test_run_errors_propagate(self, grid, monkeypatch, quad_cpu):
-        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        engine = CampaignEngine(cache=RunCache(), jobs=4, mode="pool")
 
         def boom(pending, jobs):
             raise RuntimeError("a genuine run failure")
@@ -132,7 +140,7 @@ class TestParallel:
                 raise BrokenProcessPool("worker died unexpectedly")
 
         monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", DyingPool)
-        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        engine = CampaignEngine(cache=RunCache(), jobs=4, mode="pool")
         results = engine.run_cells(grid)
         assert engine.stats.pool_fallbacks == 1
         assert engine.stats.cells_serial == len(grid)
@@ -165,7 +173,7 @@ class TestParallel:
                 return gen()
 
         monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", PartialPool)
-        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        engine = CampaignEngine(cache=RunCache(), jobs=4, mode="pool")
         results = engine.run_cells(grid)
         assert engine.stats.pool_fallbacks == 1
         assert engine.stats.cells_pool == k
@@ -178,7 +186,7 @@ class TestParallel:
         serial.run_cells(grid)
         assert serial.stats.cells_serial == len(grid)
         assert serial.stats.cells_pool == 0
-        pooled = CampaignEngine(cache=RunCache(), jobs=2)
+        pooled = CampaignEngine(cache=RunCache(), jobs=2, mode="pool")
         pooled.run_cells(grid)
         if pooled.stats.pool_fallbacks == 0:
             assert pooled.stats.cells_pool == len(grid)
@@ -189,8 +197,9 @@ class TestParallel:
 
 class TestJobsClamp:
     def test_clamped_to_serial_on_one_cpu(self, grid, monkeypatch):
+        """Even with the pool *forced*, one CPU can never fork a pool."""
         monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
-        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        engine = CampaignEngine(cache=RunCache(), jobs=4, mode="pool")
 
         def boom(pending, jobs):  # a 1-CPU host must never pay for a pool
             raise AssertionError("pool used despite the clamp")
@@ -205,7 +214,7 @@ class TestJobsClamp:
 
     def test_clamped_to_host_cpus(self, grid, monkeypatch):
         monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 2)
-        engine = CampaignEngine(cache=RunCache(), jobs=4)
+        engine = CampaignEngine(cache=RunCache(), jobs=4, mode="pool")
         seen = {}
 
         def record(pending, jobs):
@@ -277,3 +286,193 @@ class TestStats:
         assert engine.stats.cells_deduped == len(grid)
         assert engine.stats.dedupe_ratio() == 0.5
         assert engine.stats.hit_rate() == 0.5
+
+
+class TestPlanner:
+    """The execution planner's cost-model decisions are pure policy --
+    results are byte-identical either way -- but the decisions themselves
+    carry hard guarantees: no pool on one worker, no batch across
+    incompatible cells."""
+
+    @pytest.fixture
+    def sim_cells(self):
+        from repro.hw.cxl import CXL_DEVICES
+
+        names = list(CXL_DEVICES)
+        return [
+            SimCell(device=names[i % len(names)], n_requests=600,
+                    offered_gbps=3.0 + i)
+            for i in range(8)
+        ]
+
+    def test_pool_never_chosen_on_one_worker(self, grid, sim_cells):
+        planner = ExecutionPlanner()
+        for cells in (grid, sim_cells, grid * 300):
+            for mode in ("auto", "pool"):
+                plan = planner.plan(cells, jobs=1, mode=mode)
+                assert plan.choice != "pool", (mode, len(cells))
+
+    def test_forced_pool_on_one_worker_degrades_to_serial(self, grid):
+        plan = ExecutionPlanner().plan(grid, jobs=1, mode="pool")
+        assert plan.choice == "serial"
+        assert plan.reason == "one-worker"
+
+    def test_batch_never_groups_incompatible_cells(self, grid, sim_cells):
+        planner = ExecutionPlanner()
+        # Analytic cells have no batch kernel.
+        assert not planner.batchable(grid)
+        # A mixed set never batches.
+        assert not planner.batchable(grid + sim_cells)
+        # A sim cell pinned to a solo engine opts out for the whole set.
+        pinned = sim_cells[:-1] + [
+            SimCell(device=sim_cells[-1].device, n_requests=600,
+                    offered_gbps=99.0, engine="scalar")
+        ]
+        assert not planner.batchable(pinned)
+        for cells in (grid, grid + sim_cells, pinned):
+            for mode in ("auto", "batch"):
+                plan = planner.plan(cells, jobs=1, mode=mode)
+                assert plan.choice != "batch"
+
+    def test_auto_batches_sim_cells(self, sim_cells):
+        plan = ExecutionPlanner().plan(sim_cells, jobs=1, mode="auto")
+        assert plan.choice == "batch"
+        assert plan.est_s <= plan.est_serial_s
+
+    def test_auto_pools_only_when_the_model_says_so(self, grid):
+        planner = ExecutionPlanner()
+        # Six analytic cells never amortize a pool fork.
+        assert planner.plan(grid, jobs=4, mode="auto").choice == "serial"
+        # A thousand of them do (with workers actually available).
+        big = grid * 200
+        assert planner.plan(big, jobs=4, mode="auto").choice == "pool"
+        assert planner.plan(big, jobs=1, mode="auto").choice == "serial"
+
+    def test_unknown_mode_rejected(self, grid):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExecutionPlanner().plan(grid, jobs=1, mode="fastest")
+
+
+class TestSimCells:
+    @pytest.fixture
+    def sim_grid(self):
+        from repro.hw.cxl import CXL_DEVICES
+
+        cells = []
+        for name in CXL_DEVICES:
+            for gbps in (3.0, 6.0):
+                cells.append(
+                    SimCell(device=name, n_requests=500, offered_gbps=gbps,
+                            read_fraction=0.7)
+                )
+        return cells
+
+    def test_batched_campaign_matches_solo(self, sim_grid):
+        import numpy as np
+
+        engine = CampaignEngine(cache=RunCache())
+        batched = engine.run_cells(sim_grid)
+        assert engine.stats.cells_batched == len(sim_grid)
+        assert engine.stats.planner_batch == 1
+        solo = [cell.run() for cell in sim_grid]
+        for s, b in zip(solo, batched):
+            np.testing.assert_array_equal(s.latencies_ns, b.latencies_ns)
+            assert s.bank_conflicts == b.bank_conflicts
+            assert s.refresh_collisions == b.refresh_collisions
+            assert s.link_retries == b.link_retries
+
+    def test_serial_mode_identical_results(self, sim_grid):
+        import numpy as np
+
+        batched = CampaignEngine(cache=RunCache()).run_cells(sim_grid)
+        serial_eng = CampaignEngine(cache=RunCache(), mode="serial")
+        serial = serial_eng.run_cells(sim_grid)
+        assert serial_eng.stats.cells_batched == 0
+        assert serial_eng.stats.cells_serial == len(sim_grid)
+        for s, b in zip(serial, batched):
+            np.testing.assert_array_equal(s.latencies_ns, b.latencies_ns)
+
+    def test_sim_results_memoize(self, sim_grid):
+        engine = CampaignEngine(cache=RunCache())
+        first = engine.run_cells(sim_grid)
+        again = engine.run_cells(sim_grid)
+        assert engine.stats.cells_run == len(sim_grid)
+        assert engine.stats.cells_cached == len(sim_grid)
+        assert all(a is b for a, b in zip(first, again))
+
+    def test_sim_results_persist_to_disk(self, sim_grid, tmp_path):
+        """A warm --cache-dir process serves sim cells bit-identically."""
+        import numpy as np
+
+        cache_dir = str(tmp_path / "runs")
+        hot = CampaignEngine(cache=RunCache(cache_dir))
+        first = hot.run_cells(sim_grid)
+        # A fresh cache instance = a fresh process: only the disk tier
+        # survives, and it must satisfy every cell.
+        warm = CampaignEngine(cache=RunCache(cache_dir))
+        again = warm.run_cells(sim_grid)
+        assert warm.stats.cells_run == 0
+        assert warm.stats.cells_cached == len(sim_grid)
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(a.latencies_ns, b.latencies_ns)
+            assert a.bank_conflicts == b.bank_conflicts
+            assert a.refresh_collisions == b.refresh_collisions
+            assert a.link_retries == b.link_retries
+            assert a.engine == b.engine
+
+    def test_sim_documents_survive_prune(self, sim_grid, tmp_path):
+        """prune() must not garbage-collect blob-free eventsim documents."""
+        cache_dir = str(tmp_path / "runs")
+        hot = CampaignEngine(cache=RunCache(cache_dir))
+        hot.run_cells(sim_grid)
+        cache = RunCache(cache_dir)
+        assert cache.prune() == {"documents": 0, "blobs": 0, "temp_files": 0}
+        warm = CampaignEngine(cache=cache)
+        warm.run_cells(sim_grid)
+        assert warm.stats.cells_run == 0
+
+    def test_key_excludes_engine(self):
+        from repro.hw.cxl import CXL_DEVICES
+
+        name = next(iter(CXL_DEVICES))
+        base = dict(device=name, n_requests=500, offered_gbps=3.0)
+        keys = {
+            SimCell(engine=engine, **base).key()
+            for engine in ("auto", "scalar", "vector", "batch")
+        }
+        assert len(keys) == 1
+
+    def test_key_includes_fault_plan(self):
+        from repro.faults.plan import (
+            FaultEpisode, FaultPlan, fault_injection,
+        )
+        from repro.hw.cxl import CXL_DEVICES
+
+        cell = SimCell(device=next(iter(CXL_DEVICES)), n_requests=500,
+                       offered_gbps=3.0)
+        plan = FaultPlan(name="keyed", episodes=(
+            FaultEpisode(kind="link_retry_storm"),
+        ))
+        with fault_injection(plan):
+            faulted = cell.key()
+        assert faulted != cell.key()
+
+    def test_pinned_engine_cell_runs_serially(self, sim_grid):
+        pinned = [
+            SimCell(device=c.device, n_requests=c.n_requests,
+                    offered_gbps=c.offered_gbps,
+                    read_fraction=c.read_fraction, engine="vector")
+            for c in sim_grid
+        ]
+        engine = CampaignEngine(cache=RunCache())
+        results = engine.run_cells(pinned)
+        assert engine.stats.cells_batched == 0
+        assert all(r.engine == "vector" for r in results)
+
+    def test_plan_summarized_in_stats_line(self, sim_grid):
+        engine = CampaignEngine(cache=RunCache())
+        engine.run_cells(sim_grid)
+        assert engine.stats.last_plan == "batch(cost-model)"
+        assert "[plan: batch(cost-model)]" in engine.stats.summary()
