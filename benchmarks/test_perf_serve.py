@@ -1,0 +1,154 @@
+"""Characterization-service throughput benchmark: cold vs warm vs coalesced.
+
+Boots an in-process ``ServeApp`` on an ephemeral port and drives it over
+real sockets, recording queries/sec in ``BENCH_serve.json`` (next to this
+file's repo root) for three request regimes:
+
+* ``cold``      -- N distinct queries, empty cache: every request pays a
+                   full characterization run in the worker pool.
+* ``warm``      -- the same N queries again: each is a run-cache memory
+                   hit; nothing re-executes.
+* ``coalesced`` -- M concurrent *duplicates* of one slow query: one
+                   leader executes, M-1 followers attach to its in-flight
+                   job and share the rendered bytes.
+
+Correctness comes first: every coalesced response must be byte-identical
+to a solo ``run_oneshot`` execution of the same query (and to each
+other) before any timing lands in the report.  ``REPRO_BENCH_SMOKE=1``
+shrinks the workload for CI and drops the throughput floors (which are
+calibrated for this repo's reference box) while keeping every identity
+assertion.
+"""
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeApp, ServeConfig, fetch
+from repro.serve.query import run_oneshot
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_DISTINCT = 6 if SMOKE else 12
+N_DUPLICATES = 8 if SMOKE else 24
+N_REQUESTS = 40_000 if SMOKE else 150_000
+SLOW_N_REQUESTS = 150_000 if SMOKE else 400_000
+
+
+def _query(seed, n_requests=N_REQUESTS):
+    return {
+        "device": "cxl-a",
+        "points": [{"offered_gbps": g} for g in (2.0, 6.0)],
+        "n_requests": n_requests,
+        "seed": seed,
+    }
+
+
+async def _post_all(port, payloads):
+    """POST every payload concurrently; return (responses, elapsed_s)."""
+    start = time.perf_counter()
+    responses = await asyncio.gather(*(
+        fetch("127.0.0.1", port, "POST", "/v1/characterize", payload)
+        for payload in payloads
+    ))
+    return responses, time.perf_counter() - start
+
+
+def test_perf_serve_throughput():
+    distinct = [json.dumps(_query(seed)).encode()
+                for seed in range(N_DISTINCT)]
+    slow = json.dumps(_query(999, n_requests=SLOW_N_REQUESTS)).encode()
+
+    async def drive():
+        # Admission limits sized out of the way: this benchmark measures
+        # the coalescing and cache paths, not 429s.
+        app = ServeApp(ServeConfig(
+            port=0, workers=4, per_tenant=2 * N_DUPLICATES,
+            max_queue=2 * max(N_DISTINCT, N_DUPLICATES),
+        ))
+        await app.start()
+        try:
+            cold_responses, cold_s = await _post_all(app.port, distinct)
+            warm_responses, warm_s = await _post_all(app.port, distinct)
+            coalesced_responses, coalesced_s = await _post_all(
+                app.port, [slow] * N_DUPLICATES
+            )
+            stats = (await fetch(
+                "127.0.0.1", app.port, "GET", "/stats"
+            )).json()
+        finally:
+            app.request_shutdown()
+            await app.stop()
+        return (cold_responses, cold_s, warm_responses, warm_s,
+                coalesced_responses, coalesced_s, stats)
+
+    (cold_responses, cold_s, warm_responses, warm_s,
+     coalesced_responses, coalesced_s, stats) = asyncio.run(drive())
+
+    # Correctness before speed.  Every regime returned 200; warm bodies
+    # equal their cold twins; all coalesced bodies are one set of bytes,
+    # equal to a solo out-of-server execution of the same query.
+    for response in (cold_responses + warm_responses
+                     + coalesced_responses):
+        assert response.status == 200
+    assert [r.body for r in warm_responses] == [
+        r.body for r in cold_responses
+    ]
+    assert len({r.body for r in coalesced_responses}) == 1
+    assert coalesced_responses[0].body == run_oneshot(slow)
+    assert stats["jobs"]["coalesced"] >= N_DUPLICATES - 1
+
+    report = {
+        "workload": {
+            "distinct_queries": N_DISTINCT,
+            "duplicate_queries": N_DUPLICATES,
+            "points_per_query": 2,
+            "n_requests": N_REQUESTS,
+            "slow_n_requests": SLOW_N_REQUESTS,
+        },
+        "cpu_count": os.cpu_count(),
+        "workers": 4,
+        "cold": {
+            "seconds": round(cold_s, 4),
+            "qps": round(N_DISTINCT / cold_s, 1),
+        },
+        "warm": {
+            "seconds": round(warm_s, 4),
+            "qps": round(N_DISTINCT / warm_s, 1),
+            "speedup_vs_cold": round(cold_s / warm_s, 2),
+        },
+        "coalesced": {
+            "seconds": round(coalesced_s, 4),
+            "qps": round(N_DUPLICATES / coalesced_s, 1),
+            "executions": 1,
+            "followers": N_DUPLICATES - 1,
+            "byte_identical_to_oneshot": True,
+        },
+        "smoke": SMOKE,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    # The warm pass re-answers every query from the shared run cache.
+    assert report["warm"]["speedup_vs_cold"] > 1.0
+    if not SMOKE:
+        assert report["warm"]["speedup_vs_cold"] >= 5, (
+            f"warm pass only {report['warm']['speedup_vs_cold']}x faster "
+            "than cold; the run-cache path has regressed"
+        )
+        # M duplicates cost one execution: amortized throughput must
+        # beat the cold distinct-query rate.
+        assert report["coalesced"]["qps"] > report["cold"]["qps"], (
+            "coalesced duplicates slower than cold distinct queries -- "
+            "coalescing is not amortizing execution"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-s", "-x"])

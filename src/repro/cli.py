@@ -6,6 +6,7 @@ Exposes the main Melody workflows without writing any Python:
 * ``campaign``     -- run a slowdown campaign and export the dataset
 * ``spa``          -- Spa breakdown of one workload on one target
 * ``figures``      -- regenerate paper tables/figures by id
+* ``serve``        -- characterization-as-a-service HTTP server
 * ``validate``     -- run the repro.diag invariant suite over the models
 * ``stats``        -- render a ``--metrics`` export file
 * ``workloads``    -- list the 265-workload population
@@ -35,7 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import MelodyError
+from repro.errors import ConfigurationError, MelodyError
 
 
 def _configure_runtime(args):
@@ -257,6 +258,7 @@ def _attach_checkpointer(args, engine, campaign):
     )
 
     fingerprint = campaign_fingerprint(campaign)
+    job_id = getattr(args, "job_id", None) or ""
     total = len(campaign.workloads) + sum(
         1
         for w in campaign.workloads
@@ -265,7 +267,7 @@ def _attach_checkpointer(args, engine, campaign):
     )
     completed = 0
     if args.resume:
-        state = load_checkpoint(args.cache_dir, fingerprint)
+        state = load_checkpoint(args.cache_dir, fingerprint, job_id)
         if state is None:
             print(f"no checkpoint for campaign {fingerprint[:12]}; "
                   "starting fresh")
@@ -282,6 +284,7 @@ def _attach_checkpointer(args, engine, campaign):
         total_cells=total,
         every=args.checkpoint_every,
         completed=completed,
+        job_id=job_id,
     )
     engine.checkpointer = checkpointer
     return checkpointer
@@ -471,6 +474,51 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the characterization service (or one query with --oneshot).
+
+    ``--oneshot PATH`` bypasses the network entirely: it parses,
+    executes and renders the query file through exactly the code path a
+    server job uses, and prints the resulting bytes to stdout.  The
+    serve tests and the CI smoke use it as the byte-identity comparator
+    for coalesced responses.
+    """
+    from repro.serve import ServeApp, ServeConfig, run_oneshot
+
+    if args.oneshot:
+        try:
+            with open(args.oneshot, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read query file {args.oneshot!r}: {exc}"
+            )
+        body = run_oneshot(
+            data,
+            cache_dir=args.cache_dir,
+            allow_chaos=args.allow_chaos,
+            retries=args.cell_retries,
+            timeout_s=args.cell_timeout,
+        )
+        sys.stdout.buffer.write(body)
+        sys.stdout.buffer.flush()
+        return 0
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        per_tenant=args.per_tenant,
+        cell_retries=args.cell_retries,
+        cell_timeout=args.cell_timeout,
+        cache_dir=args.cache_dir,
+        allow_chaos=args.allow_chaos,
+        drain_s=args.drain,
+    )
+    return ServeApp(config).run()
+
+
 def cmd_workloads(args) -> int:
     """List the workload population."""
     from collections import Counter
@@ -565,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict-cells", action="store_true",
                    help="exit 3 when any cell was quarantined "
                         "(default: warn and exit 0)")
+    p.add_argument("--job-id", default=None, metavar="ID",
+                   help="scope the checkpoint file to this job so "
+                        "concurrent runs of the same campaign do not "
+                        "clobber each other ([A-Za-z0-9._-], <= 64 chars)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
 
@@ -619,6 +671,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="re-emit the validated export as sorted JSON")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve", help="characterization-as-a-service HTTP server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = ephemeral; the banner prints it)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker threads executing jobs (default: 4)")
+    p.add_argument("--max-inflight", type=int, default=0, metavar="N",
+                   help="leader jobs executing at once "
+                        "(default: same as --workers)")
+    p.add_argument("--max-queue", type=int, default=32, metavar="N",
+                   help="leaders allowed to wait for a slot before new "
+                        "requests get 429 (default: 32)")
+    p.add_argument("--per-tenant", type=int, default=16, metavar="N",
+                   help="open requests allowed per x-repro-tenant "
+                        "(default: 16)")
+    p.add_argument("--cell-retries", type=int, default=2, metavar="N",
+                   help="attempts per cell before its point degrades to "
+                        "an error object (default: 2)")
+    p.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                   help="wall-clock timeout per cell attempt (forces "
+                        "isolated per-cell subprocesses)")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk run cache shared across jobs and with "
+                        "the CLI")
+    p.add_argument("--allow-chaos", action="store_true",
+                   help="accept error-only 'chaos' objects in queries "
+                        "(resilience drills; never kill/hang)")
+    p.add_argument("--drain", type=float, default=5.0, metavar="S",
+                   help="seconds to let in-flight jobs finish on "
+                        "shutdown (default: 5)")
+    p.add_argument("--oneshot", default=None, metavar="QUERY.json",
+                   help="execute one query file locally, print the "
+                        "exact bytes the server would serve, and exit")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("workloads", help="list the population")
     p.add_argument("--suite", default=None)

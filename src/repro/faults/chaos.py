@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
@@ -95,36 +96,39 @@ class ChaosPolicy:
             )
 
 
-# -- process-wide installation (inherited by forked workers) ---------------
+# -- installation (context-scoped; inherited by forked workers) ------------
+#
+# Like the fault plan, the active chaos policy is a ContextVar so that
+# concurrent server jobs can sabotage their own cells (the smoke tests'
+# "poisoned query") without dooming anybody else's.  Forked workers
+# inherit the forking thread's context with the process image.
 
-_ACTIVE: Optional[ChaosPolicy] = None
+_ACTIVE: ContextVar[Optional[ChaosPolicy]] = ContextVar(
+    "repro_chaos_policy", default=None
+)
 
 
 def install_chaos(policy: ChaosPolicy) -> ChaosPolicy:
-    """Install ``policy`` process-wide; forked workers inherit it."""
-    global _ACTIVE
-    _ACTIVE = policy
+    """Install ``policy`` for the current context; workers inherit it."""
+    _ACTIVE.set(policy)
     return policy
 
 
 def active_chaos() -> Optional[ChaosPolicy]:
     """The installed policy, or ``None`` (no sabotage)."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 def clear_chaos() -> None:
     """Remove the installed policy."""
-    global _ACTIVE
-    _ACTIVE = None
+    _ACTIVE.set(None)
 
 
 @contextmanager
 def chaos_injection(policy: ChaosPolicy) -> Iterator[ChaosPolicy]:
     """Scope a chaos policy to a block, restoring the previous after."""
-    global _ACTIVE
-    previous = _ACTIVE
-    install_chaos(policy)
+    token = _ACTIVE.set(policy)
     try:
         yield policy
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)

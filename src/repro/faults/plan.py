@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -238,38 +239,46 @@ def retry_storm_plan(
     )
 
 
-# -- process-wide installation (mirrors repro.obs) -------------------------
+# -- installation (context-scoped; mirrors repro.obs) ----------------------
+#
+# The active plan lives in a ContextVar, not a module global: each thread
+# (and asyncio task) sees its own installation, so concurrent ``repro
+# serve`` jobs can run different fault plans without racing -- a race
+# here would silently mis-key cache entries.  Single-threaded CLI flows
+# are unchanged (install and execution share one context), and forked
+# pool workers inherit the forking thread's context with the process
+# image, exactly as they inherited the old global.
 
-_ACTIVE: Optional[FaultPlan] = None
+_ACTIVE: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro_fault_plan", default=None
+)
 
 
 def install_fault_plan(plan: FaultPlan) -> FaultPlan:
-    """Install ``plan`` process-wide; returns it for chaining."""
-    global _ACTIVE
+    """Install ``plan`` for the current context; returns it for chaining."""
     if not isinstance(plan, FaultPlan):
         raise ConfigurationError(f"expected a FaultPlan, got {plan!r}")
-    _ACTIVE = plan
+    _ACTIVE.set(plan)
     return plan
 
 
 def active_fault_plan() -> Optional[FaultPlan]:
     """The installed plan, or ``None`` (faults disabled)."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 def clear_fault_plan() -> None:
     """Remove the installed plan (back to fault-free)."""
-    global _ACTIVE
-    _ACTIVE = None
+    _ACTIVE.set(None)
 
 
 @contextmanager
 def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
     """Scope a fault plan to a block, restoring the previous one after."""
-    global _ACTIVE
-    previous = _ACTIVE
-    install_fault_plan(plan)
+    if not isinstance(plan, FaultPlan):
+        raise ConfigurationError(f"expected a FaultPlan, got {plan!r}")
+    token = _ACTIVE.set(plan)
     try:
         yield plan
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)

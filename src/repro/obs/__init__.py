@@ -23,6 +23,7 @@ reported latency; both properties are enforced by the ``obs`` layer of
 
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_QUEUE_WAIT_BUCKETS_S,
     DEFAULT_TIME_BUCKETS_S,
     Counter,
     Gauge,
@@ -51,6 +52,7 @@ __all__ = [
     "CLOCK_WALL",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_QUEUE_WAIT_BUCKETS_S",
     "DEFAULT_TIME_BUCKETS_S",
     "Gauge",
     "Histogram",

@@ -15,6 +15,15 @@ memoized by ``(kind, name, labels)`` and the whole registry exports as a
 JSON document (``to_json``, consumed by ``repro stats``) or as Prometheus
 text exposition format (``to_prometheus``).
 
+Thread safety: the registry is process-wide and -- since ``repro serve``
+-- mutated from server worker threads while the event loop exports it.
+One shared :func:`threading.RLock` guards every instrument update,
+instrument creation, and export, so ``+=`` on shared floats can never
+tear or lose increments and an export always sees a consistent snapshot
+(a histogram's ``counts`` always sum to its ``count``).  The lock is
+re-initialized in forked children (``os.register_at_fork``) so a process
+pool forked while another thread holds it cannot deadlock.
+
 Determinism guarantee: instruments only *read* the quantities they are
 handed -- none of them touches an RNG or feeds back into a model -- so
 enabling metrics can never perturb simulated results (enforced by the
@@ -24,13 +33,39 @@ enabling metrics can never perturb simulated results (enforced by the
 from __future__ import annotations
 
 import json
+import os
 import re
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 
 LabelItems = Tuple[Tuple[str, str], ...]
+
+_LOCK = threading.RLock()
+"""One lock for all instrument updates, creation, and exports.
+
+A single shared lock (rather than one per instrument) keeps exports
+trivially consistent -- nothing can move while a snapshot renders -- and
+instrument updates are far too coarse (per batch, per simulated run) for
+the contention to matter.
+"""
+
+
+def _reset_lock_after_fork() -> None:
+    """Replace the lock in forked children.
+
+    ``fork`` clones only the calling thread; a lock held by any *other*
+    thread at fork time would stay locked forever in the child.  Campaign
+    pool workers and isolated cell subprocesses all fork, and under
+    ``repro serve`` other threads are live when they do.
+    """
+    global _LOCK
+    _LOCK = threading.RLock()
+
+
+os.register_at_fork(after_in_child=_reset_lock_after_fork)
 
 DEFAULT_TIME_BUCKETS_S = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
@@ -43,6 +78,13 @@ DEFAULT_LATENCY_BUCKETS_NS = (
     1500.0, 2000.0, 3000.0, 5000.0, 10000.0,
 )
 """Simulated-latency histogram buckets (ns): idle DRAM to deep CXL tails."""
+
+DEFAULT_QUEUE_WAIT_BUCKETS_S = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+)
+"""Server admission queue-wait buckets (seconds): immediate grants to
+requests parked behind a saturated worker pool (``repro serve``)."""
 
 
 def _label_items(labels: Dict[str, str]) -> LabelItems:
@@ -68,7 +110,8 @@ class Counter:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ConfigurationError(f"counter increment must be >= 0: {amount}")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -81,7 +124,8 @@ class Gauge:
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
-        self.value = float(value)
+        with _LOCK:
+            self.value = float(value)
 
 
 class Histogram:
@@ -112,12 +156,14 @@ class Histogram:
         value = float(value)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                self.counts[i] += 1
+                index = i
                 break
         else:
-            self.counts[-1] += 1
-        self.sum += value
-        self.count += 1
+            index = len(self.counts) - 1
+        with _LOCK:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
 
     def observe_many(self, values) -> None:
         """Record a vector of observations (one vectorized pass)."""
@@ -127,10 +173,11 @@ class Histogram:
         if arr.size == 0:
             return
         idx = np.searchsorted(np.asarray(self.bounds), arr, side="left")
-        for i, n in zip(*np.unique(idx, return_counts=True)):
-            self.counts[int(i)] += int(n)
-        self.sum += float(arr.sum())
-        self.count += int(arr.size)
+        with _LOCK:
+            for i, n in zip(*np.unique(idx, return_counts=True)):
+                self.counts[int(i)] += int(n)
+            self.sum += float(arr.sum())
+            self.count += int(arr.size)
 
     @property
     def mean(self) -> float:
@@ -138,13 +185,14 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe representation."""
-        return {
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "sum": self.sum,
-            "count": self.count,
-        }
+        """JSON-safe representation (a consistent snapshot)."""
+        with _LOCK:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+            }
 
 
 class _NullCounter:
@@ -205,15 +253,21 @@ class MetricsRegistry:
 
     def _get(self, kind: str, name: str, labels: Dict[str, str], build):
         key = (kind, name, _label_items(labels))
+        # First lookup outside the lock: dict reads are atomic, and the
+        # common case (instrument already exists) must stay cheap.
         instrument = self._instruments.get(key)
         if instrument is None:
-            for other_kind, other_name, _ in self._instruments:
-                if other_name == name and other_kind != kind:
-                    raise ConfigurationError(
-                        f"metric {name!r} already registered as a {other_kind}"
-                    )
-            instrument = build()
-            self._instruments[key] = instrument
+            with _LOCK:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    for other_kind, other_name, _ in self._instruments:
+                        if other_name == name and other_kind != kind:
+                            raise ConfigurationError(
+                                f"metric {name!r} already registered "
+                                f"as a {other_kind}"
+                            )
+                    instrument = build()
+                    self._instruments[key] = instrument
         return instrument
 
     def counter(self, name: str, **labels: str) -> Counter:
@@ -237,28 +291,30 @@ class MetricsRegistry:
     # -- export ----------------------------------------------------------
 
     def _by_kind(self, kind: str) -> List[Tuple[str, LabelItems, Instrument]]:
-        return sorted(
-            (name, labels, inst)
-            for (k, name, labels), inst in self._instruments.items()
-            if k == kind
-        )
+        with _LOCK:
+            return sorted(
+                (name, labels, inst)
+                for (k, name, labels), inst in self._instruments.items()
+                if k == kind
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe snapshot: the schema ``repro stats`` consumes."""
-        return {
-            "counters": {
-                _render_name(n, l): inst.value
-                for n, l, inst in self._by_kind("counter")
-            },
-            "gauges": {
-                _render_name(n, l): inst.value
-                for n, l, inst in self._by_kind("gauge")
-            },
-            "histograms": {
-                _render_name(n, l): inst.to_dict()
-                for n, l, inst in self._by_kind("histogram")
-            },
-        }
+        with _LOCK:
+            return {
+                "counters": {
+                    _render_name(n, l): inst.value
+                    for n, l, inst in self._by_kind("counter")
+                },
+                "gauges": {
+                    _render_name(n, l): inst.value
+                    for n, l, inst in self._by_kind("gauge")
+                },
+                "histograms": {
+                    _render_name(n, l): inst.to_dict()
+                    for n, l, inst in self._by_kind("histogram")
+                },
+            }
 
     def to_json(self, indent: int = 2) -> str:
         """Serialize the snapshot (sorted keys, so diffs are stable)."""
@@ -268,8 +324,14 @@ class MetricsRegistry:
         """Prometheus text exposition format (metric names get ``repro_``).
 
         ``# TYPE`` is declared once per metric family, before its first
-        sample, as the exposition format requires.
+        sample, as the exposition format requires.  The whole render runs
+        under the shared lock, so a scrape that races concurrent updates
+        still sees every histogram's buckets sum to its count.
         """
+        with _LOCK:
+            return self._render_prometheus()
+
+    def _render_prometheus(self) -> str:
         lines: List[str] = []
         typed = set()
 

@@ -19,13 +19,27 @@ detection rather than left to fail every future load, temp files from
 interrupted atomic writes are cleaned up on the failure path, and
 :meth:`RunCache.prune` garbage-collects unparseable documents, orphaned
 blobs, and stale temp files from the disk tier.
+
+Thread safety: one :class:`RunCache` may be shared by many threads (the
+``repro serve`` worker pool runs one :class:`CampaignEngine` per query
+against a single cache).  An internal lock guards the memory tier, the
+blob memo, and the hit/miss statistics; temp-file names are unique per
+(process, thread, write) so two threads storing the same key can never
+race each other's ``os.replace``; and :meth:`prune` tolerates entries
+created concurrently by live writers -- it only collects temp files and
+orphaned blobs older than :data:`PRUNE_MIN_AGE_S`, and treats files that
+vanish mid-scan as already collected.  Disk I/O happens outside the lock,
+so a warm disk load never serializes unrelated lookups.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
+import time
 from dataclasses import is_dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -56,6 +70,26 @@ def _canonical(payload) -> str:
 
 _FINGERPRINT_MEMO: Dict[int, Tuple[object, str]] = {}
 _FINGERPRINT_MEMO_CAP = 100_000
+_FINGERPRINT_LOCK = threading.Lock()
+
+PRUNE_MIN_AGE_S = 60.0
+"""How old a temp file or orphaned blob must be before prune collects it.
+
+A *young* temp file is (almost certainly) an atomic write in flight, and a
+young orphaned blob is a ``put`` that has written its blobs but not yet
+its run document; deleting either from under a live writer is the race
+this guard closes.  Sixty seconds is orders of magnitude above any single
+write, and stale garbage is by definition old.
+"""
+
+_TMP_SEQ = itertools.count()
+"""Process-wide sequence for temp-file names.
+
+The pid alone is not enough: two *threads* of one process writing the
+same key would share a temp path, and the loser's ``os.replace`` raises
+``FileNotFoundError`` after the winner moves the file away.
+"""
+
 
 def _memoized(obj, build) -> str:
     """Fingerprint ``obj`` once per object identity.
@@ -65,13 +99,15 @@ def _memoized(obj, build) -> str:
     The memo holds a strong reference to the keyed object, so an id() can
     never be recycled while its entry is alive.
     """
-    entry = _FINGERPRINT_MEMO.get(id(obj))
-    if entry is not None and entry[0] is obj:
-        return entry[1]
-    if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_CAP:
-        _FINGERPRINT_MEMO.clear()
+    with _FINGERPRINT_LOCK:
+        entry = _FINGERPRINT_MEMO.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return entry[1]
     text = _canonical(build(obj))
-    _FINGERPRINT_MEMO[id(obj)] = (obj, text)
+    with _FINGERPRINT_LOCK:
+        if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_CAP:
+            _FINGERPRINT_MEMO.clear()
+        _FINGERPRINT_MEMO[id(obj)] = (obj, text)
     return text
 
 
@@ -143,6 +179,7 @@ class RunCache:
         self._made_shards = set()
         self._blobs: Dict[str, object] = {}
         self._blobs_written = set()
+        self._lock = threading.RLock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -151,7 +188,8 @@ class RunCache:
         self.recovered = 0
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def _disk_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
@@ -168,17 +206,16 @@ class RunCache:
         ref = hashlib.sha256(
             _memoized(obj, to_dict).encode("utf-8")
         ).hexdigest()[:32]
-        self._blobs[ref] = obj
-        if ref in self._blobs_written:
-            return ref
+        with self._lock:
+            self._blobs[ref] = obj
+            if ref in self._blobs_written:
+                return ref
         path = self._blob_path(ref)
-        shard = os.path.dirname(path)
-        if shard not in self._made_shards:
-            os.makedirs(shard, exist_ok=True)
-            self._made_shards.add(shard)
+        self._ensure_shard(os.path.dirname(path))
         if not os.path.exists(path):
             self._atomic_write(path, to_dict(obj))
-        self._blobs_written.add(ref)
+        with self._lock:
+            self._blobs_written.add(ref)
         return ref
 
     def _load_blob(self, ref: str, from_dict):
@@ -188,7 +225,8 @@ class RunCache:
         on detection: it can never satisfy a future load, and dropping it
         lets the next :meth:`put` of the same content rewrite it cleanly.
         """
-        obj = self._blobs.get(ref)
+        with self._lock:
+            obj = self._blobs.get(ref)
         if obj is None:
             path = self._blob_path(ref)
             try:
@@ -199,24 +237,48 @@ class RunCache:
             except (ValueError, TypeError, KeyError) as exc:
                 self._recover(path)
                 raise KeyError(f"corrupt blob {ref}") from exc
-            self._blobs[ref] = obj
+            with self._lock:
+                self._blobs[ref] = obj
         return obj
 
     # -- hygiene helpers -------------------------------------------------
 
+    def _ensure_shard(self, shard: str) -> None:
+        """Create a shard directory once (idempotent, lock-protected memo)."""
+        with self._lock:
+            if shard in self._made_shards:
+                return
+        os.makedirs(shard, exist_ok=True)
+        with self._lock:
+            self._made_shards.add(shard)
+
     def _atomic_write(self, path: str, payload) -> None:
-        """Write ``payload`` as JSON via a temp file; clean up on failure."""
-        tmp = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(tmp, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
+        """Write ``payload`` as JSON via a temp file; clean up on failure.
+
+        The temp name is unique per (process, thread, write), so
+        concurrent stores of the same key each replace their *own* temp
+        file -- last writer wins, nobody crashes.  If a concurrent
+        ``prune`` (or an overzealous external cleaner) unlinks the temp
+        file between the write and the ``os.replace``, the write retries
+        once with a fresh temp name rather than failing the store.
+        """
+        for attempt in (1, 2):
+            tmp = (f"{path}.tmp.{os.getpid()}."
+                   f"{threading.get_ident()}.{next(_TMP_SEQ)}")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                if attempt == 2:
+                    raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def _discard(self, path: str) -> bool:
         """Remove one corrupt cache file (best effort) and count it."""
@@ -224,7 +286,8 @@ class RunCache:
             os.unlink(path)
         except OSError:
             return False
-        self.corrupt_dropped += 1
+        with self._lock:
+            self.corrupt_dropped += 1
         return True
 
     def _recover(self, path: str) -> bool:
@@ -237,31 +300,37 @@ class RunCache:
         """
         if not self._discard(path):
             return False
-        self.recovered += 1
+        with self._lock:
+            self.recovered += 1
         metrics().counter("runtime.cache_recovered").inc()
         return True
 
     # -- run tier --------------------------------------------------------
 
+    def _miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
     def get(self, key: str) -> Optional[RunResult]:
         """Look a run up; promotes disk hits into the memory tier."""
-        hit = self._memory.get(key)
-        if hit is not None:
-            self.memory_hits += 1
-            return hit
+        with self._lock:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self.memory_hits += 1
+                return hit
         path = self._disk_path(key)
         if path is not None:
             try:
                 with open(path, "r") as handle:
                     data = json.load(handle)
             except OSError:
-                self.misses += 1
+                self._miss()
                 return None
             except ValueError:
                 # Truncated or garbled document: degrade to a miss, but
                 # delete the file so it cannot keep failing forever.
                 self._recover(path)
-                self.misses += 1
+                self._miss()
                 return None
             if isinstance(data, dict) and data.get("kind") == "eventsim":
                 # Event-simulation documents carry their payload inline
@@ -272,11 +341,9 @@ class RunCache:
                     result = EventSimResult.from_dict(data)
                 except (ValueError, KeyError, TypeError):
                     self._recover(path)
-                    self.misses += 1
+                    self._miss()
                     return None
-                self._memory[key] = result
-                self.disk_hits += 1
-                return result
+                return self._promote(key, result)
             try:
                 result = run_result_from_dict(
                     data,
@@ -292,18 +359,32 @@ class RunCache:
                 # never load again -- drop it (corrupt blobs were already
                 # dropped by ``_load_blob``).
                 self._recover(path)
-                self.misses += 1
+                self._miss()
                 return None
-            self._memory[key] = result
-            self.disk_hits += 1
-            return result
-        self.misses += 1
+            return self._promote(key, result)
+        self._miss()
         return None
+
+    def _promote(self, key: str, result):
+        """Install one disk hit into the memory tier.
+
+        When another thread promoted (or stored) the same key while this
+        one was reading disk, the incumbent wins: both copies are
+        bit-identical by construction, and keeping the first means every
+        caller shares one object.
+        """
+        with self._lock:
+            incumbent = self._memory.get(key)
+            if incumbent is None:
+                self._memory[key] = incumbent = result
+            self.disk_hits += 1
+        return incumbent
 
     def put(self, key: str, result: RunResult) -> None:
         """Store a run in both tiers (atomic writes, blobs first)."""
-        self._memory[key] = result
-        self.stores += 1
+        with self._lock:
+            self._memory[key] = result
+            self.stores += 1
         path = self._disk_path(key)
         if path is None:
             return
@@ -314,10 +395,7 @@ class RunCache:
         data["platform_ref"] = self._write_blob(
             result.platform, platform_to_dict
         )
-        shard = os.path.dirname(path)
-        if shard not in self._made_shards:
-            os.makedirs(shard, exist_ok=True)
-            self._made_shards.add(shard)
+        self._ensure_shard(os.path.dirname(path))
         self._atomic_write(path, data)
 
     def put_memory(self, key: str, result) -> None:
@@ -329,28 +407,42 @@ class RunCache:
         it persists as a self-contained document so warm ``--cache-dir``
         invocations skip sim cells exactly like analytic ones.
         """
-        self._memory[key] = result
-        self.stores += 1
+        with self._lock:
+            self._memory[key] = result
+            self.stores += 1
         path = self._disk_path(key)
         to_dict = getattr(result, "to_dict", None)
         if path is None or to_dict is None:
             return
-        shard = os.path.dirname(path)
-        if shard not in self._made_shards:
-            os.makedirs(shard, exist_ok=True)
-            self._made_shards.add(shard)
+        self._ensure_shard(os.path.dirname(path))
         self._atomic_write(path, to_dict())
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier survives)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
-    def prune(self) -> Dict[str, int]:
+    @staticmethod
+    def _older_than(path: Path, age_s: float) -> bool:
+        """Whether ``path`` is older than ``age_s`` (False if it vanished)."""
+        try:
+            return (time.time() - path.stat().st_mtime) >= age_s
+        except OSError:
+            return False
+
+    def prune(self, min_age_s: float = PRUNE_MIN_AGE_S) -> Dict[str, int]:
         """Garbage-collect the disk tier.
 
         Removes (a) run documents that no longer parse, (b) blob files
         referenced by no surviving run document, and (c) temp files left by
         interrupted atomic writes.  Returns counts of what was removed.
+
+        Safe to run while other threads or processes are writing: temp
+        files and orphaned blobs younger than ``min_age_s`` are left alone
+        (a young temp file is an atomic write in flight; a young orphaned
+        blob belongs to a ``put`` whose run document lands moments later),
+        and entries that disappear between the scan and the unlink are
+        treated as already collected, never as errors.
         """
         removed = {"documents": 0, "blobs": 0, "temp_files": 0}
         if self.cache_dir is None or not self.cache_dir.is_dir():
@@ -365,18 +457,23 @@ class RunCache:
                 if isinstance(data, dict) and data.get("kind") == "eventsim":
                     continue  # self-contained: references no blobs
                 refs = (data["workload_ref"], data["platform_ref"])
-            except (OSError, ValueError, KeyError, TypeError):
+            except OSError:
+                continue  # vanished mid-scan (concurrent writer/pruner)
+            except (ValueError, KeyError, TypeError):
                 if self._discard(str(path)):
                     removed["documents"] += 1
                 continue
             referenced.update(refs)
         if blob_dir.is_dir():
             for path in sorted(blob_dir.glob("*.json")):
-                if path.stem not in referenced:
+                if path.stem not in referenced \
+                        and self._older_than(path, min_age_s):
                     if self._discard(str(path)):
                         removed["blobs"] += 1
         for path in sorted(self.cache_dir.rglob("*.tmp.*")):
-            if self._discard(str(path)):
-                removed["temp_files"] += 1
-        self._blobs_written.clear()
+            if self._older_than(path, min_age_s):
+                if self._discard(str(path)):
+                    removed["temp_files"] += 1
+        with self._lock:
+            self._blobs_written.clear()
         return removed

@@ -16,6 +16,16 @@ cache skip everything that already finished.
 fault plan), so resuming with a different campaign -- or the same one
 under a different fault plan -- can never pick up the wrong file.
 
+Checkpoints are additionally scoped by an optional **job id**: two
+*concurrent* jobs running the *same* campaign (twin CLI invocations, or
+two ``repro serve`` jobs coalescing was unable to merge) share a
+fingerprint, and with a single path they would silently clobber each
+other's atomic checkpoint -- each ``os.replace`` wins the file for a
+progress count the other job immediately overwrites.  A job id gives each
+writer its own document (``<fingerprint>.<job_id>.json``); the empty id
+(the historical single-writer path) is unchanged, so existing checkpoints
+keep resuming.
+
 Checkpoint documents that fail to parse are deleted on load (counted via
 ``runtime.cache_recovered``, like any other cache-dir recovery) and
 treated as "no checkpoint": a truncated write from a SIGKILL degrades to
@@ -27,6 +37,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -74,16 +86,18 @@ class Checkpointer:
     total_cells: int = 0
     every: int = 16
     completed: int = 0
+    job_id: str = ""
     writes: int = field(default=0, init=False)
     _since_write: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.every < 1:
             raise ConfigurationError("checkpoint interval must be >= 1")
+        _validate_job_id(self.job_id)
 
     @property
     def path(self) -> str:
-        return checkpoint_path(self.cache_dir, self.fingerprint)
+        return checkpoint_path(self.cache_dir, self.fingerprint, self.job_id)
 
     def tick(self, completed_cells: int, failed: List[FailedCell]) -> None:
         """Account newly executed cells; write when the interval elapses."""
@@ -114,9 +128,11 @@ class Checkpointer:
             "complete": complete,
             "failed": [record.to_dict() for record in failed],
         }
+        if self.job_id:
+            document["job_id"] = self.job_id
         path = self.path
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
             with open(tmp, "w") as handle:
                 json.dump(document, handle)
@@ -162,20 +178,38 @@ class CheckpointState:
         )
 
 
-def checkpoint_path(cache_dir: str, fingerprint: str) -> str:
-    """Where a campaign's checkpoint document lives."""
-    return os.path.join(cache_dir, "checkpoints", f"{fingerprint}.json")
+_JOB_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def _validate_job_id(job_id: str) -> None:
+    if job_id and not _JOB_ID_RE.match(job_id):
+        raise ConfigurationError(
+            f"job id {job_id!r} must match [A-Za-z0-9._-]{{1,64}}"
+        )
+
+
+def checkpoint_path(
+    cache_dir: str, fingerprint: str, job_id: str = ""
+) -> str:
+    """Where a campaign's checkpoint document lives.
+
+    ``job_id`` scopes concurrent same-fingerprint jobs onto distinct
+    files; the empty id is the historical single-writer path.
+    """
+    _validate_job_id(job_id)
+    stem = f"{fingerprint}.{job_id}" if job_id else fingerprint
+    return os.path.join(cache_dir, "checkpoints", f"{stem}.json")
 
 
 def load_checkpoint(
-    cache_dir: str, fingerprint: str
+    cache_dir: str, fingerprint: str, job_id: str = ""
 ) -> Optional[CheckpointState]:
     """Load a checkpoint, or ``None`` when absent (or unreadably corrupt).
 
     A document that exists but cannot parse is deleted -- it can never
     load again -- and counted as a cache-dir recovery.
     """
-    path = checkpoint_path(cache_dir, fingerprint)
+    path = checkpoint_path(cache_dir, fingerprint, job_id)
     try:
         with open(path, "r") as handle:
             data = json.load(handle)

@@ -63,6 +63,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -172,18 +173,29 @@ class SimCell:
 AnyCell = Union[Cell, SimCell]
 
 _SIMULATORS: Dict[Tuple[str, int], object] = {}
+_SIMULATORS_LOCK = threading.Lock()
 
 
 def _simulator_for(device_name: str, seed: int):
-    """Per-process simulator cache (device construction is not free)."""
+    """Per-process simulator cache (device construction is not free).
+
+    Lock-protected: ``repro serve`` resolves simulators from many worker
+    threads at once, and every caller must share one instance so the
+    per-device timing-constant memo warms exactly once.
+    """
     cache_key = (device_name, seed)
     sim = _SIMULATORS.get(cache_key)
     if sim is None:
         from repro.hw.cxl import CXL_DEVICES
         from repro.hw.cxl.eventdevice import EventDrivenDevice
 
-        sim = EventDrivenDevice(CXL_DEVICES[device_name](), seed=seed)
-        _SIMULATORS[cache_key] = sim
+        with _SIMULATORS_LOCK:
+            sim = _SIMULATORS.get(cache_key)
+            if sim is None:
+                sim = EventDrivenDevice(
+                    CXL_DEVICES[device_name](), seed=seed
+                )
+                _SIMULATORS[cache_key] = sim
     return sim
 
 
@@ -300,6 +312,21 @@ def _run_cell_isolated(
         if proc.is_alive():  # pragma: no cover - defensive
             proc.terminate()
             proc.join(_JOIN_GRACE_S)
+
+
+def _run_cell_inline(cell: AnyCell, attempt: int) -> Tuple[str, object]:
+    """Run one resilient attempt in-process (no subprocess, no timeout).
+
+    ``repro serve`` worker threads use this: forking from a thread while
+    other threads hold locks (metrics, cache) risks deadlocking the
+    child, and a server job only needs the retry/quarantine semantics --
+    crash isolation comes from the thread boundary, and hangs are bounded
+    by admission control, not per-cell timeouts.
+    """
+    try:
+        return "ok", _execute_cell_attempt(cell, attempt)
+    except Exception as exc:  # noqa: BLE001 -- becomes a FailedCell
+        return "error", f"{type(exc).__name__}: {exc}"
 
 
 def _pool_chunksize(n_pending: int, jobs: int) -> int:
@@ -653,6 +680,12 @@ class CampaignEngine:
     mode: str = "auto"
     """Execution-strategy override: one of :data:`ENGINE_MODES`."""
     planner: ExecutionPlanner = field(default_factory=ExecutionPlanner)
+    isolate: bool = True
+    """Resilient mode: run each attempt in its own subprocess (the CLI
+    default).  ``False`` runs attempts inline -- retry/quarantine without
+    fork -- which is what server worker threads need; a per-cell
+    ``timeout_s`` always forces isolation (only a killable subprocess can
+    enforce a wall-clock deadline)."""
     _quarantined: Dict[str, FailedCell] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -973,15 +1006,19 @@ class CampaignEngine:
             if plan.choice == "pool":
                 self._note_plan(plan)
                 queue, ok = self._resilient_pool_pass(queue, jobs, resolved)
+        isolate = self.isolate or policy.timeout_s is not None
         while queue:
             cell, key, attempt = queue.popleft()
             if attempt > 1:
                 delay = policy.backoff_s(key, attempt - 1)
                 if delay > 0:
                     self.sleep_fn(delay)
-            outcome, payload = _run_cell_isolated(
-                cell, attempt, policy.timeout_s
-            )
+            if isolate:
+                outcome, payload = _run_cell_isolated(
+                    cell, attempt, policy.timeout_s
+                )
+            else:
+                outcome, payload = _run_cell_inline(cell, attempt)
             if outcome == "ok":
                 self._complete(key, payload, resolved)
                 self.stats.cells_serial += 1

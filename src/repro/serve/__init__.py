@@ -1,0 +1,62 @@
+"""`repro.serve`: characterization-as-a-service.
+
+The campaign runtime batch-answers questions the CLI asks once; this
+package turns the same runtime into a long-lived asyncio HTTP service
+so many clients can ask concurrently -- with **request coalescing**
+(identical in-flight queries share one execution and receive
+byte-identical bytes), **admission control** (bounded slots, bounded
+queue, per-tenant caps, 429 on overload), per-job **fault isolation**
+(a poisoned query degrades its own response document, never the
+server), and streamed ndjson progress.  Stdlib only: the HTTP/1.1
+framing is hand-rolled in :mod:`repro.serve.protocol`.
+
+See DESIGN.md ("Serving") for the coalescing and admission model and
+the thread-safety contract this package leans on.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.client import Response, ServeClient, fetch
+from repro.serve.coalescer import Coalescer, Job
+from repro.serve.protocol import (
+    ChunkedResponse,
+    ProtocolError,
+    Request,
+    read_request,
+    write_response,
+)
+from repro.serve.query import (
+    Query,
+    QueryError,
+    QueryPoint,
+    build_engine,
+    execute_query,
+    parse_query,
+    render_document,
+    run_oneshot,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "ChunkedResponse",
+    "Coalescer",
+    "Job",
+    "ProtocolError",
+    "Query",
+    "QueryError",
+    "QueryPoint",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "build_engine",
+    "execute_query",
+    "fetch",
+    "parse_query",
+    "read_request",
+    "render_document",
+    "run_oneshot",
+    "write_response",
+]

@@ -1,0 +1,130 @@
+"""Admission control: bounded work in flight, overload answered with 429.
+
+Three independent limits, all enforced on the event loop (single
+threaded, so plain counters suffice):
+
+* **execution slots** (``max_inflight``) -- how many *leader* jobs may
+  occupy worker threads at once.  Followers of a coalesced job never
+  consume a slot; that is the whole point of coalescing.
+* **queue depth** (``max_queue``) -- how many leaders may wait for a
+  slot.  Beyond it the request is rejected immediately with 429 and a
+  ``Retry-After`` hint, because an unbounded queue converts overload
+  into unbounded latency, which is strictly worse.
+* **per-tenant requests** (``per_tenant``) -- how many requests (leader
+  or follower) one tenant may have open, so a single chatty client
+  cannot monopolize either the slots or the coalescer.
+
+The queue is FIFO (futures in a deque), and queue waits feed the
+``serve.queue_wait_seconds`` histogram so saturation is visible in
+``/metrics`` long before clients see 429s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict
+
+from repro.obs.metrics import DEFAULT_QUEUE_WAIT_BUCKETS_S, metrics
+
+
+class AdmissionError(Exception):
+    """A request refused at the door (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after_s: int = 1):
+        super().__init__(message)
+        self.status = 429
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Slot, queue-depth and per-tenant accounting for one server."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        per_tenant: int,
+    ):
+        if min(max_inflight, max_queue, per_tenant) < 1:
+            raise ValueError("admission limits must be >= 1")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.per_tenant = per_tenant
+        self.active = 0
+        self.rejected = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._tenants: Dict[str, int] = {}
+
+    @property
+    def queued(self) -> int:
+        """Leaders currently waiting for an execution slot."""
+        return len(self._waiters)
+
+    # -- per-tenant request accounting ------------------------------------
+
+    def admit_tenant(self, tenant: str) -> None:
+        """Count one open request for ``tenant`` or refuse it."""
+        open_requests = self._tenants.get(tenant, 0)
+        if open_requests >= self.per_tenant:
+            self.rejected += 1
+            metrics().counter("serve.rejected", reason="tenant").inc()
+            raise AdmissionError(
+                f"tenant {tenant!r} already has {open_requests} open "
+                f"request(s) (limit {self.per_tenant})"
+            )
+        self._tenants[tenant] = open_requests + 1
+
+    def release_tenant(self, tenant: str) -> None:
+        """Close one of ``tenant``'s requests."""
+        remaining = self._tenants.get(tenant, 0) - 1
+        if remaining > 0:
+            self._tenants[tenant] = remaining
+        else:
+            self._tenants.pop(tenant, None)
+
+    # -- execution slots (leaders only) -----------------------------------
+
+    async def acquire_slot(self) -> None:
+        """Take an execution slot, waiting in the bounded FIFO queue."""
+        if self.active < self.max_inflight:
+            self.active += 1
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.rejected += 1
+            metrics().counter("serve.rejected", reason="queue").inc()
+            raise AdmissionError(
+                f"server at capacity ({self.active} running, "
+                f"{len(self._waiters)} queued)"
+            )
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        start = time.monotonic()
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # The slot was handed over concurrently with the
+                # cancellation; pass it on instead of leaking it.
+                self.release_slot()
+            else:
+                self._waiters.remove(waiter)
+            raise
+        finally:
+            registry = metrics()
+            if registry.enabled:
+                registry.histogram(
+                    "serve.queue_wait_seconds",
+                    buckets=DEFAULT_QUEUE_WAIT_BUCKETS_S,
+                ).observe(time.monotonic() - start)
+        # ``active`` was transferred by the releaser; nothing to bump.
+
+    def release_slot(self) -> None:
+        """Free a slot, handing it to the oldest waiter if there is one."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return  # slot transferred, ``active`` unchanged
+        self.active -= 1

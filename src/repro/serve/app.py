@@ -1,0 +1,310 @@
+"""The ``repro serve`` application: event loop, worker pool, lifecycle.
+
+Architecture (one paragraph): a single asyncio event loop owns every
+piece of shared mutable state -- the coalescer's in-flight map, the
+admission counters, the per-job event fan-out -- so none of it needs
+locks.  Actual characterization work happens in a small
+:class:`~concurrent.futures.ThreadPoolExecutor`: each leader job builds
+a throwaway :class:`~repro.runtime.executor.CampaignEngine` (``jobs=1``,
+inline resilient mode) over the server's one shared
+:class:`~repro.runtime.cache.RunCache`, installs the query's fault plan
+and chaos policy into its own context (ContextVars, so neighbours are
+untouched), and runs the sweep point by point, posting progress back to
+the loop with ``call_soon_threadsafe``.  The thread-safe pieces the
+worker threads *do* share -- the run cache and the metrics registry --
+are exactly the ones the concurrency sweep hardened (see DESIGN.md).
+
+Lifecycle: ``SIGTERM``/``SIGINT`` stop the accept loop, in-flight jobs
+get ``drain_s`` seconds to finish, open connections are then closed,
+and the process exits 0.  A poisoned query (chaos, doomed cells)
+degrades its own response document; it cannot take the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics,
+)
+from repro.runtime.cache import RunCache
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import Coalescer, Job
+from repro.serve.handlers import error_body, handle_request
+from repro.serve.protocol import ProtocolError, read_request, write_response
+from repro.serve.query import Query, build_engine, execute_query, \
+    render_document
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server instance (the CLI flags, as data)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 4
+    max_inflight: int = 0
+    """Leader jobs executing at once; 0 means "same as workers"."""
+    max_queue: int = 32
+    per_tenant: int = 16
+    cell_retries: int = 2
+    cell_timeout: Optional[float] = None
+    cache_dir: Optional[str] = None
+    allow_chaos: bool = False
+    drain_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                "port must be 0-65535 (0 picks an ephemeral port)"
+            )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.max_inflight < 0:
+            raise ConfigurationError("max_inflight must be >= 0")
+        if self.max_queue < 1 or self.per_tenant < 1:
+            raise ConfigurationError("admission limits must be >= 1")
+        if self.cell_retries < 1:
+            raise ConfigurationError("cell_retries must be >= 1")
+        if self.drain_s < 0:
+            raise ConfigurationError("drain_s must be >= 0")
+
+    @property
+    def effective_inflight(self) -> int:
+        return self.max_inflight or self.workers
+
+
+class ServeApp:
+    """One characterization-as-a-service instance."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()):
+        self.config = config
+        self.cache = RunCache(config.cache_dir)
+        self.coalescer = Coalescer()
+        self.admission = AdmissionController(
+            max_inflight=config.effective_inflight,
+            max_queue=config.max_queue,
+            per_tenant=config.per_tenant,
+        )
+        self.registry = MetricsRegistry()
+        self.requests = 0
+        self.port: Optional[int] = None
+        self._started_at = time.monotonic()
+        self._previous_registry = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._stop = asyncio.Event()
+
+    # -- job execution -----------------------------------------------------
+
+    def _run_query(self, query: Query, on_point) -> bytes:
+        """Worker-thread body: execute one query, render its bytes.
+
+        A fresh engine per job keeps failure state (quarantine ledger,
+        retry policy) job-local while the shared cache still makes every
+        job's results visible to the next one.
+        """
+        engine = build_engine(
+            cache=self.cache,
+            retries=self.config.cell_retries,
+            timeout_s=self.config.cell_timeout,
+        )
+        return render_document(execute_query(query, engine, on_point))
+
+    async def execute_job(self, query: Query, job: Job) -> bytes:
+        """Leader coroutine: slot, worker thread, progress, metrics."""
+        await self.admission.acquire_slot()
+        loop = asyncio.get_running_loop()
+        total = len(query.points)
+
+        def on_point(index: int, doc: dict) -> None:
+            # Called from the worker thread after each finished point.
+            loop.call_soon_threadsafe(job.post, {
+                "event": "point",
+                "index": index,
+                "of": total,
+                "offered_gbps": doc["offered_gbps"],
+                "ok": "error" not in doc,
+            })
+
+        start = time.monotonic()
+        try:
+            return await loop.run_in_executor(
+                self._executor, self._run_query, query, on_point
+            )
+        finally:
+            self.admission.release_slot()
+            registry = metrics()
+            if registry.enabled:
+                registry.histogram("serve.job_seconds").observe(
+                    time.monotonic() - start
+                )
+
+    # -- operational snapshot ----------------------------------------------
+
+    def stats_document(self) -> dict:
+        """The ``GET /stats`` payload."""
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": self.requests,
+            "jobs": {
+                "inflight": len(self.coalescer),
+                "started": self.coalescer.leads,
+                "coalesced": self.coalescer.coalesced,
+            },
+            "admission": {
+                "active": self.admission.active,
+                "queued": self.admission.queued,
+                "rejected": self.admission.rejected,
+                "max_inflight": self.admission.max_inflight,
+                "max_queue": self.admission.max_queue,
+                "per_tenant": self.admission.per_tenant,
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "memory_hits": self.cache.memory_hits,
+                "disk_hits": self.cache.disk_hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+            },
+        }
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = await read_request(reader, peer=peer)
+                except ProtocolError as exc:
+                    write_response(
+                        writer, exc.status,
+                        error_body(exc.status, str(exc)),
+                        keep_alive=False,
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep = await handle_request(self, request, writer)
+                await writer.drain()
+                if not keep or not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            # Shutdown cancelled this handler; exiting quietly here (not
+            # re-raising) keeps asyncio's stream-protocol callback from
+            # logging a spurious traceback per idle connection.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, install the registry, spin up the workers."""
+        self._previous_registry = metrics()
+        enable_metrics(self.registry)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Drain jobs, close connections, restore the registry."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        leftovers = await self.coalescer.drain(self.config.drain_s)
+        if self._executor is not None:
+            self._executor.shutdown(
+                wait=leftovers == 0, cancel_futures=True
+            )
+        for writer in list(self._connections):
+            writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+        if isinstance(self._previous_registry, MetricsRegistry):
+            enable_metrics(self._previous_registry)
+        else:
+            disable_metrics()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (signal handlers land here)."""
+        self._stop.set()
+
+    async def serve(self) -> None:
+        """Run until SIGTERM/SIGINT (or :meth:`request_shutdown`)."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, self.request_shutdown)
+        print(
+            f"serving on http://{self.config.host}:{self.port} "
+            f"({self.config.workers} workers, "
+            f"{self.admission.max_inflight} slots, "
+            f"queue {self.admission.max_queue})",
+            flush=True,
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            await self.stop()
+            stats = self.stats_document()
+            print(
+                f"shutdown complete: {stats['requests']} requests, "
+                f"{stats['jobs']['started']} jobs, "
+                f"{stats['jobs']['coalesced']} coalesced",
+                flush=True,
+            )
+
+    def run(self) -> int:
+        """Blocking entry point (the CLI's ``repro serve``)."""
+        asyncio.run(self.serve())
+        return 0
+
+
+def render_oneshot_banner(body: bytes) -> str:  # pragma: no cover - trivial
+    """Human summary of a ``--oneshot`` result (stderr side channel)."""
+    import json as _json
+
+    doc = _json.loads(body)
+    return (
+        f"query {doc.get('query_key', '?')[:12]}: "
+        f"{len(doc.get('points', []))} point(s), "
+        f"{doc.get('errors', 0)} error(s)"
+    )

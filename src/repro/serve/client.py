@@ -1,0 +1,175 @@
+"""A minimal asyncio HTTP/1.1 client for the serve test/bench stack.
+
+Only what talking to ``repro serve`` requires: fixed-length and chunked
+response bodies, keep-alive connection reuse, and an incremental line
+iterator for the ndjson progress stream.  Kept inside the package (not
+a public API) so the tests, the benchmark and the CI smoke script all
+exercise the server through one code path instead of three hand-rolled
+socket loops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, Optional, Tuple
+
+
+@dataclass
+class Response:
+    """One complete HTTP response."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        """Decode the body as JSON."""
+        return json.loads(self.body)
+
+
+class ServeClient:
+    """One keep-alive connection to a running server."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        """Open (or reopen) the connection."""
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection if open."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:  # noqa: BLE001 -- already torn down
+                pass
+        self._reader = self._writer = None
+
+    async def _send(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Dict[str, str],
+    ) -> None:
+        if self._writer is None:
+            await self.connect()
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {self.host}:{self.port}",
+                 f"Content-Length: {len(body)}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        self._writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await self._writer.drain()
+
+    async def _read_head(self) -> Tuple[int, Dict[str, str]]:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _read_chunk(self) -> bytes:
+        """One chunk of a chunked body; empty bytes on the terminator."""
+        size_line = await self._reader.readline()
+        size = int(size_line.strip().split(b";")[0], 16)
+        if size == 0:
+            await self._reader.readline()  # trailing CRLF
+            return b""
+        data = await self._reader.readexactly(size)
+        await self._reader.readexactly(2)  # chunk CRLF
+        return data
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        """One full request/response exchange (chunked bodies drained)."""
+        await self._send(method, path, body, headers or {})
+        status, response_headers = await self._read_head()
+        if response_headers.get("transfer-encoding", "") == "chunked":
+            chunks = []
+            while True:
+                chunk = await self._read_chunk()
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            payload = b"".join(chunks)
+        else:
+            length = int(response_headers.get("content-length", "0"))
+            payload = await self._reader.readexactly(length)
+        if response_headers.get("connection", "").lower() == "close":
+            await self.close()
+        return Response(status, response_headers, payload)
+
+    async def stream_lines(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> AsyncIterator[dict]:
+        """Yield each ndjson line of a streamed response as it arrives."""
+        await self._send(method, path, body, headers or {})
+        status, response_headers = await self._read_head()
+        if response_headers.get("transfer-encoding", "") != "chunked":
+            length = int(response_headers.get("content-length", "0"))
+            payload = await self._reader.readexactly(length)
+            for line in payload.splitlines():
+                if line:
+                    yield json.loads(line)
+            return
+        buffer = b""
+        while True:
+            chunk = await self._read_chunk()
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line:
+                    yield json.loads(line)
+        if buffer:
+            yield json.loads(buffer)
+
+
+async def fetch(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    """One-shot convenience: connect, exchange, disconnect."""
+    async with ServeClient(host, port) as client:
+        return await client.request(method, path, body, headers)

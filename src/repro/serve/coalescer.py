@@ -1,0 +1,143 @@
+"""Request coalescing: identical in-flight queries share one execution.
+
+The run cache already collapses *sequential* duplicates; what it cannot
+collapse is the thundering herd -- N clients asking for the same
+characterization while the first one is still computing.  The coalescer
+closes that gap on the event loop: the first arrival for a key becomes
+the **leader** and owns the single :class:`asyncio.Task` that executes
+the job; every later arrival (a **follower**) attaches to the same task
+and receives the same rendered bytes.  N identical concurrent requests
+therefore cost exactly one execution, and the ``serve.coalesced``
+counter says how many rode along.
+
+Everything here runs on the single event loop, so plain dicts need no
+locks; the worker threads never touch this module directly -- they post
+progress through ``loop.call_soon_threadsafe``.
+
+Followers await through :func:`asyncio.shield`, so one subscriber
+disconnecting cancels only its own wait, never the shared job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Set, Tuple
+
+from repro.obs.metrics import metrics
+
+_DONE = object()
+"""Sentinel closing every subscriber queue when the job finishes."""
+
+
+class Job:
+    """One in-flight execution plus its progress-event fan-out.
+
+    Events are kept for replay: a follower that attaches mid-job first
+    receives everything that already happened, so every subscriber sees
+    the full event history regardless of when it joined.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self.task: asyncio.Task = None  # set by the coalescer
+        self.subscribers = 0
+        self._events: List[dict] = []
+        self._queues: Set[asyncio.Queue] = set()
+
+    def post(self, event: dict) -> None:
+        """Record one progress event and wake the live subscribers.
+
+        Must run on the event loop; worker threads get here via
+        ``loop.call_soon_threadsafe``.
+        """
+        self._events.append(event)
+        for queue in self._queues:
+            queue.put_nowait(event)
+
+    def finish(self) -> None:
+        """Close every subscriber queue (the task is done)."""
+        for queue in self._queues:
+            queue.put_nowait(_DONE)
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue replaying past events, then streaming live ones."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self._events:
+            queue.put_nowait(event)
+        if self.task is not None and self.task.done():
+            queue.put_nowait(_DONE)
+        else:
+            self._queues.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        """Detach one subscriber queue."""
+        self._queues.discard(queue)
+
+    async def events(self, queue: asyncio.Queue):
+        """Async iterator over ``queue`` until the job closes it."""
+        while True:
+            event = await queue.get()
+            if event is _DONE:
+                return
+            yield event
+
+
+class Coalescer:
+    """The key -> in-flight :class:`Job` map."""
+
+    def __init__(self):
+        self._inflight: Dict[str, Job] = {}
+        self.leads = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def submit(
+        self, key: str, factory: Callable[[Job], Awaitable[bytes]]
+    ) -> Tuple[Job, bool]:
+        """The job for ``key``, creating it (as leader) when absent.
+
+        ``factory(job)`` builds the leader's coroutine; it runs in a
+        task owned by the coalescer, so it outlives any individual
+        subscriber.  Returns ``(job, leader)``.
+        """
+        job = self._inflight.get(key)
+        if job is not None:
+            job.subscribers += 1
+            self.coalesced += 1
+            metrics().counter("serve.coalesced").inc()
+            return job, False
+        job = Job(key)
+        job.subscribers = 1
+        job.task = asyncio.get_running_loop().create_task(factory(job))
+        job.task.add_done_callback(lambda task: self._done(key, job))
+        self._inflight[key] = job
+        self.leads += 1
+        metrics().counter("serve.jobs_started").inc()
+        return job, True
+
+    def _done(self, key: str, job: Job) -> None:
+        """Retire a finished job: unmap it, close streams, log failures.
+
+        The exception (if any) is retrieved here so an all-subscribers-
+        gone job never warns "exception was never retrieved"; each
+        awaiting subscriber still observes it through the shield.
+        """
+        if self._inflight.get(key) is job:
+            del self._inflight[key]
+        job.finish()
+        if not job.task.cancelled() and job.task.exception() is not None:
+            metrics().counter("serve.jobs_failed").inc()
+
+    async def wait(self, job: Job) -> bytes:
+        """Await a job's rendered bytes without owning its lifetime."""
+        return await asyncio.shield(job.task)
+
+    async def drain(self, timeout_s: float) -> int:
+        """Wait for in-flight jobs to finish (shutdown); returns leftovers."""
+        tasks = [job.task for job in self._inflight.values()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=timeout_s)
+        return len(self._inflight)

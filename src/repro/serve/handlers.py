@@ -1,0 +1,160 @@
+"""Route dispatch for ``repro serve``.
+
+Four routes, all deliberately boring:
+
+* ``GET /healthz``            -- liveness: always ``{"status":"ok"}``.
+* ``GET /metrics``            -- Prometheus text exposition of the
+  server's registry (server families plus everything the runtime and
+  simulator emit while executing jobs).
+* ``GET /stats``              -- JSON operational snapshot (coalescer,
+  admission, cache and uptime counters).
+* ``POST /v1/characterize``   -- the work route; ``?stream=1`` switches
+  the response to chunked ndjson progress events ending in the result
+  document.
+
+Error responses share one JSON shape, ``{"error": {"status", "message"}}``,
+rendered through the same deterministic encoder as results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.metrics import metrics
+from repro.serve.admission import AdmissionError
+from repro.serve.coalescer import Job
+from repro.serve.protocol import ChunkedResponse, Request, write_response
+from repro.serve.query import QueryError, parse_query, render_document
+
+
+def error_body(status: int, message: str) -> bytes:
+    """The uniform JSON error payload."""
+    return render_document(
+        {"error": {"status": status, "message": message}}
+    )
+
+
+async def handle_request(app, request: Request, writer) -> bool:
+    """Dispatch one request; returns whether to keep the connection."""
+    app.requests += 1
+    route = (request.method, request.path)
+    registry = metrics()
+    if registry.enabled:
+        registry.counter("serve.requests", path=request.path).inc()
+
+    if route == ("GET", "/healthz"):
+        write_response(writer, 200, render_document({"status": "ok"}))
+        return True
+    if route == ("GET", "/metrics"):
+        write_response(
+            writer, 200, app.registry.to_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+        return True
+    if route == ("GET", "/stats"):
+        body = (
+            json.dumps(app.stats_document(), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        write_response(writer, 200, body)
+        return True
+    if route == ("POST", "/v1/characterize"):
+        return await handle_characterize(app, request, writer)
+
+    known = {"/healthz", "/metrics", "/stats", "/v1/characterize"}
+    if request.path in known:
+        write_response(
+            writer, 405,
+            error_body(405, f"{request.method} not allowed on "
+                            f"{request.path}"),
+        )
+    else:
+        write_response(
+            writer, 404, error_body(404, f"no route {request.path!r}")
+        )
+    return True
+
+
+async def handle_characterize(app, request: Request, writer) -> bool:
+    """Admit, coalesce, execute, and answer one characterization query."""
+    tenant = request.header("x-repro-tenant", "anon") or "anon"
+    try:
+        app.admission.admit_tenant(tenant)
+    except AdmissionError as exc:
+        write_response(
+            writer, 429, error_body(429, str(exc)),
+            extra=(("Retry-After", str(exc.retry_after_s)),),
+        )
+        return True
+    try:
+        try:
+            query = parse_query(
+                request.body, allow_chaos=app.config.allow_chaos
+            )
+        except QueryError as exc:
+            write_response(writer, 400, error_body(400, str(exc)))
+            return True
+        job, leader = app.coalescer.submit(
+            query.key(), lambda job: app.execute_job(query, job)
+        )
+        if request.query.get("stream") in ("1", "true", "yes"):
+            return await _answer_streaming(app, job, leader, writer)
+        return await _answer_plain(app, job, writer)
+    finally:
+        app.admission.release_tenant(tenant)
+
+
+async def _answer_plain(app, job: Job, writer) -> bool:
+    """Buffered mode: one JSON document once the job finishes."""
+    try:
+        body = await app.coalescer.wait(job)
+    except AdmissionError as exc:
+        write_response(
+            writer, 429, error_body(429, str(exc)),
+            extra=(("Retry-After", str(exc.retry_after_s)),),
+        )
+        return True
+    except Exception as exc:  # noqa: BLE001 -- degrade to a 500, stay up
+        write_response(
+            writer, 500,
+            error_body(500, f"{type(exc).__name__}: {exc}"),
+        )
+        return True
+    write_response(writer, 200, body)
+    return True
+
+
+async def _answer_streaming(app, job: Job, leader: bool, writer) -> bool:
+    """Streamed mode: chunked ndjson events, then the result document.
+
+    Followers replay the job's past events first, so every subscriber
+    sees the complete history; the final line is the rendered result --
+    byte-identical across all subscribers and ``--oneshot``.
+    """
+    stream = ChunkedResponse(writer)
+    queue = job.subscribe()
+    try:
+        await stream.send(render_document({
+            "event": "accepted",
+            "key": job.key,
+            "role": "leader" if leader else "follower",
+        }))
+        async for event in job.events(queue):
+            await stream.send(render_document(event))
+        body = await app.coalescer.wait(job)
+        await stream.send(body)
+    except AdmissionError as exc:
+        await stream.send(render_document({
+            "event": "error", "status": 429, "message": str(exc),
+        }))
+    except asyncio.CancelledError:
+        raise
+    except Exception as exc:  # noqa: BLE001 -- degrade, stay up
+        await stream.send(render_document({
+            "event": "error", "status": 500,
+            "message": f"{type(exc).__name__}: {exc}",
+        }))
+    finally:
+        job.unsubscribe(queue)
+        await stream.close()
+    return True

@@ -1,0 +1,227 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+``repro serve`` speaks plain HTTP so any client -- ``curl``, a browser, a
+Prometheus scraper -- can talk to it, but the repo adds no runtime
+dependencies, so the framing is hand-rolled here: request-line + header
+parsing with hard size limits, ``Content-Length`` bodies, fixed-length
+responses, and ``Transfer-Encoding: chunked`` for streamed progress
+events.  Only the subset the service needs is implemented; anything
+outside it is a :class:`ProtocolError`, which the connection handler
+turns into a 400 and a closed connection.
+
+Keep-alive is supported (it is what makes the warm-path benchmark an
+honest qps number rather than a connection-setup benchmark): a handler
+loop calls :func:`read_request` repeatedly until EOF or a
+``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+MAX_REQUEST_LINE = 8192
+"""Longest accepted request line (bytes)."""
+
+MAX_HEADER_BYTES = 16384
+"""Total header budget per request (bytes)."""
+
+MAX_BODY_BYTES = 1_048_576
+"""Largest accepted request body; queries are a few hundred bytes."""
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A request the framing layer refuses to parse.
+
+    ``status`` is the HTTP status the handler should answer with before
+    closing the connection (a malformed request leaves the stream in an
+    unknown state, so it is never kept alive).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    keep_alive: bool = True
+    peer: str = ""
+    _json: object = field(default=None, repr=False)
+
+    def header(self, name: str, default: str = "") -> str:
+        """A header value by case-insensitive name."""
+        return self.headers.get(name.lower(), default)
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    """One CRLF-terminated line within ``limit`` bytes."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise ProtocolError("truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("header line too long") from None
+    if len(line) > limit:
+        raise ProtocolError("header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader, peer: str = ""
+) -> Optional[Request]:
+    """Parse one request, or ``None`` on clean EOF (client went away).
+
+    Raises :class:`ProtocolError` for anything malformed or over the
+    size limits; the caller answers with the error's status and closes.
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE)
+    if not line:
+        return None
+    parts = line.split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line {line[:64]!r}")
+    method, target, version = (p.decode("latin-1") for p in parts)
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        line = await _read_line(reader, MAX_HEADER_BYTES)
+        if not line:
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise ProtocolError("headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header {line[:64]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError("chunked request bodies are not supported")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise ProtocolError("negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError("request body too large", status=413)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("request body truncated") from None
+
+    split = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+        peer=peer,
+    )
+
+
+def _head(
+    status: int,
+    content_type: str,
+    extra: Tuple[Tuple[str, str], ...],
+    framing: str,
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        framing,
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra: Tuple[Tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> None:
+    """Queue one fixed-length response (the caller drains the writer)."""
+    headers = list(extra)
+    if not keep_alive:
+        headers.append(("Connection", "close"))
+    writer.write(
+        _head(status, content_type, tuple(headers),
+              f"Content-Length: {len(body)}")
+    )
+    writer.write(body)
+
+
+class ChunkedResponse:
+    """A ``Transfer-Encoding: chunked`` response being streamed.
+
+    Used by the ndjson progress stream: each event is one chunk, so the
+    client sees it as soon as the event happens, and the terminating
+    zero-chunk keeps the connection reusable afterwards.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int = 200,
+        content_type: str = "application/x-ndjson",
+        extra: Tuple[Tuple[str, str], ...] = (),
+    ):
+        self._writer = writer
+        self._writer.write(
+            _head(status, content_type, extra, "Transfer-Encoding: chunked")
+        )
+        self._closed = False
+
+    async def send(self, data: bytes) -> None:
+        """Stream one chunk and drain (backpressure on slow clients)."""
+        if not data or self._closed:
+            return
+        self._writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        """Terminate the chunk stream."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()

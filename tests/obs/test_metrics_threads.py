@@ -1,0 +1,190 @@
+"""Concurrent metrics-registry tests: exact totals, untorn exports.
+
+The registry is shared by every serve worker thread plus the event-loop
+scraper.  Before the sweep, instrument *creation* raced the duplicate-
+kind scan ("dictionary changed size during iteration" out of
+``_get``), and counter/histogram updates were read-modify-write races
+on Python 3.10.  These tests run updaters against a continuous
+export loop under a tight switch interval and assert the strong
+properties: exact final counts, every exported snapshot internally
+consistent (histogram buckets sum to the count, nothing negative).
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def tight_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _run_threads(threads):
+    errors = []
+
+    def guard(fn):
+        def inner():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 -- reported below
+                errors.append(exc)
+        return inner
+
+    started = [threading.Thread(target=guard(fn)) for fn in threads]
+    for thread in started:
+        thread.start()
+    for thread in started:
+        thread.join()
+    assert not errors, errors[0]
+
+
+class TestConcurrentUpdates:
+    def test_counter_increments_are_exact(self, tight_switching):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.requests_total")
+        n_threads, n_incs = 8, 5_000
+
+        def update():
+            for _ in range(n_incs):
+                counter.inc()
+
+        _run_threads([update] * n_threads)
+        assert counter.value == n_threads * n_incs
+
+    def test_histogram_totals_are_exact(self, tight_switching):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("serve.job_seconds")
+        n_threads, n_obs = 6, 2_000
+
+        def update():
+            for i in range(n_obs):
+                histogram.observe(0.001 * (i % 7))
+
+        _run_threads([update] * n_threads)
+        snapshot = histogram.to_dict()
+        assert snapshot["count"] == n_threads * n_obs
+        assert sum(snapshot["counts"]) == n_threads * n_obs
+
+    def test_instrument_creation_races_the_export_scan(
+        self, tight_switching
+    ):
+        # Historically RuntimeError: dictionary changed size during
+        # iteration, from the duplicate-kind scan in _get while another
+        # thread inserted a new instrument.
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def create(base):
+            def inner():
+                for i in range(1_500):
+                    registry.counter(f"serve.dynamic_{base}_{i}").inc()
+                stop.set()
+            return inner
+
+        def export():
+            while not stop.is_set():
+                registry.to_prometheus()
+                registry.to_dict()
+
+        _run_threads([create("a"), create("b"), export, export])
+        assert registry.counter("serve.dynamic_a_7").value == 1
+
+    def test_memoized_instrument_is_shared_across_threads(
+        self, tight_switching
+    ):
+        registry = MetricsRegistry()
+        instances = []
+
+        def grab():
+            instances.append(
+                registry.counter("serve.shared", tenant="anon")
+            )
+
+        _run_threads([grab] * 8)
+        assert len({id(instance) for instance in instances}) == 1
+
+
+class TestUntornExports:
+    def test_exports_are_internally_consistent_under_load(
+        self, tight_switching
+    ):
+        registry = MetricsRegistry()
+        counter = registry.counter("runtime.cells_run")
+        histogram = registry.histogram("runtime.batch_seconds")
+        gauge = registry.gauge("runtime.cache_hit_rate")
+        stop = threading.Event()
+        snapshots = []
+
+        def update():
+            for i in range(4_000):
+                counter.inc()
+                histogram.observe(0.01)
+                gauge.set((i % 100) / 100.0)
+            stop.set()
+
+        def scrape():
+            # Do-while: always capture at least one snapshot, even if the
+            # updaters win the race and set stop before we first run.
+            while True:
+                done = stop.is_set()
+                snapshots.append(registry.to_dict())
+                if done:
+                    break
+
+        _run_threads([update, update, scrape])
+
+        assert snapshots
+        for snapshot in snapshots:
+            for name, value in snapshot["counters"].items():
+                assert value >= 0, f"negative counter {name}"
+            for name, data in snapshot["histograms"].items():
+                assert sum(data["counts"]) == data["count"], (
+                    f"torn histogram {name}: buckets do not sum to count"
+                )
+                assert data["sum"] >= 0
+        assert counter.value == 8_000
+        final = histogram.to_dict()
+        assert final["count"] == 8_000
+        assert final["sum"] == pytest.approx(80.0)
+
+    def test_prometheus_render_is_parseable_under_load(
+        self, tight_switching
+    ):
+        import re
+
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.\-]+$"
+        )
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        rendered = []
+
+        def update():
+            for i in range(3_000):
+                registry.counter("serve.requests", path="/healthz").inc()
+                registry.histogram("serve.queue_wait_seconds").observe(
+                    0.0001
+                )
+            stop.set()
+
+        def scrape():
+            while True:
+                done = stop.is_set()
+                rendered.append(registry.to_prometheus())
+                if done:
+                    break
+
+        _run_threads([update, scrape])
+        assert rendered
+        for text in rendered:
+            for line in text.splitlines():
+                if not line or line.startswith("#"):
+                    continue
+                assert line_re.match(line), f"bad line {line!r}"

@@ -234,8 +234,23 @@ class TestHygiene:
         stale = tmp_path / key_a[:2] / f"{key_a}.json.tmp.99999"
         stale.write_text("partial")
 
+        # Freshly created, the orphan and temp file look exactly like a
+        # concurrent writer's in-flight state, so prune must spare them
+        # (the corrupt *document* is deleted regardless: it can never
+        # parse again, age notwithstanding).
         removed = RunCache(str(tmp_path)).prune()
-        assert removed == {"documents": 1, "blobs": 1, "temp_files": 1}
+        assert removed == {"documents": 1, "blobs": 0, "temp_files": 0}
+        assert orphan.exists() and stale.exists()
+
+        # Backdated past the age guard they are garbage, and collected.
+        import os
+        import time
+
+        old = time.time() - 3600
+        os.utime(orphan, (old, old))
+        os.utime(stale, (old, old))
+        removed = RunCache(str(tmp_path)).prune()
+        assert removed == {"documents": 0, "blobs": 1, "temp_files": 1}
         assert not orphan.exists() and not stale.exists()
         # The intact entry still loads afterwards.
         assert RunCache(str(tmp_path)).get(key_a) == run

@@ -1,0 +1,100 @@
+"""Admission tests: slots, bounded queue, per-tenant caps, 429 semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionError
+
+
+class TestSlots:
+    def test_slots_then_fifo_queue(self):
+        async def go():
+            ctl = AdmissionController(
+                max_inflight=1, max_queue=4, per_tenant=8
+            )
+            await ctl.acquire_slot()
+            assert ctl.active == 1
+
+            order = []
+
+            async def waiter(tag):
+                await ctl.acquire_slot()
+                order.append(tag)
+
+            first = asyncio.ensure_future(waiter("first"))
+            await asyncio.sleep(0)
+            second = asyncio.ensure_future(waiter("second"))
+            await asyncio.sleep(0)
+            assert ctl.queued == 2
+
+            ctl.release_slot()  # hands the slot to "first"
+            await asyncio.sleep(0)
+            ctl.release_slot()  # then to "second"
+            await asyncio.gather(first, second)
+            assert ctl.active == 1  # one transferred slot still held
+            ctl.release_slot()
+            return order, ctl.active
+
+        order, active = asyncio.run(go())
+        assert order == ["first", "second"]
+        assert active == 0
+
+    def test_full_queue_rejects_with_429(self):
+        async def go():
+            ctl = AdmissionController(
+                max_inflight=1, max_queue=1, per_tenant=8
+            )
+            await ctl.acquire_slot()
+            queued = asyncio.ensure_future(ctl.acquire_slot())
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionError) as excinfo:
+                await ctl.acquire_slot()
+            assert excinfo.value.status == 429
+            assert ctl.rejected == 1
+            ctl.release_slot()
+            await queued
+            ctl.release_slot()
+
+        asyncio.run(go())
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def go():
+            ctl = AdmissionController(
+                max_inflight=1, max_queue=2, per_tenant=8
+            )
+            await ctl.acquire_slot()
+            waiter = asyncio.ensure_future(ctl.acquire_slot())
+            await asyncio.sleep(0)
+            assert ctl.queued == 1
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            assert ctl.queued == 0
+            # The slot is still usable by the next arrival.
+            ctl.release_slot()
+            await ctl.acquire_slot()
+            ctl.release_slot()
+
+        asyncio.run(go())
+
+
+class TestTenants:
+    def test_per_tenant_cap(self):
+        ctl = AdmissionController(max_inflight=4, max_queue=4, per_tenant=2)
+        ctl.admit_tenant("alice")
+        ctl.admit_tenant("alice")
+        with pytest.raises(AdmissionError):
+            ctl.admit_tenant("alice")
+        ctl.admit_tenant("bob")  # other tenants unaffected
+        ctl.release_tenant("alice")
+        ctl.admit_tenant("alice")  # released capacity is reusable
+
+    def test_release_unknown_tenant_is_harmless(self):
+        ctl = AdmissionController(max_inflight=1, max_queue=1, per_tenant=1)
+        ctl.release_tenant("ghost")
+        ctl.admit_tenant("ghost")
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0, max_queue=1, per_tenant=1)

@@ -1,0 +1,142 @@
+"""CLI smoke: boot ``repro serve`` as a subprocess and hammer it.
+
+This is the test the CI serve-smoke job runs: 8 concurrent duplicate
+queries plus one faulted query against a real server process, asserting
+the coalescing counter, Prometheus parseability of ``/metrics``,
+byte-identity against ``--oneshot``, and a clean SIGTERM exit.
+"""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.serve.client import ServeClient, fetch
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+QUERY = {
+    "device": "cxl-a",
+    "points": [{"offered_gbps": g} for g in (2.0, 4.0, 6.0)],
+    "n_requests": 250_000,
+    "seed": 42,
+}
+FAULTED = {
+    "device": "cxl-b",
+    "points": [{"offered_gbps": 3.0}],
+    "n_requests": 2_000,
+    "seed": 9,
+    "chaos": {"error_prob": 1.0, "max_sabotaged_attempt": 100},
+}
+
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.\-]+$"
+)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strictly parse exposition text into ``{sample_name: value}``."""
+    samples = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        assert _PROM_LINE.match(line), f"unparseable metrics line: {line!r}"
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A ``repro serve`` subprocess on an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--allow-chaos"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert "serving on http://" in banner, proc.stderr.read()
+        port = int(
+            banner.split("http://", 1)[1].split()[0].rsplit(":", 1)[1]
+        )
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def oneshot_bytes(query: dict, tmp_path) -> bytes:
+    """The solo-run comparator: ``repro serve --oneshot`` output."""
+    path = tmp_path / "query.json"
+    path.write_text(json.dumps(query))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve",
+         "--oneshot", str(path), "--allow-chaos"],
+        capture_output=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+class TestServeSmoke:
+    def test_coalescing_metrics_identity_and_clean_sigterm(
+        self, server, tmp_path
+    ):
+        proc, port = server
+        payload = json.dumps(QUERY).encode()
+        faulted_payload = json.dumps(FAULTED).encode()
+
+        async def drive():
+            duplicates = [
+                fetch("127.0.0.1", port, "POST", "/v1/characterize",
+                      payload)
+                for _ in range(8)
+            ]
+            faulted = fetch("127.0.0.1", port, "POST",
+                            "/v1/characterize", faulted_payload)
+            responses = await asyncio.gather(*duplicates, faulted)
+            async with ServeClient("127.0.0.1", port) as client:
+                stats = await client.request("GET", "/stats")
+                prom = await client.request("GET", "/metrics")
+            return responses, stats, prom
+
+        responses, stats, prom = asyncio.run(drive())
+        dupes, faulted = responses[:8], responses[8]
+
+        # 8 identical concurrent queries: one execution, 7 coalesced,
+        # all byte-identical -- and identical to the solo oneshot run.
+        assert [r.status for r in dupes] == [200] * 8
+        assert len({r.body for r in dupes}) == 1
+        stats_doc = stats.json()
+        assert stats_doc["jobs"]["coalesced"] == 7
+        assert dupes[0].body == oneshot_bytes(QUERY, tmp_path)
+
+        # The faulted query degraded its own document only.
+        assert faulted.status == 200
+        assert faulted.json()["errors"] == 1
+        assert faulted.body == oneshot_bytes(FAULTED, tmp_path)
+
+        # /metrics parses as Prometheus text and carries the counters.
+        samples = parse_prometheus(prom.body.decode())
+        assert samples["repro_serve_coalesced"] == 7.0
+        jobs = [v for k, v in samples.items()
+                if k.startswith("repro_serve_jobs_started")]
+        assert sum(jobs) == 2.0  # the coalesced job + the faulted job
+
+        # Clean shutdown on SIGTERM.
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "shutdown complete" in out

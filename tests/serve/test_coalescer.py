@@ -1,0 +1,165 @@
+"""Coalescer tests: one execution per key, fan-out, failure retirement."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalescer import Coalescer
+
+
+class TestCoalescing:
+    def test_identical_keys_share_one_execution(self):
+        async def go():
+            coalescer = Coalescer()
+            executions = []
+
+            async def factory(job):
+                executions.append(job.key)
+                await asyncio.sleep(0.01)
+                return b"payload"
+
+            jobs = [coalescer.submit("k", factory) for _ in range(5)]
+            leaders = [leader for _, leader in jobs]
+            bodies = await asyncio.gather(
+                *(coalescer.wait(job) for job, _ in jobs)
+            )
+            return executions, leaders, bodies, coalescer
+
+        executions, leaders, bodies, coalescer = asyncio.run(go())
+        assert executions == ["k"]
+        assert leaders == [True, False, False, False, False]
+        assert bodies == [b"payload"] * 5
+        assert coalescer.leads == 1
+        assert coalescer.coalesced == 4
+        assert len(coalescer) == 0  # retired after completion
+
+    def test_distinct_keys_execute_independently(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def factory(job):
+                return job.key.encode()
+
+            a, a_leader = coalescer.submit("a", factory)
+            b, b_leader = coalescer.submit("b", factory)
+            assert a_leader and b_leader
+            return await asyncio.gather(
+                coalescer.wait(a), coalescer.wait(b)
+            )
+
+        assert asyncio.run(go()) == [b"a", b"b"]
+
+    def test_completed_key_starts_a_fresh_job(self):
+        async def go():
+            coalescer = Coalescer()
+            runs = []
+
+            async def factory(job):
+                runs.append(1)
+                return b"x"
+
+            job, _ = coalescer.submit("k", factory)
+            await coalescer.wait(job)
+            job2, leader2 = coalescer.submit("k", factory)
+            await coalescer.wait(job2)
+            return runs, leader2
+
+        runs, leader2 = asyncio.run(go())
+        assert runs == [1, 1]
+        assert leader2
+
+    def test_failure_propagates_to_every_subscriber_then_retires(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def factory(job):
+                await asyncio.sleep(0.01)
+                raise RuntimeError("boom")
+
+            job, _ = coalescer.submit("k", factory)
+            coalescer.submit("k", factory)
+            results = await asyncio.gather(
+                coalescer.wait(job), coalescer.wait(job),
+                return_exceptions=True,
+            )
+            await asyncio.sleep(0)  # let the done-callback run
+            return results, len(coalescer)
+
+        results, inflight = asyncio.run(go())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert inflight == 0
+
+    def test_cancelled_follower_does_not_cancel_the_job(self):
+        async def go():
+            coalescer = Coalescer()
+            started = asyncio.Event()
+
+            async def factory(job):
+                started.set()
+                await asyncio.sleep(0.05)
+                return b"done"
+
+            job, _ = coalescer.submit("k", factory)
+            follower = asyncio.ensure_future(coalescer.wait(job))
+            await started.wait()
+            follower.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await follower
+            return await coalescer.wait(job)
+
+        assert asyncio.run(go()) == b"done"
+
+
+class TestEvents:
+    def test_late_subscriber_replays_history(self):
+        async def go():
+            coalescer = Coalescer()
+            release = asyncio.Event()
+
+            async def factory(job):
+                job.post({"event": "point", "index": 0})
+                job.post({"event": "point", "index": 1})
+                await release.wait()
+                return b"x"
+
+            job, _ = coalescer.submit("k", factory)
+            await asyncio.sleep(0.01)  # the two events have been posted
+            queue = job.subscribe()
+            release.set()
+            await coalescer.wait(job)
+            seen = [event async for event in job.events(queue)]
+            job.unsubscribe(queue)
+            return seen
+
+        seen = asyncio.run(go())
+        assert [e["index"] for e in seen] == [0, 1]
+
+    def test_subscribing_after_completion_closes_immediately(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def factory(job):
+                job.post({"event": "point", "index": 0})
+                return b"x"
+
+            job, _ = coalescer.submit("k", factory)
+            await coalescer.wait(job)
+            await asyncio.sleep(0)
+            queue = job.subscribe()
+            return [event async for event in job.events(queue)]
+
+        assert [e["index"] for e in asyncio.run(go())] == [0]
+
+    def test_drain_waits_for_inflight_jobs(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def factory(job):
+                await asyncio.sleep(0.02)
+                return b"x"
+
+            coalescer.submit("k", factory)
+            leftovers = await coalescer.drain(timeout_s=1.0)
+            return leftovers
+
+        assert asyncio.run(go()) == 0

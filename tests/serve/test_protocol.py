@@ -1,0 +1,155 @@
+"""Protocol tests: request parsing, framing limits, response writers."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ChunkedResponse,
+    ProtocolError,
+    read_request,
+    write_response,
+)
+
+
+def _parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class FakeWriter:
+    """Collects written bytes; satisfies the writer surface we use."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class TestReadRequest:
+    def test_parses_method_path_query_headers_body(self):
+        request = _parse(
+            b"POST /v1/characterize?stream=1 HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"X-Repro-Tenant: alice\r\n"
+            b"Content-Length: 4\r\n"
+            b"\r\n"
+            b"{}\r\n"
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/characterize"
+        assert request.query == {"stream": "1"}
+        assert request.header("x-repro-tenant") == "alice"
+        assert request.body == b"{}\r\n"
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_connection_close_disables_keep_alive(self):
+        request = _parse(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_http_10_disables_keep_alive(self):
+        assert not _parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+
+    def test_two_requests_on_one_stream(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"GET /healthz HTTP/1.1\r\n\r\n"
+                b"GET /stats HTTP/1.1\r\n\r\n"
+            )
+            reader.feed_eof()
+            first = await read_request(reader)
+            second = await read_request(reader)
+            third = await read_request(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(go())
+        assert first.path == "/healthz"
+        assert second.path == "/stats"
+        assert third is None
+
+    @pytest.mark.parametrize("raw", [
+        b"NONSENSE\r\n\r\n",
+        b"GET / SPDY/3\r\n\r\n",
+        b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+    ])
+    def test_malformed_requests_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            _parse(raw)
+
+    def test_oversized_body_is_413(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + b"Content-Length: %d\r\n\r\n" % (MAX_BODY_BYTES + 1)
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == 413
+
+
+class TestResponses:
+    def test_fixed_length_framing(self):
+        writer = FakeWriter()
+        write_response(writer, 200, b'{"ok":1}')
+        head, _, body = writer.data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 8" in head
+        assert body == b'{"ok":1}'
+
+    def test_connection_close_header(self):
+        writer = FakeWriter()
+        write_response(writer, 400, b"{}", keep_alive=False)
+        assert b"Connection: close" in writer.data
+
+    def test_extra_headers(self):
+        writer = FakeWriter()
+        write_response(writer, 429, b"{}",
+                       extra=(("Retry-After", "1"),))
+        assert b"Retry-After: 1" in writer.data
+
+    def test_chunked_stream_round_trips(self):
+        async def go():
+            writer = FakeWriter()
+            stream = ChunkedResponse(writer)
+            await stream.send(b'{"event":"a"}\n')
+            await stream.send(b'{"event":"b"}\n')
+            await stream.close()
+            await stream.close()  # idempotent
+            return writer.data
+
+        data = asyncio.run(go())
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        # Decode the chunk framing back into the payload.
+        payload = b""
+        rest = body
+        while rest:
+            size_line, rest = rest.split(b"\r\n", 1)
+            size = int(size_line, 16)
+            if size == 0:
+                break
+            payload, rest = payload + rest[:size], rest[size + 2:]
+        assert payload == b'{"event":"a"}\n{"event":"b"}\n'

@@ -1,0 +1,196 @@
+"""Query tests: validation, content keys, execution, byte-identity."""
+
+import json
+
+import pytest
+
+from repro.serve.query import (
+    QueryError,
+    build_engine,
+    execute_query,
+    parse_query,
+    render_document,
+    run_oneshot,
+)
+
+BASE = {
+    "device": "cxl-a",
+    "points": [{"offered_gbps": 2.0}, {"offered_gbps": 6.0}],
+    "n_requests": 2000,
+    "seed": 7,
+}
+
+
+def q(**overrides):
+    data = dict(BASE)
+    data.update(overrides)
+    return data
+
+
+class TestParse:
+    def test_accepts_canonical_query(self):
+        query = parse_query(q())
+        assert query.device == "CXL-A"
+        assert len(query.points) == 2
+        assert query.points[0].n_requests == 2000
+        assert query.points[0].read_fraction == 1.0
+        assert query.seed == 7
+
+    def test_accepts_json_bytes_and_str(self):
+        raw = json.dumps(q())
+        assert parse_query(raw).key() == parse_query(raw.encode()).key()
+
+    def test_point_overrides_beat_query_defaults(self):
+        query = parse_query(q(points=[
+            {"offered_gbps": 2.0, "n_requests": 500, "read_fraction": 0.5},
+        ]))
+        assert query.points[0].n_requests == 500
+        assert query.points[0].read_fraction == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        "not json",
+        json.dumps([1, 2]),
+        json.dumps({}),                                   # no device
+        json.dumps(q(device="cxl-z")),                    # unknown device
+        json.dumps(q(points=[])),                         # empty sweep
+        json.dumps(q(points=[{}])),                       # no offered_gbps
+        json.dumps(q(points=[{"offered_gbps": -1.0}])),   # out of range
+        json.dumps(q(points=[{"offered_gbps": 2, "extra": 1}])),
+        json.dumps(q(n_requests=2.5)),                    # non-integer
+        json.dumps(q(seed="x")),                          # non-numeric
+        json.dumps(q(surprise=1)),                        # unknown field
+        json.dumps(q(fault_plan={"episodes": "nope"})),
+        json.dumps(q(points=[{"offered_gbps": 2.0}] * 65)),
+    ])
+    def test_rejections_are_query_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+    def test_chaos_requires_server_opt_in(self):
+        with pytest.raises(QueryError, match="allow-chaos"):
+            parse_query(q(chaos={"error_prob": 1.0}))
+
+    def test_chaos_kill_and_hang_rejected_even_when_allowed(self):
+        with pytest.raises(QueryError, match="forbidden"):
+            parse_query(q(chaos={"kill_prob": 1.0}), allow_chaos=True)
+        with pytest.raises(QueryError, match="forbidden"):
+            parse_query(q(chaos={"hang_prob": 1.0}), allow_chaos=True)
+
+    def test_chaos_error_only_accepted(self):
+        query = parse_query(
+            q(chaos={"error_prob": 1.0, "max_sabotaged_attempt": 99}),
+            allow_chaos=True,
+        )
+        assert query.chaos.error_prob == 1.0
+        assert query.chaos.kill_prob == 0.0
+
+
+class TestKey:
+    def test_spelling_independent(self):
+        # Different JSON spellings of the same characterization: field
+        # order, explicit defaults, device case.
+        a = parse_query(q())
+        b = parse_query({
+            "seed": 7,
+            "points": [
+                {"offered_gbps": 2.0, "n_requests": 2000,
+                 "read_fraction": 1.0},
+                {"offered_gbps": 6.0, "n_requests": 2000,
+                 "read_fraction": 1.0},
+            ],
+            "device": "CXL-A",
+        })
+        assert a.key() == b.key()
+
+    def test_sensitive_to_behaviour(self):
+        base = parse_query(q()).key()
+        assert parse_query(q(seed=8)).key() != base
+        assert parse_query(q(device="cxl-b")).key() != base
+        assert parse_query(
+            q(points=[{"offered_gbps": 2.0}])
+        ).key() != base
+
+    def test_empty_fault_plan_is_no_plan(self):
+        bare = parse_query(q()).key()
+        disabled = parse_query(
+            q(fault_plan={"name": "empty", "episodes": []})
+        ).key()
+        assert disabled == bare
+
+    def test_chaos_changes_key(self):
+        sabotaged = parse_query(
+            q(chaos={"error_prob": 1.0}), allow_chaos=True
+        )
+        assert sabotaged.key() != parse_query(q()).key()
+
+
+class TestExecute:
+    def test_document_shape_and_determinism(self):
+        query = parse_query(q())
+        first = render_document(execute_query(query, build_engine()))
+        second = render_document(execute_query(query, build_engine()))
+        assert first == second
+        doc = json.loads(first)
+        assert doc["query_key"] == query.key()
+        assert doc["errors"] == 0
+        assert len(doc["points"]) == 2
+        point = doc["points"][0]
+        for field in ("p50_ns", "p90_ns", "p99_ns", "p999_ns", "mean_ns",
+                      "tail_gap_ns", "bank_conflicts", "link_retries"):
+            assert field in point
+        assert "faults" not in point  # fault-free run
+
+    def test_oneshot_matches_execute(self):
+        query = parse_query(q())
+        direct = render_document(execute_query(query, build_engine()))
+        assert run_oneshot(json.dumps(q())) == direct
+
+    def test_progress_callback_sees_every_point(self):
+        query = parse_query(q())
+        seen = []
+        execute_query(query, build_engine(),
+                      on_point=lambda i, doc: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_fault_plan_keys_document_and_counters(self):
+        plan = {
+            "name": "storm", "seed": 3,
+            "episodes": [{"kind": "link_retry_storm", "start_ns": 0.0,
+                          "duration_ns": 1e9,
+                          "retry_multiplier": 500.0}],
+        }
+        doc = json.loads(run_oneshot(json.dumps(q(fault_plan=plan))))
+        assert doc["fault_plan"] is not None
+        assert all("faults" in point for point in doc["points"])
+        bare = json.loads(run_oneshot(json.dumps(q())))
+        assert bare["fault_plan"] is None
+        assert doc["query_key"] != bare["query_key"]
+
+    def test_chaos_degrades_points_not_execution(self):
+        query = parse_query(
+            q(chaos={"error_prob": 1.0, "max_sabotaged_attempt": 10}),
+            allow_chaos=True,
+        )
+        engine = build_engine(retries=2)
+        doc = execute_query(query, engine)
+        assert doc["errors"] == 2
+        for point in doc["points"]:
+            assert point["error"]["reason"] == "error"
+            assert point["error"]["attempts"] == 2
+            assert "ChaosError" in point["error"]["message"]
+        # The engine is intact and the same doc renders deterministically.
+        assert render_document(doc) == render_document(
+            execute_query(query, build_engine(retries=2))
+        )
+
+    def test_chaos_leaves_neighbour_queries_clean(self):
+        sabotaged = parse_query(
+            q(chaos={"error_prob": 1.0, "max_sabotaged_attempt": 10}),
+            allow_chaos=True,
+        )
+        clean = parse_query(q())
+        engine = build_engine(retries=2)
+        assert execute_query(sabotaged, engine)["errors"] == 2
+        after = execute_query(clean, build_engine())
+        assert after["errors"] == 0
+        assert render_document(after) == run_oneshot(json.dumps(q()))
