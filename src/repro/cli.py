@@ -9,6 +9,8 @@ Exposes the main Melody workflows without writing any Python:
 * ``serve``        -- characterization-as-a-service HTTP server
 * ``validate``     -- run the repro.diag invariant suite over the models
 * ``stats``        -- render a ``--metrics`` export file
+* ``tail``         -- follow/validate a serve ndjson wide-event log
+* ``slo``          -- render a server's rolling-window SLO snapshot
 * ``workloads``    -- list the 265-workload population
 
 ``campaign``, ``spa``, and ``figures`` accept ``--strict``, which promotes
@@ -515,8 +517,162 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         allow_chaos=args.allow_chaos,
         drain_s=args.drain,
+        log_level=args.log_level,
+        event_log=args.event_log,
+        event_sample=args.event_sample,
+        trace_path=args.trace,
+        trace_sample=args.trace_sample,
+        flight_capacity=args.flight,
+        slo_window_s=args.slo_window,
     )
     return ServeApp(config).run()
+
+
+def _render_event_line(record: dict) -> str:
+    """One human-readable line for a wide event (``repro tail``)."""
+    import datetime
+
+    ts = record.get("ts")
+    if isinstance(ts, (int, float)):
+        stamp = datetime.datetime.fromtimestamp(ts).strftime(
+            "%H:%M:%S.%f"
+        )[:-3]
+    else:
+        stamp = "--:--:--.---"
+    level = str(record.get("level", "?")).upper()
+    event = str(record.get("event", "?"))
+    shown = {"schema", "ts", "level", "event"}
+    lead = ""
+    if event == "request":
+        lead = (
+            f"{record.get('method', '?')} {record.get('path', '?')} "
+            f"{record.get('status', '?')} {record.get('role', '-')} "
+            f"{record.get('total_s', '?')}s"
+        )
+        shown |= {"method", "path", "status", "role", "total_s"}
+    rest = " ".join(
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in shown and record[key] not in (None, "", {})
+    )
+    return f"{stamp} {level:5s} {event:14s} {lead} {rest}".rstrip()
+
+
+def cmd_tail(args) -> int:
+    """Follow (or validate) a serve ndjson wide-event log.
+
+    Exit code 1 when any line failed to parse or violated the event
+    schema -- which makes ``repro tail LOG --json`` double as the CI's
+    event-log validator.
+    """
+    import json
+    import time
+
+    from repro.obs.events import LEVELS, validate_event
+
+    try:
+        handle = open(args.event_log, encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot read {args.event_log!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    threshold = LEVELS[args.level]
+    invalid = 0
+    try:
+        with handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    if not args.follow:
+                        break
+                    time.sleep(0.2)
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    invalid += 1
+                    print(f"invalid json: {line[:120]}", file=sys.stderr)
+                    continue
+                problems = validate_event(record)
+                if problems:
+                    invalid += 1
+                    print(f"invalid event ({'; '.join(problems)}): "
+                          f"{line[:120]}", file=sys.stderr)
+                    continue
+                if LEVELS.get(str(record.get("level")), 20) < threshold:
+                    continue
+                if args.json:
+                    print(json.dumps(
+                        record, sort_keys=True, separators=(",", ":")
+                    ))
+                else:
+                    print(_render_event_line(record))
+    except KeyboardInterrupt:
+        pass
+    if invalid:
+        print(f"{invalid} invalid line(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """Render a server's rolling-window SLO snapshot.
+
+    ``source`` is either a server base URL (``http://host:port`` -- the
+    command fetches ``/stats``) or a path to a saved ``/stats`` JSON
+    document.  Exit 1 when the document has no SLO data.
+    """
+    import asyncio
+    import json
+    from urllib.parse import urlsplit
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        from repro.serve import fetch
+
+        split = urlsplit(source)
+        host = split.hostname or "127.0.0.1"
+        port = split.port or 80
+        response = asyncio.run(fetch(host, port, "GET", "/stats"))
+        if response.status != 200:
+            print(f"error: {source}/stats answered {response.status}",
+                  file=sys.stderr)
+            return 1
+        document = response.json()
+    else:
+        try:
+            with open(source, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read stats from {source!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+    slo = document.get("slo") if isinstance(document, dict) else None
+    if not isinstance(slo, dict) or not slo:
+        print("no SLO data (is the server serving requests?)",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(slo, indent=2, sort_keys=True))
+        return 0
+    window = next(iter(slo.values())).get("window_s", 0)
+    print(f"rolling window: {window:g}s")
+    header = (f"{'key':36s} {'requests':>8s} {'errors':>6s} "
+              f"{'budget':>8s} {'p50':>9s} {'p95':>9s} {'p99':>9s}")
+    print(header)
+    for key in sorted(slo):
+        entry = slo[key]
+        latency = entry.get("latency", {})
+        print(f"{key:36s} {entry.get('requests', 0):>8d} "
+              f"{entry.get('errors', 0):>6d} "
+              f"{entry.get('error_budget_remaining', 0.0):>+8.2f} "
+              f"{latency.get('p50', 0.0):>8.3f}s "
+              f"{latency.get('p95', 0.0):>8.3f}s "
+              f"{latency.get('p99', 0.0):>8.3f}s")
+    return 0
 
 
 def cmd_workloads(args) -> int:
@@ -707,7 +863,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--oneshot", default=None, metavar="QUERY.json",
                    help="execute one query file locally, print the "
                         "exact bytes the server would serve, and exit")
+    p.add_argument("--log-level", default="info",
+                   choices=["debug", "info", "warn", "error", "off"],
+                   help="wide-event ndjson log threshold (default: info; "
+                        "off disables the log, not the flight recorder)")
+    p.add_argument("--event-log", default=None, metavar="PATH",
+                   help="append the ndjson event log to PATH instead of "
+                        "stdout (follow it with 'repro tail')")
+    p.add_argument("--event-sample", type=int, default=1, metavar="N",
+                   help="keep every Nth request wide event (default: 1; "
+                        "lifecycle events are always kept)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write one merged Chrome trace_event JSON on "
+                        "shutdown: serve, runtime and simulator spans "
+                        "of every request on a shared timeline")
+    p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                   help="trace every Nth simulated request per job "
+                        "(default: 1)")
+    p.add_argument("--flight", type=int, default=256, metavar="N",
+                   help="requests the /debug/requests flight recorder "
+                        "remembers (default: 256)")
+    p.add_argument("--slo-window", type=float, default=300.0, metavar="S",
+                   help="rolling SLO window in seconds (default: 300)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "tail", help="follow/validate a serve ndjson wide-event log"
+    )
+    p.add_argument("event_log", help="ndjson event log written by "
+                                     "'repro serve --event-log'")
+    p.add_argument("--json", action="store_true",
+                   help="re-emit validated events as compact JSON lines")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep reading as the file grows (Ctrl-C to stop)")
+    p.add_argument("--level", default="debug",
+                   choices=["debug", "info", "warn", "error"],
+                   help="hide events below this level (default: debug)")
+    p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "slo", help="render a server's rolling-window SLO snapshot"
+    )
+    p.add_argument("source",
+                   help="server base URL (http://host:port) or a saved "
+                        "/stats JSON file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw SLO section as JSON")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("workloads", help="list the population")
     p.add_argument("--suite", default=None)

@@ -19,6 +19,11 @@ models:
 * **export wellformedness** -- a populated registry round-trips through
   JSON with self-consistent histogram accounting and emits parseable
   Prometheus text.
+* **serve event noninterference** -- executing a characterization query
+  under the full serve observability pipeline (wide-event logger firing
+  per cell, flight recorder, per-thread trace buffer) renders the exact
+  same response bytes as a bare run, and every emitted event is
+  schema-valid ndjson.
 """
 
 from __future__ import annotations
@@ -248,3 +253,118 @@ def check_export_wellformed(ctx: DiagContext) -> Iterator[Violation]:
                 message="sample line does not match the exposition format",
                 context={"line": line},
             )
+
+
+EVENT_CHECK_QUERY = {
+    "device": "cxl-a",
+    "points": [{"offered_gbps": 2.0}, {"offered_gbps": 5.0}],
+    "n_requests": 3_000,
+}
+"""The small characterization query the serve-event check executes twice."""
+
+
+@invariant(
+    name="serve-event-noninterference",
+    layer="obs",
+    description="the serve observability pipeline (wide events, flight "
+    "recorder, per-thread tracing) leaves response bytes unchanged and "
+    "emits only schema-valid events",
+)
+def check_serve_event_noninterference(ctx: DiagContext) -> Iterator[Violation]:
+    """The serve pipeline's instrumentation must be invisible in results.
+
+    Runs the same query bare and then under everything ``repro serve``
+    hangs off a request -- an :class:`EventLogger` firing one ``cell``
+    event per point, a :class:`FlightRecorder` holding the wide event,
+    and a per-thread :class:`TraceBuffer` (which, as in the server's
+    worker threads, forces the scalar reference engine) -- and demands
+    byte-identical rendered documents plus schema-valid ndjson output.
+    """
+    from io import StringIO
+
+    from repro.obs.events import EventLogger, build_event, validate_event
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.trace import TraceBuffer, thread_tracing
+    from repro.serve.query import (
+        build_engine,
+        execute_query,
+        parse_query,
+        render_document,
+    )
+
+    query = parse_query(dict(EVENT_CHECK_QUERY, seed=ctx.seed))
+    subjects(check_serve_event_noninterference, len(query.points))
+    baseline = render_document(execute_query(query, build_engine()))
+
+    sink = StringIO()
+    logger = EventLogger(sink, level="debug")
+    recorder = FlightRecorder(capacity=4)
+    buffer = TraceBuffer(sample_every=1)
+
+    def on_point(index: int, doc) -> None:
+        logger.emit(
+            "cell", level="debug", device=query.device,
+            index=index, ok="error" not in doc,
+        )
+
+    with thread_tracing(buffer):
+        document = execute_query(query, build_engine(), on_point=on_point)
+    observed = render_document(document)
+    recorder.record(
+        build_event("request", level="info", request_id="diag-req",
+                    status=200, query_key=query.key()),
+        [],
+    )
+
+    if observed != baseline:
+        yield Violation(
+            layer="obs",
+            check="serve-event-noninterference",
+            subject=query.device,
+            message="the observability pipeline changed the rendered "
+            "response document",
+            context={
+                "baseline_bytes": len(baseline),
+                "observed_bytes": len(observed),
+            },
+        )
+    if logger.stats()["emitted"] != len(query.points):
+        yield Violation(
+            layer="obs",
+            check="serve-event-noninterference",
+            subject=query.device,
+            message="the event logger did not emit one event per cell",
+            context={
+                "expected": len(query.points),
+                "stats": str(logger.stats()),
+            },
+        )
+    for line in sink.getvalue().splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            yield Violation(
+                layer="obs",
+                check="serve-event-noninterference",
+                subject="ndjson",
+                message=f"emitted event line does not parse: {exc}",
+                context={"line": line},
+            )
+            continue
+        problems = validate_event(record)
+        if problems:
+            yield Violation(
+                layer="obs",
+                check="serve-event-noninterference",
+                subject="ndjson",
+                message="emitted event fails schema validation",
+                context={"problems": str(problems), "line": line},
+            )
+    if recorder.lookup("diag-req") is None:
+        yield Violation(
+            layer="obs",
+            check="serve-event-noninterference",
+            subject="flight",
+            message="flight recorder lost the recorded request",
+            context={"stats": str(recorder.stats())},
+        )

@@ -12,7 +12,15 @@ reproduction itself measurable without ever distorting what it measures:
   queueing, MC scheduling, bank service) for every Nth request, exported
   as Chrome ``trace_event`` JSON for Perfetto;
 * **phase timers** (`timers.py`) -- wall-clock stage timing for campaigns
-  and experiment drivers.
+  and experiment drivers;
+* **wide-event logging** (`events.py`) -- one canonical ndjson event per
+  served request / campaign cell, through a leveled, sampled,
+  thread-safe logger with a zero-overhead null default;
+* **SLO tracking** (`slo.py`) -- rolling-window p50/p95/p99 latency and
+  error-budget accounting per endpoint/tenant;
+* a **flight recorder** (`flight.py`) -- a bounded in-memory ring of the
+  last N request wide events with nested span trees, behind the serve
+  ``/debug/requests`` endpoints.
 
 Hard guarantee: instrumentation observes, never participates -- no RNG
 draws, no model inputs.  Figures are byte-identical with observability on
@@ -21,6 +29,19 @@ reported latency; both properties are enforced by the ``obs`` layer of
 :mod:`repro.diag`.
 """
 
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLogger,
+    NullEventLogger,
+    build_event,
+    disable_events,
+    enable_events,
+    events,
+    render_event,
+    use_events,
+    validate_event,
+)
+from repro.obs.flight import FlightRecorder, span_tree
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_NS,
     DEFAULT_QUEUE_WAIT_BUCKETS_S,
@@ -35,14 +56,17 @@ from repro.obs.metrics import (
     metrics,
     use_registry,
 )
+from repro.obs.slo import SloTracker, quantile_from_buckets
 from repro.obs.timers import phase_timer
 from repro.obs.trace import (
     CLOCK_SIM,
     CLOCK_WALL,
     Span,
     TraceBuffer,
+    TraceContext,
     disable_tracing,
     enable_tracing,
+    thread_tracing,
     tracing,
     use_tracing,
 )
@@ -54,19 +78,35 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_NS",
     "DEFAULT_QUEUE_WAIT_BUCKETS_S",
     "DEFAULT_TIME_BUCKETS_S",
+    "EVENT_SCHEMA_VERSION",
+    "EventLogger",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLogger",
     "NullRegistry",
+    "SloTracker",
     "Span",
     "TraceBuffer",
+    "TraceContext",
+    "build_event",
+    "disable_events",
     "disable_metrics",
     "disable_tracing",
+    "enable_events",
     "enable_metrics",
     "enable_tracing",
+    "events",
     "metrics",
     "phase_timer",
+    "quantile_from_buckets",
+    "render_event",
+    "span_tree",
+    "thread_tracing",
     "tracing",
+    "use_events",
     "use_registry",
     "use_tracing",
+    "validate_event",
 ]

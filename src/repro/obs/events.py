@@ -1,0 +1,272 @@
+"""Wide-event structured logging: one canonical ndjson line per fact.
+
+Instead of scattering ``print()`` lines through the serve path, every
+request (and every campaign cell, at debug level) is summarized as one
+**wide event** -- a flat JSON object carrying everything there is to say
+about it: request id, trace id, tenant, query key, coalesce role,
+queue-wait vs. execution split, cache hits, retry counts, status, bytes.
+One line per request means one grep per question ("where did request X
+spend its time?") instead of a join across interleaved log fragments.
+
+The logger follows the registry idiom of :mod:`repro.obs.metrics`:
+
+* a **zero-overhead null default** -- :func:`events` returns a shared
+  :class:`NullEventLogger` until someone opts in via
+  :func:`enable_events`, so instrumented code is free when nobody is
+  watching;
+* **leveled** (``debug`` < ``info`` < ``warn`` < ``error``) with cheap
+  early suppression;
+* **sampled** -- high-volume emitters mark their calls ``sampled=True``
+  and the logger keeps every Nth (``sample_every``), which bounds log
+  volume under load without losing the always-on lifecycle events;
+* **thread-safe** -- serve worker threads and the event loop share one
+  logger; a lock keeps lines whole (ndjson must never tear mid-line).
+
+Determinism: events are assembled *from* results and timings, never fed
+back into a model, and no RNG is touched -- served documents are
+byte-identical with event logging on or off (enforced by the ``obs``
+diag layer).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.errors import ConfigurationError
+
+EVENT_SCHEMA_VERSION = 1
+"""Bumped when the wide-event key set changes incompatibly."""
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+"""Severity names, ascending."""
+
+REQUIRED_KEYS = ("schema", "ts", "event", "level")
+"""Keys every emitted event must carry."""
+
+REQUIRED_REQUEST_KEYS = (
+    "request_id", "trace_id", "tenant", "method", "path", "status",
+    "role", "coalesced", "total_s", "bytes",
+)
+"""Additional keys a ``request`` wide event must carry."""
+
+
+def build_event(
+    event: str, level: str = "info", clock=time.time, **fields: object
+) -> Dict[str, object]:
+    """Assemble one canonical event dict (does not write anything).
+
+    Kept separate from the logger so the flight recorder can hold the
+    exact record that was (or would have been) logged, even when the log
+    itself is disabled or sampled that line away.
+    """
+    if level not in LEVELS:
+        raise ConfigurationError(
+            f"unknown event level {level!r}; expected one of {sorted(LEVELS)}"
+        )
+    record: Dict[str, object] = {
+        "schema": EVENT_SCHEMA_VERSION,
+        "ts": round(float(clock()), 6),
+        "event": event,
+        "level": level,
+    }
+    record.update(fields)
+    return record
+
+
+def render_event(record: Dict[str, object]) -> str:
+    """One ndjson line: sorted keys, compact separators, trailing LF."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), default=str
+    ) + "\n"
+
+
+def validate_event(record: object) -> List[str]:
+    """Schema-check one decoded event; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"event is not an object: {type(record).__name__}"]
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"missing required key {key!r}")
+    level = record.get("level")
+    if level is not None and level not in LEVELS:
+        problems.append(f"unknown level {level!r}")
+    schema = record.get("schema")
+    if schema is not None and schema != EVENT_SCHEMA_VERSION:
+        problems.append(
+            f"schema version {schema!r} != {EVENT_SCHEMA_VERSION}"
+        )
+    ts = record.get("ts")
+    if ts is not None and not isinstance(ts, (int, float)):
+        problems.append(f"ts is not numeric: {ts!r}")
+    if record.get("event") == "request":
+        for key in REQUIRED_REQUEST_KEYS:
+            if key not in record:
+                problems.append(f"request event missing key {key!r}")
+    return problems
+
+
+class EventLogger:
+    """A leveled, sampled, thread-safe ndjson event writer."""
+
+    enabled = True
+    """Lets hot paths skip event assembly when logging is off."""
+
+    def __init__(
+        self,
+        sink: Optional[TextIO] = None,
+        level: str = "info",
+        sample_every: int = 1,
+        clock=time.time,
+    ):
+        if level not in LEVELS:
+            raise ConfigurationError(
+                f"unknown event level {level!r}; "
+                f"expected one of {sorted(LEVELS)}"
+            )
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1: {sample_every}"
+            )
+        self._sink = sink if sink is not None else sys.stderr
+        self._threshold = LEVELS[level]
+        self.level = level
+        self.sample_every = sample_every
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sampled_seq = 0
+        self.emitted = 0
+        self.suppressed = 0
+
+    def write(
+        self, record: Dict[str, object], sampled: bool = False
+    ) -> bool:
+        """Write one prebuilt event record; returns whether it was kept.
+
+        ``sampled=True`` subjects the record to every-Nth sampling (the
+        counter is shared across all sampled emitters, which is what
+        bounds total volume).  Level filtering applies either way.
+        """
+        level = record.get("level", "info")
+        if LEVELS.get(str(level), LEVELS["info"]) < self._threshold:
+            with self._lock:
+                self.suppressed += 1
+            return False
+        line = render_event(record)
+        with self._lock:
+            if sampled:
+                keep = self._sampled_seq % self.sample_every == 0
+                self._sampled_seq += 1
+                if not keep:
+                    self.suppressed += 1
+                    return False
+            try:
+                self._sink.write(line)
+            except (ValueError, OSError):  # sink closed mid-shutdown
+                self.suppressed += 1
+                return False
+            self.emitted += 1
+        try:
+            self._sink.flush()
+        except (ValueError, OSError):  # sink already closed mid-shutdown
+            pass
+        return True
+
+    def emit(
+        self,
+        event: str,
+        level: str = "info",
+        sampled: bool = False,
+        **fields: object,
+    ) -> Optional[Dict[str, object]]:
+        """Build and write one event; returns the record if it was kept."""
+        if LEVELS[level] < self._threshold:
+            with self._lock:
+                self.suppressed += 1
+            return None
+        record = build_event(event, level=level, clock=self._clock, **fields)
+        return record if self.write(record, sampled=sampled) else None
+
+    def stats(self) -> Dict[str, object]:
+        """Emission accounting for ``/stats``."""
+        with self._lock:
+            return {
+                "emitted": self.emitted,
+                "suppressed": self.suppressed,
+                "level": self.level,
+                "sample_every": self.sample_every,
+            }
+
+
+class NullEventLogger:
+    """The zero-overhead disabled logger: every emit is a no-op."""
+
+    enabled = False
+    level = "info"
+    sample_every = 1
+    emitted = 0
+    suppressed = 0
+
+    def write(self, record: Dict[str, object], sampled: bool = False) -> bool:
+        """Discard the record."""
+        return False
+
+    def emit(
+        self,
+        event: str,
+        level: str = "info",
+        sampled: bool = False,
+        **fields: object,
+    ) -> None:
+        """Discard the event."""
+        return None
+
+    def stats(self) -> Dict[str, object]:
+        """An empty accounting snapshot (keeps the schema stable)."""
+        return {
+            "emitted": 0, "suppressed": 0, "level": self.level,
+            "sample_every": 1,
+        }
+
+
+_NULL_LOGGER = NullEventLogger()
+_active: Union[EventLogger, NullEventLogger] = _NULL_LOGGER
+
+
+def events() -> Union[EventLogger, NullEventLogger]:
+    """The active event logger (the no-op one unless somebody enabled it)."""
+    return _active
+
+
+def enable_events(
+    logger: Optional[EventLogger] = None, **kwargs
+) -> EventLogger:
+    """Install a live logger (a fresh stderr one by default); returns it."""
+    global _active
+    _active = logger if logger is not None else EventLogger(**kwargs)
+    return _active
+
+
+def disable_events() -> None:
+    """Restore the zero-overhead no-op logger."""
+    global _active
+    _active = _NULL_LOGGER
+
+
+@contextmanager
+def use_events(
+    logger: Union[EventLogger, NullEventLogger],
+) -> Iterator[Union[EventLogger, NullEventLogger]]:
+    """Temporarily install ``logger`` (tests and the diag suite)."""
+    global _active
+    previous = _active
+    _active = logger
+    try:
+        yield logger
+    finally:
+        _active = previous

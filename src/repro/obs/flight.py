@@ -1,0 +1,117 @@
+"""Flight recorder: the last N wide events, queryable in-process.
+
+Log files answer "what happened yesterday"; the flight recorder answers
+"what just happened" without leaving the process: a bounded in-memory
+ring of the most recent request wide events (plus each request's span
+records), served by ``GET /debug/requests`` and
+``GET /debug/requests/<id>``.  Because the ring holds the *same* record
+dicts the event logger writes, the two views can never disagree -- and
+the recorder keeps working even when the ndjson log is disabled or
+sampling dropped the line.
+
+Span trees: each recorded request carries flat span records
+``{span_id, parent_id, name, ...}``; :func:`span_tree` nests them by
+parent linkage so ``/debug/requests/<id>`` can return the full
+parse → queue → coalesce → execute → cell hierarchy in one document.
+
+Bounded by construction (a ``deque(maxlen=N)``), thread-safe (worker
+threads record, the event loop reads), and -- like everything in
+``repro.obs`` -- strictly read-only with respect to results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+DEFAULT_CAPACITY = 256
+"""How many requests the recorder remembers by default."""
+
+
+def span_tree(spans: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Nest flat span records into a forest by ``parent_id`` linkage.
+
+    Each input record must carry ``span_id``; ``parent_id`` may be
+    missing, ``None``, or name a span outside the list (such orphans
+    become roots, so a dropped span cannot hide its subtree).  Children
+    keep input order; the records themselves are copied, not mutated.
+    """
+    by_id: Dict[object, Dict[str, object]] = {}
+    ordered: List[Dict[str, object]] = []
+    for record in spans:
+        node = dict(record)
+        node["children"] = []
+        by_id[node.get("span_id")] = node
+        ordered.append(node)
+    roots: List[Dict[str, object]] = []
+    for node in ordered:
+        parent = by_id.get(node.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+class FlightRecorder:
+    """A bounded ring of recent requests: wide event + span records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def record(
+        self,
+        event: Dict[str, object],
+        spans: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """Remember one request: its wide event and its span records."""
+        entry = {"event": event, "spans": list(spans or ())}
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded += 1
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """The newest requests' wide events, newest first."""
+        with self._lock:
+            entries = list(self._ring)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[:max(limit, 0)]
+        return [dict(entry["event"]) for entry in entries]
+
+    def lookup(self, request_id: str) -> Optional[Dict[str, object]]:
+        """One request's full record: wide event + nested span tree.
+
+        Newest match wins if an id somehow repeats.  Returns ``None``
+        when the request has aged out of the ring (or never existed).
+        """
+        with self._lock:
+            entries = list(self._ring)
+        for entry in reversed(entries):
+            if entry["event"].get("request_id") == request_id:
+                return {
+                    "event": dict(entry["event"]),
+                    "spans": span_tree(entry["spans"]),
+                }
+        return None
+
+    def stats(self) -> Dict[str, object]:
+        """Occupancy accounting for ``/stats``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "held": len(self._ring),
+                "recorded": self.recorded,
+            }

@@ -1,0 +1,230 @@
+"""Rolling-window SLO tracking: latency quantiles and error budgets.
+
+``repro serve`` promises latency and availability targets per endpoint;
+this module measures how the service is doing against them over a
+**rolling window** rather than since process start, so a burst of slow
+requests an hour ago does not mask a regression happening now.
+
+Mechanics: the window is a ring of time slices, each one an ordinary
+:class:`~repro.obs.metrics.Histogram` plus ok/error counters.  An
+observation lands in the slice covering "now"; a snapshot merges the
+slices still inside the window and interpolates p50/p95/p99 from the
+merged bucket counts (linear within a bucket, which is the standard
+Prometheus ``histogram_quantile`` estimate).  Expired slices are lazily
+reset on rotation -- there is no background thread.
+
+The **error budget** follows SRE convention: with a target availability
+of ``target`` (say 0.999), the window's budget is the fraction of
+allowed errors actually unspent::
+
+    budget_remaining = 1 - error_rate / (1 - target)
+
+clamped to [-inf, 1]; a negative number means the budget is blown.
+
+Thread safety matches the metrics registry: serve worker threads observe
+while the event loop snapshots, so one lock guards slice rotation,
+observation, and snapshot assembly.
+
+Like every ``repro.obs`` facility, the tracker only *reads* the
+latencies and statuses it is handed -- it cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS_S, Histogram
+
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+"""The quantiles every snapshot reports (p50/p95/p99)."""
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate quantile ``q`` from cumulative-style histogram buckets.
+
+    ``counts`` has one entry per bound plus the +Inf overflow bucket
+    (the :class:`Histogram` layout).  Interpolation is linear within the
+    winning bucket; the overflow bucket reports its lower bound (there
+    is nothing to interpolate toward).  Returns 0.0 for an empty window.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1]: {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if i >= len(bounds):  # the +Inf overflow bucket
+                return float(bounds[-1])
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])
+
+
+class _Slice:
+    """One time slice of the rolling window."""
+
+    __slots__ = ("epoch", "hist", "ok", "errors")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.epoch = -1  # which window slot this slice currently holds
+        self.hist = Histogram(bounds)
+        self.ok = 0
+        self.errors = 0
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.hist = Histogram(self.hist.bounds)
+        self.ok = 0
+        self.errors = 0
+
+
+class SloTracker:
+    """Rolling-window latency quantiles + error budget, per labeled key.
+
+    One tracker serves many keys (endpoint, tenant, or both); each key
+    gets its own ring of ``slices`` time slices spanning ``window_s``
+    seconds in total.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 300.0,
+        slices: int = 10,
+        target_availability: float = 0.999,
+        latency_target_s: Optional[float] = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+        clock=time.monotonic,
+    ):
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be > 0: {window_s}")
+        if slices < 1:
+            raise ConfigurationError(f"slices must be >= 1: {slices}")
+        if not 0.0 < target_availability < 1.0:
+            raise ConfigurationError(
+                "target_availability must be in (0, 1): "
+                f"{target_availability}"
+            )
+        self.window_s = float(window_s)
+        self.slices = slices
+        self.slice_s = self.window_s / slices
+        self.target_availability = target_availability
+        self.latency_target_s = latency_target_s
+        self._bounds = tuple(float(b) for b in buckets)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rings: Dict[str, List[_Slice]] = {}
+
+    def _slot(self, now: float) -> Tuple[int, int]:
+        epoch = int(now / self.slice_s)
+        return epoch, epoch % self.slices
+
+    def _slice_for(self, key: str, now: float) -> _Slice:
+        # Caller holds the lock.
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = [_Slice(self._bounds) for _ in range(self.slices)]
+            self._rings[key] = ring
+        epoch, index = self._slot(now)
+        piece = ring[index]
+        if piece.epoch != epoch:
+            piece.reset(epoch)
+        return piece
+
+    def observe(self, key: str, latency_s: float, error: bool = False) -> None:
+        """Record one request outcome for ``key``."""
+        now = self._clock()
+        with self._lock:
+            piece = self._slice_for(key, now)
+            piece.hist.observe(latency_s)
+            if error:
+                piece.errors += 1
+            else:
+                piece.ok += 1
+
+    # -- snapshots --------------------------------------------------------
+
+    def _live_slices(self, key: str, now: float) -> List[_Slice]:
+        # Caller holds the lock.  A slice is live when its epoch falls
+        # inside the last ``slices`` epochs ending now.
+        ring = self._rings.get(key)
+        if ring is None:
+            return []
+        epoch, _ = self._slot(now)
+        oldest = epoch - self.slices + 1
+        return [s for s in ring if oldest <= s.epoch <= epoch]
+
+    def snapshot_key(self, key: str) -> Dict[str, object]:
+        """The rolling-window view of one key."""
+        now = self._clock()
+        with self._lock:
+            live = self._live_slices(key, now)
+            merged = [0] * (len(self._bounds) + 1)
+            total_sum = 0.0
+            ok = errors = 0
+            for piece in live:
+                for i, c in enumerate(piece.hist.counts):
+                    merged[i] += c
+                total_sum += piece.hist.sum
+                ok += piece.ok
+                errors += piece.errors
+        count = sum(merged)
+        total = ok + errors
+        error_rate = errors / total if total else 0.0
+        allowed = 1.0 - self.target_availability
+        budget = 1.0 - error_rate / allowed if allowed > 0 else 0.0
+        quantiles = {
+            f"p{int(q * 100)}": round(
+                quantile_from_buckets(self._bounds, merged, q), 6
+            )
+            for q in DEFAULT_QUANTILES
+        }
+        doc: Dict[str, object] = {
+            "window_s": self.window_s,
+            "requests": total,
+            "errors": errors,
+            "error_rate": round(error_rate, 6),
+            "target_availability": self.target_availability,
+            "error_budget_remaining": round(budget, 6),
+            "latency": {
+                "count": count,
+                "mean_s": round(total_sum / count, 6) if count else 0.0,
+                **quantiles,
+            },
+        }
+        if self.latency_target_s is not None:
+            doc["latency_target_s"] = self.latency_target_s
+            doc["latency_target_met"] = (
+                quantiles["p95"] <= self.latency_target_s
+            )
+        return doc
+
+    def snapshot(self) -> Dict[str, object]:
+        """All keys' rolling-window views (the ``/stats`` slo section)."""
+        with self._lock:
+            keys = sorted(self._rings)
+        return {key: self.snapshot_key(key) for key in keys}
+
+    def export_gauges(self, registry) -> None:
+        """Mirror the snapshot into ``registry`` gauges for ``/metrics``."""
+        if not registry.enabled:
+            return
+        for key, doc in self.snapshot().items():
+            latency = doc["latency"]
+            registry.gauge("slo.p50_seconds", key=key).set(latency["p50"])
+            registry.gauge("slo.p95_seconds", key=key).set(latency["p95"])
+            registry.gauge("slo.p99_seconds", key=key).set(latency["p99"])
+            registry.gauge("slo.error_rate", key=key).set(doc["error_rate"])
+            registry.gauge("slo.error_budget_remaining", key=key).set(
+                doc["error_budget_remaining"]
+            )

@@ -29,6 +29,9 @@ CLI's ``--trace`` flag does this).
 from __future__ import annotations
 
 import json
+import os
+import re
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -171,10 +174,125 @@ class TraceBuffer:
 
 _active: Optional[TraceBuffer] = None
 
+_UNSET = object()
+"""Distinguishes "no thread override" from an explicit ``None`` override."""
+
+_tls = threading.local()
+"""Per-thread trace-buffer override (see :func:`thread_tracing`)."""
+
 
 def tracing() -> Optional[TraceBuffer]:
-    """The active trace buffer, or ``None`` when tracing is off."""
+    """The active trace buffer, or ``None`` when tracing is off.
+
+    A thread-local override installed by :func:`thread_tracing` wins over
+    the process-wide buffer: ``repro serve`` gives each in-flight job its
+    own buffer in its worker thread, so concurrent requests never
+    interleave spans, while CLI commands keep using the process-wide
+    buffer exactly as before.
+    """
+    override = getattr(_tls, "buffer", _UNSET)
+    if override is not _UNSET:
+        return override
     return _active
+
+
+@contextmanager
+def thread_tracing(
+    buffer: Optional[TraceBuffer],
+) -> Iterator[Optional[TraceBuffer]]:
+    """Install ``buffer`` as this thread's trace buffer for the block.
+
+    Only the current thread is affected; other threads (and the
+    process-wide buffer) are untouched.  Passing ``None`` explicitly
+    disables tracing in this thread even when a process-wide buffer is
+    installed.
+    """
+    previous = getattr(_tls, "buffer", _UNSET)
+    _tls.buffer = buffer
+    try:
+        yield buffer
+    finally:
+        if previous is _UNSET:
+            del _tls.buffer
+        else:
+            _tls.buffer = previous
+
+
+# -- cross-layer trace propagation ----------------------------------------
+
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's position in a distributed trace (W3C-style).
+
+    ``trace_id`` names the whole end-to-end request, ``span_id`` this
+    layer's own span, and ``parent_id`` the caller's span (``None`` at
+    the root).  Contexts are pure identifiers: generating or parsing one
+    never touches a model RNG, so propagation cannot perturb results.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    sampled: bool = True
+
+    @staticmethod
+    def _hex(nbytes: int) -> str:
+        return os.urandom(nbytes).hex()
+
+    @classmethod
+    def generate(cls, sampled: bool = True) -> "TraceContext":
+        """A fresh root context (no caller to inherit from)."""
+        return cls(
+            trace_id=cls._hex(16), span_id=cls._hex(8), sampled=sampled
+        )
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` header into a child context.
+
+        Returns ``None`` for a missing, malformed, all-zero, or
+        future-version header -- the caller should then fall back to
+        :meth:`generate`.  The returned context keeps the caller's trace
+        id, records the caller's span as ``parent_id``, and mints a new
+        ``span_id`` for this layer.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None:
+            return None
+        version, trace_id, parent_span, flags = match.groups()
+        if version == "ff" or trace_id == _ZERO_TRACE \
+                or parent_span == _ZERO_SPAN:
+            return None
+        return cls(
+            trace_id=trace_id,
+            span_id=cls._hex(8),
+            parent_id=parent_span,
+            sampled=bool(int(flags, 16) & 1),
+        )
+
+    def to_traceparent(self) -> str:
+        """The ``traceparent`` header value naming this context's span."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    def child(self) -> "TraceContext":
+        """A new context one level below this one (same trace)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=self._hex(8),
+            parent_id=self.span_id,
+            sampled=self.sampled,
+        )
 
 
 def enable_tracing(sample_every: int = 1) -> TraceBuffer:

@@ -10,6 +10,12 @@ queue, per-tenant caps, 429 on overload), per-job **fault isolation**
 server), and streamed ndjson progress.  Stdlib only: the HTTP/1.1
 framing is hand-rolled in :mod:`repro.serve.protocol`.
 
+Every request is end-to-end observable (:mod:`repro.serve.telemetry`):
+one wide ndjson event per request, W3C ``traceparent`` propagation into
+per-job simulator trace buffers, rolling-window SLOs on ``/stats`` and
+``/metrics``, and a flight recorder behind ``GET /debug/requests`` --
+all strictly read-only with respect to results.
+
 See DESIGN.md ("Serving") for the coalescing and admission model and
 the thread-safety contract this package leans on.
 """
@@ -35,6 +41,12 @@ from repro.serve.query import (
     render_document,
     run_oneshot,
 )
+from repro.serve.telemetry import (
+    RequestTelemetry,
+    level_for_status,
+    merge_job_buffer,
+    span_record,
+)
 
 __all__ = [
     "AdmissionController",
@@ -47,6 +59,7 @@ __all__ = [
     "QueryError",
     "QueryPoint",
     "Request",
+    "RequestTelemetry",
     "Response",
     "ServeApp",
     "ServeClient",
@@ -54,9 +67,12 @@ __all__ = [
     "build_engine",
     "execute_query",
     "fetch",
+    "level_for_status",
+    "merge_job_buffer",
     "parse_query",
     "read_request",
     "render_document",
     "run_oneshot",
+    "span_record",
     "write_response",
 ]

@@ -41,6 +41,13 @@ class Job:
         self.key = key
         self.task: asyncio.Task = None  # set by the coalescer
         self.subscribers = 0
+        self.leader_request_id: str = ""
+        """Request id of the leader (followers' wide events link to it)."""
+        self.leader_trace_id: str = ""
+        """Trace id of the leader (follower spans link into its trace)."""
+        self.meta: dict = {}
+        """Execution facts set by the leader (queue wait, exec time,
+        cache/retry counts); every subscriber's wide event reads them."""
         self._events: List[dict] = []
         self._queues: Set[asyncio.Queue] = set()
 

@@ -1,16 +1,28 @@
 """Route dispatch for ``repro serve``.
 
-Four routes, all deliberately boring:
+Six routes, all deliberately boring:
 
 * ``GET /healthz``            -- liveness: always ``{"status":"ok"}``.
 * ``GET /metrics``            -- Prometheus text exposition of the
   server's registry (server families plus everything the runtime and
-  simulator emit while executing jobs).
+  simulator emit while executing jobs), including the SLO gauges.
 * ``GET /stats``              -- JSON operational snapshot (coalescer,
-  admission, cache and uptime counters).
+  admission, cache, SLO, flight-recorder and uptime counters).
+* ``GET /debug/requests``     -- the flight recorder: wide events of
+  the last N requests, newest first (``?limit=`` caps the count).
+* ``GET /debug/requests/<id>`` -- one request's full record: its wide
+  event plus the nested span tree (parse → queue → coalesce → execute →
+  cells).
 * ``POST /v1/characterize``   -- the work route; ``?stream=1`` switches
   the response to chunked ndjson progress events ending in the result
   document.
+
+Observability discipline: every request, whatever route or error path
+it takes, exits through :meth:`ServeApp.observe_request` exactly once --
+that is what makes "one wide event per request" an invariant rather
+than a convention.  Characterize responses echo the request's trace
+position in a ``traceparent`` header so callers can stitch our spans
+into their own traces.
 
 Error responses share one JSON shape, ``{"error": {"status", "message"}}``,
 rendered through the same deterministic encoder as results.
@@ -20,12 +32,20 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 from repro.obs.metrics import metrics
 from repro.serve.admission import AdmissionError
 from repro.serve.coalescer import Job
 from repro.serve.protocol import ChunkedResponse, Request, write_response
 from repro.serve.query import QueryError, parse_query, render_document
+from repro.serve.telemetry import RequestTelemetry
+
+_KNOWN_PATHS = {
+    "/healthz", "/metrics", "/stats", "/debug/requests", "/v1/characterize",
+}
+
+_DEBUG_PREFIX = "/debug/requests/"
 
 
 def error_body(status: int, message: str) -> bytes:
@@ -35,20 +55,42 @@ def error_body(status: int, message: str) -> bytes:
     )
 
 
+def _respond(
+    writer, telemetry: RequestTelemetry, status: int, body: bytes, **kwargs
+) -> None:
+    """Write a fixed-length response and record it on the telemetry."""
+    telemetry.status = status
+    telemetry.bytes_sent = len(body)
+    write_response(writer, status, body, **kwargs)
+
+
 async def handle_request(app, request: Request, writer) -> bool:
     """Dispatch one request; returns whether to keep the connection."""
     app.requests += 1
-    route = (request.method, request.path)
     registry = metrics()
     if registry.enabled:
         registry.counter("serve.requests", path=request.path).inc()
+    telemetry = app.telemetry_for(request)
+    try:
+        return await _dispatch(app, request, writer, telemetry)
+    finally:
+        app.observe_request(request, telemetry)
+
+
+async def _dispatch(
+    app, request: Request, writer, telemetry: RequestTelemetry
+) -> bool:
+    route = (request.method, request.path)
 
     if route == ("GET", "/healthz"):
-        write_response(writer, 200, render_document({"status": "ok"}))
+        _respond(writer, telemetry, 200,
+                 render_document({"status": "ok"}))
         return True
     if route == ("GET", "/metrics"):
-        write_response(
-            writer, 200, app.registry.to_prometheus().encode("utf-8"),
+        app.slo.export_gauges(app.registry)
+        _respond(
+            writer, telemetry, 200,
+            app.registry.to_prometheus().encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
         return True
@@ -56,33 +98,79 @@ async def handle_request(app, request: Request, writer) -> bool:
         body = (
             json.dumps(app.stats_document(), sort_keys=True) + "\n"
         ).encode("utf-8")
-        write_response(writer, 200, body)
+        _respond(writer, telemetry, 200, body)
         return True
+    if route == ("GET", "/debug/requests"):
+        return _answer_flight_list(app, request, writer, telemetry)
+    if request.method == "GET" and request.path.startswith(_DEBUG_PREFIX):
+        return _answer_flight_lookup(app, request, writer, telemetry)
     if route == ("POST", "/v1/characterize"):
-        return await handle_characterize(app, request, writer)
+        return await handle_characterize(app, request, writer, telemetry)
 
-    known = {"/healthz", "/metrics", "/stats", "/v1/characterize"}
-    if request.path in known:
-        write_response(
-            writer, 405,
+    if request.path in _KNOWN_PATHS or \
+            request.path.startswith(_DEBUG_PREFIX):
+        _respond(
+            writer, telemetry, 405,
             error_body(405, f"{request.method} not allowed on "
                             f"{request.path}"),
         )
     else:
-        write_response(
-            writer, 404, error_body(404, f"no route {request.path!r}")
+        _respond(
+            writer, telemetry, 404,
+            error_body(404, f"no route {request.path!r}"),
         )
     return True
 
 
-async def handle_characterize(app, request: Request, writer) -> bool:
+def _answer_flight_list(
+    app, request: Request, writer, telemetry: RequestTelemetry
+) -> bool:
+    """``GET /debug/requests``: the flight recorder's recent wide events."""
+    raw_limit = request.query.get("limit", "50")
+    try:
+        limit = int(raw_limit)
+    except ValueError:
+        _respond(writer, telemetry, 400,
+                 error_body(400, f"bad limit {raw_limit!r}"))
+        return True
+    body = (json.dumps(
+        {"requests": app.flight.recent(limit), **app.flight.stats()},
+        sort_keys=True, default=str,
+    ) + "\n").encode("utf-8")
+    _respond(writer, telemetry, 200, body)
+    return True
+
+
+def _answer_flight_lookup(
+    app, request: Request, writer, telemetry: RequestTelemetry
+) -> bool:
+    """``GET /debug/requests/<id>``: one request's event + span tree."""
+    request_id = request.path[len(_DEBUG_PREFIX):]
+    found = app.flight.lookup(request_id)
+    if found is None:
+        _respond(
+            writer, telemetry, 404,
+            error_body(404, f"request {request_id!r} not in the "
+                            "flight recorder"),
+        )
+        return True
+    body = (json.dumps(found, sort_keys=True, default=str) + "\n") \
+        .encode("utf-8")
+    _respond(writer, telemetry, 200, body)
+    return True
+
+
+async def handle_characterize(
+    app, request: Request, writer, telemetry: RequestTelemetry
+) -> bool:
     """Admit, coalesce, execute, and answer one characterization query."""
     tenant = request.header("x-repro-tenant", "anon") or "anon"
+    telemetry.tenant = tenant
     try:
         app.admission.admit_tenant(tenant)
     except AdmissionError as exc:
-        write_response(
-            writer, 429, error_body(429, str(exc)),
+        _respond(
+            writer, telemetry, 429, error_body(429, str(exc)),
             extra=(("Retry-After", str(exc.retry_after_s)),),
         )
         return True
@@ -92,46 +180,90 @@ async def handle_characterize(app, request: Request, writer) -> bool:
                 request.body, allow_chaos=app.config.allow_chaos
             )
         except QueryError as exc:
-            write_response(writer, 400, error_body(400, str(exc)))
+            _respond(writer, telemetry, 400, error_body(400, str(exc)))
             return True
+        telemetry.query_key = query.key()
         job, leader = app.coalescer.submit(
-            query.key(), lambda job: app.execute_job(query, job)
+            query.key(),
+            lambda job: app.execute_job(query, job, telemetry),
         )
+        telemetry.role = "leader" if leader else "follower"
+        telemetry.coalesced = not leader
         if request.query.get("stream") in ("1", "true", "yes"):
-            return await _answer_streaming(app, job, leader, writer)
-        return await _answer_plain(app, job, writer)
+            return await _answer_streaming(
+                app, job, leader, writer, telemetry
+            )
+        return await _answer_plain(app, job, writer, telemetry)
     finally:
         app.admission.release_tenant(tenant)
 
 
-async def _answer_plain(app, job: Job, writer) -> bool:
+def _adopt_job_facts(job: Job, telemetry: RequestTelemetry) -> None:
+    """Copy the leader's execution facts onto a subscriber's wide event.
+
+    The leader's telemetry already carries its own ``queue_wait_s`` and
+    ``exec_s`` (set by ``execute_job``); followers keep those at 0 --
+    they never queued or executed -- and link to the leader instead.
+    """
+    for key, value in job.meta.items():
+        if key in ("queue_wait_s", "exec_s"):
+            continue
+        telemetry.extra.setdefault(key, value)
+    if telemetry.role == "follower":
+        telemetry.extra.setdefault(
+            "leader_request_id", job.leader_request_id
+        )
+        telemetry.extra.setdefault("leader_trace_id", job.leader_trace_id)
+
+
+async def _answer_plain(
+    app, job: Job, writer, telemetry: RequestTelemetry
+) -> bool:
     """Buffered mode: one JSON document once the job finishes."""
+    wait_start = time.perf_counter()
     try:
         body = await app.coalescer.wait(job)
     except AdmissionError as exc:
-        write_response(
-            writer, 429, error_body(429, str(exc)),
+        _respond(
+            writer, telemetry, 429, error_body(429, str(exc)),
             extra=(("Retry-After", str(exc.retry_after_s)),),
         )
         return True
     except Exception as exc:  # noqa: BLE001 -- degrade to a 500, stay up
-        write_response(
-            writer, 500,
+        _adopt_job_facts(job, telemetry)
+        _respond(
+            writer, telemetry, 500,
             error_body(500, f"{type(exc).__name__}: {exc}"),
         )
         return True
-    write_response(writer, 200, body)
+    _adopt_job_facts(job, telemetry)
+    if telemetry.role == "follower":
+        telemetry.add_span(
+            "coalesce.wait", "serve", wait_start, time.perf_counter(),
+            leader_request_id=job.leader_request_id,
+        )
+    _respond(
+        writer, telemetry, 200, body,
+        extra=(("traceparent", telemetry.ctx.to_traceparent()),),
+    )
     return True
 
 
-async def _answer_streaming(app, job: Job, leader: bool, writer) -> bool:
+async def _answer_streaming(
+    app, job: Job, leader: bool, writer, telemetry: RequestTelemetry
+) -> bool:
     """Streamed mode: chunked ndjson events, then the result document.
 
     Followers replay the job's past events first, so every subscriber
     sees the complete history; the final line is the rendered result --
     byte-identical across all subscribers and ``--oneshot``.
     """
-    stream = ChunkedResponse(writer)
+    stream = ChunkedResponse(
+        writer,
+        extra=(("traceparent", telemetry.ctx.to_traceparent()),),
+    )
+    telemetry.status = 200  # headers are on the wire from here on
+    wait_start = time.perf_counter()
     queue = job.subscribe()
     try:
         await stream.send(render_document({
@@ -142,14 +274,24 @@ async def _answer_streaming(app, job: Job, leader: bool, writer) -> bool:
         async for event in job.events(queue):
             await stream.send(render_document(event))
         body = await app.coalescer.wait(job)
+        _adopt_job_facts(job, telemetry)
+        if telemetry.role == "follower":
+            telemetry.add_span(
+                "coalesce.wait", "serve", wait_start,
+                time.perf_counter(),
+                leader_request_id=job.leader_request_id,
+            )
+        telemetry.bytes_sent = len(body)
         await stream.send(body)
     except AdmissionError as exc:
+        telemetry.extra["stream_error"] = str(exc)
         await stream.send(render_document({
             "event": "error", "status": 429, "message": str(exc),
         }))
     except asyncio.CancelledError:
         raise
     except Exception as exc:  # noqa: BLE001 -- degrade, stay up
+        telemetry.extra["stream_error"] = f"{type(exc).__name__}: {exc}"
         await stream.send(render_document({
             "event": "error", "status": 500,
             "message": f"{type(exc).__name__}: {exc}",

@@ -18,6 +18,7 @@ loop calls :func:`read_request` repeatedly until EOF or a
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
@@ -68,6 +69,10 @@ class Request:
     body: bytes = b""
     keep_alive: bool = True
     peer: str = ""
+    parse_s: float = 0.0
+    """Wall seconds spent reading/parsing this request off the wire,
+    measured from the first request-line byte (keep-alive idle time
+    between requests is excluded).  Feeds the ``http.parse`` span."""
     _json: object = field(default=None, repr=False)
 
     def header(self, name: str, default: str = "") -> str:
@@ -101,6 +106,7 @@ async def read_request(
     line = await _read_line(reader, MAX_REQUEST_LINE)
     if not line:
         return None
+    parse_start = time.perf_counter()
     parts = line.split()
     if len(parts) != 3:
         raise ProtocolError(f"malformed request line {line[:64]!r}")
@@ -152,6 +158,7 @@ async def read_request(
         body=body,
         keep_alive=keep_alive,
         peer=peer,
+        parse_s=time.perf_counter() - parse_start,
     )
 
 

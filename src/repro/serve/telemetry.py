@@ -1,0 +1,234 @@
+"""Per-request telemetry: the glue between serve and ``repro.obs``.
+
+One :class:`RequestTelemetry` rides along with every HTTP request from
+parse to response.  It carries the request's :class:`TraceContext`
+(accepted from a ``traceparent`` header or freshly generated), collects
+the serve-layer **span records** (parse, queue-wait, coalesce, execute,
+per-point cells) that become the ``/debug/requests/<id>`` span tree, and
+assembles the flat field set of the request's **wide event**.
+
+Clocks: span records store ``start_s`` relative to the server's start
+(readable in debug output); when merged into the master
+:class:`~repro.obs.trace.TraceBuffer` they are converted back to raw
+``time.perf_counter()`` nanoseconds -- the same base the campaign
+runtime's ``CLOCK_WALL`` batch spans use -- so serve, runtime, and
+simulator spans line up on one Perfetto timeline.
+
+Everything here is observational: ids come from ``os.urandom`` (never a
+model RNG), timings are read, results are untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.trace import CLOCK_SIM, CLOCK_WALL, TraceBuffer, TraceContext
+
+
+def span_record(
+    name: str,
+    cat: str,
+    start: float,
+    end: float,
+    zero: float,
+    parent_id: Optional[str] = None,
+    span_id: Optional[str] = None,
+    **args: object,
+) -> Dict[str, object]:
+    """One flat serve-layer span record (times in perf_counter seconds,
+    stored relative to the server's start ``zero``)."""
+    record: Dict[str, object] = {
+        "span_id": span_id if span_id is not None else os.urandom(8).hex(),
+        "parent_id": parent_id,
+        "name": name,
+        "cat": cat,
+        "start_s": round(start - zero, 6),
+        "dur_s": round(max(end - start, 0.0), 6),
+    }
+    if args:
+        record["args"] = dict(args)
+    return record
+
+
+def level_for_status(status: int) -> str:
+    """Wide-event severity from HTTP status (5xx error, 4xx warn)."""
+    if status >= 500 or status == 0:
+        return "error"
+    if status >= 400:
+        return "warn"
+    return "info"
+
+
+class RequestTelemetry:
+    """Everything observability knows about one in-flight request."""
+
+    def __init__(
+        self,
+        ctx: TraceContext,
+        zero: float,
+        peer: str = "",
+        parse_s: float = 0.0,
+    ):
+        self.request_id = os.urandom(8).hex()
+        self.ctx = ctx
+        self.zero = zero
+        self.peer = peer
+        self.started = time.perf_counter()
+        self.parse_s = float(parse_s)
+        self.status = 0
+        self.tenant = "anon"
+        self.role = "none"
+        self.coalesced = False
+        self.query_key: Optional[str] = None
+        self.queue_wait_s = 0.0
+        self.exec_s = 0.0
+        self.bytes_sent = 0
+        self.wall_track: Optional[int] = None  # allocated by the app
+        self.extra: Dict[str, object] = {}
+        self.spans: List[Dict[str, object]] = []
+        if self.parse_s > 0:
+            self.add_span(
+                "http.parse", "serve",
+                self.started - self.parse_s, self.started,
+            )
+
+    # -- span records -----------------------------------------------------
+
+    def add_span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        parent_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        **args: object,
+    ) -> str:
+        """Record one serve-layer span (``start``/``end`` in perf_counter
+        seconds); returns its span id for use as a child's parent."""
+        record = span_record(
+            name, cat, start, end, self.zero,
+            parent_id=parent_id if parent_id is not None
+            else self.ctx.span_id,
+            span_id=span_id,
+            **args,
+        )
+        self.spans.append(record)
+        return str(record["span_id"])
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str, parent_id: Optional[str] = None,
+        **args: object,
+    ) -> Iterator[None]:
+        """Time a block as one span record."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_span(
+                name, cat, start, time.perf_counter(),
+                parent_id=parent_id, **args,
+            )
+
+    def close(self, total_s: float) -> None:
+        """Seal the record with the root ``request`` span.
+
+        The root carries the request's own span id, so child records
+        (which default their ``parent_id`` to it) nest underneath, and
+        its ``parent_id`` is the *caller's* span from ``traceparent`` --
+        the cross-process link.
+        """
+        self.spans.insert(0, {
+            "span_id": self.ctx.span_id,
+            "parent_id": self.ctx.parent_id,
+            "name": "request",
+            "cat": "serve",
+            "start_s": round(self.started - self.parse_s - self.zero, 6),
+            "dur_s": round(total_s + self.parse_s, 6),
+        })
+
+    # -- exports ----------------------------------------------------------
+
+    def wide_fields(
+        self, method: str, path: str, total_s: float
+    ) -> Dict[str, object]:
+        """The flat field set of this request's wide event."""
+        fields: Dict[str, object] = {
+            "request_id": self.request_id,
+            "trace_id": self.ctx.trace_id,
+            "span_id": self.ctx.span_id,
+            "parent_id": self.ctx.parent_id,
+            "tenant": self.tenant,
+            "method": method,
+            "path": path,
+            "peer": self.peer,
+            "status": self.status,
+            "role": self.role,
+            "coalesced": self.coalesced,
+            "query_key": self.query_key,
+            "parse_s": round(self.parse_s, 6),
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "exec_s": round(self.exec_s, 6),
+            "total_s": round(total_s, 6),
+            "bytes": self.bytes_sent,
+        }
+        fields.update(self.extra)
+        return fields
+
+    def merge_into(self, buffer: TraceBuffer, track: int) -> None:
+        """Append the span records to a trace buffer as CLOCK_WALL spans."""
+        for record in self.spans:
+            args = dict(record.get("args", ()))
+            args.update(
+                trace_id=self.ctx.trace_id,
+                request_id=self.request_id,
+                span_id=record["span_id"],
+            )
+            if record.get("parent_id"):
+                args["parent_id"] = record["parent_id"]
+            buffer.add(
+                str(record["name"]),
+                str(record["cat"]),
+                start_ns=(self.zero + float(record["start_s"])) * 1e9,
+                dur_ns=float(record["dur_s"]) * 1e9,
+                track=track,
+                clock=CLOCK_WALL,
+                **args,
+            )
+
+
+def merge_job_buffer(
+    master: TraceBuffer,
+    job_buffer: TraceBuffer,
+    trace_id: str,
+    request_id: str,
+    wall_track: int,
+    sim_track_base: int,
+) -> int:
+    """Fold one job's private trace buffer into the master export.
+
+    Runtime ``CLOCK_WALL`` spans land on the leader request's wall
+    track; ``CLOCK_SIM`` per-request tracks are shifted by
+    ``sim_track_base`` so concurrent jobs never collide.  Every span is
+    annotated with the owning trace/request id.  Returns the number of
+    sim tracks consumed (the caller advances its allocator by this).
+    """
+    sim_tracks = job_buffer.tracks(CLOCK_SIM)
+    remap = {old: sim_track_base + i for i, old in enumerate(sim_tracks)}
+    for span in job_buffer.spans:
+        args = dict(span.args)
+        args.setdefault("trace_id", trace_id)
+        args.setdefault("request_id", request_id)
+        if span.clock == CLOCK_SIM:
+            track = remap[span.track]
+        else:
+            track = wall_track
+        master.add(
+            span.name, span.cat, span.start_ns, span.dur_ns,
+            track=track, clock=span.clock, **args,
+        )
+    return len(sim_tracks)

@@ -5,6 +5,7 @@ import pytest
 from repro.diag import DiagContext, run_checks
 from repro.diag.checks_obs import (
     check_export_wellformed,
+    check_serve_event_noninterference,
     check_span_accounting,
 )
 from repro.hw.cxl import cxl_a
@@ -34,6 +35,7 @@ class TestShippedWiring:
             "trace-noninterference",
             "metrics-noninterference",
             "export-wellformed",
+            "serve-event-noninterference",
         }
 
 
@@ -77,6 +79,50 @@ class TestBrokenWiring:
             check_export_wellformed(DiagContext.default().with_targets([]))
         )
         assert any(v.subject == "prometheus" for v in violations)
+
+    def test_tracing_that_leaks_into_results_trips_serve_check(
+        self, small_ctx, monkeypatch
+    ):
+        """Instrumentation that participates in results must be caught.
+
+        Models the regression the check exists for: an execution path
+        that behaves differently when a trace buffer is installed.
+        """
+        import repro.serve.query as query_mod
+        from repro.obs.trace import tracing
+
+        original = query_mod.execute_query
+
+        def leaky(query, engine, on_point=None):
+            document = original(query, engine, on_point=on_point)
+            if tracing() is not None:
+                document = dict(document, traced=True)
+            return document
+
+        monkeypatch.setattr(query_mod, "execute_query", leaky)
+        violations = list(check_serve_event_noninterference(small_ctx))
+        assert any(
+            "changed the rendered" in v.message for v in violations
+        )
+
+    def test_malformed_event_trips_serve_check(self, small_ctx, monkeypatch):
+        """Schema-invalid emitted events must be flagged."""
+        import sys
+
+        import repro.obs.events  # noqa: F401 -- ensure the module loads
+
+        # The package re-exports an ``events()`` accessor that shadows the
+        # submodule attribute, so fetch the module itself.
+        events_mod = sys.modules["repro.obs.events"]
+
+        def skeletal(event, level="info", clock=None, **fields):
+            return {"event": event}  # drops schema/ts/level
+
+        monkeypatch.setattr(events_mod, "build_event", skeletal)
+        violations = list(check_serve_event_noninterference(small_ctx))
+        assert any(
+            "schema validation" in v.message for v in violations
+        )
 
     def test_broken_histogram_accounting_trips_export_check(
         self, monkeypatch

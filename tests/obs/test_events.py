@@ -1,0 +1,182 @@
+"""Wide-event logger tests: schema, levels, sampling, sinks, module state."""
+
+import json
+import threading
+from io import StringIO
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    LEVELS,
+    EventLogger,
+    NullEventLogger,
+    build_event,
+    disable_events,
+    enable_events,
+    events,
+    render_event,
+    use_events,
+    validate_event,
+)
+
+
+class TestBuildEvent:
+    def test_carries_schema_ts_event_level(self):
+        record = build_event("server.start", clock=lambda: 12.3456789)
+        assert record["schema"] == EVENT_SCHEMA_VERSION
+        assert record["ts"] == pytest.approx(12.345679)
+        assert record["event"] == "server.start"
+        assert record["level"] == "info"
+
+    def test_fields_flatten_into_the_record(self):
+        record = build_event("request", status=200, tenant="acme")
+        assert record["status"] == 200
+        assert record["tenant"] == "acme"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_event("x", level="loud")
+
+
+class TestRenderEvent:
+    def test_ndjson_line_sorted_compact_lf(self):
+        line = render_event({"b": 1, "a": 2})
+        assert line == '{"a":2,"b":1}\n'
+
+    def test_unserializable_values_fall_back_to_str(self):
+        line = render_event({"obj": object()})
+        assert line.startswith('{"obj":"<object object')
+
+
+class TestValidateEvent:
+    def test_valid_event_has_no_problems(self):
+        assert validate_event(build_event("server.stop")) == []
+
+    def test_non_object_is_one_problem(self):
+        assert validate_event([1, 2]) == ["event is not an object: list"]
+
+    def test_missing_required_keys_reported(self):
+        problems = validate_event({"event": "x"})
+        assert any("'schema'" in p for p in problems)
+        assert any("'ts'" in p for p in problems)
+        assert any("'level'" in p for p in problems)
+
+    def test_bad_level_schema_and_ts_reported(self):
+        problems = validate_event(
+            {"schema": 99, "ts": "noon", "event": "x", "level": "loud"}
+        )
+        assert any("unknown level" in p for p in problems)
+        assert any("schema version" in p for p in problems)
+        assert any("not numeric" in p for p in problems)
+
+    def test_request_events_demand_the_wide_keys(self):
+        record = build_event("request")
+        problems = validate_event(record)
+        assert any("request_id" in p for p in problems)
+        assert any("total_s" in p for p in problems)
+
+
+class TestEventLogger:
+    def test_emits_parseable_ndjson(self):
+        sink = StringIO()
+        logger = EventLogger(sink, clock=lambda: 1.0)
+        record = logger.emit("server.start", port=8080)
+        assert record is not None
+        decoded = json.loads(sink.getvalue())
+        assert decoded == record
+        assert validate_event(decoded) == []
+
+    def test_level_threshold_suppresses_cheaply(self):
+        sink = StringIO()
+        logger = EventLogger(sink, level="warn")
+        assert logger.emit("cell", level="debug") is None
+        assert logger.emit("oops", level="error") is not None
+        assert sink.getvalue().count("\n") == 1
+        stats = logger.stats()
+        assert stats["emitted"] == 1
+        assert stats["suppressed"] == 1
+
+    def test_sampling_keeps_every_nth(self):
+        sink = StringIO()
+        logger = EventLogger(sink, sample_every=3)
+        kept = [
+            logger.emit("cell", sampled=True, i=i) is not None
+            for i in range(7)
+        ]
+        assert kept == [True, False, False, True, False, False, True]
+
+    def test_unsampled_events_bypass_sampling(self):
+        sink = StringIO()
+        logger = EventLogger(sink, sample_every=100)
+        assert all(
+            logger.emit("server.start") is not None for _ in range(5)
+        )
+
+    def test_closed_sink_suppresses_instead_of_raising(self):
+        sink = StringIO()
+        logger = EventLogger(sink)
+        sink.close()
+        assert logger.write(build_event("late")) is False
+        assert logger.stats()["suppressed"] == 1
+
+    def test_concurrent_writers_never_tear_lines(self):
+        sink = StringIO()
+        logger = EventLogger(sink, clock=lambda: 0.0)
+
+        def hammer(tag):
+            for i in range(50):
+                logger.emit("cell", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 200
+        assert all(validate_event(json.loads(line)) == [] for line in lines)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            EventLogger(StringIO(), level="loud")
+        with pytest.raises(ConfigurationError):
+            EventLogger(StringIO(), sample_every=0)
+
+
+class TestNullLogger:
+    def test_null_logger_is_free_and_silent(self):
+        logger = NullEventLogger()
+        assert logger.enabled is False
+        assert logger.emit("anything") is None
+        assert logger.write({"event": "x"}) is False
+        assert logger.stats()["emitted"] == 0
+
+
+class TestModuleState:
+    def test_defaults_to_the_null_logger(self):
+        assert events().enabled is False
+
+    def test_enable_disable_roundtrip(self):
+        logger = EventLogger(StringIO())
+        try:
+            assert enable_events(logger) is logger
+            assert events() is logger
+        finally:
+            disable_events()
+        assert events().enabled is False
+
+    def test_use_events_restores_on_exit(self):
+        logger = EventLogger(StringIO())
+        with use_events(logger) as active:
+            assert active is logger
+            assert events() is logger
+        assert events().enabled is False
+
+    def test_levels_are_strictly_ascending(self):
+        values = [LEVELS[n] for n in ("debug", "info", "warn", "error")]
+        assert values == sorted(values)
+        assert len(set(values)) == 4

@@ -1,0 +1,125 @@
+"""Flight recorder tests: bounded ring, lookup, span-tree nesting."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import build_event
+from repro.obs.flight import FlightRecorder, span_tree
+
+
+def request_event(request_id, **fields):
+    return build_event(
+        "request", request_id=request_id, clock=lambda: 0.0, **fields
+    )
+
+
+class TestSpanTree:
+    def test_nests_children_under_parents(self):
+        spans = [
+            {"span_id": "root", "parent_id": None, "name": "request"},
+            {"span_id": "q", "parent_id": "root", "name": "queue.wait"},
+            {"span_id": "e", "parent_id": "root", "name": "execute"},
+            {"span_id": "c0", "parent_id": "e", "name": "cell[0]"},
+        ]
+        roots = span_tree(spans)
+        assert [r["name"] for r in roots] == ["request"]
+        children = [c["name"] for c in roots[0]["children"]]
+        assert children == ["queue.wait", "execute"]
+        execute = roots[0]["children"][1]
+        assert [c["name"] for c in execute["children"]] == ["cell[0]"]
+
+    def test_orphans_become_roots(self):
+        spans = [
+            {"span_id": "a", "parent_id": "missing", "name": "stray"},
+            {"span_id": "b", "parent_id": "a", "name": "child"},
+        ]
+        roots = span_tree(spans)
+        assert [r["name"] for r in roots] == ["stray"]
+        assert [c["name"] for c in roots[0]["children"]] == ["child"]
+
+    def test_order_independent(self):
+        spans = [
+            {"span_id": "c", "parent_id": "p", "name": "child"},
+            {"span_id": "p", "parent_id": None, "name": "parent"},
+        ]
+        roots = span_tree(spans)
+        assert [r["name"] for r in roots] == ["parent"]
+        assert [c["name"] for c in roots[0]["children"]] == ["child"]
+
+    def test_input_records_are_not_mutated(self):
+        record = {"span_id": "x", "name": "solo"}
+        span_tree([record])
+        assert "children" not in record
+
+    def test_self_parented_span_is_a_root(self):
+        roots = span_tree([{"span_id": "s", "parent_id": "s", "name": "x"}])
+        assert len(roots) == 1
+
+
+class TestFlightRecorder:
+    def test_recent_is_newest_first_and_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record(request_event(f"r{i}"))
+        recent = recorder.recent()
+        assert [e["request_id"] for e in recent] == ["r4", "r3", "r2"]
+        assert recorder.recent(1)[0]["request_id"] == "r4"
+        assert len(recorder) == 3
+
+    def test_lookup_returns_event_and_span_tree(self):
+        recorder = FlightRecorder(capacity=4)
+        spans = [
+            {"span_id": "root", "parent_id": None, "name": "request"},
+            {"span_id": "e", "parent_id": "root", "name": "execute"},
+        ]
+        recorder.record(request_event("abc", status=200), spans)
+        found = recorder.lookup("abc")
+        assert found["event"]["status"] == 200
+        assert [r["name"] for r in found["spans"]] == ["request"]
+        assert [c["name"] for c in found["spans"][0]["children"]] \
+            == ["execute"]
+
+    def test_lookup_miss_and_age_out(self):
+        recorder = FlightRecorder(capacity=1)
+        recorder.record(request_event("old"))
+        recorder.record(request_event("new"))
+        assert recorder.lookup("old") is None
+        assert recorder.lookup("new") is not None
+        assert recorder.lookup("never") is None
+
+    def test_newest_duplicate_id_wins(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(request_event("dup", status=500))
+        recorder.record(request_event("dup", status=200))
+        assert recorder.lookup("dup")["event"]["status"] == 200
+
+    def test_stats_accounting(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(request_event(f"r{i}"))
+        assert recorder.stats() == {
+            "capacity": 2, "held": 2, "recorded": 5,
+        }
+
+    def test_concurrent_recording_is_safe(self):
+        recorder = FlightRecorder(capacity=64)
+
+        def hammer(tag):
+            for i in range(50):
+                recorder.record(request_event(f"{tag}-{i}"))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.stats()["recorded"] == 200
+        assert len(recorder) == 64
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=0)

@@ -1,0 +1,158 @@
+"""SLO tracker tests: quantile math, rolling windows, budgets, gauges."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_QUANTILES,
+    SloTracker,
+    quantile_from_buckets,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_tracker(clock, **kwargs):
+    kwargs.setdefault("window_s", 100.0)
+    kwargs.setdefault("slices", 10)
+    return SloTracker(clock=clock, **kwargs)
+
+
+class TestQuantileFromBuckets:
+    def test_empty_window_reports_zero(self):
+        assert quantile_from_buckets((1.0, 2.0), (0, 0, 0), 0.95) == 0.0
+
+    def test_interpolates_within_the_winning_bucket(self):
+        # 10 observations all in (1.0, 2.0]; p50 lands mid-bucket.
+        assert quantile_from_buckets(
+            (1.0, 2.0), (0, 10, 0), 0.5
+        ) == pytest.approx(1.5)
+
+    def test_overflow_bucket_reports_last_bound(self):
+        assert quantile_from_buckets(
+            (1.0, 2.0), (0, 0, 5), 0.99
+        ) == pytest.approx(2.0)
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ConfigurationError):
+            quantile_from_buckets((1.0,), (1, 0), 1.5)
+
+
+class TestRollingWindow:
+    def test_snapshot_counts_and_quantiles(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, buckets=(0.1, 1.0, 10.0))
+        for latency in (0.05, 0.5, 0.5, 5.0):
+            tracker.observe("GET /stats", latency)
+        doc = tracker.snapshot_key("GET /stats")
+        assert doc["requests"] == 4
+        assert doc["errors"] == 0
+        assert doc["latency"]["count"] == 4
+        assert doc["latency"]["mean_s"] == pytest.approx(1.5125)
+        assert 0.0 < doc["latency"]["p50"] <= 1.0
+        assert doc["latency"]["p99"] <= 10.0
+
+    def test_old_slices_age_out(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)  # 100s window, 10s slices
+        tracker.observe("k", 1.0, error=True)
+        assert tracker.snapshot_key("k")["requests"] == 1
+        clock.advance(150.0)  # a full window and a half later
+        assert tracker.snapshot_key("k")["requests"] == 0
+        assert tracker.snapshot_key("k")["errors"] == 0
+
+    def test_recent_slices_merge(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe("k", 1.0)
+        clock.advance(30.0)  # 3 slices later, still inside the window
+        tracker.observe("k", 1.0)
+        assert tracker.snapshot_key("k")["requests"] == 2
+
+    def test_slice_reuse_resets_stale_contents(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe("k", 1.0)
+        clock.advance(100.0)  # exactly one window: same slot, new epoch
+        tracker.observe("k", 2.0)
+        doc = tracker.snapshot_key("k")
+        assert doc["requests"] == 1
+        assert doc["latency"]["mean_s"] == pytest.approx(2.0)
+
+
+class TestErrorBudget:
+    def test_budget_full_with_no_errors(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target_availability=0.999)
+        for _ in range(10):
+            tracker.observe("k", 0.01)
+        assert tracker.snapshot_key("k")["error_budget_remaining"] == 1.0
+
+    def test_budget_blown_goes_negative(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target_availability=0.999)
+        for _ in range(9):
+            tracker.observe("k", 0.01)
+        tracker.observe("k", 0.01, error=True)  # 10% errors vs 0.1% allowed
+        doc = tracker.snapshot_key("k")
+        assert doc["error_rate"] == pytest.approx(0.1)
+        assert doc["error_budget_remaining"] < 0
+
+    def test_latency_target_annotated(self):
+        clock = FakeClock()
+        tracker = make_tracker(
+            clock, latency_target_s=5.0, buckets=(0.1, 1.0)
+        )
+        tracker.observe("k", 0.05)
+        doc = tracker.snapshot_key("k")
+        assert doc["latency_target_s"] == 5.0
+        assert doc["latency_target_met"] is True
+
+
+class TestSnapshotAndGauges:
+    def test_snapshot_lists_keys_sorted(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe("b", 1.0)
+        tracker.observe("a", 1.0)
+        assert list(tracker.snapshot()) == ["a", "b"]
+
+    def test_export_gauges_mirrors_the_snapshot(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe("GET /stats", 0.5)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry)
+        text = registry.to_prometheus()
+        assert 'repro_slo_p95_seconds{key="GET /stats"}' in text
+        assert 'repro_slo_error_budget_remaining{key="GET /stats"}' in text
+
+    def test_quantile_names_follow_defaults(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe("k", 0.5)
+        latency = tracker.snapshot_key("k")["latency"]
+        for q in DEFAULT_QUANTILES:
+            assert f"p{int(q * 100)}" in latency
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker(window_s=0)
+        with pytest.raises(ConfigurationError):
+            SloTracker(slices=0)
+        with pytest.raises(ConfigurationError):
+            SloTracker(target_availability=1.0)

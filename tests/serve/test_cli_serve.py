@@ -54,7 +54,12 @@ def parse_prometheus(text: str) -> dict:
 
 @pytest.fixture
 def server(tmp_path):
-    """A ``repro serve`` subprocess on an ephemeral port."""
+    """A ``repro serve`` subprocess on an ephemeral port.
+
+    Startup is announced as a ``server.start`` ndjson wide event on
+    stdout (the structured log replaced the old banner); its ``port``
+    field is how the test finds the ephemeral port.
+    """
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR
     proc = subprocess.Popen(
@@ -63,12 +68,9 @@ def server(tmp_path):
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
     )
     try:
-        banner = proc.stdout.readline()
-        assert "serving on http://" in banner, proc.stderr.read()
-        port = int(
-            banner.split("http://", 1)[1].split()[0].rsplit(":", 1)[1]
-        )
-        yield proc, port
+        started = json.loads(proc.stdout.readline())
+        assert started["event"] == "server.start", proc.stderr.read()
+        yield proc, int(started["port"])
     finally:
         if proc.poll() is None:
             proc.kill()
@@ -135,8 +137,23 @@ class TestServeSmoke:
                 if k.startswith("repro_serve_jobs_started")]
         assert sum(jobs) == 2.0  # the coalesced job + the faulted job
 
-        # Clean shutdown on SIGTERM.
+        # Clean shutdown on SIGTERM.  Every stdout line is a schema-valid
+        # ndjson wide event, one of them a request event per HTTP
+        # request, and the last one the server.stop lifecycle event.
         proc.send_signal(signal.SIGTERM)
         out, err = proc.communicate(timeout=30)
         assert proc.returncode == 0, err
-        assert "shutdown complete" in out
+
+        from repro.obs.events import validate_event
+
+        events = [json.loads(line) for line in out.splitlines() if line]
+        assert all(validate_event(e) == [] for e in events)
+        requests = [e for e in events if e["event"] == "request"]
+        characterize = [e for e in requests
+                        if e["path"] == "/v1/characterize"]
+        assert len(characterize) == 9  # 8 duplicates + 1 faulted
+        assert sum(1 for e in characterize if e["role"] == "leader") == 2
+        assert sum(1 for e in characterize
+                   if e["role"] == "follower") == 7
+        assert events[-1]["event"] == "server.stop"
+        assert events[-1]["requests"] == len(requests)

@@ -1,0 +1,151 @@
+"""``repro tail`` and ``repro slo``: the observability CLI surface."""
+
+import json
+
+from repro.cli import main
+from repro.obs.events import build_event, render_event
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def write_log(path, records):
+    path.write_text("".join(render_event(r) for r in records))
+
+
+def sample_events():
+    clock = lambda: 12.5  # noqa: E731 -- fixed timestamp for determinism
+    return [
+        build_event("server.start", clock=clock, port=8080),
+        build_event(
+            "request", clock=clock,
+            request_id="aa" * 8, trace_id="ab" * 16, tenant="anon",
+            method="POST", path="/v1/characterize", status=200,
+            role="leader", coalesced=False, total_s=0.25, bytes=512,
+        ),
+        build_event("cell", level="debug", clock=clock, index=0, ok=True),
+        build_event("server.stop", clock=clock, requests=1),
+    ]
+
+
+class TestTail:
+    def test_renders_human_lines(self, capsys, tmp_path):
+        log = tmp_path / "events.ndjson"
+        write_log(log, sample_events())
+        code, out, err = run_cli(capsys, "tail", str(log))
+        assert code == 0
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "server.start" in lines[0]
+        assert "POST /v1/characterize 200 leader 0.25s" in lines[1]
+        assert lines[2].startswith("12:") or "DEBUG" in lines[2]
+
+    def test_json_mode_is_machine_readable(self, capsys, tmp_path):
+        log = tmp_path / "events.ndjson"
+        write_log(log, sample_events())
+        code, out, err = run_cli(capsys, "tail", str(log), "--json")
+        assert code == 0
+        decoded = [json.loads(line) for line in out.splitlines()]
+        assert [d["event"] for d in decoded] == [
+            "server.start", "request", "cell", "server.stop",
+        ]
+
+    def test_level_filter_hides_debug(self, capsys, tmp_path):
+        log = tmp_path / "events.ndjson"
+        write_log(log, sample_events())
+        code, out, err = run_cli(
+            capsys, "tail", str(log), "--level", "info", "--json"
+        )
+        assert code == 0
+        decoded = [json.loads(line) for line in out.splitlines()]
+        assert all(d["event"] != "cell" for d in decoded)
+
+    def test_invalid_lines_fail_the_run(self, capsys, tmp_path):
+        log = tmp_path / "events.ndjson"
+        log.write_text(
+            render_event(build_event("ok"))
+            + "this is not json\n"
+            + '{"event":"missing-everything"}\n'
+        )
+        code, out, err = run_cli(capsys, "tail", str(log), "--json")
+        assert code == 1
+        assert "invalid json" in err
+        assert "invalid event" in err
+        assert "2 invalid line(s)" in err
+        # The valid line still rendered.
+        assert json.loads(out.splitlines()[0])["event"] == "ok"
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code, out, err = run_cli(
+            capsys, "tail", str(tmp_path / "nope.ndjson")
+        )
+        assert code == 1
+        assert "cannot read" in err
+
+
+def stats_with_slo():
+    return {
+        "slo": {
+            "POST /v1/characterize": {
+                "window_s": 300.0,
+                "requests": 12,
+                "errors": 1,
+                "error_rate": 0.083333,
+                "target_availability": 0.999,
+                "error_budget_remaining": -82.33,
+                "latency": {
+                    "count": 12, "mean_s": 0.2,
+                    "p50": 0.18, "p95": 0.4, "p99": 0.5,
+                },
+            },
+            "tenant:anon": {
+                "window_s": 300.0,
+                "requests": 12,
+                "errors": 1,
+                "error_rate": 0.083333,
+                "target_availability": 0.999,
+                "error_budget_remaining": -82.33,
+                "latency": {
+                    "count": 12, "mean_s": 0.2,
+                    "p50": 0.18, "p95": 0.4, "p99": 0.5,
+                },
+            },
+        },
+    }
+
+
+class TestSlo:
+    def test_renders_table_from_saved_stats(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps(stats_with_slo()))
+        code, out, err = run_cli(capsys, "slo", str(stats))
+        assert code == 0
+        assert "rolling window: 300s" in out
+        assert "POST /v1/characterize" in out
+        assert "tenant:anon" in out
+        assert "-82.33" in out
+        assert "0.400s" in out
+
+    def test_json_mode_dumps_the_section(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps(stats_with_slo()))
+        code, out, err = run_cli(capsys, "slo", str(stats), "--json")
+        assert code == 0
+        assert json.loads(out) == stats_with_slo()["slo"]
+
+    def test_stats_without_slo_fails(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        stats.write_text(json.dumps({"uptime_s": 1.0}))
+        code, out, err = run_cli(capsys, "slo", str(stats))
+        assert code == 1
+        assert "no SLO data" in err
+
+    def test_unreadable_source_fails(self, capsys, tmp_path):
+        code, out, err = run_cli(
+            capsys, "slo", str(tmp_path / "nope.json")
+        )
+        assert code == 1
+        assert "cannot read" in err

@@ -1,0 +1,299 @@
+"""End-to-end request observability over a real socket.
+
+The observability contract under test: results are byte-identical with
+the pipeline on or off; every request leaves one schema-valid wide
+event; ``traceparent`` propagates caller → serve → simulator; the
+flight recorder serves span trees over ``/debug/requests``; SLOs show
+up on ``/stats`` and ``/metrics``; a merged Perfetto trace carries
+serve-layer and simulator spans under one trace id.
+"""
+
+import asyncio
+import json
+
+from repro.obs.events import validate_event
+from repro.serve import ServeApp, ServeConfig, fetch
+from repro.serve.query import run_oneshot
+
+QUERY = {
+    "device": "cxl-b",
+    "points": [{"offered_gbps": 3.0}, {"offered_gbps": 5.0}],
+    "n_requests": 2_000,
+    "seed": 5,
+}
+SLOW_QUERY = {
+    "device": "cxl-a",
+    "points": [{"offered_gbps": g} for g in (2.0, 4.0, 6.0)],
+    "n_requests": 250_000,
+    "seed": 11,
+}
+
+TRACEPARENT = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+
+
+def body_of(query: dict) -> bytes:
+    return json.dumps(query).encode()
+
+
+def with_app(config: ServeConfig, scenario):
+    """Start a server on an ephemeral port, run ``scenario(app)``, stop."""
+
+    async def go():
+        app = ServeApp(config)
+        await app.start()
+        try:
+            return await scenario(app)
+        finally:
+            app.request_shutdown()
+            await app.stop()
+            app._close_event_log()
+
+    return asyncio.run(go())
+
+
+def loud_config(tmp_path, **kwargs):
+    """A config with the whole observability pipeline switched on."""
+    kwargs.setdefault("log_level", "debug")
+    kwargs.setdefault("event_log", str(tmp_path / "events.ndjson"))
+    return ServeConfig(port=0, workers=1, **kwargs)
+
+
+class TestNoninterference:
+    def test_bytes_identical_with_pipeline_on_off_and_oneshot(
+        self, tmp_path
+    ):
+        async def scenario(app):
+            return await fetch("127.0.0.1", app.port, "POST",
+                               "/v1/characterize", body_of(QUERY))
+
+        quiet = with_app(
+            ServeConfig(port=0, workers=1, log_level="off"), scenario
+        )
+        loud = with_app(
+            loud_config(tmp_path, trace_path=str(tmp_path / "trace.json")),
+            scenario,
+        )
+        assert quiet.status == loud.status == 200
+        assert quiet.body == loud.body
+        assert quiet.body == run_oneshot(json.dumps(QUERY))
+
+
+class TestWideEvents:
+    def test_every_logged_event_is_schema_valid(self, tmp_path):
+        config = loud_config(tmp_path)
+
+        async def scenario(app):
+            await fetch("127.0.0.1", app.port, "POST",
+                        "/v1/characterize", body_of(QUERY))
+            await fetch("127.0.0.1", app.port, "GET", "/healthz")
+
+        with_app(config, scenario)
+        lines = [
+            line for line in
+            (tmp_path / "events.ndjson").read_text().splitlines() if line
+        ]
+        events = [json.loads(line) for line in lines]
+        assert events, "the event log is empty"
+        assert all(validate_event(e) == [] for e in events)
+        requests = [e for e in events if e["event"] == "request"]
+        paths = {e["path"] for e in requests}
+        assert {"/v1/characterize", "/healthz"} <= paths
+
+    def test_request_event_carries_the_execution_split(self, tmp_path):
+        config = loud_config(tmp_path)
+
+        async def scenario(app):
+            await fetch("127.0.0.1", app.port, "POST",
+                        "/v1/characterize", body_of(QUERY))
+
+        with_app(config, scenario)
+        events = [
+            json.loads(line) for line in
+            (tmp_path / "events.ndjson").read_text().splitlines() if line
+        ]
+        wide = next(
+            e for e in events
+            if e["event"] == "request" and e["path"] == "/v1/characterize"
+        )
+        assert wide["status"] == 200
+        assert wide["role"] == "leader"
+        assert wide["coalesced"] is False
+        assert wide["exec_s"] > 0
+        assert wide["total_s"] >= wide["exec_s"]
+        assert wide["bytes"] > 0
+        assert wide["query_key"]
+        assert wide["cells_run"] == len(QUERY["points"])
+        assert wide["errors"] == 0
+        cells = [e for e in events if e["event"] == "cell"]
+        assert len(cells) == len(QUERY["points"])
+        assert all(c["level"] == "debug" and c["ok"] for c in cells)
+
+
+class TestTracePropagation:
+    def test_supplied_traceparent_is_continued_and_echoed(self):
+        async def scenario(app):
+            response = await fetch(
+                "127.0.0.1", app.port, "POST", "/v1/characterize",
+                body_of(QUERY), {"traceparent": TRACEPARENT},
+            )
+            return response, app.flight.recent(1)[0]
+
+        response, wide = with_app(
+            ServeConfig(port=0, workers=1, log_level="off"), scenario
+        )
+        assert response.status == 200
+        echoed = response.headers["traceparent"]
+        assert echoed.startswith("00-" + "ab" * 16 + "-")
+        assert echoed != TRACEPARENT  # our span, the caller's trace
+        assert wide["trace_id"] == "ab" * 16
+        assert wide["parent_id"] == "cd" * 8  # the caller's span
+
+    def test_garbled_traceparent_starts_a_fresh_trace(self):
+        async def scenario(app):
+            response = await fetch(
+                "127.0.0.1", app.port, "POST", "/v1/characterize",
+                body_of(QUERY), {"traceparent": "not-a-traceparent"},
+            )
+            return response, app.flight.recent(1)[0]
+
+        response, wide = with_app(
+            ServeConfig(port=0, workers=1, log_level="off"), scenario
+        )
+        assert response.status == 200
+        assert len(wide["trace_id"]) == 32
+        assert wide["trace_id"] != "ab" * 16
+        assert wide["parent_id"] is None
+
+
+class TestFlightEndpoints:
+    def test_debug_requests_lists_and_resolves_span_trees(self):
+        async def scenario(app):
+            await fetch("127.0.0.1", app.port, "POST",
+                        "/v1/characterize", body_of(QUERY))
+            listing = await fetch("127.0.0.1", app.port, "GET",
+                                  "/debug/requests")
+            wide = listing.json()["requests"][0]
+            detail = await fetch(
+                "127.0.0.1", app.port, "GET",
+                "/debug/requests/" + wide["request_id"],
+            )
+            missing = await fetch("127.0.0.1", app.port, "GET",
+                                  "/debug/requests/feedfacedeadbeef")
+            bad = await fetch("127.0.0.1", app.port, "GET",
+                              "/debug/requests?limit=lots")
+            return listing, wide, detail, missing, bad
+
+        listing, wide, detail, missing, bad = with_app(
+            ServeConfig(port=0, workers=1, log_level="off"), scenario
+        )
+        assert listing.status == 200
+        assert listing.json()["capacity"] == 256
+        assert wide["path"] == "/v1/characterize"
+
+        assert detail.status == 200
+        doc = detail.json()
+        assert doc["event"]["request_id"] == wide["request_id"]
+        roots = doc["spans"]
+        assert [r["name"] for r in roots] == ["request"]
+        children = {c["name"] for c in roots[0]["children"]}
+        assert {"queue.wait", "execute"} <= children
+        execute = next(
+            c for c in roots[0]["children"] if c["name"] == "execute"
+        )
+        cell_names = [c["name"] for c in execute["children"]]
+        assert cell_names == ["cell[0]", "cell[1]"]
+
+        assert missing.status == 404
+        assert bad.status == 400
+
+    def test_follower_links_to_its_leader(self):
+        async def scenario(app):
+            payload = body_of(SLOW_QUERY)
+            await asyncio.gather(*(
+                fetch("127.0.0.1", app.port, "POST", "/v1/characterize",
+                      payload)
+                for _ in range(4)
+            ))
+            return app.flight.recent()
+
+        wides = with_app(
+            ServeConfig(port=0, workers=2, log_level="off"), scenario
+        )
+        leaders = [w for w in wides if w["role"] == "leader"]
+        followers = [w for w in wides if w["role"] == "follower"]
+        assert len(leaders) == 1 and len(followers) == 3
+        leader = leaders[0]
+        assert leader["exec_s"] > 0
+        for follower in followers:
+            assert follower["coalesced"] is True
+            assert follower["exec_s"] == 0
+            assert follower["leader_request_id"] == leader["request_id"]
+            assert follower["leader_trace_id"] == leader["trace_id"]
+
+
+class TestSloSurface:
+    def test_stats_and_metrics_carry_the_slo_view(self):
+        async def scenario(app):
+            await fetch("127.0.0.1", app.port, "POST",
+                        "/v1/characterize", body_of(QUERY))
+            stats = await fetch("127.0.0.1", app.port, "GET", "/stats")
+            prom = await fetch("127.0.0.1", app.port, "GET", "/metrics")
+            return stats, prom
+
+        stats, prom = with_app(
+            ServeConfig(port=0, workers=1, log_level="off"), scenario
+        )
+        doc = stats.json()
+        slo = doc["slo"]
+        endpoint = slo["POST /v1/characterize"]
+        assert endpoint["requests"] == 1
+        assert endpoint["errors"] == 0
+        assert endpoint["error_budget_remaining"] == 1.0
+        assert endpoint["latency"]["p95"] > 0
+        assert "tenant:anon" in slo
+        assert doc["flight"]["recorded"] >= 1
+        assert doc["events"]["emitted"] == 0  # log_level="off"
+
+        text = prom.body.decode()
+        assert "repro_slo_p95_seconds" in text
+        assert "repro_slo_error_budget_remaining" in text
+        assert "repro_serve_request_seconds" in text
+
+
+class TestMergedTrace:
+    def test_one_perfetto_export_spans_serve_and_simulator(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        small = dict(QUERY, n_requests=300)
+        config = loud_config(tmp_path, trace_path=str(trace_path))
+
+        async def scenario(app):
+            await fetch(
+                "127.0.0.1", app.port, "POST", "/v1/characterize",
+                body_of(small), {"traceparent": TRACEPARENT},
+            )
+
+        with_app(config, scenario)
+        document = json.loads(trace_path.read_text())
+        spans = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+        assert spans, "the merged trace is empty"
+
+        serve_spans = [
+            e for e in spans if e["cat"] in ("serve", "serve.cell")
+        ]
+        names = {e["name"] for e in serve_spans}
+        assert {"request", "queue.wait", "execute", "cell[0]"} <= names
+
+        execute = next(e for e in serve_spans if e["name"] == "execute")
+        trace_id = execute["args"]["trace_id"]
+        assert trace_id == "ab" * 16  # the caller's trace continued
+
+        sim_spans = [
+            e for e in spans
+            if e["cat"] not in ("serve", "serve.cell")
+            and e.get("args", {}).get("trace_id") == trace_id
+        ]
+        assert sim_spans, "no simulator spans joined the request's trace"
+        # At least some of those live in the simulated-time clock domain
+        # (their own Perfetto process), stitched by the shared trace id.
+        serve_pids = {e["pid"] for e in serve_spans}
+        assert {e["pid"] for e in sim_spans} - serve_pids
