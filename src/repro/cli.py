@@ -4,6 +4,7 @@ Exposes the main Melody workflows without writing any Python:
 
 * ``characterize`` -- device-level measurement battery (MLC + MIO + CPMU)
 * ``campaign``     -- run a slowdown campaign and export the dataset
+* ``query``        -- scan the columnar result store across campaigns
 * ``spa``          -- Spa breakdown of one workload on one target
 * ``figures``      -- regenerate paper tables/figures by id
 * ``serve``        -- characterization-as-a-service HTTP server
@@ -31,6 +32,14 @@ instead of aborting (warning + exit 0; exit 3 under ``--strict-cells``);
 campaign restarts from where it stopped with ``--resume``.  ``--fault-plan
 PATH`` injects a deterministic CXL RAS fault schedule (see
 :mod:`repro.faults`) into every simulated cell.
+
+Scale (``campaign``): ``--shard i/N`` runs one deterministic slice of the
+cell grid (for distributing a campaign by hand or across hosts);
+``--shards N`` drives N local shard subprocesses against a shared
+``--cache-dir``, merges their checkpoints and columnar-store manifests,
+and assembles the final dataset byte-identically to a single-process run.
+Finished cells are promoted into the append-only columnar store under
+``<cache-dir>/store/``, which ``repro query`` scans across campaigns.
 """
 
 from __future__ import annotations
@@ -205,10 +214,22 @@ def cmd_campaign(args) -> int:
     from repro.hw.platform import platform_by_name
     from repro.workloads import all_workloads, workloads_by_suite
 
+    from repro.runtime import parse_shard
+
     if args.resume and not args.cache_dir:
         raise MelodyError(
             "--resume requires --cache-dir (checkpoints live in the "
             "cache directory)"
+        )
+    if args.shard and args.shards:
+        raise MelodyError("--shard and --shards are mutually exclusive")
+    shard = parse_shard(args.shard) if args.shard else None
+    if args.shards is not None and args.shards < 1:
+        raise MelodyError(f"--shards must be >= 1, got {args.shards}")
+    if args.shards and args.shards > 1 and not args.cache_dir:
+        raise MelodyError(
+            "--shards requires --cache-dir (shards meet in the shared "
+            "run cache, checkpoints and columnar store)"
         )
     engine = _configure_runtime(args)
     finish = _configure_obs(args)
@@ -226,15 +247,28 @@ def cmd_campaign(args) -> int:
             name="cli", platform=platform, targets=targets,
             workloads=tuple(workloads),
         )
-        checkpointer = _attach_checkpointer(args, engine, campaign)
-        result = campaign_melody().run(campaign)
+        if args.shards and args.shards > 1:
+            # Fan the grid out over N shard subprocesses, merge their
+            # checkpoints and store manifests, then fall through to the
+            # normal (unsharded) pass below: every cell is now warm, so
+            # it assembles records and exports byte-identically to a
+            # single-process run -- that equivalence is the contract.
+            code = _run_shard_fleet(args, campaign)
+            if code != 0:
+                return code
+            args.resume = True  # adopt merged progress + quarantine
+        checkpointer = _attach_checkpointer(args, engine, campaign, shard)
+        result = campaign_melody().run(campaign, shard)
         if checkpointer is not None:
             checkpointer.finalize(engine.failed)
+        promoted = _promote_to_store(args, engine, campaign, shard)
         from repro.analysis.report import format_cdf_row
 
         print(f"{len(result.records)} records "
               f"({len(result.skipped)} skipped for capacity)")
         print(engine.stats.summary())
+        if promoted:
+            print(f"promoted {promoted} results to the columnar store")
         for target in result.target_names():
             print("  " + format_cdf_row(target, result.slowdowns(target)))
         if args.csv:
@@ -249,10 +283,17 @@ def cmd_campaign(args) -> int:
     return _report_failed_cells(result.failed, args.strict_cells)
 
 
-def _attach_checkpointer(args, engine, campaign):
-    """Create/resume the campaign checkpoint when a cache dir is present."""
+def _attach_checkpointer(args, engine, campaign, shard=None):
+    """Create/resume the campaign checkpoint when a cache dir is present.
+
+    A shard checkpoints under its own job id (``shard<i>of<N>`` unless
+    ``--job-id`` overrides it) and sizes ``total_cells`` to the cells it
+    owns; ``repro.runtime.merge_checkpoints`` folds the shard documents
+    back into the campaign-wide one.
+    """
     if not args.cache_dir:
         return None
+    from repro.core.melody import campaign_cells
     from repro.runtime import (
         Checkpointer,
         campaign_fingerprint,
@@ -261,12 +302,10 @@ def _attach_checkpointer(args, engine, campaign):
 
     fingerprint = campaign_fingerprint(campaign)
     job_id = getattr(args, "job_id", None) or ""
-    total = len(campaign.workloads) + sum(
-        1
-        for w in campaign.workloads
-        for t in campaign.targets
-        if w.working_set_gb <= t.capacity_gb
-    )
+    if shard is not None and not job_id:
+        job_id = shard.job_id
+    base_workloads, grid, _ = campaign_cells(campaign, shard)
+    total = len(base_workloads) + len(grid)
     completed = 0
     if args.resume:
         state = load_checkpoint(args.cache_dir, fingerprint, job_id)
@@ -292,6 +331,108 @@ def _attach_checkpointer(args, engine, campaign):
     return checkpointer
 
 
+def _promote_to_store(args, engine, campaign, shard=None) -> int:
+    """Promote this campaign's finished runs into the columnar store."""
+    if not args.cache_dir:
+        return 0
+    from repro.runtime import campaign_fingerprint
+
+    return engine.cache.promote_store(
+        campaign_fingerprint(campaign),
+        job_id=shard.job_id if shard is not None else "",
+    )
+
+
+def _shard_argv(args, shard_text: str) -> list:
+    """The ``repro campaign`` argv of one shard subprocess.
+
+    Execution flags pass through; exports and observability artifacts
+    stay with the parent's merged pass (a shard writing the CSV would
+    clobber the others with a partial dataset).
+    """
+    argv = [
+        "campaign",
+        "--platform", args.platform,
+        "--targets", *args.targets,
+        "--cache-dir", args.cache_dir,
+        "--shard", shard_text,
+        "--checkpoint-every", str(args.checkpoint_every),
+    ]
+    if args.suite:
+        argv += ["--suite", args.suite]
+    if args.sample > 1:
+        argv += ["--sample", str(args.sample)]
+    if args.jobs:
+        argv += ["--jobs", str(args.jobs)]
+    if args.engine and args.engine != "auto":
+        argv += ["--engine", args.engine]
+    if args.fault_plan:
+        argv += ["--fault-plan", args.fault_plan]
+    if args.cell_timeout is not None:
+        argv += ["--cell-timeout", str(args.cell_timeout)]
+    if args.cell_retries is not None:
+        argv += ["--cell-retries", str(args.cell_retries)]
+    if args.resume:
+        argv += ["--resume"]
+    if args.strict:
+        argv += ["--strict"]
+    return argv
+
+
+def _run_shard_fleet(args, campaign) -> int:
+    """Run ``--shards N`` worker subprocesses and merge their outputs.
+
+    Each worker executes ``repro campaign --shard i/N`` against the
+    shared cache dir; afterwards the per-shard checkpoints merge into
+    the campaign-wide document and the per-shard store manifests
+    compact into one.  Quarantine exit codes (3) from shards are *not*
+    final -- the parent's merged pass re-reports restored quarantine
+    records and picks the exit code; only hard failures abort here.
+    """
+    import os
+    import subprocess
+    from pathlib import Path
+
+    from repro.runtime import campaign_fingerprint, merge_checkpoints
+    from repro.store import ResultStore
+
+    count = args.shards
+    fingerprint = campaign_fingerprint(campaign)
+    print(f"sharding campaign {fingerprint[:12]} across {count} "
+          f"local workers")
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{src_root}{os.pathsep}{existing}" if existing else src_root
+    )
+    procs = []
+    for index in range(count):
+        argv = [sys.executable, "-m", "repro"] \
+            + _shard_argv(args, f"{index}/{count}")
+        procs.append((index, subprocess.Popen(argv, env=env)))
+    hard_failures = 0
+    for index, proc in procs:
+        code = proc.wait()
+        if code not in (0, 3):
+            hard_failures += 1
+            print(f"error: shard {index}/{count} exited {code}",
+                  file=sys.stderr)
+    if hard_failures:
+        return 2
+    state = merge_checkpoints(args.cache_dir, fingerprint)
+    if state is not None:
+        print(f"merged shard checkpoints: {state.completed_cells} cells "
+              f"executed, {len(state.failed)} quarantined")
+    entries = ResultStore(Path(args.cache_dir) / "store").compact(
+        fingerprint
+    )
+    if entries:
+        print(f"compacted columnar store: {entries} entries under "
+              f"campaign {fingerprint[:12]}")
+    return 0
+
+
 def _report_failed_cells(failed, strict_cells: bool) -> int:
     """Print the quarantine warning summary; pick the exit code."""
     if not failed:
@@ -305,6 +446,83 @@ def _report_failed_cells(failed, strict_cells: bool) -> int:
     if len(failed) > 10:
         print(f"  ... and {len(failed) - 10} more", file=sys.stderr)
     return 3 if strict_cells else 0
+
+
+def cmd_query(args) -> int:
+    """Scan the columnar result store across campaigns.
+
+    Filters run as vectorized predicate scans over the store's mmap'd
+    manifests -- no run documents are parsed unless a row's latency
+    percentiles are actually requested.  Exit 1 when nothing matched,
+    2 on bad arguments.
+    """
+    import json
+    import math
+    from pathlib import Path
+
+    from repro.store import ResultStore
+
+    store = ResultStore(Path(args.cache_dir) / "store")
+    fault_plan = args.fault_plan
+    if fault_plan == "none":
+        fault_plan = ""  # explicit fault-free rows only
+    try:
+        percentiles = [
+            float(p) for p in args.percentiles.split(",") if p.strip()
+        ]
+    except ValueError:
+        raise MelodyError(
+            f"--percentiles must be a comma list of numbers, "
+            f"got {args.percentiles!r}"
+        )
+    rows = store.query_rows(
+        kind=args.kind,
+        device=args.device,
+        workload=args.workload,
+        target=args.target,
+        fault_plan=fault_plan,
+        min_gbps=args.min_gbps,
+        max_gbps=args.max_gbps,
+        fingerprint=args.fingerprint,
+        percentiles=tuple(percentiles),
+        limit=args.limit,
+    )
+
+    def jsonable(row: dict) -> dict:
+        return {
+            k: (None if isinstance(v, float) and math.isnan(v) else v)
+            for k, v in row.items()
+        }
+
+    if args.format == "json":
+        print(json.dumps([jsonable(r) for r in rows], indent=2))
+    elif args.format == "ndjson":
+        for row in rows:
+            print(json.dumps(jsonable(row), sort_keys=True,
+                             separators=(",", ":")))
+    else:
+        columns = ["kind", "device", "workload", "target", "fault_plan",
+                   "offered_gbps", "n", "mean_ns"]
+        columns += [f"p{p:g}_ns" for p in percentiles]
+
+        def fmt(row: dict, column: str) -> str:
+            value = row.get(column)
+            if value is None or value == "":
+                return "-"
+            if isinstance(value, float):
+                return "-" if math.isnan(value) else f"{value:.1f}"
+            return str(value)
+
+        table = [[fmt(r, c) for c in columns] for r in rows]
+        widths = [
+            max(len(c), *(len(t[i]) for t in table)) if table else len(c)
+            for i, c in enumerate(columns)
+        ]
+        print("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+        for cells in table:
+            print("  ".join(v.ljust(w) for v, w in zip(cells, widths)))
+        print(f"{len(rows)} row(s) of {len(store)} stored results")
+    return 0 if rows else 1
 
 
 def cmd_spa(args) -> int:
@@ -773,8 +991,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scope the checkpoint file to this job so "
                         "concurrent runs of the same campaign do not "
                         "clobber each other ([A-Za-z0-9._-], <= 64 chars)")
+    p.add_argument("--shard", default=None, metavar="I/N",
+                   help="run only shard I of N (deterministic cell "
+                        "partition by campaign fingerprint); checkpoints "
+                        "under job id shard<I>of<N>")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="fan the campaign out over N local worker "
+                        "processes sharing --cache-dir, merge their "
+                        "checkpoints and columnar store, then assemble "
+                        "the (byte-identical) dataset from warm cells")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "query", help="scan the columnar result store across campaigns"
+    )
+    p.add_argument("--cache-dir", required=True,
+                   help="cache directory holding the store/ tier")
+    p.add_argument("--kind", default=None,
+                   choices=["eventsim", "analytic"],
+                   help="restrict to one result kind")
+    p.add_argument("--device", default=None,
+                   help="device/target name (e.g. CXL-A)")
+    p.add_argument("--workload", default=None,
+                   help="workload name (analytic rows)")
+    p.add_argument("--target", default=None,
+                   help="memory target name (analytic rows)")
+    p.add_argument("--fault-plan", default=None, metavar="KEY",
+                   help="fault plan key prefix; 'none' = fault-free rows")
+    p.add_argument("--fingerprint", default=None, metavar="FP",
+                   help="restrict to one campaign fingerprint (prefix ok)")
+    p.add_argument("--min-gbps", type=float, default=None,
+                   help="minimum offered load (eventsim rows)")
+    p.add_argument("--max-gbps", type=float, default=None,
+                   help="maximum offered load (eventsim rows)")
+    p.add_argument("--percentiles", default="50,99,99.9", metavar="LIST",
+                   help="latency percentiles per eventsim row "
+                        "(default: 50,99,99.9)")
+    p.add_argument("--format", default="table",
+                   choices=["table", "json", "ndjson"])
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="print at most N rows (after sorting)")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("spa", help="Spa breakdown of one workload")
     p.add_argument("workload")
@@ -805,7 +1063,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--layer", nargs="*", default=None,
                    choices=["link", "device", "counters", "workloads",
-                            "runtime", "obs", "faults"],
+                            "runtime", "obs", "faults", "store"],
                    help="restrict to these layers (default: all)")
     p.add_argument("--json", action="store_true",
                    help="emit the structured DiagReport as JSON")

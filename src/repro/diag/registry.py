@@ -26,11 +26,13 @@ from repro.diag.context import DiagContext
 from repro.diag.report import CheckResult, DiagReport, Violation
 
 LAYERS = (
-    "link", "device", "counters", "workloads", "runtime", "obs", "faults",
+    "link", "device", "counters", "workloads", "runtime", "store", "obs",
+    "faults",
 )
 """Registered layers, in stack order (wire -> device -> CPU -> sw -> obs);
-``faults`` sits last because its chaos harness exercises every layer
-below it."""
+``store`` follows ``runtime`` (it checks the columnar tier the runtime
+cache promotes into) and ``faults`` sits last because its chaos harness
+exercises every layer below it."""
 
 _CHECK_MODULES = {
     "link": "repro.diag.checks_link",
@@ -38,6 +40,7 @@ _CHECK_MODULES = {
     "counters": "repro.diag.checks_counters",
     "workloads": "repro.diag.checks_workloads",
     "runtime": "repro.diag.checks_runtime",
+    "store": "repro.diag.checks_store",
     "obs": "repro.diag.checks_obs",
     "faults": "repro.diag.checks_faults",
 }

@@ -14,10 +14,12 @@ is bit-identical to the one a fresh serial call would produce.
 
 from repro.runtime.cache import RunCache, run_key
 from repro.runtime.checkpoint import (
+    CheckpointConflict,
     Checkpointer,
     CheckpointState,
     campaign_fingerprint,
     load_checkpoint,
+    merge_checkpoints,
 )
 from repro.runtime.context import (
     configure_runtime,
@@ -41,10 +43,12 @@ from repro.runtime.serialize import (
     run_result_from_dict,
     run_result_to_dict,
 )
+from repro.runtime.shard import ShardSpec, parse_shard
 
 __all__ = [
     "CampaignEngine",
     "Cell",
+    "CheckpointConflict",
     "Checkpointer",
     "CheckpointState",
     "ENGINE_MODES",
@@ -55,11 +59,14 @@ __all__ = [
     "PlannerCosts",
     "RetryPolicy",
     "RunCache",
+    "ShardSpec",
     "SimCell",
     "campaign_fingerprint",
     "configure_runtime",
     "get_engine",
     "load_checkpoint",
+    "merge_checkpoints",
+    "parse_shard",
     "reset_runtime",
     "run_key",
     "run_result_from_dict",

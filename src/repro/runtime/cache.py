@@ -60,6 +60,7 @@ from repro.runtime.serialize import (
     workload_from_dict,
     workload_to_dict,
 )
+from repro.store import ResultStore
 from repro.workloads.base import WorkloadSpec
 
 
@@ -168,7 +169,9 @@ class RunCache:
     once per cell.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    def __init__(
+        self, cache_dir: Optional[str] = None, store_tier: bool = True
+    ):
         self._memory: Dict[str, RunResult] = {}
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir is not None and self.cache_dir.exists() \
@@ -176,12 +179,23 @@ class RunCache:
             raise ConfigurationError(
                 f"cache dir {cache_dir!r} exists and is not a directory"
             )
+        # The columnar tier (repro.store) sits between memory and the
+        # per-cell JSON documents: warm reads of promoted campaigns come
+        # from mmapped segments instead of re-parsing JSON.
+        # ``store_tier=False`` exists for benchmarks that need to time
+        # the JSON tier in isolation.
+        self.store: Optional[ResultStore] = (
+            ResultStore(self.cache_dir / "store")
+            if self.cache_dir is not None and store_tier
+            else None
+        )
         self._made_shards = set()
         self._blobs: Dict[str, object] = {}
         self._blobs_written = set()
         self._lock = threading.RLock()
         self.memory_hits = 0
         self.disk_hits = 0
+        self.store_hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt_dropped = 0
@@ -201,11 +215,21 @@ class RunCache:
 
     # -- blob tier -------------------------------------------------------
 
-    def _write_blob(self, obj, to_dict) -> str:
-        """Store one workload/platform blob; returns its content ref."""
-        ref = hashlib.sha256(
+    @staticmethod
+    def _blob_ref(obj, to_dict) -> str:
+        """Content ref of one workload/platform blob.
+
+        Shared by the JSON tier's blob writes and the columnar tier's
+        promotion path, so a promoted run document carries exactly the
+        refs its JSON twin does.
+        """
+        return hashlib.sha256(
             _memoized(obj, to_dict).encode("utf-8")
         ).hexdigest()[:32]
+
+    def _write_blob(self, obj, to_dict) -> str:
+        """Store one workload/platform blob; returns its content ref."""
+        ref = self._blob_ref(obj, to_dict)
         with self._lock:
             self._blobs[ref] = obj
             if ref in self._blobs_written:
@@ -312,12 +336,28 @@ class RunCache:
             self.misses += 1
 
     def get(self, key: str) -> Optional[RunResult]:
-        """Look a run up; promotes disk hits into the memory tier."""
+        """Look a run up; promotes disk hits into the memory tier.
+
+        Tier order is memory, then the columnar store, then the JSON
+        documents: a promoted campaign's warm reads are mmap slices,
+        and the JSON tier only pays its parse cost for cells nobody
+        promoted yet.
+        """
         with self._lock:
             hit = self._memory.get(key)
             if hit is not None:
                 self.memory_hits += 1
                 return hit
+        if self.store is not None:
+            # A single lookup: get_result raises KeyError for a key the
+            # store never had, which lands in the same handler as a
+            # damaged entry -- both fall through to the JSON tier.
+            try:
+                result = self.store.get_result(key)
+            except (KeyError, ValueError, TypeError, OSError):
+                pass
+            else:
+                return self._promote(key, result, tier="store")
         path = self._disk_path(key)
         if path is not None:
             try:
@@ -365,8 +405,8 @@ class RunCache:
         self._miss()
         return None
 
-    def _promote(self, key: str, result):
-        """Install one disk hit into the memory tier.
+    def _promote(self, key: str, result, tier: str = "disk"):
+        """Install one disk/store hit into the memory tier.
 
         When another thread promoted (or stored) the same key while this
         one was reading disk, the incumbent wins: both copies are
@@ -377,7 +417,10 @@ class RunCache:
             incumbent = self._memory.get(key)
             if incumbent is None:
                 self._memory[key] = incumbent = result
-            self.disk_hits += 1
+            if tier == "store":
+                self.store_hits += 1
+            else:
+                self.disk_hits += 1
         return incumbent
 
     def put(self, key: str, result: RunResult) -> None:
@@ -417,6 +460,71 @@ class RunCache:
         self._ensure_shard(os.path.dirname(path))
         self._atomic_write(path, to_dict())
 
+    def promote_store(
+        self, fingerprint: str, job_id: str = "", keys=None
+    ) -> int:
+        """Promote finished runs from the memory tier into the columnar
+        store under campaign ``fingerprint``.
+
+        ``keys`` restricts promotion to one campaign's cells (the usual
+        call, at campaign end); ``None`` promotes everything in memory.
+        Keys already present in the store are skipped, so repeated
+        promotions accrete without duplicating segments.  The documents
+        written are byte-for-byte the JSON tier's documents -- event-sim
+        ``to_dict`` output and analytic run documents with the same
+        content-addressed blob refs -- which is what makes the two
+        tiers interchangeable on read.  Returns how many runs were
+        promoted.
+        """
+        if self.store is None:
+            return 0
+        with self._lock:
+            if keys is None:
+                snapshot = dict(self._memory)
+            else:
+                snapshot = {
+                    key: self._memory[key]
+                    for key in keys
+                    if key in self._memory
+                }
+        pending = {
+            key: result
+            for key, result in snapshot.items()
+            if key not in self.store
+        }
+        if not pending:
+            return 0
+        plan = active_fault_plan()
+        plan_key = plan.key() if plan is not None and plan.enabled else ""
+        writer = self.store.writer(fingerprint, job_id)
+        promoted = 0
+        for key, result in pending.items():
+            to_dict = getattr(result, "to_dict", None)
+            if to_dict is not None:
+                writer.add(key, to_dict())
+                promoted += 1
+                continue
+            if not isinstance(result, RunResult):
+                continue  # unserializable ad-hoc result: memory-only
+            doc = run_result_to_dict(result, embed_context=False)
+            doc["workload_ref"] = self._blob_ref(
+                result.workload, workload_to_dict
+            )
+            doc["platform_ref"] = self._blob_ref(
+                result.platform, platform_to_dict
+            )
+            writer.add(
+                key,
+                doc,
+                workload_doc=workload_to_dict(result.workload),
+                platform_doc=platform_to_dict(result.platform),
+                fault_plan=plan_key,
+            )
+            promoted += 1
+        writer.commit()
+        metrics().counter("runtime.store_promoted").inc(promoted)
+        return promoted
+
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier survives)."""
         with self._lock:
@@ -443,27 +551,46 @@ class RunCache:
         blob belongs to a ``put`` whose run document lands moments later),
         and entries that disappear between the scan and the unlink are
         treated as already collected, never as errors.
+
+        Each file class is scanned exactly once, in its own pass over
+        its own directory: run documents live only in the two-hex-char
+        shard directories, blobs only in ``blobs/``.  The old
+        implementation ``rglob``-ed the whole cache dir and skipped
+        ``blobs/`` by path test -- a double scan that also swept any
+        *other* JSON under the cache root (checkpoints, store
+        manifests) into the run-document corruption check, where a
+        perfectly healthy checkpoint parses as "no workload_ref" and
+        gets deleted.  Disjoint passes make non-run-document tenants of
+        the cache dir structurally invisible to the collector.
         """
         removed = {"documents": 0, "blobs": 0, "temp_files": 0}
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return removed
         referenced: set = set()
+        hexdigits = set("0123456789abcdef")
+        shards = sorted(
+            child
+            for child in self.cache_dir.iterdir()
+            if child.is_dir()
+            and len(child.name) == 2
+            and set(child.name) <= hexdigits
+        )
+        for shard in shards:
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    data = json.loads(path.read_text())
+                    if isinstance(data, dict) \
+                            and data.get("kind") == "eventsim":
+                        continue  # self-contained: references no blobs
+                    refs = (data["workload_ref"], data["platform_ref"])
+                except OSError:
+                    continue  # vanished mid-scan (concurrent writer)
+                except (ValueError, KeyError, TypeError):
+                    if self._discard(str(path)):
+                        removed["documents"] += 1
+                    continue
+                referenced.update(refs)
         blob_dir = self.cache_dir / "blobs"
-        for path in sorted(self.cache_dir.rglob("*.json")):
-            if blob_dir in path.parents:
-                continue
-            try:
-                data = json.loads(path.read_text())
-                if isinstance(data, dict) and data.get("kind") == "eventsim":
-                    continue  # self-contained: references no blobs
-                refs = (data["workload_ref"], data["platform_ref"])
-            except OSError:
-                continue  # vanished mid-scan (concurrent writer/pruner)
-            except (ValueError, KeyError, TypeError):
-                if self._discard(str(path)):
-                    removed["documents"] += 1
-                continue
-            referenced.update(refs)
         if blob_dir.is_dir():
             for path in sorted(blob_dir.glob("*.json")):
                 if path.stem not in referenced \

@@ -568,6 +568,13 @@ class EngineStats:
     cells_requested: int = 0
     cells_run: int = 0
     cells_cached: int = 0
+    cells_from_store: int = 0
+    """Cache hits served by the columnar store tier (a subset of
+    ``cells_cached``); the JSON tier served the rest of the disk hits.
+    Counted as the cache's ``store_hits`` delta across each batch's
+    resolution loop, so on a cache shared by concurrent engines the
+    split is approximate -- the per-engine total never exceeds the
+    cache-wide truth."""
     cells_deduped: int = 0
     cells_pool: int = 0
     cells_serial: int = 0
@@ -646,9 +653,12 @@ class EngineStats:
             throughput = f"{self.cached_per_second():.1f} cached/s"
         else:
             throughput = f"{self.runs_per_second():.1f} runs/s"
+        provenance = f"{self.cells_run} run, {self.cells_cached} cached"
+        if self.cells_from_store:
+            provenance += f", {self.cells_from_store} store"
         line = (
             f"runtime: {self.cells_requested} cells "
-            f"({self.cells_run} run, {self.cells_cached} cached) "
+            f"({provenance}) "
             f"in {self.elapsed_s:.2f}s "
             f"({throughput}, {self.hit_rate() * 100.0:.0f}% hit rate)"
         )
@@ -708,6 +718,7 @@ class CampaignEngine:
         Slots are ``None`` only for quarantined cells (resilient mode).
         """
         start = time.perf_counter()
+        store_hits_before = self.cache.store_hits
         keys = [cell.key() for cell in cells]
         resolved: Dict[str, Optional[RunResult]] = {}
         pending: List[Cell] = []
@@ -743,9 +754,11 @@ class CampaignEngine:
 
         elapsed = time.perf_counter() - start
         cached = len(cells) - len(pending) - dupes - quarantine_hits
+        from_store = self.cache.store_hits - store_hits_before
         self.stats.cells_requested += len(cells)
         self.stats.cells_run += ran
         self.stats.cells_cached += cached + dupes
+        self.stats.cells_from_store += max(from_store, 0)
         self.stats.cells_deduped += dupes
         self.stats.elapsed_s += elapsed
         self.stats.batches += 1
@@ -775,6 +788,9 @@ class CampaignEngine:
             )
             registry.gauge("runtime.dedupe_ratio").set(
                 self.stats.dedupe_ratio()
+            )
+            registry.gauge("runtime.store_hits").set(
+                self.cache.store_hits
             )
         buffer = tracing()
         if buffer is not None:

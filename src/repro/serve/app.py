@@ -265,6 +265,7 @@ class ServeApp:
         meta = {
             "cells_run": stats.cells_run,
             "cells_cached": stats.cells_cached,
+            "cells_from_store": stats.cells_from_store,
             "cells_retried": stats.cells_retried,
             "cells_quarantined": stats.cells_quarantined,
             "errors": document["errors"],
@@ -371,8 +372,13 @@ class ServeApp:
                 "entries": len(self.cache),
                 "memory_hits": self.cache.memory_hits,
                 "disk_hits": self.cache.disk_hits,
+                "store_hits": self.cache.store_hits,
                 "misses": self.cache.misses,
                 "stores": self.cache.stores,
+                "store": (
+                    self.cache.store.stats()
+                    if self.cache.store is not None else None
+                ),
             },
             "slo": self.slo.snapshot(),
             "flight": self.flight.stats(),

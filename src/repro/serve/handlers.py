@@ -1,6 +1,6 @@
 """Route dispatch for ``repro serve``.
 
-Six routes, all deliberately boring:
+Seven routes, all deliberately boring:
 
 * ``GET /healthz``            -- liveness: always ``{"status":"ok"}``.
 * ``GET /metrics``            -- Prometheus text exposition of the
@@ -16,6 +16,9 @@ Six routes, all deliberately boring:
 * ``POST /v1/characterize``   -- the work route; ``?stream=1`` switches
   the response to chunked ndjson progress events ending in the result
   document.
+* ``GET /v1/query``           -- cross-campaign scans over the columnar
+  result store (mirrors the ``repro query`` CLI filters); 404 when the
+  server runs without ``--cache-dir``.
 
 Observability discipline: every request, whatever route or error path
 it takes, exits through :meth:`ServeApp.observe_request` exactly once --
@@ -43,6 +46,7 @@ from repro.serve.telemetry import RequestTelemetry
 
 _KNOWN_PATHS = {
     "/healthz", "/metrics", "/stats", "/debug/requests", "/v1/characterize",
+    "/v1/query",
 }
 
 _DEBUG_PREFIX = "/debug/requests/"
@@ -104,6 +108,8 @@ async def _dispatch(
         return _answer_flight_list(app, request, writer, telemetry)
     if request.method == "GET" and request.path.startswith(_DEBUG_PREFIX):
         return _answer_flight_lookup(app, request, writer, telemetry)
+    if route == ("GET", "/v1/query"):
+        return _answer_store_query(app, request, writer, telemetry)
     if route == ("POST", "/v1/characterize"):
         return await handle_characterize(app, request, writer, telemetry)
 
@@ -157,6 +163,75 @@ def _answer_flight_lookup(
     body = (json.dumps(found, sort_keys=True, default=str) + "\n") \
         .encode("utf-8")
     _respond(writer, telemetry, 200, body)
+    return True
+
+
+def _answer_store_query(
+    app, request: Request, writer, telemetry: RequestTelemetry
+) -> bool:
+    """``GET /v1/query``: cross-campaign scans over the columnar store.
+
+    Query-string filters mirror the ``repro query`` CLI (``kind``,
+    ``device``, ``workload``, ``target``, ``fault_plan`` -- ``none``
+    means fault-free rows -- ``fingerprint``, ``min_gbps``/``max_gbps``,
+    ``percentiles``, ``limit``).  Scans run inline on the event loop:
+    they are vectorized predicate passes over mmap'd manifests, not
+    characterization work, so they never queue behind leader jobs.
+    """
+    if app.cache.store is None:
+        _respond(
+            writer, telemetry, 404,
+            error_body(404, "no columnar store (server started "
+                            "without --cache-dir)"),
+        )
+        return True
+    params = request.query
+    fault_plan = params.get("fault_plan")
+    if fault_plan == "none":
+        fault_plan = ""
+    try:
+        min_gbps = (
+            float(params["min_gbps"]) if "min_gbps" in params else None
+        )
+        max_gbps = (
+            float(params["max_gbps"]) if "max_gbps" in params else None
+        )
+        limit = int(params.get("limit", "1000"))
+        percentiles = tuple(
+            float(p)
+            for p in params.get("percentiles", "50,99,99.9").split(",")
+            if p.strip()
+        )
+    except ValueError as exc:
+        _respond(writer, telemetry, 400,
+                 error_body(400, f"bad query parameter: {exc}"))
+        return True
+    kind = params.get("kind")
+    if kind is not None and kind not in ("eventsim", "analytic"):
+        _respond(writer, telemetry, 400,
+                 error_body(400, f"bad kind {kind!r}"))
+        return True
+    rows = app.cache.store.query_rows(
+        kind=kind,
+        device=params.get("device"),
+        workload=params.get("workload"),
+        target=params.get("target"),
+        fault_plan=fault_plan,
+        min_gbps=min_gbps,
+        max_gbps=max_gbps,
+        fingerprint=params.get("fingerprint"),
+        percentiles=percentiles,
+        limit=limit,
+    )
+    for row in rows:  # JSON has no NaN; analytic load columns go null
+        for field, value in row.items():
+            if isinstance(value, float) and value != value:
+                row[field] = None
+    _respond(writer, telemetry, 200, render_document({
+        "rows": rows,
+        "count": len(rows),
+        "stored": len(app.cache.store),
+    }))
     return True
 
 

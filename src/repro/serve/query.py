@@ -362,6 +362,15 @@ def execute_query(
             point_docs.append(doc)
             if on_point is not None:
                 on_point(index, doc)
+        # Promote this query's finished points into the columnar store
+        # (no-op without --cache-dir).  Still inside the fault/chaos
+        # installation: cell keys are fault-keyed exactly as run_cells
+        # computed them.  Promotion is a side effect on the cache tier
+        # only -- the response document and its bytes are unchanged.
+        engine.cache.promote_store(
+            query.key(), job_id="serve",
+            keys=[cell.key() for cell in query.cells()],
+        )
     plan = query.fault_plan
     return {
         "query_key": query.key(),

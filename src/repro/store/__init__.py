@@ -1,0 +1,56 @@
+"""repro.store: the append-only columnar result tier.
+
+The run cache's JSON tier (:mod:`repro.runtime.cache`) is a write-ahead
+store: one document per cell, parsed in full on every warm read.  That is
+fine at hundreds of cells and hopeless at a million -- re-parsing a
+million JSON documents to answer "all p99.9s for CXL-B" is the hot path
+ROADMAP item 1 calls out.  This package is the analytical tier the cache
+*promotes* finished results into:
+
+* **segments** (:mod:`repro.store.segments`) -- append-only packed
+  ``float64`` files holding every numeric payload (event-sim latency
+  arrays, analytic counter vectors), read back as zero-copy ``mmap``
+  views;
+* **manifests** (:mod:`repro.store.manifest`) -- one compact columnar
+  JSON document per (campaign fingerprint, job id) mapping cell keys to
+  segment spans plus the queryable columns (device, operating point,
+  fault-plan key, workload, target);
+* the **codec** (:mod:`repro.store.codec`) -- a lossless split of any
+  result document into (structural skeleton, number vector), so the
+  store round-trips :class:`~repro.hw.cxl.eventdevice.EventSimResult`
+  and analytic run documents bit-exactly while keeping every float in
+  binary;
+* :class:`~repro.store.store.ResultStore` -- the read/scan/merge facade:
+  O(1) keyed reads through mmapped segments, vectorized predicate scans
+  over the manifest columns, and shard-manifest merging with
+  bit-identity overlap verification.
+
+Bit-identity is the contract: a result read back from the store is
+indistinguishable from the JSON-tier copy (the ``store`` diag layer and
+``benchmarks/test_perf_store.py`` both enforce this before any speed
+number counts).
+"""
+
+from repro.store.codec import (
+    canonical_document,
+    join_document,
+    skeleton_ref,
+    split_document,
+)
+from repro.store.manifest import Manifest, ManifestEntry
+from repro.store.segments import SegmentWriter, open_segment
+from repro.store.store import ResultStore, StoreConflict, StoreWriter
+
+__all__ = [
+    "Manifest",
+    "ManifestEntry",
+    "ResultStore",
+    "SegmentWriter",
+    "StoreConflict",
+    "StoreWriter",
+    "canonical_document",
+    "join_document",
+    "open_segment",
+    "skeleton_ref",
+    "split_document",
+]

@@ -116,7 +116,9 @@ class TestStrictMode:
         campaign_result.records[0] = dataclasses.replace(
             record, slowdown_pct=record.slowdown_pct + 10.0
         )
-        monkeypatch.setattr(Melody, "run", lambda self, c: campaign_result)
+        monkeypatch.setattr(
+            Melody, "run", lambda self, c, shard=None: campaign_result
+        )
         with pytest.raises(DiagnosticError, match="diag-test") as excinfo:
             ValidatingMelody().run(campaign)
         assert not excinfo.value.report.ok
@@ -128,5 +130,7 @@ class TestStrictMode:
         campaign_result.records[0] = dataclasses.replace(
             record, slowdown_pct=record.slowdown_pct + 10.0
         )
-        monkeypatch.setattr(Melody, "run", lambda self, c: campaign_result)
+        monkeypatch.setattr(
+            Melody, "run", lambda self, c, shard=None: campaign_result
+        )
         assert ValidatingMelody().run(campaign) is campaign_result

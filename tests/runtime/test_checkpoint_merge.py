@@ -1,0 +1,112 @@
+"""Checkpoint merge tests: shard documents fold into one campaign state."""
+
+import os
+
+import pytest
+
+from repro.runtime import CheckpointConflict, merge_checkpoints
+from repro.runtime.checkpoint import (
+    Checkpointer,
+    checkpoint_path,
+    load_checkpoint,
+)
+from repro.runtime.executor import FailedCell
+
+FP = "a" * 64
+
+
+def write_shard(cache_dir, job_id, completed, total, failed=(),
+                complete=True, name="camp"):
+    ckpt = Checkpointer(cache_dir=str(cache_dir), fingerprint=FP,
+                        name=name, total_cells=total, completed=completed,
+                        job_id=job_id)
+    ckpt.write(list(failed), complete=complete)
+
+
+def failed_cell(key="k1", reason="crash"):
+    return FailedCell(key=key, workload="w", platform="EMR2S",
+                      target="CXL-A", attempts=3, reason=reason)
+
+
+class TestMerge:
+    def test_two_shards_merge_into_complete_set(self, tmp_path):
+        write_shard(tmp_path, "shard0of2", completed=7, total=7)
+        write_shard(tmp_path, "shard1of2", completed=5, total=5)
+        state = merge_checkpoints(str(tmp_path), FP)
+        assert state is not None
+        assert state.completed_cells == 12
+        assert state.total_cells == 12
+        assert state.complete
+        assert state.name == "camp"
+        # shard documents removed, merged document in their place
+        assert load_checkpoint(str(tmp_path), FP, "shard0of2") is None
+        assert load_checkpoint(str(tmp_path), FP, "shard1of2") is None
+        assert load_checkpoint(str(tmp_path), FP).completed_cells == 12
+
+    def test_incomplete_shard_keeps_merge_incomplete(self, tmp_path):
+        write_shard(tmp_path, "shard0of2", completed=7, total=7)
+        write_shard(tmp_path, "shard1of2", completed=2, total=5,
+                    complete=False)
+        state = merge_checkpoints(str(tmp_path), FP)
+        assert state.completed_cells == 9
+        assert not state.complete
+
+    def test_failed_cells_union_by_key(self, tmp_path):
+        record = failed_cell("k1")
+        write_shard(tmp_path, "shard0of2", completed=3, total=4,
+                    failed=[record], complete=False)
+        write_shard(tmp_path, "shard1of2", completed=4, total=5,
+                    failed=[record, failed_cell("k2")], complete=False)
+        state = merge_checkpoints(str(tmp_path), FP)
+        assert {r.key for r in state.failed} == {"k1", "k2"}
+        # the duplicate quarantine record appears once
+        assert len(state.failed) == 2
+
+    def test_conflicting_duplicate_raises(self, tmp_path):
+        write_shard(tmp_path, "shard0of2", completed=3, total=4,
+                    failed=[failed_cell("k1", reason="crash")])
+        write_shard(tmp_path, "shard1of2", completed=4, total=5,
+                    failed=[failed_cell("k1", reason="timeout")])
+        with pytest.raises(CheckpointConflict):
+            merge_checkpoints(str(tmp_path), FP)
+        # nothing was written or removed on conflict
+        assert load_checkpoint(str(tmp_path), FP) is None
+        assert load_checkpoint(
+            str(tmp_path), FP, "shard0of2"
+        ) is not None
+
+    def test_existing_merged_document_participates(self, tmp_path):
+        write_shard(tmp_path, "", completed=4, total=4)
+        write_shard(tmp_path, "shard1of2", completed=5, total=5)
+        state = merge_checkpoints(str(tmp_path), FP)
+        assert state.completed_cells == 9
+        assert state.total_cells == 9
+
+    def test_nothing_to_merge_returns_none(self, tmp_path):
+        assert merge_checkpoints(str(tmp_path), FP) is None
+
+    def test_explicit_job_ids_scope_discovery(self, tmp_path):
+        write_shard(tmp_path, "shard0of2", completed=1, total=1)
+        write_shard(tmp_path, "other", completed=9, total=9)
+        state = merge_checkpoints(str(tmp_path), FP,
+                                  job_ids=["shard0of2"])
+        assert state.completed_cells == 1
+        # the uninvolved job document survives
+        assert load_checkpoint(str(tmp_path), FP, "other") is not None
+
+    def test_unrelated_fingerprint_untouched(self, tmp_path):
+        write_shard(tmp_path, "shard0of2", completed=1, total=1)
+        other = Checkpointer(cache_dir=str(tmp_path),
+                             fingerprint="b" * 64, name="x",
+                             total_cells=2, completed=2,
+                             job_id="shard0of2")
+        other.write([], complete=True)
+        merge_checkpoints(str(tmp_path), FP)
+        assert load_checkpoint(
+            str(tmp_path), "b" * 64, "shard0of2"
+        ) is not None
+
+    def test_merged_path_is_the_plain_checkpoint(self, tmp_path):
+        write_shard(tmp_path, "shard0of2", completed=1, total=1)
+        merge_checkpoints(str(tmp_path), FP)
+        assert os.path.exists(checkpoint_path(str(tmp_path), FP))

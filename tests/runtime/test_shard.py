@@ -1,0 +1,138 @@
+"""Shard tests: deterministic partitioning that reassembles exactly."""
+
+import json
+
+import pytest
+
+from repro.core.melody import Campaign, Melody, campaign_cells
+from repro.errors import ConfigurationError
+from repro.hw.cxl import cxl_a
+from repro.hw.platform import EMR2S
+from repro.runtime import ShardSpec, parse_shard, reset_runtime
+from repro.runtime.serialize import run_result_to_dict
+from repro.runtime.shard import baseline_token, grid_token
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(autouse=True)
+def fresh_runtime():
+    reset_runtime()
+    yield
+    reset_runtime()
+
+
+@pytest.fixture
+def campaign(numa_target):
+    return Campaign(
+        name="shard-test",
+        platform=EMR2S,
+        targets=(numa_target, cxl_a()),
+        workloads=all_workloads()[:12],
+    )
+
+
+class TestShardSpec:
+    def test_parse(self):
+        assert parse_shard("0/4") == ShardSpec(0, 4)
+        assert parse_shard(" 3/8 ") == ShardSpec(3, 8)
+        assert str(ShardSpec(2, 5)) == "2/5"
+        assert ShardSpec(2, 5).job_id == "shard2of5"
+
+    @pytest.mark.parametrize("text", ["", "4", "a/b", "1/0", "-1/4", "4/4"])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_shard(text)
+
+    def test_owns_partitions_exactly(self):
+        tokens = [grid_token("f" * 64, f"w{i}", "CXL-A")
+                  for i in range(200)]
+        owners = [
+            [s for s in range(4)
+             if ShardSpec(s, 4).owns(token)]
+            for token in tokens
+        ]
+        # every token owned by exactly one shard
+        assert all(len(o) == 1 for o in owners)
+        # roughly uniform (no shard starves)
+        counts = [sum(1 for o in owners if o == [s]) for s in range(4)]
+        assert min(counts) > 0
+
+    def test_owns_stable_across_processes(self):
+        # the hash must not depend on PYTHONHASHSEED
+        assert ShardSpec(0, 3).owns("stable-token") == \
+            ShardSpec(0, 3).owns("stable-token")
+        token = grid_token("a" * 64, "wl", "CXL-A")
+        owner = [s for s in range(3) if ShardSpec(s, 3).owns(token)]
+        assert len(owner) == 1
+
+    def test_tokens_salted_by_fingerprint(self):
+        a = grid_token("a" * 64, "wl", "CXL-A")
+        b = grid_token("b" * 64, "wl", "CXL-A")
+        assert a != b
+        assert baseline_token("a" * 64, "wl") != a
+
+
+class TestCampaignCells:
+    def test_unsharded_plan_covers_everything(self, campaign):
+        base, grid, skipped = campaign_cells(campaign)
+        assert len(base) == len(campaign.workloads)
+        assert len(grid) + len(skipped) == \
+            len(campaign.workloads) * len(campaign.targets)
+
+    def test_one_of_one_equals_unsharded(self, campaign):
+        assert campaign_cells(campaign) == \
+            campaign_cells(campaign, ShardSpec(0, 1))
+
+    def test_shards_partition_grid_and_skips(self, campaign):
+        base, grid, skipped = campaign_cells(campaign)
+        shard_grid, shard_skips = [], []
+        for index in range(3):
+            _, g, s = campaign_cells(campaign, ShardSpec(index, 3))
+            shard_grid.extend(g)
+            shard_skips.extend(s)
+        def cell_ids(pairs):
+            return sorted((w.name, t.name) for w, t in pairs)
+        assert cell_ids(shard_grid) == cell_ids(grid)
+        assert sorted(shard_skips) == sorted(skipped)
+        # no duplicates anywhere
+        assert len(shard_grid) == len(grid)
+        assert len(shard_skips) == len(skipped)
+
+    def test_shard_baselines_cover_owned_grid(self, campaign):
+        for index in range(3):
+            base, grid, _ = campaign_cells(campaign, ShardSpec(index, 3))
+            names = {w.name for w in base}
+            assert {w.name for w, _ in grid} <= names
+
+
+class TestShardedRun:
+    def test_shard_union_equals_unsharded_records(self, campaign):
+        full = Melody().run(campaign)
+        reference = {
+            (r.workload, r.target): json.dumps(
+                run_result_to_dict(r.run), sort_keys=True
+            )
+            for r in full.records
+        }
+        merged = {}
+        for index in range(3):
+            reset_runtime()
+            result = Melody().run(campaign, ShardSpec(index, 3))
+            for record in result.records:
+                cell = (record.workload, record.target)
+                assert cell not in merged, "shards overlap"
+                merged[cell] = json.dumps(
+                    run_result_to_dict(record.run), sort_keys=True
+                )
+        assert merged == reference
+
+    def test_one_of_one_run_is_unsharded(self, campaign):
+        full = Melody().run(campaign)
+        reset_runtime()
+        one = Melody().run(campaign, ShardSpec(0, 1))
+        assert [
+            (r.workload, r.target, r.slowdown_pct) for r in full.records
+        ] == [
+            (r.workload, r.target, r.slowdown_pct) for r in one.records
+        ]
+        assert full.skipped == one.skipped
