@@ -4,6 +4,8 @@ Exposes the main Melody workflows without writing any Python:
 
 * ``characterize`` -- device-level measurement battery (MLC + MIO + CPMU)
 * ``campaign``     -- run a slowdown campaign and export the dataset
+* ``coordinate``   -- serve a campaign to remote lease-based workers
+* ``worker``       -- execute leased cells for a coordinator
 * ``query``        -- scan the columnar result store across campaigns
 * ``spa``          -- Spa breakdown of one workload on one target
 * ``figures``      -- regenerate paper tables/figures by id
@@ -38,6 +40,11 @@ cell grid (for distributing a campaign by hand or across hosts);
 ``--shards N`` drives N local shard subprocesses against a shared
 ``--cache-dir``, merges their checkpoints and columnar-store manifests,
 and assembles the final dataset byte-identically to a single-process run.
+``--coordinator [HOST:]PORT`` runs the campaign through the
+fault-tolerant lease-based coordinator with ``--dist-workers`` worker
+subprocesses (``repro coordinate`` and ``repro worker`` are the
+standalone halves for real multi-host fleets) -- same byte-identity
+contract, surviving worker death, hangs and network chaos.
 Finished cells are promoted into the append-only columnar store under
 ``<cache-dir>/store/``, which ``repro query`` scans across campaigns.
 """
@@ -134,21 +141,9 @@ def _configure_obs(args):
 
 
 def _target_by_name(name: str, platform):
-    from repro.hw.cxl import CXL_DEVICES, device_by_name
-    from repro.hw.topology import remote_view
+    from repro.dist.spec import resolve_target
 
-    if name == "local":
-        return platform.local_target()
-    if name == "numa":
-        return platform.numa_target()
-    if name.endswith("+numa"):
-        return remote_view(device_by_name(name[: -len("+numa")].upper()))
-    if name.upper() in CXL_DEVICES:
-        return device_by_name(name.upper())
-    raise MelodyError(
-        f"unknown target {name!r}; choose local, numa, cxl-a..cxl-d, "
-        "or cxl-X+numa"
-    )
+    return resolve_target(name, platform)
 
 
 def cmd_characterize(args) -> int:
@@ -231,6 +226,21 @@ def cmd_campaign(args) -> int:
             "--shards requires --cache-dir (shards meet in the shared "
             "run cache, checkpoints and columnar store)"
         )
+    if args.coordinator:
+        if args.shard or args.shards:
+            raise MelodyError(
+                "--coordinator is mutually exclusive with "
+                "--shard/--shards"
+            )
+        if not args.cache_dir:
+            raise MelodyError(
+                "--coordinator requires --cache-dir (workers' results "
+                "commit into the shared run cache)"
+            )
+        if args.dist_workers < 1:
+            raise MelodyError(
+                f"--dist-workers must be >= 1, got {args.dist_workers}"
+            )
     engine = _configure_runtime(args)
     finish = _configure_obs(args)
     restore_plan = _install_fault_plan(args)
@@ -257,6 +267,15 @@ def cmd_campaign(args) -> int:
             if code != 0:
                 return code
             args.resume = True  # adopt merged progress + quarantine
+        elif args.coordinator:
+            # Same contract over the network: the lease-based
+            # coordinator commits every worker result (and the final
+            # checkpoint) into --cache-dir, then the warm pass below
+            # assembles the byte-identical dataset.
+            code = _run_dist_fleet(args, campaign)
+            if code != 0:
+                return code
+            args.resume = True
         checkpointer = _attach_checkpointer(args, engine, campaign, shard)
         result = campaign_melody().run(campaign, shard)
         if checkpointer is not None:
@@ -379,6 +398,68 @@ def _shard_argv(args, shard_text: str) -> list:
     return argv
 
 
+def _subprocess_env():
+    """The child environment for fleet subprocesses (src on PYTHONPATH)."""
+    import os
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{src_root}{os.pathsep}{existing}" if existing else src_root
+    )
+    return env
+
+
+class _fleet_cleanup:
+    """Terminate leftover fleet children on any exit path.
+
+    A ``KeyboardInterrupt`` (or a SIGTERM, which this context remaps to
+    one in the main thread) mid-fleet must not orphan shard or worker
+    subprocesses: whatever is still running is terminated, given a grace
+    period, then killed.  Children that already exited are reaped
+    without further ceremony.
+    """
+
+    def __init__(self):
+        self.procs = []
+
+    def add(self, proc) -> None:
+        self.procs.append(proc)
+
+    def __enter__(self):
+        import signal
+        import threading
+
+        self._previous = None
+        if threading.current_thread() is threading.main_thread():
+            def _terminate(signum, frame):
+                raise KeyboardInterrupt()
+
+            self._previous = signal.signal(signal.SIGTERM, _terminate)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        import signal
+        import subprocess
+        import threading
+
+        if self._previous is not None and \
+                threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGTERM, self._previous)
+        leftovers = [p for p in self.procs if p.poll() is None]
+        for proc in leftovers:
+            proc.terminate()
+        for proc in leftovers:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        return False
+
+
 def _run_shard_fleet(args, campaign) -> int:
     """Run ``--shards N`` worker subprocesses and merge their outputs.
 
@@ -387,39 +468,39 @@ def _run_shard_fleet(args, campaign) -> int:
     the campaign-wide document and the per-shard store manifests
     compact into one.  Quarantine exit codes (3) from shards are *not*
     final -- the parent's merged pass re-reports restored quarantine
-    records and picks the exit code; only hard failures abort here.
+    records and picks the exit code; any other nonzero shard exit
+    propagates as this fleet's exit code.  An interrupt (Ctrl-C or
+    SIGTERM) terminates every child instead of orphaning it.
     """
-    import os
     import subprocess
-    from pathlib import Path
 
     from repro.runtime import campaign_fingerprint, merge_checkpoints
     from repro.store import ResultStore
+    from pathlib import Path
 
     count = args.shards
     fingerprint = campaign_fingerprint(campaign)
     print(f"sharding campaign {fingerprint[:12]} across {count} "
           f"local workers")
-    env = dict(os.environ)
-    src_root = str(Path(__file__).resolve().parents[1])
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (
-        f"{src_root}{os.pathsep}{existing}" if existing else src_root
-    )
-    procs = []
-    for index in range(count):
-        argv = [sys.executable, "-m", "repro"] \
-            + _shard_argv(args, f"{index}/{count}")
-        procs.append((index, subprocess.Popen(argv, env=env)))
-    hard_failures = 0
-    for index, proc in procs:
-        code = proc.wait()
-        if code not in (0, 3):
-            hard_failures += 1
-            print(f"error: shard {index}/{count} exited {code}",
-                  file=sys.stderr)
-    if hard_failures:
-        return 2
+    env = _subprocess_env()
+    fleet_code = 0
+    with _fleet_cleanup() as fleet:
+        procs = []
+        for index in range(count):
+            argv = [sys.executable, "-m", "repro"] \
+                + _shard_argv(args, f"{index}/{count}")
+            proc = subprocess.Popen(argv, env=env)
+            fleet.add(proc)
+            procs.append((index, proc))
+        for index, proc in procs:
+            code = proc.wait()
+            if code not in (0, 3):
+                if fleet_code == 0:
+                    fleet_code = code
+                print(f"error: shard {index}/{count} exited {code}",
+                      file=sys.stderr)
+    if fleet_code:
+        return fleet_code
     state = merge_checkpoints(args.cache_dir, fingerprint)
     if state is not None:
         print(f"merged shard checkpoints: {state.completed_cells} cells "
@@ -431,6 +512,164 @@ def _run_shard_fleet(args, campaign) -> int:
         print(f"compacted columnar store: {entries} entries under "
               f"campaign {fingerprint[:12]}")
     return 0
+
+
+def _parse_endpoint(text: str, default_host: str = "127.0.0.1"):
+    """Parse ``[HOST:]PORT`` into (host, port)."""
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise MelodyError(
+            f"endpoint must be [HOST:]PORT, got {text!r}"
+        )
+    if not 0 <= port < 65536:
+        raise MelodyError(f"port must be in 0..65535, got {port}")
+    return host or default_host, port
+
+
+def _run_dist_fleet(args, campaign) -> int:
+    """Drive ``--coordinator``: in-process coordinator + worker children.
+
+    The coordinator binds the requested endpoint and ``--dist-workers``
+    ``repro worker`` subprocesses dial it (optionally through the seeded
+    ``--dist-net-chaos`` transport).  Like ``--shards``, success leaves
+    every cell warm in ``--cache-dir`` and a complete merged checkpoint,
+    so the caller's follow-up resume pass assembles exports
+    byte-identical to a solo run.  Children are terminated on any exit
+    path, interrupts included.
+    """
+    import subprocess
+
+    from repro.dist import Coordinator
+    from repro.dist.spec import CampaignSpec
+    from repro.runtime import RetryPolicy
+
+    host, port = _parse_endpoint(args.coordinator)
+    spec = CampaignSpec.from_args(args)
+    coordinator = Coordinator(
+        spec,
+        cache_dir=args.cache_dir,
+        host=host,
+        port=port,
+        lease_s=args.dist_lease,
+        heartbeat_s=args.dist_heartbeat,
+        policy=RetryPolicy(max_attempts=args.dist_unit_retries),
+    )
+    bound = coordinator.start()
+    print(f"dist campaign {coordinator.fingerprint[:12]}: "
+          f"{len(coordinator.table)} units on {host}:{bound}, "
+          f"{args.dist_workers} worker(s)")
+    env = _subprocess_env()
+    try:
+        with _fleet_cleanup() as fleet:
+            for index in range(args.dist_workers):
+                argv = [
+                    sys.executable, "-m", "repro", "worker",
+                    "--connect", f"{host}:{bound}",
+                    "--name", f"dw{index}",
+                ]
+                if args.dist_net_chaos is not None:
+                    argv += ["--net-chaos",
+                             str(args.dist_net_chaos + index)]
+                fleet.add(subprocess.Popen(argv, env=env))
+            summary = coordinator.run(timeout=args.dist_deadline)
+    finally:
+        coordinator.stop()
+    print(summary.render())
+    if summary.conflicts:
+        print(f"error: {len(summary.conflicts)} commit conflict(s); "
+              "a worker delivered divergent results", file=sys.stderr)
+        return 2
+    if not summary.complete:
+        print("error: dist campaign deadline elapsed before every unit "
+              "settled", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_coordinate(args) -> int:
+    """Serve one campaign to remote ``repro worker`` processes.
+
+    Exit codes mirror ``campaign``: 0 on success (quarantined cells are
+    a warning; 3 under ``--strict-cells``), 2 on commit conflicts, on a
+    deadline expiring with unsettled units, or on configuration errors.
+    """
+    from repro.dist import Coordinator
+    from repro.dist.spec import CampaignSpec
+    from repro.runtime import RetryPolicy
+
+    restore_events = lambda: None  # noqa: E731 - conditional below
+    if args.event_log:
+        from repro.obs.events import EventLogger, disable_events, \
+            enable_events
+
+        sink = open(args.event_log, "w", encoding="utf-8")
+        enable_events(EventLogger(sink=sink, level="info"))
+
+        def restore_events() -> None:
+            disable_events()
+            sink.close()
+
+    spec = CampaignSpec.from_args(args)
+    coordinator = Coordinator(
+        spec,
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        lease_s=args.lease,
+        heartbeat_s=args.heartbeat,
+        policy=RetryPolicy(max_attempts=args.unit_retries),
+    )
+    try:
+        port = coordinator.start()
+        print(f"coordinating campaign {coordinator.fingerprint[:12]}: "
+              f"{len(coordinator.table)} units on {args.host}:{port} "
+              f"(lease {args.lease:.0f}s, heartbeat "
+              f"{args.heartbeat:.1f}s)")
+        summary = coordinator.run(timeout=args.deadline)
+    finally:
+        coordinator.stop()
+        restore_events()
+    print(summary.render())
+    if summary.conflicts or not summary.complete:
+        return 2
+    return _report_failed_cells(summary.quarantined, args.strict_cells)
+
+
+def cmd_worker(args) -> int:
+    """Execute leased campaign cells for a ``repro coordinate`` process."""
+    from repro.dist import Worker
+
+    host, port = _parse_endpoint(args.connect)
+    net_chaos = None
+    if args.net_chaos is not None:
+        from repro.faults import NetChaosPolicy
+
+        net_chaos = NetChaosPolicy.from_seed(args.net_chaos)
+    cell_chaos = None
+    if args.chaos_error or args.chaos_kill:
+        from repro.faults import ChaosPolicy
+
+        cell_chaos = ChaosPolicy(
+            kill_prob=args.chaos_kill,
+            error_prob=args.chaos_error,
+            seed=args.chaos_seed,
+        )
+    worker = Worker(
+        host=host,
+        port=port,
+        name=args.name,
+        net_chaos=net_chaos,
+        cell_chaos=cell_chaos,
+        die_after=args.die_after,
+        hard_exit=True,
+        reconnect_attempts=args.reconnect,
+    )
+    code = worker.run()
+    print(f"worker {worker.name}: {worker.units_executed} cell(s) "
+          f"executed, {worker.units_delivered} delivered (exit {code})")
+    return code
 
 
 def _report_failed_cells(failed, strict_cells: bool) -> int:
@@ -1000,8 +1239,99 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes sharing --cache-dir, merge their "
                         "checkpoints and columnar store, then assemble "
                         "the (byte-identical) dataset from warm cells")
+    p.add_argument("--coordinator", default=None, metavar="[HOST:]PORT",
+                   help="run the campaign through an in-process "
+                        "lease-based coordinator on this endpoint with "
+                        "--dist-workers subprocess workers, then "
+                        "assemble the (byte-identical) dataset from "
+                        "warm cells")
+    p.add_argument("--dist-workers", type=int, default=2, metavar="N",
+                   help="worker subprocesses for --coordinator "
+                        "(default: 2)")
+    p.add_argument("--dist-net-chaos", type=int, default=None,
+                   metavar="SEED",
+                   help="give --coordinator workers a seeded chaos "
+                        "transport (worker i uses SEED+i)")
+    p.add_argument("--dist-lease", type=float, default=30.0, metavar="S",
+                   help="lease duration for --coordinator (default: 30)")
+    p.add_argument("--dist-heartbeat", type=float, default=2.0,
+                   metavar="S",
+                   help="worker heartbeat interval for --coordinator "
+                        "(default: 2)")
+    p.add_argument("--dist-unit-retries", type=int, default=5,
+                   metavar="N",
+                   help="attempts per unit before quarantine under "
+                        "--coordinator (default: 5)")
+    p.add_argument("--dist-deadline", type=float, default=None,
+                   metavar="S",
+                   help="abort the dist campaign if not settled in S "
+                        "seconds (default: wait forever)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "coordinate",
+        help="serve one campaign to remote 'repro worker' processes",
+    )
+    p.add_argument("--platform", default="EMR2S")
+    p.add_argument("--targets", nargs="+", default=["numa", "cxl-a"],
+                   help="local numa cxl-a..cxl-d cxl-X+numa")
+    p.add_argument("--suite", default=None, help="restrict to one suite")
+    p.add_argument("--sample", type=int, default=1,
+                   help="take every N-th workload")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="JSON fault plan injected into every cell "
+                        "(workers receive it in the campaign spec)")
+    p.add_argument("--cache-dir", required=True,
+                   help="shared cache directory results commit into")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port to listen on (default: ephemeral)")
+    p.add_argument("--lease", type=float, default=30.0, metavar="S",
+                   help="lease duration per work unit (default: 30)")
+    p.add_argument("--heartbeat", type=float, default=2.0, metavar="S",
+                   help="expected worker heartbeat interval; silence "
+                        "beyond 3 intervals drops the worker "
+                        "(default: 2)")
+    p.add_argument("--unit-retries", type=int, default=5, metavar="N",
+                   help="attempts per unit before quarantine "
+                        "(default: 5)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="give up if the campaign has not settled in S "
+                        "seconds (default: wait forever)")
+    p.add_argument("--strict-cells", action="store_true",
+                   help="exit 3 when any unit was quarantined")
+    p.add_argument("--event-log", default=None, metavar="PATH",
+                   help="write lease/commit wide events as ndjson")
+    p.set_defaults(func=cmd_coordinate)
+
+    p = sub.add_parser(
+        "worker",
+        help="execute leased cells for a 'repro coordinate' process",
+    )
+    p.add_argument("--connect", required=True, metavar="[HOST:]PORT",
+                   help="coordinator endpoint to dial")
+    p.add_argument("--name", default="",
+                   help="worker name in coordinator logs "
+                        "(default: worker-<pid>)")
+    p.add_argument("--net-chaos", type=int, default=None, metavar="SEED",
+                   help="sabotage this worker's outgoing frames with "
+                        "the seeded chaos transport")
+    p.add_argument("--chaos-error", type=float, default=0.0,
+                   metavar="P",
+                   help="probability a cell attempt raises (host chaos)")
+    p.add_argument("--chaos-kill", type=float, default=0.0, metavar="P",
+                   help="probability a cell attempt kills this worker "
+                        "(os._exit, SIGKILL semantics)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for --chaos-error/--chaos-kill draws")
+    p.add_argument("--die-after", type=int, default=None, metavar="N",
+                   help="abandon the socket mid-lease after serving N "
+                        "leases (exit 9; chaos harnesses)")
+    p.add_argument("--reconnect", type=int, default=8, metavar="N",
+                   help="connection attempts before giving up "
+                        "(default: 8)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "query", help="scan the columnar result store across campaigns"
@@ -1063,7 +1393,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--layer", nargs="*", default=None,
                    choices=["link", "device", "counters", "workloads",
-                            "runtime", "obs", "faults", "store"],
+                            "runtime", "obs", "faults", "store", "dist"],
                    help="restrict to these layers (default: all)")
     p.add_argument("--json", action="store_true",
                    help="emit the structured DiagReport as JSON")

@@ -27,12 +27,13 @@ from repro.diag.report import CheckResult, DiagReport, Violation
 
 LAYERS = (
     "link", "device", "counters", "workloads", "runtime", "store", "obs",
-    "faults",
+    "faults", "dist",
 )
 """Registered layers, in stack order (wire -> device -> CPU -> sw -> obs);
 ``store`` follows ``runtime`` (it checks the columnar tier the runtime
-cache promotes into) and ``faults`` sits last because its chaos harness
-exercises every layer below it."""
+cache promotes into), ``faults`` exercises every layer below it with its
+chaos harness, and ``dist`` sits last: its coordinator/worker harness
+drives the whole stack over real sockets under network chaos."""
 
 _CHECK_MODULES = {
     "link": "repro.diag.checks_link",
@@ -43,6 +44,7 @@ _CHECK_MODULES = {
     "store": "repro.diag.checks_store",
     "obs": "repro.diag.checks_obs",
     "faults": "repro.diag.checks_faults",
+    "dist": "repro.diag.checks_dist",
 }
 
 CheckFn = Callable[[DiagContext], Iterable[Violation]]

@@ -1,0 +1,108 @@
+"""A fault-injecting transport: network chaos applied at the frame layer.
+
+:class:`ChaosTransport` is a drop-in :class:`~repro.dist.frames
+.FrameTransport` whose *outgoing* path consults a
+:class:`~repro.faults.netchaos.NetChaosPolicy` per frame:
+
+* ``dup``     -- the frame ships twice (the receiver's
+  :class:`~repro.dist.frames.InOrderChannel` drops the second copy);
+* ``reorder`` -- the frame is held back and ships *after* the next one
+  (the channel buffers the early frame until the gap fills);
+* ``delay``   -- a latency spike before the send;
+* ``partial`` -- half the frame ships, a beat passes, then either the
+  rest follows (exercising TCP reassembly) or the connection dies with
+  the frame truncated on the wire;
+* ``drop``    -- the connection dies before the frame ships at all.
+
+Both lethal outcomes surface as :class:`ConnectionError` to the sending
+worker, whose reconnect loop treats them exactly like a real link flap.
+A held (reordered) frame is flushed on :meth:`close`, preserving the
+no-silent-loss invariant for clean shutdowns; an abrupt worker death
+with a held frame is indistinguishable from dying a frame earlier,
+which the lease machinery already covers.
+
+Chaos lives on the worker side only.  Coordinator replies travel clean,
+which keeps the sabotage surface where the interesting recovery logic
+is (lease release, reassignment, duplicate commits) without making the
+request/reply matching itself probabilistic.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from repro.dist.frames import FrameTransport
+from repro.faults.netchaos import NetChaosPolicy
+
+PARTIAL_STALL_S = 0.01
+"""Pause between the two halves of a partial write."""
+
+
+class ChaosTransport(FrameTransport):
+    """A ``FrameTransport`` whose sends pass through a chaos policy."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        policy: NetChaosPolicy,
+        stream: str,
+        sleep=time.sleep,
+    ):
+        super().__init__(sock)
+        self._policy = policy
+        self._stream = stream
+        self._sleep = sleep
+        self._frame_index = 0
+        self._held: Optional[bytes] = None
+        self.actions_taken = {name: 0 for name in
+                              ("drop", "dup", "reorder", "delay",
+                               "partial", "none")}
+
+    def _sever(self, reason: str) -> None:
+        """Kill the connection and surface it to the caller."""
+        self.close()
+        raise ConnectionResetError(f"net chaos: {reason}")
+
+    def _ship(self, data: bytes, seq: int) -> None:
+        self._frame_index += 1
+        index = self._frame_index
+        action = self._policy.action(self._stream, index)
+        self.actions_taken[action] += 1
+        held, self._held = self._held, None
+        if action == "drop":
+            self._sever(f"connection dropped before frame {index}")
+        if action == "delay":
+            self._sleep(self._policy.delay_s)
+        if action == "reorder":
+            # Hold this frame; it ships right after the next one (or on
+            # close).  Anything already held ships now -- at most one
+            # frame is ever in flight backwards.
+            self._held = data
+            if held is not None:
+                self._sock.sendall(held)
+            return
+        if action == "partial":
+            half = max(1, len(data) // 2)
+            self._sock.sendall(data[:half])
+            self._sleep(PARTIAL_STALL_S)
+            if not self._policy.partial_completes(self._stream, index):
+                self._sever(f"connection died mid-frame {index}")
+            self._sock.sendall(data[half:])
+        else:
+            self._sock.sendall(data)
+        if action == "dup":
+            self._sock.sendall(data)
+        if held is not None:
+            self._sock.sendall(held)
+
+    def close(self) -> None:
+        """Flush any held reordered frame, then close: no silent loss."""
+        held, self._held = self._held, None
+        if held is not None:
+            try:
+                self._sock.sendall(held)
+            except OSError:
+                pass
+        super().close()

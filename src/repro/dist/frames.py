@@ -1,0 +1,202 @@
+"""Length-prefixed JSON framing for the coordinator/worker protocol.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of canonical JSON (sorted keys, compact separators, UTF-8).  The
+canonical encoding matters beyond tidiness: the coordinator hashes the
+bytes it *re-encodes* from a decoded result document, so two workers
+delivering the same result always produce the same digest -- that digest
+equality is what lets the at-most-once commit distinguish a harmless
+duplicate delivery from a genuine conflict.
+
+:class:`FrameTransport` wraps a connected socket.  Sends are serialized
+under a lock (the worker's heartbeat thread shares the transport with
+its fetch/execute loop) and every outgoing frame is stamped with a
+monotonically increasing ``seq`` before it hits the wire.  The receive
+side never trusts wire order: :class:`InOrderChannel` re-sequences
+frames by ``seq``, dropping duplicates and holding early arrivals until
+the gap fills, which is exactly what makes the network chaos layer's
+duplicate and reordered deliveries harmless at the protocol level.
+
+Within one connection a frame is never silently lost: the chaos
+transport only duplicates, delays, reorders or *truncates-and-drops* --
+and a truncated frame kills the connection, which releases the worker's
+leases.  That invariant is why a bounded reorder window is safe: a gap
+that never fills means the peer is broken, not the network.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import MelodyError
+
+MAX_FRAME_BYTES = 8 << 20
+"""Upper bound on one frame's payload (a result document is ~10 KB)."""
+
+REORDER_WINDOW = 64
+"""Out-of-order frames held before the channel declares the peer broken."""
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(MelodyError):
+    """A malformed, oversized, or unsequenceable frame."""
+
+
+def encode_payload(message: Dict[str, object]) -> bytes:
+    """Canonical JSON bytes of one message (no length prefix)."""
+    return json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """One wire frame: length prefix + canonical JSON payload."""
+    payload = encode_payload(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload {len(payload)} bytes exceeds "
+            f"{MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """Parse one frame payload back into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}")
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload must be an object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+class FrameTransport:
+    """Framed, thread-safe messaging over one connected socket.
+
+    ``send`` stamps each outgoing message with the next ``seq`` (starting
+    at 1) under the send lock, so concurrent senders (the worker's
+    heartbeat thread) interleave whole frames with strictly increasing
+    sequence numbers.  ``recv`` returns one decoded message, ``None`` on
+    a clean EOF, raises :class:`FrameError` on garbage, and lets
+    ``socket.timeout`` propagate so pollers can check stop flags.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._seq = 0
+        self._recv_buffer = b""
+
+    def send(self, message: Dict[str, object]) -> int:
+        """Frame, stamp and ship one message; returns its ``seq``."""
+        with self._send_lock:
+            self._seq += 1
+            seq = self._seq
+            stamped = dict(message)
+            stamped["seq"] = seq
+            self._ship(encode_frame(stamped), seq)
+        return seq
+
+    def _ship(self, data: bytes, seq: int) -> None:
+        """Put one encoded frame on the wire (chaos overrides this)."""
+        self._sock.sendall(data)
+
+    def _read_exact(self, n: int, timeout: Optional[float]) -> Optional[bytes]:
+        """Read exactly ``n`` bytes, or ``None`` on EOF at a boundary."""
+        self._sock.settimeout(timeout)
+        while len(self._recv_buffer) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._recv_buffer:
+                    raise FrameError(
+                        "connection closed mid-frame "
+                        f"({len(self._recv_buffer)} bytes buffered)"
+                    )
+                return None
+            self._recv_buffer += chunk
+        data, self._recv_buffer = (
+            self._recv_buffer[:n], self._recv_buffer[n:]
+        )
+        return data
+
+    def recv(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Dict[str, object]]:
+        """One decoded message; ``None`` on clean EOF."""
+        header = self._read_exact(_LENGTH.size, timeout)
+        if header is None:
+            return None
+        (length,) = _LENGTH.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise FrameError(
+                f"incoming frame claims {length} bytes "
+                f"(max {MAX_FRAME_BYTES}); stream corrupt"
+            )
+        payload = self._read_exact(length, timeout)
+        if payload is None:
+            raise FrameError("connection closed between header and payload")
+        return decode_payload(payload)
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent, never raises)."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class InOrderChannel:
+    """Re-sequences received frames by their ``seq`` stamp.
+
+    ``feed`` returns the frames that became deliverable, in sequence
+    order: duplicates (``seq`` already delivered) are dropped, early
+    arrivals are buffered until the gap fills.  A buffer exceeding
+    ``REORDER_WINDOW`` distinct pending frames means a sequence number
+    went missing without the connection dying -- the peer violated the
+    no-silent-loss invariant -- and is reported as a
+    :class:`FrameError`.
+    """
+
+    def __init__(self, max_window: int = REORDER_WINDOW):
+        self._next = 1
+        self._pending: Dict[int, Dict[str, object]] = {}
+        self._max_window = max_window
+        self.duplicates = 0
+        self.reordered = 0
+
+    def feed(self, frame: Dict[str, object]) -> List[Dict[str, object]]:
+        """Accept one raw frame; return the now-deliverable messages."""
+        seq = frame.get("seq")
+        if not isinstance(seq, int) or seq < 1:
+            raise FrameError(f"frame carries no valid seq: {seq!r}")
+        if seq < self._next or seq in self._pending:
+            self.duplicates += 1
+            return []
+        if seq != self._next:
+            self.reordered += 1
+            self._pending[seq] = frame
+            if len(self._pending) > self._max_window:
+                raise FrameError(
+                    f"reorder window exceeded ({len(self._pending)} "
+                    f"frames pending, expecting seq {self._next})"
+                )
+            return []
+        ready = [frame]
+        self._next += 1
+        while self._next in self._pending:
+            ready.append(self._pending.pop(self._next))
+            self._next += 1
+        return ready

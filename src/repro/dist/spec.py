@@ -1,0 +1,152 @@
+"""The wire-serializable campaign description workers rebuild locally.
+
+A dist worker never receives code or pickled objects -- it receives a
+:class:`CampaignSpec`: the same handful of CLI spellings (``--platform``,
+``--targets``, ``--suite``, ``--sample``, an optional fault-plan
+document) that ``repro campaign`` itself resolves.  Worker and
+coordinator each build the :class:`~repro.core.melody.Campaign` from the
+spec independently and compare :func:`~repro.runtime.checkpoint
+.campaign_fingerprint` digests; a mismatch (version skew, divergent
+workload population, different fault plan) is detected before a single
+cell runs, because a worker computing different cell keys than its
+coordinator would silently poison the shared cache.
+
+:func:`resolve_target` is the single source of truth for target
+spellings -- the CLI's ``--targets`` flag resolves through it too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import MelodyError
+
+SPEC_VERSION = 1
+"""Bump on any incompatible change to the spec document."""
+
+
+def resolve_target(name: str, platform):
+    """Resolve one CLI target spelling against a platform."""
+    from repro.hw.cxl import CXL_DEVICES, device_by_name
+    from repro.hw.topology import remote_view
+
+    if name == "local":
+        return platform.local_target()
+    if name == "numa":
+        return platform.numa_target()
+    if name.endswith("+numa"):
+        return remote_view(device_by_name(name[: -len("+numa")].upper()))
+    if name.upper() in CXL_DEVICES:
+        return device_by_name(name.upper())
+    raise MelodyError(
+        f"unknown target {name!r}; choose local, numa, cxl-a..cxl-d, "
+        "or cxl-X+numa"
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to rebuild one campaign, as plain data."""
+
+    platform: str = "EMR2S"
+    targets: Tuple[str, ...] = ("numa", "cxl-a")
+    suite: Optional[str] = None
+    sample: int = 1
+    name: str = "cli"
+    fault_plan: Optional[dict] = field(default=None, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.sample < 1:
+            raise MelodyError(f"sample must be >= 1, got {self.sample}")
+        if not self.targets:
+            raise MelodyError("spec needs at least one target")
+
+    def to_dict(self) -> dict:
+        """The wire form (welcome frames, saved coordinator state)."""
+        return {
+            "version": SPEC_VERSION,
+            "platform": self.platform,
+            "targets": list(self.targets),
+            "suite": self.suite,
+            "sample": self.sample,
+            "name": self.name,
+            "fault_plan": self.fault_plan,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict` (version-checked)."""
+        version = data.get("version")
+        if version != SPEC_VERSION:
+            raise MelodyError(
+                f"unsupported campaign spec version {version!r} "
+                f"(this build speaks {SPEC_VERSION})"
+            )
+        fault_plan = data.get("fault_plan")
+        if fault_plan is not None and not isinstance(fault_plan, dict):
+            raise MelodyError("spec fault_plan must be an object or null")
+        return cls(
+            platform=str(data.get("platform", "EMR2S")),
+            targets=tuple(str(t) for t in data.get("targets", ())),
+            suite=(
+                str(data["suite"]) if data.get("suite") is not None
+                else None
+            ),
+            sample=int(data.get("sample", 1)),
+            name=str(data.get("name", "cli")),
+            fault_plan=fault_plan,
+        )
+
+    @classmethod
+    def from_args(cls, args) -> "CampaignSpec":
+        """Build a spec from ``repro campaign``-style parsed flags."""
+        fault_plan = None
+        path = getattr(args, "fault_plan", None)
+        if path:
+            from repro.faults import load_plan
+
+            fault_plan = load_plan(path).to_dict()
+        return cls(
+            platform=args.platform,
+            targets=tuple(args.targets),
+            suite=args.suite,
+            sample=args.sample,
+            fault_plan=fault_plan,
+        )
+
+    def load_fault_plan(self):
+        """The spec's fault plan as a live object (``None`` when absent)."""
+        if self.fault_plan is None:
+            return None
+        from repro.faults import FaultPlan
+
+        return FaultPlan.from_dict(self.fault_plan)
+
+    def build_campaign(self):
+        """Materialize the campaign exactly as ``repro campaign`` would.
+
+        Caller is responsible for having the spec's fault plan installed
+        (see :func:`~repro.faults.install_fault_plan`) before computing
+        fingerprints or cell keys from the returned campaign.
+        """
+        from repro.core.melody import Campaign
+        from repro.hw.platform import platform_by_name
+        from repro.workloads import all_workloads, workloads_by_suite
+
+        platform = platform_by_name(self.platform)
+        workloads = (
+            workloads_by_suite(self.suite) if self.suite
+            else all_workloads()
+        )
+        if self.sample > 1:
+            workloads = workloads[:: self.sample]
+        targets = tuple(
+            resolve_target(t, platform) for t in self.targets
+        )
+        return Campaign(
+            name=self.name,
+            platform=platform,
+            targets=targets,
+            workloads=tuple(workloads),
+        )

@@ -10,6 +10,10 @@ Two halves, both seeded and content-addressed:
 * **Host chaos** (:mod:`repro.faults.chaos`) -- worker kills, injected
   errors, and hangs against the campaign runtime, which the resilient
   executor must retry, time out, or quarantine.
+* **Network chaos** (:mod:`repro.faults.netchaos`) -- seeded per-frame
+  sabotage (drops, duplicates, reordering, latency spikes, partial
+  writes) for the :mod:`repro.dist` coordinator/worker wire, which the
+  lease protocol must absorb without ever changing campaign output.
 
 Importing this package is free of side effects: with no plan installed
 every fault-free code path is byte-identical to a build without the
@@ -27,6 +31,7 @@ from repro.faults.chaos import (
     install_chaos,
 )
 from repro.faults.inject import AppliedFaults, apply_fault_plan
+from repro.faults.netchaos import NetChaosPolicy
 from repro.faults.plan import (
     EPISODE_KINDS,
     FaultEpisode,
@@ -46,6 +51,7 @@ __all__ = [
     "EPISODE_KINDS",
     "FaultEpisode",
     "FaultPlan",
+    "NetChaosPolicy",
     "active_chaos",
     "active_fault_plan",
     "apply_fault_plan",

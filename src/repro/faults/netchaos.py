@@ -1,0 +1,104 @@
+"""Seeded network chaos for the distributed campaign protocol.
+
+Where :mod:`repro.faults.chaos` sabotages campaign *cells* (worker
+kills, hangs, injected errors), this module sabotages the *wire* between
+a dist worker and its coordinator: connections that drop mid-send,
+frames that arrive twice or swapped, latency spikes, and writes that
+stall halfway through a frame (then either complete or take the
+connection down with them).
+
+Decisions are a pure function of ``(seed, stream, frame index)`` --
+``stream`` names one connection attempt (worker name + reconnect
+count), so a replayed campaign sabotages byte-for-byte the same sends.
+At most one action applies per frame; the probabilities partition a
+single uniform draw exactly like :class:`~repro.faults.chaos
+.ChaosPolicy` partitions its cell draw.
+
+The crucial design constraint: chaos must never *silently* lose a frame.
+``drop`` and the dropping half of ``partial`` kill the whole connection
+(the peer sees EOF or a truncated frame; leases release; the worker
+reconnects), while ``dup``/``reorder``/``delay`` keep every frame
+alive.  The protocol's sequence numbers and at-most-once commit absorb
+everything that remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MelodyError
+from repro.rng import generator_for
+
+ACTIONS = ("drop", "dup", "reorder", "delay", "partial", "none")
+"""Everything :meth:`NetChaosPolicy.action` can decide for one frame."""
+
+
+@dataclass(frozen=True)
+class NetChaosPolicy:
+    """Seeded per-frame sabotage schedule for one worker's connections."""
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    delay_prob: float = 0.0
+    partial_prob: float = 0.0
+    delay_s: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        probs = (
+            self.drop_prob, self.dup_prob, self.reorder_prob,
+            self.delay_prob, self.partial_prob,
+        )
+        if min(probs) < 0 or sum(probs) > 1.0:
+            raise MelodyError(
+                "net chaos probabilities must be >= 0 and sum to <= 1"
+            )
+        if self.delay_s < 0:
+            raise MelodyError("delay_s must be >= 0")
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "NetChaosPolicy":
+        """The standard drill mix (the CLI's ``--net-chaos SEED``).
+
+        Mostly-benign sabotage (dup/reorder/delay) with a real but
+        modest rate of connection loss, so a drilled campaign exercises
+        reconnection and lease recovery without spending most of its
+        wall time reconnecting.
+        """
+        return cls(
+            drop_prob=0.04,
+            dup_prob=0.10,
+            reorder_prob=0.12,
+            delay_prob=0.08,
+            partial_prob=0.06,
+            seed=seed,
+        )
+
+    def action(self, stream: str, index: int) -> str:
+        """The sabotage for frame ``index`` of connection ``stream``."""
+        r = generator_for(
+            self.seed, "netchaos", stream, str(index)
+        ).random()
+        threshold = 0.0
+        for name, prob in (
+            ("drop", self.drop_prob),
+            ("dup", self.dup_prob),
+            ("reorder", self.reorder_prob),
+            ("delay", self.delay_prob),
+            ("partial", self.partial_prob),
+        ):
+            threshold += prob
+            if r < threshold:
+                return name
+        return "none"
+
+    def partial_completes(self, stream: str, index: int) -> bool:
+        """Whether a partial write finishes (vs dropping the link).
+
+        A separate keyed draw so the completion choice does not perturb
+        the action sequence of later frames.
+        """
+        return generator_for(
+            self.seed, "netchaos-partial", stream, str(index)
+        ).random() < 0.5

@@ -136,7 +136,15 @@ class Checkpointer:
         try:
             with open(tmp, "w") as handle:
                 json.dump(document, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            # The rename itself lives in the directory: without flushing
+            # the directory entry, a power cut after os.replace can
+            # resurrect the *previous* checkpoint -- or, for a first
+            # write, no file at all -- despite the data blocks being
+            # safely on disk.
+            _fsync_directory(os.path.dirname(path))
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -146,6 +154,26 @@ class Checkpointer:
         self._since_write = 0
         self.writes += 1
         metrics().counter("runtime.checkpoints_written").inc()
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk (durable rename).
+
+    Platforms whose directory fds reject ``fsync`` (or lack
+    ``O_DIRECTORY``) degrade to the pre-durability behavior rather than
+    failing the checkpoint write.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)

@@ -50,7 +50,11 @@ from repro.obs.trace import TraceBuffer, TraceContext, thread_tracing
 from repro.runtime.cache import RunCache
 from repro.serve.admission import AdmissionController
 from repro.serve.coalescer import Coalescer, Job
-from repro.serve.handlers import error_body, handle_request
+from repro.serve.handlers import (
+    error_body,
+    handle_request,
+    respond_draining,
+)
 from repro.serve.protocol import ProtocolError, Request, read_request, \
     write_response
 from repro.serve.query import Query, build_engine, execute_query, \
@@ -397,7 +401,7 @@ class ServeApp:
         if task is not None:
             self._conn_tasks.add(task)
         try:
-            while not self._stop.is_set():
+            while True:
                 try:
                     request = await read_request(reader, peer=peer)
                 except ProtocolError as exc:
@@ -413,6 +417,13 @@ class ServeApp:
                     await writer.drain()
                     return
                 if request is None:
+                    return
+                if self._stop.is_set():
+                    # Shutdown began while this request was in flight on
+                    # the wire: answer 503 + Retry-After instead of
+                    # resetting the connection under the client.
+                    await respond_draining(self, request, writer)
+                    await writer.drain()
                     return
                 keep = await handle_request(self, request, writer)
                 await writer.drain()
@@ -467,6 +478,8 @@ class ServeApp:
 
     async def stop(self) -> None:
         """Drain jobs, close connections, restore the registry."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_s
         if self._server is not None:
             self._server.close()
             with contextlib.suppress(Exception):
@@ -476,6 +489,13 @@ class ServeApp:
             self._executor.shutdown(
                 wait=leftovers == 0, cancel_futures=True
             )
+        # Grace window: a keep-alive client whose next request is
+        # already on the wire gets the 503-draining answer instead of a
+        # reset.  Handlers exit on their own after responding (or when
+        # their client closes); only stragglers are cancelled below.
+        remaining = deadline - loop.time()
+        if self._conn_tasks and remaining > 0:
+            await asyncio.wait(list(self._conn_tasks), timeout=remaining)
         for writer in list(self._connections):
             writer.close()
         for task in list(self._conn_tasks):

@@ -81,6 +81,36 @@ async def handle_request(app, request: Request, writer) -> bool:
         app.observe_request(request, telemetry)
 
 
+async def respond_draining(app, request: Request, writer) -> None:
+    """Answer a request that arrived during shutdown drain: 503 + retry.
+
+    A draining server used to just reset these connections; a parked
+    client saw a ``ConnectionResetError`` with no way to tell a crash
+    from a restart.  A ``503`` with ``Retry-After`` (the drain budget,
+    rounded up) tells it exactly when to come back -- and still exits
+    through :meth:`ServeApp.observe_request`, preserving the
+    one-wide-event-per-request invariant.
+    """
+    import math
+
+    app.requests += 1
+    registry = metrics()
+    if registry.enabled:
+        registry.counter("serve.requests", path=request.path).inc()
+        registry.counter("serve.draining_rejects").inc()
+    telemetry = app.telemetry_for(request)
+    try:
+        retry_after = max(1, math.ceil(app.config.drain_s))
+        _respond(
+            writer, telemetry, 503,
+            error_body(503, "server is draining; retry shortly"),
+            extra=(("Retry-After", str(retry_after)),),
+            keep_alive=False,
+        )
+    finally:
+        app.observe_request(request, telemetry)
+
+
 async def _dispatch(
     app, request: Request, writer, telemetry: RequestTelemetry
 ) -> bool:

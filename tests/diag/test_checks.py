@@ -40,7 +40,7 @@ class TestShippedModels:
         report = run_checks(layers=["link"])
         assert {r.layer for r in report.results} == {"link"}
         assert set(LAYERS) == {"link", "device", "counters", "workloads",
-                               "runtime", "store", "obs", "faults"}
+                               "runtime", "store", "obs", "faults", "dist"}
 
 
 class TestBrokenModels:

@@ -1,0 +1,155 @@
+"""CLI surface of the dist stack: endpoints, flag validation, fleets.
+
+The fleet tests exercise the satellite regression: shard/worker child
+exit codes must propagate to the parent's exit code, and an interrupt
+mid-fleet must terminate every child instead of orphaning it.
+"""
+
+import signal
+import subprocess
+import threading
+
+import pytest
+
+from repro.cli import _fleet_cleanup, _parse_endpoint, main
+from repro.errors import MelodyError
+
+
+class TestParseEndpoint:
+    def test_bare_port_defaults_host(self):
+        assert _parse_endpoint("8080") == ("127.0.0.1", 8080)
+
+    def test_host_and_port(self):
+        assert _parse_endpoint("0.0.0.0:9999") == ("0.0.0.0", 9999)
+
+    def test_port_zero_means_ephemeral(self):
+        assert _parse_endpoint(":0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["", "host:", "nope", "1.2.3.4:70000"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(MelodyError):
+            _parse_endpoint(bad)
+
+
+class TestCampaignFlagValidation:
+    def test_coordinator_excludes_shards(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--coordinator", ":0", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_coordinator_requires_cache_dir(self, capsys):
+        code = main(["campaign", "--coordinator", ":0"])
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_dist_workers_floor(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--coordinator", ":0", "--dist-workers", "0",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 2
+        assert "--dist-workers" in capsys.readouterr().err
+
+    def test_worker_endpoint_validated(self, capsys):
+        code = main(["worker", "--connect", "not-an-endpoint"])
+        assert code == 2
+        assert "endpoint" in capsys.readouterr().err
+
+
+class FakeProc:
+    """A subprocess stand-in recording lifecycle calls."""
+
+    def __init__(self, code=0, running=False, stubborn=False):
+        self.code = code
+        self.running = running
+        self.stubborn = stubborn
+        self.terminated = False
+        self.killed = False
+
+    def poll(self):
+        return None if self.running else self.code
+
+    def wait(self, timeout=None):
+        if self.stubborn and timeout is not None and not self.killed:
+            raise subprocess.TimeoutExpired(cmd="fake", timeout=timeout)
+        self.running = False
+        return self.code
+
+    def terminate(self):
+        self.terminated = True
+
+    def kill(self):
+        self.killed = True
+
+
+class TestFleetCleanup:
+    def test_interrupt_terminates_running_children(self):
+        runner, done = FakeProc(running=True), FakeProc(code=0)
+        with pytest.raises(KeyboardInterrupt):
+            with _fleet_cleanup() as fleet:
+                fleet.add(runner)
+                fleet.add(done)
+                raise KeyboardInterrupt()
+        assert runner.terminated and not runner.killed
+        assert not done.terminated  # already exited: reaped, not signaled
+
+    def test_stubborn_child_is_killed_after_grace(self):
+        stubborn = FakeProc(running=True, stubborn=True)
+        with _fleet_cleanup() as fleet:
+            fleet.add(stubborn)
+        assert stubborn.terminated and stubborn.killed
+
+    def test_sigterm_remapped_to_keyboard_interrupt(self):
+        if threading.current_thread() is not threading.main_thread():
+            pytest.skip("signal handlers only install on the main thread")
+        before = signal.getsignal(signal.SIGTERM)
+        with _fleet_cleanup():
+            handler = signal.getsignal(signal.SIGTERM)
+            assert handler is not before
+            with pytest.raises(KeyboardInterrupt):
+                handler(signal.SIGTERM, None)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_clean_exit_touches_nothing(self):
+        done = FakeProc(code=0)
+        with _fleet_cleanup() as fleet:
+            fleet.add(done)
+        assert not done.terminated and not done.killed
+
+
+class TestShardFleetExitCodes:
+    def _run(self, monkeypatch, tmp_path, codes):
+        spawned = []
+
+        def fake_popen(argv, env=None, **kwargs):
+            proc = FakeProc(code=codes[len(spawned)])
+            spawned.append(proc)
+            return proc
+
+        monkeypatch.setattr(subprocess, "Popen", fake_popen)
+        code = main([
+            "campaign", "--platform", "EMR2S", "--targets", "cxl-a",
+            "--suite", "GAPBS", "--sample", "6",
+            "--cache-dir", str(tmp_path), "--shards", str(len(codes)),
+        ])
+        return code, spawned
+
+    def test_nonzero_shard_code_propagates_verbatim(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        code, spawned = self._run(monkeypatch, tmp_path, [0, 5])
+        assert code == 5
+        assert len(spawned) == 2
+        assert "exited 5" in capsys.readouterr().err
+
+    def test_quarantine_code_3_is_not_final(self, monkeypatch, tmp_path):
+        # Exit 3 means quarantined cells under --strict-cells; the
+        # parent's merged pass re-reports those and picks the verdict.
+        # With fake shards nothing actually ran, so the merged pass
+        # executes the campaign itself and exits clean.
+        code, spawned = self._run(monkeypatch, tmp_path, [0, 3])
+        assert code == 0
+        assert len(spawned) == 2

@@ -1,0 +1,167 @@
+"""Frame-layer tests: canonical encoding, transport semantics, re-sequencing."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.dist.frames import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameTransport,
+    InOrderChannel,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
+
+
+def transport_pair():
+    a, b = socket.socketpair()
+    return FrameTransport(a), FrameTransport(b)
+
+
+class TestEncoding:
+    def test_payload_roundtrip(self):
+        message = {"type": "result", "doc": {"x": [1, 2.5, None]}, "n": 3}
+        assert decode_payload(encode_payload(message)) == message
+
+    def test_encoding_is_canonical(self):
+        # Key insertion order must not change the bytes: digest-based
+        # duplicate detection depends on it.
+        a = encode_payload({"b": 1, "a": {"d": 2, "c": 3}})
+        b = encode_payload({"a": {"c": 3, "d": 2}, "b": 1})
+        assert a == b
+
+    def test_frame_is_length_prefixed(self):
+        frame = encode_frame({"type": "fetch"})
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == {"type": "fetch"}
+
+    def test_oversized_payload_rejected(self):
+        blob = "x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError):
+            encode_frame({"blob": blob})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"[1,2,3]")
+        with pytest.raises(FrameError):
+            decode_payload(b"not json at all")
+
+
+class TestFrameTransport:
+    def test_send_stamps_increasing_seq(self):
+        sender, receiver = transport_pair()
+        try:
+            for expect in (1, 2, 3):
+                assert sender.send({"type": "heartbeat"}) == expect
+            for expect in (1, 2, 3):
+                frame = receiver.recv(timeout=2.0)
+                assert frame["seq"] == expect
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_clean_eof_returns_none(self):
+        sender, receiver = transport_pair()
+        sender.close()
+        try:
+            assert receiver.recv(timeout=2.0) is None
+        finally:
+            receiver.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        receiver = FrameTransport(b)
+        frame = encode_frame({"type": "fetch", "seq": 1})
+        a.sendall(frame[: len(frame) - 2])
+        a.close()
+        try:
+            with pytest.raises(FrameError):
+                receiver.recv(timeout=2.0)
+        finally:
+            receiver.close()
+
+    def test_oversized_incoming_header_rejected(self):
+        a, b = socket.socketpair()
+        receiver = FrameTransport(b)
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        try:
+            with pytest.raises(FrameError):
+                receiver.recv(timeout=2.0)
+        finally:
+            a.close()
+            receiver.close()
+
+    def test_concurrent_senders_interleave_whole_frames(self):
+        # The worker's heartbeat thread shares the transport with its
+        # lease loop; frames must never interleave mid-wire.
+        sender, receiver = transport_pair()
+        per_thread = 50
+
+        def spam(tag):
+            for i in range(per_thread):
+                sender.send({"type": "spam", "tag": tag, "i": i})
+
+        threads = [
+            threading.Thread(target=spam, args=(t,)) for t in ("a", "b")
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seqs = []
+            for _ in range(2 * per_thread):
+                frame = receiver.recv(timeout=5.0)
+                assert frame["type"] == "spam"
+                seqs.append(frame["seq"])
+            assert sorted(seqs) == list(range(1, 2 * per_thread + 1))
+        finally:
+            sender.close()
+            receiver.close()
+
+
+class TestInOrderChannel:
+    def test_in_order_passthrough(self):
+        channel = InOrderChannel()
+        out = []
+        for seq in (1, 2, 3):
+            out.extend(channel.feed({"seq": seq}))
+        assert [f["seq"] for f in out] == [1, 2, 3]
+        assert channel.duplicates == 0 and channel.reordered == 0
+
+    def test_duplicate_dropped(self):
+        channel = InOrderChannel()
+        assert channel.feed({"seq": 1}) == [{"seq": 1}]
+        assert channel.feed({"seq": 1}) == []
+        assert channel.duplicates == 1
+
+    def test_early_arrival_buffered_until_gap_fills(self):
+        channel = InOrderChannel()
+        assert channel.feed({"seq": 2}) == []
+        delivered = channel.feed({"seq": 1})
+        assert [f["seq"] for f in delivered] == [1, 2]
+        assert channel.reordered == 1
+
+    def test_pending_duplicate_dropped(self):
+        channel = InOrderChannel()
+        assert channel.feed({"seq": 3}) == []
+        assert channel.feed({"seq": 3}) == []
+        assert channel.duplicates == 1
+
+    def test_window_overflow_means_broken_peer(self):
+        channel = InOrderChannel(max_window=4)
+        for seq in range(2, 6):
+            assert channel.feed({"seq": seq}) == []
+        with pytest.raises(FrameError):
+            channel.feed({"seq": 6})
+
+    def test_missing_seq_rejected(self):
+        channel = InOrderChannel()
+        with pytest.raises(FrameError):
+            channel.feed({"type": "fetch"})
+        with pytest.raises(FrameError):
+            channel.feed({"seq": 0})

@@ -1,0 +1,73 @@
+"""Campaign-spec wire format and target resolution."""
+
+import pytest
+
+from repro.dist.spec import SPEC_VERSION, CampaignSpec, resolve_target
+from repro.errors import MelodyError
+from repro.hw.platform import platform_by_name
+
+
+class TestResolveTarget:
+    def test_all_spellings(self):
+        platform = platform_by_name("EMR2S")
+        assert resolve_target("local", platform).name == \
+            platform.local_target().name
+        assert resolve_target("numa", platform).name == \
+            platform.numa_target().name
+        assert resolve_target("cxl-a", platform).name == "CXL-A"
+        assert "NUMA" in resolve_target("cxl-b+numa", platform).name
+
+    def test_unknown_target(self):
+        with pytest.raises(MelodyError):
+            resolve_target("cxl-z", platform_by_name("EMR2S"))
+
+
+class TestSpecWireFormat:
+    def test_roundtrip(self):
+        spec = CampaignSpec(
+            platform="SPR2S", targets=("numa", "cxl-b"), suite="SPEC",
+            sample=3, name="drill",
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_version_checked(self):
+        doc = CampaignSpec().to_dict()
+        doc["version"] = SPEC_VERSION + 1
+        with pytest.raises(MelodyError):
+            CampaignSpec.from_dict(doc)
+
+    def test_fault_plan_must_be_object(self):
+        doc = CampaignSpec().to_dict()
+        doc["fault_plan"] = "yes please"
+        with pytest.raises(MelodyError):
+            CampaignSpec.from_dict(doc)
+
+    def test_validation(self):
+        with pytest.raises(MelodyError):
+            CampaignSpec(sample=0)
+        with pytest.raises(MelodyError):
+            CampaignSpec(targets=())
+
+
+class TestBuildCampaign:
+    def test_build_matches_cli_resolution(self):
+        spec = CampaignSpec(
+            platform="EMR2S", targets=("cxl-a",), suite="GAPBS", sample=6,
+            name="dist-smoke",
+        )
+        campaign = spec.build_campaign()
+        assert campaign.name == "dist-smoke"
+        assert campaign.platform.name == "EMR2S"
+        assert [t.name for t in campaign.targets] == ["CXL-A"]
+        # sample=6 over the 30-workload GAPBS suite leaves 5.
+        assert len(campaign.workloads) == 5
+
+    def test_coordinator_and_worker_agree_on_fingerprint(self):
+        # The wire roundtrip must preserve campaign identity: the worker
+        # rebuilds from the welcome document and compares fingerprints.
+        from repro.runtime.checkpoint import campaign_fingerprint
+
+        spec = CampaignSpec(targets=("cxl-a",), suite="GAPBS", sample=6)
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert campaign_fingerprint(spec.build_campaign()) == \
+            campaign_fingerprint(rebuilt.build_campaign())

@@ -46,6 +46,67 @@ class TestCheckpointer:
         ckpt.flush([])
         assert ckpt.writes == 2
 
+    def test_write_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        # The atomic rename is only durable once the *directory entry*
+        # reaches disk: a power cut after os.replace must not resurrect
+        # the previous checkpoint.  Spy os.open (the only path that
+        # opens a directory fd during write) and os.fsync.
+        import repro.runtime.checkpoint as checkpoint_module
+
+        opened = {}
+        synced = []
+        real_open, real_fsync = os.open, os.fsync
+
+        def open_spy(path, flags, *args):
+            fd = real_open(path, flags, *args)
+            opened[fd] = path
+            return fd
+
+        def fsync_spy(fd):
+            # Snapshot what the fd means *now*: fd numbers get reused
+            # once the temp-file handle closes.
+            synced.append(opened.get(fd))
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "open", open_spy)
+        monkeypatch.setattr(os, "fsync", fsync_spy)
+        ckpt = Checkpointer(cache_dir=str(tmp_path), fingerprint="f" * 32,
+                            total_cells=4)
+        ckpt.write([])
+        assert len(synced) == 2
+        # First the data (the temp-file handle, opened via the builtin,
+        # so not in the os.open spy)...
+        assert synced[0] is None
+        # ...then the directory entry, after the rename.
+        assert os.path.basename(synced[1]) == "checkpoints"
+        assert load_checkpoint(str(tmp_path), "f" * 32) is not None
+
+    def test_directory_fsync_degrades_on_refusal(self, tmp_path,
+                                                 monkeypatch):
+        # Platforms whose directory fds reject fsync must not fail the
+        # checkpoint write -- and the fd must still be closed.
+        from repro.runtime.checkpoint import _fsync_directory
+
+        closed = []
+        real_close = os.close
+
+        def close_spy(fd):
+            closed.append(fd)
+            return real_close(fd)
+
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("no dir fsync")),
+        )
+        monkeypatch.setattr(os, "close", close_spy)
+        _fsync_directory(str(tmp_path))
+        assert len(closed) == 1
+        monkeypatch.setattr(
+            os, "open",
+            lambda *a: (_ for _ in ()).throw(OSError("no dir open")),
+        )
+        _fsync_directory(str(tmp_path))  # silently a no-op
+
     def test_interval_validated(self, tmp_path):
         with pytest.raises(ConfigurationError, match="interval"):
             Checkpointer(cache_dir=str(tmp_path), fingerprint="f" * 32,

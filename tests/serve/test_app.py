@@ -270,3 +270,73 @@ class TestHttpSurface:
         assert rejected.status == 429
         assert count == 1
         assert [r.status for r in served] == [200, 200]
+
+
+class TestDrain:
+    def test_request_during_drain_gets_503_retry_after(self):
+        # A request that lands after shutdown begins used to see its
+        # connection reset; now it gets an honest 503 with the drain
+        # budget as Retry-After.
+        async def scenario(app):
+            app.request_shutdown()
+            response = await fetch(
+                "127.0.0.1", app.port, "GET", "/healthz", b""
+            )
+            return response, app.requests
+
+        response, requests = with_app(
+            ServeConfig(port=0, workers=1, drain_s=2.5), scenario
+        )
+        assert response.status == 503
+        assert response.headers.get("retry-after") == "3"
+        assert response.headers.get("connection") == "close"
+        assert b"draining" in response.body
+        assert requests == 1  # counted and observed like any request
+
+    def test_keep_alive_connection_survives_into_drain(self):
+        # The sharper regression: a parked keep-alive client issuing its
+        # next request mid-drain must hear 503, not ConnectionResetError.
+        async def scenario(app):
+            async with ServeClient("127.0.0.1", app.port) as client:
+                first = await client.request("GET", "/healthz")
+                app.request_shutdown()
+                second = await client.request("GET", "/stats")
+            return first, second
+
+        first, second = with_app(ServeConfig(port=0, workers=1), scenario)
+        assert first.status == 200
+        assert second.status == 503
+        assert "retry-after" in second.headers
+
+    def test_stop_answers_parked_keep_alive_before_closing(self):
+        # The live SIGTERM path: request_shutdown() is immediately
+        # followed by stop().  A keep-alive client whose next request
+        # lands in that window must still hear 503 -- stop() holds the
+        # plug for the drain budget while handlers answer -- and the
+        # handler's exit releases stop() early, well under the budget.
+        async def go():
+            app = ServeApp(ServeConfig(port=0, workers=1, drain_s=5.0))
+            await app.start()
+            client = ServeClient("127.0.0.1", app.port)
+            await client.connect()
+            first = await client.request("GET", "/healthz")
+            app.request_shutdown()
+
+            async def late():
+                await asyncio.sleep(0.2)
+                return await client.request("GET", "/stats")
+
+            task = asyncio.ensure_future(late())
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await app.stop()
+            elapsed = loop.time() - start
+            second = await task
+            await client.close()
+            return first, second, elapsed
+
+        first, second, elapsed = asyncio.run(go())
+        assert first.status == 200
+        assert second.status == 503
+        assert "retry-after" in second.headers
+        assert elapsed < 4.0  # released by the handler, not the budget
