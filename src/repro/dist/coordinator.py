@@ -217,7 +217,12 @@ class Coordinator:
         self._listener: Optional[socket.socket] = None
         self._stopping = threading.Event()
         self._done = threading.Event()
-        self._cache_instance = None
+        # Eager: connection threads share this one instance, so every
+        # put lands in the memory tier promote_store later reads (a
+        # lazily-raced second instance would silently lose runs).
+        from repro.runtime.cache import RunCache
+
+        self._cache_instance = RunCache(cache_dir)
         if self.table.done:  # degenerate but legal: zero-unit campaign
             self._done.set()
 
@@ -297,9 +302,10 @@ class Coordinator:
                 pass
         with self._lock:
             connections = list(self._connections.values())
+            threads = list(self._threads)
         for conn in connections:
             conn.transport.close()
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=2.0)
 
     # -- the accept / connection / monitor threads -------------------------
@@ -318,18 +324,25 @@ class Coordinator:
             peer = f"{addr[0]}:{addr[1]}"
             conn = _Connection(FrameTransport(sock), peer, self.clock())
             with self._lock:
+                # stop() snapshots _connections/_threads under this
+                # lock after setting _stopping: re-check here so a
+                # connection racing shutdown is turned away instead of
+                # registered where stop() can no longer see it.
+                if self._stopping.is_set():
+                    conn.transport.close()
+                    continue
                 self._conn_counter += 1
                 conn_id = self._conn_counter
                 self._connections[conn_id] = conn
                 self._workers_seen += 1
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(conn_id, conn),
-                name=f"dist-conn-{conn_id}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn_id, conn),
+                    name=f"dist-conn-{conn_id}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
 
     def _serve_connection(self, conn_id: int, conn: _Connection) -> None:
         channel = InOrderChannel()
@@ -360,7 +373,20 @@ class Coordinator:
                     registry.counter("dist.frame_errors").inc()
                     return
                 for message in ready:
-                    if not self._handle(conn, message):
+                    try:
+                        keep = self._handle(conn, message)
+                    except Exception as exc:
+                        # Fail loudly, not silently: closing the
+                        # connection (the finally below) releases the
+                        # worker's leases so its units retry elsewhere.
+                        events().emit(
+                            "dist.conn.error", level="error",
+                            worker=conn.worker_id,
+                            reason=f"handler failure: {exc}",
+                        )
+                        registry.counter("dist.handler_errors").inc()
+                        return
+                    if not keep:
                         return
         finally:
             conn.transport.close()
@@ -523,6 +549,28 @@ class Coordinator:
                 worker=conn.worker_id, kind="result-without-doc",
             )
             return False
+        # Deserialize BEFORE committing: commit is terminal in the lease
+        # table, so accepting a doc the codec then rejects would leave a
+        # unit "completed" with no result in the cache.  A doc that does
+        # not deserialize is a broken worker delivery -- charge it like
+        # any other worker error report so the unit retries elsewhere.
+        from repro.runtime.serialize import run_result_from_dict
+
+        try:
+            result = run_result_from_dict(doc)
+        except Exception as exc:
+            with self._lock:
+                charged = self.table.fail(
+                    unit_id, lease_id, conn.worker_id, "error",
+                    f"undeserializable result document: {exc}",
+                )
+            registry.counter("dist.result_decode_errors").inc()
+            events().emit(
+                "dist.protocol.error", level="warn",
+                worker=conn.worker_id, kind="result-doc-invalid",
+                unit=unit_id[-40:], charged=charged,
+            )
+            return True
         digest = result_digest(doc)
         elapsed = message.get("elapsed_s")
         with self._lock:
@@ -531,7 +579,7 @@ class Coordinator:
             )
             done = self.table.done
         if verdict in ("committed", "late", "resurrected"):
-            self._store_result(unit_id, doc)
+            self._cache().put(self.table.unit(unit_id).key, result)
             registry.counter("dist.units_committed").inc()
             if isinstance(elapsed, (int, float)):
                 registry.histogram("dist.unit_seconds").observe(
@@ -555,18 +603,7 @@ class Coordinator:
             self._done.set()
         return True
 
-    def _store_result(self, unit_id: str, doc: dict) -> None:
-        """Commit one accepted result document into the shared cache."""
-        from repro.runtime.serialize import run_result_from_dict
-
-        unit = self.table.unit(unit_id)
-        self._cache().put(unit.key, run_result_from_dict(doc))
-
     def _cache(self):
-        if self._cache_instance is None:
-            from repro.runtime.cache import RunCache
-
-            self._cache_instance = RunCache(self.cache_dir)
         return self._cache_instance
 
     def _release(self, conn: _Connection) -> None:

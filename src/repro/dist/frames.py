@@ -87,7 +87,10 @@ class FrameTransport:
     heartbeat thread) interleave whole frames with strictly increasing
     sequence numbers.  ``recv`` returns one decoded message, ``None`` on
     a clean EOF, raises :class:`FrameError` on garbage, and lets
-    ``socket.timeout`` propagate so pollers can check stop flags.
+    ``socket.timeout`` propagate so pollers can check stop flags.  A
+    timeout mid-frame keeps the partial parse state (pending length and
+    buffered bytes) on the transport, so the next ``recv`` resumes the
+    same frame instead of misreading payload bytes as a header.
     """
 
     def __init__(self, sock: socket.socket):
@@ -95,6 +98,7 @@ class FrameTransport:
         self._send_lock = threading.Lock()
         self._seq = 0
         self._recv_buffer = b""
+        self._pending_length: Optional[int] = None
 
     def send(self, message: Dict[str, object]) -> int:
         """Frame, stamp and ship one message; returns its ``seq``."""
@@ -110,41 +114,50 @@ class FrameTransport:
         """Put one encoded frame on the wire (chaos overrides this)."""
         self._sock.sendall(data)
 
-    def _read_exact(self, n: int, timeout: Optional[float]) -> Optional[bytes]:
-        """Read exactly ``n`` bytes, or ``None`` on EOF at a boundary."""
-        self._sock.settimeout(timeout)
-        while len(self._recv_buffer) < n:
-            chunk = self._sock.recv(65536)
-            if not chunk:
-                if self._recv_buffer:
-                    raise FrameError(
-                        "connection closed mid-frame "
-                        f"({len(self._recv_buffer)} bytes buffered)"
-                    )
-                return None
-            self._recv_buffer += chunk
-        data, self._recv_buffer = (
-            self._recv_buffer[:n], self._recv_buffer[n:]
-        )
-        return data
-
     def recv(
         self, timeout: Optional[float] = None
     ) -> Optional[Dict[str, object]]:
-        """One decoded message; ``None`` on clean EOF."""
-        header = self._read_exact(_LENGTH.size, timeout)
-        if header is None:
-            return None
-        (length,) = _LENGTH.unpack(header)
-        if length > MAX_FRAME_BYTES:
-            raise FrameError(
-                f"incoming frame claims {length} bytes "
-                f"(max {MAX_FRAME_BYTES}); stream corrupt"
-            )
-        payload = self._read_exact(length, timeout)
-        if payload is None:
-            raise FrameError("connection closed between header and payload")
-        return decode_payload(payload)
+        """One decoded message; ``None`` on clean EOF.
+
+        The header is only consumed once its length is parsed into
+        ``_pending_length``, and that survives a ``socket.timeout``:
+        pollers that continue on timeout (the coordinator's 0.25s recv
+        loop) resume a half-received frame instead of desyncing the
+        stream when a frame's bytes arrive more than one poll apart.
+        """
+        self._sock.settimeout(timeout)
+        while True:
+            if self._pending_length is None \
+                    and len(self._recv_buffer) >= _LENGTH.size:
+                (length,) = _LENGTH.unpack(
+                    self._recv_buffer[:_LENGTH.size]
+                )
+                if length > MAX_FRAME_BYTES:
+                    raise FrameError(
+                        f"incoming frame claims {length} bytes "
+                        f"(max {MAX_FRAME_BYTES}); stream corrupt"
+                    )
+                self._recv_buffer = self._recv_buffer[_LENGTH.size:]
+                self._pending_length = length
+            if self._pending_length is not None \
+                    and len(self._recv_buffer) >= self._pending_length:
+                length = self._pending_length
+                payload, self._recv_buffer = (
+                    self._recv_buffer[:length],
+                    self._recv_buffer[length:],
+                )
+                self._pending_length = None
+                return decode_payload(payload)
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._recv_buffer or self._pending_length is not None:
+                    raise FrameError(
+                        "connection closed mid-frame "
+                        f"({len(self._recv_buffer)} bytes buffered, "
+                        f"expecting {self._pending_length!r})"
+                    )
+                return None
+            self._recv_buffer += chunk
 
     def close(self) -> None:
         """Close the underlying socket (idempotent, never raises)."""

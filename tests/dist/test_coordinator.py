@@ -96,6 +96,48 @@ class TestQuarantine:
         assert [f.key for f in state.failed] == [doomed]
 
 
+class TestResultValidation:
+    def test_malformed_doc_charges_attempt_and_retries(self, tmp_path):
+        # A result doc that is a dict but fails deserialization must NOT
+        # terminally commit the unit (checkpoint would then claim a cell
+        # that has no cached result): it counts as a failed attempt and
+        # the unit is re-leased.
+        coordinator = Coordinator(
+            SMOKE_SPEC, cache_dir=str(tmp_path),
+            policy=RetryPolicy(max_attempts=3, backoff_base_s=0.0),
+        )
+        port = coordinator.start()
+        try:
+            transport = FrameTransport(
+                socket.create_connection(("127.0.0.1", port), timeout=5.0)
+            )
+            try:
+                transport.send({
+                    "type": "hello", "name": "fibber",
+                    "proto": PROTOCOL_VERSION,
+                })
+                assert transport.recv(timeout=5.0)["type"] == "welcome"
+                transport.send({"type": "fetch"})
+                lease = transport.recv(timeout=5.0)
+                assert lease["type"] == "lease"
+                unit_id = lease["unit"]["unit_id"]
+                transport.send({
+                    "type": "result", "status": "ok",
+                    "unit_id": unit_id, "lease_id": lease["lease_id"],
+                    "doc": {"version": -1, "garbage": True},
+                })
+                transport.send({"type": "fetch"})
+                retry = transport.recv(timeout=5.0)
+                assert retry["type"] == "lease"
+                assert retry["unit"]["unit_id"] == unit_id
+                assert retry["attempt"] == 2
+                assert coordinator.table.progress()["committed"] == 0
+            finally:
+                transport.close()
+        finally:
+            coordinator.stop()
+
+
 class TestProtocolEdges:
     def test_version_skew_rejected_before_any_lease(self, tmp_path):
         coordinator = Coordinator(SMOKE_SPEC, cache_dir=str(tmp_path))

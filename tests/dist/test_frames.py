@@ -84,6 +84,62 @@ class TestFrameTransport:
         finally:
             receiver.close()
 
+    def test_timeout_mid_payload_resumes_same_frame(self):
+        # The coordinator polls recv(timeout=0.25) and continues on
+        # timeout: a frame whose bytes arrive across two polls must be
+        # reassembled, not misparsed (payload bytes read as a header).
+        a, b = socket.socketpair()
+        receiver = FrameTransport(b)
+        frame = encode_frame({"type": "result", "seq": 1, "n": 42})
+        try:
+            a.sendall(frame[:6])  # whole header + 2 payload bytes
+            with pytest.raises(socket.timeout):
+                receiver.recv(timeout=0.05)
+            with pytest.raises(socket.timeout):
+                receiver.recv(timeout=0.05)  # still starved: state kept
+            a.sendall(frame[6:])
+            assert receiver.recv(timeout=2.0) == {
+                "type": "result", "seq": 1, "n": 42
+            }
+            # Framing is still aligned for the next frame.
+            a.sendall(encode_frame({"type": "fetch", "seq": 2}))
+            assert receiver.recv(timeout=2.0) == {
+                "type": "fetch", "seq": 2
+            }
+        finally:
+            a.close()
+            receiver.close()
+
+    def test_timeout_mid_header_resumes_same_frame(self):
+        a, b = socket.socketpair()
+        receiver = FrameTransport(b)
+        frame = encode_frame({"type": "heartbeat", "seq": 1})
+        try:
+            a.sendall(frame[:2])  # half the length prefix
+            with pytest.raises(socket.timeout):
+                receiver.recv(timeout=0.05)
+            a.sendall(frame[2:])
+            assert receiver.recv(timeout=2.0) == {
+                "type": "heartbeat", "seq": 1
+            }
+        finally:
+            a.close()
+            receiver.close()
+
+    def test_eof_after_header_only_raises(self):
+        # Header fully consumed into the pending length, zero payload
+        # buffered: still a mid-frame EOF, never a clean None.
+        a, b = socket.socketpair()
+        receiver = FrameTransport(b)
+        frame = encode_frame({"type": "fetch", "seq": 1})
+        a.sendall(frame[:4])
+        a.close()
+        try:
+            with pytest.raises(FrameError):
+                receiver.recv(timeout=2.0)
+        finally:
+            receiver.close()
+
     def test_oversized_incoming_header_rejected(self):
         a, b = socket.socketpair()
         receiver = FrameTransport(b)
